@@ -1,0 +1,422 @@
+// Benchmarks regenerating every figure of the paper plus the ablation
+// studies (see DESIGN.md §3 for the experiment index). Each experiment
+// bench reports the figure's headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// both measures the implementation and reprints the reproduced results.
+package proxdisc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"proxdisc/internal/experiment"
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/proto"
+	"proxdisc/internal/topology"
+	"proxdisc/internal/traceroute"
+)
+
+// benchWorld is the standard world for experiment benches: the paper-scale
+// map kept at a size where one full pipeline run stays under a second.
+func benchWorld(seed int64) experiment.WorldConfig {
+	return experiment.WorldConfig{
+		Topology: topology.Config{
+			Model:        topology.ModelBarabasiAlbert,
+			CoreRouters:  2000,
+			LeafRouters:  2000,
+			EdgesPerNode: 2,
+			Seed:         seed,
+		},
+		NumLandmarks: 8,
+		Seed:         seed,
+	}
+}
+
+// BenchmarkFig1PeerSweep regenerates the paper's figure (E1): one
+// sub-benchmark per x-position, reporting both curves as metrics.
+func BenchmarkFig1PeerSweep(b *testing.B) {
+	for _, n := range []int{600, 800, 1000, 1200, 1400} {
+		b.Run(fmt.Sprintf("peers=%d", n), func(b *testing.B) {
+			var last experiment.Fig1Point
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunFig1(experiment.Fig1Config{
+					PeerCounts:  []int{n},
+					SamplePeers: 150,
+					World:       benchWorld(1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Points[0]
+			}
+			b.ReportMetric(last.DOverDclosest, "D/Dclosest")
+			b.ReportMetric(last.DrandomOverDclosest, "Drandom/Dclosest")
+		})
+	}
+}
+
+// BenchmarkAblationLandmarkCount is E2.
+func BenchmarkAblationLandmarkCount(b *testing.B) {
+	for _, c := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("landmarks=%d", c), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunLandmarkCountSweep(benchWorld(2), []int{c}, 800, 120)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = res.Points[0].DOverDclosest
+			}
+			b.ReportMetric(ratio, "D/Dclosest")
+		})
+	}
+}
+
+// BenchmarkAblationPlacement is E3.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for _, band := range []topology.DegreeBand{topology.BandLeaf, topology.BandMedium, topology.BandCore} {
+		b.Run("band="+band.String(), func(b *testing.B) {
+			cfg := benchWorld(3)
+			cfg.LandmarkBand = band
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				w, err := experiment.BuildWorld(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.JoinN(800); err != nil {
+					b.Fatal(err)
+				}
+				q, err := w.EvaluateQuality(120)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = q.DOverDclosest()
+			}
+			b.ReportMetric(ratio, "D/Dclosest")
+		})
+	}
+}
+
+// BenchmarkQuicknessVsCoordinates is E4, the headline comparison.
+func BenchmarkQuicknessVsCoordinates(b *testing.B) {
+	var res *experiment.QuicknessResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunQuickness(experiment.QuicknessConfig{
+			Peers:         300,
+			World:         benchWorld(4),
+			VivaldiRounds: []int{5, 20},
+			SamplePeers:   100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range res.Points {
+		b.Logf("%-28s probes/peer=%8.2f  D/Dclosest=%.4f", p.System, p.ProbesPerPeer, p.DOverDclosest)
+	}
+	b.ReportMetric(res.Points[0].DOverDclosest, "pathtree-D/Dclosest")
+	b.ReportMetric(res.Points[0].ProbesPerPeer, "pathtree-probes/peer")
+}
+
+// BenchmarkAblationTopology is E5: one sub-benchmark per topology model,
+// each running the full pipeline on that model.
+func BenchmarkAblationTopology(b *testing.B) {
+	for _, m := range []topology.Model{topology.ModelBarabasiAlbert, topology.ModelWaxman, topology.ModelTransitStub} {
+		b.Run("model="+m.String(), func(b *testing.B) {
+			cfg := benchWorld(5)
+			cfg.Topology.Model = m
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				w, err := experiment.BuildWorld(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.JoinN(600); err != nil {
+					b.Fatal(err)
+				}
+				q, err := w.EvaluateQuality(100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = q.DOverDclosest()
+			}
+			b.ReportMetric(ratio, "D/Dclosest")
+		})
+	}
+}
+
+// BenchmarkChurn is E6.
+func BenchmarkChurn(b *testing.B) {
+	var res *experiment.ChurnResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunChurn(experiment.ChurnConfig{
+			World:       benchWorld(6),
+			Arrivals:    600,
+			SamplePeers: 100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Points[0].StaleAnswerFraction, "stale-frac-nocleanup")
+	b.ReportMetric(res.Points[1].StaleAnswerFraction, "stale-frac-cleanup")
+}
+
+// BenchmarkSuperPeers is E7.
+func BenchmarkSuperPeers(b *testing.B) {
+	var res *experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunSuperPeerSweep(benchWorld(7), []float64{0.05}, 600, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Points[0].DOverDclosest, "D/Dclosest")
+}
+
+// BenchmarkTruncatedTraceroute is E8.
+func BenchmarkTruncatedTraceroute(b *testing.B) {
+	variants := []struct {
+		name  string
+		trace traceroute.Config
+	}{
+		{"full", traceroute.Config{}},
+		{"keep-every-2", traceroute.Config{KeepEvery: 2}},
+		{"prefix-4", traceroute.Config{PrefixHops: 4}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := benchWorld(8)
+			cfg.Trace = v.trace
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				w, err := experiment.BuildWorld(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.JoinN(800); err != nil {
+					b.Fatal(err)
+				}
+				q, err := w.EvaluateQuality(120)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = q.DOverDclosest()
+			}
+			b.ReportMetric(ratio, "D/Dclosest")
+		})
+	}
+}
+
+// BenchmarkStreamingSetup is E9.
+func BenchmarkStreamingSetup(b *testing.B) {
+	var res *experiment.StreamingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunStreaming(experiment.StreamingConfig{
+			World: benchWorld(9),
+			Peers: 300,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range res.Points {
+		b.Logf("%-10s link-hops=%.2f delivery=%.1fms setup-p95=%.0fms",
+			p.Label, p.MeanLinkHops, p.MeanDeliveryMS, p.P95SetupMS)
+	}
+	b.ReportMetric(res.Points[0].MeanLinkHops, "proximity-link-hops")
+	b.ReportMetric(res.Points[1].MeanLinkHops, "random-link-hops")
+}
+
+// BenchmarkHandover is E11: the measurement cost and quality recovery of
+// peer mobility.
+func BenchmarkHandover(b *testing.B) {
+	var res *experiment.HandoverResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunHandover(benchWorld(11), 600, 0.2, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ProbesPerHandover, "probes/handover")
+	b.ReportMetric(res.QualityAfter, "D/Dclosest-after")
+}
+
+// --- E10: data-structure complexity checks ---
+
+// buildTreePaths pre-generates realistic peer→landmark paths: paths of a
+// destination-rooted routing tree, exactly what the management server
+// receives in deployment. A synthetic bounded-branching hierarchy stands in
+// for the routing tree (each router's next hop toward landmark 0 is
+// deterministic), with peers hanging off random edge routers.
+func buildTreePaths(n int, seed int64) [][]topology.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		fanout      = 8       // children per router in the routing tree
+		edgeRouters = 200_000 // router ID space at the edge
+	)
+	paths := make([][]topology.NodeID, n)
+	for i := range paths {
+		// Pick a random edge router and climb toward the root: the parent
+		// of router r is (r-1)/fanout, giving depth ~log_8(id) ≈ 6.
+		r := topology.NodeID(1 + rng.Intn(edgeRouters))
+		var path []topology.NodeID
+		for r > 0 {
+			path = append(path, r)
+			r = (r - 1) / fanout
+		}
+		paths[i] = append(path, 0)
+	}
+	return paths
+}
+
+// BenchmarkPathTreeInsert measures insertion cost versus population (the
+// paper claims O(log n)-like growth; being trie-based it is O(path length),
+// independent of n).
+func BenchmarkPathTreeInsert(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("prepop=%d", n), func(b *testing.B) {
+			pre := buildTreePaths(n, 1)
+			extra := buildTreePaths(10_000, 2)
+			tree := pathtree.New(0, pathtree.Options{})
+			for i, p := range pre {
+				if err := tree.Insert(pathtree.PeerID(i+1), p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := extra[i%len(extra)]
+				id := pathtree.PeerID(n + 1 + i)
+				if err := tree.Insert(id, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPathTreeQuery measures closest-peer query cost versus population
+// (the paper claims O(1); ours is O(k·path length), independent of n).
+func BenchmarkPathTreeQuery(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("peers=%d", n), func(b *testing.B) {
+			paths := buildTreePaths(n, 3)
+			tree := pathtree.New(0, pathtree.Options{})
+			for i, p := range paths {
+				if err := tree.Insert(pathtree.PeerID(i+1), p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := pathtree.PeerID(i%n + 1)
+				if _, err := tree.Closest(id, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPathTreeDTree measures the pairwise distance primitive.
+func BenchmarkPathTreeDTree(b *testing.B) {
+	paths := buildTreePaths(10_000, 4)
+	tree := pathtree.New(0, pathtree.Options{})
+	for i, p := range paths {
+		if err := tree.Insert(pathtree.PeerID(i+1), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pathtree.PeerID(i%10_000 + 1)
+		q := pathtree.PeerID((i*7)%10_000 + 1)
+		if _, err := tree.DTree(p, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- supporting micro-benchmarks ---
+
+// BenchmarkTopologyGenerate measures paper-scale map generation.
+func BenchmarkTopologyGenerate(b *testing.B) {
+	cfg := topology.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := topology.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceroute measures one simulated trace on the paper-scale map
+// with a warm routing-tree cache (the steady-state join cost).
+func BenchmarkTraceroute(b *testing.B) {
+	g, err := topology.Generate(topology.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := traceroute.New(g, nil)
+	leaves := topology.LeafRouters(g)
+	if _, err := tr.Trace(leaves[0], 0, traceroute.Config{}, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := leaves[i%len(leaves)]
+		if _, err := tr.Trace(src, 0, traceroute.Config{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtoJoinRoundTrip measures wire encode+decode of a typical join.
+func BenchmarkProtoJoinRoundTrip(b *testing.B) {
+	req := &proto.JoinRequest{
+		Peer: 42,
+		Addr: "203.0.113.9:7000",
+		Path: []int32{901, 556, 23, 8, 1, 0},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := proto.EncodeJoinRequest(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := proto.DecodeJoinRequest(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerJoin measures the end-to-end management-server join (query
+// + insert) at steady state.
+func BenchmarkServerJoin(b *testing.B) {
+	w, err := experiment.BuildWorld(benchWorld(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.JoinN(1500); err != nil {
+		b.Fatal(err)
+	}
+	pool := w.LeafPool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := pathtree.PeerID(1_000_000 + i)
+		att := pool[i%len(pool)]
+		if _, err := w.JoinPeer(id, att); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command proxdisc-peer joins a proxdisc management server as one peer.
+//
+// The router path to the landmark is supplied with -path (comma-separated
+// router IDs, peer-side first, ending at a landmark ID); in a real
+// deployment this would come from the system traceroute tool. The command
+// probes every advertised landmark over UDP, reports the path, prints the
+// closest-peer answer, and optionally keeps refreshing until interrupted.
+//
+// Usage:
+//
+//	proxdisc-peer -server 127.0.0.1:7470 -id 42 -path 101,55,12,0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"proxdisc/internal/client"
+)
+
+func main() {
+	var (
+		serverAddr = flag.String("server", "127.0.0.1:7470", "management server TCP address")
+		id         = flag.Int64("id", 0, "peer identifier (required, > 0)")
+		pathCSV    = flag.String("path", "", "router path to the landmark: comma-separated IDs, peer-side first (required)")
+		overlay    = flag.String("overlay-addr", "", "advertised overlay address for other peers")
+		stay       = flag.Bool("stay", false, "keep the registration alive with heartbeats until interrupted")
+		heartbeat  = flag.Duration("heartbeat", 10*time.Second, "refresh period with -stay")
+		timeout    = flag.Duration("timeout", 5*time.Second, "request timeout")
+	)
+	flag.Parse()
+	if *id <= 0 {
+		log.Fatal("proxdisc-peer: -id is required and must be positive")
+	}
+	path, err := parsePath(*pathCSV)
+	if err != nil {
+		log.Fatalf("proxdisc-peer: %v", err)
+	}
+
+	c, err := client.Dial(*serverAddr, *timeout)
+	if err != nil {
+		log.Fatalf("proxdisc-peer: %v", err)
+	}
+	defer c.Close()
+
+	// First round: measure landmarks (informational when -path is given
+	// explicitly; in a traceroute-equipped deployment the Agent would pick
+	// the closest landmark automatically).
+	if lms, err := c.Landmarks(); err == nil && len(lms.Routers) > 0 {
+		measured := client.ProbeLandmarks(lms, 3, *timeout)
+		for _, lm := range measured {
+			log.Printf("landmark %d at %s: rtt %v", lm.Router, lm.Addr, lm.RTT)
+		}
+	}
+
+	// Second round: report the path, receive the closest peers.
+	cands, err := c.Join(*id, *overlay, path)
+	if err != nil {
+		log.Fatalf("proxdisc-peer: join: %v", err)
+	}
+	if len(cands) == 0 {
+		fmt.Println("joined; no peers nearby yet")
+	} else {
+		fmt.Println("closest peers:")
+		for _, cand := range cands {
+			fmt.Printf("  peer %d  dtree=%d  addr=%s\n", cand.Peer, cand.DTree, cand.Addr)
+		}
+	}
+
+	if !*stay {
+		return
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := c.Refresh(*id); err != nil {
+				log.Printf("heartbeat: %v", err)
+			}
+		case <-stop:
+			if err := c.Leave(*id); err != nil {
+				log.Printf("leave: %v", err)
+			}
+			return
+		}
+	}
+}
+
+func parsePath(s string) ([]int32, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-path is required")
+	}
+	var out []int32
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad router %q: %w", part, err)
+		}
+		out = append(out, int32(id))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty path")
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+// Command proxdisc-server runs a proxdisc management server over TCP,
+// optionally hosting landmark UDP probe responders in the same process (for
+// single-machine and testbed deployments).
+//
+// Usage:
+//
+//	proxdisc-server -addr 127.0.0.1:7470 -landmarks 10,20,30 -host-landmarks
+//
+// Each landmark is a router identifier; peers report traceroute paths that
+// terminate at one of them. With -host-landmarks the process also answers
+// UDP probes for each landmark and advertises those addresses to clients.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"proxdisc/internal/netserver"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7470", "TCP listen address")
+		landmarks  = flag.String("landmarks", "0", "comma-separated landmark router IDs")
+		lmAddrsCSV = flag.String("landmark-addrs", "", "comma-separated UDP probe addresses, one per landmark (advertised to clients)")
+		hostLMs    = flag.Bool("host-landmarks", false, "run UDP probe responders for all landmarks in this process")
+		neighbors  = flag.Int("neighbors", server.DefaultNeighborCount, "closest peers returned per query")
+		ttl        = flag.Duration("peer-ttl", 0, "expire peers silent for this long (0 = never)")
+		sweep      = flag.Duration("sweep-interval", 30*time.Second, "expiry sweep period when -peer-ttl is set")
+	)
+	flag.Parse()
+
+	lmIDs, err := parseLandmarks(*landmarks)
+	if err != nil {
+		log.Fatalf("proxdisc-server: %v", err)
+	}
+	logic, err := server.New(server.Config{
+		Landmarks:     lmIDs,
+		NeighborCount: *neighbors,
+		PeerTTL:       *ttl,
+	})
+	if err != nil {
+		log.Fatalf("proxdisc-server: %v", err)
+	}
+
+	lmAddrs := make(map[topology.NodeID]string)
+	if *hostLMs {
+		for _, lm := range lmIDs {
+			resp, err := netserver.ListenLandmark("127.0.0.1:0")
+			if err != nil {
+				log.Fatalf("proxdisc-server: landmark responder: %v", err)
+			}
+			defer resp.Close()
+			lmAddrs[lm] = resp.Addr()
+			log.Printf("landmark %d probe responder on %s", lm, resp.Addr())
+		}
+	} else if *lmAddrsCSV != "" {
+		parts := strings.Split(*lmAddrsCSV, ",")
+		if len(parts) != len(lmIDs) {
+			log.Fatalf("proxdisc-server: %d landmark addresses for %d landmarks", len(parts), len(lmIDs))
+		}
+		for i, lm := range lmIDs {
+			lmAddrs[lm] = strings.TrimSpace(parts[i])
+		}
+	}
+
+	ns, err := netserver.Listen(netserver.Config{
+		Addr:          *addr,
+		Server:        logic,
+		LandmarkAddrs: lmAddrs,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("proxdisc-server: %v", err)
+	}
+	log.Printf("management server listening on %s (landmarks %v, k=%d)",
+		ns.Addr(), lmIDs, *neighbors)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *ttl > 0 {
+		ticker := time.NewTicker(*sweep)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if expired := logic.Expire(); len(expired) > 0 {
+					log.Printf("expired %d silent peers", len(expired))
+				}
+			}
+		}()
+	}
+	<-stop
+	log.Print("shutting down")
+	if err := ns.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	st := logic.Stats()
+	fmt.Printf("final stats: peers=%d joins=%d leaves=%d expiries=%d queries=%d\n",
+		st.Peers, st.Joins, st.Leaves, st.Expiries, st.Queries)
+}
+
+func parseLandmarks(s string) ([]topology.NodeID, error) {
+	var out []topology.NodeID
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad landmark %q: %w", part, err)
+		}
+		out = append(out, topology.NodeID(id))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no landmarks in %q", s)
+	}
+	return out, nil
+}

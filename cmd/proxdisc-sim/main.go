@@ -1,0 +1,180 @@
+// Command proxdisc-sim reproduces the paper's evaluation and the ablation
+// studies on simulated Internet-like topologies.
+//
+// Usage:
+//
+//	proxdisc-sim -experiment fig1 [-seed 1] [-csv]
+//	proxdisc-sim -experiment all
+//
+// Experiments: fig1, landmarks, placement, quickness, topology, churn,
+// superpeers, truncation, streaming, handover, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"proxdisc/internal/experiment"
+	"proxdisc/internal/metrics"
+	"proxdisc/internal/topology"
+)
+
+func main() {
+	var (
+		expName = flag.String("experiment", "fig1", "experiment to run: fig1|landmarks|placement|quickness|topology|churn|superpeers|truncation|streaming|handover|all")
+		seed    = flag.Int64("seed", 1, "master random seed")
+		peers   = flag.Int("peers", 1000, "peer population for ablation experiments")
+		sample  = flag.Int("sample", 200, "evaluated peers per data point (0 = all, slow)")
+		counts  = flag.String("peer-counts", "600,800,1000,1200,1400", "comma-separated x-axis for fig1")
+		repeats = flag.Int("repeats", 1, "replicate fig1 over this many topology seeds (mean ± sd)")
+		lms     = flag.Int("landmarks", 8, "number of landmarks")
+		core    = flag.Int("core-routers", 2000, "core routers in the generated map")
+		leaves  = flag.Int("leaf-routers", 2000, "degree-1 edge routers in the generated map")
+		model   = flag.String("model", "barabasi-albert", "topology model: barabasi-albert|glp|waxman|transit-stub")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	m, err := topology.ParseModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	base := experiment.WorldConfig{
+		Topology: topology.Config{
+			Model:        m,
+			CoreRouters:  *core,
+			LeafRouters:  *leaves,
+			EdgesPerNode: 2,
+			Seed:         *seed,
+		},
+		NumLandmarks: *lms,
+		Seed:         *seed,
+	}
+	run := func(name string) {
+		start := time.Now()
+		table, err := runExperiment(name, base, *seed, *peers, *sample, *counts, *repeats)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if *csvOut {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Println(table.Format())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *expName == "all" {
+		for _, name := range []string{"fig1", "landmarks", "placement", "quickness",
+			"topology", "churn", "superpeers", "truncation", "streaming", "handover"} {
+			run(name)
+		}
+		return
+	}
+	run(*expName)
+}
+
+func runExperiment(name string, base experiment.WorldConfig, seed int64, peers, sample int, countsCSV string, repeats int) (*metrics.Table, error) {
+	switch name {
+	case "fig1":
+		peerCounts, err := parseCounts(countsCSV)
+		if err != nil {
+			return nil, err
+		}
+		cfg := experiment.Fig1Config{PeerCounts: peerCounts, SamplePeers: sample, Repeats: repeats, World: base}
+		res, err := experiment.RunFig1(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	case "landmarks":
+		res, err := experiment.RunLandmarkCountSweep(base, nil, peers, sample)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	case "placement":
+		res, err := experiment.RunPlacementSweep(base, peers, sample)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	case "quickness":
+		res, err := experiment.RunQuickness(experiment.QuicknessConfig{
+			World: base, SamplePeers: sample,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	case "topology":
+		res, err := experiment.RunTopologySweep(base, peers, sample)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	case "churn":
+		res, err := experiment.RunChurn(experiment.ChurnConfig{
+			World: base, Arrivals: peers, SamplePeers: sample,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	case "superpeers":
+		res, err := experiment.RunSuperPeerSweep(base, nil, peers, sample)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	case "truncation":
+		res, err := experiment.RunTruncationSweep(base, peers, sample)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	case "handover":
+		res, err := experiment.RunHandover(base, peers, 0.2, sample)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	case "streaming":
+		res, err := experiment.RunStreaming(experiment.StreamingConfig{
+			World: base, Peers: min(peers, 400),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer count %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no peer counts in %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "proxdisc-sim:", err)
+	os.Exit(1)
+}

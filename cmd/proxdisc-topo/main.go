@@ -1,0 +1,146 @@
+// Command proxdisc-topo generates and inspects the synthetic router-level
+// Internet maps the simulator runs on, and verifies the statistical
+// properties the paper's argument needs (heavy tail, central core, degree-1
+// fringe).
+//
+// Usage:
+//
+//	proxdisc-topo -model barabasi-albert -core 2000 -leaves 2000 -seed 1
+//	proxdisc-topo -model waxman -histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+
+	"proxdisc/internal/metrics"
+	"proxdisc/internal/topology"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "barabasi-albert", "topology model: barabasi-albert|glp|waxman|transit-stub")
+		core      = flag.Int("core", 2000, "core routers")
+		leaves    = flag.Int("leaves", 2000, "degree-1 edge routers")
+		edges     = flag.Int("edges-per-node", 2, "preferential-attachment edges per node")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		histogram = flag.Bool("histogram", false, "print the full degree histogram")
+		bcSamples = flag.Int("centrality-samples", 50, "sources for betweenness estimation (0 = skip)")
+		outFile   = flag.String("o", "", "save the generated map to this file")
+		inFile    = flag.String("in", "", "load a map from this file instead of generating")
+	)
+	flag.Parse()
+
+	var g *topology.Graph
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			log.Fatalf("proxdisc-topo: %v", err)
+		}
+		g, err = topology.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("proxdisc-topo: load %s: %v", *inFile, err)
+		}
+	} else {
+		m, err := topology.ParseModel(*model)
+		if err != nil {
+			log.Fatalf("proxdisc-topo: %v", err)
+		}
+		g, err = topology.Generate(topology.Config{
+			Model:        m,
+			CoreRouters:  *core,
+			LeafRouters:  *leaves,
+			EdgesPerNode: *edges,
+			Seed:         *seed,
+		})
+		if err != nil {
+			log.Fatalf("proxdisc-topo: %v", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		log.Fatalf("proxdisc-topo: graph invalid: %v", err)
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			log.Fatalf("proxdisc-topo: %v", err)
+		}
+		if err := topology.WriteGraph(f, g); err != nil {
+			log.Fatalf("proxdisc-topo: save %s: %v", *outFile, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("proxdisc-topo: close %s: %v", *outFile, err)
+		}
+		fmt.Printf("saved map to %s\n", *outFile)
+	}
+
+	source := fmt.Sprintf("%s (seed %d)", *model, *seed)
+	if *inFile != "" {
+		source = "loaded from " + *inFile
+	}
+	t := &metrics.Table{Title: "topology " + source,
+		Columns: []string{"property", "value"}}
+	t.AddRow("routers", g.NumNodes())
+	t.AddRow("links", g.NumEdges())
+	t.AddRow("connected", g.IsConnected())
+	t.AddRow("avg degree", topology.AverageDegree(g))
+	t.AddRow("max degree", topology.MaxDegree(g))
+	t.AddRow("degree-1 routers", len(topology.LeafRouters(g)))
+	t.AddRow("medium-band routers", len(topology.NodesInBand(g, topology.BandMedium)))
+	t.AddRow("core-band routers", len(topology.NodesInBand(g, topology.BandCore)))
+	if alpha, n := topology.PowerLawFit(g, 3); n > 0 {
+		t.AddRow("power-law alpha (d>=3)", alpha)
+		t.AddRow("power-law samples", n)
+	}
+	coreness := topology.KCore(g)
+	maxCore := 0
+	for _, c := range coreness {
+		if c > maxCore {
+			maxCore = c
+		}
+	}
+	t.AddRow("max k-core", maxCore)
+	if *bcSamples > 0 {
+		rng := rand.New(rand.NewSource(*seed + 99))
+		bc := topology.BetweennessSample(g, *bcSamples, rng)
+		coreSum, leafSum := 0.0, 0.0
+		coreN, leafN := 0, 0
+		coreSet := map[topology.NodeID]bool{}
+		for _, u := range topology.NodesInBand(g, topology.BandCore) {
+			coreSet[u] = true
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			switch {
+			case coreSet[topology.NodeID(u)]:
+				coreSum += bc[u]
+				coreN++
+			case g.Degree(topology.NodeID(u)) == 1:
+				leafSum += bc[u]
+				leafN++
+			}
+		}
+		if coreN > 0 && leafN > 0 && leafSum > 0 {
+			t.AddRow("centrality core/leaf ratio", (coreSum/float64(coreN))/(leafSum/float64(leafN)))
+		}
+	}
+	fmt.Println(t.Format())
+
+	if *histogram {
+		h := topology.DegreeHistogram(g)
+		degs := make([]int, 0, len(h))
+		for d := range h {
+			degs = append(degs, d)
+		}
+		sort.Ints(degs)
+		ht := &metrics.Table{Title: "degree histogram", Columns: []string{"degree", "routers"}}
+		for _, d := range degs {
+			ht.AddRow(d, h[d])
+		}
+		fmt.Println(ht.Format())
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: build a simulated 1000-peer proxdisc deployment, join a
+// newcomer, and inspect the closest peers it is told about.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proxdisc"
+)
+
+func main() {
+	// A heavy-tailed router-level Internet map: 1000 backbone routers plus
+	// 1200 degree-1 edge routers that hosts attach to, 8 landmarks placed
+	// on medium-degree routers, 5 neighbours per answer.
+	sim, err := proxdisc.NewSimulation(proxdisc.SimulationConfig{
+		Topology: proxdisc.TopologyConfig{
+			CoreRouters:  1000,
+			LeafRouters:  1200,
+			EdgesPerNode: 2,
+			Seed:         7,
+		},
+		NumLandmarks: 8,
+		Seed:         7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Join 1000 peers through the full two-round protocol: each probes the
+	// landmarks, traceroutes to the closest one, and reports its path.
+	if err := sim.JoinN(1000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment ready: %d peers across %d landmarks\n",
+		sim.Server.NumPeers(), len(sim.Landmarks))
+
+	// A newcomer arrives at a fresh edge router.
+	newcomerAtt := sim.LeafPool[0]
+	answer, err := sim.JoinPeer(100001, newcomerAtt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnewcomer attached at router %d; server's answer:\n", newcomerAtt)
+
+	// Verify the answer against ground truth: hop distance from the
+	// newcomer's router to each suggested peer.
+	dist, err := proxdisc.HopDistances(sim, newcomerAtt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range answer {
+		info, err := sim.Server.PeerInfo(c.Peer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		att := sim.Attachments[c.Peer]
+		fmt.Printf("  peer %-6d dtree=%-3d true-hops=%-3d (landmark %d)\n",
+			c.Peer, c.DTree, dist[att], info.Landmark)
+	}
+
+	// How good are the answers across the whole deployment? Compare the
+	// server's neighbour sets against the brute-force optimum and random
+	// selection (the paper's D / Dclosest / Drandom metrics).
+	q, err := sim.EvaluateQuality(200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquality over %d sampled peers:\n", q.Peers)
+	fmt.Printf("  D/Dclosest       = %.4f  (1.0 would be optimal)\n", q.DOverDclosest())
+	fmt.Printf("  Drandom/Dclosest = %.4f  (what random neighbours cost)\n", q.DrandomOverDclosest())
+}

@@ -1,0 +1,269 @@
+// Package client implements the proxdisc peer side: the TCP client for the
+// management server, the UDP landmark prober, and the two-round join agent.
+//
+// A real deployment would obtain the router path with the system traceroute
+// tool; the PathProvider interface abstracts that, so tests and offline
+// deployments plug in a simulated tracer while production plugs in the real
+// tool.
+package client
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"proxdisc/internal/proto"
+)
+
+// PathProvider supplies the router path from this host to a landmark router
+// (peer-side first, ending at the landmark) — the traceroute-like tool of
+// the paper's first round.
+type PathProvider interface {
+	PathTo(landmark int32) ([]int32, error)
+}
+
+// PathProviderFunc adapts a function to PathProvider.
+type PathProviderFunc func(landmark int32) ([]int32, error)
+
+// PathTo implements PathProvider.
+func (f PathProviderFunc) PathTo(landmark int32) ([]int32, error) { return f(landmark) }
+
+// Client is a connection to the management server. It is safe for
+// concurrent use; requests are serialized on the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	// Timeout bounds each request/response exchange.
+	timeout time.Duration
+}
+
+// Dial connects to the management server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, timeout: timeout}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request frame and reads one response frame, decoding
+// wire errors into *proto.Error values.
+func (c *Client) roundTrip(reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("client: set deadline: %w", err)
+	}
+	if err := proto.WriteFrame(c.conn, reqType, payload); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	typ, resp, err := proto.ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("client: receive: %w", err)
+	}
+	if typ == proto.MsgError {
+		werr, derr := proto.DecodeError(resp)
+		if derr != nil {
+			return nil, fmt.Errorf("client: undecodable error response: %w", derr)
+		}
+		return nil, werr
+	}
+	if typ != wantType {
+		return nil, fmt.Errorf("client: unexpected response type %d (want %d)", typ, wantType)
+	}
+	return resp, nil
+}
+
+// Landmarks fetches the landmark router IDs and probe addresses.
+func (c *Client) Landmarks() (*proto.LandmarksResponse, error) {
+	resp, err := c.roundTrip(proto.MsgLandmarksRequest, nil, proto.MsgLandmarksResponse)
+	if err != nil {
+		return nil, err
+	}
+	return proto.DecodeLandmarksResponse(resp)
+}
+
+// Join registers this peer with its path and overlay address, returning the
+// closest-peer list.
+func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Candidate, error) {
+	payload, err := proto.EncodeJoinRequest(&proto.JoinRequest{Peer: peer, Addr: overlayAddr, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(proto.MsgJoinRequest, payload, proto.MsgJoinResponse)
+	if err != nil {
+		return nil, err
+	}
+	jr, err := proto.DecodeJoinResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	return jr.Neighbors, nil
+}
+
+// Lookup re-queries the closest peers of a registered peer.
+func (c *Client) Lookup(peer int64) ([]proto.Candidate, error) {
+	resp, err := c.roundTrip(proto.MsgLookupRequest,
+		proto.EncodeLookupRequest(&proto.LookupRequest{Peer: peer}), proto.MsgLookupResponse)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := proto.DecodeLookupResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	return lr.Neighbors, nil
+}
+
+// Leave deregisters a peer.
+func (c *Client) Leave(peer int64) error {
+	_, err := c.roundTrip(proto.MsgLeaveRequest,
+		proto.EncodeLeaveRequest(&proto.LeaveRequest{Peer: peer}), proto.MsgAck)
+	return err
+}
+
+// Refresh heartbeats a peer.
+func (c *Client) Refresh(peer int64) error {
+	_, err := c.roundTrip(proto.MsgRefreshRequest,
+		proto.EncodeRefreshRequest(&proto.RefreshRequest{Peer: peer}), proto.MsgAck)
+	return err
+}
+
+// ProbeRTT measures the round-trip time to a landmark probe responder with
+// one UDP echo. It validates the echoed nonce.
+func ProbeRTT(addr string, timeout time.Duration) (time.Duration, error) {
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("client: probe dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	var nb [8]byte
+	if _, err := rand.Read(nb[:]); err != nil {
+		return 0, fmt.Errorf("client: nonce: %w", err)
+	}
+	nonce := binary.BigEndian.Uint64(nb[:])
+	start := time.Now()
+	if _, err := conn.Write(proto.EncodeProbe(nonce)); err != nil {
+		return 0, fmt.Errorf("client: probe send: %w", err)
+	}
+	if err := conn.SetReadDeadline(start.Add(timeout)); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 64)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return 0, fmt.Errorf("client: probe receive: %w", err)
+		}
+		got, err := proto.DecodeProbe(buf[:n])
+		if err != nil {
+			continue // stray datagram
+		}
+		if got == nonce {
+			return time.Since(start), nil
+		}
+	}
+}
+
+// LandmarkRTT is a measured landmark.
+type LandmarkRTT struct {
+	Router int32
+	Addr   string
+	RTT    time.Duration
+}
+
+// ProbeLandmarks measures every landmark `tries` times and returns results
+// sorted by minimum RTT (unreachable landmarks are dropped).
+func ProbeLandmarks(lms *proto.LandmarksResponse, tries int, timeout time.Duration) []LandmarkRTT {
+	if tries <= 0 {
+		tries = 3
+	}
+	var out []LandmarkRTT
+	for i := range lms.Routers {
+		best := time.Duration(-1)
+		for t := 0; t < tries; t++ {
+			rtt, err := ProbeRTT(lms.Addrs[i], timeout)
+			if err != nil {
+				continue
+			}
+			if best < 0 || rtt < best {
+				best = rtt
+			}
+		}
+		if best >= 0 {
+			out = append(out, LandmarkRTT{Router: lms.Routers[i], Addr: lms.Addrs[i], RTT: best})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RTT != out[j].RTT {
+			return out[i].RTT < out[j].RTT
+		}
+		return out[i].Router < out[j].Router
+	})
+	return out
+}
+
+// Agent bundles the full newcomer protocol: probe landmarks, trace the path
+// to the closest one, and join through the management server.
+type Agent struct {
+	// Client is the management-server connection.
+	Client *Client
+	// Provider supplies router paths (the traceroute tool).
+	Provider PathProvider
+	// OverlayAddr is this peer's advertised address.
+	OverlayAddr string
+	// ProbeTries and ProbeTimeout tune the landmark measurement.
+	ProbeTries   int
+	ProbeTimeout time.Duration
+}
+
+// ErrNoLandmark is returned when no landmark answered probes.
+var ErrNoLandmark = errors.New("client: no landmark reachable")
+
+// Join runs the two-round protocol for the given peer ID and returns the
+// closest-peer answer. The landmark fallback order is by measured RTT: if
+// the closest landmark cannot be traced, the next one is tried.
+func (a *Agent) Join(peer int64) ([]proto.Candidate, error) {
+	lms, err := a.Client.Landmarks()
+	if err != nil {
+		return nil, err
+	}
+	measured := ProbeLandmarks(lms, a.ProbeTries, a.ProbeTimeout)
+	if len(measured) == 0 {
+		return nil, ErrNoLandmark
+	}
+	var lastErr error
+	for _, lm := range measured {
+		path, err := a.Provider.PathTo(lm.Router)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cands, err := a.Client.Join(peer, a.OverlayAddr, path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return cands, nil
+	}
+	return nil, fmt.Errorf("client: join failed against every landmark: %w", lastErr)
+}

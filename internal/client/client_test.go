@@ -1,0 +1,311 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"proxdisc/internal/proto"
+)
+
+// fakeServer accepts one connection and answers each request with a
+// scripted frame.
+type fakeServer struct {
+	ln      net.Listener
+	answers []scripted
+}
+
+type scripted struct {
+	typ     proto.MsgType
+	payload []byte
+}
+
+func newFakeServer(t *testing.T, answers ...scripted) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln, answers: answers}
+	go fs.serve()
+	t.Cleanup(func() { ln.Close() })
+	return fs
+}
+
+func (fs *fakeServer) serve() {
+	conn, err := fs.ln.Accept()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	for _, a := range fs.answers {
+		if _, _, err := proto.ReadFrame(conn); err != nil {
+			return
+		}
+		if err := proto.WriteFrame(conn, a.typ, a.payload); err != nil {
+			return
+		}
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	// A port that is almost certainly closed.
+	if _, err := Dial("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestRoundTripUnexpectedType(t *testing.T) {
+	fs := newFakeServer(t, scripted{typ: proto.MsgAck})
+	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Lookup expects MsgLookupResponse but gets MsgAck.
+	if _, err := c.Lookup(1); err == nil {
+		t.Fatal("accepted wrong response type")
+	}
+}
+
+func TestRoundTripWireError(t *testing.T) {
+	payload := proto.EncodeError(&proto.Error{Code: proto.CodeUnknownPeer, Message: "nope"})
+	fs := newFakeServer(t, scripted{typ: proto.MsgError, payload: payload})
+	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Lookup(1)
+	var werr *proto.Error
+	if !errors.As(err, &werr) || werr.Code != proto.CodeUnknownPeer {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestRoundTripTimeout(t *testing.T) {
+	// Server that accepts but never answers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(2 * time.Second)
+	}()
+	c, err := Dial(ln.Addr().String(), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Lookup(1); err == nil {
+		t.Fatal("no timeout")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout did not trigger promptly")
+	}
+}
+
+func TestProbeRTTUnreachable(t *testing.T) {
+	if _, err := ProbeRTT("127.0.0.1:9", 150*time.Millisecond); err == nil {
+		t.Fatal("probe to dead port succeeded")
+	}
+}
+
+func TestProbeLandmarksSkipsDead(t *testing.T) {
+	// One live responder, one dead address.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			n, from, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			conn.WriteToUDP(buf[:n], from)
+		}
+	}()
+	lms := &proto.LandmarksResponse{
+		Routers: []int32{1, 2},
+		Addrs:   []string{conn.LocalAddr().String(), "127.0.0.1:9"},
+	}
+	got := ProbeLandmarks(lms, 1, 150*time.Millisecond)
+	if len(got) != 1 || got[0].Router != 1 {
+		t.Fatalf("measured=%v", got)
+	}
+}
+
+func TestClientHappyPaths(t *testing.T) {
+	joinResp, err := proto.EncodeJoinResponse(&proto.JoinResponse{
+		Neighbors: []proto.Candidate{{Peer: 7, DTree: 2, Addr: "10.0.0.7:1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookupResp, err := proto.EncodeLookupResponse(&proto.LookupResponse{
+		Neighbors: []proto.Candidate{{Peer: 9, DTree: 4, Addr: ""}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmResp, err := proto.EncodeLandmarksResponse(&proto.LandmarksResponse{
+		Routers: []int32{3}, Addrs: []string{"127.0.0.1:9999"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := newFakeServer(t,
+		scripted{typ: proto.MsgLandmarksResponse, payload: lmResp},
+		scripted{typ: proto.MsgJoinResponse, payload: joinResp},
+		scripted{typ: proto.MsgLookupResponse, payload: lookupResp},
+		scripted{typ: proto.MsgAck},
+		scripted{typ: proto.MsgAck},
+	)
+	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	lms, err := c.Landmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lms.Routers) != 1 || lms.Routers[0] != 3 {
+		t.Fatalf("landmarks=%+v", lms)
+	}
+	got, err := c.Join(1, "127.0.0.1:5", []int32{10, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Peer != 7 || got[0].Addr != "10.0.0.7:1" {
+		t.Fatalf("join=%+v", got)
+	}
+	look, err := c.Lookup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(look) != 1 || look[0].Peer != 9 {
+		t.Fatalf("lookup=%+v", look)
+	}
+	if err := c.Refresh(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientJoinPathLimit(t *testing.T) {
+	fs := newFakeServer(t)
+	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Join(1, "a", make([]int32, proto.MaxPathLen+1)); err == nil {
+		t.Fatal("oversized path accepted client-side")
+	}
+}
+
+// agentFakeServer serves the full agent flow: landmarks request, then a
+// join, with a live UDP responder for the probe phase.
+func TestAgentFallbackToSecondLandmark(t *testing.T) {
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			n, from, err := udp.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			udp.WriteToUDP(buf[:n], from)
+		}
+	}()
+	lmResp, err := proto.EncodeLandmarksResponse(&proto.LandmarksResponse{
+		Routers: []int32{5, 6},
+		Addrs:   []string{udp.LocalAddr().String(), udp.LocalAddr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinResp, err := proto.EncodeJoinResponse(&proto.JoinResponse{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := newFakeServer(t,
+		scripted{typ: proto.MsgLandmarksResponse, payload: lmResp},
+		scripted{typ: proto.MsgJoinResponse, payload: joinResp},
+	)
+	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tracedLandmarks := []int32{}
+	agent := &Agent{
+		Client: c,
+		Provider: PathProviderFunc(func(lm int32) ([]int32, error) {
+			tracedLandmarks = append(tracedLandmarks, lm)
+			if len(tracedLandmarks) == 1 {
+				return nil, errors.New("first landmark untraceable")
+			}
+			return []int32{50, lm}, nil
+		}),
+		ProbeTries:   1,
+		ProbeTimeout: time.Second,
+	}
+	if _, err := agent.Join(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(tracedLandmarks) != 2 {
+		t.Fatalf("traced %v, want fallback to second landmark", tracedLandmarks)
+	}
+}
+
+func TestAgentNoLandmarks(t *testing.T) {
+	lmResp, err := proto.EncodeLandmarksResponse(&proto.LandmarksResponse{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := newFakeServer(t, scripted{typ: proto.MsgLandmarksResponse, payload: lmResp})
+	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	agent := &Agent{
+		Client:       c,
+		Provider:     PathProviderFunc(func(lm int32) ([]int32, error) { return []int32{lm}, nil }),
+		ProbeTries:   1,
+		ProbeTimeout: 100 * time.Millisecond,
+	}
+	if _, err := agent.Join(1); !errors.Is(err, ErrNoLandmark) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestPathProviderFunc(t *testing.T) {
+	p := PathProviderFunc(func(lm int32) ([]int32, error) {
+		return []int32{7, lm}, nil
+	})
+	path, err := p.PathTo(3)
+	if err != nil || len(path) != 2 || path[1] != 3 {
+		t.Fatalf("path=%v err=%v", path, err)
+	}
+}

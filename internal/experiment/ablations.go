@@ -1,0 +1,281 @@
+package experiment
+
+import (
+	"fmt"
+
+	"proxdisc/internal/metrics"
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/topology"
+	"proxdisc/internal/traceroute"
+)
+
+// SweepPoint is one row of an ablation: a labelled world variant and its
+// quality numbers.
+type SweepPoint struct {
+	Label               string
+	Peers               int
+	DOverDclosest       float64
+	DrandomOverDclosest float64
+	Quality             Quality
+}
+
+// SweepResult collects an ablation sweep.
+type SweepResult struct {
+	Name   string
+	Points []SweepPoint
+}
+
+// Table renders the sweep.
+func (r *SweepResult) Table() *metrics.Table {
+	t := &metrics.Table{
+		Title:   r.Name,
+		Columns: []string{"variant", "peers", "D/Dclosest", "Drandom/Dclosest", "evaluated"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Label, p.Peers, p.DOverDclosest, p.DrandomOverDclosest, p.Quality.Peers)
+	}
+	return t
+}
+
+// runVariant joins peers into a fresh world and evaluates it.
+func runVariant(label string, cfg WorldConfig, peers, samplePeers int) (SweepPoint, error) {
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("%s: %w", label, err)
+	}
+	if err := w.JoinN(peers); err != nil {
+		return SweepPoint{}, fmt.Errorf("%s: %w", label, err)
+	}
+	q, err := w.EvaluateQuality(samplePeers)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("%s: %w", label, err)
+	}
+	return SweepPoint{
+		Label:               label,
+		Peers:               peers,
+		DOverDclosest:       q.DOverDclosest(),
+		DrandomOverDclosest: q.DrandomOverDclosest(),
+		Quality:             q,
+	}, nil
+}
+
+// RunLandmarkCountSweep (E2) varies the number of landmarks — the paper's
+// "number of landmarks" future-work study.
+func RunLandmarkCountSweep(base WorldConfig, counts []int, peers, samplePeers int) (*SweepResult, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8, 16, 32}
+	}
+	res := &SweepResult{Name: "E2 — landmark count sweep"}
+	for _, c := range counts {
+		cfg := base
+		cfg.NumLandmarks = c
+		pt, err := runVariant(fmt.Sprintf("landmarks=%d", c), cfg, peers, samplePeers)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RunPlacementSweep (E3) varies landmark placement — the paper's "their
+// placement in the network" future-work study. It covers both degree-band
+// heuristics (the paper's approach) and the placement algorithms: greedy
+// k-center coverage and degree-weighted sampling.
+func RunPlacementSweep(base WorldConfig, peers, samplePeers int) (*SweepResult, error) {
+	res := &SweepResult{Name: "E3 — landmark placement sweep"}
+	for _, band := range []topology.DegreeBand{topology.BandLeaf, topology.BandMedium, topology.BandCore, topology.BandAny} {
+		cfg := base
+		cfg.LandmarkBand = band
+		pt, err := runVariant("band="+band.String(), cfg, peers, samplePeers)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	for _, policy := range []topology.PlacementPolicy{topology.PlaceKCenter, topology.PlaceDegreeWeighted} {
+		cfg := base
+		cfg.LandmarkPolicy = policy
+		pt, err := runVariant("policy="+policy.String(), cfg, peers, samplePeers)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// HandoverResult is the E11 outcome: the cost of peer mobility.
+type HandoverResult struct {
+	// Moved is the number of peers that switched attachment routers.
+	Moved int
+	// ProbesPerHandover is the mean measurement cost of one re-join.
+	ProbesPerHandover float64
+	// QualityBefore and QualityAfter are D/Dclosest before the moves and
+	// after all movers re-joined.
+	QualityBefore, QualityAfter float64
+	// StaleFractionDuring is the fraction of moved peers whose server
+	// record still pointed at the old attachment before re-join.
+	StaleFractionDuring float64
+}
+
+// Table renders the handover study.
+func (r *HandoverResult) Table() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "E11 — mobility / handover (paper future work)",
+		Columns: []string{"moved", "probes/handover", "D/Dclosest before", "stale during", "D/Dclosest after"},
+	}
+	t.AddRow(r.Moved, r.ProbesPerHandover, r.QualityBefore, r.StaleFractionDuring, r.QualityAfter)
+	return t
+}
+
+// RunHandover (E11) models mobility: a fraction of peers move to new
+// attachment routers (handover), which invalidates their stored paths; each
+// mover re-runs the two-round protocol. The study measures the re-join cost
+// and confirms answer quality recovers to the pre-move level.
+func RunHandover(base WorldConfig, peers int, moveFraction float64, samplePeers int) (*HandoverResult, error) {
+	if moveFraction <= 0 || moveFraction > 1 {
+		return nil, fmt.Errorf("handover: move fraction %g outside (0,1]", moveFraction)
+	}
+	w, err := BuildWorld(base)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.JoinN(peers); err != nil {
+		return nil, err
+	}
+	before, err := w.EvaluateQuality(samplePeers)
+	if err != nil {
+		return nil, err
+	}
+	ids := w.Server.Peers()
+	movers := ids[:int(moveFraction*float64(len(ids)))]
+	if len(movers) == 0 {
+		return nil, fmt.Errorf("handover: no movers with fraction %g of %d peers", moveFraction, len(ids))
+	}
+	if len(movers) > len(w.LeafPool) {
+		return nil, fmt.Errorf("handover: %d movers but only %d free leaf routers", len(movers), len(w.LeafPool))
+	}
+	res := &HandoverResult{Moved: len(movers), QualityBefore: before.DOverDclosest()}
+	// Phase 1: the peers move physically; their server records are stale.
+	oldAtt := make(map[pathtree.PeerID]topology.NodeID, len(movers))
+	stale := 0
+	for i, p := range movers {
+		oldAtt[p] = w.Attachments[p]
+		w.Attachments[p] = w.LeafPool[i] // now attached elsewhere
+		info, err := w.Server.PeerInfo(p)
+		if err != nil {
+			return nil, err
+		}
+		if info.Path[0] == oldAtt[p] {
+			stale++
+		}
+	}
+	res.StaleFractionDuring = float64(stale) / float64(len(movers))
+	// Phase 2: movers re-join from their new attachments (the handover
+	// protocol is simply a fresh two-round join).
+	probesBefore := w.ProbeCount
+	for _, p := range movers {
+		if _, err := w.JoinPeer(p, w.Attachments[p]); err != nil {
+			return nil, err
+		}
+	}
+	w.LeafPool = w.LeafPool[len(movers):]
+	res.ProbesPerHandover = float64(w.ProbeCount-probesBefore)/float64(len(movers)) + float64(len(w.Landmarks))
+	after, err := w.EvaluateQuality(samplePeers)
+	if err != nil {
+		return nil, err
+	}
+	res.QualityAfter = after.DOverDclosest()
+	return res, nil
+}
+
+// RunTopologySweep (E5) re-runs the pipeline on alternative topology models,
+// testing the heavy-tail sensitivity of the mechanism.
+func RunTopologySweep(base WorldConfig, peers, samplePeers int) (*SweepResult, error) {
+	res := &SweepResult{Name: "E5 — topology model sensitivity"}
+	models := []topology.Model{
+		topology.ModelBarabasiAlbert,
+		topology.ModelGLP,
+		topology.ModelWaxman,
+		topology.ModelTransitStub,
+	}
+	for _, m := range models {
+		cfg := base
+		cfg.Topology.Model = m
+		pt, err := runVariant("model="+m.String(), cfg, peers, samplePeers)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RunTruncationSweep (E8) evaluates the "decreased version" of traceroute:
+// keeping every k-th router or only a prefix of the path.
+func RunTruncationSweep(base WorldConfig, peers, samplePeers int) (*SweepResult, error) {
+	res := &SweepResult{Name: "E8 — decreased traceroute"}
+	variants := []struct {
+		label string
+		trace traceroute.Config
+	}{
+		{"full", traceroute.Config{}},
+		{"keep-every-2", traceroute.Config{KeepEvery: 2}},
+		{"keep-every-4", traceroute.Config{KeepEvery: 4}},
+		{"prefix-8", traceroute.Config{PrefixHops: 8}},
+		{"prefix-4", traceroute.Config{PrefixHops: 4}},
+		{"loss-10%", traceroute.Config{LossRate: 0.10, ProbesPerHop: 1}},
+		{"loss-30%", traceroute.Config{LossRate: 0.30, ProbesPerHop: 1}},
+	}
+	for _, v := range variants {
+		cfg := base
+		cfg.Trace = v.trace
+		pt, err := runVariant(v.label, cfg, peers, samplePeers)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RunSuperPeerSweep (E7) marks a fraction of peers as super-peers and
+// reports how many locality queries the server could delegate to them,
+// alongside unchanged answer quality.
+func RunSuperPeerSweep(base WorldConfig, fractions []float64, peers, samplePeers int) (*SweepResult, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0, 0.01, 0.05, 0.10}
+	}
+	res := &SweepResult{Name: "E7 — super-peer delegation"}
+	for _, f := range fractions {
+		w, err := BuildWorld(base)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.JoinN(peers); err != nil {
+			return nil, err
+		}
+		all := w.Server.Peers()
+		super := int(f * float64(len(all)))
+		for i := 0; i < super; i++ {
+			if err := w.Server.SetSuperPeer(all[i*len(all)/max(1, super)], true); err != nil {
+				return nil, err
+			}
+		}
+		q, err := w.EvaluateQuality(samplePeers)
+		if err != nil {
+			return nil, err
+		}
+		st := w.Server.Stats()
+		res.Points = append(res.Points, SweepPoint{
+			Label: fmt.Sprintf("super=%.0f%% delegated=%d/%d",
+				f*100, st.SuperPeerDelegations, q.Peers),
+			Peers:               peers,
+			DOverDclosest:       q.DOverDclosest(),
+			DrandomOverDclosest: q.DrandomOverDclosest(),
+			Quality:             q,
+		})
+	}
+	return res, nil
+}

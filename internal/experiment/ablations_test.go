@@ -1,0 +1,192 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"proxdisc/internal/topology"
+)
+
+func TestLandmarkCountSweep(t *testing.T) {
+	res, err := RunLandmarkCountSweep(smallWorld(11), []int{1, 4}, 80, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points=%d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.DOverDclosest < 1 {
+			t.Fatalf("%s: ratio %v < 1", p.Label, p.DOverDclosest)
+		}
+	}
+	if !strings.Contains(res.Table().Format(), "landmarks=4") {
+		t.Fatal("table missing variant label")
+	}
+}
+
+func TestPlacementSweep(t *testing.T) {
+	res, err := RunPlacementSweep(smallWorld(12), 80, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points=%d", len(res.Points))
+	}
+	labels := res.Table().Format()
+	for _, want := range []string{"leaf", "medium", "core", "any", "kcenter", "degree-weighted"} {
+		if !strings.Contains(labels, want) {
+			t.Fatalf("missing placement %q in:\n%s", want, labels)
+		}
+	}
+}
+
+func TestRunHandover(t *testing.T) {
+	res, err := RunHandover(smallWorld(18), 100, 0.2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved != 20 {
+		t.Fatalf("moved=%d", res.Moved)
+	}
+	if res.StaleFractionDuring != 1.0 {
+		t.Fatalf("stale during move=%v want 1.0 (every mover's record is stale)", res.StaleFractionDuring)
+	}
+	if res.ProbesPerHandover <= 0 {
+		t.Fatalf("probes/handover=%v", res.ProbesPerHandover)
+	}
+	// Quality after re-join must be in the same regime as before.
+	if res.QualityAfter > res.QualityBefore*1.3 {
+		t.Fatalf("quality degraded after handover: %v -> %v",
+			res.QualityBefore, res.QualityAfter)
+	}
+	if !strings.Contains(res.Table().Format(), "E11") {
+		t.Fatal("table missing title")
+	}
+	if _, err := RunHandover(smallWorld(18), 100, 0, 40); err == nil {
+		t.Fatal("accepted zero move fraction")
+	}
+}
+
+func TestTopologySweep(t *testing.T) {
+	base := smallWorld(13)
+	res, err := RunTopologySweep(base, 80, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points=%d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.DOverDclosest < 1 || p.DOverDclosest > 3 {
+			t.Fatalf("%s: implausible ratio %v", p.Label, p.DOverDclosest)
+		}
+	}
+}
+
+func TestTruncationSweep(t *testing.T) {
+	res, err := RunTruncationSweep(smallWorld(14), 80, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7 {
+		t.Fatalf("points=%d", len(res.Points))
+	}
+	// The full trace should be at least as good as severe truncation.
+	full := res.Points[0].DOverDclosest
+	prefix4 := res.Points[4].DOverDclosest
+	if prefix4 < full-0.05 {
+		t.Fatalf("prefix-4 (%v) implausibly beat full traces (%v)", prefix4, full)
+	}
+}
+
+func TestSuperPeerSweep(t *testing.T) {
+	res, err := RunSuperPeerSweep(smallWorld(15), []float64{0, 0.10}, 80, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points=%d", len(res.Points))
+	}
+	if !strings.Contains(res.Points[0].Label, "delegated=0/") {
+		t.Fatalf("zero-fraction run delegated: %s", res.Points[0].Label)
+	}
+	if !strings.Contains(res.Points[1].Label, "super=10%") {
+		t.Fatalf("label=%s", res.Points[1].Label)
+	}
+}
+
+func TestQuicknessSmall(t *testing.T) {
+	cfg := QuicknessConfig{
+		Peers:         120,
+		World:         smallWorld(16),
+		VivaldiRounds: []int{2, 10},
+		SamplePeers:   40,
+	}
+	res, err := RunQuickness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pathtree + 2 vivaldi checkpoints + gnp
+	if len(res.Points) != 4 {
+		t.Fatalf("points=%d: %+v", len(res.Points), res.Points)
+	}
+	pt := res.Points[0]
+	if !strings.Contains(pt.System, "pathtree") {
+		t.Fatalf("first point %v", pt)
+	}
+	// The paper's claim: the path tree must reach better quality than
+	// early-round Vivaldi while spending fewer probes than late-round
+	// Vivaldi.
+	viv10 := res.Points[2]
+	if pt.DOverDclosest > viv10.DOverDclosest {
+		t.Fatalf("pathtree (%v) worse than vivaldi@10 (%v)",
+			pt.DOverDclosest, viv10.DOverDclosest)
+	}
+	if pt.ProbesPerPeer > viv10.ProbesPerPeer {
+		t.Fatalf("pathtree cost (%v) above vivaldi@10 (%v)",
+			pt.ProbesPerPeer, viv10.ProbesPerPeer)
+	}
+	if !strings.Contains(res.Table().Format(), "gnp") {
+		t.Fatal("gnp row missing")
+	}
+}
+
+func TestChurnSmall(t *testing.T) {
+	cfg := ChurnConfig{
+		World:              smallWorld(17),
+		Arrivals:           200,
+		MeanInterarrivalMS: 50,
+		MeanLifetimeMS:     5_000,
+		SamplePeers:        40,
+	}
+	res, err := RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points=%d", len(res.Points))
+	}
+	noClean, clean := res.Points[0], res.Points[1]
+	if noClean.Label != "no-cleanup" || clean.Label != "expiry-sweep" {
+		t.Fatalf("labels: %q %q", noClean.Label, clean.Label)
+	}
+	if clean.StaleAnswerFraction > noClean.StaleAnswerFraction {
+		t.Fatalf("cleanup increased staleness: %v vs %v",
+			clean.StaleAnswerFraction, noClean.StaleAnswerFraction)
+	}
+	if clean.Registered > noClean.Registered {
+		t.Fatalf("cleanup kept more registrations: %d vs %d",
+			clean.Registered, noClean.Registered)
+	}
+}
+
+func TestSweepTableRendering(t *testing.T) {
+	r := SweepResult{Name: "demo", Points: []SweepPoint{{Label: "x", Peers: 5, DOverDclosest: 1.5}}}
+	out := r.Table().Format()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "1.5000") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+var _ = topology.BandAny // silence potential unused import on refactors

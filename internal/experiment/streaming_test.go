@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStreamingSmall(t *testing.T) {
+	res, err := RunStreaming(StreamingConfig{World: smallWorld(30), Peers: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points=%d", len(res.Points))
+	}
+	byLabel := map[string]StreamingPoint{}
+	for _, p := range res.Points {
+		byLabel[p.Label] = p
+	}
+	prox, rnd, hyb := byLabel["proximity"], byLabel["random"], byLabel["hybrid"]
+	if prox.Peers == 0 || rnd.Peers == 0 || hyb.Peers == 0 {
+		t.Fatalf("missing variants: %+v", byLabel)
+	}
+	// The motivation claim: the proximity mesh must use cheaper links than
+	// the random mesh.
+	if prox.MeanLinkHops >= rnd.MeanLinkHops {
+		t.Fatalf("proximity link cost %v not below random %v",
+			prox.MeanLinkHops, rnd.MeanLinkHops)
+	}
+	// The hybrid mesh must stay close to proximity-level link cost.
+	if hyb.MeanLinkHops >= rnd.MeanLinkHops {
+		t.Fatalf("hybrid link cost %v not below random %v",
+			hyb.MeanLinkHops, rnd.MeanLinkHops)
+	}
+	// Everyone gets all chunks once components are bridged.
+	if prox.MissingChunks != 0 || rnd.MissingChunks != 0 || hyb.MissingChunks != 0 {
+		t.Fatalf("missing chunks: %d/%d/%d",
+			prox.MissingChunks, rnd.MissingChunks, hyb.MissingChunks)
+	}
+	table := res.Table().Format()
+	if !strings.Contains(table, "hybrid") || !strings.Contains(table, "link-hops") {
+		t.Fatalf("table:\n%s", table)
+	}
+}

@@ -1,0 +1,315 @@
+// Package experiment builds complete simulated deployments of the proxdisc
+// system and reproduces every figure of the paper plus the ablation studies
+// the paper announces as future work. Each experiment returns both raw
+// results and a formatted metrics.Table whose rows mirror what the paper
+// plots.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"proxdisc/internal/latency"
+	"proxdisc/internal/metrics"
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/routing"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+	"proxdisc/internal/traceroute"
+)
+
+// WorldConfig describes one simulated deployment: a topology, a landmark
+// placement policy, and the traceroute behaviour of peers.
+type WorldConfig struct {
+	// Topology configures the router map.
+	Topology topology.Config
+	// NumLandmarks is the number of landmarks (default 8).
+	NumLandmarks int
+	// LandmarkBand is the degree band landmarks are placed in. The paper
+	// uses medium-degree routers; the placement ablation varies this.
+	LandmarkBand topology.DegreeBand
+	// LandmarkPolicy selects the placement algorithm (default PlaceBand,
+	// the paper's method; PlaceKCenter and PlaceDegreeWeighted implement
+	// the future-work "policies for the management of landmarks").
+	LandmarkPolicy topology.PlacementPolicy
+	// NeighborCount is the k of the closest-peer answers (default 5).
+	NeighborCount int
+	// Trace configures the peers' traceroute tool.
+	Trace traceroute.Config
+	// UseDelays, when true, assigns link delays and routes by latency;
+	// otherwise routing and landmark choice use hop counts.
+	UseDelays bool
+	// Seed drives all randomness in the world.
+	Seed int64
+}
+
+func (c *WorldConfig) applyDefaults() {
+	if c.Topology.CoreRouters == 0 {
+		c.Topology = topology.DefaultConfig()
+		c.Topology.Seed = c.Seed
+	}
+	if c.NumLandmarks == 0 {
+		c.NumLandmarks = 8
+	}
+	if c.NeighborCount == 0 {
+		c.NeighborCount = server.DefaultNeighborCount
+	}
+	if c.LandmarkBand == 0 {
+		c.LandmarkBand = topology.BandMedium
+	}
+}
+
+// World is a fully wired simulated deployment.
+type World struct {
+	Cfg       WorldConfig
+	Graph     *topology.Graph
+	Tracer    *traceroute.Tracer
+	Landmarks []topology.NodeID
+	Server    *server.Server
+	// Attachments records where each joined peer is attached.
+	Attachments metrics.Attachments
+	// LeafPool is the set of degree-1 routers still available for peers.
+	LeafPool []topology.NodeID
+
+	rng      *rand.Rand
+	traceRNG *rand.Rand
+	// ProbeCount accumulates the number of traceroute hops measured across
+	// all joins — the "measurement cost" axis of the quickness experiment.
+	ProbeCount int
+}
+
+// BuildWorld generates the topology, places landmarks, and starts a
+// management server.
+func BuildWorld(cfg WorldConfig) (*World, error) {
+	cfg.applyDefaults()
+	g, err := topology.Generate(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: topology: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	landmarks, err := topology.PlaceLandmarks(g, cfg.LandmarkPolicy, cfg.NumLandmarks, cfg.LandmarkBand, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: landmark placement: %w", err)
+	}
+	var delays *latency.Delays
+	if cfg.UseDelays {
+		delays, err = latency.AssignDelays(g, latency.DelayConfig{
+			Model: latency.DelayDegreeScaled, Seed: cfg.Seed + 2,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: delays: %w", err)
+		}
+	}
+	srv, err := server.New(server.Config{
+		Landmarks:     landmarks,
+		NeighborCount: cfg.NeighborCount,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: server: %w", err)
+	}
+	leaves := topology.LeafRouters(g)
+	// Exclude leaves that happen to be landmarks (possible in the "leaf"
+	// placement ablation).
+	lmSet := make(map[topology.NodeID]bool, len(landmarks))
+	for _, lm := range landmarks {
+		lmSet[lm] = true
+	}
+	pool := leaves[:0:0]
+	for _, l := range leaves {
+		if !lmSet[l] {
+			pool = append(pool, l)
+		}
+	}
+	return &World{
+		Cfg:         cfg,
+		Graph:       g,
+		Tracer:      traceroute.New(g, delays),
+		Landmarks:   landmarks,
+		Server:      srv,
+		Attachments: make(metrics.Attachments),
+		LeafPool:    pool,
+		rng:         rng,
+		traceRNG:    rand.New(rand.NewSource(cfg.Seed + 3)),
+	}, nil
+}
+
+// ClosestLandmark returns the landmark with the lowest RTT from the given
+// attachment router (ties to the smaller landmark ID), which is the peer's
+// "first round" decision.
+func (w *World) ClosestLandmark(att topology.NodeID) (topology.NodeID, error) {
+	best := topology.InvalidNode
+	bestRTT := 0.0
+	for _, lm := range w.Landmarks {
+		rtt, err := w.Tracer.RTTEstimate(att, lm)
+		if err != nil {
+			return topology.InvalidNode, err
+		}
+		if best == topology.InvalidNode || rtt < bestRTT || (rtt == bestRTT && lm < best) {
+			best, bestRTT = lm, rtt
+		}
+	}
+	return best, nil
+}
+
+// JoinPeer runs the full two-round protocol for one peer attached at router
+// att: choose the closest landmark, traceroute to it, report the path, and
+// receive the closest-peers answer.
+func (w *World) JoinPeer(p pathtree.PeerID, att topology.NodeID) ([]pathtree.Candidate, error) {
+	lm, err := w.ClosestLandmark(att)
+	if err != nil {
+		return nil, err
+	}
+	res, err := w.Tracer.Trace(att, lm, w.Cfg.Trace, w.traceRNG)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Complete {
+		return nil, fmt.Errorf("experiment: trace from %d to landmark %d incomplete", att, lm)
+	}
+	w.ProbeCount += len(res.Hops)
+	cands, err := w.Server.Join(p, res.KnownRouterPath())
+	if err != nil {
+		return nil, err
+	}
+	w.Attachments[p] = att
+	return cands, nil
+}
+
+// LeavePeer removes a peer from the system.
+func (w *World) LeavePeer(p pathtree.PeerID) {
+	w.Server.Leave(p)
+	delete(w.Attachments, p)
+}
+
+// JoinN attaches n peers to distinct degree-1 routers (chosen at random from
+// the remaining pool) and joins them in arrival order with IDs 1..n offset
+// by the number already joined.
+func (w *World) JoinN(n int) error {
+	if n > len(w.LeafPool) {
+		return fmt.Errorf("experiment: %d peers requested but only %d leaf routers available",
+			n, len(w.LeafPool))
+	}
+	w.rng.Shuffle(len(w.LeafPool), func(i, j int) {
+		w.LeafPool[i], w.LeafPool[j] = w.LeafPool[j], w.LeafPool[i]
+	})
+	base := len(w.Attachments)
+	for i := 0; i < n; i++ {
+		p := pathtree.PeerID(base + i + 1)
+		if _, err := w.JoinPeer(p, w.LeafPool[i]); err != nil {
+			return err
+		}
+	}
+	w.LeafPool = w.LeafPool[n:]
+	return nil
+}
+
+// Quality aggregates the paper's evaluation sums over a set of peers.
+type Quality struct {
+	// Peers is the number of peers evaluated.
+	Peers int
+	// SumD, SumDclosest, SumDrandom are the aggregated neighbour-set
+	// distance sums for the server's answer, the brute-force optimum, and
+	// random selection.
+	SumD, SumDclosest, SumDrandom int
+}
+
+// DOverDclosest returns ΣD / ΣDclosest.
+func (q Quality) DOverDclosest() float64 {
+	if q.SumDclosest == 0 {
+		return 0
+	}
+	return float64(q.SumD) / float64(q.SumDclosest)
+}
+
+// DrandomOverDclosest returns ΣDrandom / ΣDclosest.
+func (q Quality) DrandomOverDclosest() float64 {
+	if q.SumDclosest == 0 {
+		return 0
+	}
+	return float64(q.SumDrandom) / float64(q.SumDclosest)
+}
+
+// rngShuffleLeaves shuffles the remaining leaf pool in place with the
+// world's RNG, letting churn experiments deal attachments deterministically.
+func (w *World) rngShuffleLeaves() {
+	w.rng.Shuffle(len(w.LeafPool), func(i, j int) {
+		w.LeafPool[i], w.LeafPool[j] = w.LeafPool[j], w.LeafPool[i]
+	})
+}
+
+// bfsFrom returns BFS hop distances from an attachment router.
+func bfsFrom(w *World, att topology.NodeID) ([]int32, error) {
+	return routing.BFSDistances(w.Graph, att)
+}
+
+// sortPeerIDs sorts peer IDs ascending.
+func sortPeerIDs(ps []pathtree.PeerID) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+}
+
+// EvaluateQuality scores up to samplePeers randomly chosen joined peers:
+// for each, it asks the server for the peer's current neighbour list and
+// compares its total hop distance D against the brute-force optimum and a
+// random pick, exactly as the paper's evaluation does. samplePeers <= 0
+// evaluates every peer.
+func (w *World) EvaluateQuality(samplePeers int) (Quality, error) {
+	peers := w.Server.Peers()
+	if len(peers) < 2 {
+		return Quality{}, fmt.Errorf("experiment: need at least 2 peers, have %d", len(peers))
+	}
+	if samplePeers > 0 && samplePeers < len(peers) {
+		w.rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+		peers = peers[:samplePeers]
+	}
+	k := w.Cfg.NeighborCount
+	evalRNG := rand.New(rand.NewSource(w.Cfg.Seed + 4))
+	var q Quality
+	for _, p := range peers {
+		att, ok := w.Attachments[p]
+		if !ok {
+			return Quality{}, fmt.Errorf("experiment: peer %d has no attachment", p)
+		}
+		neighbors, err := w.Server.Lookup(p)
+		if err != nil {
+			return Quality{}, err
+		}
+		if len(neighbors) == 0 {
+			continue
+		}
+		dist, err := routing.BFSDistances(w.Graph, att)
+		if err != nil {
+			return Quality{}, err
+		}
+		ids := make([]pathtree.PeerID, len(neighbors))
+		for i, c := range neighbors {
+			ids[i] = c.Peer
+		}
+		d, err := metrics.NeighborScore(dist, w.Attachments, ids)
+		if err != nil {
+			return Quality{}, err
+		}
+		// Compare like against like: the optimum and random sets have the
+		// same size as the answer actually returned.
+		kk := len(ids)
+		if kk > k {
+			kk = k
+		}
+		dBest, err := metrics.BestK(dist, w.Attachments, p, kk)
+		if err != nil {
+			return Quality{}, err
+		}
+		dRand, err := metrics.RandomK(dist, w.Attachments, p, kk, evalRNG)
+		if err != nil {
+			return Quality{}, err
+		}
+		q.Peers++
+		q.SumD += d
+		q.SumDclosest += dBest
+		q.SumDrandom += dRand
+	}
+	if q.SumDclosest == 0 {
+		return q, fmt.Errorf("experiment: degenerate evaluation (ΣDclosest = 0 over %d peers)", q.Peers)
+	}
+	return q, nil
+}

@@ -1,0 +1,314 @@
+// Package latency models link delays and end-to-end RTTs.
+//
+// Two complementary models are provided:
+//
+//   - Delays assigns a propagation delay to every link of a router graph so
+//     that RTTs can be derived from latency-weighted shortest paths; this is
+//     how the simulator turns the IR map into a latency space.
+//   - Matrix is a dense host-to-host RTT matrix. SyntheticKing generates one
+//     with the statistical features of the public King data set (log-normal
+//     marginals, controlled triangle-inequality violations). The paper's
+//     baselines (Vivaldi, GNP) are evaluated on such matrices, replacing the
+//     measured data we cannot ship.
+package latency
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"proxdisc/internal/topology"
+)
+
+// DelayModel selects how link delays are drawn.
+type DelayModel int
+
+const (
+	// DelayUniform draws uniformly in [Min,Max) milliseconds.
+	DelayUniform DelayModel = iota
+	// DelayLogNormal draws log-normal delays with median Min ms, giving a
+	// long tail of slow links reminiscent of intercontinental hops.
+	DelayLogNormal
+	// DelayDegreeScaled draws uniform delays but scales them down on
+	// core-to-core links (high-degree endpoints), reflecting that backbone
+	// links are fast relative to access links.
+	DelayDegreeScaled
+)
+
+// String returns the model's canonical name.
+func (m DelayModel) String() string {
+	switch m {
+	case DelayUniform:
+		return "uniform"
+	case DelayLogNormal:
+		return "lognormal"
+	case DelayDegreeScaled:
+		return "degree-scaled"
+	default:
+		return fmt.Sprintf("delaymodel(%d)", int(m))
+	}
+}
+
+// DelayConfig parameterizes AssignDelays.
+type DelayConfig struct {
+	Model DelayModel
+	// Min and Max bound (or parameterize) the per-link delay in
+	// milliseconds. Zero values default to [2,40) ms.
+	Min, Max float64
+	// Seed seeds the deterministic RNG.
+	Seed int64
+}
+
+func (c *DelayConfig) applyDefaults() {
+	if c.Min == 0 && c.Max == 0 {
+		c.Min, c.Max = 2, 40
+	}
+	if c.Max <= c.Min {
+		c.Max = c.Min + 1
+	}
+}
+
+type edgeKey struct{ a, b topology.NodeID }
+
+func canon(u, v topology.NodeID) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{u, v}
+}
+
+// Delays holds a one-way propagation delay in milliseconds for every link of
+// a graph.
+type Delays struct {
+	m map[edgeKey]float64
+}
+
+// AssignDelays draws a delay for every edge of g.
+func AssignDelays(g *topology.Graph, cfg DelayConfig) (*Delays, error) {
+	cfg.applyDefaults()
+	if cfg.Min < 0 {
+		return nil, fmt.Errorf("latency: negative Min delay %g", cfg.Min)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Delays{m: make(map[edgeKey]float64, g.NumEdges())}
+	// Precompute degrees once for DelayDegreeScaled.
+	maxDeg := 1
+	if cfg.Model == DelayDegreeScaled {
+		maxDeg = topology.MaxDegree(g)
+	}
+	for _, e := range g.Edges() {
+		var ms float64
+		switch cfg.Model {
+		case DelayUniform:
+			ms = cfg.Min + rng.Float64()*(cfg.Max-cfg.Min)
+		case DelayLogNormal:
+			// Median cfg.Min, sigma tuned to put the 95th percentile
+			// near cfg.Max.
+			sigma := math.Log(cfg.Max/cfg.Min) / 1.645
+			if sigma <= 0 {
+				sigma = 0.5
+			}
+			ms = cfg.Min * math.Exp(rng.NormFloat64()*sigma)
+		case DelayDegreeScaled:
+			base := cfg.Min + rng.Float64()*(cfg.Max-cfg.Min)
+			du := float64(g.Degree(e[0]))
+			dv := float64(g.Degree(e[1]))
+			// Backbone factor in (0,1]: the busier both endpoints, the
+			// faster the link.
+			f := 1 - 0.8*math.Sqrt(du*dv)/float64(maxDeg)
+			if f < 0.2 {
+				f = 0.2
+			}
+			ms = base * f
+		default:
+			return nil, fmt.Errorf("latency: unknown delay model %v", cfg.Model)
+		}
+		if ms <= 0 {
+			ms = 0.01
+		}
+		d.m[canon(e[0], e[1])] = ms
+	}
+	return d, nil
+}
+
+// Weight reports the one-way delay of link (u,v); it panics on unknown links
+// only in debug builds — for robustness it returns +Inf so routing treats
+// missing links as unusable.
+func (d *Delays) Weight(u, v topology.NodeID) float64 {
+	if ms, ok := d.m[canon(u, v)]; ok {
+		return ms
+	}
+	return math.Inf(1)
+}
+
+// NumLinks reports the number of links with assigned delays.
+func (d *Delays) NumLinks() int { return len(d.m) }
+
+// Matrix is a dense symmetric RTT matrix in milliseconds with zero diagonal.
+type Matrix struct {
+	n   int
+	rtt []float64
+}
+
+// NewMatrix returns an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{n: n, rtt: make([]float64, n*n)}
+}
+
+// Size reports the number of hosts.
+func (m *Matrix) Size() int { return m.n }
+
+// RTT returns the round-trip time between hosts i and j (0 when i==j).
+func (m *Matrix) RTT(i, j int) float64 { return m.rtt[i*m.n+j] }
+
+// SetRTT sets the symmetric RTT between i and j.
+func (m *Matrix) SetRTT(i, j int, ms float64) {
+	m.rtt[i*m.n+j] = ms
+	m.rtt[j*m.n+i] = ms
+}
+
+// KingConfig parameterizes SyntheticKing.
+type KingConfig struct {
+	// MedianRTT is the target median RTT in ms (default 80, matching the
+	// published King distribution's bulk).
+	MedianRTT float64
+	// Sigma is the log-normal shape (default 0.6).
+	Sigma float64
+	// ViolationFraction is the fraction of host triples that should violate
+	// the triangle inequality after injection (default 0.08; King exhibits
+	// roughly 5–10% violating triples).
+	ViolationFraction float64
+	// Seed seeds the RNG.
+	Seed int64
+}
+
+func (c *KingConfig) applyDefaults() {
+	if c.MedianRTT == 0 {
+		c.MedianRTT = 80
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.6
+	}
+	if c.ViolationFraction == 0 {
+		c.ViolationFraction = 0.08
+	}
+}
+
+// SyntheticKing builds an RTT matrix that mimics the King measurement data:
+// hosts are embedded in a 5-D Euclidean space plus a per-host "access
+// penalty" (height), marginals are shaped log-normally, and a controlled
+// fraction of entries is perturbed to create triangle-inequality violations.
+func SyntheticKing(n int, cfg KingConfig) (*Matrix, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("latency: need at least 2 hosts, got %d", n)
+	}
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const dim = 5
+	coords := make([][dim]float64, n)
+	height := make([]float64, n)
+	for i := range coords {
+		for d := 0; d < dim; d++ {
+			coords[i][d] = rng.NormFloat64()
+		}
+		// Heights are exponential: most hosts are well connected, a few
+		// sit behind slow access links.
+		height[i] = rng.ExpFloat64() * 0.3
+	}
+	m := NewMatrix(n)
+	// First pass: Euclidean + heights, then rescale to log-normal-ish
+	// marginals by exponentiating a scaled distance.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var s float64
+			for d := 0; d < dim; d++ {
+				diff := coords[i][d] - coords[j][d]
+				s += diff * diff
+			}
+			base := math.Sqrt(s)/math.Sqrt(2*dim) + height[i] + height[j]
+			// Map base (≈0..2+) to a log-normal-looking RTT with the
+			// requested median.
+			ms := cfg.MedianRTT * math.Exp(cfg.Sigma*(base-0.9))
+			m.SetRTT(i, j, ms)
+		}
+	}
+	// Violation injection: shrink a random subset of entries sharply, which
+	// creates detour routes cheaper than the direct edge.
+	pairs := n * (n - 1) / 2
+	inject := int(cfg.ViolationFraction * float64(pairs))
+	for k := 0; k < inject; k++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		m.SetRTT(i, j, m.RTT(i, j)*(0.15+0.2*rng.Float64()))
+	}
+	return m, nil
+}
+
+// TriangleViolationRate samples `samples` random host triples (i,j,k) and
+// reports the fraction where RTT(i,j) > RTT(i,k)+RTT(k,j).
+func (m *Matrix) TriangleViolationRate(samples int, rng *rand.Rand) float64 {
+	if m.n < 3 || samples <= 0 {
+		return 0
+	}
+	bad := 0
+	for s := 0; s < samples; s++ {
+		i, j, k := rng.Intn(m.n), rng.Intn(m.n), rng.Intn(m.n)
+		if i == j || j == k || i == k {
+			continue
+		}
+		if m.RTT(i, j) > m.RTT(i, k)+m.RTT(k, j) {
+			bad++
+		}
+	}
+	return float64(bad) / float64(samples)
+}
+
+// Median returns the median off-diagonal RTT.
+func (m *Matrix) Median() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	vals := make([]float64, 0, m.n*(m.n-1)/2)
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			vals = append(vals, m.RTT(i, j))
+		}
+	}
+	return quickSelectMedian(vals)
+}
+
+// quickSelectMedian computes the median in expected O(n) without sorting the
+// whole slice.
+func quickSelectMedian(v []float64) float64 {
+	k := len(v) / 2
+	lo, hi := 0, len(v)-1
+	for lo < hi {
+		p := partition(v, lo, hi)
+		switch {
+		case p == k:
+			return v[k]
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return v[k]
+}
+
+func partition(v []float64, lo, hi int) int {
+	pivot := v[(lo+hi)/2]
+	v[(lo+hi)/2], v[hi] = v[hi], v[(lo+hi)/2]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if v[i] < pivot {
+			v[i], v[store] = v[store], v[i]
+			store++
+		}
+	}
+	v[store], v[hi] = v[hi], v[store]
+	return store
+}

@@ -1,0 +1,186 @@
+package latency
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"proxdisc/internal/routing"
+	"proxdisc/internal/topology"
+)
+
+func testGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.Generate(topology.Config{Model: topology.ModelBarabasiAlbert, CoreRouters: 150, LeafRouters: 100, EdgesPerNode: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAssignDelaysCoversAllLinks(t *testing.T) {
+	g := testGraph(t)
+	for _, model := range []DelayModel{DelayUniform, DelayLogNormal, DelayDegreeScaled} {
+		d, err := AssignDelays(g, DelayConfig{Model: model, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if d.NumLinks() != g.NumEdges() {
+			t.Fatalf("%v: %d delays for %d edges", model, d.NumLinks(), g.NumEdges())
+		}
+		for _, e := range g.Edges() {
+			w := d.Weight(e[0], e[1])
+			if w <= 0 || math.IsInf(w, 1) {
+				t.Fatalf("%v: edge %v weight %v", model, e, w)
+			}
+			if d.Weight(e[1], e[0]) != w {
+				t.Fatalf("%v: asymmetric weight on %v", model, e)
+			}
+		}
+	}
+}
+
+func TestAssignDelaysUniformRange(t *testing.T) {
+	g := testGraph(t)
+	d, err := AssignDelays(g, DelayConfig{Model: DelayUniform, Min: 5, Max: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		w := d.Weight(e[0], e[1])
+		if w < 5 || w >= 10 {
+			t.Fatalf("uniform delay %v outside [5,10)", w)
+		}
+	}
+}
+
+func TestAssignDelaysDeterminism(t *testing.T) {
+	g := testGraph(t)
+	d1, _ := AssignDelays(g, DelayConfig{Model: DelayUniform, Seed: 7})
+	d2, _ := AssignDelays(g, DelayConfig{Model: DelayUniform, Seed: 7})
+	for _, e := range g.Edges() {
+		if d1.Weight(e[0], e[1]) != d2.Weight(e[0], e[1]) {
+			t.Fatal("same seed produced different delays")
+		}
+	}
+}
+
+func TestAssignDelaysRejectsNegativeMin(t *testing.T) {
+	g := testGraph(t)
+	if _, err := AssignDelays(g, DelayConfig{Model: DelayUniform, Min: -4, Max: 2}); err == nil {
+		t.Fatal("accepted negative Min")
+	}
+}
+
+func TestUnknownLinkIsInfinite(t *testing.T) {
+	g := testGraph(t)
+	d, _ := AssignDelays(g, DelayConfig{Model: DelayUniform, Seed: 1})
+	if !math.IsInf(d.Weight(0, 0), 1) {
+		t.Fatal("self link should be +Inf")
+	}
+}
+
+func TestDelaysDriveDijkstra(t *testing.T) {
+	g := testGraph(t)
+	d, _ := AssignDelays(g, DelayConfig{Model: DelayDegreeScaled, Seed: 2})
+	tr, err := routing.DijkstraTree(g, 0, d.Weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if math.IsInf(tr.Cost[u], 1) {
+			t.Fatalf("node %d unreachable on connected graph", u)
+		}
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3)
+	if m.Size() != 3 {
+		t.Fatalf("size=%d", m.Size())
+	}
+	m.SetRTT(0, 2, 42)
+	if m.RTT(0, 2) != 42 || m.RTT(2, 0) != 42 {
+		t.Fatal("SetRTT not symmetric")
+	}
+	if m.RTT(1, 1) != 0 {
+		t.Fatal("diagonal not zero")
+	}
+}
+
+func TestSyntheticKingProperties(t *testing.T) {
+	m, err := SyntheticKing(300, KingConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := m.Median()
+	if med < 30 || med > 220 {
+		t.Fatalf("median RTT %v outside plausible range", med)
+	}
+	rng := rand.New(rand.NewSource(5))
+	viol := m.TriangleViolationRate(20000, rng)
+	if viol < 0.01 || viol > 0.30 {
+		t.Fatalf("triangle violation rate %v outside King-like range", viol)
+	}
+	// Positivity and symmetry.
+	for i := 0; i < m.Size(); i++ {
+		for j := 0; j < m.Size(); j++ {
+			if i == j {
+				if m.RTT(i, j) != 0 {
+					t.Fatalf("diag (%d,%d)=%v", i, j, m.RTT(i, j))
+				}
+				continue
+			}
+			if m.RTT(i, j) <= 0 {
+				t.Fatalf("RTT(%d,%d)=%v not positive", i, j, m.RTT(i, j))
+			}
+			if m.RTT(i, j) != m.RTT(j, i) {
+				t.Fatalf("asymmetric (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSyntheticKingDeterminism(t *testing.T) {
+	a, _ := SyntheticKing(50, KingConfig{Seed: 9})
+	b, _ := SyntheticKing(50, KingConfig{Seed: 9})
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			if a.RTT(i, j) != b.RTT(i, j) {
+				t.Fatal("same seed produced different matrices")
+			}
+		}
+	}
+}
+
+func TestSyntheticKingRejectsTiny(t *testing.T) {
+	if _, err := SyntheticKing(1, KingConfig{}); err == nil {
+		t.Fatal("accepted n=1")
+	}
+}
+
+// Property: the median helper agrees with a sort-based median.
+func TestQuickSelectMedian(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(99)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64() * 100
+		}
+		sorted := append([]float64(nil), v...)
+		// insertion sort for reference
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		want := sorted[n/2]
+		got := quickSelectMedian(append([]float64(nil), v...))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

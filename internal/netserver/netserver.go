@@ -1,0 +1,306 @@
+// Package netserver exposes the management server over TCP and runs the
+// landmark UDP probe responders — the deployable form of the paper's
+// architecture.
+//
+// One TCP connection serves any number of request/response frames (see
+// package proto). The server also tracks each peer's advertised overlay
+// address so closest-peer answers carry dialable endpoints.
+package netserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/proto"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+)
+
+// Config configures a NetServer.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Server is the management-server logic to expose.
+	Server *server.Server
+	// LandmarkAddrs maps each landmark router ID to the UDP address of its
+	// probe responder, advertised to clients.
+	LandmarkAddrs map[topology.NodeID]string
+	// ReadTimeout bounds how long a connection may sit idle between
+	// requests (default 30s).
+	ReadTimeout time.Duration
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// NetServer is a running TCP front end. Close it to release the listener.
+type NetServer struct {
+	cfg Config
+	ln  net.Listener
+
+	mu    sync.Mutex
+	addrs map[pathtree.PeerID]string
+	conns map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// Listen starts serving on cfg.Addr.
+func Listen(cfg Config) (*NetServer, error) {
+	if cfg.Server == nil {
+		return nil, errors.New("netserver: nil management server")
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("netserver: listen: %w", err)
+	}
+	s := &NetServer{
+		cfg:    cfg,
+		ln:     ln,
+		addrs:  make(map[pathtree.PeerID]string),
+		conns:  make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound TCP address.
+func (s *NetServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every connection, and waits for handler
+// goroutines to finish.
+func (s *NetServer) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *NetServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			s.cfg.Logf("netserver: accept: %v", err)
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *NetServer) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return
+		}
+		typ, payload, err := proto.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("netserver: read: %v", err)
+			}
+			return
+		}
+		if err := s.dispatch(conn, typ, payload); err != nil {
+			s.cfg.Logf("netserver: write: %v", err)
+			return
+		}
+	}
+}
+
+// dispatch handles one request frame and writes exactly one response frame.
+func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) error {
+	switch typ {
+	case proto.MsgLandmarksRequest:
+		resp := &proto.LandmarksResponse{}
+		for _, lm := range s.cfg.Server.Landmarks() {
+			resp.Routers = append(resp.Routers, int32(lm))
+			resp.Addrs = append(resp.Addrs, s.cfg.LandmarkAddrs[lm])
+		}
+		b, err := proto.EncodeLandmarksResponse(resp)
+		if err != nil {
+			return s.writeError(conn, proto.CodeInternal, err)
+		}
+		return proto.WriteFrame(conn, proto.MsgLandmarksResponse, b)
+
+	case proto.MsgJoinRequest:
+		req, err := proto.DecodeJoinRequest(payload)
+		if err != nil {
+			return s.writeError(conn, proto.CodeBadRequest, err)
+		}
+		path := make([]topology.NodeID, len(req.Path))
+		for i, r := range req.Path {
+			path[i] = topology.NodeID(r)
+		}
+		cands, err := s.cfg.Server.Join(pathtree.PeerID(req.Peer), path)
+		if err != nil {
+			code := proto.CodeInternal
+			if errors.Is(err, server.ErrUnknownLandmark) {
+				code = proto.CodeUnknownLandmark
+			}
+			return s.writeError(conn, code, err)
+		}
+		s.mu.Lock()
+		s.addrs[pathtree.PeerID(req.Peer)] = req.Addr
+		s.mu.Unlock()
+		b, err := proto.EncodeJoinResponse(&proto.JoinResponse{Neighbors: s.toWire(cands)})
+		if err != nil {
+			return s.writeError(conn, proto.CodeInternal, err)
+		}
+		return proto.WriteFrame(conn, proto.MsgJoinResponse, b)
+
+	case proto.MsgLookupRequest:
+		req, err := proto.DecodeLookupRequest(payload)
+		if err != nil {
+			return s.writeError(conn, proto.CodeBadRequest, err)
+		}
+		cands, err := s.cfg.Server.Lookup(pathtree.PeerID(req.Peer))
+		if err != nil {
+			code := proto.CodeInternal
+			if errors.Is(err, server.ErrUnknownPeer) {
+				code = proto.CodeUnknownPeer
+			}
+			return s.writeError(conn, code, err)
+		}
+		b, err := proto.EncodeLookupResponse(&proto.LookupResponse{Neighbors: s.toWire(cands)})
+		if err != nil {
+			return s.writeError(conn, proto.CodeInternal, err)
+		}
+		return proto.WriteFrame(conn, proto.MsgLookupResponse, b)
+
+	case proto.MsgLeaveRequest:
+		req, err := proto.DecodeLeaveRequest(payload)
+		if err != nil {
+			return s.writeError(conn, proto.CodeBadRequest, err)
+		}
+		s.cfg.Server.Leave(pathtree.PeerID(req.Peer))
+		s.mu.Lock()
+		delete(s.addrs, pathtree.PeerID(req.Peer))
+		s.mu.Unlock()
+		return proto.WriteFrame(conn, proto.MsgAck, nil)
+
+	case proto.MsgRefreshRequest:
+		req, err := proto.DecodeRefreshRequest(payload)
+		if err != nil {
+			return s.writeError(conn, proto.CodeBadRequest, err)
+		}
+		if err := s.cfg.Server.Refresh(pathtree.PeerID(req.Peer)); err != nil {
+			return s.writeError(conn, proto.CodeUnknownPeer, err)
+		}
+		return proto.WriteFrame(conn, proto.MsgAck, nil)
+
+	default:
+		return s.writeError(conn, proto.CodeBadRequest,
+			fmt.Errorf("netserver: unknown message type %d", typ))
+	}
+}
+
+// toWire converts pathtree candidates to wire candidates with addresses.
+func (s *NetServer) toWire(cands []pathtree.Candidate) []proto.Candidate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]proto.Candidate, len(cands))
+	for i, c := range cands {
+		out[i] = proto.Candidate{
+			Peer:  int64(c.Peer),
+			DTree: int32(c.DTree),
+			Addr:  s.addrs[c.Peer],
+		}
+	}
+	return out
+}
+
+func (s *NetServer) writeError(conn net.Conn, code uint16, err error) error {
+	return proto.WriteFrame(conn, proto.MsgError,
+		proto.EncodeError(&proto.Error{Code: code, Message: err.Error()}))
+}
+
+// LandmarkResponder answers UDP probe datagrams, letting peers measure RTT
+// to a landmark — the "first round" measurement of the protocol.
+type LandmarkResponder struct {
+	conn *net.UDPConn
+	wg   sync.WaitGroup
+}
+
+// ListenLandmark starts a probe responder on the given UDP address
+// ("127.0.0.1:0" picks a free port).
+func ListenLandmark(addr string) (*LandmarkResponder, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netserver: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("netserver: listen udp: %w", err)
+	}
+	l := &LandmarkResponder{conn: conn}
+	l.wg.Add(1)
+	go l.loop()
+	return l, nil
+}
+
+// Addr returns the responder's UDP address.
+func (l *LandmarkResponder) Addr() string { return l.conn.LocalAddr().String() }
+
+// Close stops the responder.
+func (l *LandmarkResponder) Close() error {
+	err := l.conn.Close()
+	l.wg.Wait()
+	return err
+}
+
+func (l *LandmarkResponder) loop() {
+	defer l.wg.Done()
+	buf := make([]byte, 64)
+	for {
+		n, from, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if _, err := proto.DecodeProbe(buf[:n]); err != nil {
+			continue // not ours
+		}
+		if _, err := l.conn.WriteToUDP(buf[:n], from); err != nil {
+			log.Printf("netserver: landmark echo: %v", err)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package netserver
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"proxdisc/internal/client"
+	"proxdisc/internal/proto"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+)
+
+// startServer spins up a management server with landmark router 0 (and
+// optionally more) on loopback.
+func startServer(t *testing.T, landmarks ...topology.NodeID) (*NetServer, map[topology.NodeID]string) {
+	t.Helper()
+	if len(landmarks) == 0 {
+		landmarks = []topology.NodeID{0}
+	}
+	logic, err := server.New(server.Config{Landmarks: landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmAddrs := make(map[topology.NodeID]string)
+	for _, lm := range landmarks {
+		resp, err := ListenLandmark("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Close() })
+		lmAddrs[lm] = resp.Addr()
+	}
+	ns, err := Listen(Config{Addr: "127.0.0.1:0", Server: logic, LandmarkAddrs: lmAddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ns.Close() })
+	return ns, lmAddrs
+}
+
+func dial(t *testing.T, ns *NetServer) *client.Client {
+	t.Helper()
+	c, err := client.Dial(ns.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestLandmarksEndpoint(t *testing.T) {
+	ns, lmAddrs := startServer(t, 0, 7)
+	c := dial(t, ns)
+	lms, err := c.Landmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lms.Routers) != 2 {
+		t.Fatalf("landmarks=%v", lms.Routers)
+	}
+	for i, r := range lms.Routers {
+		if lms.Addrs[i] != lmAddrs[topology.NodeID(r)] {
+			t.Fatalf("landmark %d addr %q want %q", r, lms.Addrs[i], lmAddrs[topology.NodeID(r)])
+		}
+	}
+}
+
+func TestJoinLookupLeaveOverTCP(t *testing.T) {
+	ns, _ := startServer(t)
+	c := dial(t, ns)
+	got, err := c.Join(1, "127.0.0.1:9001", []int32{10, 11, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("first joiner neighbours=%v", got)
+	}
+	got, err = c.Join(2, "127.0.0.1:9002", []int32{12, 11, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Peer != 1 || got[0].Addr != "127.0.0.1:9001" {
+		t.Fatalf("second joiner neighbours=%+v", got)
+	}
+	look, err := c.Lookup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(look) != 1 || look[0].Peer != 2 || look[0].Addr != "127.0.0.1:9002" {
+		t.Fatalf("lookup=%+v", look)
+	}
+	if err := c.Refresh(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	look, err = c.Lookup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(look) != 0 {
+		t.Fatalf("departed peer still answered: %+v", look)
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	ns, _ := startServer(t)
+	c := dial(t, ns)
+	// Join with a path to an unregistered landmark.
+	_, err := c.Join(1, "x", []int32{5, 99})
+	var werr *proto.Error
+	if !errors.As(err, &werr) || werr.Code != proto.CodeUnknownLandmark {
+		t.Fatalf("err=%v", err)
+	}
+	// Lookup of an unknown peer.
+	_, err = c.Lookup(42)
+	if !errors.As(err, &werr) || werr.Code != proto.CodeUnknownPeer {
+		t.Fatalf("err=%v", err)
+	}
+	// Refresh of an unknown peer.
+	err = c.Refresh(42)
+	if !errors.As(err, &werr) || werr.Code != proto.CodeUnknownPeer {
+		t.Fatalf("err=%v", err)
+	}
+	// The connection must survive error responses.
+	if _, err := c.Join(1, "x", []int32{5, 0}); err != nil {
+		t.Fatalf("connection broken after errors: %v", err)
+	}
+}
+
+func TestUnknownMessageType(t *testing.T) {
+	ns, _ := startServer(t)
+	conn, err := net.Dial("tcp", ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := proto.WriteFrame(conn, proto.MsgType(200), nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := proto.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != proto.MsgError {
+		t.Fatalf("type=%d", typ)
+	}
+	werr, err := proto.DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr.Code != proto.CodeBadRequest {
+		t.Fatalf("code=%d", werr.Code)
+	}
+}
+
+func TestProbeRTT(t *testing.T) {
+	resp, err := ListenLandmark("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Close()
+	rtt, err := client.ProbeRTT(resp.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Fatalf("rtt=%v", rtt)
+	}
+}
+
+func TestProbeLandmarksOrdering(t *testing.T) {
+	ns, _ := startServer(t, 0, 5)
+	c := dial(t, ns)
+	lms, err := c.Landmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := client.ProbeLandmarks(lms, 2, time.Second)
+	if len(measured) != 2 {
+		t.Fatalf("measured=%v", measured)
+	}
+	if measured[0].RTT > measured[1].RTT {
+		t.Fatal("not sorted by RTT")
+	}
+}
+
+func TestAgentJoin(t *testing.T) {
+	ns, _ := startServer(t, 0)
+	// Seed an existing peer so the agent gets an answer.
+	seed := dial(t, ns)
+	if _, err := seed.Join(100, "127.0.0.1:9100", []int32{20, 21, 0}); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, ns)
+	agent := &client.Agent{
+		Client: c,
+		Provider: client.PathProviderFunc(func(lm int32) ([]int32, error) {
+			return []int32{30, 21, lm}, nil
+		}),
+		OverlayAddr:  "127.0.0.1:9200",
+		ProbeTries:   1,
+		ProbeTimeout: time.Second,
+	}
+	cands, err := agent.Join(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Peer != 100 {
+		t.Fatalf("agent answer=%+v", cands)
+	}
+}
+
+func TestAgentJoinProviderFailure(t *testing.T) {
+	ns, _ := startServer(t, 0)
+	c := dial(t, ns)
+	agent := &client.Agent{
+		Client: c,
+		Provider: client.PathProviderFunc(func(lm int32) ([]int32, error) {
+			return nil, errors.New("traceroute unavailable")
+		}),
+		ProbeTries:   1,
+		ProbeTimeout: time.Second,
+	}
+	if _, err := agent.Join(1); err == nil {
+		t.Fatal("join succeeded without paths")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ns, _ := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(ns.Addr(), 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 25; i++ {
+				p := int64(w*1000 + i)
+				path := []int32{int32(1000 + p), int32(1 + i%10), 0}
+				if _, err := c.Join(p, "127.0.0.1:1", path); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Lookup(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	ns, _ := startServer(t)
+	if err := ns.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Close(); err != nil {
+		t.Fatal("second close errored:", err)
+	}
+}
+
+func TestListenRejectsNilServer(t *testing.T) {
+	if _, err := Listen(Config{Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("accepted nil server")
+	}
+}

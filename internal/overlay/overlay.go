@@ -1,0 +1,217 @@
+// Package overlay maintains the peer-to-peer mesh built from the management
+// server's closest-peer answers.
+//
+// The paper's motivating application is mesh-based live streaming: a
+// newcomer asks the server for its closest peers and connects to them. This
+// package keeps the resulting undirected neighbour graph, enforces degree
+// caps, and supports the churn-repair loop (when a neighbour departs, the
+// peer asks for replacements).
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/topology"
+)
+
+// Peer is one overlay participant.
+type Peer struct {
+	// ID is the peer's identifier.
+	ID pathtree.PeerID
+	// Attachment is the router the peer hangs off.
+	Attachment topology.NodeID
+	// MaxNeighbors caps the peer's degree (0 = unlimited).
+	MaxNeighbors int
+}
+
+// Overlay is an undirected neighbour graph over peers. It is safe for
+// concurrent use.
+type Overlay struct {
+	mu    sync.RWMutex
+	peers map[pathtree.PeerID]*Peer
+	links map[pathtree.PeerID]map[pathtree.PeerID]bool
+}
+
+// New returns an empty overlay.
+func New() *Overlay {
+	return &Overlay{
+		peers: make(map[pathtree.PeerID]*Peer),
+		links: make(map[pathtree.PeerID]map[pathtree.PeerID]bool),
+	}
+}
+
+// AddPeer registers a peer. Re-adding an existing ID is an error.
+func (o *Overlay) AddPeer(p Peer) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.peers[p.ID]; ok {
+		return fmt.Errorf("overlay: peer %d already present", p.ID)
+	}
+	cp := p
+	o.peers[p.ID] = &cp
+	o.links[p.ID] = make(map[pathtree.PeerID]bool)
+	return nil
+}
+
+// RemovePeer deletes a peer and all its links, returning its former
+// neighbours (so callers can trigger repair). Unknown IDs return nil.
+func (o *Overlay) RemovePeer(id pathtree.PeerID) []pathtree.PeerID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	nbrs, ok := o.links[id]
+	if !ok {
+		return nil
+	}
+	out := make([]pathtree.PeerID, 0, len(nbrs))
+	for q := range nbrs {
+		delete(o.links[q], id)
+		out = append(out, q)
+	}
+	delete(o.links, id)
+	delete(o.peers, id)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Connect links two distinct registered peers. Connecting an existing link
+// is a no-op. Degree caps are enforced on both ends.
+func (o *Overlay) Connect(a, b pathtree.PeerID) error {
+	if a == b {
+		return fmt.Errorf("overlay: self link on peer %d", a)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	pa, ok := o.peers[a]
+	if !ok {
+		return fmt.Errorf("overlay: unknown peer %d", a)
+	}
+	pb, ok := o.peers[b]
+	if !ok {
+		return fmt.Errorf("overlay: unknown peer %d", b)
+	}
+	if o.links[a][b] {
+		return nil
+	}
+	if pa.MaxNeighbors > 0 && len(o.links[a]) >= pa.MaxNeighbors {
+		return fmt.Errorf("overlay: peer %d at degree cap %d", a, pa.MaxNeighbors)
+	}
+	if pb.MaxNeighbors > 0 && len(o.links[b]) >= pb.MaxNeighbors {
+		return fmt.Errorf("overlay: peer %d at degree cap %d", b, pb.MaxNeighbors)
+	}
+	o.links[a][b] = true
+	o.links[b][a] = true
+	return nil
+}
+
+// Disconnect removes the link (a,b) if present.
+func (o *Overlay) Disconnect(a, b pathtree.PeerID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if m, ok := o.links[a]; ok {
+		delete(m, b)
+	}
+	if m, ok := o.links[b]; ok {
+		delete(m, a)
+	}
+}
+
+// Neighbors returns a peer's neighbour IDs in ascending order.
+func (o *Overlay) Neighbors(id pathtree.PeerID) []pathtree.PeerID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	m, ok := o.links[id]
+	if !ok {
+		return nil
+	}
+	out := make([]pathtree.PeerID, 0, len(m))
+	for q := range m {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree reports a peer's current neighbour count.
+func (o *Overlay) Degree(id pathtree.PeerID) int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.links[id])
+}
+
+// Contains reports whether the peer is registered.
+func (o *Overlay) Contains(id pathtree.PeerID) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	_, ok := o.peers[id]
+	return ok
+}
+
+// PeerInfo returns a copy of the peer's record.
+func (o *Overlay) PeerInfo(id pathtree.PeerID) (Peer, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	p, ok := o.peers[id]
+	if !ok {
+		return Peer{}, false
+	}
+	return *p, true
+}
+
+// Peers returns all registered peer IDs in ascending order.
+func (o *Overlay) Peers() []pathtree.PeerID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]pathtree.PeerID, 0, len(o.peers))
+	for id := range o.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumPeers reports the number of registered peers.
+func (o *Overlay) NumPeers() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.peers)
+}
+
+// NumLinks reports the number of undirected links.
+func (o *Overlay) NumLinks() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	total := 0
+	for _, m := range o.links {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// ConnectedComponentOf returns all peers reachable from start, including
+// start itself (used by streaming to check mesh connectivity).
+func (o *Overlay) ConnectedComponentOf(start pathtree.PeerID) []pathtree.PeerID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if _, ok := o.peers[start]; !ok {
+		return nil
+	}
+	visited := map[pathtree.PeerID]bool{start: true}
+	queue := []pathtree.PeerID{start}
+	var out []pathtree.PeerID
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		out = append(out, p)
+		for q := range o.links[p] {
+			if !visited[q] {
+				visited[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

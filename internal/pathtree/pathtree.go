@@ -1,0 +1,536 @@
+// Package pathtree implements the paper's core data structure: a
+// per-landmark prefix tree of router paths that lets a management server
+// estimate the closest peers of a newcomer from traceroute paths alone.
+//
+// Every peer reports the router path from itself to the landmark. Reversed
+// (landmark first), those paths form a trie rooted at the landmark: two
+// peers' paths share a prefix exactly as far as the deepest common router
+// their routes traverse. The inferred distance between peers p and q is
+//
+//	dtree(p,q) = depth(p) + depth(q) − 2·depth(dca(p,q))
+//
+// the length of the walk from p up to the deepest common ancestor router and
+// back down to q. Because Internet routes from nearby hosts funnel through
+// the same edge routers before reaching the core (the heavy-tail/centrality
+// argument of §2), dtree tracks the true hop distance d(p,q) closely.
+//
+// Complexity matches the paper's claims: inserting a newcomer costs
+// O(L + log n) where L is its path length (walking the trie and updating
+// subtree counters), and a closest-peer query is answered from hash lookups
+// and a bounded walk — O(k·L) for the k best candidates, independent of the
+// total peer population n.
+//
+// The tree is safe for concurrent use.
+package pathtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"proxdisc/internal/topology"
+)
+
+// PeerID identifies a peer (host) in the system.
+type PeerID int64
+
+// ErrUnknownPeer is returned by queries naming a peer that was never
+// inserted (or was removed).
+var ErrUnknownPeer = errors.New("pathtree: unknown peer")
+
+// Candidate is one entry of a closest-peers answer.
+type Candidate struct {
+	// Peer is the candidate's ID.
+	Peer PeerID
+	// DTree is the inferred path-tree distance in router hops.
+	DTree int
+}
+
+// Options tunes a Tree.
+type Options struct {
+	// MaxCandidatesPerLevel bounds how many candidates a query harvests at
+	// each ancestor level before moving up. It must be at least the query
+	// k to keep answers exact; the default (0) sizes it per query.
+	MaxCandidatesPerLevel int
+}
+
+// Tree is the per-landmark path prefix tree.
+type Tree struct {
+	mu       sync.RWMutex
+	landmark topology.NodeID
+	root     *node
+	byPeer   map[PeerID]*node
+	byRouter map[topology.NodeID]*node
+	// routerConflicts counts router IDs observed at more than one trie
+	// position (possible with lossy or truncated traceroutes). The trie
+	// remains correct; the counter surfaces measurement-quality problems.
+	routerConflicts int
+	opts            Options
+}
+
+type node struct {
+	router   topology.NodeID
+	parent   *node
+	depth    int32
+	children map[topology.NodeID]*node
+	// childOrder keeps the children's router IDs sorted ascending, so
+	// queries can walk children deterministically without re-sorting.
+	// Maintained at insert/prune time (a binary-search insertion), which
+	// keeps harvest free of per-visit sorting.
+	childOrder []topology.NodeID
+	// peers attached exactly at this router (their path ends here), in
+	// insertion order.
+	peers []PeerID
+	// subtreeCount is the number of peers attached in this node's subtree,
+	// including itself. Maintained on insert/remove; this is the "ordered
+	// list" bookkeeping that makes insertion O(path length).
+	subtreeCount int
+}
+
+// addChildOrdered inserts r into the sorted childOrder slice.
+func (n *node) addChildOrdered(r topology.NodeID) {
+	i := sort.Search(len(n.childOrder), func(i int) bool { return n.childOrder[i] >= r })
+	n.childOrder = append(n.childOrder, 0)
+	copy(n.childOrder[i+1:], n.childOrder[i:])
+	n.childOrder[i] = r
+}
+
+// removeChildOrdered deletes r from the sorted childOrder slice.
+func (n *node) removeChildOrdered(r topology.NodeID) {
+	i := sort.Search(len(n.childOrder), func(i int) bool { return n.childOrder[i] >= r })
+	if i < len(n.childOrder) && n.childOrder[i] == r {
+		n.childOrder = append(n.childOrder[:i], n.childOrder[i+1:]...)
+	}
+}
+
+// New returns an empty tree for the given landmark router.
+func New(landmark topology.NodeID, opts Options) *Tree {
+	root := &node{router: landmark, depth: 0}
+	return &Tree{
+		landmark: landmark,
+		root:     root,
+		byPeer:   make(map[PeerID]*node),
+		byRouter: map[topology.NodeID]*node{landmark: root},
+		opts:     opts,
+	}
+}
+
+// Landmark returns the landmark router this tree is rooted at.
+func (t *Tree) Landmark() topology.NodeID { return t.landmark }
+
+// Len reports the number of peers currently in the tree.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root.subtreeCount
+}
+
+// Contains reports whether peer p is in the tree.
+func (t *Tree) Contains(p PeerID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.byPeer[p]
+	return ok
+}
+
+// Depth returns the trie depth of peer p (its path length to the landmark).
+func (t *Tree) Depth(p PeerID) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.byPeer[p]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownPeer, p)
+	}
+	return int(n.depth), nil
+}
+
+// validatePath checks a reported peer→landmark router path.
+func (t *Tree) validatePath(path []topology.NodeID) error {
+	if len(path) == 0 {
+		return errors.New("pathtree: empty path")
+	}
+	if path[len(path)-1] != t.landmark {
+		return fmt.Errorf("pathtree: path ends at router %d, not landmark %d",
+			path[len(path)-1], t.landmark)
+	}
+	seen := make(map[topology.NodeID]bool, len(path))
+	for _, r := range path {
+		if r == topology.InvalidNode {
+			return errors.New("pathtree: path contains anonymous router; strip before insert")
+		}
+		if seen[r] {
+			return fmt.Errorf("pathtree: router %d repeats in path", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// Insert adds peer p with its reported router path (peer-side first, ending
+// at the landmark). Re-inserting an existing peer replaces its path.
+func (t *Tree) Insert(p PeerID, path []topology.NodeID) error {
+	if err := t.validatePath(path); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.byPeer[p]; ok {
+		t.removeLocked(p)
+	}
+	// Walk from the landmark (end of slice) toward the peer, creating
+	// nodes as needed.
+	cur := t.root
+	for i := len(path) - 2; i >= 0; i-- {
+		r := path[i]
+		child, ok := cur.children[r]
+		if !ok {
+			child = &node{router: r, parent: cur, depth: cur.depth + 1}
+			if cur.children == nil {
+				cur.children = make(map[topology.NodeID]*node)
+			}
+			cur.children[r] = child
+			cur.addChildOrdered(r)
+			if prev, exists := t.byRouter[r]; exists {
+				if prev != child {
+					t.routerConflicts++
+				}
+			} else {
+				t.byRouter[r] = child
+			}
+		}
+		cur = child
+	}
+	cur.peers = append(cur.peers, p)
+	t.byPeer[p] = cur
+	for n := cur; n != nil; n = n.parent {
+		n.subtreeCount++
+	}
+	return nil
+}
+
+// Remove deletes peer p, pruning now-empty trie branches. It reports whether
+// the peer was present.
+func (t *Tree) Remove(p PeerID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.removeLocked(p)
+}
+
+func (t *Tree) removeLocked(p PeerID) bool {
+	n, ok := t.byPeer[p]
+	if !ok {
+		return false
+	}
+	delete(t.byPeer, p)
+	for i, q := range n.peers {
+		if q == p {
+			n.peers = append(n.peers[:i], n.peers[i+1:]...)
+			break
+		}
+	}
+	for m := n; m != nil; m = m.parent {
+		m.subtreeCount--
+	}
+	// Prune empty leaves upward.
+	for m := n; m != t.root && m.subtreeCount == 0 && len(m.children) == 0; {
+		parent := m.parent
+		delete(parent.children, m.router)
+		parent.removeChildOrdered(m.router)
+		if t.byRouter[m.router] == m {
+			delete(t.byRouter, m.router)
+		}
+		m = parent
+	}
+	return true
+}
+
+// DTree returns the inferred tree distance between two inserted peers.
+func (t *Tree) DTree(p, q PeerID) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	np, ok := t.byPeer[p]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownPeer, p)
+	}
+	nq, ok := t.byPeer[q]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownPeer, q)
+	}
+	dca := deepestCommonAncestor(np, nq)
+	return int(np.depth + nq.depth - 2*dca.depth), nil
+}
+
+func deepestCommonAncestor(a, b *node) *node {
+	for a.depth > b.depth {
+		a = a.parent
+	}
+	for b.depth > a.depth {
+		b = b.parent
+	}
+	for a != b {
+		a = a.parent
+		b = b.parent
+	}
+	return a
+}
+
+// Closest returns the k peers with the smallest dtree distance to inserted
+// peer p, excluding p itself. Results are sorted by (DTree, PeerID).
+func (t *Tree) Closest(p PeerID, k int) ([]Candidate, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.byPeer[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, p)
+	}
+	return t.closestFrom(n, int(n.depth), k, map[PeerID]bool{p: true}), nil
+}
+
+// ClosestToPath answers a closest-peers query for a (possibly not yet
+// inserted) newcomer whose reported path is given, excluding any peers in
+// exclude. This is the server's "second round": the newcomer's candidate
+// list is computed before or without inserting it.
+func (t *Tree) ClosestToPath(path []topology.NodeID, k int, exclude map[PeerID]bool) ([]Candidate, error) {
+	if err := t.validatePath(path); err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// Walk down as far as the trie matches the reported path.
+	cur := t.root
+	matched := 0 // routers matched beyond the root
+	for i := len(path) - 2; i >= 0; i-- {
+		child, ok := cur.children[path[i]]
+		if !ok {
+			break
+		}
+		cur = child
+		matched++
+	}
+	virtualDepth := len(path) - 1 // the newcomer's would-be depth
+	ex := exclude
+	if ex == nil {
+		ex = map[PeerID]bool{}
+	}
+	return t.closestFrom(cur, virtualDepth, k, ex), nil
+}
+
+// closestFrom computes the exact k-nearest peers by dtree for a query point
+// located at trie node start with the given query depth (which may exceed
+// start.depth when the query path diverged below start).
+//
+// The walk ascends the ancestor chain; at each ancestor a (depth da) it
+// harvests peers from a's subtree excluding the child subtree already
+// covered, in increasing-depth order (BFS), so the first k peers harvested
+// at a level are the best of that level. A candidate harvested at level a
+// has dca depth exactly da, hence dtree = (qd − da) + (dq − da). The search
+// stops when the next level's best possible dtree cannot beat the current
+// kth best — making the answer exact, not approximate.
+func (t *Tree) closestFrom(start *node, queryDepth, k int, exclude map[PeerID]bool) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	perLevel := t.opts.MaxCandidatesPerLevel
+	if perLevel < k {
+		perLevel = k + len(exclude)
+	}
+	var out []Candidate
+	worst := func() int {
+		if len(out) < k {
+			return int(^uint(0) >> 1) // max int
+		}
+		return out[len(out)-1].DTree
+	}
+	var skip *node
+	for a := start; a != nil; a = a.parent {
+		da := int(a.depth)
+		// Lower bound for any peer with DCA at this level: the candidate
+		// sits at depth ≥ da (itself attached at a) so dtree ≥ qd−da —
+		// except candidates attached exactly at a when query diverged.
+		if len(out) >= k && queryDepth-da > worst() {
+			break
+		}
+		harvested := harvest(a, skip, perLevel, exclude)
+		for _, h := range harvested {
+			d := (queryDepth - da) + (int(h.node.depth) - da)
+			out = append(out, Candidate{Peer: h.peer, DTree: d})
+		}
+		if len(harvested) > 0 {
+			sort.Slice(out, func(i, j int) bool {
+				if out[i].DTree != out[j].DTree {
+					return out[i].DTree < out[j].DTree
+				}
+				return out[i].Peer < out[j].Peer
+			})
+			if len(out) > k {
+				out = out[:k]
+			}
+		}
+		skip = a
+	}
+	return out
+}
+
+type harvested struct {
+	peer PeerID
+	node *node
+}
+
+// harvest returns at least limit peers (when available) from root's subtree,
+// excluding the skip child subtree and excluded peers, in increasing-depth
+// (BFS) order. Once the limit is reached the current depth level is still
+// drained completely, so that callers tie-breaking equal-depth candidates by
+// peer ID see every candidate of the boundary depth.
+func harvest(root *node, skip *node, limit int, exclude map[PeerID]bool) []harvested {
+	if root.subtreeCount == 0 {
+		return nil
+	}
+	var out []harvested
+	queue := []*node{root}
+	cut := int32(-1)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if cut >= 0 && n.depth > cut {
+			break
+		}
+		for _, p := range n.peers {
+			if exclude[p] {
+				continue
+			}
+			out = append(out, harvested{peer: p, node: n})
+		}
+		if cut < 0 && len(out) >= limit {
+			cut = n.depth
+		}
+		if cut >= 0 || len(n.children) == 0 {
+			continue
+		}
+		for _, r := range n.childOrder {
+			c := n.children[r]
+			if c == skip || c.subtreeCount == 0 {
+				continue
+			}
+			queue = append(queue, c)
+		}
+	}
+	return out
+}
+
+// Peers returns all peer IDs in the tree in ascending order.
+func (t *Tree) Peers() []PeerID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]PeerID, 0, len(t.byPeer))
+	for p := range t.byPeer {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathOf returns peer p's stored path in peer→landmark order.
+func (t *Tree) PathOf(p PeerID) ([]topology.NodeID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.byPeer[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, p)
+	}
+	path := make([]topology.NodeID, 0, n.depth+1)
+	for m := n; m != nil; m = m.parent {
+		path = append(path, m.router)
+	}
+	return path, nil
+}
+
+// Stats summarizes tree shape for diagnostics and experiments.
+type Stats struct {
+	// Peers is the number of peers stored.
+	Peers int
+	// Nodes is the number of trie nodes, including the root.
+	Nodes int
+	// MaxDepth is the deepest trie node.
+	MaxDepth int
+	// RouterConflicts counts routers observed at multiple trie positions.
+	RouterConflicts int
+}
+
+// CheckInvariants deeply validates the tree's internal consistency:
+// subtree counters, depth bookkeeping, parent/child symmetry, sorted child
+// order, and index maps. It is O(nodes) and intended for tests and
+// debugging; it returns the first violation found.
+func (t *Tree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seenPeers := 0
+	var walk func(n *node) (int, error)
+	walk = func(n *node) (int, error) {
+		if len(n.childOrder) != len(n.children) {
+			return 0, fmt.Errorf("pathtree: node %d childOrder size %d != children %d",
+				n.router, len(n.childOrder), len(n.children))
+		}
+		for i, r := range n.childOrder {
+			if i > 0 && n.childOrder[i-1] >= r {
+				return 0, fmt.Errorf("pathtree: node %d childOrder not strictly ascending", n.router)
+			}
+			c, ok := n.children[r]
+			if !ok {
+				return 0, fmt.Errorf("pathtree: node %d orders missing child %d", n.router, r)
+			}
+			if c.parent != n {
+				return 0, fmt.Errorf("pathtree: child %d of %d has wrong parent", r, n.router)
+			}
+			if c.depth != n.depth+1 {
+				return 0, fmt.Errorf("pathtree: child %d depth %d under depth %d", r, c.depth, n.depth)
+			}
+		}
+		count := len(n.peers)
+		for _, p := range n.peers {
+			at, ok := t.byPeer[p]
+			if !ok || at != n {
+				return 0, fmt.Errorf("pathtree: peer %d index inconsistent", p)
+			}
+			seenPeers++
+		}
+		for _, c := range n.children {
+			sub, err := walk(c)
+			if err != nil {
+				return 0, err
+			}
+			count += sub
+		}
+		if count != n.subtreeCount {
+			return 0, fmt.Errorf("pathtree: node %d subtreeCount %d, actual %d",
+				n.router, n.subtreeCount, count)
+		}
+		return count, nil
+	}
+	if _, err := walk(t.root); err != nil {
+		return err
+	}
+	if seenPeers != len(t.byPeer) {
+		return fmt.Errorf("pathtree: %d peers attached but %d indexed", seenPeers, len(t.byPeer))
+	}
+	return nil
+}
+
+// Stats computes current tree statistics.
+func (t *Tree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := Stats{Peers: t.root.subtreeCount, RouterConflicts: t.routerConflicts}
+	var walk func(n *node)
+	walk = func(n *node) {
+		s.Nodes++
+		if int(n.depth) > s.MaxDepth {
+			s.MaxDepth = int(n.depth)
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return s
+}

@@ -1,0 +1,588 @@
+package pathtree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"proxdisc/internal/topology"
+)
+
+// P is shorthand for building paths.
+func P(ids ...topology.NodeID) []topology.NodeID { return ids }
+
+func TestInsertAndLen(t *testing.T) {
+	tr := New(0, Options{})
+	if tr.Len() != 0 {
+		t.Fatalf("empty len=%d", tr.Len())
+	}
+	if err := tr.Insert(1, P(5, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(2, P(6, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len=%d want 2", tr.Len())
+	}
+	if !tr.Contains(1) || !tr.Contains(2) || tr.Contains(99) {
+		t.Fatal("Contains wrong")
+	}
+	if tr.Landmark() != 0 {
+		t.Fatalf("landmark=%d", tr.Landmark())
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr := New(0, Options{})
+	if err := tr.Insert(1, nil); err == nil {
+		t.Fatal("accepted empty path")
+	}
+	if err := tr.Insert(1, P(5, 3, 7)); err == nil {
+		t.Fatal("accepted path not ending at landmark")
+	}
+	if err := tr.Insert(1, P(5, 5, 0)); err == nil {
+		t.Fatal("accepted repeated router")
+	}
+	if err := tr.Insert(1, P(5, topology.InvalidNode, 0)); err == nil {
+		t.Fatal("accepted anonymous router")
+	}
+}
+
+func TestDTreeSharedPrefix(t *testing.T) {
+	// Paths: p1 = a,c,L ; p2 = b,c,L ; p3 = d,L
+	// dtree(p1,p2) = 1+1 = 2 (dca = c at depth 1, both at depth 2)
+	// dtree(p1,p3) = 2+1 = 3 (dca = L)
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(10, 12, 0))
+	mustInsert(t, tr, 2, P(11, 12, 0))
+	mustInsert(t, tr, 3, P(13, 0))
+	cases := []struct {
+		p, q PeerID
+		want int
+	}{
+		{1, 2, 2}, {2, 1, 2}, {1, 3, 3}, {3, 2, 3},
+	}
+	for _, c := range cases {
+		got, err := tr.DTree(c.p, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("dtree(%d,%d)=%d want %d", c.p, c.q, got, c.want)
+		}
+	}
+	if d, _ := tr.DTree(1, 1); d != 0 {
+		t.Fatalf("dtree(p,p)=%d", d)
+	}
+	if _, err := tr.DTree(1, 99); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("unknown peer error=%v", err)
+	}
+}
+
+func TestSameAttachmentRouter(t *testing.T) {
+	// Two peers behind the same router have dtree 0.
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(7, 3, 0))
+	mustInsert(t, tr, 2, P(7, 3, 0))
+	if d, _ := tr.DTree(1, 2); d != 0 {
+		t.Fatalf("co-located dtree=%d", d)
+	}
+	got, err := tr.Closest(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Peer != 2 || got[0].DTree != 0 {
+		t.Fatalf("closest=%v", got)
+	}
+}
+
+func TestClosestExcludesSelf(t *testing.T) {
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(5, 0))
+	mustInsert(t, tr, 2, P(6, 0))
+	got, err := tr.Closest(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range got {
+		if c.Peer == 1 {
+			t.Fatal("query peer returned as its own neighbour")
+		}
+	}
+	if len(got) != 1 || got[0].Peer != 2 {
+		t.Fatalf("closest=%v", got)
+	}
+}
+
+func TestClosestOrdering(t *testing.T) {
+	// Build a comb: peers at increasing distance from peer 1.
+	//   p1 = a,b,c,L       (depth 3)
+	//   p2 = a2,b,c,L      dca=b: dtree=2
+	//   p3 = x,c,L         dca=c: dtree=3+? p3 depth 2, dca depth 1 → (3-1)+(2-1)=3
+	//   p4 = y,L           dca=L: (3-0)+(1-0)=4
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(10, 11, 12, 0))
+	mustInsert(t, tr, 2, P(20, 11, 12, 0))
+	mustInsert(t, tr, 3, P(30, 12, 0))
+	mustInsert(t, tr, 4, P(40, 0))
+	got, err := tr.Closest(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Candidate{{2, 2}, {3, 3}, {4, 4}}
+	if len(got) != 3 {
+		t.Fatalf("closest=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("closest=%v want %v", got, want)
+		}
+	}
+}
+
+func TestClosestKLargerThanPopulation(t *testing.T) {
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(5, 0))
+	mustInsert(t, tr, 2, P(6, 0))
+	got, _ := tr.Closest(1, 10)
+	if len(got) != 1 {
+		t.Fatalf("closest=%v", got)
+	}
+	if got2, _ := tr.Closest(1, 0); got2 != nil {
+		t.Fatalf("k=0 returned %v", got2)
+	}
+}
+
+func TestClosestUnknownPeer(t *testing.T) {
+	tr := New(0, Options{})
+	if _, err := tr.Closest(42, 1); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestClosestToPathWithoutInsertion(t *testing.T) {
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(10, 11, 0))
+	mustInsert(t, tr, 2, P(20, 0))
+	// Newcomer path shares router 11 with peer 1.
+	got, err := tr.ClosestToPath(P(99, 11, 0), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dtree(new,1) = (2-1)+(2-1)=2 ; dtree(new,2)=(2-0)+(1-0)=3
+	want := []Candidate{{1, 2}, {2, 3}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got=%v want %v", got, want)
+	}
+	if tr.Len() != 2 {
+		t.Fatal("query mutated the tree")
+	}
+}
+
+func TestClosestToPathExclude(t *testing.T) {
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(10, 0))
+	mustInsert(t, tr, 2, P(11, 0))
+	got, err := tr.ClosestToPath(P(12, 0), 5, map[PeerID]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Peer != 2 {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestClosestToPathDivergent(t *testing.T) {
+	// Newcomer path matches nothing beyond the landmark.
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(10, 11, 0))
+	got, err := tr.ClosestToPath(P(50, 51, 52, 0), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dtree = (3-0)+(2-0) = 5
+	if len(got) != 1 || got[0].DTree != 5 {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(10, 11, 0))
+	mustInsert(t, tr, 2, P(20, 11, 0))
+	if !tr.Remove(1) {
+		t.Fatal("remove reported absent")
+	}
+	if tr.Remove(1) {
+		t.Fatal("double remove succeeded")
+	}
+	if tr.Len() != 1 || tr.Contains(1) {
+		t.Fatal("remove did not erase peer")
+	}
+	got, _ := tr.Closest(2, 5)
+	if len(got) != 0 {
+		t.Fatalf("removed peer still returned: %v", got)
+	}
+	// Pruning: the branch for router 10 must be gone.
+	st := tr.Stats()
+	if st.Nodes != 3 { // root, 11, 20
+		t.Fatalf("nodes=%d want 3 after pruning", st.Nodes)
+	}
+}
+
+func TestReinsertReplacesPath(t *testing.T) {
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(10, 0))
+	mustInsert(t, tr, 1, P(20, 21, 0))
+	if tr.Len() != 1 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	d, err := tr.Depth(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("depth=%d want 2", d)
+	}
+	path, _ := tr.PathOf(1)
+	if len(path) != 3 || path[0] != 20 || path[1] != 21 || path[2] != 0 {
+		t.Fatalf("path=%v", path)
+	}
+}
+
+func TestPathOfUnknown(t *testing.T) {
+	tr := New(0, Options{})
+	if _, err := tr.PathOf(9); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := tr.Depth(9); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(10, 11, 0))
+	mustInsert(t, tr, 2, P(12, 11, 0))
+	st := tr.Stats()
+	if st.Peers != 2 {
+		t.Fatalf("peers=%d", st.Peers)
+	}
+	if st.Nodes != 4 { // root, 11, 10, 12
+		t.Fatalf("nodes=%d", st.Nodes)
+	}
+	if st.MaxDepth != 2 {
+		t.Fatalf("maxDepth=%d", st.MaxDepth)
+	}
+}
+
+func TestRouterConflictDetection(t *testing.T) {
+	// Lossy traces can report router 11 at two different positions.
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(11, 5, 0))
+	mustInsert(t, tr, 2, P(11, 0)) // 11 directly under root now too
+	st := tr.Stats()
+	if st.RouterConflicts == 0 {
+		t.Fatal("conflict not detected")
+	}
+	// Both peers must still be queryable.
+	if d, err := tr.DTree(1, 2); err != nil || d <= 0 {
+		t.Fatalf("dtree=%d err=%v", d, err)
+	}
+}
+
+// --- brute-force reference ---
+
+// refDTree computes dtree from stored paths by suffix matching.
+func refDTree(t *Tree, p, q PeerID) int {
+	pp, err := t.PathOf(p)
+	if err != nil {
+		panic(err)
+	}
+	qq, err := t.PathOf(q)
+	if err != nil {
+		panic(err)
+	}
+	i, j := len(pp)-1, len(qq)-1
+	common := 0
+	for i >= 0 && j >= 0 && pp[i] == qq[j] {
+		common++
+		i--
+		j--
+	}
+	return (len(pp) - common) + (len(qq) - common)
+}
+
+// refClosest is the O(n log n) reference for Closest.
+func refClosest(t *Tree, p PeerID, k int) []Candidate {
+	var out []Candidate
+	for _, q := range t.Peers() {
+		if q == p {
+			continue
+		}
+		out = append(out, Candidate{Peer: q, DTree: refDTree(t, p, q)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DTree != out[j].DTree {
+			return out[i].DTree < out[j].DTree
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// randomTree fills a tree with random branching paths.
+func randomTree(rng *rand.Rand, peers int) *Tree {
+	tr := New(0, Options{})
+	for p := 1; p <= peers; p++ {
+		depth := 1 + rng.Intn(6)
+		path := make([]topology.NodeID, 0, depth+1)
+		// Random path through a small router universe; dedupe as we go.
+		used := map[topology.NodeID]bool{0: true}
+		for len(path) < depth {
+			r := topology.NodeID(1 + rng.Intn(60))
+			if used[r] {
+				continue
+			}
+			used[r] = true
+			path = append(path, r)
+		}
+		path = append(path, 0)
+		if err := tr.Insert(PeerID(p), path); err != nil {
+			panic(err)
+		}
+	}
+	return tr
+}
+
+// Property: Closest agrees exactly with the brute-force reference.
+func TestClosestMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 2+rng.Intn(60))
+		peers := tr.Peers()
+		p := peers[rng.Intn(len(peers))]
+		k := 1 + rng.Intn(8)
+		got, err := tr.Closest(p, k)
+		if err != nil {
+			return false
+		}
+		want := refClosest(tr, p, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DTree is symmetric and matches the suffix-based reference.
+func TestDTreeMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 2+rng.Intn(40))
+		peers := tr.Peers()
+		p := peers[rng.Intn(len(peers))]
+		q := peers[rng.Intn(len(peers))]
+		d1, err := tr.DTree(p, q)
+		if err != nil {
+			return false
+		}
+		d2, err := tr.DTree(q, p)
+		if err != nil {
+			return false
+		}
+		return d1 == d2 && d1 == refDTree(tr, p, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removal restores peer count and never corrupts later queries.
+func TestInsertRemoveChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 30)
+		peers := tr.Peers()
+		// Remove a random half.
+		removed := map[PeerID]bool{}
+		for _, p := range peers {
+			if rng.Intn(2) == 0 {
+				tr.Remove(p)
+				removed[p] = true
+			}
+		}
+		if tr.Len() != len(peers)-len(removed) {
+			return false
+		}
+		// All remaining queries must exclude removed peers.
+		for _, p := range tr.Peers() {
+			got, err := tr.Closest(p, 10)
+			if err != nil {
+				return false
+			}
+			for _, c := range got {
+				if removed[c.Peer] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ClosestToPath for an inserted peer's own path (excluding the
+// peer) equals Closest for that peer.
+func TestClosestToPathConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 2+rng.Intn(40))
+		peers := tr.Peers()
+		p := peers[rng.Intn(len(peers))]
+		path, err := tr.PathOf(p)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(6)
+		a, err := tr.Closest(p, k)
+		if err != nil {
+			return false
+		}
+		b, err := tr.ClosestToPath(path, k, map[PeerID]bool{p: true})
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the deep invariant checker passes after arbitrary interleavings
+// of inserts, re-inserts, and removals.
+func TestInvariantsUnderChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(0, Options{})
+		live := map[PeerID]bool{}
+		for op := 0; op < 150; op++ {
+			p := PeerID(1 + rng.Intn(40))
+			switch rng.Intn(3) {
+			case 0, 1: // insert or replace
+				depth := 1 + rng.Intn(5)
+				path := make([]topology.NodeID, 0, depth+1)
+				used := map[topology.NodeID]bool{0: true}
+				for len(path) < depth {
+					r := topology.NodeID(1 + rng.Intn(30))
+					if !used[r] {
+						used[r] = true
+						path = append(path, r)
+					}
+				}
+				path = append(path, 0)
+				if err := tr.Insert(p, path); err != nil {
+					return false
+				}
+				live[p] = true
+			case 2:
+				tr.Remove(p)
+				delete(live, p)
+			}
+		}
+		if tr.Len() != len(live) {
+			return false
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	tr := New(0, Options{})
+	mustInsert(t, tr, 1, P(10, 11, 0))
+	mustInsert(t, tr, 2, P(12, 11, 0))
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("healthy tree failed: %v", err)
+	}
+	// Corrupt a subtree counter directly.
+	tr.root.subtreeCount++
+	if err := tr.CheckInvariants(); err == nil {
+		t.Fatal("corrupted counter not detected")
+	}
+	tr.root.subtreeCount--
+	// Corrupt the child order.
+	n := tr.byRouter[11]
+	if len(n.childOrder) >= 2 {
+		n.childOrder[0], n.childOrder[1] = n.childOrder[1], n.childOrder[0]
+		if err := tr.CheckInvariants(); err == nil {
+			t.Fatal("corrupted order not detected")
+		}
+	}
+}
+
+func TestConcurrentInsertQuery(t *testing.T) {
+	tr := New(0, Options{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				p := PeerID(w*1000 + i)
+				path := P(topology.NodeID(1+rng.Intn(50)), topology.NodeID(100+rng.Intn(10)), 0)
+				if path[0] == path[1] {
+					continue
+				}
+				if err := tr.Insert(p, path); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tr.Closest(p, 3); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%5 == 0 {
+					tr.Remove(p)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func mustInsert(t *testing.T, tr *Tree, p PeerID, path []topology.NodeID) {
+	t.Helper()
+	if err := tr.Insert(p, path); err != nil {
+		t.Fatalf("Insert(%d,%v): %v", p, path, err)
+	}
+}

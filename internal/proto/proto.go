@@ -1,0 +1,528 @@
+// Package proto defines the wire protocol between proxdisc peers, the
+// management server, and landmark probe responders.
+//
+// Frames are length-prefixed binary: a 4-byte big-endian payload length, a
+// 1-byte message type, then the payload. Integers are big-endian; strings
+// and slices carry 16-bit counts. Messages decode into preallocated structs
+// without reflection, and the decoder validates every length against hard
+// caps so a malicious peer cannot make the server allocate unbounded memory
+// (the DecodingLayerParser mindset: bounded, allocation-light decoding).
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a frame's payload.
+type MsgType byte
+
+// Message types. Requests flow peer→server; responses server→peer.
+const (
+	// MsgError carries an error response.
+	MsgError MsgType = iota + 1
+	// MsgAck acknowledges a request with no payload to return.
+	MsgAck
+	// MsgLandmarksRequest asks the server for the landmark list.
+	MsgLandmarksRequest
+	// MsgLandmarksResponse returns landmark router IDs and probe addresses.
+	MsgLandmarksResponse
+	// MsgJoinRequest reports a peer's router path and overlay address.
+	MsgJoinRequest
+	// MsgJoinResponse returns the closest-peer list.
+	MsgJoinResponse
+	// MsgLookupRequest re-asks for a registered peer's closest peers.
+	MsgLookupRequest
+	// MsgLookupResponse answers a lookup.
+	MsgLookupResponse
+	// MsgLeaveRequest deregisters a peer.
+	MsgLeaveRequest
+	// MsgRefreshRequest is a liveness heartbeat.
+	MsgRefreshRequest
+)
+
+// Limits protect the decoder. They are generous relative to real usage
+// (Internet paths are < 64 hops; answers are a handful of peers).
+const (
+	// MaxFrameSize bounds any frame payload.
+	MaxFrameSize = 1 << 16
+	// MaxPathLen bounds reported router paths.
+	MaxPathLen = 256
+	// MaxNeighbors bounds answer lists.
+	MaxNeighbors = 256
+	// MaxAddrLen bounds address strings.
+	MaxAddrLen = 256
+	// MaxLandmarks bounds the landmark list.
+	MaxLandmarks = 1024
+)
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("proto: frame exceeds MaxFrameSize")
+	ErrTruncated     = errors.New("proto: truncated payload")
+	ErrLimit         = errors.New("proto: field exceeds protocol limit")
+)
+
+// Error is the wire error response.
+type Error struct {
+	// Code is a machine-readable error class.
+	Code uint16
+	// Message is a human-readable description.
+	Message string
+}
+
+// Error codes.
+const (
+	CodeInternal        uint16 = 1
+	CodeUnknownLandmark uint16 = 2
+	CodeUnknownPeer     uint16 = 3
+	CodeBadRequest      uint16 = 4
+)
+
+// Error implements the error interface so wire errors can be returned
+// directly by clients.
+func (e *Error) Error() string {
+	return fmt.Sprintf("proxdisc server error %d: %s", e.Code, e.Message)
+}
+
+// Candidate is one closest-peer entry with the peer's overlay address so
+// the newcomer can connect immediately.
+type Candidate struct {
+	Peer  int64
+	DTree int32
+	Addr  string
+}
+
+// JoinRequest reports a peer's identity, overlay address, and router path
+// (peer-side first, ending at a landmark router ID).
+type JoinRequest struct {
+	Peer int64
+	Addr string
+	Path []int32
+}
+
+// JoinResponse returns the newcomer's closest peers.
+type JoinResponse struct {
+	Neighbors []Candidate
+}
+
+// LookupRequest re-queries the closest peers of a registered peer.
+type LookupRequest struct {
+	Peer int64
+}
+
+// LookupResponse answers a LookupRequest.
+type LookupResponse struct {
+	Neighbors []Candidate
+}
+
+// LeaveRequest deregisters a peer.
+type LeaveRequest struct {
+	Peer int64
+}
+
+// RefreshRequest heartbeats a peer.
+type RefreshRequest struct {
+	Peer int64
+}
+
+// LandmarksResponse lists the landmark router IDs and the UDP addresses of
+// their probe responders (parallel slices).
+type LandmarksResponse struct {
+	Routers []int32
+	Addrs   []string
+}
+
+// WriteFrame writes one frame (type + payload) to w.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload)+1 > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("proto: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("proto: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r. The returned payload is freshly
+// allocated and owned by the caller.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size < 1 || size > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	t := MsgType(hdr[4])
+	payload := make([]byte, size-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("proto: read payload: %w", err)
+	}
+	return t, payload, nil
+}
+
+// --- encoding primitives ---
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i32(v int32)  { e.u32(uint32(v)) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) str(s string) error {
+	if len(s) > MaxAddrLen {
+		return fmt.Errorf("%w: string length %d", ErrLimit, len(s))
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+	return nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) u16() (uint16, error) {
+	if d.remaining() < 2 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) i32() (int32, error) { v, err := d.u32(); return int32(v), err }
+func (d *decoder) i64() (int64, error) { v, err := d.u64(); return int64(v), err }
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > MaxAddrLen {
+		return "", fmt.Errorf("%w: string length %d", ErrLimit, n)
+	}
+	if d.remaining() < int(n) {
+		return "", ErrTruncated
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) finish() error {
+	if d.remaining() != 0 {
+		return fmt.Errorf("proto: %d trailing bytes", d.remaining())
+	}
+	return nil
+}
+
+// --- message codecs ---
+
+// EncodeError encodes an Error payload.
+func EncodeError(e *Error) []byte {
+	enc := encoder{}
+	enc.u16(e.Code)
+	msg := e.Message
+	if len(msg) > MaxAddrLen {
+		msg = msg[:MaxAddrLen]
+	}
+	_ = enc.str(msg)
+	return enc.buf
+}
+
+// DecodeError decodes an Error payload.
+func DecodeError(b []byte) (*Error, error) {
+	d := decoder{buf: b}
+	code, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	msg, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return &Error{Code: code, Message: msg}, nil
+}
+
+// EncodeJoinRequest encodes a JoinRequest payload.
+func EncodeJoinRequest(m *JoinRequest) ([]byte, error) {
+	if len(m.Path) > MaxPathLen {
+		return nil, fmt.Errorf("%w: path length %d", ErrLimit, len(m.Path))
+	}
+	enc := encoder{buf: make([]byte, 0, 16+len(m.Addr)+4*len(m.Path))}
+	enc.i64(m.Peer)
+	if err := enc.str(m.Addr); err != nil {
+		return nil, err
+	}
+	enc.u16(uint16(len(m.Path)))
+	for _, r := range m.Path {
+		enc.i32(r)
+	}
+	return enc.buf, nil
+}
+
+// DecodeJoinRequest decodes a JoinRequest payload.
+func DecodeJoinRequest(b []byte) (*JoinRequest, error) {
+	d := decoder{buf: b}
+	m := &JoinRequest{}
+	var err error
+	if m.Peer, err = d.i64(); err != nil {
+		return nil, err
+	}
+	if m.Addr, err = d.str(); err != nil {
+		return nil, err
+	}
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > MaxPathLen {
+		return nil, fmt.Errorf("%w: path length %d", ErrLimit, n)
+	}
+	m.Path = make([]int32, n)
+	for i := range m.Path {
+		if m.Path[i], err = d.i32(); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// encodeCandidates is shared by join and lookup responses.
+func encodeCandidates(cands []Candidate) ([]byte, error) {
+	if len(cands) > MaxNeighbors {
+		return nil, fmt.Errorf("%w: %d neighbours", ErrLimit, len(cands))
+	}
+	enc := encoder{}
+	enc.u16(uint16(len(cands)))
+	for _, c := range cands {
+		enc.i64(c.Peer)
+		enc.i32(c.DTree)
+		if err := enc.str(c.Addr); err != nil {
+			return nil, err
+		}
+	}
+	return enc.buf, nil
+}
+
+func decodeCandidates(b []byte) ([]Candidate, error) {
+	d := decoder{buf: b}
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > MaxNeighbors {
+		return nil, fmt.Errorf("%w: %d neighbours", ErrLimit, n)
+	}
+	cands := make([]Candidate, n)
+	for i := range cands {
+		if cands[i].Peer, err = d.i64(); err != nil {
+			return nil, err
+		}
+		if cands[i].DTree, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if cands[i].Addr, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return cands, nil
+}
+
+// EncodeJoinResponse encodes a JoinResponse payload.
+func EncodeJoinResponse(m *JoinResponse) ([]byte, error) { return encodeCandidates(m.Neighbors) }
+
+// DecodeJoinResponse decodes a JoinResponse payload.
+func DecodeJoinResponse(b []byte) (*JoinResponse, error) {
+	cands, err := decodeCandidates(b)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinResponse{Neighbors: cands}, nil
+}
+
+// EncodeLookupResponse encodes a LookupResponse payload.
+func EncodeLookupResponse(m *LookupResponse) ([]byte, error) { return encodeCandidates(m.Neighbors) }
+
+// DecodeLookupResponse decodes a LookupResponse payload.
+func DecodeLookupResponse(b []byte) (*LookupResponse, error) {
+	cands, err := decodeCandidates(b)
+	if err != nil {
+		return nil, err
+	}
+	return &LookupResponse{Neighbors: cands}, nil
+}
+
+// encodePeerID is shared by the single-field request messages.
+func encodePeerID(peer int64) []byte {
+	enc := encoder{buf: make([]byte, 0, 8)}
+	enc.i64(peer)
+	return enc.buf
+}
+
+func decodePeerID(b []byte) (int64, error) {
+	d := decoder{buf: b}
+	v, err := d.i64()
+	if err != nil {
+		return 0, err
+	}
+	if err := d.finish(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// EncodeLookupRequest encodes a LookupRequest payload.
+func EncodeLookupRequest(m *LookupRequest) []byte { return encodePeerID(m.Peer) }
+
+// DecodeLookupRequest decodes a LookupRequest payload.
+func DecodeLookupRequest(b []byte) (*LookupRequest, error) {
+	v, err := decodePeerID(b)
+	if err != nil {
+		return nil, err
+	}
+	return &LookupRequest{Peer: v}, nil
+}
+
+// EncodeLeaveRequest encodes a LeaveRequest payload.
+func EncodeLeaveRequest(m *LeaveRequest) []byte { return encodePeerID(m.Peer) }
+
+// DecodeLeaveRequest decodes a LeaveRequest payload.
+func DecodeLeaveRequest(b []byte) (*LeaveRequest, error) {
+	v, err := decodePeerID(b)
+	if err != nil {
+		return nil, err
+	}
+	return &LeaveRequest{Peer: v}, nil
+}
+
+// EncodeRefreshRequest encodes a RefreshRequest payload.
+func EncodeRefreshRequest(m *RefreshRequest) []byte { return encodePeerID(m.Peer) }
+
+// DecodeRefreshRequest decodes a RefreshRequest payload.
+func DecodeRefreshRequest(b []byte) (*RefreshRequest, error) {
+	v, err := decodePeerID(b)
+	if err != nil {
+		return nil, err
+	}
+	return &RefreshRequest{Peer: v}, nil
+}
+
+// EncodeLandmarksResponse encodes a LandmarksResponse payload.
+func EncodeLandmarksResponse(m *LandmarksResponse) ([]byte, error) {
+	if len(m.Routers) != len(m.Addrs) {
+		return nil, fmt.Errorf("proto: %d routers but %d addrs", len(m.Routers), len(m.Addrs))
+	}
+	if len(m.Routers) > MaxLandmarks {
+		return nil, fmt.Errorf("%w: %d landmarks", ErrLimit, len(m.Routers))
+	}
+	enc := encoder{}
+	enc.u16(uint16(len(m.Routers)))
+	for i := range m.Routers {
+		enc.i32(m.Routers[i])
+		if err := enc.str(m.Addrs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return enc.buf, nil
+}
+
+// DecodeLandmarksResponse decodes a LandmarksResponse payload.
+func DecodeLandmarksResponse(b []byte) (*LandmarksResponse, error) {
+	d := decoder{buf: b}
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > MaxLandmarks {
+		return nil, fmt.Errorf("%w: %d landmarks", ErrLimit, n)
+	}
+	m := &LandmarksResponse{
+		Routers: make([]int32, n),
+		Addrs:   make([]string, n),
+	}
+	for i := 0; i < int(n); i++ {
+		if m.Routers[i], err = d.i32(); err != nil {
+			return nil, err
+		}
+		if m.Addrs[i], err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ProbePacket is the 12-byte UDP landmark probe: a magic tag plus a nonce
+// echoed back verbatim. RTT = receive time − send time.
+const (
+	// ProbeMagic tags proxdisc probe datagrams.
+	ProbeMagic uint32 = 0x70647072 // "pdpr"
+	// ProbeSize is the datagram length.
+	ProbeSize = 12
+)
+
+// EncodeProbe builds a probe datagram with the given nonce.
+func EncodeProbe(nonce uint64) []byte {
+	b := make([]byte, ProbeSize)
+	binary.BigEndian.PutUint32(b[:4], ProbeMagic)
+	binary.BigEndian.PutUint64(b[4:], nonce)
+	return b
+}
+
+// DecodeProbe validates a probe datagram and returns its nonce.
+func DecodeProbe(b []byte) (uint64, error) {
+	if len(b) != ProbeSize {
+		return 0, fmt.Errorf("proto: probe size %d", len(b))
+	}
+	if binary.BigEndian.Uint32(b[:4]) != ProbeMagic {
+		return 0, errors.New("proto: bad probe magic")
+	}
+	return binary.BigEndian.Uint64(b[4:]), nil
+}

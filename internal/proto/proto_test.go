@@ -1,0 +1,287 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4}
+	if err := WriteFrame(&buf, MsgJoinRequest, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgJoinRequest || !bytes.Equal(got, payload) {
+		t.Fatalf("typ=%v payload=%v", typ, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgAck || len(got) != 0 {
+		t.Fatalf("typ=%v payload=%v", typ, got)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgAck, make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err=%v", err)
+	}
+	// Oversized length header on the read side.
+	bad := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgAck)}
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err=%v", err)
+	}
+	// Zero-length frame is invalid (must at least carry the type byte).
+	zero := []byte{0, 0, 0, 0}
+	if _, _, err := ReadFrame(bytes.NewReader(zero)); err == nil {
+		t.Fatal("accepted zero-size frame")
+	}
+}
+
+func TestFrameTruncatedRead(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgAck, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("accepted truncated frame")
+	}
+}
+
+func TestJoinRequestRoundTrip(t *testing.T) {
+	m := &JoinRequest{Peer: 42, Addr: "127.0.0.1:9000", Path: []int32{5, 9, 13, 0}}
+	b, err := EncodeJoinRequest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJoinRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Peer != m.Peer || got.Addr != m.Addr || len(got.Path) != len(m.Path) {
+		t.Fatalf("got=%+v", got)
+	}
+	for i := range m.Path {
+		if got.Path[i] != m.Path[i] {
+			t.Fatalf("path[%d]=%d", i, got.Path[i])
+		}
+	}
+}
+
+func TestJoinRequestLimits(t *testing.T) {
+	if _, err := EncodeJoinRequest(&JoinRequest{Path: make([]int32, MaxPathLen+1)}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := EncodeJoinRequest(&JoinRequest{Addr: strings.Repeat("x", MaxAddrLen+1)}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("err=%v", err)
+	}
+	// Decoder-side limit: forge a count beyond the cap.
+	forged := []byte{
+		0, 0, 0, 0, 0, 0, 0, 1, // peer
+		0, 0, // addr len 0
+		0xFF, 0xFF, // path count 65535
+	}
+	if _, err := DecodeJoinRequest(forged); !errors.Is(err, ErrLimit) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestJoinRequestTrailingBytes(t *testing.T) {
+	m := &JoinRequest{Peer: 1, Addr: "a", Path: []int32{0}}
+	b, _ := EncodeJoinRequest(m)
+	b = append(b, 0xAB)
+	if _, err := DecodeJoinRequest(b); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}
+
+func TestResponsesRoundTrip(t *testing.T) {
+	cands := []Candidate{
+		{Peer: 1, DTree: 3, Addr: "10.0.0.1:1"},
+		{Peer: 2, DTree: 0, Addr: ""},
+	}
+	jb, err := EncodeJoinResponse(&JoinResponse{Neighbors: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := DecodeJoinResponse(jb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Neighbors) != 2 || jr.Neighbors[0] != cands[0] || jr.Neighbors[1] != cands[1] {
+		t.Fatalf("join resp=%+v", jr)
+	}
+	lb, err := EncodeLookupResponse(&LookupResponse{Neighbors: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := DecodeLookupResponse(lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Neighbors) != 2 {
+		t.Fatalf("lookup resp=%+v", lr)
+	}
+}
+
+func TestResponseLimit(t *testing.T) {
+	if _, err := EncodeJoinResponse(&JoinResponse{Neighbors: make([]Candidate, MaxNeighbors+1)}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestPeerIDMessages(t *testing.T) {
+	lr, err := DecodeLookupRequest(EncodeLookupRequest(&LookupRequest{Peer: -7}))
+	if err != nil || lr.Peer != -7 {
+		t.Fatalf("lookup=%+v err=%v", lr, err)
+	}
+	lv, err := DecodeLeaveRequest(EncodeLeaveRequest(&LeaveRequest{Peer: 9}))
+	if err != nil || lv.Peer != 9 {
+		t.Fatalf("leave=%+v err=%v", lv, err)
+	}
+	rf, err := DecodeRefreshRequest(EncodeRefreshRequest(&RefreshRequest{Peer: 11}))
+	if err != nil || rf.Peer != 11 {
+		t.Fatalf("refresh=%+v err=%v", rf, err)
+	}
+	if _, err := DecodeLookupRequest([]byte{1, 2}); err == nil {
+		t.Fatal("accepted short peer id")
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	e := &Error{Code: CodeUnknownPeer, Message: "peer 5 not found"}
+	got, err := DecodeError(EncodeError(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != e.Code || got.Message != e.Message {
+		t.Fatalf("got=%+v", got)
+	}
+	if !strings.Contains(got.Error(), "peer 5") {
+		t.Fatalf("error string=%q", got.Error())
+	}
+	// Oversized messages are truncated, not rejected.
+	big := &Error{Code: 1, Message: strings.Repeat("m", 1000)}
+	got2, err := DecodeError(EncodeError(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Message) != MaxAddrLen {
+		t.Fatalf("message length %d", len(got2.Message))
+	}
+}
+
+func TestLandmarksRoundTrip(t *testing.T) {
+	m := &LandmarksResponse{
+		Routers: []int32{10, 20, 30},
+		Addrs:   []string{"127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003"},
+	}
+	b, err := EncodeLandmarksResponse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLandmarksResponse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Routers) != 3 || got.Routers[1] != 20 || got.Addrs[2] != "127.0.0.1:7003" {
+		t.Fatalf("got=%+v", got)
+	}
+	if _, err := EncodeLandmarksResponse(&LandmarksResponse{Routers: []int32{1}, Addrs: nil}); err == nil {
+		t.Fatal("accepted mismatched slices")
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	b := EncodeProbe(0xDEADBEEF12345678)
+	nonce, err := DecodeProbe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nonce != 0xDEADBEEF12345678 {
+		t.Fatalf("nonce=%x", nonce)
+	}
+	if _, err := DecodeProbe(b[:8]); err == nil {
+		t.Fatal("accepted short probe")
+	}
+	b[0] ^= 0xFF
+	if _, err := DecodeProbe(b); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+}
+
+// Property: JoinRequest round-trips for arbitrary valid field values.
+func TestJoinRequestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &JoinRequest{
+			Peer: rng.Int63() - rng.Int63(),
+			Addr: strings.Repeat("a", rng.Intn(64)),
+			Path: make([]int32, rng.Intn(MaxPathLen)),
+		}
+		for i := range m.Path {
+			m.Path[i] = rng.Int31()
+		}
+		b, err := EncodeJoinRequest(m)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeJoinRequest(b)
+		if err != nil {
+			return false
+		}
+		if got.Peer != m.Peer || got.Addr != m.Addr || len(got.Path) != len(m.Path) {
+			return false
+		}
+		for i := range m.Path {
+			if got.Path[i] != m.Path[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never panics on random garbage.
+func TestDecodersRobustToGarbage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := make([]byte, rng.Intn(256))
+		rng.Read(b)
+		// All decoders must return (possibly error) without panicking.
+		_, _ = DecodeJoinRequest(b)
+		_, _ = DecodeJoinResponse(b)
+		_, _ = DecodeLookupRequest(b)
+		_, _ = DecodeLookupResponse(b)
+		_, _ = DecodeLeaveRequest(b)
+		_, _ = DecodeRefreshRequest(b)
+		_, _ = DecodeLandmarksResponse(b)
+		_, _ = DecodeError(b)
+		_, _ = DecodeProbe(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

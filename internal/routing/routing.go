@@ -1,0 +1,213 @@
+// Package routing computes shortest paths over router-level topologies.
+//
+// The proxdisc simulator needs three things from its routing substrate:
+//
+//   - hop-count distances between arbitrary router pairs (the paper's D,
+//     Dclosest and Drandom metrics are sums of hop distances);
+//   - a deterministic routing tree toward each landmark, so that a simulated
+//     traceroute from a peer to a landmark always reports the same router
+//     path the "network" would use;
+//   - latency-weighted paths for RTT modelling.
+//
+// Determinism matters: real networks have a single installed route at any
+// moment, and the reproducibility of every experiment depends on stable
+// tie-breaking. All functions break shortest-path ties toward the smaller
+// router ID.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"proxdisc/internal/topology"
+)
+
+// Unreachable marks nodes with no path to the BFS/Dijkstra source.
+const Unreachable = int32(-1)
+
+// Tree is a shortest-path tree rooted at Root. Parent[u] is the next hop
+// from u toward the root (Parent[Root] == InvalidNode), Depth[u] the hop
+// distance (Unreachable if disconnected).
+type Tree struct {
+	Root   topology.NodeID
+	Parent []topology.NodeID
+	Depth  []int32
+}
+
+// BFSTree builds the deterministic hop-count shortest-path tree rooted at
+// root. Among equal-hop parents the smallest-ID parent wins, which mirrors a
+// stable routing protocol choosing a single installed route.
+func BFSTree(g *topology.Graph, root topology.NodeID) (*Tree, error) {
+	n := g.NumNodes()
+	if int(root) < 0 || int(root) >= n {
+		return nil, fmt.Errorf("routing: root %d out of range [0,%d)", root, n)
+	}
+	t := &Tree{
+		Root:   root,
+		Parent: make([]topology.NodeID, n),
+		Depth:  make([]int32, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = topology.InvalidNode
+		t.Depth[i] = Unreachable
+	}
+	t.Depth[root] = 0
+	queue := make([]topology.NodeID, 0, n)
+	queue = append(queue, root)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			switch {
+			case t.Depth[v] == Unreachable:
+				t.Depth[v] = t.Depth[u] + 1
+				t.Parent[v] = u
+				queue = append(queue, v)
+			case t.Depth[v] == t.Depth[u]+1 && u < t.Parent[v]:
+				// Deterministic tie-break toward the smaller parent ID.
+				t.Parent[v] = u
+			}
+		}
+	}
+	return t, nil
+}
+
+// PathFrom returns the router path u → … → root, inclusive at both ends.
+// Returns nil when u is unreachable or invalid.
+func (t *Tree) PathFrom(u topology.NodeID) []topology.NodeID {
+	if int(u) < 0 || int(u) >= len(t.Depth) || t.Depth[u] == Unreachable {
+		return nil
+	}
+	path := make([]topology.NodeID, 0, t.Depth[u]+1)
+	for v := u; v != topology.InvalidNode; v = t.Parent[v] {
+		path = append(path, v)
+	}
+	return path
+}
+
+// HopDistance returns the hop count from u to the root, or Unreachable.
+func (t *Tree) HopDistance(u topology.NodeID) int32 {
+	if int(u) < 0 || int(u) >= len(t.Depth) {
+		return Unreachable
+	}
+	return t.Depth[u]
+}
+
+// BFSDistances returns hop distances from src to every node (Unreachable for
+// disconnected nodes). This is the workhorse of the brute-force Dclosest
+// baseline: one call yields a newcomer's distance to every candidate peer.
+func BFSDistances(g *topology.Graph, src topology.NodeID) ([]int32, error) {
+	t, err := BFSTree(g, src)
+	if err != nil {
+		return nil, err
+	}
+	return t.Depth, nil
+}
+
+// WeightFunc reports the latency (or any non-negative cost) of traversing
+// the edge (u,v). It is only called for edges present in the graph.
+type WeightFunc func(u, v topology.NodeID) float64
+
+// WeightedTree is a latency-weighted shortest-path tree.
+type WeightedTree struct {
+	Root   topology.NodeID
+	Parent []topology.NodeID
+	Cost   []float64 // +Inf when unreachable
+	Hops   []int32
+}
+
+// DijkstraTree builds the minimum-latency tree rooted at root, breaking cost
+// ties first by hop count and then by smaller parent ID.
+func DijkstraTree(g *topology.Graph, root topology.NodeID, w WeightFunc) (*WeightedTree, error) {
+	n := g.NumNodes()
+	if int(root) < 0 || int(root) >= n {
+		return nil, fmt.Errorf("routing: root %d out of range [0,%d)", root, n)
+	}
+	t := &WeightedTree{
+		Root:   root,
+		Parent: make([]topology.NodeID, n),
+		Cost:   make([]float64, n),
+		Hops:   make([]int32, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = topology.InvalidNode
+		t.Cost[i] = math.Inf(1)
+		t.Hops[i] = Unreachable
+	}
+	t.Cost[root] = 0
+	t.Hops[root] = 0
+	pq := &nodeHeap{items: []heapItem{{node: root, cost: 0}}}
+	done := make([]bool, n)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, v := range g.Neighbors(u) {
+			cw := w(u, v)
+			if cw < 0 {
+				return nil, fmt.Errorf("routing: negative weight %g on edge (%d,%d)", cw, u, v)
+			}
+			nc := t.Cost[u] + cw
+			nh := t.Hops[u] + 1
+			better := nc < t.Cost[v] ||
+				(nc == t.Cost[v] && nh < t.Hops[v]) ||
+				(nc == t.Cost[v] && nh == t.Hops[v] && t.Parent[v] != topology.InvalidNode && u < t.Parent[v])
+			if better {
+				t.Cost[v] = nc
+				t.Hops[v] = nh
+				t.Parent[v] = u
+				heap.Push(pq, heapItem{node: v, cost: nc})
+			}
+		}
+	}
+	return t, nil
+}
+
+// PathFrom returns the router path u → … → root on the weighted tree.
+func (t *WeightedTree) PathFrom(u topology.NodeID) []topology.NodeID {
+	if int(u) < 0 || int(u) >= len(t.Cost) || math.IsInf(t.Cost[u], 1) {
+		return nil
+	}
+	path := make([]topology.NodeID, 0, t.Hops[u]+1)
+	for v := u; v != topology.InvalidNode; v = t.Parent[v] {
+		path = append(path, v)
+	}
+	return path
+}
+
+// Latency returns the accumulated cost from u to the root (+Inf when
+// unreachable).
+func (t *WeightedTree) Latency(u topology.NodeID) float64 {
+	if int(u) < 0 || int(u) >= len(t.Cost) {
+		return math.Inf(1)
+	}
+	return t.Cost[u]
+}
+
+type heapItem struct {
+	node topology.NodeID
+	cost float64
+}
+
+type nodeHeap struct{ items []heapItem }
+
+func (h *nodeHeap) Len() int { return len(h.items) }
+func (h *nodeHeap) Less(i, j int) bool {
+	if h.items[i].cost != h.items[j].cost {
+		return h.items[i].cost < h.items[j].cost
+	}
+	return h.items[i].node < h.items[j].node
+}
+func (h *nodeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) Push(x any)    { h.items = append(h.items, x.(heapItem)) }
+func (h *nodeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,254 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"proxdisc/internal/topology"
+)
+
+// lineGraph returns 0-1-2-...-n-1.
+func lineGraph(n int) *topology.Graph {
+	g := topology.NewGraph(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(topology.NodeID(i-1), topology.NodeID(i)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestBFSTreeLine(t *testing.T) {
+	g := lineGraph(5)
+	tr, err := BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if tr.Depth[i] != int32(i) {
+			t.Fatalf("depth[%d]=%d want %d", i, tr.Depth[i], i)
+		}
+	}
+	path := tr.PathFrom(4)
+	want := []topology.NodeID{4, 3, 2, 1, 0}
+	if len(path) != len(want) {
+		t.Fatalf("path=%v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path=%v want %v", path, want)
+		}
+	}
+}
+
+func TestBFSTreeRootPath(t *testing.T) {
+	g := lineGraph(3)
+	tr, _ := BFSTree(g, 1)
+	p := tr.PathFrom(1)
+	if len(p) != 1 || p[0] != 1 {
+		t.Fatalf("root path=%v", p)
+	}
+	if tr.HopDistance(1) != 0 {
+		t.Fatalf("root distance=%d", tr.HopDistance(1))
+	}
+}
+
+func TestBFSTreeUnreachable(t *testing.T) {
+	g := topology.NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := BFSTree(g, 0)
+	if tr.Depth[2] != Unreachable {
+		t.Fatalf("disconnected node depth=%d", tr.Depth[2])
+	}
+	if tr.PathFrom(2) != nil {
+		t.Fatal("path to unreachable node should be nil")
+	}
+	if tr.HopDistance(99) != Unreachable {
+		t.Fatal("invalid node should be Unreachable")
+	}
+}
+
+func TestBFSTreeBadRoot(t *testing.T) {
+	g := lineGraph(2)
+	if _, err := BFSTree(g, 7); err == nil {
+		t.Fatal("accepted out-of-range root")
+	}
+	if _, err := BFSTree(g, -1); err == nil {
+		t.Fatal("accepted negative root")
+	}
+}
+
+func TestBFSDeterministicTieBreak(t *testing.T) {
+	// Diamond: 0-1, 0-2, 1-3, 2-3. From root 0, node 3 has two equal-cost
+	// parents (1 and 2); the tree must pick 1 (smaller ID) every time.
+	g := topology.NewGraph(4)
+	for _, e := range [][2]topology.NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		tr, _ := BFSTree(g, 0)
+		if tr.Parent[3] != 1 {
+			t.Fatalf("tie-break chose parent %d want 1", tr.Parent[3])
+		}
+	}
+}
+
+func TestBFSDistancesSymmetric(t *testing.T) {
+	g, err := topology.Generate(topology.Config{Model: topology.ModelBarabasiAlbert, CoreRouters: 200, LeafRouters: 100, EdgesPerNode: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for k := 0; k < 10; k++ {
+		u := topology.NodeID(rng.Intn(g.NumNodes()))
+		v := topology.NodeID(rng.Intn(g.NumNodes()))
+		du, err := BFSDistances(g, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := BFSDistances(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if du[v] != dv[u] {
+			t.Fatalf("asymmetric hop distance d(%d,%d)=%d but d(%d,%d)=%d", u, v, du[v], v, u, dv[u])
+		}
+	}
+}
+
+// Property: hop distances obey the triangle inequality on connected graphs.
+func TestHopTriangleInequality(t *testing.T) {
+	g, err := topology.Generate(topology.Config{Model: topology.ModelBarabasiAlbert, CoreRouters: 120, LeafRouters: 80, EdgesPerNode: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	f := func(a, b, c uint16) bool {
+		u := topology.NodeID(int(a) % n)
+		v := topology.NodeID(int(b) % n)
+		w := topology.NodeID(int(c) % n)
+		du, _ := BFSDistances(g, u)
+		dv, _ := BFSDistances(g, v)
+		return du[w] <= du[v]+dv[w]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	g, err := topology.Generate(topology.Config{Model: topology.ModelBarabasiAlbert, CoreRouters: 150, LeafRouters: 100, EdgesPerNode: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := func(u, v topology.NodeID) float64 { return 1 }
+	bfs, _ := BFSTree(g, 0)
+	dij, err := DijkstraTree(g, 0, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if int32(dij.Cost[u]) != bfs.Depth[u] {
+			t.Fatalf("node %d: dijkstra cost %v != bfs depth %d", u, dij.Cost[u], bfs.Depth[u])
+		}
+	}
+}
+
+func TestDijkstraWeightedPath(t *testing.T) {
+	// Triangle with a heavy direct edge: 0-1 (10), 0-2 (1), 2-1 (1).
+	// Shortest 0→1 goes through 2.
+	g := topology.NewGraph(3)
+	for _, e := range [][2]topology.NodeID{{0, 1}, {0, 2}, {2, 1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := func(u, v topology.NodeID) float64 {
+		if (u == 0 && v == 1) || (u == 1 && v == 0) {
+			return 10
+		}
+		return 1
+	}
+	tr, err := DijkstraTree(g, 0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost[1] != 2 {
+		t.Fatalf("cost to 1 = %v want 2", tr.Cost[1])
+	}
+	p := tr.PathFrom(1)
+	want := []topology.NodeID{1, 2, 0}
+	if len(p) != 3 || p[0] != want[0] || p[1] != want[1] || p[2] != want[2] {
+		t.Fatalf("path=%v want %v", p, want)
+	}
+}
+
+func TestDijkstraRejectsNegativeWeight(t *testing.T) {
+	g := lineGraph(2)
+	if _, err := DijkstraTree(g, 0, func(u, v topology.NodeID) float64 { return -1 }); err == nil {
+		t.Fatal("accepted negative weight")
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := topology.NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DijkstraTree(g, 0, func(u, v topology.NodeID) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tr.Cost[2], 1) {
+		t.Fatalf("unreachable cost=%v", tr.Cost[2])
+	}
+	if tr.PathFrom(2) != nil {
+		t.Fatal("path to unreachable should be nil")
+	}
+	if !math.IsInf(tr.Latency(99), 1) {
+		t.Fatal("invalid node latency should be +Inf")
+	}
+}
+
+func TestDijkstraBadRoot(t *testing.T) {
+	g := lineGraph(2)
+	if _, err := DijkstraTree(g, 5, func(u, v topology.NodeID) float64 { return 1 }); err == nil {
+		t.Fatal("accepted out-of-range root")
+	}
+}
+
+// Property: every PathFrom result starts at the query node, ends at the
+// root, has length depth+1, and every consecutive pair is a real edge.
+func TestPathWellFormed(t *testing.T) {
+	g, err := topology.Generate(topology.Config{Model: topology.ModelBarabasiAlbert, CoreRouters: 100, LeafRouters: 80, EdgesPerNode: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := BFSTree(g, 0)
+	n := g.NumNodes()
+	f := func(raw uint16) bool {
+		u := topology.NodeID(int(raw) % n)
+		p := tr.PathFrom(u)
+		if len(p) != int(tr.Depth[u])+1 {
+			return false
+		}
+		if p[0] != u || p[len(p)-1] != 0 {
+			return false
+		}
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package server implements the paper's management server: the component
+// that stores every peer's router path to its landmark and answers a
+// newcomer's closest-peers query (the "second round" of the protocol).
+//
+// The server maintains one path tree per landmark. A peer joins by reporting
+// the router path from itself to its closest landmark (which the peer
+// discovered in the "first round" with the traceroute-like tool); the server
+// answers with the k peers whose paths indicate they are nearest, then
+// inserts the newcomer so later arrivals can discover it.
+//
+// The server also implements the paper's future-work items: peer departure
+// and expiry (faulty peers / handover), and super-peer delegation.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/topology"
+)
+
+// DefaultNeighborCount is the size of the neighbour list returned to
+// newcomers when Config.NeighborCount is zero.
+const DefaultNeighborCount = 5
+
+// ErrUnknownLandmark is returned when a reported path does not terminate at
+// a registered landmark.
+var ErrUnknownLandmark = errors.New("server: path does not end at a registered landmark")
+
+// ErrUnknownPeer is returned by lookups for absent peers.
+var ErrUnknownPeer = errors.New("server: unknown peer")
+
+// Config parameterizes the management server.
+type Config struct {
+	// Landmarks lists the landmark routers. At least one is required.
+	Landmarks []topology.NodeID
+	// NeighborCount is the number of closest peers returned to a newcomer
+	// (the paper's "short list"). Defaults to DefaultNeighborCount.
+	NeighborCount int
+	// PeerTTL, when positive, is the duration after which a peer that has
+	// not refreshed is eligible for expiry sweeps (faulty-peer handling).
+	PeerTTL time.Duration
+	// Clock supplies the current time; defaults to time.Now. Simulations
+	// inject a virtual clock here.
+	Clock func() time.Time
+	// TreeOptions tunes the underlying path trees.
+	TreeOptions pathtree.Options
+}
+
+// PeerInfo is the server's record of one peer.
+type PeerInfo struct {
+	// ID is the peer's identifier.
+	ID pathtree.PeerID
+	// Landmark is the landmark whose tree holds the peer.
+	Landmark topology.NodeID
+	// Path is the reported router path, peer-side first.
+	Path []topology.NodeID
+	// SuperPeer marks peers that volunteered to answer locality queries
+	// for their vicinity.
+	SuperPeer bool
+	// LastRefresh is the time of the last join/refresh.
+	LastRefresh time.Time
+}
+
+// Stats counts server activity and state.
+type Stats struct {
+	// Peers is the current number of registered peers.
+	Peers int
+	// Joins, Leaves, Expiries, and Queries count operations since start.
+	Joins, Leaves, Expiries, Queries int
+	// SuperPeerDelegations counts queries answered by delegating to a
+	// nearby super-peer rather than by a full tree walk.
+	SuperPeerDelegations int
+	// TreeStats maps each landmark to its path-tree statistics.
+	TreeStats map[topology.NodeID]pathtree.Stats
+}
+
+// Server is the management server. It is safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	trees map[topology.NodeID]*pathtree.Tree
+	peers map[pathtree.PeerID]*PeerInfo
+
+	joins, leaves, expiries, queries, delegations int
+}
+
+// New builds a server for the given landmark set.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Landmarks) == 0 {
+		return nil, errors.New("server: at least one landmark required")
+	}
+	if cfg.NeighborCount == 0 {
+		cfg.NeighborCount = DefaultNeighborCount
+	}
+	if cfg.NeighborCount < 0 {
+		return nil, fmt.Errorf("server: negative NeighborCount %d", cfg.NeighborCount)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	s := &Server{
+		cfg:   cfg,
+		trees: make(map[topology.NodeID]*pathtree.Tree, len(cfg.Landmarks)),
+		peers: make(map[pathtree.PeerID]*PeerInfo),
+	}
+	for _, lm := range cfg.Landmarks {
+		if _, dup := s.trees[lm]; dup {
+			return nil, fmt.Errorf("server: duplicate landmark %d", lm)
+		}
+		s.trees[lm] = pathtree.New(lm, cfg.TreeOptions)
+	}
+	return s, nil
+}
+
+// Landmarks returns the registered landmark routers in ascending order.
+func (s *Server) Landmarks() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(s.trees))
+	for lm := range s.trees {
+		out = append(out, lm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NeighborCount reports the configured answer size.
+func (s *Server) NeighborCount() int { return s.cfg.NeighborCount }
+
+// Join registers peer p with its reported path and returns its closest
+// peers. The answer is computed before insertion, so a peer never appears in
+// its own neighbour list. The path must terminate at a registered landmark.
+func (s *Server) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
+	if len(path) == 0 {
+		return nil, errors.New("server: empty path")
+	}
+	lm := path[len(path)-1]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tree, ok := s.trees[lm]
+	if !ok {
+		return nil, fmt.Errorf("%w (router %d)", ErrUnknownLandmark, lm)
+	}
+	// If the peer re-joins under a different landmark, drop the old record.
+	if old, exists := s.peers[p]; exists && old.Landmark != lm {
+		s.trees[old.Landmark].Remove(p)
+	}
+	cands, err := tree.ClosestToPath(path, s.cfg.NeighborCount, map[pathtree.PeerID]bool{p: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Insert(p, path); err != nil {
+		return nil, err
+	}
+	s.peers[p] = &PeerInfo{
+		ID:          p,
+		Landmark:    lm,
+		Path:        append([]topology.NodeID(nil), path...),
+		LastRefresh: s.cfg.Clock(),
+	}
+	s.joins++
+	s.queries++
+	return cands, nil
+}
+
+// Lookup re-answers the closest-peers query for an already registered peer.
+// When a super-peer exists at dtree 0..2 from the peer, the server delegates
+// (counts the delegation and still returns the list, modelling the
+// super-peer answering from its local cache).
+func (s *Server) Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.peers[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, p)
+	}
+	tree := s.trees[info.Landmark]
+	cands, err := tree.Closest(p, s.cfg.NeighborCount)
+	if err != nil {
+		return nil, err
+	}
+	s.queries++
+	for _, c := range cands {
+		if q := s.peers[c.Peer]; q != nil && q.SuperPeer && c.DTree <= 2 {
+			s.delegations++
+			break
+		}
+	}
+	return cands, nil
+}
+
+// Refresh updates a peer's liveness timestamp (heartbeat).
+func (s *Server) Refresh(p pathtree.PeerID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.peers[p]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, p)
+	}
+	info.LastRefresh = s.cfg.Clock()
+	return nil
+}
+
+// Leave removes peer p; it reports whether the peer was registered.
+func (s *Server) Leave(p pathtree.PeerID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.peers[p]
+	if !ok {
+		return false
+	}
+	s.trees[info.Landmark].Remove(p)
+	delete(s.peers, p)
+	s.leaves++
+	return true
+}
+
+// Expire sweeps out peers whose last refresh is older than the configured
+// PeerTTL, returning the expired IDs. A zero PeerTTL disables expiry.
+func (s *Server) Expire() []pathtree.PeerID {
+	if s.cfg.PeerTTL <= 0 {
+		return nil
+	}
+	cutoff := s.cfg.Clock().Add(-s.cfg.PeerTTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []pathtree.PeerID
+	for p, info := range s.peers {
+		if info.LastRefresh.Before(cutoff) {
+			s.trees[info.Landmark].Remove(p)
+			delete(s.peers, p)
+			out = append(out, p)
+		}
+	}
+	s.expiries += len(out)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetSuperPeer marks or unmarks peer p as a super-peer.
+func (s *Server) SetSuperPeer(p pathtree.PeerID, super bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.peers[p]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, p)
+	}
+	info.SuperPeer = super
+	return nil
+}
+
+// PeerInfo returns a copy of the record for peer p.
+func (s *Server) PeerInfo(p pathtree.PeerID) (PeerInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info, ok := s.peers[p]
+	if !ok {
+		return PeerInfo{}, fmt.Errorf("%w: %d", ErrUnknownPeer, p)
+	}
+	cp := *info
+	cp.Path = append([]topology.NodeID(nil), info.Path...)
+	return cp, nil
+}
+
+// NumPeers reports the number of registered peers.
+func (s *Server) NumPeers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.peers)
+}
+
+// Peers returns all registered peer IDs in ascending order.
+func (s *Server) Peers() []pathtree.PeerID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]pathtree.PeerID, 0, len(s.peers))
+	for p := range s.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats snapshots server counters and tree shapes.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Peers:                len(s.peers),
+		Joins:                s.joins,
+		Leaves:               s.leaves,
+		Expiries:             s.expiries,
+		Queries:              s.queries,
+		SuperPeerDelegations: s.delegations,
+		TreeStats:            make(map[topology.NodeID]pathtree.Stats, len(s.trees)),
+	}
+	for lm, tree := range s.trees {
+		st.TreeStats[lm] = tree.Stats()
+	}
+	return st
+}

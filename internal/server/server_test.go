@@ -1,0 +1,331 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/topology"
+)
+
+func newTestServer(t *testing.T, landmarks ...topology.NodeID) *Server {
+	t.Helper()
+	if len(landmarks) == 0 {
+		landmarks = []topology.NodeID{0}
+	}
+	s, err := New(Config{Landmarks: landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("accepted zero landmarks")
+	}
+	if _, err := New(Config{Landmarks: []topology.NodeID{1, 1}}); err == nil {
+		t.Fatal("accepted duplicate landmarks")
+	}
+	if _, err := New(Config{Landmarks: []topology.NodeID{1}, NeighborCount: -2}); err == nil {
+		t.Fatal("accepted negative NeighborCount")
+	}
+}
+
+func TestJoinReturnsNeighborsBeforeInsertion(t *testing.T) {
+	s := newTestServer(t)
+	got, err := s.Join(1, []topology.NodeID{10, 11, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("first joiner got neighbours %v", got)
+	}
+	got, err = s.Join(2, []topology.NodeID{12, 11, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Peer != 1 {
+		t.Fatalf("second joiner got %v", got)
+	}
+	for _, c := range got {
+		if c.Peer == 2 {
+			t.Fatal("joiner in its own neighbour list")
+		}
+	}
+	if s.NumPeers() != 2 {
+		t.Fatalf("peers=%d", s.NumPeers())
+	}
+}
+
+func TestJoinRejectsUnknownLandmark(t *testing.T) {
+	s := newTestServer(t)
+	if _, err := s.Join(1, []topology.NodeID{10, 99}); !errors.Is(err, ErrUnknownLandmark) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := s.Join(1, nil); err == nil {
+		t.Fatal("accepted empty path")
+	}
+}
+
+func TestJoinMultipleLandmarks(t *testing.T) {
+	s := newTestServer(t, 0, 100)
+	if _, err := s.Join(1, []topology.NodeID{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(2, []topology.NodeID{20, 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Peers under different landmarks do not see each other.
+	got, err := s.Lookup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("cross-landmark neighbours leaked: %v", got)
+	}
+	lms := s.Landmarks()
+	if len(lms) != 2 || lms[0] != 0 || lms[1] != 100 {
+		t.Fatalf("landmarks=%v", lms)
+	}
+}
+
+func TestRejoinSwitchingLandmark(t *testing.T) {
+	s := newTestServer(t, 0, 100)
+	if _, err := s.Join(1, []topology.NodeID{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(1, []topology.NodeID{10, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPeers() != 1 {
+		t.Fatalf("peers=%d", s.NumPeers())
+	}
+	info, err := s.PeerInfo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Landmark != 100 {
+		t.Fatalf("landmark=%d want 100", info.Landmark)
+	}
+	// Old tree must no longer hold the peer.
+	st := s.Stats()
+	if st.TreeStats[0].Peers != 0 || st.TreeStats[100].Peers != 1 {
+		t.Fatalf("tree stats: %+v", st.TreeStats)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s := newTestServer(t)
+	mustJoin(t, s, 1, 10, 11)
+	mustJoin(t, s, 2, 12, 11)
+	mustJoin(t, s, 3, 13)
+	got, err := s.Lookup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Peer != 2 {
+		t.Fatalf("lookup=%v", got)
+	}
+	if _, err := s.Lookup(42); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestNeighborCountHonored(t *testing.T) {
+	s, err := New(Config{Landmarks: []topology.NodeID{0}, NeighborCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := pathtree.PeerID(1); p <= 6; p++ {
+		mustJoin(t, s, p, topology.NodeID(10+p))
+	}
+	got, _ := s.Lookup(1)
+	if len(got) != 2 {
+		t.Fatalf("got %d neighbours want 2", len(got))
+	}
+	if s.NeighborCount() != 2 {
+		t.Fatalf("NeighborCount()=%d", s.NeighborCount())
+	}
+}
+
+func TestLeave(t *testing.T) {
+	s := newTestServer(t)
+	mustJoin(t, s, 1, 10)
+	mustJoin(t, s, 2, 11)
+	if !s.Leave(1) {
+		t.Fatal("leave failed")
+	}
+	if s.Leave(1) {
+		t.Fatal("double leave succeeded")
+	}
+	got, _ := s.Lookup(2)
+	if len(got) != 0 {
+		t.Fatalf("departed peer still returned: %v", got)
+	}
+}
+
+func TestExpire(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s, err := New(Config{Landmarks: []topology.NodeID{0}, PeerTTL: 30 * time.Second, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustJoin(t, s, 1, 10)
+	now = now.Add(10 * time.Second)
+	mustJoin(t, s, 2, 11)
+	now = now.Add(25 * time.Second) // peer 1 is now 35s stale, peer 2 25s
+	expired := s.Expire()
+	if len(expired) != 1 || expired[0] != 1 {
+		t.Fatalf("expired=%v", expired)
+	}
+	if s.NumPeers() != 1 {
+		t.Fatalf("peers=%d", s.NumPeers())
+	}
+	// Refresh protects from expiry.
+	if err := s.Refresh(2); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(25 * time.Second)
+	if expired := s.Expire(); len(expired) != 0 {
+		t.Fatalf("refreshed peer expired: %v", expired)
+	}
+	now = now.Add(31 * time.Second)
+	if expired := s.Expire(); len(expired) != 1 {
+		t.Fatalf("stale peer not expired: %v", expired)
+	}
+}
+
+func TestExpireDisabledWithoutTTL(t *testing.T) {
+	s := newTestServer(t)
+	mustJoin(t, s, 1, 10)
+	if got := s.Expire(); got != nil {
+		t.Fatalf("expiry ran without TTL: %v", got)
+	}
+}
+
+func TestRefreshUnknown(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.Refresh(9); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestSuperPeerDelegation(t *testing.T) {
+	s := newTestServer(t)
+	mustJoin(t, s, 1, 10, 11)
+	mustJoin(t, s, 2, 12, 11)
+	if err := s.SetSuperPeer(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lookup(1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SuperPeerDelegations != 1 {
+		t.Fatalf("delegations=%d want 1", st.SuperPeerDelegations)
+	}
+	if err := s.SetSuperPeer(77, true); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestPeerInfoIsCopy(t *testing.T) {
+	s := newTestServer(t)
+	mustJoin(t, s, 1, 10, 11)
+	info, err := s.PeerInfo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info.Path[0] = 999
+	info2, _ := s.PeerInfo(1)
+	if info2.Path[0] == 999 {
+		t.Fatal("PeerInfo leaked internal slice")
+	}
+	if _, err := s.PeerInfo(5); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := newTestServer(t)
+	mustJoin(t, s, 1, 10)
+	mustJoin(t, s, 2, 11)
+	s.Lookup(1)
+	s.Leave(2)
+	st := s.Stats()
+	if st.Joins != 2 || st.Leaves != 1 || st.Queries != 3 || st.Peers != 1 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if st.TreeStats[0].Peers != 1 {
+		t.Fatalf("tree stats=%+v", st.TreeStats[0])
+	}
+}
+
+func TestPeersSorted(t *testing.T) {
+	s := newTestServer(t)
+	mustJoin(t, s, 5, 10)
+	mustJoin(t, s, 1, 11)
+	mustJoin(t, s, 3, 12)
+	got := s.Peers()
+	want := []pathtree.PeerID{1, 3, 5}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("peers=%v", got)
+	}
+}
+
+func TestConcurrentJoinsLeaves(t *testing.T) {
+	s := newTestServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p := pathtree.PeerID(w*1000 + i)
+				path := []topology.NodeID{topology.NodeID(1000 + int(p)), topology.NodeID(1 + i%20), 0}
+				if _, err := s.Join(p, path); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 {
+					s.Leave(p)
+				} else if i%3 == 1 {
+					if _, err := s.Lookup(p); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := validateCounts(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validateCounts(s *Server) error {
+	st := s.Stats()
+	total := 0
+	for _, ts := range st.TreeStats {
+		total += ts.Peers
+	}
+	if total != st.Peers {
+		return errors.New("tree peer totals disagree with registry")
+	}
+	return nil
+}
+
+// mustJoin joins peer p with a path through the listed routers ending at
+// landmark 0.
+func mustJoin(t *testing.T, s *Server, p pathtree.PeerID, routers ...topology.NodeID) {
+	t.Helper()
+	path := append(append([]topology.NodeID{}, routers...), 0)
+	if _, err := s.Join(p, path); err != nil {
+		t.Fatalf("Join(%d): %v", p, err)
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/topology"
+)
+
+// snapshot is the gob-serialized server state. Trees are not serialized:
+// they are rebuilt from the stored paths on restore, which keeps the format
+// independent of the tree's in-memory layout.
+type snapshot struct {
+	Version       int
+	Landmarks     []topology.NodeID
+	NeighborCount int
+	Peers         []snapshotPeer
+}
+
+type snapshotPeer struct {
+	ID          pathtree.PeerID
+	Landmark    topology.NodeID
+	Path        []topology.NodeID
+	SuperPeer   bool
+	LastRefresh time.Time
+}
+
+const snapshotVersion = 1
+
+// Snapshot serializes the server's durable state (landmarks, configuration,
+// and every peer's path) so a restarted management server can resume
+// serving without waiting for the whole population to rejoin — the
+// management server is a single point of failure in the paper's
+// architecture, and this is the standard mitigation.
+func (s *Server) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{
+		Version:       snapshotVersion,
+		Landmarks:     s.Landmarks(),
+		NeighborCount: s.cfg.NeighborCount,
+		Peers:         make([]snapshotPeer, 0, len(s.peers)),
+	}
+	for _, info := range s.peers {
+		snap.Peers = append(snap.Peers, snapshotPeer{
+			ID:          info.ID,
+			Landmark:    info.Landmark,
+			Path:        append([]topology.NodeID(nil), info.Path...),
+			SuperPeer:   info.SuperPeer,
+			LastRefresh: info.LastRefresh,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap.Peers, func(i, j int) bool { return snap.Peers[i].ID < snap.Peers[j].ID })
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("server: snapshot encode: %w", err)
+	}
+	return nil
+}
+
+// Restore builds a server from a snapshot. The snapshot's landmarks and
+// neighbour count are used; cfg supplies the runtime-only settings (TTL,
+// clock, tree options).
+func Restore(r io.Reader, cfg Config) (*Server, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("server: snapshot decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("server: unsupported snapshot version %d", snap.Version)
+	}
+	cfg.Landmarks = snap.Landmarks
+	cfg.NeighborCount = snap.NeighborCount
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range snap.Peers {
+		tree, ok := s.trees[p.Landmark]
+		if !ok {
+			return nil, fmt.Errorf("server: snapshot peer %d references unknown landmark %d", p.ID, p.Landmark)
+		}
+		if err := tree.Insert(p.ID, p.Path); err != nil {
+			return nil, fmt.Errorf("server: snapshot peer %d: %w", p.ID, err)
+		}
+		s.peers[p.ID] = &PeerInfo{
+			ID:          p.ID,
+			Landmark:    p.Landmark,
+			Path:        append([]topology.NodeID(nil), p.Path...),
+			SuperPeer:   p.SuperPeer,
+			LastRefresh: p.LastRefresh,
+		}
+	}
+	return s, nil
+}

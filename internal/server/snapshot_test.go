@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"proxdisc/internal/topology"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := newTestServer(t, 0, 100)
+	mustJoin(t, s, 1, 10, 11)
+	mustJoin(t, s, 2, 12, 11)
+	if _, err := s.Join(3, []topology.NodeID{20, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSuperPeer(2, true); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumPeers() != 3 {
+		t.Fatalf("restored peers=%d", restored.NumPeers())
+	}
+	// Landmarks and neighbour count carried over.
+	lms := restored.Landmarks()
+	if len(lms) != 2 || lms[0] != 0 || lms[1] != 100 {
+		t.Fatalf("landmarks=%v", lms)
+	}
+	if restored.NeighborCount() != DefaultNeighborCount {
+		t.Fatalf("neighbor count=%d", restored.NeighborCount())
+	}
+	// Queries behave identically post-restore.
+	a, err := s.Lookup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Lookup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lookup diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("lookup diverged: %v vs %v", a, b)
+		}
+	}
+	// Super-peer flag preserved.
+	info, err := restored.PeerInfo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.SuperPeer {
+		t.Fatal("super-peer flag lost")
+	}
+}
+
+func TestSnapshotPreservesRefreshTimes(t *testing.T) {
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { return now }
+	s, err := New(Config{Landmarks: []topology.NodeID{0}, PeerTTL: 30 * time.Second, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustJoin(t, s, 1, 10)
+	now = now.Add(20 * time.Second)
+	mustJoin(t, s, 2, 11)
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf, Config{PeerTTL: 30 * time.Second, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 more seconds: peer 1 is 35s stale, peer 2 is 15s.
+	now = now.Add(15 * time.Second)
+	expired := restored.Expire()
+	if len(expired) != 1 || expired[0] != 1 {
+		t.Fatalf("expired=%v", expired)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore(strings.NewReader("not a gob stream"), Config{}); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := Restore(bytes.NewReader(nil), Config{}); err == nil {
+		t.Fatal("accepted empty stream")
+	}
+}
+
+func TestSnapshotEmptyServer(t *testing.T) {
+	s := newTestServer(t)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumPeers() != 0 {
+		t.Fatalf("peers=%d", restored.NumPeers())
+	}
+}

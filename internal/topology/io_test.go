@@ -1,0 +1,81 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	g, err := Generate(Config{Model: ModelBarabasiAlbert, CoreRouters: 200, LeafRouters: 100, EdgesPerNode: 2, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("got %d/%d want %d/%d", got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	e1, e2 := g.Edges(), got.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphSerializationDeterministic(t *testing.T) {
+	g, _ := Generate(Config{Model: ModelBarabasiAlbert, CoreRouters: 100, LeafRouters: 50, EdgesPerNode: 2, Seed: 9})
+	var a, b bytes.Buffer
+	if err := WriteGraph(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGraph(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serialization not deterministic")
+	}
+}
+
+func TestReadGraphEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, NewGraph(0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 0 || got.NumEdges() != 0 {
+		t.Fatalf("got %d/%d", got.NumNodes(), got.NumEdges())
+	}
+}
+
+func TestReadGraphRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not-a-topology\n",
+		"proxdisc-topology v1\nnodes x\n",
+		"proxdisc-topology v1\nnodes 2\nedges 1\n",           // missing edge line
+		"proxdisc-topology v1\nnodes 2\nedges 1\n0 5\n",      // out of range
+		"proxdisc-topology v1\nnodes 2\nedges 1\n1 1\n",      // self loop
+		"proxdisc-topology v1\nnodes -1\nedges 0\n",          // negative
+		"proxdisc-topology v1\nweird 2\nedges 0\n",           // bad key
+		"proxdisc-topology v1\nnodes 3\nedges 2\n0 1\n0 1\n", // duplicate
+	}
+	for i, c := range cases {
+		if _, err := ReadGraph(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, c)
+		}
+	}
+}

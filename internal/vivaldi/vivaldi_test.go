@@ -1,0 +1,149 @@
+package vivaldi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"proxdisc/internal/latency"
+)
+
+func TestDistanceSymmetricAndPositive(t *testing.T) {
+	a := Coord{Vec: []float64{0, 0}, Height: 1}
+	b := Coord{Vec: []float64{3, 4}, Height: 2}
+	if d := Distance(a, b); d != 5+3 {
+		t.Fatalf("distance=%v want 8", d)
+	}
+	if Distance(a, b) != Distance(b, a) {
+		t.Fatal("distance not symmetric")
+	}
+	if Distance(a, a) != 2*a.Height {
+		t.Fatalf("self distance=%v", Distance(a, a))
+	}
+}
+
+func TestNodeUpdateValidation(t *testing.T) {
+	n := NewNode(Config{})
+	rng := rand.New(rand.NewSource(1))
+	if err := n.Update(0, n.Coord(), 1, rng); err == nil {
+		t.Fatal("accepted zero RTT")
+	}
+	bad := Coord{Vec: []float64{1, 2, 3}}
+	if err := n.Update(10, bad, 1, rng); err == nil {
+		t.Fatal("accepted dimension mismatch")
+	}
+}
+
+func TestNodeUpdateMovesTowardTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := NewNode(Config{})
+	remote := Coord{Vec: []float64{10, 0}}
+	// The true RTT says we are 5 away but we currently predict ~10 (after
+	// initial placement). Updates should pull prediction toward 5.
+	for i := 0; i < 200; i++ {
+		if err := n.Update(5, remote, 0.5, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pred := Distance(n.Coord(), remote)
+	if math.Abs(pred-5) > 1.5 {
+		t.Fatalf("after training, predicted %v want ~5", pred)
+	}
+}
+
+func TestHeightNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := NewNode(Config{})
+	remote := Coord{Vec: []float64{1, 1}, Height: 5}
+	for i := 0; i < 500; i++ {
+		rtt := 0.5 + rng.Float64()*10
+		if err := n.Update(rtt, remote, 0.5, rng); err != nil {
+			t.Fatal(err)
+		}
+		if n.Coord().Height < 0 {
+			t.Fatal("height went negative")
+		}
+	}
+}
+
+func TestErrorEstimateDecreasesOnConsistentSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := NewNode(Config{})
+	remote := Coord{Vec: []float64{20, 0}}
+	initial := n.ErrorEstimate()
+	for i := 0; i < 300; i++ {
+		_ = n.Update(20, remote, 0.3, rng)
+	}
+	if n.ErrorEstimate() >= initial {
+		t.Fatalf("error estimate did not improve: %v -> %v", initial, n.ErrorEstimate())
+	}
+}
+
+func TestSystemConvergesOnKingMatrix(t *testing.T) {
+	m, err := latency.SyntheticKing(120, latency.KingConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(m, Config{}, 6)
+	evalRNG := rand.New(rand.NewSource(7))
+	before := sys.MedianRelativeError(2000, evalRNG)
+	for r := 0; r < 60; r++ {
+		sys.Round(4)
+	}
+	evalRNG = rand.New(rand.NewSource(7))
+	after := sys.MedianRelativeError(2000, evalRNG)
+	if after >= before {
+		t.Fatalf("no convergence: before=%v after=%v", before, after)
+	}
+	if after > 0.5 {
+		t.Fatalf("median relative error %v too high after 60 rounds", after)
+	}
+	if sys.SamplesUsed() == 0 {
+		t.Fatal("sample counter not advancing")
+	}
+}
+
+func TestKClosestRanksByCoordinate(t *testing.T) {
+	m, _ := latency.SyntheticKing(60, latency.KingConfig{Seed: 8})
+	sys := NewSystem(m, Config{}, 9)
+	for r := 0; r < 40; r++ {
+		sys.Round(4)
+	}
+	got := sys.KClosest(0, 5)
+	if len(got) != 5 {
+		t.Fatalf("got %d closest", len(got))
+	}
+	seen := map[int]bool{0: true}
+	for _, j := range got {
+		if seen[j] {
+			t.Fatalf("duplicate or self in KClosest: %v", got)
+		}
+		seen[j] = true
+	}
+	// Verify ordering by predicted distance.
+	prev := -1.0
+	for _, j := range got {
+		d := Distance(sys.Node(0).Coord(), sys.Node(j).Coord())
+		if d < prev {
+			t.Fatalf("KClosest not sorted: %v", got)
+		}
+		prev = d
+	}
+}
+
+func TestKClosestClampsK(t *testing.T) {
+	m, _ := latency.SyntheticKing(5, latency.KingConfig{Seed: 1})
+	sys := NewSystem(m, Config{}, 2)
+	if got := sys.KClosest(0, 50); len(got) != 4 {
+		t.Fatalf("k clamp failed: %d", len(got))
+	}
+}
+
+func TestCoordCloneIndependent(t *testing.T) {
+	n := NewNode(Config{})
+	c := n.Coord()
+	c.Vec[0] = 99
+	if n.Coord().Vec[0] == 99 {
+		t.Fatal("Coord leaked internal state")
+	}
+}

@@ -1,0 +1,174 @@
+// Package proxdisc is a library for quick discovery of nearby peers,
+// reproducing "A Quicker Way to Discover Nearby Peers" (Simon, Chen,
+// Boudani, Straub — ACM CoNEXT 2007).
+//
+// A newcomer in a peer-to-peer system traceroutes to its closest landmark
+// and reports the router path to a management server. The server organizes
+// all reported paths in per-landmark prefix trees; the deepest common router
+// between two paths yields the inferred distance
+//
+//	dtree(p,q) = depth(p) + depth(q) − 2·depth(dca(p,q)),
+//
+// which tracks the true hop distance closely on heavy-tailed router
+// topologies. One traceroute is enough for a good answer — no multi-round
+// coordinate convergence (Vivaldi/GNP) is needed.
+//
+// The package offers three levels of entry:
+//
+//   - the core data structure (NewPathTree) for embedding in other systems;
+//   - the management-server logic (NewServer) plus a deployable TCP/UDP
+//     front end (ListenAndServe, Dial, Agent);
+//   - a full simulation environment (NewSimulation) that generates an
+//     Internet-like router topology and runs the complete two-round
+//     protocol, used by the examples and the paper-reproduction harness.
+package proxdisc
+
+import (
+	"time"
+
+	"proxdisc/internal/client"
+	"proxdisc/internal/experiment"
+	"proxdisc/internal/netserver"
+	"proxdisc/internal/overlay"
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/proto"
+	"proxdisc/internal/routing"
+	"proxdisc/internal/server"
+	"proxdisc/internal/streaming"
+	"proxdisc/internal/topology"
+	"proxdisc/internal/traceroute"
+)
+
+// PeerID identifies a peer.
+type PeerID = pathtree.PeerID
+
+// RouterID identifies a router in a topology.
+type RouterID = topology.NodeID
+
+// Candidate is one closest-peer answer entry: the peer and its inferred
+// path-tree distance in router hops.
+type Candidate = pathtree.Candidate
+
+// PathTree is the paper's core data structure: a per-landmark prefix tree
+// of router paths supporting O(path length) insertion and O(k·path length)
+// exact k-closest queries. Safe for concurrent use.
+type PathTree = pathtree.Tree
+
+// PathTreeOptions tunes a PathTree.
+type PathTreeOptions = pathtree.Options
+
+// NewPathTree returns an empty path tree rooted at the given landmark
+// router.
+func NewPathTree(landmark RouterID) *PathTree {
+	return pathtree.New(landmark, pathtree.Options{})
+}
+
+// ServerConfig configures the management server. See server.Config for
+// field documentation.
+type ServerConfig = server.Config
+
+// Server is the management server: it stores peer paths in per-landmark
+// trees and answers closest-peer queries. Safe for concurrent use.
+type Server = server.Server
+
+// NewServer builds a management server for a set of landmark routers.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NetServerConfig configures the TCP front end.
+type NetServerConfig = netserver.Config
+
+// NetServer is a running TCP management-server front end.
+type NetServer = netserver.NetServer
+
+// ListenAndServe exposes a management server over TCP. Close the returned
+// NetServer to stop.
+func ListenAndServe(cfg NetServerConfig) (*NetServer, error) { return netserver.Listen(cfg) }
+
+// LandmarkResponder answers UDP RTT probes for one landmark.
+type LandmarkResponder = netserver.LandmarkResponder
+
+// ListenLandmark starts a landmark probe responder on a UDP address.
+func ListenLandmark(addr string) (*LandmarkResponder, error) {
+	return netserver.ListenLandmark(addr)
+}
+
+// Client is a TCP connection to a management server.
+type Client = client.Client
+
+// Dial connects to a management server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return client.Dial(addr, timeout)
+}
+
+// Agent runs the complete newcomer protocol: probe landmarks over UDP,
+// obtain the router path to the closest one from a PathProvider, and join
+// through the management server.
+type Agent = client.Agent
+
+// PathProvider abstracts the traceroute-like tool.
+type PathProvider = client.PathProvider
+
+// PathProviderFunc adapts a function to PathProvider.
+type PathProviderFunc = client.PathProviderFunc
+
+// WireCandidate is a closest-peer answer received over the network; unlike
+// Candidate it carries the peer's dialable overlay address.
+type WireCandidate = proto.Candidate
+
+// SimulationConfig configures a simulated deployment. See
+// experiment.WorldConfig for field documentation.
+type SimulationConfig = experiment.WorldConfig
+
+// Simulation is a complete in-process deployment over a generated
+// router-level topology: landmarks, tracer, and management server.
+type Simulation = experiment.World
+
+// NewSimulation builds a simulated deployment.
+func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
+	return experiment.BuildWorld(cfg)
+}
+
+// HopDistances returns the hop distance from one router to every router of
+// the simulation's topology (routing.Unreachable, −1, for disconnected
+// routers). Examples and applications use it to score neighbour sets.
+func HopDistances(sim *Simulation, from RouterID) ([]int32, error) {
+	return routing.BFSDistances(sim.Graph, from)
+}
+
+// Overlay is the peer mesh built from closest-peer answers. Safe for
+// concurrent use.
+type Overlay = overlay.Overlay
+
+// OverlayPeer describes one overlay participant.
+type OverlayPeer = overlay.Peer
+
+// NewOverlay returns an empty overlay mesh.
+func NewOverlay() *Overlay { return overlay.New() }
+
+// StreamConfig tunes a simulated live-streaming session.
+type StreamConfig = streaming.Config
+
+// StreamResult aggregates a finished streaming session.
+type StreamResult = streaming.Result
+
+// StreamSession is a mesh-based live-streaming broadcast simulation.
+type StreamSession = streaming.Session
+
+// HopFunc reports the underlay hop distance between two peers.
+type HopFunc = streaming.HopFunc
+
+// NewStreamSession prepares a broadcast from source over the mesh; hops
+// supplies ground-truth hop distances (see HopDistances).
+func NewStreamSession(mesh *Overlay, source PeerID, hops HopFunc, cfg StreamConfig) (*StreamSession, error) {
+	return streaming.NewSession(mesh, source, hops, cfg)
+}
+
+// TopologyConfig configures topology generation for simulations.
+type TopologyConfig = topology.Config
+
+// TraceConfig tunes the simulated traceroute tool.
+type TraceConfig = traceroute.Config
+
+// DefaultTopology returns the paper-scale heavy-tailed router map
+// configuration (~4000 routers, half of them degree-1 edge routers).
+func DefaultTopology() TopologyConfig { return topology.DefaultConfig() }

@@ -1,0 +1,128 @@
+package proxdisc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublicPathTree exercises the core data structure through the public
+// API exactly as a downstream user would.
+func TestPublicPathTree(t *testing.T) {
+	tree := NewPathTree(0)
+	if err := tree.Insert(1, []RouterID{10, 12, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(2, []RouterID{11, 12, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(3, []RouterID{13, 0}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.Closest(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Peer != 2 || got[0].DTree != 2 {
+		t.Fatalf("closest=%v", got)
+	}
+}
+
+// TestPublicServer exercises the management-server logic.
+func TestPublicServer(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Landmarks: []RouterID{0}, NeighborCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Join(1, []RouterID{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := srv.Join(2, []RouterID{11, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Peer != 1 {
+		t.Fatalf("cands=%v", cands)
+	}
+}
+
+// TestPublicSimulation runs the full simulated protocol.
+func TestPublicSimulation(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{
+		Topology: TopologyConfig{
+			CoreRouters: 300, LeafRouters: 300, EdgesPerNode: 2, Seed: 5,
+		},
+		NumLandmarks: 4,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.JoinN(100); err != nil {
+		t.Fatal(err)
+	}
+	q, err := sim.EvaluateQuality(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.DOverDclosest() < 1.0 || q.DOverDclosest() > 2.0 {
+		t.Fatalf("D/Dclosest=%v", q.DOverDclosest())
+	}
+}
+
+// TestPublicNetworkStack runs server + landmark + agent end to end on
+// loopback through the public API only.
+func TestPublicNetworkStack(t *testing.T) {
+	logic, err := NewServer(ServerConfig{Landmarks: []RouterID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := ListenLandmark("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lm.Close()
+	ns, err := ListenAndServe(NetServerConfig{
+		Addr:          "127.0.0.1:0",
+		Server:        logic,
+		LandmarkAddrs: map[RouterID]string{0: lm.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	join := func(peer int64, edge RouterID) []WireCandidate {
+		c, err := Dial(ns.Addr(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		agent := &Agent{
+			Client: c,
+			Provider: PathProviderFunc(func(landmark int32) ([]int32, error) {
+				return []int32{int32(edge), 50, landmark}, nil
+			}),
+			ProbeTries:   1,
+			ProbeTimeout: time.Second,
+		}
+		cands, err := agent.Join(peer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cands
+	}
+	if got := join(1, 30); len(got) != 0 {
+		t.Fatalf("first joiner got %v", got)
+	}
+	got := join(2, 31)
+	if len(got) != 1 || got[0].Peer != 1 {
+		t.Fatalf("second joiner got %v", got)
+	}
+}
+
+func TestDefaultTopology(t *testing.T) {
+	cfg := DefaultTopology()
+	if cfg.CoreRouters != 2000 || cfg.LeafRouters != 2000 {
+		t.Fatalf("default topology %+v", cfg)
+	}
+}
