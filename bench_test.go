@@ -10,8 +10,10 @@ package proxdisc
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
+	"proxdisc/internal/cluster"
 	"proxdisc/internal/experiment"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/proto"
@@ -344,6 +346,95 @@ func BenchmarkPathTreeDTree(b *testing.B) {
 		if _, err := tree.DTree(p, q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- cluster benchmarks: the sharding speedup trajectory ---
+
+// benchClusterLandmarks is a 16-landmark set so the same workload runs at
+// 1, 4, and 16 shards.
+var benchClusterLandmarks = func() []topology.NodeID {
+	lms := make([]topology.NodeID, 16)
+	for i := range lms {
+		lms[i] = topology.NodeID(i * 100)
+	}
+	return lms
+}()
+
+// buildClusterPath generates a routing-tree path to one landmark, in a
+// per-landmark router ID block (cf. buildTreePaths).
+func buildClusterPath(lm topology.NodeID, leaf int) []topology.NodeID {
+	base := topology.NodeID(1_000_000 * (int(lm) + 1))
+	r := base + topology.NodeID(1+leaf%200_000)
+	var path []topology.NodeID
+	for r > base {
+		path = append(path, r)
+		r = base + (r-base-1)/8
+	}
+	return append(path, lm)
+}
+
+// benchCluster builds a cluster pre-populated with peers spread over all
+// landmarks.
+func benchCluster(b *testing.B, shards, prepop int) *cluster.Cluster {
+	b.Helper()
+	c, err := cluster.New(cluster.Config{Landmarks: benchClusterLandmarks, Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(shards)))
+	for i := 0; i < prepop; i++ {
+		lm := benchClusterLandmarks[i%len(benchClusterLandmarks)]
+		if _, err := c.Join(pathtree.PeerID(i+1), buildClusterPath(lm, rng.Intn(200_000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkClusterJoin measures concurrent join throughput at 1, 4, and 16
+// shards: every join locks only its landmark's shard, so throughput should
+// scale with the shard count until the router is the bottleneck.
+func BenchmarkClusterJoin(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := benchCluster(b, shards, 10_000)
+			var next atomic.Int64
+			next.Store(1_000_000)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(next.Add(1)))
+				for pb.Next() {
+					id := pathtree.PeerID(next.Add(1))
+					lm := benchClusterLandmarks[rng.Intn(len(benchClusterLandmarks))]
+					if _, err := c.Join(id, buildClusterPath(lm, rng.Intn(200_000))); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkClusterQuery measures concurrent closest-peer query throughput
+// at 1, 4, and 16 shards over a fixed population.
+func BenchmarkClusterQuery(b *testing.B) {
+	const prepop = 10_000
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := benchCluster(b, shards, prepop)
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					p := pathtree.PeerID(rng.Intn(prepop) + 1)
+					if _, err := c.Lookup(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
 }
 

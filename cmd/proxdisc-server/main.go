@@ -5,10 +5,13 @@
 // Usage:
 //
 //	proxdisc-server -addr 127.0.0.1:7470 -landmarks 10,20,30 -host-landmarks
+//	proxdisc-server -landmarks 10,20,30,40 -shards 4
 //
 // Each landmark is a router identifier; peers report traceroute paths that
 // terminate at one of them. With -host-landmarks the process also answers
 // UDP probes for each landmark and advertises those addresses to clients.
+// With -shards N the management plane runs as a landmark-sharded cluster of
+// N shards behind one TCP front end.
 package main
 
 import (
@@ -22,10 +25,21 @@ import (
 	"syscall"
 	"time"
 
+	"proxdisc/internal/cluster"
 	"proxdisc/internal/netserver"
+	"proxdisc/internal/pathtree"
 	"proxdisc/internal/server"
 	"proxdisc/internal/topology"
 )
+
+// management is what main drives beyond the wire interface: expiry sweeps
+// and the final stats print. Both server.Server and cluster.Cluster
+// implement it.
+type management interface {
+	netserver.Backend
+	Expire() []pathtree.PeerID
+	Stats() server.Stats
+}
 
 func main() {
 	var (
@@ -36,6 +50,7 @@ func main() {
 		neighbors  = flag.Int("neighbors", server.DefaultNeighborCount, "closest peers returned per query")
 		ttl        = flag.Duration("peer-ttl", 0, "expire peers silent for this long (0 = never)")
 		sweep      = flag.Duration("sweep-interval", 30*time.Second, "expiry sweep period when -peer-ttl is set")
+		shards     = flag.Int("shards", 1, "run a landmark-sharded cluster of this many shards")
 	)
 	flag.Parse()
 
@@ -43,11 +58,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("proxdisc-server: %v", err)
 	}
-	logic, err := server.New(server.Config{
-		Landmarks:     lmIDs,
-		NeighborCount: *neighbors,
-		PeerTTL:       *ttl,
-	})
+	if *shards < 1 {
+		log.Fatalf("proxdisc-server: -shards must be at least 1, got %d", *shards)
+	}
+	var logic management
+	if *shards > 1 {
+		logic, err = cluster.New(cluster.Config{
+			Landmarks:     lmIDs,
+			Shards:        *shards,
+			NeighborCount: *neighbors,
+			PeerTTL:       *ttl,
+		})
+	} else {
+		logic, err = server.New(server.Config{
+			Landmarks:     lmIDs,
+			NeighborCount: *neighbors,
+			PeerTTL:       *ttl,
+		})
+	}
 	if err != nil {
 		log.Fatalf("proxdisc-server: %v", err)
 	}
@@ -82,8 +110,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("proxdisc-server: %v", err)
 	}
-	log.Printf("management server listening on %s (landmarks %v, k=%d)",
-		ns.Addr(), lmIDs, *neighbors)
+	log.Printf("management server listening on %s (landmarks %v, k=%d, shards=%d)",
+		ns.Addr(), lmIDs, *neighbors, *shards)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,3 @@
+module proxdisc
+
+go 1.24

@@ -33,13 +33,26 @@ type PathProviderFunc func(landmark int32) ([]int32, error)
 // PathTo implements PathProvider.
 func (f PathProviderFunc) PathTo(landmark int32) ([]int32, error) { return f(landmark) }
 
+// MaxRedirects bounds how many MsgRedirect hops Join follows before giving
+// up, catching cluster nodes whose shard maps point at each other.
+const MaxRedirects = 3
+
 // Client is a connection to the management server. It is safe for
 // concurrent use; requests are serialized on the single connection.
+//
+// When the server is a sharded cluster node it may answer a join with a
+// redirect to the node owning the join's landmark; the client follows
+// transparently, caching one connection per discovered node.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	// Timeout bounds each request/response exchange.
 	timeout time.Duration
+
+	auxMu  sync.Mutex
+	aux    map[string]*Client // cluster nodes discovered through redirects
+	home   map[int64]string   // address of the node that served each peer's join
+	closed bool               // guards against dialling new aux connections after Close
 }
 
 // Dial connects to the management server.
@@ -54,35 +67,158 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return &Client{conn: conn, timeout: timeout}, nil
 }
 
-// Close releases the connection.
+// Close releases the connection and any connections opened while following
+// redirects.
 func (c *Client) Close() error {
+	c.auxMu.Lock()
+	c.closed = true
+	for _, a := range c.aux {
+		a.Close()
+	}
+	c.aux = nil
+	c.home = nil
+	c.auxMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.conn.Close()
 }
 
-// roundTrip sends one request frame and reads one response frame, decoding
-// wire errors into *proto.Error values.
-func (c *Client) roundTrip(reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
+// auxClient returns (dialling and caching if needed) a connection to
+// another cluster node discovered through a redirect.
+func (c *Client) auxClient(addr string) (*Client, error) {
+	c.auxMu.Lock()
+	if c.closed {
+		c.auxMu.Unlock()
+		return nil, net.ErrClosed
+	}
+	if a, ok := c.aux[addr]; ok {
+		c.auxMu.Unlock()
+		return a, nil
+	}
+	// Dial outside the lock: a slow or unreachable node must not block
+	// requests to other nodes (or Close) for the dial timeout.
+	c.auxMu.Unlock()
+	a, err := Dial(addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: follow redirect: %w", err)
+	}
+	c.auxMu.Lock()
+	defer c.auxMu.Unlock()
+	if c.closed {
+		a.Close()
+		return nil, net.ErrClosed
+	}
+	if existing, ok := c.aux[addr]; ok {
+		a.Close() // lost a concurrent dial race; use the cached one
+		return existing, nil
+	}
+	if c.aux == nil {
+		c.aux = make(map[string]*Client)
+	}
+	c.aux[addr] = a
+	return a, nil
+}
+
+// dropAux discards a cached redirect connection that turned out dead, so
+// the next request to that node redials instead of failing forever.
+func (c *Client) dropAux(addr string, dead *Client) {
+	c.auxMu.Lock()
+	if c.aux[addr] == dead {
+		delete(c.aux, addr)
+	}
+	c.auxMu.Unlock()
+	dead.Close()
+}
+
+// setHome records the address of the node a peer's join landed on ("" for
+// the primary connection), so subsequent peer-keyed requests (Lookup,
+// Refresh, Leave) go to the node that actually holds the registration.
+func (c *Client) setHome(peer int64, addr string) {
+	c.auxMu.Lock()
+	if addr == "" {
+		delete(c.home, peer)
+	} else {
+		if c.home == nil {
+			c.home = make(map[int64]string)
+		}
+		c.home[peer] = addr
+	}
+	c.auxMu.Unlock()
+}
+
+// homeAddr returns the address of the node holding a peer's registration,
+// or "" for the primary connection.
+func (c *Client) homeAddr(peer int64) string {
+	c.auxMu.Lock()
+	defer c.auxMu.Unlock()
+	return c.home[peer]
+}
+
+// peerRoundTrip performs a peer-keyed request against the node holding the
+// peer's registration. A dead cached redirect connection is dropped and
+// redialed once; protocol-level errors are returned as-is.
+func (c *Client) peerRoundTrip(peer int64, reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
+	addr := c.homeAddr(peer)
+	if addr == "" {
+		return c.roundTrip(reqType, payload, wantType)
+	}
+	for attempt := 0; ; attempt++ {
+		target, err := c.auxClient(addr)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := target.roundTrip(reqType, payload, wantType)
+		if err == nil {
+			return resp, nil
+		}
+		var werr *proto.Error
+		if errors.As(err, &werr) {
+			if werr.Code == proto.CodeUnknownPeer {
+				// The owner expired the peer; stop routing its requests
+				// there so the home map cannot grow without bound.
+				c.setHome(peer, "")
+			}
+			return nil, err
+		}
+		if attempt > 0 {
+			return nil, err
+		}
+		c.dropAux(addr, target)
+	}
+}
+
+// exchange sends one request frame and reads one response frame, decoding
+// wire errors into *proto.Error values and returning the response type.
+func (c *Client) exchange(reqType proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	deadline := time.Now().Add(c.timeout)
 	if err := c.conn.SetDeadline(deadline); err != nil {
-		return nil, fmt.Errorf("client: set deadline: %w", err)
+		return 0, nil, fmt.Errorf("client: set deadline: %w", err)
 	}
 	if err := proto.WriteFrame(c.conn, reqType, payload); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
+		return 0, nil, fmt.Errorf("client: send: %w", err)
 	}
 	typ, resp, err := proto.ReadFrame(c.conn)
 	if err != nil {
-		return nil, fmt.Errorf("client: receive: %w", err)
+		return 0, nil, fmt.Errorf("client: receive: %w", err)
 	}
 	if typ == proto.MsgError {
 		werr, derr := proto.DecodeError(resp)
 		if derr != nil {
-			return nil, fmt.Errorf("client: undecodable error response: %w", derr)
+			return 0, nil, fmt.Errorf("client: undecodable error response: %w", derr)
 		}
-		return nil, werr
+		return 0, nil, werr
+	}
+	return typ, resp, nil
+}
+
+// roundTrip is exchange plus a response-type check, for requests with
+// exactly one valid response type.
+func (c *Client) roundTrip(reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
+	typ, resp, err := c.exchange(reqType, payload)
+	if err != nil {
+		return nil, err
 	}
 	if typ != wantType {
 		return nil, fmt.Errorf("client: unexpected response type %d (want %d)", typ, wantType)
@@ -100,13 +236,69 @@ func (c *Client) Landmarks() (*proto.LandmarksResponse, error) {
 }
 
 // Join registers this peer with its path and overlay address, returning the
-// closest-peer list.
+// closest-peer list. If the server answers with a redirect to the cluster
+// node owning the path's landmark, the client follows it (up to
+// MaxRedirects hops).
 func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Candidate, error) {
 	payload, err := proto.EncodeJoinRequest(&proto.JoinRequest{Peer: peer, Addr: overlayAddr, Path: path})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(proto.MsgJoinRequest, payload, proto.MsgJoinResponse)
+	target, targetAddr := c, ""
+	retried := false
+	for hops := 0; ; {
+		typ, resp, err := target.exchange(proto.MsgJoinRequest, payload)
+		if err != nil {
+			var werr *proto.Error
+			if targetAddr == "" || errors.As(err, &werr) || retried {
+				return nil, err
+			}
+			// A cached redirect connection died (e.g. the node restarted):
+			// drop it and redial once.
+			c.dropAux(targetAddr, target)
+			retried = true
+			if target, err = c.auxClient(targetAddr); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		retried = false
+		switch typ {
+		case proto.MsgJoinResponse:
+			jr, err := proto.DecodeJoinResponse(resp)
+			if err != nil {
+				return nil, err
+			}
+			c.setHome(peer, targetAddr)
+			return jr.Neighbors, nil
+		case proto.MsgRedirect:
+			rd, err := proto.DecodeRedirect(resp)
+			if err != nil {
+				return nil, err
+			}
+			if hops >= MaxRedirects {
+				return nil, fmt.Errorf("client: join gave up after %d redirects (last to %s)", hops, rd.Addr)
+			}
+			hops++
+			targetAddr = rd.Addr
+			if target, err = c.auxClient(rd.Addr); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("client: unexpected response type %d (want %d)", typ, proto.MsgJoinResponse)
+		}
+	}
+}
+
+// ForwardJoin relays a join to the cluster node that owns its landmark, on
+// behalf of another node. The callee answers locally and never relays
+// further.
+func (c *Client) ForwardJoin(peer int64, overlayAddr string, path []int32) ([]proto.Candidate, error) {
+	payload, err := proto.EncodeForwardedJoinRequest(&proto.JoinRequest{Peer: peer, Addr: overlayAddr, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(proto.MsgForwardedJoinRequest, payload, proto.MsgJoinResponse)
 	if err != nil {
 		return nil, err
 	}
@@ -117,9 +309,10 @@ func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Can
 	return jr.Neighbors, nil
 }
 
-// Lookup re-queries the closest peers of a registered peer.
+// Lookup re-queries the closest peers of a registered peer, at the node
+// holding its registration.
 func (c *Client) Lookup(peer int64) ([]proto.Candidate, error) {
-	resp, err := c.roundTrip(proto.MsgLookupRequest,
+	resp, err := c.peerRoundTrip(peer, proto.MsgLookupRequest,
 		proto.EncodeLookupRequest(&proto.LookupRequest{Peer: peer}), proto.MsgLookupResponse)
 	if err != nil {
 		return nil, err
@@ -131,16 +324,19 @@ func (c *Client) Lookup(peer int64) ([]proto.Candidate, error) {
 	return lr.Neighbors, nil
 }
 
-// Leave deregisters a peer.
+// Leave deregisters a peer at the node holding its registration.
 func (c *Client) Leave(peer int64) error {
-	_, err := c.roundTrip(proto.MsgLeaveRequest,
+	_, err := c.peerRoundTrip(peer, proto.MsgLeaveRequest,
 		proto.EncodeLeaveRequest(&proto.LeaveRequest{Peer: peer}), proto.MsgAck)
+	if err == nil {
+		c.setHome(peer, "")
+	}
 	return err
 }
 
-// Refresh heartbeats a peer.
+// Refresh heartbeats a peer at the node holding its registration.
 func (c *Client) Refresh(peer int64) error {
-	_, err := c.roundTrip(proto.MsgRefreshRequest,
+	_, err := c.peerRoundTrip(peer, proto.MsgRefreshRequest,
 		proto.EncodeRefreshRequest(&proto.RefreshRequest{Peer: peer}), proto.MsgAck)
 	return err
 }

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"sort"
+
+	"proxdisc/internal/topology"
+)
+
+// Assigner decides the initial landmark→shard assignment of a cluster. The
+// returned map must give every landmark a shard index in [0, shards);
+// cluster.New validates the result and additionally requires every shard to
+// own at least one landmark, since an empty management server is useless.
+//
+// The assignment is only the starting point: MoveLandmark rebalances the
+// live table at runtime without consulting the Assigner again.
+type Assigner interface {
+	Assign(landmarks []topology.NodeID, shards int) map[topology.NodeID]int
+}
+
+// AssignerFunc adapts a function to Assigner.
+type AssignerFunc func(landmarks []topology.NodeID, shards int) map[topology.NodeID]int
+
+// Assign implements Assigner.
+func (f AssignerFunc) Assign(landmarks []topology.NodeID, shards int) map[topology.NodeID]int {
+	return f(landmarks, shards)
+}
+
+// RoundRobin deals the landmarks, in ascending ID order, one per shard in
+// turn — shard loads differ by at most one landmark. This is the default
+// assignment.
+func RoundRobin() Assigner {
+	return AssignerFunc(func(landmarks []topology.NodeID, shards int) map[topology.NodeID]int {
+		sorted := append([]topology.NodeID(nil), landmarks...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		out := make(map[topology.NodeID]int, len(sorted))
+		for i, lm := range sorted {
+			out[lm] = i % shards
+		}
+		return out
+	})
+}
+
+// HashMod assigns each landmark to a shard by a fixed hash of its ID. The
+// placement of a landmark is independent of which other landmarks exist,
+// so growing the landmark set never reshuffles existing assignments — at
+// the cost of possibly uneven shard loads. The ID's bits are mixed first:
+// real landmark sets tend to use round-number IDs, which raw modulo would
+// pile onto a few shards (and leave others empty, which New rejects).
+func HashMod() Assigner {
+	return AssignerFunc(func(landmarks []topology.NodeID, shards int) map[topology.NodeID]int {
+		out := make(map[topology.NodeID]int, len(landmarks))
+		for _, lm := range landmarks {
+			h := uint64(lm) * 0x9e3779b97f4a7c15
+			out[lm] = int(h % uint64(shards))
+		}
+		return out
+	})
+}

@@ -1,0 +1,378 @@
+// Package cluster shards the management server by landmark.
+//
+// The paper's management server keeps one prefix tree per landmark, and no
+// operation ever relates two trees — every join and every closest-peers
+// query touches exactly one landmark's tree. The state therefore partitions
+// cleanly: a Cluster runs N server.Server shards, each owning a subset of
+// the landmarks, behind a Router that
+//
+//   - maps a join to the shard owning its path's landmark via a pluggable
+//     assignment table (see Assigner);
+//   - routes peer-keyed requests (Lookup, Leave, Refresh) through a striped
+//     peer→shard index;
+//   - answers operations that span landmarks (Peers, aggregate Stats,
+//     Expire, finding a peer whose shard is unknown) with a
+//     bounded-concurrency, context-cancellable scatter-gather fan-out; and
+//   - rebalances at runtime by handing a landmark's tree between shards
+//     through the server snapshot machinery, buffering that landmark's
+//     joins during the transfer so none are dropped (see MoveLandmark).
+//
+// Because shards never share tree state, a Cluster returns byte-identical
+// candidate sets to a single server.Server over the same peer population —
+// sharding changes capacity, not answers.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Landmarks lists every landmark router served by the cluster.
+	Landmarks []topology.NodeID
+	// Shards is the number of management-server shards (default 1). It must
+	// not exceed len(Landmarks): the landmark is the unit of sharding.
+	Shards int
+	// Assign chooses the initial landmark→shard assignment (default
+	// RoundRobin()).
+	Assign Assigner
+	// MaxFanout bounds the concurrency of scatter-gather operations
+	// (default: one in-flight call per shard).
+	MaxFanout int
+
+	// NeighborCount, PeerTTL, Clock, and TreeOptions are passed through to
+	// every shard; see server.Config.
+	NeighborCount int
+	PeerTTL       time.Duration
+	Clock         func() time.Time
+	TreeOptions   pathtree.Options
+}
+
+// Cluster is a landmark-sharded management service. It exposes the same
+// API as server.Server and is safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	shards []*server.Server
+
+	// mu guards the assignment table and the in-progress handoff set.
+	mu     sync.RWMutex
+	table  map[topology.NodeID]int
+	moving map[topology.NodeID]*handoff
+
+	// opMu is held in read mode across every table-routed shard mutation;
+	// MoveLandmark briefly takes it in write mode to drain mutations that
+	// resolved their shard before the handoff flag became visible.
+	opMu sync.RWMutex
+
+	// hoMu serializes handoffs and cluster-wide snapshots.
+	hoMu sync.Mutex
+
+	idx *peerIndex
+}
+
+// New builds a cluster of cfg.Shards management-server shards.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Landmarks) == 0 {
+		return nil, errors.New("cluster: at least one landmark required")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("cluster: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards > len(cfg.Landmarks) {
+		return nil, fmt.Errorf("cluster: %d shards for %d landmarks; the landmark is the unit of sharding",
+			cfg.Shards, len(cfg.Landmarks))
+	}
+	if cfg.Assign == nil {
+		cfg.Assign = RoundRobin()
+	}
+	table := cfg.Assign.Assign(cfg.Landmarks, cfg.Shards)
+	perShard := make([][]topology.NodeID, cfg.Shards)
+	for _, lm := range cfg.Landmarks {
+		shard, ok := table[lm]
+		if !ok {
+			return nil, fmt.Errorf("cluster: assigner left landmark %d unassigned", lm)
+		}
+		if shard < 0 || shard >= cfg.Shards {
+			return nil, fmt.Errorf("cluster: assigner put landmark %d on shard %d of %d", lm, shard, cfg.Shards)
+		}
+		perShard[shard] = append(perShard[shard], lm)
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		shards: make([]*server.Server, cfg.Shards),
+		table:  make(map[topology.NodeID]int, len(table)),
+		moving: make(map[topology.NodeID]*handoff),
+		idx:    newPeerIndex(),
+	}
+	for lm, shard := range table {
+		c.table[lm] = shard
+	}
+	for i, lms := range perShard {
+		if len(lms) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d owns no landmarks", i)
+		}
+		s, err := server.New(server.Config{
+			Landmarks:     lms,
+			NeighborCount: cfg.NeighborCount,
+			PeerTTL:       cfg.PeerTTL,
+			Clock:         cfg.Clock,
+			TreeOptions:   cfg.TreeOptions,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		c.shards[i] = s
+	}
+	return c, nil
+}
+
+// NumShards reports the number of shards.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Shard exposes one shard's server, for tests and diagnostics.
+func (c *Cluster) Shard(i int) *server.Server { return c.shards[i] }
+
+// ShardFor reports which shard currently owns a landmark.
+func (c *Cluster) ShardFor(lm topology.NodeID) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	shard, ok := c.table[lm]
+	return shard, ok
+}
+
+// Landmarks returns every landmark served by the cluster in ascending
+// order.
+func (c *Cluster) Landmarks() []topology.NodeID {
+	c.mu.RLock()
+	out := make([]topology.NodeID, 0, len(c.table))
+	for lm := range c.table {
+		out = append(out, lm)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NeighborCount reports the configured answer size.
+func (c *Cluster) NeighborCount() int { return c.shards[0].NeighborCount() }
+
+// Join routes the peer's join to the shard owning its path's landmark and
+// returns the closest-peer answer, exactly as server.Server.Join would. If
+// that landmark is mid-handoff the join is buffered until the transfer
+// completes and then replayed against the new owner.
+func (c *Cluster) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
+	if len(path) == 0 {
+		return nil, errors.New("server: empty path")
+	}
+	lm := path[len(path)-1]
+	for {
+		c.mu.RLock()
+		shard, ok := c.table[lm]
+		if !ok {
+			c.mu.RUnlock()
+			return nil, fmt.Errorf("%w (router %d)", server.ErrUnknownLandmark, lm)
+		}
+		if ho := c.moving[lm]; ho != nil {
+			c.mu.RUnlock()
+			<-ho.done // buffered during the transfer; replay below
+			continue
+		}
+		// Taking opMu before releasing mu pins the resolved shard: a
+		// handoff of lm starting now blocks in its drain until this join
+		// lands, so the snapshot it takes will include us.
+		c.opMu.RLock()
+		c.mu.RUnlock()
+		cands, err := c.shards[shard].Join(p, path)
+		if err == nil {
+			if old, had := c.idx.swap(p, shard); had && old != shard {
+				// Re-join under a landmark owned by a different shard:
+				// retire the stale record, mirroring the single-server
+				// behaviour of replacing rather than duplicating.
+				c.shards[old].Leave(p)
+			}
+		}
+		c.opMu.RUnlock()
+		return cands, err
+	}
+}
+
+// Lookup re-answers the closest-peers query for a registered peer,
+// delegating to the shard that holds it.
+func (c *Cluster) Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error) {
+	if shard, ok := c.idx.get(p); ok {
+		cands, err := c.shards[shard].Lookup(p)
+		if err == nil || !errors.Is(err, server.ErrUnknownPeer) {
+			return cands, err
+		}
+	}
+	// The index missed: the peer may have just moved with its landmark.
+	_, shard, err := c.FindPeer(context.Background(), p)
+	if err != nil {
+		return nil, err
+	}
+	return c.shards[shard].Lookup(p)
+}
+
+// Refresh updates a peer's liveness timestamp.
+func (c *Cluster) Refresh(p pathtree.PeerID) error {
+	return c.onPeerShard(p, func(s *server.Server) error { return s.Refresh(p) })
+}
+
+// SetSuperPeer marks or unmarks peer p as a super-peer.
+func (c *Cluster) SetSuperPeer(p pathtree.PeerID, super bool) error {
+	return c.onPeerShard(p, func(s *server.Server) error { return s.SetSuperPeer(p, super) })
+}
+
+// onPeerShard runs fn against the shard holding peer p, retrying once via a
+// scatter search when the index entry turns out stale (possible while the
+// peer's landmark is mid-handoff). Holding opMu excludes the call from a
+// handoff's copy phase, so the update cannot land on a tree that has
+// already been serialized for transfer and be lost.
+func (c *Cluster) onPeerShard(p pathtree.PeerID, fn func(s *server.Server) error) error {
+	if shard, ok := c.idx.get(p); ok {
+		c.opMu.RLock()
+		err := fn(c.shards[shard])
+		c.opMu.RUnlock()
+		if err == nil || !errors.Is(err, server.ErrUnknownPeer) {
+			return err
+		}
+	}
+	_, shard, err := c.FindPeer(context.Background(), p)
+	if err != nil {
+		return err
+	}
+	c.opMu.RLock()
+	defer c.opMu.RUnlock()
+	return fn(c.shards[shard])
+}
+
+// PeerInfo returns a copy of the record for peer p.
+func (c *Cluster) PeerInfo(p pathtree.PeerID) (server.PeerInfo, error) {
+	if shard, ok := c.idx.get(p); ok {
+		info, err := c.shards[shard].PeerInfo(p)
+		if err == nil || !errors.Is(err, server.ErrUnknownPeer) {
+			return info, err
+		}
+	}
+	info, _, err := c.FindPeer(context.Background(), p)
+	return info, err
+}
+
+// Leave removes peer p; it reports whether the peer was registered.
+func (c *Cluster) Leave(p pathtree.PeerID) bool {
+	shard, ok := c.idx.get(p)
+	if !ok {
+		return false
+	}
+	c.opMu.RLock()
+	removed := c.shards[shard].Leave(p)
+	if removed {
+		c.idx.compareAndDelete(p, shard)
+	}
+	c.opMu.RUnlock()
+	if removed {
+		return true
+	}
+	// The index hit but the record was elsewhere: the peer's landmark is
+	// mid-handoff. Resolve the current holder; the index entry is deleted
+	// first so a concurrent handoff cannot re-point it at a record we are
+	// about to remove.
+	_, cur, err := c.FindPeer(context.Background(), p)
+	if err != nil {
+		return false
+	}
+	c.opMu.RLock()
+	defer c.opMu.RUnlock()
+	c.idx.compareAndDelete(p, shard)
+	c.idx.compareAndDelete(p, cur)
+	return c.shards[cur].Leave(p)
+}
+
+// NumPeers reports the number of registered peers across all shards.
+func (c *Cluster) NumPeers() int { return c.idx.len() }
+
+// Peers scatter-gathers the registered peer IDs of every shard and returns
+// them merged in ascending order. It serializes with handoffs so a moving
+// landmark's peers are never reported from both shards at once.
+func (c *Cluster) Peers() []pathtree.PeerID {
+	c.hoMu.Lock()
+	defer c.hoMu.Unlock()
+	per := make([][]pathtree.PeerID, len(c.shards))
+	_ = c.ForEachShard(context.Background(), func(i int, s *server.Server) error {
+		per[i] = s.Peers()
+		return nil
+	})
+	var out []pathtree.PeerID
+	for _, ps := range per {
+		out = append(out, ps...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Expire sweeps every shard for peers past their TTL, returning the merged
+// expired IDs in ascending order. It serializes with handoffs (hoMu) and
+// freezes membership for the duration of the sweep (opMu in write mode),
+// so an expired peer cannot re-join between the shard sweep and the index
+// cleanup and have its fresh index entry deleted.
+func (c *Cluster) Expire() []pathtree.PeerID {
+	c.hoMu.Lock()
+	defer c.hoMu.Unlock()
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	per := make([][]pathtree.PeerID, len(c.shards))
+	_ = c.ForEachShard(context.Background(), func(i int, s *server.Server) error {
+		per[i] = s.Expire()
+		return nil
+	})
+	var out []pathtree.PeerID
+	for i, ps := range per {
+		for _, p := range ps {
+			c.idx.compareAndDelete(p, i)
+		}
+		out = append(out, ps...)
+	}
+	if out == nil {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats scatter-gathers every shard's counters and merges them: counts sum,
+// per-landmark tree statistics union (landmark sets are disjoint across
+// shards outside a handoff, which Stats serializes with).
+func (c *Cluster) Stats() server.Stats {
+	c.hoMu.Lock()
+	defer c.hoMu.Unlock()
+	per := make([]server.Stats, len(c.shards))
+	_ = c.ForEachShard(context.Background(), func(i int, s *server.Server) error {
+		per[i] = s.Stats()
+		return nil
+	})
+	merged := server.Stats{TreeStats: make(map[topology.NodeID]pathtree.Stats)}
+	for _, st := range per {
+		merged.Peers += st.Peers
+		merged.Joins += st.Joins
+		merged.Leaves += st.Leaves
+		merged.Expiries += st.Expiries
+		merged.Queries += st.Queries
+		merged.SuperPeerDelegations += st.SuperPeerDelegations
+		for lm, ts := range st.TreeStats {
+			merged.TreeStats[lm] = ts
+		}
+	}
+	return merged
+}

@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+)
+
+// testLandmarks is a convenient landmark set spread over several shards.
+var testLandmarks = []topology.NodeID{0, 100, 200, 300, 400, 500, 600, 700}
+
+// synthPath builds a deterministic peer→landmark path in a per-landmark ID
+// space: each landmark's routers live in their own block, so trees never
+// share router IDs with other trees.
+func synthPath(lm topology.NodeID, leaf int) []topology.NodeID {
+	base := topology.NodeID(1_000_000 * (int(lm) + 1))
+	r := base + topology.NodeID(1+leaf)
+	var path []topology.NodeID
+	for r > base {
+		path = append(path, r)
+		r = base + (r-base-1)/8
+	}
+	return append(path, lm)
+}
+
+func newTestCluster(t *testing.T, shards int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Landmarks: testLandmarks, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// populate joins n peers round-robin over the landmarks and returns each
+// peer's landmark.
+func populate(t *testing.T, c *Cluster, n int) map[pathtree.PeerID]topology.NodeID {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	byPeer := make(map[pathtree.PeerID]topology.NodeID, n)
+	for i := 0; i < n; i++ {
+		p := pathtree.PeerID(i + 1)
+		lm := testLandmarks[i%len(testLandmarks)]
+		if _, err := c.Join(p, synthPath(lm, rng.Intn(50_000))); err != nil {
+			t.Fatalf("join %d: %v", p, err)
+		}
+		byPeer[p] = lm
+	}
+	return byPeer
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("accepted empty landmark set")
+	}
+	if _, err := New(Config{Landmarks: testLandmarks, Shards: -1}); err == nil {
+		t.Fatal("accepted negative shard count")
+	}
+	if _, err := New(Config{Landmarks: []topology.NodeID{1, 2}, Shards: 3}); err == nil {
+		t.Fatal("accepted more shards than landmarks")
+	}
+	// An assigner that leaves a landmark out must be rejected.
+	bad := AssignerFunc(func(lms []topology.NodeID, shards int) map[topology.NodeID]int {
+		return map[topology.NodeID]int{lms[0]: 0}
+	})
+	if _, err := New(Config{Landmarks: testLandmarks, Shards: 2, Assign: bad}); err == nil {
+		t.Fatal("accepted partial assignment")
+	}
+	// An assigner that starves a shard must be rejected.
+	starve := AssignerFunc(func(lms []topology.NodeID, shards int) map[topology.NodeID]int {
+		out := make(map[topology.NodeID]int, len(lms))
+		for _, lm := range lms {
+			out[lm] = 0
+		}
+		return out
+	})
+	if _, err := New(Config{Landmarks: testLandmarks, Shards: 2, Assign: starve}); err == nil {
+		t.Fatal("accepted empty shard")
+	}
+}
+
+func TestAssigners(t *testing.T) {
+	rr := RoundRobin().Assign(testLandmarks, 4)
+	counts := make(map[int]int)
+	for _, shard := range rr {
+		counts[shard]++
+	}
+	for shard := 0; shard < 4; shard++ {
+		if counts[shard] != 2 {
+			t.Fatalf("round-robin shard %d owns %d landmarks: %v", shard, counts[shard], rr)
+		}
+	}
+	hm := HashMod().Assign(testLandmarks, 4)
+	for lm, shard := range hm {
+		if shard < 0 || shard >= 4 {
+			t.Fatalf("hashmod landmark %d on out-of-range shard %d", lm, shard)
+		}
+	}
+	// Membership independence: a landmark's shard must not change when the
+	// set around it does.
+	sub := HashMod().Assign(testLandmarks[:3], 4)
+	for lm, shard := range sub {
+		if hm[lm] != shard {
+			t.Fatalf("hashmod landmark %d moved from %d to %d when the set shrank", lm, hm[lm], shard)
+		}
+	}
+}
+
+func TestJoinRoutesByLandmark(t *testing.T) {
+	c := newTestCluster(t, 4)
+	byPeer := populate(t, c, 64)
+	if got := c.NumPeers(); got != 64 {
+		t.Fatalf("NumPeers=%d", got)
+	}
+	for p, lm := range byPeer {
+		shard, ok := c.ShardFor(lm)
+		if !ok {
+			t.Fatalf("no shard for landmark %d", lm)
+		}
+		info, err := c.Shard(shard).PeerInfo(p)
+		if err != nil {
+			t.Fatalf("peer %d not on owning shard %d: %v", p, shard, err)
+		}
+		if info.Landmark != lm {
+			t.Fatalf("peer %d landmark %d want %d", p, info.Landmark, lm)
+		}
+	}
+	// Sharded peers total must equal sum of per-shard populations.
+	sum := 0
+	for i := 0; i < c.NumShards(); i++ {
+		sum += c.Shard(i).NumPeers()
+	}
+	if sum != 64 {
+		t.Fatalf("per-shard sum=%d", sum)
+	}
+	if got := len(c.Peers()); got != 64 {
+		t.Fatalf("Peers()=%d entries", got)
+	}
+	if lms := c.Landmarks(); !reflect.DeepEqual(lms, testLandmarks) {
+		t.Fatalf("Landmarks()=%v", lms)
+	}
+}
+
+func TestUnknownLandmarkAndPeer(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if _, err := c.Join(1, []topology.NodeID{5, 999}); !errors.Is(err, server.ErrUnknownLandmark) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := c.Join(1, nil); err == nil {
+		t.Fatal("accepted empty path")
+	}
+	if _, err := c.Lookup(42); !errors.Is(err, server.ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := c.Refresh(42); !errors.Is(err, server.ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+	if c.Leave(42) {
+		t.Fatal("left an unknown peer")
+	}
+}
+
+// TestClusterMatchesSingleServer is the core equivalence property: sharding
+// must change capacity, never answers.
+func TestClusterMatchesSingleServer(t *testing.T) {
+	single, err := server.New(server.Config{Landmarks: testLandmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCluster(t, 4)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		p := pathtree.PeerID(i + 1)
+		lm := testLandmarks[rng.Intn(len(testLandmarks))]
+		path := synthPath(lm, rng.Intn(20_000))
+		a, errA := single.Join(p, path)
+		b, errB := c.Join(p, path)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("join %d: single err=%v cluster err=%v", p, errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("join %d answers differ:\nsingle  %+v\ncluster %+v", p, a, b)
+		}
+	}
+	if single.NumPeers() != c.NumPeers() {
+		t.Fatalf("peers: single=%d cluster=%d", single.NumPeers(), c.NumPeers())
+	}
+	for _, p := range single.Peers() {
+		a, errA := single.Lookup(p)
+		b, errB := c.Lookup(p)
+		if errA != nil || errB != nil {
+			t.Fatalf("lookup %d: %v / %v", p, errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("lookup %d answers differ:\nsingle  %+v\ncluster %+v", p, a, b)
+		}
+	}
+}
+
+func TestRejoinAcrossShards(t *testing.T) {
+	c := newTestCluster(t, 4)
+	lmA, lmB := testLandmarks[0], testLandmarks[1]
+	shardA, _ := c.ShardFor(lmA)
+	shardB, _ := c.ShardFor(lmB)
+	if shardA == shardB {
+		t.Fatal("test landmarks landed on the same shard; adjust the set")
+	}
+	if _, err := c.Join(1, synthPath(lmA, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join(1, synthPath(lmB, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NumPeers(); got != 1 {
+		t.Fatalf("NumPeers=%d after re-join", got)
+	}
+	if _, err := c.Shard(shardA).PeerInfo(1); !errors.Is(err, server.ErrUnknownPeer) {
+		t.Fatalf("stale record on old shard: err=%v", err)
+	}
+	info, err := c.PeerInfo(1)
+	if err != nil || info.Landmark != lmB {
+		t.Fatalf("info=%+v err=%v", info, err)
+	}
+}
+
+func TestLeaveRefreshExpire(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c, err := New(Config{
+		Landmarks: testLandmarks,
+		Shards:    4,
+		PeerTTL:   time.Minute,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		p := pathtree.PeerID(i + 1)
+		if _, err := c.Join(p, synthPath(testLandmarks[i%len(testLandmarks)], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Leave(3) {
+		t.Fatal("leave failed")
+	}
+	if got := c.NumPeers(); got != 15 {
+		t.Fatalf("NumPeers=%d", got)
+	}
+	now = now.Add(2 * time.Minute)
+	if err := c.Refresh(5); err != nil {
+		t.Fatal(err)
+	}
+	expired := c.Expire()
+	if len(expired) != 14 {
+		t.Fatalf("expired %d peers: %v", len(expired), expired)
+	}
+	for i := 1; i < len(expired); i++ {
+		if expired[i-1] >= expired[i] {
+			t.Fatalf("expired IDs not sorted: %v", expired)
+		}
+	}
+	if got := c.NumPeers(); got != 1 {
+		t.Fatalf("NumPeers=%d after expiry", got)
+	}
+	if _, err := c.Lookup(5); err != nil {
+		t.Fatalf("survivor lookup: %v", err)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	c := newTestCluster(t, 4)
+	populate(t, c, 32)
+	c.Leave(1)
+	st := c.Stats()
+	if st.Peers != 31 {
+		t.Fatalf("Peers=%d", st.Peers)
+	}
+	if st.Joins != 32 || st.Leaves != 1 {
+		t.Fatalf("Joins=%d Leaves=%d", st.Joins, st.Leaves)
+	}
+	if len(st.TreeStats) != len(testLandmarks) {
+		t.Fatalf("TreeStats landmarks=%d want %d", len(st.TreeStats), len(testLandmarks))
+	}
+}
+
+func TestScatterBoundedFanout(t *testing.T) {
+	c, err := New(Config{Landmarks: testLandmarks, Shards: 8, MaxFanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFlight, maxSeen int32
+	err = c.ForEachShard(context.Background(), func(i int, s *server.Server) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			prev := atomic.LoadInt32(&maxSeen)
+			if cur <= prev || atomic.CompareAndSwapInt32(&maxSeen, prev, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		atomic.AddInt32(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&maxSeen); got > 2 {
+		t.Fatalf("observed %d concurrent calls with MaxFanout=2", got)
+	}
+}
+
+func TestScatterCancellation(t *testing.T) {
+	c := newTestCluster(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.ForEachShard(ctx, func(i int, s *server.Server) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestScatterFirstError(t *testing.T) {
+	c := newTestCluster(t, 4)
+	boom := fmt.Errorf("shard exploded")
+	err := c.ForEachShard(context.Background(), func(i int, s *server.Server) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestFindPeer(t *testing.T) {
+	c := newTestCluster(t, 4)
+	byPeer := populate(t, c, 16)
+	info, shard, err := c.FindPeer(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := c.ShardFor(byPeer[7]); shard != want {
+		t.Fatalf("shard=%d want %d", shard, want)
+	}
+	if info.ID != 7 {
+		t.Fatalf("info=%+v", info)
+	}
+	if _, _, err := c.FindPeer(context.Background(), 999); !errors.Is(err, server.ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestConcurrentJoinsAcrossShards(t *testing.T) {
+	c := newTestCluster(t, 4)
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < each; i++ {
+				p := pathtree.PeerID(w*each + i + 1)
+				lm := testLandmarks[rng.Intn(len(testLandmarks))]
+				if _, err := c.Join(p, synthPath(lm, rng.Intn(10_000))); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Lookup(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := c.NumPeers(); got != workers*each {
+		t.Fatalf("NumPeers=%d want %d", got, workers*each)
+	}
+}

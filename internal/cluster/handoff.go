@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+)
+
+// handoff is the in-flight transfer of one landmark between shards. Joins
+// for the landmark wait on done and replay once the new owner is live.
+type handoff struct {
+	done chan struct{}
+}
+
+// MoveLandmark transfers ownership of landmark lm (and every peer
+// registered under it) to shard dst without dropping joins:
+//
+//  1. the landmark is flagged as moving, so new joins for it buffer;
+//  2. the cluster-wide operation lock is taken in write mode, draining
+//     in-flight mutations and excluding membership changes for the
+//     duration of the copy (in-memory, so milliseconds even for large
+//     trees — other landmarks' joins stall briefly rather than fail);
+//  3. the landmark's tree is serialized with the server snapshot machinery,
+//     absorbed by the destination shard, and dropped from the source;
+//  4. the assignment table flips, the buffered joins replay against the new
+//     owner, and the peer index follows the moved records.
+//
+// Because the copy excludes membership changes, no registered peer is lost
+// and no Leave, Refresh, or SetSuperPeer update can fall between the
+// snapshot and the drop. The narrow window between the copy and the index
+// update is reconciled: a record the destination absorbed is retired if
+// the peer meanwhile left or re-registered elsewhere.
+//
+// Handoffs are serialized; moving a landmark to its current owner is a
+// no-op.
+func (c *Cluster) MoveLandmark(lm topology.NodeID, dst int) error {
+	if dst < 0 || dst >= len(c.shards) {
+		return fmt.Errorf("cluster: shard %d out of range [0,%d)", dst, len(c.shards))
+	}
+	c.hoMu.Lock()
+	defer c.hoMu.Unlock()
+
+	c.mu.Lock()
+	src, ok := c.table[lm]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: unknown landmark %d", lm)
+	}
+	if src == dst {
+		c.mu.Unlock()
+		return nil
+	}
+	ho := &handoff{done: make(chan struct{})}
+	c.moving[lm] = ho
+	c.mu.Unlock()
+
+	// From here the moving flag must always be cleared, or buffered joins
+	// would wait forever.
+	finish := func() {
+		c.mu.Lock()
+		delete(c.moving, lm)
+		c.mu.Unlock()
+		close(ho.done)
+	}
+
+	// Drain and freeze: in-flight mutations hold opMu in read mode, so the
+	// write lock both waits them out and keeps new membership changes away
+	// from the source and destination while the tree is in flight. The
+	// lock is released before touching c.mu (the table) — Join acquires
+	// mu then opMu, so holding opMu across a mu acquisition would invert
+	// that order.
+	c.opMu.Lock()
+	var buf bytes.Buffer
+	if err := c.shards[src].SnapshotLandmarks(&buf, lm); err != nil {
+		c.opMu.Unlock()
+		finish()
+		return fmt.Errorf("cluster: handoff snapshot: %w", err)
+	}
+	moved, err := c.shards[dst].Absorb(&buf)
+	if err != nil {
+		c.opMu.Unlock()
+		finish()
+		return fmt.Errorf("cluster: handoff absorb: %w", err)
+	}
+	c.shards[src].DropLandmark(lm)
+	c.opMu.Unlock()
+
+	c.mu.Lock()
+	c.table[lm] = dst
+	c.mu.Unlock()
+
+	for _, p := range moved {
+		if c.idx.compareAndSwap(p, src, dst) {
+			continue
+		}
+		// The peer left or re-registered elsewhere in the brief window
+		// after the copy; the absorbed record is stale unless the re-join
+		// itself landed on the destination (then the live record, under
+		// its new landmark, wins and must not be touched).
+		if info, err := c.shards[dst].PeerInfo(p); err == nil && info.Landmark == lm {
+			if cur, ok := c.idx.get(p); !ok || cur != dst {
+				c.shards[dst].Leave(p)
+			}
+		}
+	}
+	finish()
+	return nil
+}
+
+// Snapshot serializes the whole cluster's durable state as one standard
+// server snapshot (restorable by server.Restore or absorbable by any
+// shard), by merging per-shard snapshots without rebuilding any tree. It
+// is consistent with respect to handoffs.
+func (c *Cluster) Snapshot(w io.Writer) error {
+	c.hoMu.Lock()
+	defer c.hoMu.Unlock()
+	var parts []io.Reader
+	for i, s := range c.shards {
+		lms := s.Landmarks()
+		if len(lms) == 0 {
+			continue // drained by handoffs
+		}
+		var buf bytes.Buffer
+		if err := s.SnapshotLandmarks(&buf, lms...); err != nil {
+			return fmt.Errorf("cluster: snapshot shard %d: %w", i, err)
+		}
+		parts = append(parts, &buf)
+	}
+	return server.MergeSnapshots(w, parts...)
+}

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+)
+
+func TestMoveLandmarkValidation(t *testing.T) {
+	c := newTestCluster(t, 4)
+	if err := c.MoveLandmark(999, 0); err == nil {
+		t.Fatal("moved unknown landmark")
+	}
+	if err := c.MoveLandmark(testLandmarks[0], 99); err == nil {
+		t.Fatal("moved to out-of-range shard")
+	}
+	src, _ := c.ShardFor(testLandmarks[0])
+	if err := c.MoveLandmark(testLandmarks[0], src); err != nil {
+		t.Fatalf("self-move errored: %v", err)
+	}
+}
+
+func TestMoveLandmarkPreservesPeers(t *testing.T) {
+	c := newTestCluster(t, 4)
+	byPeer := populate(t, c, 96)
+	lm := testLandmarks[2]
+	src, _ := c.ShardFor(lm)
+	dst := (src + 1) % c.NumShards()
+
+	before := make(map[pathtree.PeerID][]pathtree.Candidate)
+	for p := range byPeer {
+		ans, err := c.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[p] = ans
+	}
+	numBefore := c.NumPeers()
+
+	if err := c.MoveLandmark(lm, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, _ := c.ShardFor(lm); got != dst {
+		t.Fatalf("landmark on shard %d want %d", got, dst)
+	}
+	if got := c.NumPeers(); got != numBefore {
+		t.Fatalf("NumPeers=%d want %d (handoff lost peers)", got, numBefore)
+	}
+	for _, srcLM := range c.Shard(src).Landmarks() {
+		if srcLM == lm {
+			t.Fatal("source shard still lists the moved landmark")
+		}
+	}
+	for p := range byPeer {
+		ans, err := c.Lookup(p)
+		if err != nil {
+			t.Fatalf("lookup %d after handoff: %v", p, err)
+		}
+		if !reflect.DeepEqual(ans, before[p]) {
+			t.Fatalf("lookup %d changed across handoff:\nbefore %+v\nafter  %+v", p, before[p], ans)
+		}
+	}
+	// Moved peers must be fully owned by the destination: joins for the
+	// landmark now land there.
+	if _, err := c.Join(1000, synthPath(lm, 77)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Shard(dst).PeerInfo(1000); err != nil {
+		t.Fatalf("new joiner not on destination shard: %v", err)
+	}
+}
+
+// TestMoveLandmarkUnderLiveJoins is the no-dropped-joins property: peers
+// keep joining the moving landmark throughout the handoff and every one of
+// them must be registered afterwards.
+func TestMoveLandmarkUnderLiveJoins(t *testing.T) {
+	c := newTestCluster(t, 4)
+	lm := testLandmarks[5]
+	src, _ := c.ShardFor(lm)
+	dst := (src + 2) % c.NumShards()
+
+	var (
+		stop   atomic.Bool
+		joined atomic.Int64
+		wg     sync.WaitGroup
+		errCh  = make(chan error, 4)
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; !stop.Load(); i++ {
+				p := pathtree.PeerID(1 + w*1_000_000 + i)
+				if _, err := c.Join(p, synthPath(lm, rng.Intn(30_000))); err != nil {
+					errCh <- err
+					return
+				}
+				joined.Add(1)
+			}
+		}(w)
+	}
+	// Bounce the landmark between the two shards while joins are in flight,
+	// pacing each round so joins interleave with the transfers.
+	for round := 0; round < 6; round++ {
+		target := joined.Load() + 50
+		for joined.Load() < target {
+			runtime.Gosched()
+		}
+		to := dst
+		if round%2 == 1 {
+			to = src
+		}
+		if err := c.MoveLandmark(lm, to); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if joined.Load() == 0 {
+		t.Fatal("no joins completed during the handoffs")
+	}
+	if got := int64(c.NumPeers()); got != joined.Load() {
+		t.Fatalf("NumPeers=%d but %d peers joined (handoff lost or duplicated peers)", got, joined.Load())
+	}
+	// Every joined peer must be findable and owned by exactly one shard.
+	owners := 0
+	for i := 0; i < c.NumShards(); i++ {
+		owners += c.Shard(i).NumPeers()
+	}
+	if int64(owners) != joined.Load() {
+		t.Fatalf("per-shard population %d want %d", owners, joined.Load())
+	}
+	for _, p := range c.Peers() {
+		if _, err := c.Lookup(p); err != nil {
+			t.Fatalf("lookup %d after handoffs: %v", p, err)
+		}
+	}
+}
+
+func TestMoveLandmarkWithConcurrentLeaves(t *testing.T) {
+	c := newTestCluster(t, 2)
+	lm := testLandmarks[0]
+	for i := 0; i < 200; i++ {
+		if _, err := c.Join(pathtree.PeerID(i+1), synthPath(lm, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, _ := c.ShardFor(lm)
+	dst := 1 - src
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			c.Leave(pathtree.PeerID(i + 1))
+		}
+	}()
+	if err := c.MoveLandmark(lm, dst); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// The 100 leavers must stay gone; the 100 stayers must all survive.
+	if got := c.NumPeers(); got != 100 {
+		t.Fatalf("NumPeers=%d want 100", got)
+	}
+	for i := 100; i < 200; i++ {
+		if _, err := c.Lookup(pathtree.PeerID(i + 1)); err != nil {
+			t.Fatalf("stayer %d lost: %v", i+1, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := c.Lookup(pathtree.PeerID(i + 1)); !errors.Is(err, server.ErrUnknownPeer) {
+			t.Fatalf("leaver %d resurrected: err=%v", i+1, err)
+		}
+	}
+}
+
+func TestClusterSnapshotRestorable(t *testing.T) {
+	c := newTestCluster(t, 4)
+	populate(t, c, 48)
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := server.Restore(&buf, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumPeers() != c.NumPeers() {
+		t.Fatalf("restored peers=%d want %d", restored.NumPeers(), c.NumPeers())
+	}
+	if !reflect.DeepEqual(restored.Landmarks(), c.Landmarks()) {
+		t.Fatalf("restored landmarks=%v want %v", restored.Landmarks(), c.Landmarks())
+	}
+	for _, p := range c.Peers() {
+		a, err := c.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("lookup %d differs after restore", p)
+		}
+	}
+}
+
+func TestSnapshotLandmarkSubset(t *testing.T) {
+	// Direct coverage of the server-side handoff primitives.
+	s, err := server.New(server.Config{Landmarks: []topology.NodeID{0, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		lm := topology.NodeID(0)
+		if i%2 == 1 {
+			lm = 100
+		}
+		if _, err := s.Join(pathtree.PeerID(i+1), synthPath(lm, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.SnapshotLandmarks(&buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := server.New(server.Config{Landmarks: []topology.NodeID{200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := dst.Absorb(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 5 {
+		t.Fatalf("absorbed %d peers want 5: %v", len(moved), moved)
+	}
+	dropped := s.DropLandmark(100)
+	if !reflect.DeepEqual(dropped, moved) {
+		t.Fatalf("dropped %v absorbed %v", dropped, moved)
+	}
+	if s.NumPeers() != 5 || dst.NumPeers() != 5 {
+		t.Fatalf("src=%d dst=%d", s.NumPeers(), dst.NumPeers())
+	}
+	if err := s.SnapshotLandmarks(&buf, 100); err == nil {
+		t.Fatal("snapshotted a dropped landmark")
+	}
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"sync"
+
+	"proxdisc/internal/pathtree"
+)
+
+// indexStripes is the number of independently locked segments of the
+// peer→shard index. Joins from different peers then rarely contend on the
+// same lock, which keeps the router out of the way when many shards ingest
+// in parallel.
+const indexStripes = 64
+
+// peerIndex maps each registered peer to the shard holding its record. It
+// is the router's answer to peer-keyed requests (Lookup, Leave, Refresh)
+// that carry no landmark and so cannot be routed through the assignment
+// table.
+type peerIndex struct {
+	stripes [indexStripes]indexStripe
+}
+
+type indexStripe struct {
+	mu sync.RWMutex
+	m  map[pathtree.PeerID]int
+}
+
+func newPeerIndex() *peerIndex {
+	idx := &peerIndex{}
+	for i := range idx.stripes {
+		idx.stripes[i].m = make(map[pathtree.PeerID]int)
+	}
+	return idx
+}
+
+func (idx *peerIndex) stripe(p pathtree.PeerID) *indexStripe {
+	// Peer IDs are often sequential; mix the bits so neighbours spread
+	// across stripes.
+	h := uint64(p) * 0x9e3779b97f4a7c15
+	return &idx.stripes[h>>58] // top 6 bits index the 64 stripes
+}
+
+// get returns the shard of peer p.
+func (idx *peerIndex) get(p pathtree.PeerID) (int, bool) {
+	s := idx.stripe(p)
+	s.mu.RLock()
+	shard, ok := s.m[p]
+	s.mu.RUnlock()
+	return shard, ok
+}
+
+// swap records p on the given shard and returns the previous mapping.
+func (idx *peerIndex) swap(p pathtree.PeerID, shard int) (old int, had bool) {
+	s := idx.stripe(p)
+	s.mu.Lock()
+	old, had = s.m[p]
+	s.m[p] = shard
+	s.mu.Unlock()
+	return old, had
+}
+
+// compareAndSwap moves p from shard old to shard new only if the entry
+// still reads old, reporting whether it did.
+func (idx *peerIndex) compareAndSwap(p pathtree.PeerID, old, new int) bool {
+	s := idx.stripe(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.m[p]; !ok || cur != old {
+		return false
+	}
+	s.m[p] = new
+	return true
+}
+
+// compareAndDelete removes p only if it is still mapped to shard.
+func (idx *peerIndex) compareAndDelete(p pathtree.PeerID, shard int) bool {
+	s := idx.stripe(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.m[p]; !ok || cur != shard {
+		return false
+	}
+	delete(s.m, p)
+	return true
+}
+
+// len counts registered peers across all stripes.
+func (idx *peerIndex) len() int {
+	n := 0
+	for i := range idx.stripes {
+		s := &idx.stripes[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

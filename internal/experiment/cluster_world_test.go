@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"proxdisc/internal/cluster"
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/topology"
+)
+
+func clusterWorldConfig(seed int64, shards int) WorldConfig {
+	return WorldConfig{
+		Topology: topology.Config{
+			Model:        topology.ModelBarabasiAlbert,
+			CoreRouters:  400,
+			LeafRouters:  400,
+			EdgesPerNode: 2,
+			Seed:         seed,
+		},
+		NumLandmarks: 8,
+		Shards:       shards,
+		Seed:         seed,
+	}
+}
+
+// TestShardedWorldMatchesSingleServer drives the full two-round protocol —
+// topology, landmark probing, traceroute, join — through a 4-shard cluster
+// and a single server over the same world, and requires identical join
+// answers and identical k-closest query answers for every peer.
+func TestShardedWorldMatchesSingleServer(t *testing.T) {
+	w1, err := BuildWorld(clusterWorldConfig(42, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w4, err := BuildWorld(clusterWorldConfig(42, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w4.Server.(*cluster.Cluster); !ok {
+		t.Fatalf("sharded world runs a %T", w4.Server)
+	}
+	// Identical seeds give identical attachment sequences; join peers in
+	// lockstep and compare every answer.
+	const peers = 120
+	if len(w1.LeafPool) < peers || !reflect.DeepEqual(w1.LeafPool, w4.LeafPool) {
+		t.Fatal("worlds diverged before any join")
+	}
+	for i := 0; i < peers; i++ {
+		p := pathtree.PeerID(i + 1)
+		att := w1.LeafPool[i]
+		a, err := w1.JoinPeer(p, att)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := w4.JoinPeer(p, att)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("join %d answers differ:\nsingle  %+v\nsharded %+v", p, a, b)
+		}
+	}
+	if w1.Server.NumPeers() != w4.Server.NumPeers() {
+		t.Fatalf("peers: single=%d sharded=%d", w1.Server.NumPeers(), w4.Server.NumPeers())
+	}
+	for _, p := range w1.Server.Peers() {
+		a, err := w1.Server.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := w4.Server.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("lookup %d answers differ:\nsingle  %+v\nsharded %+v", p, a, b)
+		}
+	}
+	// The evaluation pipeline must agree too (same sampled peers, same
+	// scores), so every experiment is valid over the sharded path.
+	q1, err := w1.EvaluateQuality(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4, err := w4.EvaluateQuality(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q4 {
+		t.Fatalf("quality diverged: single=%+v sharded=%+v", q1, q4)
+	}
+}
+
+// TestWorldLandmarkHandoff moves a live landmark between shards mid-world
+// and requires that no registered peer is lost and every answer is
+// unchanged.
+func TestWorldLandmarkHandoff(t *testing.T) {
+	w, err := BuildWorld(clusterWorldConfig(7, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.JoinN(150); err != nil {
+		t.Fatal(err)
+	}
+	c := w.Server.(*cluster.Cluster)
+	lm := w.Landmarks[0]
+	src, ok := c.ShardFor(lm)
+	if !ok {
+		t.Fatalf("no shard for landmark %d", lm)
+	}
+	dst := (src + 1) % c.NumShards()
+
+	numBefore := c.NumPeers()
+	before := make(map[pathtree.PeerID][]pathtree.Candidate)
+	for _, p := range c.Peers() {
+		ans, err := c.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[p] = ans
+	}
+
+	if err := c.MoveLandmark(lm, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := c.NumPeers(); got != numBefore {
+		t.Fatalf("NumPeers=%d want %d after handoff", got, numBefore)
+	}
+	for p, want := range before {
+		ans, err := c.Lookup(p)
+		if err != nil {
+			t.Fatalf("lookup %d after handoff: %v", p, err)
+		}
+		if !reflect.DeepEqual(ans, want) {
+			t.Fatalf("lookup %d changed across handoff", p)
+		}
+	}
+	// The world keeps working after the move: new peers still join the
+	// moved landmark's tree through the normal two-round protocol.
+	if err := w.JoinN(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NumPeers(); got != numBefore+20 {
+		t.Fatalf("NumPeers=%d want %d", got, numBefore+20)
+	}
+}

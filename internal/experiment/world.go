@@ -7,9 +7,11 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 
+	"proxdisc/internal/cluster"
 	"proxdisc/internal/latency"
 	"proxdisc/internal/metrics"
 	"proxdisc/internal/pathtree"
@@ -18,6 +20,26 @@ import (
 	"proxdisc/internal/topology"
 	"proxdisc/internal/traceroute"
 )
+
+// Directory is the management plane a world drives: the single-process
+// server.Server, or the landmark-sharded cluster.Cluster, which expose the
+// same API. Every experiment runs unchanged over either, so simulations
+// and benchmarks exercise the sharded path end-to-end.
+type Directory interface {
+	Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error)
+	Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error)
+	Refresh(p pathtree.PeerID) error
+	Leave(p pathtree.PeerID) bool
+	Expire() []pathtree.PeerID
+	SetSuperPeer(p pathtree.PeerID, super bool) error
+	PeerInfo(p pathtree.PeerID) (server.PeerInfo, error)
+	Peers() []pathtree.PeerID
+	NumPeers() int
+	Landmarks() []topology.NodeID
+	NeighborCount() int
+	Stats() server.Stats
+	Snapshot(w io.Writer) error
+}
 
 // WorldConfig describes one simulated deployment: a topology, a landmark
 // placement policy, and the traceroute behaviour of peers.
@@ -35,6 +57,10 @@ type WorldConfig struct {
 	LandmarkPolicy topology.PlacementPolicy
 	// NeighborCount is the k of the closest-peer answers (default 5).
 	NeighborCount int
+	// Shards, when at least 2, runs the management plane as a
+	// landmark-sharded cluster of that many shards instead of a single
+	// server. It must not exceed NumLandmarks.
+	Shards int
 	// Trace configures the peers' traceroute tool.
 	Trace traceroute.Config
 	// UseDelays, when true, assigns link delays and routes by latency;
@@ -66,7 +92,7 @@ type World struct {
 	Graph     *topology.Graph
 	Tracer    *traceroute.Tracer
 	Landmarks []topology.NodeID
-	Server    *server.Server
+	Server    Directory
 	// Attachments records where each joined peer is attached.
 	Attachments metrics.Attachments
 	// LeafPool is the set of degree-1 routers still available for peers.
@@ -101,10 +127,19 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			return nil, fmt.Errorf("experiment: delays: %w", err)
 		}
 	}
-	srv, err := server.New(server.Config{
-		Landmarks:     landmarks,
-		NeighborCount: cfg.NeighborCount,
-	})
+	var srv Directory
+	if cfg.Shards > 1 {
+		srv, err = cluster.New(cluster.Config{
+			Landmarks:     landmarks,
+			Shards:        cfg.Shards,
+			NeighborCount: cfg.NeighborCount,
+		})
+	} else {
+		srv, err = server.New(server.Config{
+			Landmarks:     landmarks,
+			NeighborCount: cfg.NeighborCount,
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("experiment: server: %w", err)
 	}

@@ -5,6 +5,12 @@
 // One TCP connection serves any number of request/response frames (see
 // package proto). The server also tracks each peer's advertised overlay
 // address so closest-peer answers carry dialable endpoints.
+//
+// A NetServer fronts either a standalone server.Server or one node of a
+// landmark-sharded cluster (see Backend). In cluster deployments each node
+// may additionally know which remote node owns each foreign landmark
+// (RemoteLandmarks): joins for those landmarks are then redirected to the
+// owner, or proxied node-to-node when ForwardJoins is set.
 package netserver
 
 import (
@@ -16,21 +22,41 @@ import (
 	"sync"
 	"time"
 
+	"proxdisc/internal/client"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/proto"
 	"proxdisc/internal/server"
 	"proxdisc/internal/topology"
 )
 
+// Backend is the management logic a NetServer exposes: the in-process
+// server.Server, or a cluster.Cluster routing across shards.
+type Backend interface {
+	Landmarks() []topology.NodeID
+	Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error)
+	Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error)
+	Leave(p pathtree.PeerID) bool
+	Refresh(p pathtree.PeerID) error
+}
+
 // Config configures a NetServer.
 type Config struct {
 	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
 	Addr string
-	// Server is the management-server logic to expose.
-	Server *server.Server
+	// Server is the management logic to expose: a *server.Server or a
+	// *cluster.Cluster.
+	Server Backend
 	// LandmarkAddrs maps each landmark router ID to the UDP address of its
 	// probe responder, advertised to clients.
 	LandmarkAddrs map[topology.NodeID]string
+	// RemoteLandmarks maps landmarks owned by other cluster nodes to those
+	// nodes' TCP addresses. A join whose path ends at a remote landmark is
+	// redirected there (default) or forwarded (ForwardJoins). Nil for
+	// standalone deployments.
+	RemoteLandmarks map[topology.NodeID]string
+	// ForwardJoins makes this node proxy remote joins to the owning node
+	// itself instead of redirecting the client.
+	ForwardJoins bool
 	// ReadTimeout bounds how long a connection may sit idle between
 	// requests (default 30s).
 	ReadTimeout time.Duration
@@ -40,15 +66,21 @@ type Config struct {
 
 // NetServer is a running TCP front end. Close it to release the listener.
 type NetServer struct {
-	cfg Config
-	ln  net.Listener
+	cfg   Config
+	ln    net.Listener
+	local map[topology.NodeID]bool // landmarks served by cfg.Server at start
 
 	mu    sync.Mutex
 	addrs map[pathtree.PeerID]string
 	conns map[net.Conn]struct{}
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	fwdMu    sync.Mutex
+	fwd      map[string]*client.Client  // node-to-node forwarding connections
+	fwdPeers map[pathtree.PeerID]string // peers whose joins this node proxied, by owner address
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // Listen starts serving on cfg.Addr.
@@ -69,9 +101,13 @@ func Listen(cfg Config) (*NetServer, error) {
 	s := &NetServer{
 		cfg:    cfg,
 		ln:     ln,
+		local:  make(map[topology.NodeID]bool),
 		addrs:  make(map[pathtree.PeerID]string),
 		conns:  make(map[net.Conn]struct{}),
 		closed: make(chan struct{}),
+	}
+	for _, lm := range cfg.Server.Landmarks() {
+		s.local[lm] = true
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -84,19 +120,23 @@ func (s *NetServer) Addr() string { return s.ln.Addr().String() }
 // Close stops accepting, closes every connection, and waits for handler
 // goroutines to finish.
 func (s *NetServer) Close() error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
-	}
-	close(s.closed)
-	err := s.ln.Close()
-	s.mu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.fwdMu.Lock()
+		for _, fc := range s.fwd {
+			fc.Close()
+		}
+		s.fwd = nil
+		s.fwdMu.Unlock()
+		s.wg.Wait()
+	})
 	return err
 }
 
@@ -167,31 +207,68 @@ func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) e
 		if err != nil {
 			return s.writeError(conn, proto.CodeBadRequest, err)
 		}
-		path := make([]topology.NodeID, len(req.Path))
-		for i, r := range req.Path {
-			path[i] = topology.NodeID(r)
+		if len(req.Path) == 0 {
+			return s.writeError(conn, proto.CodeBadRequest, errors.New("netserver: empty path"))
 		}
-		cands, err := s.cfg.Server.Join(pathtree.PeerID(req.Peer), path)
-		if err != nil {
-			code := proto.CodeInternal
-			if errors.Is(err, server.ErrUnknownLandmark) {
-				code = proto.CodeUnknownLandmark
+		if lm := topology.NodeID(req.Path[len(req.Path)-1]); !s.local[lm] {
+			if remote, ok := s.cfg.RemoteLandmarks[lm]; ok {
+				if s.cfg.ForwardJoins {
+					cands, err := s.forwardJoin(remote, req)
+					if err != nil {
+						return s.writeError(conn, proto.CodeInternal, err)
+					}
+					b, err := proto.EncodeJoinResponse(&proto.JoinResponse{Neighbors: cands})
+					if err != nil {
+						return s.writeError(conn, proto.CodeInternal, err)
+					}
+					return proto.WriteFrame(conn, proto.MsgJoinResponse, b)
+				}
+				b, err := proto.EncodeRedirect(&proto.Redirect{Addr: remote})
+				if err != nil {
+					return s.writeError(conn, proto.CodeInternal, err)
+				}
+				return proto.WriteFrame(conn, proto.MsgRedirect, b)
 			}
-			return s.writeError(conn, code, err)
+			// Fall through: the backend reports the unknown landmark itself.
 		}
-		s.mu.Lock()
-		s.addrs[pathtree.PeerID(req.Peer)] = req.Addr
-		s.mu.Unlock()
-		b, err := proto.EncodeJoinResponse(&proto.JoinResponse{Neighbors: s.toWire(cands)})
+		return s.serveJoin(conn, req)
+
+	case proto.MsgForwardedJoinRequest:
+		req, err := proto.DecodeForwardedJoinRequest(payload)
 		if err != nil {
-			return s.writeError(conn, proto.CodeInternal, err)
+			return s.writeError(conn, proto.CodeBadRequest, err)
 		}
-		return proto.WriteFrame(conn, proto.MsgJoinResponse, b)
+		if len(req.Path) == 0 {
+			return s.writeError(conn, proto.CodeBadRequest, errors.New("netserver: empty path"))
+		}
+		// Never relay a forwarded join again: a stale shard map elsewhere
+		// must surface as an error, not bounce between nodes.
+		if lm := topology.NodeID(req.Path[len(req.Path)-1]); !s.local[lm] {
+			if _, ok := s.cfg.RemoteLandmarks[lm]; ok {
+				return s.writeError(conn, proto.CodeWrongShard,
+					fmt.Errorf("netserver: forwarded join for landmark %d not owned here", lm))
+			}
+		}
+		return s.serveJoin(conn, req)
 
 	case proto.MsgLookupRequest:
 		req, err := proto.DecodeLookupRequest(payload)
 		if err != nil {
 			return s.writeError(conn, proto.CodeBadRequest, err)
+		}
+		if owner, ok := s.forwardedOwner(pathtree.PeerID(req.Peer)); ok {
+			cands, err := s.proxyPeerOp(owner, func(fc *client.Client) ([]proto.Candidate, error) {
+				return fc.Lookup(req.Peer)
+			})
+			if err != nil {
+				s.forgetForwarded(pathtree.PeerID(req.Peer), err)
+				return s.writeError(conn, errorCode(err), err)
+			}
+			b, err := proto.EncodeLookupResponse(&proto.LookupResponse{Neighbors: cands})
+			if err != nil {
+				return s.writeError(conn, proto.CodeInternal, err)
+			}
+			return proto.WriteFrame(conn, proto.MsgLookupResponse, b)
 		}
 		cands, err := s.cfg.Server.Lookup(pathtree.PeerID(req.Peer))
 		if err != nil {
@@ -212,6 +289,19 @@ func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) e
 		if err != nil {
 			return s.writeError(conn, proto.CodeBadRequest, err)
 		}
+		if owner, ok := s.forwardedOwner(pathtree.PeerID(req.Peer)); ok {
+			_, err := s.proxyPeerOp(owner, func(fc *client.Client) ([]proto.Candidate, error) {
+				return nil, fc.Leave(req.Peer)
+			})
+			if err != nil {
+				s.forgetForwarded(pathtree.PeerID(req.Peer), err)
+				return s.writeError(conn, errorCode(err), err)
+			}
+			s.fwdMu.Lock()
+			delete(s.fwdPeers, pathtree.PeerID(req.Peer))
+			s.fwdMu.Unlock()
+			return proto.WriteFrame(conn, proto.MsgAck, nil)
+		}
 		s.cfg.Server.Leave(pathtree.PeerID(req.Peer))
 		s.mu.Lock()
 		delete(s.addrs, pathtree.PeerID(req.Peer))
@@ -223,6 +313,16 @@ func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) e
 		if err != nil {
 			return s.writeError(conn, proto.CodeBadRequest, err)
 		}
+		if owner, ok := s.forwardedOwner(pathtree.PeerID(req.Peer)); ok {
+			_, err := s.proxyPeerOp(owner, func(fc *client.Client) ([]proto.Candidate, error) {
+				return nil, fc.Refresh(req.Peer)
+			})
+			if err != nil {
+				s.forgetForwarded(pathtree.PeerID(req.Peer), err)
+				return s.writeError(conn, errorCode(err), err)
+			}
+			return proto.WriteFrame(conn, proto.MsgAck, nil)
+		}
 		if err := s.cfg.Server.Refresh(pathtree.PeerID(req.Peer)); err != nil {
 			return s.writeError(conn, proto.CodeUnknownPeer, err)
 		}
@@ -232,6 +332,170 @@ func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) e
 		return s.writeError(conn, proto.CodeBadRequest,
 			fmt.Errorf("netserver: unknown message type %d", typ))
 	}
+}
+
+// serveJoin applies a (possibly forwarded) join against the local backend
+// and writes the response frame.
+func (s *NetServer) serveJoin(conn net.Conn, req *proto.JoinRequest) error {
+	path := make([]topology.NodeID, len(req.Path))
+	for i, r := range req.Path {
+		path[i] = topology.NodeID(r)
+	}
+	cands, err := s.cfg.Server.Join(pathtree.PeerID(req.Peer), path)
+	if err != nil {
+		code := proto.CodeInternal
+		if errors.Is(err, server.ErrUnknownLandmark) {
+			code = proto.CodeUnknownLandmark
+		}
+		return s.writeError(conn, code, err)
+	}
+	s.mu.Lock()
+	s.addrs[pathtree.PeerID(req.Peer)] = req.Addr
+	s.mu.Unlock()
+	// The peer is registered locally now; a previous join may have been
+	// proxied to another node, whose stale registration must not keep
+	// capturing this peer's follow-up requests.
+	s.fwdMu.Lock()
+	stale, wasForwarded := s.fwdPeers[pathtree.PeerID(req.Peer)]
+	delete(s.fwdPeers, pathtree.PeerID(req.Peer))
+	s.fwdMu.Unlock()
+	if wasForwarded {
+		_, _ = s.proxyPeerOp(stale, func(fc *client.Client) ([]proto.Candidate, error) {
+			return nil, fc.Leave(req.Peer)
+		})
+	}
+	b, err := proto.EncodeJoinResponse(&proto.JoinResponse{Neighbors: s.toWire(cands)})
+	if err != nil {
+		return s.writeError(conn, proto.CodeInternal, err)
+	}
+	return proto.WriteFrame(conn, proto.MsgJoinResponse, b)
+}
+
+// forwardJoin proxies a join to the cluster node owning its landmark over a
+// cached node-to-node connection, and remembers the owner so follow-up
+// peer-keyed requests (Lookup, Refresh, Leave) can be proxied there too.
+func (s *NetServer) forwardJoin(addr string, req *proto.JoinRequest) ([]proto.Candidate, error) {
+	cands, err := s.proxyPeerOp(addr, func(fc *client.Client) ([]proto.Candidate, error) {
+		return fc.ForwardJoin(req.Peer, req.Addr, req.Path)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.fwdMu.Lock()
+	if s.fwdPeers == nil {
+		s.fwdPeers = make(map[pathtree.PeerID]string)
+	}
+	s.fwdPeers[pathtree.PeerID(req.Peer)] = addr
+	s.fwdMu.Unlock()
+	// A previous join may have registered the peer locally (mobility across
+	// landmarks); retire that record so it stops appearing in answers.
+	if s.cfg.Server.Leave(pathtree.PeerID(req.Peer)) {
+		s.mu.Lock()
+		delete(s.addrs, pathtree.PeerID(req.Peer))
+		s.mu.Unlock()
+	}
+	return cands, nil
+}
+
+// forwardedOwner reports the node address a peer's join was proxied to, if
+// any.
+func (s *NetServer) forwardedOwner(p pathtree.PeerID) (string, bool) {
+	s.fwdMu.Lock()
+	defer s.fwdMu.Unlock()
+	addr, ok := s.fwdPeers[p]
+	return addr, ok
+}
+
+// forgetForwarded drops a proxied peer's owner entry when the owner no
+// longer knows the peer (TTL expiry there), so the map cannot grow without
+// bound under churn.
+func (s *NetServer) forgetForwarded(p pathtree.PeerID, err error) {
+	var werr *proto.Error
+	if !errors.As(err, &werr) || werr.Code != proto.CodeUnknownPeer {
+		return
+	}
+	s.fwdMu.Lock()
+	delete(s.fwdPeers, p)
+	s.fwdMu.Unlock()
+}
+
+// proxyPeerOp runs one request against the named node over a cached
+// node-to-node connection. A dead connection is dropped and redialed once.
+func (s *NetServer) proxyPeerOp(addr string, op func(fc *client.Client) ([]proto.Candidate, error)) ([]proto.Candidate, error) {
+	for attempt := 0; ; attempt++ {
+		fc, err := s.forwardClient(addr)
+		if err != nil {
+			return nil, err
+		}
+		cands, err := op(fc)
+		if err == nil {
+			return cands, nil
+		}
+		var werr *proto.Error
+		if errors.As(err, &werr) || attempt > 0 {
+			return nil, err // protocol-level rejection, or retry exhausted
+		}
+		s.dropForwardClient(addr, fc)
+	}
+}
+
+// errorCode maps an error to its wire code, preserving the code of relayed
+// wire errors.
+func errorCode(err error) uint16 {
+	var werr *proto.Error
+	if errors.As(err, &werr) {
+		return werr.Code
+	}
+	return proto.CodeInternal
+}
+
+func (s *NetServer) forwardClient(addr string) (*client.Client, error) {
+	s.fwdMu.Lock()
+	select {
+	case <-s.closed:
+		// Close has already drained s.fwd; dialling now would leak the
+		// connection.
+		s.fwdMu.Unlock()
+		return nil, net.ErrClosed
+	default:
+	}
+	if fc, ok := s.fwd[addr]; ok {
+		s.fwdMu.Unlock()
+		return fc, nil
+	}
+	// Dial outside the lock: one unreachable node must not head-of-line
+	// block forwarded traffic to healthy nodes for the dial timeout.
+	s.fwdMu.Unlock()
+	fc, err := client.Dial(addr, s.cfg.ReadTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("netserver: forward dial %s: %w", addr, err)
+	}
+	s.fwdMu.Lock()
+	defer s.fwdMu.Unlock()
+	select {
+	case <-s.closed:
+		fc.Close()
+		return nil, net.ErrClosed
+	default:
+	}
+	if existing, ok := s.fwd[addr]; ok {
+		fc.Close() // lost a concurrent dial race; use the cached one
+		return existing, nil
+	}
+	if s.fwd == nil {
+		s.fwd = make(map[string]*client.Client)
+	}
+	s.fwd[addr] = fc
+	return fc, nil
+}
+
+func (s *NetServer) dropForwardClient(addr string, fc *client.Client) {
+	s.fwdMu.Lock()
+	if s.fwd[addr] == fc {
+		delete(s.fwd, addr)
+	}
+	s.fwdMu.Unlock()
+	fc.Close()
 }
 
 // toWire converts pathtree candidates to wire candidates with addresses.

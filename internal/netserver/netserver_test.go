@@ -3,11 +3,13 @@ package netserver
 import (
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"proxdisc/internal/client"
+	"proxdisc/internal/cluster"
 	"proxdisc/internal/proto"
 	"proxdisc/internal/server"
 	"proxdisc/internal/topology"
@@ -263,6 +265,219 @@ func TestConcurrentClients(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// startNode spins up one cluster node: a management server owning the given
+// landmarks, plus a shard map naming the owners of remote landmarks.
+func startNode(t *testing.T, landmarks []topology.NodeID, remote map[topology.NodeID]string, forward bool) (*NetServer, *server.Server) {
+	t.Helper()
+	logic, err := server.New(server.Config{Landmarks: landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := Listen(Config{
+		Addr:            "127.0.0.1:0",
+		Server:          logic,
+		RemoteLandmarks: remote,
+		ForwardJoins:    forward,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ns.Close() })
+	return ns, logic
+}
+
+func TestJoinRedirectAcrossNodes(t *testing.T) {
+	node2, logic2 := startNode(t, []topology.NodeID{100}, nil, false)
+	node1, logic1 := startNode(t, []topology.NodeID{0},
+		map[topology.NodeID]string{100: node2.Addr()}, false)
+
+	c := dial(t, node1)
+	// A join for node1's own landmark stays local.
+	if _, err := c.Join(1, "127.0.0.1:9001", []int32{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// A join for landmark 100 must follow the redirect to node2.
+	if _, err := c.Join(2, "127.0.0.1:9002", []int32{20, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if logic1.NumPeers() != 1 || logic2.NumPeers() != 1 {
+		t.Fatalf("node1 peers=%d node2 peers=%d", logic1.NumPeers(), logic2.NumPeers())
+	}
+	// A second join through the redirect sees the first as neighbour, with
+	// the overlay address recorded by the owning node.
+	got, err := c.Join(3, "127.0.0.1:9003", []int32{21, 20, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Peer != 2 || got[0].Addr != "127.0.0.1:9002" {
+		t.Fatalf("redirected join answer=%+v", got)
+	}
+	// Peer-keyed follow-ups go to the node holding the registration, not
+	// the node originally dialled.
+	look, err := c.Lookup(2)
+	if err != nil {
+		t.Fatalf("lookup of redirected peer: %v", err)
+	}
+	if len(look) != 1 || look[0].Peer != 3 {
+		t.Fatalf("lookup=%+v", look)
+	}
+	if err := c.Refresh(2); err != nil {
+		t.Fatalf("refresh of redirected peer: %v", err)
+	}
+	if err := c.Leave(2); err != nil {
+		t.Fatalf("leave of redirected peer: %v", err)
+	}
+	if logic2.NumPeers() != 1 {
+		t.Fatalf("owner still holds %d peers after leave", logic2.NumPeers())
+	}
+}
+
+func TestJoinForwardedAcrossNodes(t *testing.T) {
+	node2, logic2 := startNode(t, []topology.NodeID{100}, nil, false)
+	node1, _ := startNode(t, []topology.NodeID{0},
+		map[topology.NodeID]string{100: node2.Addr()}, true)
+
+	c := dial(t, node1)
+	if _, err := c.Join(7, "127.0.0.1:9007", []int32{30, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if logic2.NumPeers() != 1 {
+		t.Fatalf("owner node peers=%d", logic2.NumPeers())
+	}
+	got, err := c.Join(8, "127.0.0.1:9008", []int32{31, 30, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Peer != 7 || got[0].Addr != "127.0.0.1:9007" {
+		t.Fatalf("forwarded join answer=%+v", got)
+	}
+	// The proxying node remembers the owner and relays peer-keyed
+	// follow-ups there, so the client never needs a second connection.
+	look, err := c.Lookup(7)
+	if err != nil {
+		t.Fatalf("lookup of forwarded peer: %v", err)
+	}
+	if len(look) != 1 || look[0].Peer != 8 {
+		t.Fatalf("lookup=%+v", look)
+	}
+	if err := c.Refresh(7); err != nil {
+		t.Fatalf("refresh of forwarded peer: %v", err)
+	}
+	if err := c.Leave(7); err != nil {
+		t.Fatalf("leave of forwarded peer: %v", err)
+	}
+	if logic2.NumPeers() != 1 {
+		t.Fatalf("owner still holds %d peers after leave", logic2.NumPeers())
+	}
+}
+
+func TestRedirectConnectionRedialAfterRestart(t *testing.T) {
+	node2, logic2 := startNode(t, []topology.NodeID{100}, nil, false)
+	node1, _ := startNode(t, []topology.NodeID{0},
+		map[topology.NodeID]string{100: node2.Addr()}, false)
+	c := dial(t, node1)
+	if _, err := c.Join(1, "a:1", []int32{20, 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the owning node on the same address: the client's cached
+	// redirect connection is now dead and must be redialed transparently.
+	addr := node2.Addr()
+	node2.Close()
+	ns2b, err := Listen(Config{Addr: addr, Server: logic2})
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { ns2b.Close() })
+	if err := c.Refresh(1); err != nil {
+		t.Fatalf("refresh after owner restart: %v", err)
+	}
+	if _, err := c.Join(2, "a:2", []int32{21, 20, 100}); err != nil {
+		t.Fatalf("join after owner restart: %v", err)
+	}
+	look, err := c.Lookup(2)
+	if err != nil || len(look) != 1 || look[0].Peer != 1 {
+		t.Fatalf("lookup=%+v err=%v", look, err)
+	}
+}
+
+func TestForwardedJoinNeverRelays(t *testing.T) {
+	// node2 does not own landmark 100 either and knows a (bogus) owner; a
+	// forwarded join must be rejected with CodeWrongShard, not bounced on.
+	node2, _ := startNode(t, []topology.NodeID{0},
+		map[topology.NodeID]string{100: "127.0.0.1:1"}, true)
+	c := dial(t, node2)
+	_, err := c.ForwardJoin(1, "x", []int32{20, 100})
+	var werr *proto.Error
+	if !errors.As(err, &werr) || werr.Code != proto.CodeWrongShard {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestRedirectChainBounded(t *testing.T) {
+	// A chain of nodes with stale shard maps, each redirecting landmark 100
+	// one hop further: the client must give up after client.MaxRedirects
+	// rather than follow indefinitely.
+	terminal, _ := startNode(t, []topology.NodeID{0}, nil, false)
+	next := terminal.Addr()
+	var head *NetServer
+	for i := 0; i <= client.MaxRedirects; i++ {
+		head, _ = startNode(t, []topology.NodeID{0},
+			map[topology.NodeID]string{100: next}, false)
+		next = head.Addr()
+	}
+	c := dial(t, head)
+	_, err := c.Join(1, "x", []int32{5, 100})
+	if err == nil {
+		t.Fatal("join through a redirect chain succeeded")
+	}
+	if !strings.Contains(err.Error(), "redirect") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestClusterBackend(t *testing.T) {
+	logic, err := cluster.New(cluster.Config{
+		Landmarks: []topology.NodeID{0, 100, 200, 300},
+		Shards:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := Listen(Config{Addr: "127.0.0.1:0", Server: logic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ns.Close() })
+	c := dial(t, ns)
+	// Joins to different landmarks land on different shards behind one
+	// front end; answers and follow-up requests behave as with one server.
+	if _, err := c.Join(1, "127.0.0.1:9001", []int32{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join(2, "127.0.0.1:9002", []int32{20, 100}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Join(3, "127.0.0.1:9003", []int32{11, 10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Peer != 1 || got[0].Addr != "127.0.0.1:9001" {
+		t.Fatalf("answer=%+v", got)
+	}
+	if _, err := c.Lookup(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Refresh(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	if logic.NumPeers() != 2 {
+		t.Fatalf("peers=%d", logic.NumPeers())
 	}
 }
 

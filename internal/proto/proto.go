@@ -41,6 +41,14 @@ const (
 	MsgLeaveRequest
 	// MsgRefreshRequest is a liveness heartbeat.
 	MsgRefreshRequest
+	// MsgRedirect tells a client that the landmark its request targets is
+	// owned by a different cluster node, whose address it carries.
+	MsgRedirect
+	// MsgForwardedJoinRequest is a join relayed between cluster nodes on a
+	// client's behalf. It has the same payload as MsgJoinRequest; the
+	// distinct type lets the receiving node answer locally and never relay
+	// again, preventing forwarding loops.
+	MsgForwardedJoinRequest
 )
 
 // Limits protect the decoder. They are generous relative to real usage
@@ -79,6 +87,9 @@ const (
 	CodeUnknownLandmark uint16 = 2
 	CodeUnknownPeer     uint16 = 3
 	CodeBadRequest      uint16 = 4
+	// CodeWrongShard rejects a forwarded join whose landmark this node does
+	// not own — the sender's shard map is stale.
+	CodeWrongShard uint16 = 5
 )
 
 // Error implements the error interface so wire errors can be returned
@@ -498,6 +509,43 @@ func DecodeLandmarksResponse(b []byte) (*LandmarksResponse, error) {
 	}
 	return m, nil
 }
+
+// Redirect points a client at the cluster node owning the landmark its
+// request targeted.
+type Redirect struct {
+	// Addr is the TCP address of the owning cluster node.
+	Addr string
+}
+
+// EncodeRedirect encodes a Redirect payload.
+func EncodeRedirect(m *Redirect) ([]byte, error) {
+	enc := encoder{buf: make([]byte, 0, 2+len(m.Addr))}
+	if err := enc.str(m.Addr); err != nil {
+		return nil, err
+	}
+	return enc.buf, nil
+}
+
+// DecodeRedirect decodes a Redirect payload.
+func DecodeRedirect(b []byte) (*Redirect, error) {
+	d := decoder{buf: b}
+	m := &Redirect{}
+	var err error
+	if m.Addr, err = d.str(); err != nil {
+		return nil, err
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EncodeForwardedJoinRequest encodes a node-to-node forwarded join. The
+// payload is identical to a JoinRequest; only the frame type differs.
+func EncodeForwardedJoinRequest(m *JoinRequest) ([]byte, error) { return EncodeJoinRequest(m) }
+
+// DecodeForwardedJoinRequest decodes a forwarded join.
+func DecodeForwardedJoinRequest(b []byte) (*JoinRequest, error) { return DecodeJoinRequest(b) }
 
 // ProbePacket is the 12-byte UDP landmark probe: a magic tag plus a nonce
 // echoed back verbatim. RTT = receive time − send time.

@@ -285,3 +285,135 @@ func TestDecodersRobustToGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- shard-aware messages (cluster wire protocol) ---
+
+func TestRedirectRoundTrip(t *testing.T) {
+	m := &Redirect{Addr: "10.0.0.7:7470"}
+	b, err := EncodeRedirect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRedirect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != m.Addr {
+		t.Fatalf("got=%+v", got)
+	}
+}
+
+func TestRedirectLimits(t *testing.T) {
+	if _, err := EncodeRedirect(&Redirect{Addr: strings.Repeat("x", MaxAddrLen+1)}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("err=%v", err)
+	}
+	b, err := EncodeRedirect(&Redirect{Addr: "a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated payloads at every length must error, never panic.
+	for n := 0; n < len(b); n++ {
+		if _, err := DecodeRedirect(b[:n]); err == nil {
+			t.Fatalf("accepted truncation to %d bytes", n)
+		}
+	}
+	// Trailing bytes are rejected.
+	if _, err := DecodeRedirect(append(b, 0)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}
+
+func TestForwardedJoinRoundTrip(t *testing.T) {
+	m := &JoinRequest{Peer: 9, Addr: "203.0.113.5:7000", Path: []int32{4, 2, 100}}
+	b, err := EncodeForwardedJoinRequest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeForwardedJoinRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Peer != m.Peer || got.Addr != m.Addr || len(got.Path) != 3 || got.Path[2] != 100 {
+		t.Fatalf("got=%+v", got)
+	}
+	// The forwarded-join payload is byte-identical to a JoinRequest; only
+	// the frame type distinguishes them.
+	plain, err := EncodeJoinRequest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, plain) {
+		t.Fatal("forwarded-join payload diverged from JoinRequest")
+	}
+}
+
+// --- framing edge cases ---
+
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	for n := 0; n < 5; n++ {
+		if _, _, err := ReadFrame(bytes.NewReader(make([]byte, n))); err == nil {
+			t.Fatalf("accepted %d-byte header", n)
+		}
+	}
+}
+
+func TestReadFrameOversizedDeclaredLength(t *testing.T) {
+	// Declared payload of exactly MaxFrameSize+1 must be rejected before
+	// any allocation is attempted.
+	hdr := []byte{0, 1, 0, 1, byte(MsgAck)} // 65537
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err=%v", err)
+	}
+	// Largest legal frame round-trips.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgAck, make([]byte, MaxFrameSize-1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err := ReadFrame(&buf); err != nil || len(got) != MaxFrameSize-1 {
+		t.Fatalf("len=%d err=%v", len(got), err)
+	}
+}
+
+func TestDecodeCandidatesTruncated(t *testing.T) {
+	resp := &JoinResponse{Neighbors: []Candidate{
+		{Peer: 1, DTree: 2, Addr: "a:1"},
+		{Peer: 2, DTree: 4, Addr: "b:2"},
+	}}
+	b, err := EncodeJoinResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(b); n++ {
+		if _, err := DecodeJoinResponse(b[:n]); err == nil {
+			t.Fatalf("accepted candidate list truncated to %d bytes", n)
+		}
+	}
+	// A count field claiming more entries than the payload holds.
+	short := append([]byte(nil), b...)
+	short[0], short[1] = 0xFF, 0x00 // count 65280 > MaxNeighbors
+	if _, err := DecodeJoinResponse(short); !errors.Is(err, ErrLimit) {
+		t.Fatalf("err=%v", err)
+	}
+	short[0], short[1] = 0, 3 // count 3, but only 2 entries of bytes
+	if _, err := DecodeJoinResponse(short); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err=%v", err)
+	}
+	// Trailing garbage after a well-formed list.
+	if _, err := DecodeLookupResponse(append(b, 0xAA)); err == nil {
+		t.Fatal("accepted trailing bytes after candidates")
+	}
+}
+
+func TestDecodeRedirectGarbage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := make([]byte, rng.Intn(256))
+		rng.Read(b)
+		_, _ = DecodeRedirect(b)
+		_, _ = DecodeForwardedJoinRequest(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -120,6 +120,15 @@ func New(cfg Config) (*Server, error) {
 
 // Landmarks returns the registered landmark routers in ascending order.
 func (s *Server) Landmarks() []topology.NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.landmarksLocked()
+}
+
+// landmarksLocked is Landmarks for callers already holding s.mu: the tree
+// set is mutable at runtime (Absorb, DropLandmark), so every read needs the
+// lock.
+func (s *Server) landmarksLocked() []topology.NodeID {
 	out := make([]topology.NodeID, 0, len(s.trees))
 	for lm := range s.trees {
 		out = append(out, lm)

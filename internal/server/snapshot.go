@@ -40,7 +40,7 @@ func (s *Server) Snapshot(w io.Writer) error {
 	s.mu.RLock()
 	snap := snapshot{
 		Version:       snapshotVersion,
-		Landmarks:     s.Landmarks(),
+		Landmarks:     s.landmarksLocked(),
 		NeighborCount: s.cfg.NeighborCount,
 		Peers:         make([]snapshotPeer, 0, len(s.peers)),
 	}
@@ -57,6 +57,152 @@ func (s *Server) Snapshot(w io.Writer) error {
 	sort.Slice(snap.Peers, func(i, j int) bool { return snap.Peers[i].ID < snap.Peers[j].ID })
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("server: snapshot encode: %w", err)
+	}
+	return nil
+}
+
+// SnapshotLandmarks serializes the state of a subset of the server's
+// landmarks: the named landmark trees and every peer registered under them,
+// in the same format as Snapshot. The cluster layer uses it to hand a
+// landmark's tree from one shard to another.
+func (s *Server) SnapshotLandmarks(w io.Writer, lms ...topology.NodeID) error {
+	want := make(map[topology.NodeID]bool, len(lms))
+	s.mu.RLock()
+	for _, lm := range lms {
+		if _, ok := s.trees[lm]; !ok {
+			s.mu.RUnlock()
+			return fmt.Errorf("server: snapshot of unknown landmark %d", lm)
+		}
+		want[lm] = true
+	}
+	snap := snapshot{
+		Version:       snapshotVersion,
+		Landmarks:     append([]topology.NodeID(nil), lms...),
+		NeighborCount: s.cfg.NeighborCount,
+	}
+	for _, info := range s.peers {
+		if !want[info.Landmark] {
+			continue
+		}
+		snap.Peers = append(snap.Peers, snapshotPeer{
+			ID:          info.ID,
+			Landmark:    info.Landmark,
+			Path:        append([]topology.NodeID(nil), info.Path...),
+			SuperPeer:   info.SuperPeer,
+			LastRefresh: info.LastRefresh,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap.Landmarks, func(i, j int) bool { return snap.Landmarks[i] < snap.Landmarks[j] })
+	sort.Slice(snap.Peers, func(i, j int) bool { return snap.Peers[i].ID < snap.Peers[j].ID })
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("server: snapshot encode: %w", err)
+	}
+	return nil
+}
+
+// Absorb merges a snapshot into a live server: the snapshot's landmark
+// trees are created if absent and its peers inserted. A peer already
+// registered here is skipped — the live record is newer than the snapshot.
+// Absorb returns the IDs of the peers actually inserted, in ascending order.
+func (s *Server) Absorb(r io.Reader) ([]pathtree.PeerID, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("server: snapshot decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("server: unsupported snapshot version %d", snap.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, lm := range snap.Landmarks {
+		if _, ok := s.trees[lm]; !ok {
+			s.trees[lm] = pathtree.New(lm, s.cfg.TreeOptions)
+		}
+	}
+	var absorbed []pathtree.PeerID
+	for _, p := range snap.Peers {
+		if _, exists := s.peers[p.ID]; exists {
+			continue
+		}
+		tree, ok := s.trees[p.Landmark]
+		if !ok {
+			return absorbed, fmt.Errorf("server: snapshot peer %d references unknown landmark %d", p.ID, p.Landmark)
+		}
+		if err := tree.Insert(p.ID, p.Path); err != nil {
+			return absorbed, fmt.Errorf("server: snapshot peer %d: %w", p.ID, err)
+		}
+		s.peers[p.ID] = &PeerInfo{
+			ID:          p.ID,
+			Landmark:    p.Landmark,
+			Path:        append([]topology.NodeID(nil), p.Path...),
+			SuperPeer:   p.SuperPeer,
+			LastRefresh: p.LastRefresh,
+		}
+		absorbed = append(absorbed, p.ID)
+	}
+	sort.Slice(absorbed, func(i, j int) bool { return absorbed[i] < absorbed[j] })
+	return absorbed, nil
+}
+
+// DropLandmark removes a landmark's tree and deregisters every peer under
+// it, returning the removed peer IDs in ascending order. It is the source
+// side of a shard handoff; unlike Leave it does not count departures.
+func (s *Server) DropLandmark(lm topology.NodeID) []pathtree.PeerID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.trees[lm]; !ok {
+		return nil
+	}
+	var out []pathtree.PeerID
+	for p, info := range s.peers {
+		if info.Landmark == lm {
+			delete(s.peers, p)
+			out = append(out, p)
+		}
+	}
+	delete(s.trees, lm)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MergeSnapshots combines several snapshot streams with disjoint landmark
+// sets into one snapshot, without rebuilding any path trees — the cluster
+// uses it to emit a whole-cluster snapshot from per-shard ones. All parts
+// must agree on the neighbour count.
+func MergeSnapshots(w io.Writer, parts ...io.Reader) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("server: merge of zero snapshots")
+	}
+	out := snapshot{Version: snapshotVersion}
+	seen := make(map[topology.NodeID]bool)
+	for i, r := range parts {
+		var snap snapshot
+		if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+			return fmt.Errorf("server: merge part %d decode: %w", i, err)
+		}
+		if snap.Version != snapshotVersion {
+			return fmt.Errorf("server: merge part %d: unsupported snapshot version %d", i, snap.Version)
+		}
+		if i == 0 {
+			out.NeighborCount = snap.NeighborCount
+		} else if snap.NeighborCount != out.NeighborCount {
+			return fmt.Errorf("server: merge part %d: neighbour count %d != %d",
+				i, snap.NeighborCount, out.NeighborCount)
+		}
+		for _, lm := range snap.Landmarks {
+			if seen[lm] {
+				return fmt.Errorf("server: merge part %d: duplicate landmark %d", i, lm)
+			}
+			seen[lm] = true
+			out.Landmarks = append(out.Landmarks, lm)
+		}
+		out.Peers = append(out.Peers, snap.Peers...)
+	}
+	sort.Slice(out.Landmarks, func(i, j int) bool { return out.Landmarks[i] < out.Landmarks[j] })
+	sort.Slice(out.Peers, func(i, j int) bool { return out.Peers[i].ID < out.Peers[j].ID })
+	if err := gob.NewEncoder(w).Encode(&out); err != nil {
+		return fmt.Errorf("server: merge encode: %w", err)
 	}
 	return nil
 }

@@ -13,20 +13,27 @@
 // topologies. One traceroute is enough for a good answer — no multi-round
 // coordinate convergence (Vivaldi/GNP) is needed.
 //
-// The package offers three levels of entry:
+// The package offers four levels of entry:
 //
 //   - the core data structure (NewPathTree) for embedding in other systems;
 //   - the management-server logic (NewServer) plus a deployable TCP/UDP
 //     front end (ListenAndServe, Dial, Agent);
+//   - a landmark-sharded management cluster (NewCluster) that runs N
+//     server shards behind one router, with scatter-gather fan-out for
+//     cross-landmark operations and live landmark handoff between shards —
+//     the same answers as a single server at a multiple of the capacity;
 //   - a full simulation environment (NewSimulation) that generates an
 //     Internet-like router topology and runs the complete two-round
-//     protocol, used by the examples and the paper-reproduction harness.
+//     protocol — over a single server or a sharded cluster
+//     (SimulationConfig.Shards) — used by the examples and the
+//     paper-reproduction harness.
 package proxdisc
 
 import (
 	"time"
 
 	"proxdisc/internal/client"
+	"proxdisc/internal/cluster"
 	"proxdisc/internal/experiment"
 	"proxdisc/internal/netserver"
 	"proxdisc/internal/overlay"
@@ -73,6 +80,25 @@ type Server = server.Server
 
 // NewServer builds a management server for a set of landmark routers.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ClusterConfig configures a landmark-sharded management cluster. See
+// cluster.Config for field documentation.
+type ClusterConfig = cluster.Config
+
+// Cluster is a landmark-sharded management service: N server shards behind
+// a router that assigns each landmark to a shard, scatter-gathers
+// cross-landmark operations, and supports live landmark handoff between
+// shards (MoveLandmark). It exposes the same API as Server and returns
+// identical answers. Safe for concurrent use.
+type Cluster = cluster.Cluster
+
+// ClusterAssigner chooses the initial landmark→shard assignment of a
+// cluster; see cluster.RoundRobin and cluster.HashMod.
+type ClusterAssigner = cluster.Assigner
+
+// NewCluster builds a sharded management cluster for a set of landmark
+// routers.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
 // NetServerConfig configures the TCP front end.
 type NetServerConfig = netserver.Config

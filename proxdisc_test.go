@@ -126,3 +126,76 @@ func TestDefaultTopology(t *testing.T) {
 		t.Fatalf("default topology %+v", cfg)
 	}
 }
+
+// TestPublicCluster exercises the sharded management cluster through the
+// public API: same answers as a single Server, live landmark handoff, and
+// a sharded simulation.
+func TestPublicCluster(t *testing.T) {
+	landmarks := []RouterID{0, 100, 200, 300}
+	c, err := NewCluster(ClusterConfig{Landmarks: landmarks, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(ServerConfig{Landmarks: landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := [][]RouterID{
+		{10, 11, 0}, {12, 11, 0}, {20, 21, 100}, {22, 21, 100}, {30, 200}, {40, 300},
+	}
+	for i, path := range paths {
+		p := PeerID(i + 1)
+		a, errA := s.Join(p, path)
+		b, errB := c.Join(p, path)
+		if errA != nil || errB != nil {
+			t.Fatalf("join %d: %v / %v", p, errA, errB)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("join %d: answers differ: %v vs %v", p, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("join %d: answers differ at %d: %v vs %v", p, j, a, b)
+			}
+		}
+	}
+	if c.NumPeers() != s.NumPeers() {
+		t.Fatalf("cluster peers=%d server peers=%d", c.NumPeers(), s.NumPeers())
+	}
+	// Live handoff through the public surface.
+	src, ok := c.ShardFor(100)
+	if !ok {
+		t.Fatal("no shard for landmark 100")
+	}
+	if err := c.MoveLandmark(100, (src+1)%c.NumShards()); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPeers() != s.NumPeers() {
+		t.Fatalf("handoff lost peers: %d vs %d", c.NumPeers(), s.NumPeers())
+	}
+	for i := range paths {
+		if _, err := c.Lookup(PeerID(i + 1)); err != nil {
+			t.Fatalf("lookup %d after handoff: %v", i+1, err)
+		}
+	}
+}
+
+// TestPublicShardedSimulation runs a small simulation over the sharded
+// management plane.
+func TestPublicShardedSimulation(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{
+		Topology:     TopologyConfig{CoreRouters: 200, LeafRouters: 200, EdgesPerNode: 2, Seed: 5},
+		NumLandmarks: 4,
+		Shards:       4,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.JoinN(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Server.NumPeers(); got != 40 {
+		t.Fatalf("peers=%d", got)
+	}
+}
