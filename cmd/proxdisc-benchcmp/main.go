@@ -1,0 +1,248 @@
+// Command proxdisc-benchcmp turns raw `go test -bench` output into a JSON
+// summary and fails when a benchmark regresses against a committed
+// baseline — the tool behind the benchmark-regression CI job.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -count 3 . | tee bench.txt
+//	proxdisc-benchcmp -current bench.txt -baseline BENCH_baseline.json \
+//	    -out BENCH_pr.json -threshold 20
+//
+// Repeated runs of the same benchmark (from -count N) collapse to their
+// median, in the spirit of benchstat. A benchmark whose median ns/op
+// exceeds the baseline's by more than the threshold percentage fails the
+// run; new and vanished benchmarks are reported but never fail. To adopt
+// a new baseline, copy the emitted file over BENCH_baseline.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Summary is the JSON document read from the baseline and written to -out.
+type Summary struct {
+	// Benchmarks maps benchmark name (without the "Benchmark" prefix and
+	// the -GOMAXPROCS suffix) to its aggregated result.
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark's aggregate over repeated runs.
+type Bench struct {
+	// NsPerOp is the median ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Samples is the number of runs aggregated.
+	Samples int `json:"samples"`
+	// Metrics holds the medians of custom metrics (joins/s, D/Dclosest, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchLine matches a standard benchmark result line, e.g.
+//
+//	BenchmarkPipelinedJoin/lockstep-8   4000   584371 ns/op   1712 joins/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	var (
+		current   = flag.String("current", "", "raw `go test -bench` output to summarize (required)")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare against (skipped when absent or empty)")
+		out       = flag.String("out", "", "path to write the current summary JSON")
+		threshold = flag.Float64("threshold", 20, "ns/op regression percentage that fails the run")
+		soft      = flag.Bool("soft", false, "report regressions but always exit 0 — for cross-machine comparisons where absolute ns/op thresholds are unreliable")
+		minNs     = flag.Float64("min-ns", 0, "only gate benchmarks whose baseline median ns/op is at least this (timings below it are single-iteration noise at -benchtime 1x; they are still reported)")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "proxdisc-benchcmp: -current is required")
+		os.Exit(2)
+	}
+	cur, err := parseBenchOutput(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "proxdisc-benchcmp: no benchmark results in input")
+		os.Exit(2)
+	}
+	if *out != "" {
+		if err := writeSummary(*out, cur); err != nil {
+			fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *baseline == "" {
+		fmt.Printf("summarized %d benchmarks (no baseline comparison)\n", len(cur.Benchmarks))
+		return
+	}
+	base, err := readSummary(*baseline)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("summarized %d benchmarks (baseline %s absent — nothing to compare)\n",
+				len(cur.Benchmarks), *baseline)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Printf("summarized %d benchmarks (baseline empty — nothing to compare)\n", len(cur.Benchmarks))
+		return
+	}
+	regressions := compare(os.Stdout, base, cur, *threshold, *minNs)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %d benchmark(s) regressed more than %.0f%%\n",
+			regressions, *threshold)
+		if !*soft {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "proxdisc-benchcmp: -soft set; not failing")
+	}
+}
+
+// parseBenchOutput reads raw benchmark text and aggregates repeated runs
+// to medians.
+func parseBenchOutput(path string) (*Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	nsRuns := make(map[string][]float64)
+	metricRuns := make(map[string]map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			continue
+		}
+		nsRuns[name] = append(nsRuns[name], ns)
+		for unit, v := range parseMetrics(m[5]) {
+			if metricRuns[name] == nil {
+				metricRuns[name] = make(map[string][]float64)
+			}
+			metricRuns[name][unit] = append(metricRuns[name][unit], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := &Summary{Benchmarks: make(map[string]*Bench, len(nsRuns))}
+	for name, runs := range nsRuns {
+		b := &Bench{NsPerOp: median(runs), Samples: len(runs)}
+		for unit, vals := range metricRuns[name] {
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = median(vals)
+		}
+		out.Benchmarks[name] = b
+	}
+	return out, nil
+}
+
+// parseMetrics reads the "12345 B/op   1712 joins/s" tail of a benchmark
+// line into unit→value pairs (allocation counters included).
+func parseMetrics(tail string) map[string]float64 {
+	fields := strings.Fields(tail)
+	out := make(map[string]float64)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break // mis-aligned tail; stop rather than misattribute
+		}
+		out[fields[i+1]] = v
+	}
+	return out
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func readSummary(path string) (*Summary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(strings.TrimSpace(string(b))) == 0 {
+		return &Summary{Benchmarks: map[string]*Bench{}}, nil
+	}
+	var s Summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if s.Benchmarks == nil {
+		s.Benchmarks = map[string]*Bench{}
+	}
+	return &s, nil
+}
+
+func writeSummary(path string, s *Summary) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// compare prints a delta table and returns the number of regressions
+// beyond the threshold percentage. Benchmarks whose baseline median is
+// below minNs are reported but never gated: at -benchtime 1x such
+// timings are a single iteration, where scheduler jitter swamps any
+// threshold.
+func compare(w *os.File, base, cur *Summary, threshold, minNs float64) int {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		c := cur.Benchmarks[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %12.0f ns/op  (new)\n", name, c.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		verdict := "ok"
+		switch {
+		case b.NsPerOp < minNs:
+			verdict = "ungated (below -min-ns)"
+		case delta > threshold:
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-60s %12.0f ns/op  base %12.0f  %+7.1f%%  %s\n",
+			name, c.NsPerOp, b.NsPerOp, delta, verdict)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%-60s (vanished from current run)\n", name)
+		}
+	}
+	return regressions
+}

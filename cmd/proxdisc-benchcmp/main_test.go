@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: proxdisc
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPipelinedJoin/lockstep-8         	    4000	    584371 ns/op	      1712 joins/s	   3407030 p99-ns
+BenchmarkPipelinedJoin/lockstep-8         	    4000	    600000 ns/op	      1650 joins/s	   3500000 p99-ns
+BenchmarkPipelinedJoin/lockstep-8         	    4000	    550000 ns/op	      1800 joins/s	   3300000 p99-ns
+BenchmarkPipelinedJoin/inflight=64-8      	    4000	     35113 ns/op	     30648 joins/s	  12260304 p99-ns
+BenchmarkProtoJoinRoundTrip-8             	 4614918	       260.3 ns/op	     120 B/op	       4 allocs/op
+PASS
+ok  	proxdisc	2.770s
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(path, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	sum, err := parseBenchOutput(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 3 {
+		t.Fatalf("benchmarks=%d: %+v", len(sum.Benchmarks), sum.Benchmarks)
+	}
+	lock := sum.Benchmarks["PipelinedJoin/lockstep"]
+	if lock == nil || lock.Samples != 3 {
+		t.Fatalf("lockstep=%+v", lock)
+	}
+	if lock.NsPerOp != 584371 {
+		t.Fatalf("median ns/op=%v want 584371", lock.NsPerOp)
+	}
+	if lock.Metrics["joins/s"] != 1712 {
+		t.Fatalf("median joins/s=%v", lock.Metrics["joins/s"])
+	}
+	rt := sum.Benchmarks["ProtoJoinRoundTrip"]
+	if rt == nil || rt.NsPerOp != 260.3 || rt.Metrics["allocs/op"] != 4 {
+		t.Fatalf("round trip=%+v", rt)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	base := &Summary{Benchmarks: map[string]*Bench{
+		"A": {NsPerOp: 100},
+		"B": {NsPerOp: 100},
+		"C": {NsPerOp: 100},
+	}}
+	cur := &Summary{Benchmarks: map[string]*Bench{
+		"A": {NsPerOp: 115}, // +15% — within a 20% threshold
+		"B": {NsPerOp: 130}, // +30% — regression
+		"D": {NsPerOp: 50},  // new — never fails
+	}}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if got := compare(devnull, base, cur, 20, 0); got != 1 {
+		t.Fatalf("regressions=%d want 1", got)
+	}
+	if got := compare(devnull, base, cur, 5, 0); got != 2 {
+		t.Fatalf("regressions=%d want 2", got)
+	}
+	// Below the -min-ns floor nothing is gated.
+	if got := compare(devnull, base, cur, 5, 1000); got != 0 {
+		t.Fatalf("regressions=%d want 0 with floor", got)
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	in := &Summary{Benchmarks: map[string]*Bench{
+		"X": {NsPerOp: 42.5, Samples: 3, Metrics: map[string]float64{"joins/s": 9}},
+	}}
+	if err := writeSummary(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Benchmarks["X"].NsPerOp != 42.5 || out.Benchmarks["X"].Metrics["joins/s"] != 9 {
+		t.Fatalf("round trip=%+v", out.Benchmarks["X"])
+	}
+}
+
+func TestReadSummaryToleratesEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := readSummary(path)
+	if err != nil || len(s.Benchmarks) != 0 {
+		t.Fatalf("s=%+v err=%v", s, err)
+	}
+}

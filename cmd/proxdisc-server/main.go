@@ -51,6 +51,8 @@ func main() {
 		ttl        = flag.Duration("peer-ttl", 0, "expire peers silent for this long (0 = never)")
 		sweep      = flag.Duration("sweep-interval", 30*time.Second, "expiry sweep period when -peer-ttl is set")
 		shards     = flag.Int("shards", 1, "run a landmark-sharded cluster of this many shards")
+		workers    = flag.Int("workers", 0, "pipelined-request worker pool size (0 = 4×GOMAXPROCS)")
+		maxBatch   = flag.Int("max-batch", 0, "largest batch join accepted (0 = wire-format maximum)")
 	)
 	flag.Parse()
 
@@ -105,6 +107,8 @@ func main() {
 		Addr:          *addr,
 		Server:        logic,
 		LandmarkAddrs: lmAddrs,
+		Workers:       *workers,
+		MaxBatch:      *maxBatch,
 		Logf:          log.Printf,
 	})
 	if err != nil {

@@ -1,6 +1,15 @@
 // Package client implements the proxdisc peer side: the TCP client for the
 // management server, the UDP landmark prober, and the two-round join agent.
 //
+// On dial the client negotiates the wire protocol version (see package
+// proto). Against a version-2 server every request is pipelined: frames
+// carry request IDs, a demux goroutine matches responses to waiting calls,
+// and up to MaxInFlight requests share one connection concurrently —
+// callers never serialize behind each other's round trips. Against a
+// version-1 server (or with Config.DisablePipelining) the client falls
+// back to the original lock-step exchange. Either way every method is safe
+// for concurrent use.
+//
 // A real deployment would obtain the router path with the system traceroute
 // tool; the PathProvider interface abstracts that, so tests and offline
 // deployments plug in a simulated tracer while production plugs in the real
@@ -8,6 +17,7 @@
 package client
 
 import (
+	"bufio"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -15,6 +25,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"proxdisc/internal/proto"
@@ -37,17 +48,67 @@ func (f PathProviderFunc) PathTo(landmark int32) ([]int32, error) { return f(lan
 // up, catching cluster nodes whose shard maps point at each other.
 const MaxRedirects = 3
 
+// DefaultMaxInFlight caps concurrently outstanding pipelined requests per
+// connection when Config.MaxInFlight is zero.
+const DefaultMaxInFlight = 64
+
+// Config tunes a Client connection.
+type Config struct {
+	// Timeout bounds each request/response exchange (default 10s).
+	Timeout time.Duration
+	// MaxInFlight caps how many requests may be outstanding on the
+	// connection at once when pipelining is negotiated (default
+	// DefaultMaxInFlight, ceiling proto.MaxPipelineDepth — servers size
+	// their per-connection response queues to that protocol constant and
+	// drop connections that exceed it). Callers beyond the cap block
+	// until a slot frees, bounding client-side memory and server-side
+	// queueing.
+	MaxInFlight int
+	// DisablePipelining skips hello negotiation and speaks the version-1
+	// lock-step protocol, for compatibility testing and baselines.
+	DisablePipelining bool
+}
+
 // Client is a connection to the management server. It is safe for
-// concurrent use; requests are serialized on the single connection.
+// concurrent use: on a version-2 connection requests from any number of
+// goroutines are pipelined and demultiplexed by request ID; on a
+// version-1 connection they serialize behind a lock.
 //
 // When the server is a sharded cluster node it may answer a join with a
 // redirect to the node owning the join's landmark; the client follows
 // transparently, caching one connection per discovered node.
 type Client struct {
-	mu   sync.Mutex
+	cfg  Config
+	mu   sync.Mutex // serializes version-1 lock-step exchanges
 	conn net.Conn
 	// Timeout bounds each request/response exchange.
 	timeout time.Duration
+
+	// version is the negotiated protocol version; maxBatch is the batch
+	// size the server accepts (0 when batching is unsupported). Both are
+	// set once at dial time.
+	version  uint16
+	maxBatch int
+
+	// br buffers all reads for the connection's whole life, so one read
+	// syscall can deliver many pipelined response frames.
+	br *bufio.Reader
+
+	// Pipelining state (version 2 only). Writes serialize on wmu into a
+	// buffered writer; a caller that can see another caller already
+	// waiting for wmu skips the flush, so the last writer out pushes
+	// several request frames to the kernel in one syscall (write
+	// coalescing). An idle connection still flushes every request
+	// immediately.
+	wmu      sync.Mutex
+	bw       *bufio.Writer
+	waiters  atomic.Int32
+	nextID   atomic.Uint64
+	slots    chan struct{} // in-flight semaphore, cap MaxInFlight
+	pmu      sync.Mutex
+	pending  map[uint64]chan frameResp
+	readErr  error         // set by readLoop before readDone closes; guarded by pmu
+	readDone chan struct{} // closed when readLoop exits
 
 	auxMu  sync.Mutex
 	aux    map[string]*Client // cluster nodes discovered through redirects
@@ -55,16 +116,126 @@ type Client struct {
 	closed bool               // guards against dialling new aux connections after Close
 }
 
-// Dial connects to the management server.
+// frameResp is one demultiplexed response frame.
+type frameResp struct {
+	typ     proto.MsgType
+	payload []byte
+}
+
+// Dial connects to the management server with default configuration,
+// negotiating the pipelined protocol when the server supports it.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	if timeout == 0 {
-		timeout = 10 * time.Second
+	return DialConfig(addr, Config{Timeout: timeout})
+}
+
+// DialConfig connects to the management server.
+func DialConfig(addr string, cfg Config) (*Client, error) {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 10 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxInFlight > proto.MaxPipelineDepth {
+		cfg.MaxInFlight = proto.MaxPipelineDepth
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, timeout: timeout}, nil
+	c := &Client{
+		cfg:     cfg,
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 16<<10),
+		timeout: cfg.Timeout,
+		version: proto.Version1,
+	}
+	if !cfg.DisablePipelining {
+		if err := c.negotiate(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// negotiate sends MsgHello and interprets the answer: MsgHelloAck upgrades
+// the connection, MsgError means a version-1 server (stay lock-step), and
+// anything else is a protocol violation.
+func (c *Client) negotiate() error {
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return fmt.Errorf("client: set deadline: %w", err)
+	}
+	hello := proto.EncodeHello(&proto.Hello{MaxVersion: proto.MaxVersion, MaxBatch: proto.MaxBatch})
+	if err := proto.WriteFrame(c.conn, proto.MsgHello, hello); err != nil {
+		return fmt.Errorf("client: send hello: %w", err)
+	}
+	typ, payload, err := proto.ReadFrame(c.br)
+	if err != nil {
+		return fmt.Errorf("client: read hello response: %w", err)
+	}
+	defer proto.PutBuf(payload)
+	switch typ {
+	case proto.MsgHelloAck:
+		ack, err := proto.DecodeHelloAck(payload)
+		if err != nil {
+			return fmt.Errorf("client: bad hello ack: %w", err)
+		}
+		if ack.Version >= proto.Version2 {
+			c.version = proto.Version2
+			c.maxBatch = int(ack.MaxBatch)
+			c.bw = bufio.NewWriterSize(c.conn, 16<<10)
+			c.slots = make(chan struct{}, c.cfg.MaxInFlight)
+			c.pending = make(map[uint64]chan frameResp)
+			c.readDone = make(chan struct{})
+			// The demux goroutine reads without deadlines; individual
+			// calls enforce their own timeouts.
+			if err := c.conn.SetDeadline(time.Time{}); err != nil {
+				return fmt.Errorf("client: clear deadline: %w", err)
+			}
+			go c.readLoop()
+		}
+		return nil
+	case proto.MsgError:
+		// A version-1 server rejects the unknown message type and keeps
+		// the connection usable: stay on lock-step framing.
+		return nil
+	default:
+		return fmt.Errorf("client: unexpected hello response type %d", typ)
+	}
+}
+
+// Version reports the negotiated protocol version.
+func (c *Client) Version() uint16 { return c.version }
+
+// ServerMaxBatch reports the batch-join size the server accepts (0 when
+// the server does not support batching).
+func (c *Client) ServerMaxBatch() int { return c.maxBatch }
+
+// readLoop demultiplexes response frames to waiting calls by request ID.
+// It exits on the first read error (including Close), after which every
+// outstanding and future call on this connection fails fast.
+func (c *Client) readLoop() {
+	for {
+		typ, id, payload, err := proto.ReadFrameID(c.br)
+		if err != nil {
+			c.pmu.Lock()
+			c.readErr = fmt.Errorf("client: receive: %w", err)
+			c.pmu.Unlock()
+			close(c.readDone)
+			return
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		if ok {
+			ch <- frameResp{typ: typ, payload: payload} // buffered, never blocks
+		} else {
+			proto.PutBuf(payload) // response to a call that timed out
+		}
+	}
 }
 
 // Close releases the connection and any connections opened while following
@@ -98,7 +269,7 @@ func (c *Client) auxClient(addr string) (*Client, error) {
 	// Dial outside the lock: a slow or unreachable node must not block
 	// requests to other nodes (or Close) for the dial timeout.
 	c.auxMu.Unlock()
-	a, err := Dial(addr, c.timeout)
+	a, err := DialConfig(addr, c.cfg)
 	if err != nil {
 		return nil, fmt.Errorf("client: follow redirect: %w", err)
 	}
@@ -187,9 +358,14 @@ func (c *Client) peerRoundTrip(peer int64, reqType proto.MsgType, payload []byte
 	}
 }
 
-// exchange sends one request frame and reads one response frame, decoding
+// exchange sends one request frame and reads its response frame, decoding
 // wire errors into *proto.Error values and returning the response type.
+// On a pipelined connection any number of exchanges proceed concurrently;
+// on version 1 they serialize on the connection lock.
 func (c *Client) exchange(reqType proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
+	if c.version >= proto.Version2 {
+		return c.exchangePipelined(reqType, payload)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	deadline := time.Now().Add(c.timeout)
@@ -199,18 +375,105 @@ func (c *Client) exchange(reqType proto.MsgType, payload []byte) (proto.MsgType,
 	if err := proto.WriteFrame(c.conn, reqType, payload); err != nil {
 		return 0, nil, fmt.Errorf("client: send: %w", err)
 	}
-	typ, resp, err := proto.ReadFrame(c.conn)
+	typ, resp, err := proto.ReadFrame(c.br)
 	if err != nil {
 		return 0, nil, fmt.Errorf("client: receive: %w", err)
 	}
+	return decodeResp(typ, resp)
+}
+
+// exchangePipelined issues one request over the multiplexed connection:
+// take an in-flight slot, register a completion channel under a fresh
+// request ID, write the frame, and wait for the demux goroutine (or a
+// timeout, or connection death).
+func (c *Client) exchangePipelined(reqType proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
+	select {
+	case c.slots <- struct{}{}:
+	case <-c.readDone:
+		return 0, nil, c.readError()
+	}
+	defer func() { <-c.slots }()
+
+	id := c.nextID.Add(1)
+	ch := make(chan frameResp, 1)
+	c.pmu.Lock()
+	if c.readErr != nil {
+		c.pmu.Unlock()
+		return 0, nil, c.readError()
+	}
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	c.waiters.Add(1)
+	c.wmu.Lock()
+	c.waiters.Add(-1)
+	err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	if err == nil {
+		err = proto.WriteFrameID(c.bw, reqType, id, payload)
+	}
+	if err == nil && c.waiters.Load() == 0 {
+		// No other caller is waiting to write: flush now. Otherwise the
+		// last writer out flushes everyone's frames in one syscall.
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(id)
+		return 0, nil, fmt.Errorf("client: send: %w", err)
+	}
+
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return decodeResp(r.typ, r.payload)
+	case <-timer.C:
+		c.forget(id)
+		// The response may have been delivered while we were timing out.
+		select {
+		case r := <-ch:
+			return decodeResp(r.typ, r.payload)
+		default:
+		}
+		return 0, nil, fmt.Errorf("client: request timed out after %v", c.timeout)
+	case <-c.readDone:
+		c.forget(id)
+		select {
+		case r := <-ch:
+			return decodeResp(r.typ, r.payload)
+		default:
+		}
+		return 0, nil, c.readError()
+	}
+}
+
+// forget deregisters a request whose caller stopped waiting.
+func (c *Client) forget(id uint64) {
+	c.pmu.Lock()
+	delete(c.pending, id)
+	c.pmu.Unlock()
+}
+
+// readError reports why the demux goroutine exited.
+func (c *Client) readError() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return net.ErrClosed
+}
+
+// decodeResp unwraps MsgError responses into *proto.Error values.
+func decodeResp(typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
 	if typ == proto.MsgError {
-		werr, derr := proto.DecodeError(resp)
+		werr, derr := proto.DecodeError(payload)
 		if derr != nil {
 			return 0, nil, fmt.Errorf("client: undecodable error response: %w", derr)
 		}
 		return 0, nil, werr
 	}
-	return typ, resp, nil
+	return typ, payload, nil
 }
 
 // roundTrip is exchange plus a response-type check, for requests with
@@ -307,6 +570,132 @@ func (c *Client) ForwardJoin(peer int64, overlayAddr string, path []int32) ([]pr
 		return nil, err
 	}
 	return jr.Neighbors, nil
+}
+
+// ForwardJoinBatch relays a batch of joins to the cluster node that owns
+// their landmarks, on behalf of another node. The callee answers locally
+// and never relays further (each entry's landmark must be local there, or
+// it comes back CodeWrongShard). Against a version-1 node the batch
+// degrades to sequential singular forwards with the same semantics.
+func (c *Client) ForwardJoinBatch(items []BatchItem) ([]BatchResult, error) {
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	if c.version < proto.Version2 || c.maxBatch < 1 {
+		for i := range items {
+			out[i].Neighbors, out[i].Err = c.ForwardJoin(items[i].Peer, items[i].Addr, items[i].Path)
+		}
+		return out, nil
+	}
+	err := c.batchRoundTrips(items, proto.MsgForwardedBatchJoinRequest, func(i int, r *proto.BatchJoinResult) {
+		if r.Code != 0 {
+			out[i].Err = &proto.Error{Code: r.Code, Message: r.Message}
+			return
+		}
+		out[i].Neighbors = r.Neighbors
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// batchRoundTrips chunks items into wire batches of the server's
+// advertised size, performs one reqType round trip per chunk, and hands
+// each result to apply with its position in items. Shared by JoinBatch
+// and ForwardJoinBatch, whose payloads are identical.
+func (c *Client) batchRoundTrips(items []BatchItem, reqType proto.MsgType, apply func(i int, r *proto.BatchJoinResult)) error {
+	chunk := c.maxBatch
+	if chunk > proto.MaxBatch {
+		chunk = proto.MaxBatch
+	}
+	for lo := 0; lo < len(items); lo += chunk {
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		req := &proto.BatchJoinRequest{Joins: make([]proto.JoinRequest, hi-lo)}
+		for i, it := range items[lo:hi] {
+			req.Joins[i] = proto.JoinRequest{Peer: it.Peer, Addr: it.Addr, Path: it.Path}
+		}
+		payload, err := proto.EncodeBatchJoinRequest(req)
+		if err != nil {
+			return err
+		}
+		resp, err := c.roundTrip(reqType, payload, proto.MsgBatchJoinResponse)
+		if err != nil {
+			return err
+		}
+		br, err := proto.DecodeBatchJoinResponse(resp)
+		if err != nil {
+			return err
+		}
+		if len(br.Results) != hi-lo {
+			return fmt.Errorf("client: batch answered %d of %d entries", len(br.Results), hi-lo)
+		}
+		for k := range br.Results {
+			apply(lo+k, &br.Results[k])
+		}
+	}
+	return nil
+}
+
+// BatchItem is one entry of a batched join.
+type BatchItem struct {
+	// Peer is the joining peer's ID.
+	Peer int64
+	// Addr is its advertised overlay address.
+	Addr string
+	// Path is its router path, peer-side first, ending at a landmark.
+	Path []int32
+}
+
+// BatchResult is the per-entry outcome of JoinBatch.
+type BatchResult struct {
+	Neighbors []proto.Candidate
+	Err       error
+}
+
+// JoinBatch registers many peers in as few round trips as possible — the
+// flash-crowd path for agents fronting several newcomers. Against a
+// version-2 server the items travel in MsgBatchJoinRequest frames of up
+// to the server's advertised batch size; entries the server answers with
+// CodeWrongShard (their landmark lives on another cluster node) are
+// retried individually through the redirect-following Join path. Against
+// a version-1 server every item degrades to a singular Join.
+//
+// The returned slice is positional: result i answers items[i]. The error
+// return is reserved for transport-level failures that void the whole
+// call; per-entry failures live in the results.
+func (c *Client) JoinBatch(items []BatchItem) ([]BatchResult, error) {
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	if c.version < proto.Version2 || c.maxBatch < 1 {
+		for i := range items {
+			out[i].Neighbors, out[i].Err = c.Join(items[i].Peer, items[i].Addr, items[i].Path)
+		}
+		return out, nil
+	}
+	err := c.batchRoundTrips(items, proto.MsgBatchJoinRequest, func(i int, r *proto.BatchJoinResult) {
+		switch r.Code {
+		case 0:
+			out[i].Neighbors = r.Neighbors
+			c.setHome(items[i].Peer, "")
+		case proto.CodeWrongShard:
+			// The entry's landmark lives on another cluster node; the
+			// singular path follows the redirect there.
+			out[i].Neighbors, out[i].Err = c.Join(items[i].Peer, items[i].Addr, items[i].Path)
+		default:
+			out[i].Err = &proto.Error{Code: r.Code, Message: r.Message}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Lookup re-queries the closest peers of a registered peer, at the node

@@ -58,7 +58,7 @@ func TestDialFailure(t *testing.T) {
 
 func TestRoundTripUnexpectedType(t *testing.T) {
 	fs := newFakeServer(t, scripted{typ: proto.MsgAck})
-	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	c, err := DialConfig(fs.ln.Addr().String(), Config{Timeout: time.Second, DisablePipelining: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestRoundTripUnexpectedType(t *testing.T) {
 func TestRoundTripWireError(t *testing.T) {
 	payload := proto.EncodeError(&proto.Error{Code: proto.CodeUnknownPeer, Message: "nope"})
 	fs := newFakeServer(t, scripted{typ: proto.MsgError, payload: payload})
-	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	c, err := DialConfig(fs.ln.Addr().String(), Config{Timeout: time.Second, DisablePipelining: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestRoundTripTimeout(t *testing.T) {
 		defer conn.Close()
 		time.Sleep(2 * time.Second)
 	}()
-	c, err := Dial(ln.Addr().String(), 200*time.Millisecond)
+	c, err := DialConfig(ln.Addr().String(), Config{Timeout: 200 * time.Millisecond, DisablePipelining: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestClientHappyPaths(t *testing.T) {
 		scripted{typ: proto.MsgAck},
 		scripted{typ: proto.MsgAck},
 	)
-	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	c, err := DialConfig(fs.ln.Addr().String(), Config{Timeout: time.Second, DisablePipelining: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestClientHappyPaths(t *testing.T) {
 
 func TestClientJoinPathLimit(t *testing.T) {
 	fs := newFakeServer(t)
-	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	c, err := DialConfig(fs.ln.Addr().String(), Config{Timeout: time.Second, DisablePipelining: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestAgentFallbackToSecondLandmark(t *testing.T) {
 		scripted{typ: proto.MsgLandmarksResponse, payload: lmResp},
 		scripted{typ: proto.MsgJoinResponse, payload: joinResp},
 	)
-	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	c, err := DialConfig(fs.ln.Addr().String(), Config{Timeout: time.Second, DisablePipelining: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestAgentNoLandmarks(t *testing.T) {
 		t.Fatal(err)
 	}
 	fs := newFakeServer(t, scripted{typ: proto.MsgLandmarksResponse, payload: lmResp})
-	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	c, err := DialConfig(fs.ln.Addr().String(), Config{Timeout: time.Second, DisablePipelining: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,5 +307,50 @@ func TestPathProviderFunc(t *testing.T) {
 	path, err := p.PathTo(3)
 	if err != nil || len(path) != 2 || path[1] != 3 {
 		t.Fatalf("path=%v err=%v", path, err)
+	}
+}
+
+// TestNegotiationFallsBackToV1 dials a server that answers MsgHello the
+// way a pre-versioning binary does — MsgError, connection kept alive —
+// and checks the client degrades to lock-step and still works.
+func TestNegotiationFallsBackToV1(t *testing.T) {
+	lookupResp, err := proto.EncodeLookupResponse(&proto.LookupResponse{
+		Neighbors: []proto.Candidate{{Peer: 4, DTree: 2, Addr: "10.0.0.4:1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := newFakeServer(t,
+		scripted{typ: proto.MsgError, payload: proto.EncodeError(&proto.Error{
+			Code: proto.CodeBadRequest, Message: "unknown message type 13"})},
+		scripted{typ: proto.MsgLookupResponse, payload: lookupResp},
+	)
+	c, err := Dial(fs.ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != proto.Version1 {
+		t.Fatalf("version=%d want fallback to %d", c.Version(), proto.Version1)
+	}
+	if c.ServerMaxBatch() != 0 {
+		t.Fatalf("max batch=%d want 0", c.ServerMaxBatch())
+	}
+	got, err := c.Lookup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Peer != 4 {
+		t.Fatalf("lookup=%+v", got)
+	}
+}
+
+// TestNegotiationRejectsGarbage closes the deal on a server that answers
+// hello with a non-hello, non-error frame: that is a protocol violation,
+// not a version mismatch.
+func TestNegotiationRejectsGarbage(t *testing.T) {
+	fs := newFakeServer(t, scripted{typ: proto.MsgAck})
+	if _, err := Dial(fs.ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("garbage hello response accepted")
 	}
 }

@@ -208,6 +208,92 @@ func (c *Cluster) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Ca
 	}
 }
 
+// JoinBatch registers a batch of peers, grouping entries by the shard
+// owning each path's landmark so every shard is hit with one
+// single-lock-acquisition server.JoinBatch call instead of per-join locking.
+// Entries whose landmark is mid-handoff fall back to the waiting Join path
+// after the grouped entries complete. Results are positional: out[i]
+// answers items[i].
+func (c *Cluster) JoinBatch(items []server.BatchJoin) []server.BatchResult {
+	out := make([]server.BatchResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	// A peer appearing more than once in the batch must end up registered
+	// by its LAST entry, exactly as sequential joins would leave it; the
+	// per-shard groups below run in shard order, not batch order, so
+	// duplicate-peer entries go through the in-order singular path.
+	seen := make(map[pathtree.PeerID]int, len(items))
+	for i := range items {
+		seen[items[i].Peer]++
+	}
+	// Resolve every entry's shard under one table read-lock.
+	groups := make(map[int]*batchGroup)
+	var deferred []int
+	c.mu.RLock()
+	for i := range items {
+		it := &items[i]
+		if len(it.Path) == 0 {
+			out[i].Err = errors.New("server: empty path")
+			continue
+		}
+		lm := it.Path[len(it.Path)-1]
+		shard, ok := c.table[lm]
+		if !ok {
+			out[i].Err = fmt.Errorf("%w (router %d)", server.ErrUnknownLandmark, lm)
+			continue
+		}
+		if c.moving[lm] != nil || seen[it.Peer] > 1 {
+			deferred = append(deferred, i)
+			continue
+		}
+		g := groups[shard]
+		if g == nil {
+			g = &batchGroup{}
+			groups[shard] = g
+		}
+		g.idxs = append(g.idxs, i)
+		g.items = append(g.items, *it)
+	}
+	// Taking opMu before releasing mu pins the resolved shards, exactly as
+	// in Join: a handoff starting now drains behind this batch, so the
+	// snapshot it takes includes every entry applied here.
+	c.opMu.RLock()
+	c.mu.RUnlock()
+	for shard := 0; shard < len(c.shards); shard++ {
+		g := groups[shard]
+		if g == nil {
+			continue
+		}
+		res := c.shards[shard].JoinBatch(g.items)
+		for k := range res {
+			i := g.idxs[k]
+			out[i] = res[k]
+			if res[k].Err == nil {
+				if old, had := c.idx.swap(items[i].Peer, shard); had && old != shard {
+					c.shards[old].Leave(items[i].Peer)
+				}
+			}
+		}
+	}
+	c.opMu.RUnlock()
+	// Entries caught mid-handoff (which wait for the transfer) and
+	// duplicate-peer entries (which need batch order) take the singular
+	// path, in batch order; both are rare, so the flash-crowd case loses
+	// nothing.
+	for _, i := range deferred {
+		out[i].Neighbors, out[i].Err = c.Join(items[i].Peer, items[i].Path)
+	}
+	return out
+}
+
+// batchGroup collects the batch entries bound for one shard and their
+// positions in the caller's slice.
+type batchGroup struct {
+	idxs  []int
+	items []server.BatchJoin
+}
+
 // Lookup re-answers the closest-peers query for a registered peer,
 // delegating to the shard that holds it.
 func (c *Cluster) Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error) {

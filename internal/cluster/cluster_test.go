@@ -395,3 +395,149 @@ func TestConcurrentJoinsAcrossShards(t *testing.T) {
 		t.Fatalf("NumPeers=%d want %d", got, workers*each)
 	}
 }
+
+func TestJoinBatchAcrossShards(t *testing.T) {
+	c := newTestCluster(t, 4)
+	single := newTestCluster(t, 1)
+	var items []server.BatchJoin
+	for i := 0; i < 24; i++ {
+		lm := testLandmarks[i%len(testLandmarks)]
+		items = append(items, server.BatchJoin{
+			Peer: pathtree.PeerID(i + 1),
+			Path: synthPath(lm, i*13),
+		})
+	}
+	res := c.JoinBatch(items)
+	want := single.JoinBatch(items)
+	for i := range items {
+		if (res[i].Err == nil) != (want[i].Err == nil) {
+			t.Fatalf("entry %d: err=%v want %v", i, res[i].Err, want[i].Err)
+		}
+		if !reflect.DeepEqual(res[i].Neighbors, want[i].Neighbors) {
+			t.Fatalf("entry %d: %+v want %+v", i, res[i].Neighbors, want[i].Neighbors)
+		}
+	}
+	if c.NumPeers() != 24 {
+		t.Fatalf("peers=%d", c.NumPeers())
+	}
+	// Every peer must be findable through the index afterwards.
+	for i := range items {
+		if _, err := c.Lookup(items[i].Peer); err != nil {
+			t.Fatalf("lookup %d: %v", items[i].Peer, err)
+		}
+	}
+}
+
+func TestJoinBatchUnknownLandmarkEntry(t *testing.T) {
+	c := newTestCluster(t, 2)
+	res := c.JoinBatch([]server.BatchJoin{
+		{Peer: 1, Path: synthPath(0, 5)},
+		{Peer: 2, Path: []topology.NodeID{1, 2, 99999}},
+		{Peer: 3, Path: nil},
+	})
+	if res[0].Err != nil {
+		t.Fatalf("good entry failed: %v", res[0].Err)
+	}
+	if !errors.Is(res[1].Err, server.ErrUnknownLandmark) {
+		t.Fatalf("entry 1 err=%v", res[1].Err)
+	}
+	if res[2].Err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if c.NumPeers() != 1 {
+		t.Fatalf("peers=%d", c.NumPeers())
+	}
+}
+
+func TestJoinBatchRejoinMovesShards(t *testing.T) {
+	c := newTestCluster(t, 4)
+	if _, err := c.Join(1, synthPath(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	oldShard, _ := c.ShardFor(0)
+	newShard, _ := c.ShardFor(100)
+	if oldShard == newShard {
+		t.Fatalf("landmarks 0 and 100 on the same shard; pick others")
+	}
+	res := c.JoinBatch([]server.BatchJoin{{Peer: 1, Path: synthPath(100, 3)}})
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if c.NumPeers() != 1 {
+		t.Fatalf("peers=%d", c.NumPeers())
+	}
+	if got := c.Shard(oldShard).NumPeers(); got != 0 {
+		t.Fatalf("old shard still holds %d peers", got)
+	}
+}
+
+func TestJoinBatchDuringHandoff(t *testing.T) {
+	c := newTestCluster(t, 2)
+	populate(t, c, 40)
+	from, _ := c.ShardFor(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := c.MoveLandmark(0, (from+i+1)%2); err != nil {
+				t.Errorf("move: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		items := []server.BatchJoin{
+			{Peer: pathtree.PeerID(1000 + i*2), Path: synthPath(0, 60_000+i)},
+			{Peer: pathtree.PeerID(1001 + i*2), Path: synthPath(100, 60_000+i)},
+		}
+		res := c.JoinBatch(items)
+		for k, r := range res {
+			if r.Err != nil {
+				t.Fatalf("batch %d entry %d: %v", i, k, r.Err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := c.NumPeers(); got != 140 {
+		t.Fatalf("peers=%d want 140", got)
+	}
+}
+
+// TestJoinBatchDuplicatePeerLastEntryWins pins the sequential-join
+// semantics for a degenerate batch: a peer joining twice in one batch
+// under landmarks owned by different shards must end up registered by its
+// LAST entry, deterministically.
+func TestJoinBatchDuplicatePeerLastEntryWins(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		c := newTestCluster(t, 4)
+		res := c.JoinBatch([]server.BatchJoin{
+			{Peer: 1, Path: synthPath(0, 5)},
+			{Peer: 1, Path: synthPath(100, 5)},
+		})
+		if res[0].Err != nil || res[1].Err != nil {
+			t.Fatalf("errs: %v %v", res[0].Err, res[1].Err)
+		}
+		if c.NumPeers() != 1 {
+			t.Fatalf("peers=%d", c.NumPeers())
+		}
+		info, err := c.PeerInfo(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Landmark != 100 {
+			t.Fatalf("trial %d: registered under landmark %d, want the last entry's 100", trial, info.Landmark)
+		}
+		oldShard, _ := c.ShardFor(0)
+		if got := c.Shard(oldShard).NumPeers(); got != 0 {
+			t.Fatalf("trial %d: first entry's shard still holds %d peers", trial, got)
+		}
+	}
+}

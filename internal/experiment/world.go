@@ -27,6 +27,7 @@ import (
 // and benchmarks exercise the sharded path end-to-end.
 type Directory interface {
 	Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error)
+	JoinBatch(items []server.BatchJoin) []server.BatchResult
 	Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error)
 	Refresh(p pathtree.PeerID) error
 	Leave(p pathtree.PeerID) bool
@@ -61,6 +62,12 @@ type WorldConfig struct {
 	// landmark-sharded cluster of that many shards instead of a single
 	// server. It must not exceed NumLandmarks.
 	Shards int
+	// BatchSize, when at least 2, registers newcomers through the
+	// management plane's batched join path (Directory.JoinBatch) in groups
+	// of this size — the wire protocol's flash-crowd fast path — instead
+	// of one join per call. Capped at proto.MaxBatch by the wire format;
+	// simulations accept any positive value.
+	BatchSize int
 	// Trace configures the peers' traceroute tool.
 	Trace traceroute.Config
 	// UseDelays, when true, assigns link delays and routes by latency;
@@ -187,10 +194,12 @@ func (w *World) ClosestLandmark(att topology.NodeID) (topology.NodeID, error) {
 	return best, nil
 }
 
-// JoinPeer runs the full two-round protocol for one peer attached at router
-// att: choose the closest landmark, traceroute to it, report the path, and
-// receive the closest-peers answer.
-func (w *World) JoinPeer(p pathtree.PeerID, att topology.NodeID) ([]pathtree.Candidate, error) {
+// measurePeer performs the client-side rounds for one peer attached at
+// router att — choose the closest landmark, traceroute to it — and
+// returns the path to report, accounting the measurement cost. Shared by
+// the singular and batched join paths so their probe accounting can never
+// drift apart.
+func (w *World) measurePeer(att topology.NodeID) ([]topology.NodeID, error) {
 	lm, err := w.ClosestLandmark(att)
 	if err != nil {
 		return nil, err
@@ -203,7 +212,18 @@ func (w *World) JoinPeer(p pathtree.PeerID, att topology.NodeID) ([]pathtree.Can
 		return nil, fmt.Errorf("experiment: trace from %d to landmark %d incomplete", att, lm)
 	}
 	w.ProbeCount += len(res.Hops)
-	cands, err := w.Server.Join(p, res.KnownRouterPath())
+	return res.KnownRouterPath(), nil
+}
+
+// JoinPeer runs the full two-round protocol for one peer attached at router
+// att: choose the closest landmark, traceroute to it, report the path, and
+// receive the closest-peers answer.
+func (w *World) JoinPeer(p pathtree.PeerID, att topology.NodeID) ([]pathtree.Candidate, error) {
+	path, err := w.measurePeer(att)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := w.Server.Join(p, path)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +239,9 @@ func (w *World) LeavePeer(p pathtree.PeerID) {
 
 // JoinN attaches n peers to distinct degree-1 routers (chosen at random from
 // the remaining pool) and joins them in arrival order with IDs 1..n offset
-// by the number already joined.
+// by the number already joined. With WorldConfig.BatchSize ≥ 2 the joins
+// travel through the management plane's batched path in groups, exercising
+// the same single-lock insert the wire protocol's MsgBatchJoinRequest hits.
 func (w *World) JoinN(n int) error {
 	if n > len(w.LeafPool) {
 		return fmt.Errorf("experiment: %d peers requested but only %d leaf routers available",
@@ -229,6 +251,13 @@ func (w *World) JoinN(n int) error {
 		w.LeafPool[i], w.LeafPool[j] = w.LeafPool[j], w.LeafPool[i]
 	})
 	base := len(w.Attachments)
+	if w.Cfg.BatchSize >= 2 {
+		if err := w.joinBatched(n, base); err != nil {
+			return err
+		}
+		w.LeafPool = w.LeafPool[n:]
+		return nil
+	}
 	for i := 0; i < n; i++ {
 		p := pathtree.PeerID(base + i + 1)
 		if _, err := w.JoinPeer(p, w.LeafPool[i]); err != nil {
@@ -236,6 +265,38 @@ func (w *World) JoinN(n int) error {
 		}
 	}
 	w.LeafPool = w.LeafPool[n:]
+	return nil
+}
+
+// joinBatched performs JoinN's registrations in BatchSize groups: each
+// peer still measures its own landmark and path (the two client-side
+// rounds are per-peer no matter what), but the management-plane inserts
+// land as batches.
+func (w *World) joinBatched(n, base int) error {
+	size := w.Cfg.BatchSize
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		items := make([]server.BatchJoin, 0, hi-lo)
+		atts := make([]topology.NodeID, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			att := w.LeafPool[i]
+			path, err := w.measurePeer(att)
+			if err != nil {
+				return err
+			}
+			items = append(items, server.BatchJoin{Peer: pathtree.PeerID(base + i + 1), Path: path})
+			atts = append(atts, att)
+		}
+		for k, r := range w.Server.JoinBatch(items) {
+			if r.Err != nil {
+				return fmt.Errorf("experiment: batched join of peer %d: %w", items[k].Peer, r.Err)
+			}
+			w.Attachments[items[k].Peer] = atts[k]
+		}
+	}
 	return nil
 }
 

@@ -296,3 +296,90 @@ func TestQualityZeroDivision(t *testing.T) {
 }
 
 var _ = pathtree.PeerID(0) // keep import in smaller builds
+
+// TestBatchedJoinsMatchSequential runs the same world twice — singular
+// joins and BatchSize groups — and requires identical peer populations and
+// answer quality: batching is a capacity optimization, not a semantic one.
+func TestBatchedJoinsMatchSequential(t *testing.T) {
+	cfg := WorldConfig{
+		Topology: topology.Config{
+			Model:        topology.ModelBarabasiAlbert,
+			CoreRouters:  300,
+			LeafRouters:  300,
+			EdgesPerNode: 2,
+			Seed:         11,
+		},
+		NumLandmarks: 4,
+		Seed:         11,
+	}
+	seq, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.JoinN(120); err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfg
+	cfgB.BatchSize = 16
+	bat, err := BuildWorld(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bat.JoinN(120); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Server.NumPeers() != bat.Server.NumPeers() {
+		t.Fatalf("peers: seq=%d batch=%d", seq.Server.NumPeers(), bat.Server.NumPeers())
+	}
+	if seq.ProbeCount != bat.ProbeCount {
+		t.Fatalf("probe count: seq=%d batch=%d", seq.ProbeCount, bat.ProbeCount)
+	}
+	for _, p := range seq.Server.Peers() {
+		a, err := seq.Server.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := bat.Server.Lookup(p)
+		if err != nil {
+			t.Fatalf("batched world lost peer %d: %v", p, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("peer %d: %d vs %d neighbours", p, len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("peer %d neighbour %d: %+v vs %+v", p, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+// TestBatchedJoinsOverCluster exercises BatchSize together with Shards:
+// the grouped inserts route through cluster.JoinBatch.
+func TestBatchedJoinsOverCluster(t *testing.T) {
+	w, err := BuildWorld(WorldConfig{
+		Topology: topology.Config{
+			Model:        topology.ModelBarabasiAlbert,
+			CoreRouters:  300,
+			LeafRouters:  300,
+			EdgesPerNode: 2,
+			Seed:         12,
+		},
+		NumLandmarks: 4,
+		Shards:       2,
+		BatchSize:    8,
+		Seed:         12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.JoinN(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Server.NumPeers(); got != 100 {
+		t.Fatalf("peers=%d", got)
+	}
+	if _, err := w.EvaluateQuality(50); err != nil {
+		t.Fatal(err)
+	}
+}

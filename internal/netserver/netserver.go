@@ -3,8 +3,16 @@
 // architecture.
 //
 // One TCP connection serves any number of request/response frames (see
-// package proto). The server also tracks each peer's advertised overlay
-// address so closest-peer answers carry dialable endpoints.
+// package proto). A connection starts on protocol version 1 (strict
+// lock-step, served serially in request order). When a client negotiates
+// version 2 via MsgHello, every subsequent frame carries a request ID and
+// decoded requests are dispatched to a bounded worker pool shared by all
+// pipelined connections, so a slow operation (a forwarded join, a
+// scatter-gather cluster call) no longer head-of-line-blocks the
+// connection: responses are written as they complete, matched by ID.
+//
+// The server also tracks each peer's advertised overlay address so
+// closest-peer answers carry dialable endpoints.
 //
 // A NetServer fronts either a standalone server.Server or one node of a
 // landmark-sharded cluster (see Backend). In cluster deployments each node
@@ -14,11 +22,13 @@
 package netserver
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -33,7 +43,9 @@ import (
 // server.Server, or a cluster.Cluster routing across shards.
 type Backend interface {
 	Landmarks() []topology.NodeID
+	NeighborCount() int
 	Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error)
+	JoinBatch(items []server.BatchJoin) []server.BatchResult
 	Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error)
 	Leave(p pathtree.PeerID) bool
 	Refresh(p pathtree.PeerID) error
@@ -57,6 +69,14 @@ type Config struct {
 	// ForwardJoins makes this node proxy remote joins to the owning node
 	// itself instead of redirecting the client.
 	ForwardJoins bool
+	// Workers bounds how many version-2 (pipelined) requests are served
+	// concurrently across all connections. When the pool is saturated,
+	// connection readers block — natural backpressure instead of unbounded
+	// goroutine growth. Default: 4×GOMAXPROCS, at least 8.
+	Workers int
+	// MaxBatch caps the batch joins this server accepts and advertises in
+	// its hello ack (default proto.MaxBatch; it is also the hard ceiling).
+	MaxBatch int
 	// ReadTimeout bounds how long a connection may sit idle between
 	// requests (default 30s).
 	ReadTimeout time.Duration
@@ -78,9 +98,59 @@ type NetServer struct {
 	fwd      map[string]*client.Client  // node-to-node forwarding connections
 	fwdPeers map[pathtree.PeerID]string // peers whose joins this node proxied, by owner address
 
+	tasks chan task // pipelined requests awaiting a pool worker
+
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
+}
+
+// task is one decoded version-2 request queued for the worker pool.
+type task struct {
+	wc      *wireConn
+	typ     proto.MsgType
+	id      uint64
+	payload []byte
+}
+
+// wireConn wraps an accepted connection with its negotiated protocol
+// version. Version-1 responses are written directly by the connection's
+// reader goroutine (strict lock-step, so there is never concurrency).
+// After the version-2 upgrade, responses from pool workers go through a
+// bounded queue drained by a dedicated per-connection writer goroutine:
+// workers never block on one connection's backpressure, so a slow-reading
+// client cannot wedge the shared pool — its queue fills and the
+// connection is dropped instead. The writer flushes only when the queue
+// is momentarily empty, so under load many response frames reach the
+// kernel in one syscall.
+type wireConn struct {
+	net.Conn
+	version uint16 // read/written only by the connection's reader goroutine
+	bw      *bufio.Writer
+	out     chan outFrame // v2 response queue, created at upgrade
+	stop    chan struct{} // closed by the reader to retire the writer
+	dead    chan struct{} // closed by the writer when it exits
+}
+
+// outFrame is one queued version-2 response.
+type outFrame struct {
+	typ     proto.MsgType
+	id      uint64
+	payload []byte
+}
+
+// respQueueLen bounds a connection's queued responses. It equals the
+// protocol's pipeline-depth cap, which clients enforce on their in-flight
+// window — so a connection that fills the queue is past its window and
+// not reading its responses, and gets dropped.
+const respQueueLen = proto.MaxPipelineDepth
+
+// writeV1 sends one lock-step response from the reader goroutine.
+func (w *wireConn) writeV1(t proto.MsgType, payload []byte) error {
+	if err := proto.WriteFrame(w.bw, t, payload); err != nil {
+		return err
+	}
+	return w.bw.Flush()
 }
 
 // Listen starts serving on cfg.Addr.
@@ -90,6 +160,28 @@ func Listen(cfg Config) (*NetServer, error) {
 	}
 	if cfg.ReadTimeout == 0 {
 		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4 * runtime.GOMAXPROCS(0)
+		if cfg.Workers < 8 {
+			cfg.Workers = 8
+		}
+	}
+	if cfg.MaxBatch <= 0 || cfg.MaxBatch > proto.MaxBatch {
+		cfg.MaxBatch = proto.MaxBatch
+	}
+	// Derate the batch limit so a full batch RESPONSE is guaranteed to fit
+	// one frame even when every entry returns NeighborCount candidates
+	// with maximum-length addresses; otherwise a large -neighbors setting
+	// would make EncodeBatchJoinResponse overflow MaxFrameSize and void
+	// whole batches with CodeInternal after the joins already applied.
+	perCand := 8 + 4 + 2 + proto.MaxAddrLen       // peer + dtree + addr
+	perResult := 2 + 2 + 2 + cfg.Server.NeighborCount()*perCand // code + empty msg + count + candidates
+	if fit := (proto.MaxFrameSize - 16) / perResult; fit < cfg.MaxBatch {
+		cfg.MaxBatch = fit
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -104,14 +196,79 @@ func Listen(cfg Config) (*NetServer, error) {
 		local:  make(map[topology.NodeID]bool),
 		addrs:  make(map[pathtree.PeerID]string),
 		conns:  make(map[net.Conn]struct{}),
+		tasks:  make(chan task, cfg.Workers),
 		closed: make(chan struct{}),
 	}
 	for _, lm := range cfg.Server.Landmarks() {
 		s.local[lm] = true
 	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// worker serves queued pipelined requests until shutdown.
+func (s *NetServer) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case t := <-s.tasks:
+			typ, resp := s.handleReq(t.typ, t.payload)
+			proto.PutBuf(t.payload)
+			s.respond(t.wc, outFrame{typ: typ, id: t.id, payload: resp})
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// respond enqueues a version-2 response without ever blocking the worker:
+// a connection whose queue is full is not consuming its responses (its
+// TCP window and the 256-frame queue are both exhausted) and is dropped
+// so it cannot stall the shared pool.
+func (s *NetServer) respond(wc *wireConn, f outFrame) {
+	select {
+	case wc.out <- f:
+	case <-wc.dead:
+	default:
+		s.cfg.Logf("netserver: dropping connection with %d unread responses", len(wc.out))
+		wc.Close() // unblocks the reader and writer, which clean up
+	}
+}
+
+// writeLoop is a connection's dedicated response writer (version 2 only).
+// It coalesces: frames are written back-to-back while the queue is
+// non-empty and flushed in one syscall when it drains. Every write cycle
+// runs under a deadline, so a stalled peer costs at most ReadTimeout
+// before the connection dies — and only its own connection.
+func (s *NetServer) writeLoop(wc *wireConn) {
+	defer s.wg.Done()
+	defer close(wc.dead)
+	for {
+		select {
+		case f := <-wc.out:
+			err := wc.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
+			if err == nil {
+				err = proto.WriteFrameID(wc.bw, f.typ, f.id, f.payload)
+			}
+			if err == nil && len(wc.out) == 0 {
+				err = wc.bw.Flush()
+			}
+			if err != nil {
+				if !errors.Is(err, net.ErrClosed) {
+					s.cfg.Logf("netserver: write: %v", err)
+				}
+				wc.Close() // the reader sees the close and winds down
+				return
+			}
+		case <-wc.stop:
+			return
+		}
+	}
 }
 
 // Addr returns the bound TCP address.
@@ -161,34 +318,117 @@ func (s *NetServer) acceptLoop() {
 	}
 }
 
-func (s *NetServer) handle(conn net.Conn) {
+func (s *NetServer) handle(nc net.Conn) {
 	defer s.wg.Done()
+	wc := &wireConn{Conn: nc, version: proto.Version1, bw: bufio.NewWriterSize(nc, 16<<10)}
 	defer func() {
-		conn.Close()
+		if wc.out != nil {
+			close(wc.stop) // retire the writer goroutine
+		}
+		nc.Close()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, nc)
 		s.mu.Unlock()
 	}()
+	// One buffered reader for the connection's whole life: it survives the
+	// version-1 → version-2 framing switch without losing buffered bytes,
+	// and lets one read syscall deliver many pipelined request frames.
+	br := bufio.NewReaderSize(nc, 16<<10)
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			return
 		}
-		typ, payload, err := proto.ReadFrame(conn)
+		if wc.version >= proto.Version2 {
+			typ, id, payload, err := proto.ReadFrameID(br)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+					s.cfg.Logf("netserver: read: %v", err)
+				}
+				return
+			}
+			// Hand the request to the pool; block when it is saturated so
+			// a flooding client feels backpressure instead of growing an
+			// unbounded queue.
+			select {
+			case s.tasks <- task{wc: wc, typ: typ, id: id, payload: payload}:
+			case <-s.closed:
+				proto.PutBuf(payload)
+				return
+			}
+			continue
+		}
+		typ, payload, err := proto.ReadFrame(br)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.cfg.Logf("netserver: read: %v", err)
 			}
 			return
 		}
-		if err := s.dispatch(conn, typ, payload); err != nil {
+		if typ == proto.MsgHello {
+			err := s.negotiate(wc, payload)
+			proto.PutBuf(payload)
+			if err != nil {
+				s.cfg.Logf("netserver: write: %v", err)
+				return
+			}
+			continue
+		}
+		// Version 1 stays strictly serial and in order: old clients send
+		// one request at a time and rely on lock-step responses.
+		respType, resp := s.handleReq(typ, payload)
+		proto.PutBuf(payload)
+		if err := wc.writeV1(respType, resp); err != nil {
 			s.cfg.Logf("netserver: write: %v", err)
 			return
 		}
 	}
 }
 
-// dispatch handles one request frame and writes exactly one response frame.
-func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) error {
+// negotiate answers a MsgHello and switches the connection to the agreed
+// version. The ack itself is always version-1 framed; the new framing
+// applies from the next frame in both directions.
+func (s *NetServer) negotiate(wc *wireConn, payload []byte) error {
+	hello, err := proto.DecodeHello(payload)
+	if err != nil {
+		respType, resp := errResp(proto.CodeBadRequest, err)
+		return wc.writeV1(respType, resp)
+	}
+	version := hello.MaxVersion
+	if version > proto.MaxVersion {
+		version = proto.MaxVersion
+	}
+	if version < proto.Version1 {
+		version = proto.Version1
+	}
+	maxBatch := uint16(s.cfg.MaxBatch)
+	if hello.MaxBatch < maxBatch {
+		maxBatch = hello.MaxBatch
+	}
+	ack := proto.EncodeHelloAck(&proto.HelloAck{Version: version, MaxBatch: maxBatch})
+	if err := wc.writeV1(proto.MsgHelloAck, ack); err != nil {
+		return err
+	}
+	if version >= proto.Version2 && wc.out == nil {
+		wc.out = make(chan outFrame, respQueueLen)
+		wc.stop = make(chan struct{})
+		wc.dead = make(chan struct{})
+		s.wg.Add(1)
+		go s.writeLoop(wc)
+	}
+	wc.version = version
+	return nil
+}
+
+// errResp encodes an error response frame.
+func errResp(code uint16, err error) (proto.MsgType, []byte) {
+	return proto.MsgError, proto.EncodeError(&proto.Error{Code: code, Message: err.Error()})
+}
+
+// handleReq serves one decoded request and returns exactly one response
+// frame (type and payload). It never retains the request payload, so the
+// caller may recycle it afterwards. It is called concurrently by pool
+// workers for pipelined connections.
+func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType, []byte) {
 	switch typ {
 	case proto.MsgLandmarksRequest:
 		resp := &proto.LandmarksResponse{}
@@ -198,63 +438,74 @@ func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) e
 		}
 		b, err := proto.EncodeLandmarksResponse(resp)
 		if err != nil {
-			return s.writeError(conn, proto.CodeInternal, err)
+			return errResp(proto.CodeInternal, err)
 		}
-		return proto.WriteFrame(conn, proto.MsgLandmarksResponse, b)
+		return proto.MsgLandmarksResponse, b
 
 	case proto.MsgJoinRequest:
 		req, err := proto.DecodeJoinRequest(payload)
 		if err != nil {
-			return s.writeError(conn, proto.CodeBadRequest, err)
+			return errResp(proto.CodeBadRequest, err)
 		}
 		if len(req.Path) == 0 {
-			return s.writeError(conn, proto.CodeBadRequest, errors.New("netserver: empty path"))
+			return errResp(proto.CodeBadRequest, errors.New("netserver: empty path"))
 		}
 		if lm := topology.NodeID(req.Path[len(req.Path)-1]); !s.local[lm] {
 			if remote, ok := s.cfg.RemoteLandmarks[lm]; ok {
 				if s.cfg.ForwardJoins {
 					cands, err := s.forwardJoin(remote, req)
 					if err != nil {
-						return s.writeError(conn, proto.CodeInternal, err)
+						return errResp(proto.CodeInternal, err)
 					}
 					b, err := proto.EncodeJoinResponse(&proto.JoinResponse{Neighbors: cands})
 					if err != nil {
-						return s.writeError(conn, proto.CodeInternal, err)
+						return errResp(proto.CodeInternal, err)
 					}
-					return proto.WriteFrame(conn, proto.MsgJoinResponse, b)
+					return proto.MsgJoinResponse, b
 				}
 				b, err := proto.EncodeRedirect(&proto.Redirect{Addr: remote})
 				if err != nil {
-					return s.writeError(conn, proto.CodeInternal, err)
+					return errResp(proto.CodeInternal, err)
 				}
-				return proto.WriteFrame(conn, proto.MsgRedirect, b)
+				return proto.MsgRedirect, b
 			}
 			// Fall through: the backend reports the unknown landmark itself.
 		}
-		return s.serveJoin(conn, req)
+		return s.serveJoin(req)
 
 	case proto.MsgForwardedJoinRequest:
 		req, err := proto.DecodeForwardedJoinRequest(payload)
 		if err != nil {
-			return s.writeError(conn, proto.CodeBadRequest, err)
+			return errResp(proto.CodeBadRequest, err)
 		}
 		if len(req.Path) == 0 {
-			return s.writeError(conn, proto.CodeBadRequest, errors.New("netserver: empty path"))
+			return errResp(proto.CodeBadRequest, errors.New("netserver: empty path"))
 		}
 		// Never relay a forwarded join again: a stale shard map elsewhere
 		// must surface as an error, not bounce between nodes.
 		if lm := topology.NodeID(req.Path[len(req.Path)-1]); !s.local[lm] {
 			if _, ok := s.cfg.RemoteLandmarks[lm]; ok {
-				return s.writeError(conn, proto.CodeWrongShard,
+				return errResp(proto.CodeWrongShard,
 					fmt.Errorf("netserver: forwarded join for landmark %d not owned here", lm))
 			}
 		}
-		return s.serveJoin(conn, req)
+		return s.serveJoin(req)
+
+	case proto.MsgBatchJoinRequest, proto.MsgForwardedBatchJoinRequest:
+		req, err := proto.DecodeBatchJoinRequest(payload)
+		if err != nil {
+			return errResp(proto.CodeBadRequest, err)
+		}
+		if len(req.Joins) > s.cfg.MaxBatch {
+			return errResp(proto.CodeBadRequest,
+				fmt.Errorf("netserver: batch of %d joins exceeds limit %d", len(req.Joins), s.cfg.MaxBatch))
+		}
+		return s.serveBatchJoin(req, typ == proto.MsgForwardedBatchJoinRequest)
 
 	case proto.MsgLookupRequest:
 		req, err := proto.DecodeLookupRequest(payload)
 		if err != nil {
-			return s.writeError(conn, proto.CodeBadRequest, err)
+			return errResp(proto.CodeBadRequest, err)
 		}
 		if owner, ok := s.forwardedOwner(pathtree.PeerID(req.Peer)); ok {
 			cands, err := s.proxyPeerOp(owner, func(fc *client.Client) ([]proto.Candidate, error) {
@@ -262,13 +513,13 @@ func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) e
 			})
 			if err != nil {
 				s.forgetForwarded(pathtree.PeerID(req.Peer), err)
-				return s.writeError(conn, errorCode(err), err)
+				return errResp(errorCode(err), err)
 			}
 			b, err := proto.EncodeLookupResponse(&proto.LookupResponse{Neighbors: cands})
 			if err != nil {
-				return s.writeError(conn, proto.CodeInternal, err)
+				return errResp(proto.CodeInternal, err)
 			}
-			return proto.WriteFrame(conn, proto.MsgLookupResponse, b)
+			return proto.MsgLookupResponse, b
 		}
 		cands, err := s.cfg.Server.Lookup(pathtree.PeerID(req.Peer))
 		if err != nil {
@@ -276,18 +527,18 @@ func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) e
 			if errors.Is(err, server.ErrUnknownPeer) {
 				code = proto.CodeUnknownPeer
 			}
-			return s.writeError(conn, code, err)
+			return errResp(code, err)
 		}
 		b, err := proto.EncodeLookupResponse(&proto.LookupResponse{Neighbors: s.toWire(cands)})
 		if err != nil {
-			return s.writeError(conn, proto.CodeInternal, err)
+			return errResp(proto.CodeInternal, err)
 		}
-		return proto.WriteFrame(conn, proto.MsgLookupResponse, b)
+		return proto.MsgLookupResponse, b
 
 	case proto.MsgLeaveRequest:
 		req, err := proto.DecodeLeaveRequest(payload)
 		if err != nil {
-			return s.writeError(conn, proto.CodeBadRequest, err)
+			return errResp(proto.CodeBadRequest, err)
 		}
 		if owner, ok := s.forwardedOwner(pathtree.PeerID(req.Peer)); ok {
 			_, err := s.proxyPeerOp(owner, func(fc *client.Client) ([]proto.Candidate, error) {
@@ -295,23 +546,23 @@ func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) e
 			})
 			if err != nil {
 				s.forgetForwarded(pathtree.PeerID(req.Peer), err)
-				return s.writeError(conn, errorCode(err), err)
+				return errResp(errorCode(err), err)
 			}
 			s.fwdMu.Lock()
 			delete(s.fwdPeers, pathtree.PeerID(req.Peer))
 			s.fwdMu.Unlock()
-			return proto.WriteFrame(conn, proto.MsgAck, nil)
+			return proto.MsgAck, nil
 		}
 		s.cfg.Server.Leave(pathtree.PeerID(req.Peer))
 		s.mu.Lock()
 		delete(s.addrs, pathtree.PeerID(req.Peer))
 		s.mu.Unlock()
-		return proto.WriteFrame(conn, proto.MsgAck, nil)
+		return proto.MsgAck, nil
 
 	case proto.MsgRefreshRequest:
 		req, err := proto.DecodeRefreshRequest(payload)
 		if err != nil {
-			return s.writeError(conn, proto.CodeBadRequest, err)
+			return errResp(proto.CodeBadRequest, err)
 		}
 		if owner, ok := s.forwardedOwner(pathtree.PeerID(req.Peer)); ok {
 			_, err := s.proxyPeerOp(owner, func(fc *client.Client) ([]proto.Candidate, error) {
@@ -319,24 +570,24 @@ func (s *NetServer) dispatch(conn net.Conn, typ proto.MsgType, payload []byte) e
 			})
 			if err != nil {
 				s.forgetForwarded(pathtree.PeerID(req.Peer), err)
-				return s.writeError(conn, errorCode(err), err)
+				return errResp(errorCode(err), err)
 			}
-			return proto.WriteFrame(conn, proto.MsgAck, nil)
+			return proto.MsgAck, nil
 		}
 		if err := s.cfg.Server.Refresh(pathtree.PeerID(req.Peer)); err != nil {
-			return s.writeError(conn, proto.CodeUnknownPeer, err)
+			return errResp(proto.CodeUnknownPeer, err)
 		}
-		return proto.WriteFrame(conn, proto.MsgAck, nil)
+		return proto.MsgAck, nil
 
 	default:
-		return s.writeError(conn, proto.CodeBadRequest,
+		return errResp(proto.CodeBadRequest,
 			fmt.Errorf("netserver: unknown message type %d", typ))
 	}
 }
 
 // serveJoin applies a (possibly forwarded) join against the local backend
-// and writes the response frame.
-func (s *NetServer) serveJoin(conn net.Conn, req *proto.JoinRequest) error {
+// and returns the response frame.
+func (s *NetServer) serveJoin(req *proto.JoinRequest) (proto.MsgType, []byte) {
 	path := make([]topology.NodeID, len(req.Path))
 	for i, r := range req.Path {
 		path[i] = topology.NodeID(r)
@@ -347,28 +598,123 @@ func (s *NetServer) serveJoin(conn net.Conn, req *proto.JoinRequest) error {
 		if errors.Is(err, server.ErrUnknownLandmark) {
 			code = proto.CodeUnknownLandmark
 		}
-		return s.writeError(conn, code, err)
+		return errResp(code, err)
 	}
+	s.registerLocalJoin(pathtree.PeerID(req.Peer), req.Addr)
+	b, err := proto.EncodeJoinResponse(&proto.JoinResponse{Neighbors: s.toWire(cands)})
+	if err != nil {
+		return errResp(proto.CodeInternal, err)
+	}
+	return proto.MsgJoinResponse, b
+}
+
+// serveBatchJoin splits a batch into locally-owned entries — applied
+// against the backend as one single-lock-acquisition JoinBatch — and
+// remote-landmark entries, which are re-batched per owning node and
+// proxied there in one round trip each (ForwardJoins), or answered
+// CodeWrongShard so the client retries them singly through the
+// redirect-following path. A forwarded batch is never relayed again,
+// exactly like a forwarded singular join: entries for landmarks this
+// node does not own come back CodeWrongShard.
+func (s *NetServer) serveBatchJoin(req *proto.BatchJoinRequest, forwarded bool) (proto.MsgType, []byte) {
+	results := make([]proto.BatchJoinResult, len(req.Joins))
+	items := make([]server.BatchJoin, 0, len(req.Joins))
+	idxs := make([]int, 0, len(req.Joins))
+	remote := make(map[string]*remoteBatch)
+	for i := range req.Joins {
+		j := &req.Joins[i]
+		if len(j.Path) == 0 {
+			results[i] = proto.BatchJoinResult{Code: proto.CodeBadRequest, Message: "netserver: empty path"}
+			continue
+		}
+		if lm := topology.NodeID(j.Path[len(j.Path)-1]); !s.local[lm] {
+			if owner, ok := s.cfg.RemoteLandmarks[lm]; ok {
+				switch {
+				case forwarded:
+					// A stale shard map elsewhere must surface as an
+					// error, not bounce batches between nodes.
+					results[i] = proto.BatchJoinResult{
+						Code:    proto.CodeWrongShard,
+						Message: fmt.Sprintf("netserver: forwarded join for landmark %d not owned here", lm),
+					}
+				case s.cfg.ForwardJoins:
+					g := remote[owner]
+					if g == nil {
+						g = &remoteBatch{}
+						remote[owner] = g
+					}
+					g.idxs = append(g.idxs, i)
+					g.items = append(g.items, client.BatchItem{Peer: j.Peer, Addr: j.Addr, Path: j.Path})
+				default:
+					results[i] = proto.BatchJoinResult{
+						Code:    proto.CodeWrongShard,
+						Message: owner, // the owning node, for clients that want to follow directly
+					}
+				}
+				continue
+			}
+			// Fall through: the backend reports the unknown landmark itself.
+		}
+		path := make([]topology.NodeID, len(j.Path))
+		for k, r := range j.Path {
+			path[k] = topology.NodeID(r)
+		}
+		items = append(items, server.BatchJoin{Peer: pathtree.PeerID(j.Peer), Path: path})
+		idxs = append(idxs, i)
+	}
+	// Per-owner forwards run concurrently (they fill disjoint results
+	// slots): a batch spanning several remote owners costs max(RTT), not
+	// sum(RTT), of worker time.
+	if len(remote) > 0 {
+		var fwg sync.WaitGroup
+		for owner, g := range remote {
+			fwg.Add(1)
+			go func(owner string, g *remoteBatch) {
+				defer fwg.Done()
+				s.forwardJoinBatch(owner, g, results)
+			}(owner, g)
+		}
+		fwg.Wait()
+	}
+	if len(items) > 0 {
+		res := s.cfg.Server.JoinBatch(items)
+		for k := range res {
+			i := idxs[k]
+			if err := res[k].Err; err != nil {
+				code := proto.CodeInternal
+				if errors.Is(err, server.ErrUnknownLandmark) {
+					code = proto.CodeUnknownLandmark
+				}
+				results[i] = proto.BatchJoinResult{Code: code, Message: err.Error()}
+				continue
+			}
+			s.registerLocalJoin(pathtree.PeerID(req.Joins[i].Peer), req.Joins[i].Addr)
+			results[i] = proto.BatchJoinResult{Neighbors: s.toWire(res[k].Neighbors)}
+		}
+	}
+	b, err := proto.EncodeBatchJoinResponse(&proto.BatchJoinResponse{Results: results})
+	if err != nil {
+		return errResp(proto.CodeInternal, err)
+	}
+	return proto.MsgBatchJoinResponse, b
+}
+
+// registerLocalJoin records a locally joined peer's overlay address and
+// retires any stale proxied registration at another node: the peer lives
+// here now, and the old owner must not keep capturing its follow-ups.
+func (s *NetServer) registerLocalJoin(p pathtree.PeerID, overlayAddr string) {
 	s.mu.Lock()
-	s.addrs[pathtree.PeerID(req.Peer)] = req.Addr
+	s.addrs[p] = overlayAddr
 	s.mu.Unlock()
-	// The peer is registered locally now; a previous join may have been
-	// proxied to another node, whose stale registration must not keep
-	// capturing this peer's follow-up requests.
 	s.fwdMu.Lock()
-	stale, wasForwarded := s.fwdPeers[pathtree.PeerID(req.Peer)]
-	delete(s.fwdPeers, pathtree.PeerID(req.Peer))
+	stale, wasForwarded := s.fwdPeers[p]
+	delete(s.fwdPeers, p)
 	s.fwdMu.Unlock()
 	if wasForwarded {
 		_, _ = s.proxyPeerOp(stale, func(fc *client.Client) ([]proto.Candidate, error) {
-			return nil, fc.Leave(req.Peer)
+			return nil, fc.Leave(int64(p))
 		})
 	}
-	b, err := proto.EncodeJoinResponse(&proto.JoinResponse{Neighbors: s.toWire(cands)})
-	if err != nil {
-		return s.writeError(conn, proto.CodeInternal, err)
-	}
-	return proto.WriteFrame(conn, proto.MsgJoinResponse, b)
 }
 
 // forwardJoin proxies a join to the cluster node owning its landmark over a
@@ -381,20 +727,69 @@ func (s *NetServer) forwardJoin(addr string, req *proto.JoinRequest) ([]proto.Ca
 	if err != nil {
 		return nil, err
 	}
+	s.recordForwarded(pathtree.PeerID(req.Peer), addr)
+	return cands, nil
+}
+
+// remoteBatch collects the batch-join entries owned by one remote node
+// and their positions in the original request.
+type remoteBatch struct {
+	idxs  []int
+	items []client.BatchItem
+}
+
+// forwardJoinBatch proxies a same-owner group of batch entries to the
+// owning node in one round trip (sequential singular forwards would cost
+// one node-to-node RTT per entry and monopolize a pool worker), filling
+// the group's slots in results. A dead cached connection is dropped and
+// redialed once, mirroring proxyPeerOp.
+func (s *NetServer) forwardJoinBatch(addr string, g *remoteBatch, results []proto.BatchJoinResult) {
+	var res []client.BatchResult
+	for attempt := 0; ; attempt++ {
+		fc, err := s.forwardClient(addr)
+		if err == nil {
+			res, err = fc.ForwardJoinBatch(g.items)
+			if err == nil {
+				break
+			}
+			var werr *proto.Error
+			if !errors.As(err, &werr) && attempt == 0 {
+				s.dropForwardClient(addr, fc)
+				continue
+			}
+		}
+		for _, i := range g.idxs {
+			results[i] = proto.BatchJoinResult{Code: errorCode(err), Message: err.Error()}
+		}
+		return
+	}
+	for k := range res {
+		i := g.idxs[k]
+		if err := res[k].Err; err != nil {
+			results[i] = proto.BatchJoinResult{Code: errorCode(err), Message: err.Error()}
+			continue
+		}
+		results[i] = proto.BatchJoinResult{Neighbors: res[k].Neighbors}
+		s.recordForwarded(pathtree.PeerID(g.items[k].Peer), addr)
+	}
+}
+
+// recordForwarded remembers which node now holds a proxied peer's
+// registration and retires any local record the peer may have had from an
+// earlier join (mobility across landmarks), so it stops appearing in
+// answers.
+func (s *NetServer) recordForwarded(p pathtree.PeerID, addr string) {
 	s.fwdMu.Lock()
 	if s.fwdPeers == nil {
 		s.fwdPeers = make(map[pathtree.PeerID]string)
 	}
-	s.fwdPeers[pathtree.PeerID(req.Peer)] = addr
+	s.fwdPeers[p] = addr
 	s.fwdMu.Unlock()
-	// A previous join may have registered the peer locally (mobility across
-	// landmarks); retire that record so it stops appearing in answers.
-	if s.cfg.Server.Leave(pathtree.PeerID(req.Peer)) {
+	if s.cfg.Server.Leave(p) {
 		s.mu.Lock()
-		delete(s.addrs, pathtree.PeerID(req.Peer))
+		delete(s.addrs, p)
 		s.mu.Unlock()
 	}
-	return cands, nil
 }
 
 // forwardedOwner reports the node address a peer's join was proxied to, if
@@ -511,11 +906,6 @@ func (s *NetServer) toWire(cands []pathtree.Candidate) []proto.Candidate {
 		}
 	}
 	return out
-}
-
-func (s *NetServer) writeError(conn net.Conn, code uint16, err error) error {
-	return proto.WriteFrame(conn, proto.MsgError,
-		proto.EncodeError(&proto.Error{Code: code, Message: err.Error()}))
 }
 
 // LandmarkResponder answers UDP probe datagrams, letting peers measure RTT

@@ -496,3 +496,381 @@ func TestListenRejectsNilServer(t *testing.T) {
 		t.Fatal("accepted nil server")
 	}
 }
+
+func TestHelloNegotiation(t *testing.T) {
+	ns, _ := startServer(t)
+	c := dial(t, ns)
+	if c.Version() != proto.Version2 {
+		t.Fatalf("version=%d want %d", c.Version(), proto.Version2)
+	}
+	if c.ServerMaxBatch() != proto.MaxBatch {
+		t.Fatalf("server max batch=%d want %d", c.ServerMaxBatch(), proto.MaxBatch)
+	}
+}
+
+// TestConcurrentPipelinedOneConnection drives 32 goroutines of mixed
+// Join/Lookup traffic through ONE client over ONE TCP connection: the
+// pipelining safety property the lock-step client could not offer.
+func TestConcurrentPipelinedOneConnection(t *testing.T) {
+	ns, _ := startServer(t)
+	c := dial(t, ns)
+	if c.Version() != proto.Version2 {
+		t.Fatalf("pipelining not negotiated (version %d)", c.Version())
+	}
+	const workers = 32
+	const opsPer = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				p := int64(w*1000 + i)
+				path := []int32{int32(1000 + p), int32(1 + i%10), 0}
+				got, err := c.Join(p, "127.0.0.1:1", path)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, cand := range got {
+					if cand.Peer == p {
+						errs <- errors.New("peer returned as its own neighbour")
+						return
+					}
+				}
+				if _, err := c.Lookup(p); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Refresh(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestOldProtocolClientCompat checks both back-compat directions against a
+// new server: a client that never negotiates (DisablePipelining), and a
+// raw hand-rolled version-1 frame conversation.
+func TestOldProtocolClientCompat(t *testing.T) {
+	ns, _ := startServer(t)
+	c, err := client.DialConfig(ns.Addr(), client.Config{Timeout: 5 * time.Second, DisablePipelining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != proto.Version1 {
+		t.Fatalf("version=%d want %d", c.Version(), proto.Version1)
+	}
+	if _, err := c.Join(1, "127.0.0.1:9001", []int32{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw wire conversation, exactly as a pre-hello binary would speak.
+	conn, err := net.Dial("tcp", ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload, err := proto.EncodeJoinRequest(&proto.JoinRequest{Peer: 2, Addr: "127.0.0.1:9002", Path: []int32{11, 10, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.WriteFrame(conn, proto.MsgJoinRequest, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, resp, err := proto.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != proto.MsgJoinResponse {
+		t.Fatalf("raw v1 join answered with type %d", typ)
+	}
+	jr, err := proto.DecodeJoinResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Neighbors) != 1 || jr.Neighbors[0].Peer != 1 {
+		t.Fatalf("raw v1 join neighbours=%+v", jr.Neighbors)
+	}
+}
+
+func TestBatchJoinOverTCP(t *testing.T) {
+	ns, _ := startServer(t)
+	c := dial(t, ns)
+	items := []client.BatchItem{
+		{Peer: 1, Addr: "127.0.0.1:9001", Path: []int32{10, 5, 0}},
+		{Peer: 2, Addr: "127.0.0.1:9002", Path: []int32{11, 5, 0}},
+		{Peer: 3, Addr: "127.0.0.1:9003", Path: []int32{12, 99}}, // unknown landmark
+		{Peer: 4, Addr: "127.0.0.1:9004", Path: []int32{10, 5, 0}},
+	}
+	res, err := c.JoinBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(items) {
+		t.Fatalf("results=%d", len(res))
+	}
+	if res[0].Err != nil || res[1].Err != nil || res[3].Err != nil {
+		t.Fatalf("good entries failed: %v %v %v", res[0].Err, res[1].Err, res[3].Err)
+	}
+	var werr *proto.Error
+	if !errors.As(res[2].Err, &werr) || werr.Code != proto.CodeUnknownLandmark {
+		t.Fatalf("entry 2 err=%v", res[2].Err)
+	}
+	// Within-batch ordering: entry 1 must see entry 0 as a neighbour with
+	// its overlay address, and entry 3 both earlier ones.
+	if len(res[1].Neighbors) != 1 || res[1].Neighbors[0].Peer != 1 || res[1].Neighbors[0].Addr != "127.0.0.1:9001" {
+		t.Fatalf("entry 1 neighbours=%+v", res[1].Neighbors)
+	}
+	if len(res[3].Neighbors) != 2 {
+		t.Fatalf("entry 3 neighbours=%+v", res[3].Neighbors)
+	}
+	// Batched peers are fully registered: follow-ups work.
+	if _, err := c.Lookup(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchJoinSpillsOverServerLimit sends more joins than one frame may
+// carry and checks the client chunks transparently.
+func TestBatchJoinSpillsOverServerLimit(t *testing.T) {
+	ns, _ := startServer(t)
+	c := dial(t, ns)
+	n := proto.MaxBatch + 5
+	items := make([]client.BatchItem, n)
+	for i := range items {
+		items[i] = client.BatchItem{
+			Peer: int64(i + 1),
+			Addr: "127.0.0.1:1",
+			Path: []int32{int32(100 + i), 5, 0},
+		}
+	}
+	res, err := c.JoinBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("entry %d: %v", i, r.Err)
+		}
+	}
+	if _, err := c.Lookup(int64(n)); err != nil {
+		t.Fatalf("last batched peer not registered: %v", err)
+	}
+}
+
+// TestBatchJoinFallsBackOnV1 degrades JoinBatch to singular joins against
+// a server that never negotiated (simulated by a non-negotiating client,
+// which yields the same version-1 session).
+func TestBatchJoinFallsBackOnV1(t *testing.T) {
+	ns, _ := startServer(t)
+	c, err := client.DialConfig(ns.Addr(), client.Config{Timeout: 5 * time.Second, DisablePipelining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.JoinBatch([]client.BatchItem{
+		{Peer: 1, Addr: "a", Path: []int32{10, 0}},
+		{Peer: 2, Addr: "b", Path: []int32{11, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatalf("fallback joins failed: %v %v", res[0].Err, res[1].Err)
+	}
+	if len(res[1].Neighbors) != 1 || res[1].Neighbors[0].Peer != 1 {
+		t.Fatalf("fallback neighbours=%+v", res[1].Neighbors)
+	}
+}
+
+// TestBatchJoinAcrossNodes covers the two cluster modes: entries for a
+// remote landmark are retried individually through the redirect (redirect
+// mode) or proxied node-to-node inside the batch (forward mode).
+func TestBatchJoinAcrossNodes(t *testing.T) {
+	for _, forward := range []bool{false, true} {
+		name := "redirect"
+		if forward {
+			name = "forward"
+		}
+		t.Run(name, func(t *testing.T) {
+			node2, logic2 := startNode(t, []topology.NodeID{100}, nil, false)
+			node1, logic1 := startNode(t, []topology.NodeID{0},
+				map[topology.NodeID]string{100: node2.Addr()}, forward)
+			c := dial(t, node1)
+			res, err := c.JoinBatch([]client.BatchItem{
+				{Peer: 1, Addr: "127.0.0.1:9001", Path: []int32{10, 0}},
+				{Peer: 2, Addr: "127.0.0.1:9002", Path: []int32{20, 100}},
+				{Peer: 3, Addr: "127.0.0.1:9003", Path: []int32{21, 20, 100}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range res {
+				if r.Err != nil {
+					t.Fatalf("entry %d: %v", i, r.Err)
+				}
+			}
+			if logic1.NumPeers() != 1 || logic2.NumPeers() != 2 {
+				t.Fatalf("node1 peers=%d node2 peers=%d", logic1.NumPeers(), logic2.NumPeers())
+			}
+			// Peer 3 joined after peer 2 under landmark 100 and must see it.
+			found := false
+			for _, cand := range res[2].Neighbors {
+				if cand.Peer == 2 && cand.Addr == "127.0.0.1:9002" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("entry 3 neighbours=%+v", res[2].Neighbors)
+			}
+			// Follow-ups for the remote peer route to its holder.
+			if _, err := c.Lookup(2); err != nil {
+				t.Fatalf("lookup of remote batched peer: %v", err)
+			}
+		})
+	}
+}
+
+// TestSlowConsumerDoesNotWedgePool opens a pipelined connection that
+// floods requests without ever reading responses. The server must drop
+// THAT connection once its response queue fills — and must keep serving
+// other clients normally the whole time, proving one stalled reader
+// cannot wedge the shared worker pool.
+func TestSlowConsumerDoesNotWedgePool(t *testing.T) {
+	ns, _ := startServer(t)
+
+	// Hand-rolled v2 session that never reads after the hello ack.
+	conn, err := net.Dial("tcp", ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := proto.WriteFrame(conn, proto.MsgHello,
+		proto.EncodeHello(&proto.Hello{MaxVersion: proto.MaxVersion, MaxBatch: proto.MaxBatch})); err != nil {
+		t.Fatal(err)
+	}
+	typ, ack, err := proto.ReadFrame(conn)
+	if err != nil || typ != proto.MsgHelloAck {
+		t.Fatalf("hello ack: typ=%d err=%v", typ, err)
+	}
+	_ = ack
+	// Flood landmark requests and never read a single response. Once the
+	// kernel buffers and the 256-frame response queue fill, the server
+	// must drop the connection, which surfaces here as a write error.
+	conn.SetWriteDeadline(time.Now().Add(20 * time.Second))
+	dropped := false
+	for i := 0; i < 500_000; i++ {
+		if err := proto.WriteFrameID(conn, proto.MsgLandmarksRequest, uint64(i+1), nil); err != nil {
+			dropped = true
+			break
+		}
+	}
+	if !dropped {
+		t.Fatal("server never dropped the non-reading connection")
+	}
+
+	// A healthy client on the same server must be unaffected.
+	c := dial(t, ns)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Join(1, "127.0.0.1:9001", []int32{10, 0})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("healthy client failed alongside slow consumer: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy client blocked: pool wedged by slow consumer")
+	}
+}
+
+// TestForwardedBatchJoinNeverRelays is the batch counterpart of
+// TestForwardedJoinNeverRelays: a forwarded batch entry whose landmark is
+// not owned here must come back CodeWrongShard even when this node's
+// (stale) map names another owner — never be relayed onward.
+func TestForwardedBatchJoinNeverRelays(t *testing.T) {
+	node2, _ := startNode(t, []topology.NodeID{0},
+		map[topology.NodeID]string{100: "127.0.0.1:1"}, true)
+	c := dial(t, node2)
+	res, err := c.ForwardJoinBatch([]client.BatchItem{
+		{Peer: 1, Addr: "a", Path: []int32{10, 0}},   // local: served
+		{Peer: 2, Addr: "b", Path: []int32{20, 100}}, // stale-remote: rejected
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatalf("local entry failed: %v", res[0].Err)
+	}
+	var werr *proto.Error
+	if !errors.As(res[1].Err, &werr) || werr.Code != proto.CodeWrongShard {
+		t.Fatalf("entry 1 err=%v", res[1].Err)
+	}
+}
+
+// TestBatchLimitDeratedByNeighborCount pins the frame-budget math: a
+// server configured with a large answer size must advertise a batch limit
+// small enough that a full batch response always fits one frame — and
+// client batches above it must chunk transparently and succeed.
+func TestBatchLimitDeratedByNeighborCount(t *testing.T) {
+	logic, err := server.New(server.Config{Landmarks: []topology.NodeID{0}, NeighborCount: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := Listen(Config{Addr: "127.0.0.1:0", Server: logic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ns.Close() })
+	c := dial(t, ns)
+	adv := c.ServerMaxBatch()
+	if adv < 1 || adv >= proto.MaxBatch {
+		t.Fatalf("advertised batch=%d, want derated below %d", adv, proto.MaxBatch)
+	}
+	// Worst-case response for the advertised batch must fit a frame.
+	perCand := 8 + 4 + 2 + proto.MaxAddrLen
+	if worst := adv * (6 + 64*perCand); worst+16 > proto.MaxFrameSize {
+		t.Fatalf("advertised batch %d can still overflow: %d bytes", adv, worst)
+	}
+	// A populated server answering full 64-candidate lists per entry must
+	// serve a 32-item client batch without frame overflow errors.
+	items := make([]client.BatchItem, 100)
+	for i := range items {
+		items[i] = client.BatchItem{
+			Peer: int64(i + 1),
+			Addr: strings.Repeat("a", proto.MaxAddrLen), // worst-case addresses
+			Path: []int32{int32(1000 + i), int32(1 + i%7), 0},
+		}
+	}
+	res, err := c.JoinBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("entry %d: %v", i, r.Err)
+		}
+	}
+	// Later entries receive full 64-candidate answers; none may error.
+	if n := len(res[99].Neighbors); n != 64 {
+		t.Fatalf("last entry got %d neighbours, want 64", n)
+	}
+}

@@ -7,6 +7,22 @@
 // without reflection, and the decoder validates every length against hard
 // caps so a malicious peer cannot make the server allocate unbounded memory
 // (the DecodingLayerParser mindset: bounded, allocation-light decoding).
+//
+// # Protocol versions
+//
+// Version 1 is strict lock-step: a connection carries one outstanding
+// request at a time and the peer answers in order. Version 2 inserts an
+// 8-byte request ID between the type byte and the payload of every frame
+// (WriteFrameID/ReadFrameID), letting a client pipeline many requests over
+// one connection and match responses by ID regardless of completion order.
+//
+// A connection starts in version 1. A client that wants version 2 sends
+// MsgHello as its first request; a server that understands it answers
+// MsgHelloAck and both sides switch to ID framing for every subsequent
+// frame. A version-1 server instead answers MsgError (unknown message
+// type), which the client takes as "stay on version 1" — so new clients
+// interoperate with old servers and old clients (which never send hello)
+// interoperate with new servers.
 package proto
 
 import (
@@ -14,6 +30,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+)
+
+// Protocol versions negotiated via MsgHello.
+const (
+	// Version1 is the original lock-step protocol: unadorned frames, one
+	// outstanding request per connection, responses in request order.
+	Version1 uint16 = 1
+	// Version2 adds an 8-byte request ID to every frame after hello
+	// negotiation, enabling pipelining, out-of-order responses, and the
+	// batched join messages.
+	Version2 uint16 = 2
+	// MaxVersion is the highest version this build speaks.
+	MaxVersion = Version2
 )
 
 // MsgType identifies a frame's payload.
@@ -49,6 +79,22 @@ const (
 	// distinct type lets the receiving node answer locally and never relay
 	// again, preventing forwarding loops.
 	MsgForwardedJoinRequest
+	// MsgHello opens protocol-version negotiation: the client's highest
+	// supported version and batch limit. It is always sent version-1 framed.
+	MsgHello
+	// MsgHelloAck accepts negotiation with the chosen version and the
+	// server's batch limit. Frames after it use the negotiated framing.
+	MsgHelloAck
+	// MsgBatchJoinRequest carries up to MaxBatch joins in one frame (the
+	// flash-crowd path: many newcomers behind one NAT or agent).
+	MsgBatchJoinRequest
+	// MsgBatchJoinResponse answers a batch join entry-by-entry, in order.
+	MsgBatchJoinResponse
+	// MsgForwardedBatchJoinRequest is a batch join relayed between cluster
+	// nodes. Same payload as MsgBatchJoinRequest; like its singular
+	// counterpart, the receiving node answers locally and never relays
+	// again, so stale shard maps cannot bounce batches between nodes.
+	MsgForwardedBatchJoinRequest
 )
 
 // Limits protect the decoder. They are generous relative to real usage
@@ -64,6 +110,17 @@ const (
 	MaxAddrLen = 256
 	// MaxLandmarks bounds the landmark list.
 	MaxLandmarks = 1024
+	// MaxBatch bounds the joins carried by one MsgBatchJoinRequest. Chosen
+	// so a batch of realistic joins (paths well under 64 hops) and its
+	// response (a handful of candidates per entry) both fit MaxFrameSize;
+	// encoders still enforce the frame cap for adversarial inputs.
+	MaxBatch = 32
+	// MaxPipelineDepth bounds a version-2 connection's outstanding
+	// requests. Clients cap their in-flight window here; servers size
+	// their per-connection response queues to exactly this, so a
+	// compliant client can never overflow one (overflowing marks the
+	// connection a non-reading flooder, which servers drop).
+	MaxPipelineDepth = 256
 )
 
 // Protocol errors.
@@ -146,27 +203,85 @@ type LandmarksResponse struct {
 	Addrs   []string
 }
 
-// WriteFrame writes one frame (type + payload) to w.
+// bufPool recycles frame-assembly and payload buffers across the encode
+// and read hot paths. Buffers are bounded by MaxFrameSize plus the largest
+// header, so the pool cannot retain pathological allocations.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// GetBuf returns a buffer of length n from the frame buffer pool.
+func GetBuf(n int) []byte {
+	p := bufPool.Get().(*[]byte)
+	b := *p
+	if cap(b) < n {
+		bufPool.Put(p)
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// PutBuf returns a buffer obtained from GetBuf, ReadFrame, or ReadFrameID
+// to the pool. Callers must not retain any reference into it afterwards;
+// the decoded messages never alias their payload, so recycling after
+// decode is safe.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > MaxFrameSize+frameIDHeaderSize {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+const (
+	frameHeaderSize   = 5  // length + type
+	frameIDHeaderSize = 13 // length + type + request ID
+)
+
+// WriteFrame writes one version-1 frame (type + payload) to w as a single
+// Write call, assembling the frame in a pooled buffer.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload)+1 > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = byte(t)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("proto: write header: %w", err)
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return fmt.Errorf("proto: write payload: %w", err)
-		}
+	frame := GetBuf(frameHeaderSize + len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)+1))
+	frame[4] = byte(t)
+	copy(frame[frameHeaderSize:], payload)
+	_, err := w.Write(frame)
+	PutBuf(frame)
+	if err != nil {
+		return fmt.Errorf("proto: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one frame from r. The returned payload is freshly
-// allocated and owned by the caller.
+// WriteFrameID writes one version-2 frame (type + request ID + payload) to
+// w as a single Write call. The declared length covers the type byte, the
+// 8-byte ID, and the payload.
+func WriteFrameID(w io.Writer, t MsgType, id uint64, payload []byte) error {
+	if len(payload)+9 > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	frame := GetBuf(frameIDHeaderSize + len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)+9))
+	frame[4] = byte(t)
+	binary.BigEndian.PutUint64(frame[5:13], id)
+	copy(frame[frameIDHeaderSize:], payload)
+	_, err := w.Write(frame)
+	PutBuf(frame)
+	if err != nil {
+		return fmt.Errorf("proto: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one version-1 frame from r. The returned payload comes
+// from the frame buffer pool and is owned by the caller, who may recycle
+// it with PutBuf once fully decoded.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -177,11 +292,37 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 		return 0, nil, ErrFrameTooLarge
 	}
 	t := MsgType(hdr[4])
-	payload := make([]byte, size-1)
+	payload := GetBuf(int(size - 1))
 	if _, err := io.ReadFull(r, payload); err != nil {
+		PutBuf(payload)
 		return 0, nil, fmt.Errorf("proto: read payload: %w", err)
 	}
 	return t, payload, nil
+}
+
+// ReadFrameID reads one version-2 frame from r. The returned payload comes
+// from the frame buffer pool and is owned by the caller, who may recycle
+// it with PutBuf once fully decoded.
+func ReadFrameID(r io.Reader) (MsgType, uint64, []byte, error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:5]); err != nil {
+		return 0, 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size < 9 || size > MaxFrameSize {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	t := MsgType(hdr[4])
+	if _, err := io.ReadFull(r, hdr[5:13]); err != nil {
+		return 0, 0, nil, fmt.Errorf("proto: read request id: %w", err)
+	}
+	id := binary.BigEndian.Uint64(hdr[5:13])
+	payload := GetBuf(int(size - 9))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		PutBuf(payload)
+		return 0, 0, nil, fmt.Errorf("proto: read payload: %w", err)
+	}
+	return t, id, payload, nil
 }
 
 // --- encoding primitives ---
@@ -546,6 +687,251 @@ func EncodeForwardedJoinRequest(m *JoinRequest) ([]byte, error) { return EncodeJ
 
 // DecodeForwardedJoinRequest decodes a forwarded join.
 func DecodeForwardedJoinRequest(b []byte) (*JoinRequest, error) { return DecodeJoinRequest(b) }
+
+// Hello opens version negotiation (always version-1 framed).
+type Hello struct {
+	// MaxVersion is the highest protocol version the client speaks.
+	MaxVersion uint16
+	// MaxBatch is the largest batch join the client will send.
+	MaxBatch uint16
+}
+
+// HelloAck accepts negotiation.
+type HelloAck struct {
+	// Version is the version both sides use from the next frame on: the
+	// minimum of the two MaxVersions.
+	Version uint16
+	// MaxBatch is the largest batch join the server accepts (0 = none).
+	MaxBatch uint16
+}
+
+// EncodeHello encodes a Hello payload.
+func EncodeHello(m *Hello) []byte {
+	enc := encoder{buf: make([]byte, 0, 4)}
+	enc.u16(m.MaxVersion)
+	enc.u16(m.MaxBatch)
+	return enc.buf
+}
+
+// DecodeHello decodes a Hello payload. Trailing bytes are tolerated so
+// future versions can extend the handshake without breaking old servers.
+func DecodeHello(b []byte) (*Hello, error) {
+	d := decoder{buf: b}
+	m := &Hello{}
+	var err error
+	if m.MaxVersion, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if m.MaxBatch, err = d.u16(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EncodeHelloAck encodes a HelloAck payload.
+func EncodeHelloAck(m *HelloAck) []byte {
+	enc := encoder{buf: make([]byte, 0, 4)}
+	enc.u16(m.Version)
+	enc.u16(m.MaxBatch)
+	return enc.buf
+}
+
+// DecodeHelloAck decodes a HelloAck payload, tolerating trailing bytes
+// like DecodeHello.
+func DecodeHelloAck(b []byte) (*HelloAck, error) {
+	d := decoder{buf: b}
+	m := &HelloAck{}
+	var err error
+	if m.Version, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if m.MaxBatch, err = d.u16(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BatchJoinRequest carries up to MaxBatch joins in one frame.
+type BatchJoinRequest struct {
+	Joins []JoinRequest
+}
+
+// BatchJoinResult answers one entry of a batch join: either a neighbour
+// list (Code 0) or a wire error code with detail.
+type BatchJoinResult struct {
+	// Code is 0 on success, else one of the Code* error classes.
+	Code uint16
+	// Message carries the error detail when Code is non-zero.
+	Message string
+	// Neighbors is the closest-peer answer when Code is 0.
+	Neighbors []Candidate
+}
+
+// BatchJoinResponse answers a BatchJoinRequest entry-by-entry, in request
+// order.
+type BatchJoinResponse struct {
+	Results []BatchJoinResult
+}
+
+// EncodeBatchJoinRequest encodes a BatchJoinRequest payload.
+func EncodeBatchJoinRequest(m *BatchJoinRequest) ([]byte, error) {
+	if len(m.Joins) == 0 || len(m.Joins) > MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d joins", ErrLimit, len(m.Joins))
+	}
+	enc := encoder{buf: make([]byte, 0, 64*len(m.Joins))}
+	enc.u16(uint16(len(m.Joins)))
+	for i := range m.Joins {
+		j := &m.Joins[i]
+		if len(j.Path) > MaxPathLen {
+			return nil, fmt.Errorf("%w: path length %d", ErrLimit, len(j.Path))
+		}
+		enc.i64(j.Peer)
+		if err := enc.str(j.Addr); err != nil {
+			return nil, err
+		}
+		enc.u16(uint16(len(j.Path)))
+		for _, r := range j.Path {
+			enc.i32(r)
+		}
+	}
+	if len(enc.buf)+9 > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	return enc.buf, nil
+}
+
+// DecodeBatchJoinRequest decodes a BatchJoinRequest payload.
+func DecodeBatchJoinRequest(b []byte) (*BatchJoinRequest, error) {
+	d := decoder{buf: b}
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || int(n) > MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d joins", ErrLimit, n)
+	}
+	m := &BatchJoinRequest{Joins: make([]JoinRequest, n)}
+	for i := range m.Joins {
+		j := &m.Joins[i]
+		if j.Peer, err = d.i64(); err != nil {
+			return nil, err
+		}
+		if j.Addr, err = d.str(); err != nil {
+			return nil, err
+		}
+		hops, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(hops) > MaxPathLen {
+			return nil, fmt.Errorf("%w: path length %d", ErrLimit, hops)
+		}
+		j.Path = make([]int32, hops)
+		for k := range j.Path {
+			if j.Path[k], err = d.i32(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EncodeForwardedBatchJoinRequest encodes a node-to-node forwarded batch
+// join. The payload is identical to a BatchJoinRequest; only the frame
+// type differs.
+func EncodeForwardedBatchJoinRequest(m *BatchJoinRequest) ([]byte, error) {
+	return EncodeBatchJoinRequest(m)
+}
+
+// DecodeForwardedBatchJoinRequest decodes a forwarded batch join.
+func DecodeForwardedBatchJoinRequest(b []byte) (*BatchJoinRequest, error) {
+	return DecodeBatchJoinRequest(b)
+}
+
+// EncodeBatchJoinResponse encodes a BatchJoinResponse payload.
+func EncodeBatchJoinResponse(m *BatchJoinResponse) ([]byte, error) {
+	if len(m.Results) == 0 || len(m.Results) > MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d results", ErrLimit, len(m.Results))
+	}
+	enc := encoder{buf: make([]byte, 0, 64*len(m.Results))}
+	enc.u16(uint16(len(m.Results)))
+	for i := range m.Results {
+		r := &m.Results[i]
+		enc.u16(r.Code)
+		msg := r.Message
+		if len(msg) > MaxAddrLen {
+			msg = msg[:MaxAddrLen]
+		}
+		if err := enc.str(msg); err != nil {
+			return nil, err
+		}
+		if len(r.Neighbors) > MaxNeighbors {
+			return nil, fmt.Errorf("%w: %d neighbours", ErrLimit, len(r.Neighbors))
+		}
+		enc.u16(uint16(len(r.Neighbors)))
+		for _, c := range r.Neighbors {
+			enc.i64(c.Peer)
+			enc.i32(c.DTree)
+			if err := enc.str(c.Addr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(enc.buf)+9 > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	return enc.buf, nil
+}
+
+// DecodeBatchJoinResponse decodes a BatchJoinResponse payload.
+func DecodeBatchJoinResponse(b []byte) (*BatchJoinResponse, error) {
+	d := decoder{buf: b}
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || int(n) > MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d results", ErrLimit, n)
+	}
+	m := &BatchJoinResponse{Results: make([]BatchJoinResult, n)}
+	for i := range m.Results {
+		r := &m.Results[i]
+		if r.Code, err = d.u16(); err != nil {
+			return nil, err
+		}
+		if r.Message, err = d.str(); err != nil {
+			return nil, err
+		}
+		cands, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(cands) > MaxNeighbors {
+			return nil, fmt.Errorf("%w: %d neighbours", ErrLimit, cands)
+		}
+		if cands > 0 {
+			r.Neighbors = make([]Candidate, cands)
+			for k := range r.Neighbors {
+				if r.Neighbors[k].Peer, err = d.i64(); err != nil {
+					return nil, err
+				}
+				if r.Neighbors[k].DTree, err = d.i32(); err != nil {
+					return nil, err
+				}
+				if r.Neighbors[k].Addr, err = d.str(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
 
 // ProbePacket is the 12-byte UDP landmark probe: a magic tag plus a nonce
 // echoed back verbatim. RTT = receive time − send time.

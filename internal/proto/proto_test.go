@@ -417,3 +417,231 @@ func TestDecodeRedirectGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- version-2 framing ---
+
+func TestFrameIDRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{9, 8, 7}
+	if err := WriteFrameID(&buf, MsgJoinResponse, 0xdeadbeefcafe, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, id, got, err := ReadFrameID(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgJoinResponse || id != 0xdeadbeefcafe || !bytes.Equal(got, payload) {
+		t.Fatalf("typ=%v id=%x payload=%v", typ, id, got)
+	}
+}
+
+func TestFrameIDEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameID(&buf, MsgAck, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, id, got, err := ReadFrameID(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgAck || id != 7 || len(got) != 0 {
+		t.Fatalf("typ=%v id=%d payload=%v", typ, id, got)
+	}
+}
+
+func TestFrameIDSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameID(&buf, MsgAck, 1, make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err=%v", err)
+	}
+	// A declared length below the 9-byte minimum must be rejected.
+	raw := []byte{0, 0, 0, 5, byte(MsgAck), 0, 0, 0, 0}
+	if _, _, _, err := ReadFrameID(bytes.NewReader(raw)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestFrameIDTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameID(&buf, MsgJoinRequest, 42, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, _, _, err := ReadFrameID(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestBufPoolReuse(t *testing.T) {
+	b := GetBuf(100)
+	if len(b) != 100 {
+		t.Fatalf("len=%d", len(b))
+	}
+	PutBuf(b)
+	// Oversized buffers must not enter the pool.
+	PutBuf(make([]byte, MaxFrameSize+frameIDHeaderSize+1))
+	c := GetBuf(8)
+	if len(c) != 8 {
+		t.Fatalf("len=%d", len(c))
+	}
+	PutBuf(c)
+}
+
+// --- hello negotiation ---
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := &Hello{MaxVersion: MaxVersion, MaxBatch: MaxBatch}
+	got, err := DecodeHello(EncodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *h {
+		t.Fatalf("got=%+v want=%+v", got, h)
+	}
+	a := &HelloAck{Version: Version2, MaxBatch: 16}
+	gotA, err := DecodeHelloAck(EncodeHelloAck(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotA != *a {
+		t.Fatalf("got=%+v want=%+v", gotA, a)
+	}
+}
+
+func TestHelloToleratesTrailingBytes(t *testing.T) {
+	// A future client may extend the handshake; old decoders must not choke.
+	b := append(EncodeHello(&Hello{MaxVersion: 3, MaxBatch: 64}), 0xff, 0xee)
+	h, err := DecodeHello(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxVersion != 3 || h.MaxBatch != 64 {
+		t.Fatalf("hello=%+v", h)
+	}
+	if _, err := DecodeHello([]byte{1}); err == nil {
+		t.Fatal("truncated hello accepted")
+	}
+	if _, err := DecodeHelloAck([]byte{0, 2, 0}); err == nil {
+		t.Fatal("truncated hello-ack accepted")
+	}
+}
+
+// --- batch joins ---
+
+func batchFixture() *BatchJoinRequest {
+	return &BatchJoinRequest{Joins: []JoinRequest{
+		{Peer: 1, Addr: "10.0.0.1:9000", Path: []int32{5, 4, 0}},
+		{Peer: 2, Addr: "10.0.0.2:9000", Path: []int32{7, 4, 0}},
+		{Peer: 3, Addr: "", Path: []int32{0}},
+	}}
+}
+
+func TestBatchJoinRequestRoundTrip(t *testing.T) {
+	m := batchFixture()
+	b, err := EncodeBatchJoinRequest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatchJoinRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Joins) != len(m.Joins) {
+		t.Fatalf("joins=%d", len(got.Joins))
+	}
+	for i := range m.Joins {
+		if got.Joins[i].Peer != m.Joins[i].Peer || got.Joins[i].Addr != m.Joins[i].Addr {
+			t.Fatalf("entry %d: %+v", i, got.Joins[i])
+		}
+		for k, r := range m.Joins[i].Path {
+			if got.Joins[i].Path[k] != r {
+				t.Fatalf("entry %d hop %d: %d", i, k, got.Joins[i].Path[k])
+			}
+		}
+	}
+}
+
+func TestBatchJoinRequestLimits(t *testing.T) {
+	if _, err := EncodeBatchJoinRequest(&BatchJoinRequest{}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("empty batch: %v", err)
+	}
+	big := &BatchJoinRequest{Joins: make([]JoinRequest, MaxBatch+1)}
+	for i := range big.Joins {
+		big.Joins[i] = JoinRequest{Peer: int64(i), Path: []int32{0}}
+	}
+	if _, err := EncodeBatchJoinRequest(big); !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+	longPath := &BatchJoinRequest{Joins: []JoinRequest{{Peer: 1, Path: make([]int32, MaxPathLen+1)}}}
+	if _, err := EncodeBatchJoinRequest(longPath); !errors.Is(err, ErrLimit) {
+		t.Fatalf("long path: %v", err)
+	}
+	// Decoder side: a declared count over the cap must be rejected before
+	// any allocation proportional to it.
+	if _, err := DecodeBatchJoinRequest([]byte{0xff, 0xff}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("decoder count cap: %v", err)
+	}
+	if _, err := DecodeBatchJoinRequest([]byte{0, 0}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("decoder zero count: %v", err)
+	}
+}
+
+func TestBatchJoinRequestTruncated(t *testing.T) {
+	b, err := EncodeBatchJoinRequest(batchFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := DecodeBatchJoinRequest(b[:cut]); err == nil {
+			t.Fatalf("truncated batch at %d of %d accepted", cut, len(b))
+		}
+	}
+	if _, err := DecodeBatchJoinRequest(append(b, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestBatchJoinResponseRoundTrip(t *testing.T) {
+	m := &BatchJoinResponse{Results: []BatchJoinResult{
+		{Neighbors: []Candidate{{Peer: 9, DTree: 2, Addr: "10.0.0.9:1"}}},
+		{Code: CodeUnknownLandmark, Message: "no such landmark"},
+		{},
+	}}
+	b, err := EncodeBatchJoinResponse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatchJoinResponse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 3 {
+		t.Fatalf("results=%d", len(got.Results))
+	}
+	if got.Results[0].Code != 0 || len(got.Results[0].Neighbors) != 1 || got.Results[0].Neighbors[0].Addr != "10.0.0.9:1" {
+		t.Fatalf("entry 0: %+v", got.Results[0])
+	}
+	if got.Results[1].Code != CodeUnknownLandmark || got.Results[1].Message != "no such landmark" {
+		t.Fatalf("entry 1: %+v", got.Results[1])
+	}
+	if got.Results[2].Code != 0 || got.Results[2].Neighbors != nil {
+		t.Fatalf("entry 2: %+v", got.Results[2])
+	}
+}
+
+func TestBatchJoinResponseTruncated(t *testing.T) {
+	m := &BatchJoinResponse{Results: []BatchJoinResult{
+		{Neighbors: []Candidate{{Peer: 1, DTree: 1, Addr: "a"}, {Peer: 2, DTree: 3, Addr: "b"}}},
+	}}
+	b, err := EncodeBatchJoinResponse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := DecodeBatchJoinResponse(b[:cut]); err == nil {
+			t.Fatalf("truncated response at %d of %d accepted", cut, len(b))
+		}
+	}
+}

@@ -144,12 +144,17 @@ func (s *Server) NeighborCount() int { return s.cfg.NeighborCount }
 // peers. The answer is computed before insertion, so a peer never appears in
 // its own neighbour list. The path must terminate at a registered landmark.
 func (s *Server) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.joinLocked(p, path)
+}
+
+// joinLocked is the Join body for callers already holding s.mu.
+func (s *Server) joinLocked(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
 	if len(path) == 0 {
 		return nil, errors.New("server: empty path")
 	}
 	lm := path[len(path)-1]
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	tree, ok := s.trees[lm]
 	if !ok {
 		return nil, fmt.Errorf("%w (router %d)", ErrUnknownLandmark, lm)
@@ -174,6 +179,39 @@ func (s *Server) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Can
 	s.joins++
 	s.queries++
 	return cands, nil
+}
+
+// BatchJoin is one entry of a batched join.
+type BatchJoin struct {
+	// Peer is the joining peer.
+	Peer pathtree.PeerID
+	// Path is its reported router path, peer-side first.
+	Path []topology.NodeID
+}
+
+// BatchResult is the per-entry answer of JoinBatch: a neighbour list or an
+// error, never both.
+type BatchResult struct {
+	Neighbors []pathtree.Candidate
+	Err       error
+}
+
+// JoinBatch registers a batch of peers under a single lock acquisition —
+// the flash-crowd fast path: one mutex round amortized over the whole
+// batch instead of per join. Entries are applied in order
+// (so a duplicate peer within the batch behaves exactly like sequential
+// joins), and one entry's failure does not affect the others.
+func (s *Server) JoinBatch(items []BatchJoin) []BatchResult {
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, it := range items {
+		out[i].Neighbors, out[i].Err = s.joinLocked(it.Peer, it.Path)
+	}
+	return out
 }
 
 // Lookup re-answers the closest-peers query for an already registered peer.

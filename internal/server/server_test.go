@@ -329,3 +329,69 @@ func mustJoin(t *testing.T, s *Server, p pathtree.PeerID, routers ...topology.No
 		t.Fatalf("Join(%d): %v", p, err)
 	}
 }
+
+func TestJoinBatchMatchesSequentialJoins(t *testing.T) {
+	batch := newTestServer(t, 0, 9)
+	seq := newTestServer(t, 0, 9)
+	items := []BatchJoin{
+		{Peer: 1, Path: []topology.NodeID{5, 3, 0}},
+		{Peer: 2, Path: []topology.NodeID{6, 3, 0}},
+		{Peer: 3, Path: []topology.NodeID{7, 9}},
+		{Peer: 4, Path: []topology.NodeID{5, 3, 0}},
+	}
+	res := batch.JoinBatch(items)
+	if len(res) != len(items) {
+		t.Fatalf("results=%d", len(res))
+	}
+	for i, it := range items {
+		want, wantErr := seq.Join(it.Peer, it.Path)
+		if (res[i].Err == nil) != (wantErr == nil) {
+			t.Fatalf("entry %d: err=%v want %v", i, res[i].Err, wantErr)
+		}
+		if len(res[i].Neighbors) != len(want) {
+			t.Fatalf("entry %d: %d neighbours want %d", i, len(res[i].Neighbors), len(want))
+		}
+		for k := range want {
+			if res[i].Neighbors[k] != want[k] {
+				t.Fatalf("entry %d neighbour %d: %+v want %+v", i, k, res[i].Neighbors[k], want[k])
+			}
+		}
+	}
+	if batch.NumPeers() != seq.NumPeers() {
+		t.Fatalf("peers=%d want %d", batch.NumPeers(), seq.NumPeers())
+	}
+}
+
+func TestJoinBatchPartialFailure(t *testing.T) {
+	s := newTestServer(t)
+	res := s.JoinBatch([]BatchJoin{
+		{Peer: 1, Path: []topology.NodeID{4, 0}},
+		{Peer: 2, Path: []topology.NodeID{4, 77}}, // unknown landmark
+		{Peer: 3, Path: nil},                      // empty path
+		{Peer: 4, Path: []topology.NodeID{5, 0}},
+	})
+	if res[0].Err != nil || res[3].Err != nil {
+		t.Fatalf("good entries failed: %v %v", res[0].Err, res[3].Err)
+	}
+	if !errors.Is(res[1].Err, ErrUnknownLandmark) {
+		t.Fatalf("entry 1 err=%v", res[1].Err)
+	}
+	if res[2].Err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if s.NumPeers() != 2 {
+		t.Fatalf("peers=%d", s.NumPeers())
+	}
+	// The second good entry must see the first as a neighbour: entries are
+	// applied in order within the single lock hold.
+	if len(res[3].Neighbors) != 1 || res[3].Neighbors[0].Peer != 1 {
+		t.Fatalf("entry 3 neighbours=%+v", res[3].Neighbors)
+	}
+}
+
+func TestJoinBatchEmpty(t *testing.T) {
+	s := newTestServer(t)
+	if res := s.JoinBatch(nil); len(res) != 0 {
+		t.Fatalf("res=%v", res)
+	}
+}

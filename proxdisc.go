@@ -27,6 +27,31 @@
 //     protocol — over a single server or a sharded cluster
 //     (SimulationConfig.Shards) — used by the examples and the
 //     paper-reproduction harness.
+//
+// # Wire protocol versions and pipelining
+//
+// The TCP wire protocol is versioned. Version 1 is strict lock-step: one
+// outstanding request per connection, responses in order. Version 2 —
+// negotiated automatically at Dial time via a hello/acknowledge exchange —
+// tags every frame with a request ID, so a single connection carries many
+// concurrent requests: the client pipelines them, the server dispatches
+// them to a bounded worker pool (NetServerConfig.Workers), and responses
+// are matched by ID as they complete. Compatibility is two-way: a new
+// client falls back to lock-step against an old server (which rejects the
+// hello as an unknown message and keeps the connection usable), and an old
+// client that never sends a hello gets the serial version-1 treatment from
+// a new server.
+//
+// Version 2 also adds batched joins: Client.JoinBatch packs up to the
+// server's advertised limit (at most 32, the wire cap) of joins into one
+// frame, and the management plane applies each group under a single lock
+// acquisition — the fast path for a flash crowd of newcomers arriving
+// behind one NAT or agent. ClientConfig.MaxInFlight bounds a connection's
+// outstanding requests; SimulationConfig.BatchSize routes simulated
+// arrivals through the same batched path. For capacity measurements, the
+// cmd/proxdisc-loadgen tool drives all four traffic shapes (lock-step or
+// pipelined, singular or batched) against a live server and reports
+// joins/sec with latency percentiles.
 package proxdisc
 
 import (
@@ -118,12 +143,31 @@ func ListenLandmark(addr string) (*LandmarkResponder, error) {
 	return netserver.ListenLandmark(addr)
 }
 
-// Client is a TCP connection to a management server.
+// Client is a TCP connection to a management server. It is safe for
+// concurrent use; on a pipelined (version-2) connection, concurrent
+// requests share the connection without serializing behind each other.
 type Client = client.Client
 
-// Dial connects to a management server.
+// ClientConfig tunes a management-server connection: request timeout,
+// the in-flight pipelining cap, and a switch to force the version-1
+// lock-step protocol.
+type ClientConfig = client.Config
+
+// BatchJoinItem is one entry of a Client.JoinBatch call.
+type BatchJoinItem = client.BatchItem
+
+// BatchJoinResult is the per-entry outcome of a Client.JoinBatch call.
+type BatchJoinResult = client.BatchResult
+
+// Dial connects to a management server with default configuration,
+// negotiating the pipelined wire protocol when the server supports it.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return client.Dial(addr, timeout)
+}
+
+// DialClient connects to a management server with explicit configuration.
+func DialClient(addr string, cfg ClientConfig) (*Client, error) {
+	return client.DialConfig(addr, cfg)
 }
 
 // Agent runs the complete newcomer protocol: probe landmarks over UDP,
