@@ -51,6 +51,9 @@ func main() {
 		ttl        = flag.Duration("peer-ttl", 0, "expire peers silent for this long (0 = never)")
 		sweep      = flag.Duration("sweep-interval", 30*time.Second, "expiry sweep period when -peer-ttl is set")
 		shards     = flag.Int("shards", 1, "run a landmark-sharded cluster of this many shards")
+		replicas   = flag.Int("replicas", 1, "copies of each shard's state (replica sets with automatic failover)")
+		role       = flag.String("role", "primary", "this node's replication role: primary or replica (replica governs wire behaviour; its state must be fed out of band, e.g. snapshot shipping)")
+		primAddr   = flag.String("primary-addr", "", "the primary node's TCP address (required with -role replica)")
 		workers    = flag.Int("workers", 0, "pipelined-request worker pool size (0 = 4×GOMAXPROCS)")
 		maxBatch   = flag.Int("max-batch", 0, "largest batch join accepted (0 = wire-format maximum)")
 	)
@@ -63,11 +66,26 @@ func main() {
 	if *shards < 1 {
 		log.Fatalf("proxdisc-server: -shards must be at least 1, got %d", *shards)
 	}
+	if *replicas < 1 {
+		log.Fatalf("proxdisc-server: -replicas must be at least 1, got %d", *replicas)
+	}
+	nodeRole := netserver.RolePrimary
+	switch *role {
+	case "primary":
+	case "replica":
+		nodeRole = netserver.RoleReplica
+		if *primAddr == "" {
+			log.Fatal("proxdisc-server: -role replica requires -primary-addr")
+		}
+	default:
+		log.Fatalf("proxdisc-server: unknown -role %q", *role)
+	}
 	var logic management
-	if *shards > 1 {
+	if *shards > 1 || *replicas > 1 {
 		logic, err = cluster.New(cluster.Config{
 			Landmarks:     lmIDs,
 			Shards:        *shards,
+			Replicas:      *replicas,
 			NeighborCount: *neighbors,
 			PeerTTL:       *ttl,
 		})
@@ -107,6 +125,8 @@ func main() {
 		Addr:          *addr,
 		Server:        logic,
 		LandmarkAddrs: lmAddrs,
+		Role:          nodeRole,
+		PrimaryAddr:   *primAddr,
 		Workers:       *workers,
 		MaxBatch:      *maxBatch,
 		Logf:          log.Printf,
@@ -114,8 +134,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("proxdisc-server: %v", err)
 	}
-	log.Printf("management server listening on %s (landmarks %v, k=%d, shards=%d)",
-		ns.Addr(), lmIDs, *neighbors, *shards)
+	log.Printf("management server listening on %s (landmarks %v, k=%d, shards=%d, replicas=%d, role=%s)",
+		ns.Addr(), lmIDs, *neighbors, *shards, *replicas, *role)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,25 @@ type Config struct {
 	// DisablePipelining skips hello negotiation and speaks the version-1
 	// lock-step protocol, for compatibility testing and baselines.
 	DisablePipelining bool
+	// FailoverRetries is how many extra attempts a request gets after a
+	// transport failure or a not-primary rejection (default 0: fail fast).
+	// The first transport retry redials the target immediately (the
+	// historic dead-connection redial); each later one waits
+	// FailoverBackoff first, doubling per attempt up to 2s — the
+	// bounded-backoff failover path for clients of a replicated
+	// deployment, where a crashed node's address comes back (or its
+	// replica answers) within a promotion window.
+	//
+	// Retried requests are at-least-once: a write whose connection died
+	// after the send may be applied twice. Every request is idempotent at
+	// the server (re-joins replace, leaves of absent peers ack), so the
+	// retry changes no state — but per-request timeouts are never
+	// re-sent, since the original may still be in flight.
+	FailoverRetries int
+	// FailoverBackoff is the initial pause before the second and later
+	// transport retries (default 50ms). Not-primary redirects retry
+	// immediately.
+	FailoverBackoff time.Duration
 }
 
 // Client is a connection to the management server. It is safe for
@@ -79,10 +99,21 @@ type Config struct {
 // transparently, caching one connection per discovered node.
 type Client struct {
 	cfg  Config
+	addr string     // the dialled server address, for failover redials
 	mu   sync.Mutex // serializes version-1 lock-step exchanges
 	conn net.Conn
 	// Timeout bounds each request/response exchange.
 	timeout time.Duration
+
+	// mainDown marks the primary connection dead after a transport
+	// failure; with FailoverRetries set, later requests flow through a
+	// redialed cached connection to the same address instead.
+	mainDown atomic.Bool
+	// isAux marks connections the owning client manages (redirect targets,
+	// failover redials). An aux client is a plain direct connection: it
+	// never follows CodeNotPrimary itself — the owning client's routing
+	// maps (home, primary) are the single place that policy lives.
+	isAux bool
 
 	// version is the negotiated protocol version; maxBatch is the batch
 	// size the server accepts (0 when batching is unsupported). Both are
@@ -110,16 +141,34 @@ type Client struct {
 	readErr  error         // set by readLoop before readDone closes; guarded by pmu
 	readDone chan struct{} // closed when readLoop exits
 
-	auxMu  sync.Mutex
-	aux    map[string]*Client // cluster nodes discovered through redirects
-	home   map[int64]string   // address of the node that served each peer's join
-	closed bool               // guards against dialling new aux connections after Close
+	auxMu   sync.Mutex
+	aux     map[string]*Client // cluster nodes discovered through redirects
+	home    map[int64]string   // address of the node that served each peer's join
+	primary string             // primary address learned from CodeNotPrimary ("" = the dialled one)
+	closed  bool               // guards against dialling new aux connections after Close
 }
 
 // frameResp is one demultiplexed response frame.
 type frameResp struct {
 	typ     proto.MsgType
 	payload []byte
+}
+
+// errRequestTimeout marks a per-request timeout on a healthy connection.
+var errRequestTimeout = errors.New("client: request timed out")
+
+// isTimeout reports whether err is a per-request timeout rather than a
+// dead connection. The path may be healthy — the response is merely late —
+// so the failover machinery must neither write the connection off nor
+// re-send the request: a retried write that in fact applied would
+// double-apply (e.g. a Leave whose ack was slow would re-run and report
+// CodeUnknownPeer for a departure that succeeded).
+func isTimeout(err error) bool {
+	if errors.Is(err, errRequestTimeout) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Dial connects to the management server with default configuration,
@@ -145,6 +194,7 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 	}
 	c := &Client{
 		cfg:     cfg,
+		addr:    addr,
 		conn:    conn,
 		br:      bufio.NewReaderSize(conn, 16<<10),
 		timeout: cfg.Timeout,
@@ -267,12 +317,17 @@ func (c *Client) auxClient(addr string) (*Client, error) {
 		return a, nil
 	}
 	// Dial outside the lock: a slow or unreachable node must not block
-	// requests to other nodes (or Close) for the dial timeout.
+	// requests to other nodes (or Close) for the dial timeout. Aux
+	// connections never retry internally — the owning client's failover
+	// loop is the single place attempts are counted.
+	auxCfg := c.cfg
+	auxCfg.FailoverRetries = 0
 	c.auxMu.Unlock()
-	a, err := DialConfig(addr, c.cfg)
+	a, err := DialConfig(addr, auxCfg)
 	if err != nil {
 		return nil, fmt.Errorf("client: follow redirect: %w", err)
 	}
+	a.isAux = true
 	c.auxMu.Lock()
 	defer c.auxMu.Unlock()
 	if c.closed {
@@ -325,37 +380,217 @@ func (c *Client) homeAddr(peer int64) string {
 	return c.home[peer]
 }
 
-// peerRoundTrip performs a peer-keyed request against the node holding the
-// peer's registration. A dead cached redirect connection is dropped and
-// redialed once; protocol-level errors are returned as-is.
-func (c *Client) peerRoundTrip(peer int64, reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
-	addr := c.homeAddr(peer)
-	if addr == "" {
-		return c.roundTrip(reqType, payload, wantType)
+// transportAttempts is how many tries a request gets against a node that
+// answers with transport errors: the first call plus at least one redial
+// (dead cached connections have always been redialed once), extended by
+// Config.FailoverRetries.
+func (c *Client) transportAttempts() int {
+	n := 2
+	if c.cfg.FailoverRetries+1 > n {
+		n = c.cfg.FailoverRetries + 1
 	}
-	for attempt := 0; ; attempt++ {
-		target, err := c.auxClient(addr)
-		if err != nil {
-			return nil, err
+	return n
+}
+
+// backoffDelay is the bounded exponential pause before transport retry
+// `attempt` (1-based): FailoverBackoff doubling per attempt, capped at 2s.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	d := c.cfg.FailoverBackoff
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	for i := 1; i < attempt && d < 2*time.Second; i++ {
+		d *= 2
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// isClosed reports whether Close has been called on this client.
+func (c *Client) isClosed() bool {
+	c.auxMu.Lock()
+	defer c.auxMu.Unlock()
+	return c.closed
+}
+
+// setPrimary records the primary address a replica pointed us at.
+func (c *Client) setPrimary(addr string) {
+	c.auxMu.Lock()
+	if addr == c.addr {
+		addr = ""
+	}
+	c.primary = addr
+	c.auxMu.Unlock()
+}
+
+// primaryTarget returns the client to use for primary-bound requests: a
+// connection to the discovered primary when a replica redirected us, the
+// main connection while it is healthy, and otherwise a redialed cached
+// connection to the dialled address. An unreachable learned primary is
+// forgotten on the spot and the dialled address tried instead — its node
+// may well have been promoted — so a stale override can never wedge the
+// client.
+func (c *Client) primaryTarget() (*Client, error) {
+	c.auxMu.Lock()
+	override := c.primary
+	c.auxMu.Unlock()
+	if override != "" {
+		a, err := c.auxClient(override)
+		if err == nil {
+			return a, nil
 		}
-		resp, err := target.roundTrip(reqType, payload, wantType)
+		c.setPrimary("")
+	}
+	if c.mainDown.Load() {
+		return c.auxClient(c.addr)
+	}
+	return c, nil
+}
+
+// noteTransportFailure marks the failed path so the next attempt redials:
+// the main connection is flagged down and its dead socket closed (which
+// also retires the demux goroutine on a pipelined session), a cached aux
+// connection is dropped. From then on primary-bound traffic flows through
+// a redialed cached connection to the dialled address.
+func (c *Client) noteTransportFailure(target *Client) {
+	if target == c {
+		if c.mainDown.CompareAndSwap(false, true) {
+			c.conn.Close()
+		}
+		return
+	}
+	c.dropAux(target.addr, target)
+}
+
+// noteFailoverFailure is noteTransportFailure under the failover policy: a
+// dead cached connection is always dropped (the historic redial-once
+// behaviour), but the main connection is only written off when the caller
+// opted into failover — a default-configured client keeps its original
+// routing and error surface. A learned primary override that itself went
+// dark is cleared, so the next attempt falls back to the dialled address
+// (whose node may well have been promoted) instead of wedging on the dead
+// override forever.
+func (c *Client) noteFailoverFailure(target *Client) {
+	if target == c && c.cfg.FailoverRetries == 0 {
+		return
+	}
+	if target != c {
+		c.auxMu.Lock()
+		if c.primary != "" && target.addr == c.primary {
+			c.primary = ""
+		}
+		c.auxMu.Unlock()
+	}
+	c.noteTransportFailure(target)
+}
+
+// transportRetry is the single transport-failure retry loop every
+// request path shares: resolve a target (dial failures are retried too),
+// run op against it, and on a transport-level error note the failure and
+// try again — up to maxAttempts, with the first retry immediate (the
+// historic dead-connection redial) and bounded exponential backoff before
+// the later ones. Wire errors (*proto.Error) return immediately: redirect
+// policies live in the callers and never consume transport attempts.
+func (c *Client) transportRetry(maxAttempts int, resolve func() (*Client, error), op func(target *Client) error) error {
+	for attempt := 1; ; attempt++ {
+		target, err := resolve()
+		if err == nil {
+			if err = op(target); err == nil {
+				return nil
+			}
+			var werr *proto.Error
+			if errors.As(err, &werr) {
+				return err
+			}
+			if isTimeout(err) {
+				// A late response, not a dead path: surface the timeout
+				// without re-sending (see isTimeout). A pipelined session
+				// stays usable — the request ID machinery discards the
+				// late frame — but a lock-step stream is now
+				// desynchronized (the late response would be read as the
+				// NEXT request's answer, silently serving wrong data), so
+				// that connection is retired unconditionally, failover
+				// opt-in or not.
+				if target.version < proto.Version2 {
+					c.noteTransportFailure(target)
+				}
+				return err
+			}
+			c.noteFailoverFailure(target)
+		}
+		if c.isClosed() {
+			// The client itself was closed; further redials cannot succeed
+			// and post-Close backoff sleeps would just delay the caller.
+			// (A net.ErrClosed alone is not terminal: a sibling request
+			// that just wrote the main connection off produces the same
+			// error, and that caller should ride over to the redial path.)
+			return err
+		}
+		if attempt >= maxAttempts {
+			return err
+		}
+		if attempt > 1 {
+			time.Sleep(c.backoffDelay(attempt - 1))
+		}
+	}
+}
+
+// peerRoundTrip performs a peer-keyed request against the node holding the
+// peer's registration. A CodeNotPrimary rejection re-homes the peer at the
+// advertised primary and retries there (the node failed over to a replica
+// set); a CodeUnknownPeer stops routing the peer's requests to a stale
+// owner; other protocol-level errors are returned as-is. Transport-level
+// failures follow the retry policy of the underlying path (see roundTrip
+// and peerRoundTripAt).
+func (c *Client) peerRoundTrip(peer int64, reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
+	for redirects := 0; ; {
+		var (
+			resp []byte
+			err  error
+		)
+		if addr := c.homeAddr(peer); addr == "" {
+			resp, err = c.roundTrip(reqType, payload, wantType)
+		} else {
+			resp, err = c.peerRoundTripAt(addr, reqType, payload, wantType)
+		}
 		if err == nil {
 			return resp, nil
 		}
 		var werr *proto.Error
 		if errors.As(err, &werr) {
-			if werr.Code == proto.CodeUnknownPeer {
+			switch {
+			case werr.Code == proto.CodeUnknownPeer:
 				// The owner expired the peer; stop routing its requests
 				// there so the home map cannot grow without bound.
 				c.setHome(peer, "")
+			case werr.Code == proto.CodeNotPrimary && werr.Message != "" && redirects < MaxRedirects:
+				redirects++
+				c.setHome(peer, werr.Message)
+				continue
 			}
-			return nil, err
 		}
-		if attempt > 0 {
-			return nil, err
-		}
-		c.dropAux(addr, target)
+		return nil, err
 	}
+}
+
+// peerRoundTripAt runs one peer-keyed request against the node at addr. A
+// dead cached connection is dropped and redialed — once, as always, or up
+// to Config.FailoverRetries times with bounded backoff.
+func (c *Client) peerRoundTripAt(addr string, reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
+	var resp []byte
+	err := c.transportRetry(c.transportAttempts(),
+		func() (*Client, error) { return c.auxClient(addr) },
+		func(target *Client) error {
+			var err error
+			resp, err = target.roundTrip(reqType, payload, wantType)
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
 // exchange sends one request frame and reads its response frame, decoding
@@ -435,7 +670,7 @@ func (c *Client) exchangePipelined(reqType proto.MsgType, payload []byte) (proto
 			return decodeResp(r.typ, r.payload)
 		default:
 		}
-		return 0, nil, fmt.Errorf("client: request timed out after %v", c.timeout)
+		return 0, nil, fmt.Errorf("%w after %v", errRequestTimeout, c.timeout)
 	case <-c.readDone:
 		c.forget(id)
 		select {
@@ -477,16 +712,50 @@ func decodeResp(typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error
 }
 
 // roundTrip is exchange plus a response-type check, for requests with
-// exactly one valid response type.
+// exactly one valid response type. It targets the primary path: a replica
+// answering CodeNotPrimary with its primary's address is followed (up to
+// MaxRedirects, without spending transport attempts), and with
+// Config.FailoverRetries set, transport failures redial the path with
+// bounded backoff before giving up.
 func (c *Client) roundTrip(reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
-	typ, resp, err := c.exchange(reqType, payload)
+	for redirects := 0; ; {
+		var (
+			typ  proto.MsgType
+			resp []byte
+		)
+		err := c.transportRetry(1+c.cfg.FailoverRetries, c.primaryTarget,
+			func(target *Client) error {
+				var err error
+				typ, resp, err = target.exchange(reqType, payload)
+				return err
+			})
+		if err == nil {
+			if typ != wantType {
+				return nil, fmt.Errorf("client: unexpected response type %d (want %d)", typ, wantType)
+			}
+			return resp, nil
+		}
+		var werr *proto.Error
+		if errors.As(err, &werr) && werr.Code == proto.CodeNotPrimary && werr.Message != "" &&
+			!c.isAux && redirects < MaxRedirects {
+			redirects++
+			c.setPrimary(werr.Message)
+			continue // retry immediately at the advertised primary
+		}
+		// Aux connections surface CodeNotPrimary to their owning client,
+		// whose routing maps decide where to go next.
+		return nil, err
+	}
+}
+
+// Status reports the server node's replication role and shard layout. A
+// pre-status server answers with an unknown-message error.
+func (c *Client) Status() (*proto.Status, error) {
+	resp, err := c.roundTrip(proto.MsgStatusRequest, nil, proto.MsgStatusResponse)
 	if err != nil {
 		return nil, err
 	}
-	if typ != wantType {
-		return nil, fmt.Errorf("client: unexpected response type %d (want %d)", typ, wantType)
-	}
-	return resp, nil
+	return proto.DecodeStatus(resp)
 }
 
 // Landmarks fetches the landmark router IDs and probe addresses.
@@ -507,25 +776,32 @@ func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Can
 	if err != nil {
 		return nil, err
 	}
-	target, targetAddr := c, ""
-	retried := false
+	// targetAddr "" is the primary path; a redirect moves the join to the
+	// named node. Each hop runs under the shared transport-retry loop: a
+	// dead cached redirect connection is redialed once, as always, and
+	// with FailoverRetries the primary path too rides through a crash
+	// window (dial failures included) with bounded backoff.
+	targetAddr := ""
 	for hops := 0; ; {
-		typ, resp, err := target.exchange(proto.MsgJoinRequest, payload)
-		if err != nil {
-			var werr *proto.Error
-			if targetAddr == "" || errors.As(err, &werr) || retried {
-				return nil, err
-			}
-			// A cached redirect connection died (e.g. the node restarted):
-			// drop it and redial once.
-			c.dropAux(targetAddr, target)
-			retried = true
-			if target, err = c.auxClient(targetAddr); err != nil {
-				return nil, err
-			}
-			continue
+		resolve := c.primaryTarget
+		maxAttempts := 1 + c.cfg.FailoverRetries
+		if targetAddr != "" {
+			addr := targetAddr
+			resolve = func() (*Client, error) { return c.auxClient(addr) }
+			maxAttempts = c.transportAttempts()
 		}
-		retried = false
+		var (
+			typ  proto.MsgType
+			resp []byte
+		)
+		err := c.transportRetry(maxAttempts, resolve, func(target *Client) error {
+			var err error
+			typ, resp, err = target.exchange(proto.MsgJoinRequest, payload)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
 		switch typ {
 		case proto.MsgJoinResponse:
 			jr, err := proto.DecodeJoinResponse(resp)
@@ -544,9 +820,6 @@ func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Can
 			}
 			hops++
 			targetAddr = rd.Addr
-			if target, err = c.auxClient(rd.Addr); err != nil {
-				return nil, err
-			}
 		default:
 			return nil, fmt.Errorf("client: unexpected response type %d (want %d)", typ, proto.MsgJoinResponse)
 		}

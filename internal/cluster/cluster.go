@@ -48,6 +48,16 @@ type Config struct {
 	// MaxFanout bounds the concurrency of scatter-gather operations
 	// (default: one in-flight call per shard).
 	MaxFanout int
+	// Replicas is the number of copies of each shard's state (default 1:
+	// unreplicated). With R copies, every write applies to the shard's
+	// primary and propagates to the other replicas through a per-shard
+	// ordered apply log, so the shard survives up to R−1 replica failures
+	// with zero lost peers (see FailShard, RecoverReplica).
+	Replicas int
+	// HealthCheck, when set, is consulted by CheckHealth for every live
+	// replica; returning false marks the replica failed (promoting a
+	// survivor when it was the primary).
+	HealthCheck func(shard, replica int, s *server.Server) bool
 
 	// NeighborCount, PeerTTL, Clock, and TreeOptions are passed through to
 	// every shard; see server.Config.
@@ -61,12 +71,16 @@ type Config struct {
 // API as server.Server and is safe for concurrent use.
 type Cluster struct {
 	cfg    Config
-	shards []*server.Server
+	shards []*shardGroup
 
-	// mu guards the assignment table and the in-progress handoff set.
+	// mu guards the assignment table, the in-progress handoff set, and the
+	// in-progress failover set.
 	mu     sync.RWMutex
 	table  map[topology.NodeID]int
 	moving map[topology.NodeID]*handoff
+	// failing flags shards whose primary is mid-promotion; joins resolving
+	// to them buffer and replay exactly like joins for a moving landmark.
+	failing map[int]*handoff
 
 	// opMu is held in read mode across every table-routed shard mutation;
 	// MoveLandmark briefly takes it in write mode to drain mutations that
@@ -97,6 +111,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Assign == nil {
 		cfg.Assign = RoundRobin()
 	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("cluster: negative replica count %d", cfg.Replicas)
+	}
 	table := cfg.Assign.Assign(cfg.Landmarks, cfg.Shards)
 	perShard := make([][]topology.NodeID, cfg.Shards)
 	for _, lm := range cfg.Landmarks {
@@ -110,11 +130,12 @@ func New(cfg Config) (*Cluster, error) {
 		perShard[shard] = append(perShard[shard], lm)
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		shards: make([]*server.Server, cfg.Shards),
-		table:  make(map[topology.NodeID]int, len(table)),
-		moving: make(map[topology.NodeID]*handoff),
-		idx:    newPeerIndex(),
+		cfg:     cfg,
+		shards:  make([]*shardGroup, cfg.Shards),
+		table:   make(map[topology.NodeID]int, len(table)),
+		moving:  make(map[topology.NodeID]*handoff),
+		failing: make(map[int]*handoff),
+		idx:     newPeerIndex(),
 	}
 	for lm, shard := range table {
 		c.table[lm] = shard
@@ -123,17 +144,11 @@ func New(cfg Config) (*Cluster, error) {
 		if len(lms) == 0 {
 			return nil, fmt.Errorf("cluster: shard %d owns no landmarks", i)
 		}
-		s, err := server.New(server.Config{
-			Landmarks:     lms,
-			NeighborCount: cfg.NeighborCount,
-			PeerTTL:       cfg.PeerTTL,
-			Clock:         cfg.Clock,
-			TreeOptions:   cfg.TreeOptions,
-		})
+		g, err := newShardGroup(lms, cfg.Replicas, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
-		c.shards[i] = s
+		c.shards[i] = g
 	}
 	return c, nil
 }
@@ -141,8 +156,8 @@ func New(cfg Config) (*Cluster, error) {
 // NumShards reports the number of shards.
 func (c *Cluster) NumShards() int { return len(c.shards) }
 
-// Shard exposes one shard's server, for tests and diagnostics.
-func (c *Cluster) Shard(i int) *server.Server { return c.shards[i] }
+// Shard exposes one shard's primary server, for tests and diagnostics.
+func (c *Cluster) Shard(i int) *server.Server { return c.shards[i].primarySrv() }
 
 // ShardFor reports which shard currently owns a landmark.
 func (c *Cluster) ShardFor(lm topology.NodeID) (int, bool) {
@@ -166,7 +181,7 @@ func (c *Cluster) Landmarks() []topology.NodeID {
 }
 
 // NeighborCount reports the configured answer size.
-func (c *Cluster) NeighborCount() int { return c.shards[0].NeighborCount() }
+func (c *Cluster) NeighborCount() int { return c.shards[0].primarySrv().NeighborCount() }
 
 // Join routes the peer's join to the shard owning its path's landmark and
 // returns the closest-peer answer, exactly as server.Server.Join would. If
@@ -189,18 +204,23 @@ func (c *Cluster) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Ca
 			<-ho.done // buffered during the transfer; replay below
 			continue
 		}
+		if ho := c.failing[shard]; ho != nil {
+			c.mu.RUnlock()
+			<-ho.done // buffered during the failover; replay against the new primary
+			continue
+		}
 		// Taking opMu before releasing mu pins the resolved shard: a
 		// handoff of lm starting now blocks in its drain until this join
 		// lands, so the snapshot it takes will include us.
 		c.opMu.RLock()
 		c.mu.RUnlock()
-		cands, err := c.shards[shard].Join(p, path)
+		cands, err := c.shards[shard].join(p, path)
 		if err == nil {
 			if old, had := c.idx.swap(p, shard); had && old != shard {
 				// Re-join under a landmark owned by a different shard:
 				// retire the stale record, mirroring the single-server
 				// behaviour of replacing rather than duplicating.
-				c.shards[old].Leave(p)
+				c.shards[old].leave(p)
 			}
 		}
 		c.opMu.RUnlock()
@@ -243,7 +263,7 @@ func (c *Cluster) JoinBatch(items []server.BatchJoin) []server.BatchResult {
 			out[i].Err = fmt.Errorf("%w (router %d)", server.ErrUnknownLandmark, lm)
 			continue
 		}
-		if c.moving[lm] != nil || seen[it.Peer] > 1 {
+		if c.moving[lm] != nil || c.failing[shard] != nil || seen[it.Peer] > 1 {
 			deferred = append(deferred, i)
 			continue
 		}
@@ -265,13 +285,13 @@ func (c *Cluster) JoinBatch(items []server.BatchJoin) []server.BatchResult {
 		if g == nil {
 			continue
 		}
-		res := c.shards[shard].JoinBatch(g.items)
+		res := c.shards[shard].joinBatch(g.items)
 		for k := range res {
 			i := g.idxs[k]
 			out[i] = res[k]
 			if res[k].Err == nil {
 				if old, had := c.idx.swap(items[i].Peer, shard); had && old != shard {
-					c.shards[old].Leave(items[i].Peer)
+					c.shards[old].leave(items[i].Peer)
 				}
 			}
 		}
@@ -295,10 +315,13 @@ type batchGroup struct {
 }
 
 // Lookup re-answers the closest-peers query for a registered peer,
-// delegating to the shard that holds it.
+// delegating to the shard that holds it. The answer is served by any live
+// replica of the shard (dealt round-robin): replicas apply every write
+// synchronously in log order, so their answers are identical to the
+// primary's.
 func (c *Cluster) Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error) {
 	if shard, ok := c.idx.get(p); ok {
-		cands, err := c.shards[shard].Lookup(p)
+		cands, err := c.shards[shard].readSrv().Lookup(p)
 		if err == nil || !errors.Is(err, server.ErrUnknownPeer) {
 			return cands, err
 		}
@@ -308,25 +331,25 @@ func (c *Cluster) Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.shards[shard].Lookup(p)
+	return c.shards[shard].readSrv().Lookup(p)
 }
 
 // Refresh updates a peer's liveness timestamp.
 func (c *Cluster) Refresh(p pathtree.PeerID) error {
-	return c.onPeerShard(p, func(s *server.Server) error { return s.Refresh(p) })
+	return c.onPeerShard(p, func(g *shardGroup) error { return g.refresh(p) })
 }
 
 // SetSuperPeer marks or unmarks peer p as a super-peer.
 func (c *Cluster) SetSuperPeer(p pathtree.PeerID, super bool) error {
-	return c.onPeerShard(p, func(s *server.Server) error { return s.SetSuperPeer(p, super) })
+	return c.onPeerShard(p, func(g *shardGroup) error { return g.setSuperPeer(p, super) })
 }
 
-// onPeerShard runs fn against the shard holding peer p, retrying once via a
-// scatter search when the index entry turns out stale (possible while the
-// peer's landmark is mid-handoff). Holding opMu excludes the call from a
+// onPeerShard runs fn against the shard group holding peer p, retrying once
+// via a scatter search when the index entry turns out stale (possible while
+// the peer's landmark is mid-handoff). Holding opMu excludes the call from a
 // handoff's copy phase, so the update cannot land on a tree that has
 // already been serialized for transfer and be lost.
-func (c *Cluster) onPeerShard(p pathtree.PeerID, fn func(s *server.Server) error) error {
+func (c *Cluster) onPeerShard(p pathtree.PeerID, fn func(g *shardGroup) error) error {
 	if shard, ok := c.idx.get(p); ok {
 		c.opMu.RLock()
 		err := fn(c.shards[shard])
@@ -344,10 +367,11 @@ func (c *Cluster) onPeerShard(p pathtree.PeerID, fn func(s *server.Server) error
 	return fn(c.shards[shard])
 }
 
-// PeerInfo returns a copy of the record for peer p.
+// PeerInfo returns a copy of the record for peer p, read from any live
+// replica of its shard.
 func (c *Cluster) PeerInfo(p pathtree.PeerID) (server.PeerInfo, error) {
 	if shard, ok := c.idx.get(p); ok {
-		info, err := c.shards[shard].PeerInfo(p)
+		info, err := c.shards[shard].readSrv().PeerInfo(p)
 		if err == nil || !errors.Is(err, server.ErrUnknownPeer) {
 			return info, err
 		}
@@ -363,7 +387,7 @@ func (c *Cluster) Leave(p pathtree.PeerID) bool {
 		return false
 	}
 	c.opMu.RLock()
-	removed := c.shards[shard].Leave(p)
+	removed := c.shards[shard].leave(p)
 	if removed {
 		c.idx.compareAndDelete(p, shard)
 	}
@@ -383,7 +407,7 @@ func (c *Cluster) Leave(p pathtree.PeerID) bool {
 	defer c.opMu.RUnlock()
 	c.idx.compareAndDelete(p, shard)
 	c.idx.compareAndDelete(p, cur)
-	return c.shards[cur].Leave(p)
+	return c.shards[cur].leave(p)
 }
 
 // NumPeers reports the number of registered peers across all shards.
@@ -419,8 +443,8 @@ func (c *Cluster) Expire() []pathtree.PeerID {
 	c.opMu.Lock()
 	defer c.opMu.Unlock()
 	per := make([][]pathtree.PeerID, len(c.shards))
-	_ = c.ForEachShard(context.Background(), func(i int, s *server.Server) error {
-		per[i] = s.Expire()
+	_ = c.forEachGroup(context.Background(), func(i int, g *shardGroup) error {
+		per[i] = g.expire()
 		return nil
 	})
 	var out []pathtree.PeerID
@@ -444,8 +468,8 @@ func (c *Cluster) Stats() server.Stats {
 	c.hoMu.Lock()
 	defer c.hoMu.Unlock()
 	per := make([]server.Stats, len(c.shards))
-	_ = c.ForEachShard(context.Background(), func(i int, s *server.Server) error {
-		per[i] = s.Stats()
+	_ = c.forEachGroup(context.Background(), func(i int, g *shardGroup) error {
+		per[i] = g.stats()
 		return nil
 	})
 	merged := server.Stats{TreeStats: make(map[topology.NodeID]pathtree.Stats)}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -308,7 +309,11 @@ func TestScatterBoundedFanout(t *testing.T) {
 				break
 			}
 		}
-		time.Sleep(5 * time.Millisecond)
+		// Hold the slot across scheduler turns — no real-clock sleep — so
+		// concurrent launches overlap and the bound is observable.
+		for spin := 0; spin < 200 && atomic.LoadInt32(&inFlight) < 2; spin++ {
+			runtime.Gosched()
+		}
 		atomic.AddInt32(&inFlight, -1)
 		return nil
 	})

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+
+	"proxdisc/internal/server"
+)
+
+// ReplicaID names one replica of one shard.
+type ReplicaID struct {
+	Shard   int
+	Replica int
+}
+
+// ShardHealth describes one shard's replica set.
+type ShardHealth struct {
+	// Shard is the shard index.
+	Shard int
+	// Primary is the index of the replica currently serving as primary.
+	Primary int
+	// Live is the number of replicas still serving.
+	Live int
+	// Replicas is the configured copy count.
+	Replicas int
+}
+
+// Replicas reports the configured number of copies of each shard.
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
+
+// Health reports every shard's replica-set status.
+func (c *Cluster) Health() []ShardHealth {
+	out := make([]ShardHealth, len(c.shards))
+	for i, g := range c.shards {
+		g.mu.Lock()
+		out[i] = ShardHealth{Shard: i, Primary: g.primary, Live: g.liveLocked(), Replicas: len(g.reps)}
+		g.mu.Unlock()
+	}
+	return out
+}
+
+// ReplicaSummary reports the cluster's shard count, configured copies per
+// shard, and the total live replicas — the role information a network front
+// end advertises (see netserver.ReplicaReporter).
+func (c *Cluster) ReplicaSummary() (shards, replicas, live int) {
+	shards, replicas = len(c.shards), c.cfg.Replicas
+	for _, g := range c.shards {
+		g.mu.Lock()
+		live += g.liveLocked()
+		g.mu.Unlock()
+	}
+	return shards, replicas, live
+}
+
+// FailShard simulates a crash of a shard's current primary replica: the
+// primary is marked failed and a surviving replica is promoted in its
+// place. While the promotion is in flight, joins for the shard's landmarks
+// buffer and replay against the new primary, exactly as MoveLandmark
+// buffers joins for a moving landmark — so a failover mid-workload loses
+// no join. Failing the last live replica of a shard is refused.
+func (c *Cluster) FailShard(shard int) error {
+	// The current primary is resolved inside the failover lock (see
+	// failReplica), so two concurrent FailShard calls kill two successive
+	// primaries instead of racing to name the same one.
+	return c.failReplica(shard, -1)
+}
+
+// FailReplica marks one replica of a shard as crashed. When the replica is
+// the shard's primary, a survivor is promoted (see FailShard). Failovers
+// serialize with handoffs and rebuilds.
+func (c *Cluster) FailReplica(shard, replica int) error {
+	if replica < 0 {
+		return fmt.Errorf("cluster: replica %d out of range", replica)
+	}
+	return c.failReplica(shard, replica)
+}
+
+// failReplica is the failover body; replica −1 means "whatever replica is
+// primary once the failover lock is held".
+func (c *Cluster) failReplica(shard, replica int) error {
+	if shard < 0 || shard >= len(c.shards) {
+		return fmt.Errorf("cluster: shard %d out of range [0,%d)", shard, len(c.shards))
+	}
+	c.hoMu.Lock()
+	defer c.hoMu.Unlock()
+	if replica < 0 {
+		g := c.shards[shard]
+		g.mu.Lock()
+		replica = g.primary
+		g.mu.Unlock()
+	}
+
+	// Flag the shard as failing so joins resolving to it buffer until the
+	// promotion lands, then replay — the MoveLandmark contract.
+	ho := &handoff{done: make(chan struct{})}
+	c.mu.Lock()
+	c.failing[shard] = ho
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.failing, shard)
+		c.mu.Unlock()
+		close(ho.done)
+	}()
+
+	return c.shards[shard].failReplica(replica)
+}
+
+// RecoverReplica rebuilds one failed replica of a shard and returns its
+// slot index. The new copy is restored from a snapshot of the surviving
+// primary taken outside the write path; writes arriving during the rebuild
+// accumulate in the shard's apply log and are replayed onto the new replica
+// before it goes live, so the recovered copy is exactly caught up — the
+// snapshot-plus-tail contract the failover path relies on.
+func (c *Cluster) RecoverReplica(shard int) (int, error) {
+	if shard < 0 || shard >= len(c.shards) {
+		return -1, fmt.Errorf("cluster: shard %d out of range [0,%d)", shard, len(c.shards))
+	}
+	c.hoMu.Lock()
+	defer c.hoMu.Unlock()
+	g := c.shards[shard]
+	snap, slot, snapSeq, err := g.beginRebuild()
+	if err != nil {
+		return -1, err
+	}
+	srv, err := server.Restore(bytes.NewReader(snap), server.Config{
+		PeerTTL:     c.cfg.PeerTTL,
+		Clock:       c.cfg.Clock,
+		TreeOptions: c.cfg.TreeOptions,
+	})
+	if err != nil {
+		g.abortRebuild()
+		return -1, fmt.Errorf("cluster: rebuild restore: %w", err)
+	}
+	g.attachRebuilt(slot, srv, snapSeq)
+	return slot, nil
+}
+
+// CheckHealth runs the configured health-check hook over every live
+// replica and fails the ones it reports unhealthy, promoting as needed. It
+// returns the (shard, replica) pairs that were failed. Without a hook it
+// is a no-op.
+func (c *Cluster) CheckHealth() []ReplicaID {
+	if c.cfg.HealthCheck == nil {
+		return nil
+	}
+	var failed []ReplicaID
+	for shard, g := range c.shards {
+		for rep := 0; rep < len(g.reps); rep++ {
+			g.mu.Lock()
+			r := g.reps[rep]
+			srv, dead := r.srv, r.failed
+			g.mu.Unlock()
+			if dead || c.cfg.HealthCheck(shard, rep, srv) {
+				continue
+			}
+			if err := c.FailReplica(shard, rep); err == nil {
+				failed = append(failed, ReplicaID{Shard: shard, Replica: rep})
+			}
+		}
+	}
+	return failed
+}

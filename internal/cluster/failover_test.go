@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/server"
+)
+
+func newReplicatedCluster(t *testing.T, shards, replicas int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Landmarks: testLandmarks, Shards: shards, Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestReplicasValidation(t *testing.T) {
+	if _, err := New(Config{Landmarks: testLandmarks, Shards: 2, Replicas: -1}); err == nil {
+		t.Fatal("accepted negative replica count")
+	}
+	c := newReplicatedCluster(t, 2, 3)
+	if c.Replicas() != 3 {
+		t.Fatalf("Replicas()=%d", c.Replicas())
+	}
+	for _, h := range c.Health() {
+		if h.Live != 3 || h.Replicas != 3 || h.Primary != 0 {
+			t.Fatalf("health=%+v", h)
+		}
+	}
+}
+
+func TestFailReplicaValidation(t *testing.T) {
+	c := newReplicatedCluster(t, 2, 2)
+	if err := c.FailShard(99); err == nil {
+		t.Fatal("failed out-of-range shard")
+	}
+	if err := c.FailReplica(0, 99); err == nil {
+		t.Fatal("failed out-of-range replica")
+	}
+	if err := c.FailReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailReplica(0, 1); err == nil {
+		t.Fatal("failed a replica twice")
+	}
+	// The last live replica must be refused.
+	if err := c.FailReplica(0, 0); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+// TestFailoverPreservesAnswers is the core replication property: after the
+// primary of every shard is killed, the promoted replicas must hold every
+// peer and answer every query exactly as the primaries would have.
+func TestFailoverPreservesAnswers(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 2)
+	byPeer := populate(t, c, 96)
+
+	before := make(map[pathtree.PeerID][]pathtree.Candidate, len(byPeer))
+	for p := range byPeer {
+		ans, err := c.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[p] = ans
+	}
+
+	for shard := 0; shard < c.NumShards(); shard++ {
+		if err := c.FailShard(shard); err != nil {
+			t.Fatalf("fail shard %d: %v", shard, err)
+		}
+	}
+	for _, h := range c.Health() {
+		if h.Live != 1 || h.Primary != 1 {
+			t.Fatalf("post-failover health=%+v", h)
+		}
+	}
+
+	if got := c.NumPeers(); got != 96 {
+		t.Fatalf("NumPeers=%d after failover", got)
+	}
+	for p, want := range before {
+		got, err := c.Lookup(p)
+		if err != nil {
+			t.Fatalf("lookup %d after failover: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("lookup %d changed across failover:\nbefore %+v\nafter  %+v", p, want, got)
+		}
+	}
+	// The promoted primaries accept writes.
+	if _, err := c.Join(5000, synthPath(testLandmarks[0], 123)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Leave(5000) {
+		t.Fatal("leave on promoted primary failed")
+	}
+}
+
+// TestRecoverReplicaCatchesUp rebuilds a crashed replica while writes keep
+// flowing, then kills the primary: the rebuilt copy must hold everything —
+// the snapshot state, the writes logged during the rebuild, and the writes
+// after it.
+func TestRecoverReplicaCatchesUp(t *testing.T) {
+	c := newReplicatedCluster(t, 2, 2)
+	populate(t, c, 32)
+	shard := 0
+
+	if err := c.FailReplica(shard, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Writes while the shard runs on one replica.
+	lm := c.Shard(shard).Landmarks()[0]
+	for i := 0; i < 20; i++ {
+		if _, err := c.Join(pathtree.PeerID(1000+i), synthPath(lm, 40_000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Leave(1000)
+
+	slot, err := c.RecoverReplica(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 1 {
+		t.Fatalf("recovered slot %d, want 1", slot)
+	}
+	if _, err := c.RecoverReplica(shard); err == nil {
+		t.Fatal("recovered with no failed replica")
+	}
+
+	// More writes after the rebuild, then fail over onto the rebuilt copy.
+	if _, err := c.Join(2000, synthPath(lm, 70_000)); err != nil {
+		t.Fatal(err)
+	}
+	expect := c.Shard(shard).Peers()
+	if err := c.FailShard(shard); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Shard(shard).Peers()
+	if !reflect.DeepEqual(got, expect) {
+		t.Fatalf("rebuilt replica diverged:\nwant %v\ngot  %v", expect, got)
+	}
+	if _, err := c.Lookup(2000); err != nil {
+		t.Fatalf("post-rebuild write missing after failover: %v", err)
+	}
+	if _, err := c.Lookup(1000); !errors.Is(err, server.ErrUnknownPeer) {
+		t.Fatalf("departed peer resurrected by failover: %v", err)
+	}
+}
+
+// TestExpireReplicatesAsLeaves pins that TTL expiry on the primary cannot
+// be undone by a failover: the removals propagate to the replicas.
+func TestExpireReplicatesAsLeaves(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	c, err := New(Config{
+		Landmarks: testLandmarks,
+		Shards:    2,
+		Replicas:  2,
+		PeerTTL:   time.Minute,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := c.Join(pathtree.PeerID(i+1), synthPath(testLandmarks[i%len(testLandmarks)], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if err := c.Refresh(5); err != nil {
+		t.Fatal(err)
+	}
+	if expired := c.Expire(); len(expired) != 15 {
+		t.Fatalf("expired %d peers", len(expired))
+	}
+	for shard := 0; shard < c.NumShards(); shard++ {
+		if err := c.FailShard(shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.NumPeers(); got != 1 {
+		t.Fatalf("NumPeers=%d after expiry+failover", got)
+	}
+	if sum := c.Shard(0).NumPeers() + c.Shard(1).NumPeers(); sum != 1 {
+		t.Fatalf("replicas resurrected expired peers: %d registered", sum)
+	}
+}
+
+// TestFailoverUnderLiveJoins is the zero-lost-joins property under churn:
+// joins keep flowing while each shard's primary is killed and later
+// rebuilt, and every acknowledged join must be registered afterwards.
+func TestFailoverUnderLiveJoins(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 2)
+	var (
+		stop   atomic.Bool
+		joined atomic.Int64
+		wg     sync.WaitGroup
+		errCh  = make(chan error, 4)
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; !stop.Load(); i++ {
+				p := pathtree.PeerID(1 + w*1_000_000 + i)
+				lm := testLandmarks[rng.Intn(len(testLandmarks))]
+				if _, err := c.Join(p, synthPath(lm, rng.Intn(30_000))); err != nil {
+					errCh <- err
+					return
+				}
+				joined.Add(1)
+			}
+		}(w)
+	}
+	// Kill and rebuild each shard's primary in turn, pacing on join
+	// progress so failovers interleave with live traffic.
+	for round := 0; round < 8; round++ {
+		target := joined.Load() + 50
+		for joined.Load() < target && len(errCh) == 0 {
+			runtime.Gosched()
+		}
+		shard := round % c.NumShards()
+		if err := c.FailShard(shard); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if _, err := c.RecoverReplica(shard); err != nil {
+			t.Fatalf("round %d recover: %v", round, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	total := int(joined.Load())
+	if got := c.NumPeers(); got != total {
+		t.Fatalf("NumPeers=%d, %d joins acknowledged", got, total)
+	}
+	if got := len(c.Peers()); got != total {
+		t.Fatalf("Peers()=%d entries, %d joins acknowledged", got, total)
+	}
+}
+
+func TestCheckHealthHook(t *testing.T) {
+	var sick sync.Map // ReplicaID -> bool
+	cfg := Config{Landmarks: testLandmarks, Shards: 2, Replicas: 2}
+	cfg.HealthCheck = func(shard, replica int, s *server.Server) bool {
+		_, bad := sick.Load(ReplicaID{Shard: shard, Replica: replica})
+		return !bad
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, c, 16)
+	if got := c.CheckHealth(); len(got) != 0 {
+		t.Fatalf("healthy cluster failed replicas: %v", got)
+	}
+	sick.Store(ReplicaID{Shard: 1, Replica: 0}, true)
+	got := c.CheckHealth()
+	if len(got) != 1 || got[0] != (ReplicaID{Shard: 1, Replica: 0}) {
+		t.Fatalf("CheckHealth=%v", got)
+	}
+	if h := c.Health()[1]; h.Live != 1 || h.Primary != 1 {
+		t.Fatalf("health=%+v", h)
+	}
+	// A hook-driven failover keeps serving: the promoted replica answers.
+	if got := c.NumPeers(); got != 16 {
+		t.Fatalf("NumPeers=%d", got)
+	}
+	// Failing the survivor via the hook must be refused, not wedge.
+	sick.Store(ReplicaID{Shard: 1, Replica: 1}, true)
+	if got := c.CheckHealth(); len(got) != 0 {
+		t.Fatalf("CheckHealth killed the last replica: %v", got)
+	}
+}
+
+// TestHandoffAcrossReplicatedShards moves a landmark between replicated
+// shard groups and then fails both groups' primaries: the moved tree must
+// exist on the destination's replica and nowhere on the source's.
+func TestHandoffAcrossReplicatedShards(t *testing.T) {
+	c := newReplicatedCluster(t, 2, 2)
+	byPeer := populate(t, c, 48)
+	lm := testLandmarks[0]
+	src, _ := c.ShardFor(lm)
+	dst := (src + 1) % 2
+	if err := c.MoveLandmark(lm, dst); err != nil {
+		t.Fatal(err)
+	}
+	for shard := 0; shard < 2; shard++ {
+		if err := c.FailShard(shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.NumPeers(); got != 48 {
+		t.Fatalf("NumPeers=%d", got)
+	}
+	for p := range byPeer {
+		if _, err := c.Lookup(p); err != nil {
+			t.Fatalf("lookup %d after move+failover: %v", p, err)
+		}
+	}
+	for _, srcLM := range c.Shard(src).Landmarks() {
+		if srcLM == lm {
+			t.Fatal("source replica still lists the moved landmark after failover")
+		}
+	}
+}
+
+// TestStatsSumsReplicaQueries pins the counter semantics under replica
+// reads: lookups are dealt round-robin over the replicas, and Stats must
+// report the whole volume, not just the primary's share.
+func TestStatsSumsReplicaQueries(t *testing.T) {
+	c := newReplicatedCluster(t, 2, 2)
+	populate(t, c, 16) // each join answers one closest-peers query
+	for i := 1; i <= 16; i++ {
+		if _, err := c.Lookup(pathtree.PeerID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Joins != 16 {
+		t.Fatalf("Joins=%d (replica applies double-counted?)", st.Joins)
+	}
+	if st.Queries != 32 {
+		t.Fatalf("Queries=%d want 32 (16 join answers + 16 lookups across replicas)", st.Queries)
+	}
+	if st.Peers != 16 {
+		t.Fatalf("Peers=%d", st.Peers)
+	}
+	// Counters stay monotonic across a failover: the killed primary's
+	// served queries are retired into the aggregate, not discarded.
+	for shard := 0; shard < c.NumShards(); shard++ {
+		if err := c.FailShard(shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := c.Stats(); after.Queries != 32 || after.Joins != 16 {
+		t.Fatalf("post-failover Queries=%d Joins=%d want 32/16", after.Queries, after.Joins)
+	}
+}

@@ -71,21 +71,25 @@ func (c *Cluster) MoveLandmark(lm topology.NodeID, dst int) error {
 	// from the source and destination while the tree is in flight. The
 	// lock is released before touching c.mu (the table) — Join acquires
 	// mu then opMu, so holding opMu across a mu acquisition would invert
-	// that order.
+	// that order. With replicated shards the tree moves between whole
+	// replica groups: the snapshot is taken from the source primary and
+	// absorbed by every live destination replica, and the source side drops
+	// the landmark from every live replica, so the groups stay in lock-step
+	// across the handoff.
 	c.opMu.Lock()
 	var buf bytes.Buffer
-	if err := c.shards[src].SnapshotLandmarks(&buf, lm); err != nil {
+	if err := c.shards[src].snapshotLandmarks(&buf, lm); err != nil {
 		c.opMu.Unlock()
 		finish()
 		return fmt.Errorf("cluster: handoff snapshot: %w", err)
 	}
-	moved, err := c.shards[dst].Absorb(&buf)
+	moved, err := c.shards[dst].absorb(buf.Bytes())
 	if err != nil {
 		c.opMu.Unlock()
 		finish()
 		return fmt.Errorf("cluster: handoff absorb: %w", err)
 	}
-	c.shards[src].DropLandmark(lm)
+	c.shards[src].dropLandmark(lm)
 	c.opMu.Unlock()
 
 	c.mu.Lock()
@@ -100,11 +104,7 @@ func (c *Cluster) MoveLandmark(lm topology.NodeID, dst int) error {
 		// after the copy; the absorbed record is stale unless the re-join
 		// itself landed on the destination (then the live record, under
 		// its new landmark, wins and must not be touched).
-		if info, err := c.shards[dst].PeerInfo(p); err == nil && info.Landmark == lm {
-			if cur, ok := c.idx.get(p); !ok || cur != dst {
-				c.shards[dst].Leave(p)
-			}
-		}
+		c.shards[dst].reconcileMoved(p, lm, c.idx, dst)
 	}
 	finish()
 	return nil
@@ -118,13 +118,13 @@ func (c *Cluster) Snapshot(w io.Writer) error {
 	c.hoMu.Lock()
 	defer c.hoMu.Unlock()
 	var parts []io.Reader
-	for i, s := range c.shards {
-		lms := s.Landmarks()
+	for i, g := range c.shards {
+		lms := g.primarySrv().Landmarks()
 		if len(lms) == 0 {
 			continue // drained by handoffs
 		}
 		var buf bytes.Buffer
-		if err := s.SnapshotLandmarks(&buf, lms...); err != nil {
+		if err := g.snapshotLandmarks(&buf, lms...); err != nil {
 			return fmt.Errorf("cluster: snapshot shard %d: %w", i, err)
 		}
 		parts = append(parts, &buf)

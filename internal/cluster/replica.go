@@ -1,0 +1,458 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+)
+
+// ErrShardDown is returned when an operation would leave a shard without
+// any live replica — most prominently by FailReplica refusing to kill the
+// last live copy, which is exactly the refusal that keeps the condition
+// from ever materializing.
+var ErrShardDown = errors.New("cluster: shard would have no live replica")
+
+// opKind tags one entry of a shard's ordered apply log.
+type opKind uint8
+
+const (
+	opJoin opKind = iota + 1
+	opLeave
+	opRefresh
+	opSuper
+)
+
+// logOp is one replicated write. Every mutation of a shard's state flows
+// through the log in a single total order (the order writes acquired the
+// group lock), so any replica that has applied a prefix of the log is a
+// consistent — merely stale — copy of the shard.
+type logOp struct {
+	seq   uint64
+	kind  opKind
+	peer  pathtree.PeerID
+	path  []topology.NodeID // opJoin
+	super bool              // opSuper
+}
+
+// replicaState is one copy of a shard's state.
+type replicaState struct {
+	srv *server.Server
+	// failed marks a crashed replica. Its srv pointer is dropped so any
+	// accidental access fails loudly instead of reading a "dead" server.
+	failed bool
+	// applied is the log sequence number this replica has applied up to.
+	// Live replicas are kept at the head synchronously; the field matters
+	// for replicas being rebuilt, whose tail is replayed at attach time.
+	applied uint64
+}
+
+// shardGroup is one shard's replica set: cfg.Replicas copies of the same
+// server.Server kept in lock-step by the ordered apply log. Writes apply to
+// the primary first (producing the answer) and then to every live replica,
+// all under the group lock, so a promoted replica answers exactly as the
+// failed primary would have. Reads that carry no counters round-robin over
+// the live replicas.
+type shardGroup struct {
+	mu      sync.Mutex
+	reps    []*replicaState
+	primary int // index into reps
+	seq     uint64
+
+	// tail retains log entries while a replica rebuild is in progress:
+	// RecoverReplica snapshots a survivor at sequence S outside the write
+	// path, then replays the (S, seq] tail under the lock — the same
+	// buffer-and-replay contract MoveLandmark gives in-flight joins.
+	tail       []logOp
+	recoveries int
+
+	// rr deals counter-free reads over the live replicas.
+	rr uint64
+
+	// retiredQueries and retiredDelegations preserve the read counters of
+	// replicas that have been failed, so the shard's aggregate statistics
+	// stay monotonic across failovers (a crashed copy's served lookups
+	// still happened).
+	retiredQueries     int
+	retiredDelegations int
+}
+
+// newShardGroup builds a group of replicas copies over the given landmarks.
+func newShardGroup(lms []topology.NodeID, replicas int, cfg Config) (*shardGroup, error) {
+	g := &shardGroup{reps: make([]*replicaState, replicas)}
+	for i := range g.reps {
+		s, err := server.New(server.Config{
+			Landmarks:     lms,
+			NeighborCount: cfg.NeighborCount,
+			PeerTTL:       cfg.PeerTTL,
+			Clock:         cfg.Clock,
+			TreeOptions:   cfg.TreeOptions,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.reps[i] = &replicaState{srv: s}
+	}
+	return g, nil
+}
+
+// primarySrv returns the current primary's server. Callers that need a
+// stable primary across several calls must hold g.mu themselves.
+func (g *shardGroup) primarySrv() *server.Server {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reps[g.primary].srv
+}
+
+// readSrv returns a live replica for a counter-free read, dealt
+// round-robin so replicas share the read load. With Replicas 1 it is
+// always the primary.
+func (g *shardGroup) readSrv() *server.Server {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(g.reps)
+	for i := 0; i < n; i++ {
+		r := g.reps[(int(g.rr)+i)%n]
+		if !r.failed {
+			g.rr++
+			return r.srv
+		}
+	}
+	return g.reps[g.primary].srv // unreachable: the last replica cannot fail
+}
+
+// liveLocked counts live replicas. Callers hold g.mu.
+func (g *shardGroup) liveLocked() int {
+	n := 0
+	for _, r := range g.reps {
+		if !r.failed {
+			n++
+		}
+	}
+	return n
+}
+
+// record appends a write to the apply log and stamps it with the next
+// sequence number. The entry is retained only while a rebuild needs it.
+func (g *shardGroup) record(op logOp) {
+	g.seq++
+	if g.recoveries > 0 {
+		op.seq = g.seq
+		g.tail = append(g.tail, op)
+	}
+}
+
+// propagate applies a just-recorded write to every live replica except the
+// primary (which already applied it), in log order, and advances every live
+// replica's applied mark.
+func (g *shardGroup) propagate(apply func(s *server.Server)) {
+	for i, r := range g.reps {
+		if r.failed {
+			continue
+		}
+		if i != g.primary {
+			apply(r.srv)
+		}
+		r.applied = g.seq
+	}
+}
+
+// join answers and registers one join on the primary and mirrors the
+// registration onto every live replica.
+func (g *shardGroup) join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cands, err := g.reps[g.primary].srv.Join(p, path)
+	if err != nil {
+		return nil, err
+	}
+	g.record(logOp{kind: opJoin, peer: p, path: path})
+	g.propagate(func(s *server.Server) { _ = s.ApplyJoin(p, path) })
+	return cands, nil
+}
+
+// joinBatch is the single-lock-acquisition batch insert, mirrored onto the
+// replicas entry by entry in batch order.
+func (g *shardGroup) joinBatch(items []server.BatchJoin) []server.BatchResult {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := g.reps[g.primary].srv.JoinBatch(items)
+	for i := range items {
+		if out[i].Err != nil {
+			continue
+		}
+		g.record(logOp{kind: opJoin, peer: items[i].Peer, path: items[i].Path})
+		g.propagate(func(s *server.Server) { _ = s.ApplyJoin(items[i].Peer, items[i].Path) })
+	}
+	return out
+}
+
+// leave removes a peer from every live replica.
+func (g *shardGroup) leave(p pathtree.PeerID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	removed := g.reps[g.primary].srv.Leave(p)
+	if !removed {
+		return false
+	}
+	g.record(logOp{kind: opLeave, peer: p})
+	g.propagate(func(s *server.Server) { s.Leave(p) })
+	return true
+}
+
+// refresh heartbeats a peer on every live replica, so a promoted replica
+// expires peers on the same schedule the primary would have.
+func (g *shardGroup) refresh(p pathtree.PeerID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.reps[g.primary].srv.Refresh(p); err != nil {
+		return err
+	}
+	g.record(logOp{kind: opRefresh, peer: p})
+	g.propagate(func(s *server.Server) { _ = s.Refresh(p) })
+	return nil
+}
+
+// setSuperPeer flags a peer on every live replica.
+func (g *shardGroup) setSuperPeer(p pathtree.PeerID, super bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.reps[g.primary].srv.SetSuperPeer(p, super); err != nil {
+		return err
+	}
+	g.record(logOp{kind: opSuper, peer: p, super: super})
+	g.propagate(func(s *server.Server) { _ = s.SetSuperPeer(p, super) })
+	return nil
+}
+
+// expire sweeps the primary for peers past their TTL and replicates the
+// removals as explicit leaves, so a later failover cannot resurrect an
+// expired peer from a replica.
+func (g *shardGroup) expire() []pathtree.PeerID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	expired := g.reps[g.primary].srv.Expire()
+	for _, p := range expired {
+		g.record(logOp{kind: opLeave, peer: p})
+		g.propagate(func(s *server.Server) { s.Leave(p) })
+	}
+	return expired
+}
+
+// stats reports the shard's counters: the primary's view, plus the query
+// and delegation counts the other live replicas served — reads are dealt
+// round-robin over the replica set (readSrv), so the primary alone sees
+// only its share of the lookup volume. Join/leave/expiry counters come
+// from the primary only: every replica applies every write, so summing
+// those would multiply them by the replica count.
+func (g *shardGroup) stats() server.Stats {
+	g.mu.Lock()
+	primary := g.primary
+	retiredQ, retiredD := g.retiredQueries, g.retiredDelegations
+	reps := make([]*server.Server, 0, len(g.reps))
+	for i, r := range g.reps {
+		if !r.failed && i != primary {
+			reps = append(reps, r.srv)
+		}
+	}
+	base := g.reps[primary].srv
+	g.mu.Unlock()
+	st := base.Stats()
+	st.Queries += retiredQ
+	st.SuperPeerDelegations += retiredD
+	for _, srv := range reps {
+		q, d := srv.QueryCounters()
+		st.Queries += q
+		st.SuperPeerDelegations += d
+	}
+	return st
+}
+
+// snapshotLandmarks serializes the named landmarks from the primary.
+func (g *shardGroup) snapshotLandmarks(w io.Writer, lms ...topology.NodeID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reps[g.primary].srv.SnapshotLandmarks(w, lms...)
+}
+
+// absorb merges a snapshot into every live replica (each from its own copy
+// of the stream) and returns the peers the primary absorbed. It is the
+// destination side of a landmark handoff; the caller serializes with writes
+// (opMu) and rebuilds (hoMu), so all replicas absorb the same state.
+func (g *shardGroup) absorb(snapshot []byte) ([]pathtree.PeerID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var moved []pathtree.PeerID
+	for i, r := range g.reps {
+		if r.failed {
+			continue
+		}
+		got, err := r.srv.Absorb(bytes.NewReader(snapshot))
+		if err != nil {
+			return nil, err
+		}
+		if i == g.primary {
+			moved = got
+		}
+	}
+	return moved, nil
+}
+
+// dropLandmark removes a landmark's tree from every live replica — the
+// source side of a handoff.
+func (g *shardGroup) dropLandmark(lm topology.NodeID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.reps {
+		if !r.failed {
+			r.srv.DropLandmark(lm)
+		}
+	}
+}
+
+// reconcileMoved retires a handed-off record that went stale in the window
+// between the copy and the index update (the peer left or re-registered
+// elsewhere). Mirrors the removal onto every live replica via leave.
+func (g *shardGroup) reconcileMoved(p pathtree.PeerID, lm topology.NodeID, idx *peerIndex, self int) {
+	info, err := g.primarySrv().PeerInfo(p)
+	if err != nil || info.Landmark != lm {
+		return
+	}
+	if cur, ok := idx.get(p); !ok || cur != self {
+		g.leave(p)
+	}
+}
+
+// failReplica marks one replica as crashed. Failing the primary promotes a
+// surviving replica: its unapplied log tail (none, when it was live and
+// synchronous) is replayed first, so the promoted copy has every write the
+// group acknowledged. Failing the last live replica is refused — the shard's
+// state would be unrecoverable.
+func (g *shardGroup) failReplica(rep int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rep < 0 || rep >= len(g.reps) {
+		return fmt.Errorf("cluster: replica %d out of range [0,%d)", rep, len(g.reps))
+	}
+	if g.reps[rep].failed {
+		return fmt.Errorf("cluster: replica %d already failed", rep)
+	}
+	if g.liveLocked() == 1 {
+		return fmt.Errorf("cluster: refusing to fail the last live replica (%w otherwise)", ErrShardDown)
+	}
+	q, d := g.reps[rep].srv.QueryCounters()
+	g.retiredQueries += q
+	g.retiredDelegations += d
+	g.reps[rep].failed = true
+	g.reps[rep].srv = nil
+	if rep == g.primary {
+		g.promoteLocked()
+	}
+	return nil
+}
+
+// promoteLocked elects the caught-up live replica with the highest applied
+// sequence as the new primary, replaying any missing log tail first.
+func (g *shardGroup) promoteLocked() {
+	best := -1
+	for i, r := range g.reps {
+		if r.failed {
+			continue
+		}
+		if best < 0 || r.applied > g.reps[best].applied {
+			best = i
+		}
+	}
+	g.replayTailLocked(g.reps[best])
+	g.primary = best
+}
+
+// replayTailLocked applies retained log entries the replica has not seen.
+func (g *shardGroup) replayTailLocked(r *replicaState) {
+	for _, op := range g.tail {
+		if op.seq <= r.applied {
+			continue
+		}
+		switch op.kind {
+		case opJoin:
+			_ = r.srv.ApplyJoin(op.peer, op.path)
+		case opLeave:
+			r.srv.Leave(op.peer)
+		case opRefresh:
+			_ = r.srv.Refresh(op.peer)
+		case opSuper:
+			_ = r.srv.SetSuperPeer(op.peer, op.super)
+		}
+		r.applied = op.seq
+	}
+	r.applied = g.seq
+}
+
+// beginRebuild snapshots a survivor for a replica rebuild: it returns the
+// serialized primary state, the sequence number it reflects, and the failed
+// slot to rebuild into. From this moment until attachRebuilt (or
+// abortRebuild), the group retains its log tail.
+func (g *shardGroup) beginRebuild() (snapshot []byte, slot int, snapSeq uint64, err error) {
+	g.mu.Lock()
+	slot = -1
+	for i, r := range g.reps {
+		if r.failed {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		g.mu.Unlock()
+		return nil, -1, 0, errors.New("cluster: no failed replica to recover")
+	}
+	src := g.reps[g.primary].srv
+	snapSeq = g.seq
+	g.recoveries++ // the tail is retained from this sequence point on
+	g.mu.Unlock()
+
+	// Serialize outside the group lock, so writes keep flowing (into the
+	// retained tail) instead of stalling behind an O(peers) snapshot. The
+	// snapshot may therefore already include a prefix of the tail's
+	// effects; replaying the ordered tail over it converges regardless,
+	// because every logged op is an idempotent overwrite — a re-applied
+	// join replaces the same record, a leave of an absent peer is a no-op
+	// — and the last op per peer determines its final record. The primary
+	// cannot change underneath us: the caller holds hoMu, which every
+	// failover takes.
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		g.abortRebuild()
+		return nil, -1, 0, fmt.Errorf("cluster: rebuild snapshot: %w", err)
+	}
+	return buf.Bytes(), slot, snapSeq, nil
+}
+
+// attachRebuilt replays the log tail accumulated since beginRebuild onto
+// the restored server and brings the slot back into the live set.
+func (g *shardGroup) attachRebuilt(slot int, srv *server.Server, snapSeq uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := &replicaState{srv: srv, applied: snapSeq}
+	g.replayTailLocked(r)
+	g.reps[slot] = r
+	g.endRebuildLocked()
+}
+
+// abortRebuild releases the log tail after a failed restore.
+func (g *shardGroup) abortRebuild() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.endRebuildLocked()
+}
+
+func (g *shardGroup) endRebuildLocked() {
+	g.recoveries--
+	if g.recoveries == 0 {
+		g.tail = nil
+	}
+}

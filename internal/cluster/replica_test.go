@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+)
+
+// TestRebuildReplaysFullTail is the white-box contract of the per-shard
+// apply log: every op kind that lands between a rebuild's snapshot and its
+// attach — join, leave, refresh, super-peer flag — must be replayed onto
+// the rebuilt replica before it goes live.
+func TestRebuildReplaysFullTail(t *testing.T) {
+	cfg := Config{Landmarks: []topology.NodeID{0}, Replicas: 2}
+	g, err := newShardGroup(cfg.Landmarks, cfg.Replicas, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := func(leaf int) []topology.NodeID { return synthPath(0, leaf) }
+	if _, err := g.join(1, path(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.join(2, path(20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.failReplica(1); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, slot, snapSeq, err := g.beginRebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes of every kind land while the rebuild is "restoring".
+	if _, err := g.join(3, path(30)); err != nil {
+		t.Fatal(err)
+	}
+	if !g.leave(2) {
+		t.Fatal("leave failed")
+	}
+	if g.leave(2) {
+		t.Fatal("double leave succeeded")
+	}
+	if err := g.refresh(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.setSuperPeer(3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.setSuperPeer(99, true); err == nil {
+		t.Fatal("flagged an unknown peer")
+	}
+
+	srv, err := server.Restore(bytes.NewReader(snap), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.attachRebuilt(slot, srv, snapSeq)
+
+	// Fail over onto the rebuilt replica: it must hold the tail exactly.
+	if err := g.failReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []pathtree.PeerID{1, 3}
+	if got := g.primarySrv().Peers(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rebuilt replica peers=%v want %v", got, want)
+	}
+	info, err := g.primarySrv().PeerInfo(3)
+	if err != nil || !info.SuperPeer {
+		t.Fatalf("super-peer flag lost in replay: info=%+v err=%v", info, err)
+	}
+	if err := g.failReplica(1); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+// TestAbortRebuildReleasesTail pins that a failed restore does not leak
+// log retention: after abortRebuild the tail is dropped once no rebuild
+// needs it.
+func TestAbortRebuildReleasesTail(t *testing.T) {
+	cfg := Config{Landmarks: []topology.NodeID{0}, Replicas: 2}
+	g, err := newShardGroup(cfg.Landmarks, cfg.Replicas, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.failReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := g.beginRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.join(1, synthPath(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	g.mu.Lock()
+	retained := len(g.tail)
+	g.mu.Unlock()
+	if retained != 1 {
+		t.Fatalf("tail holds %d ops, want 1", retained)
+	}
+	g.abortRebuild()
+	g.mu.Lock()
+	retained, recovering := len(g.tail), g.recoveries
+	g.mu.Unlock()
+	if retained != 0 || recovering != 0 {
+		t.Fatalf("tail=%d recoveries=%d after abort", retained, recovering)
+	}
+}
+
+// TestReconcileMoved covers the handoff reconciliation arms directly: a
+// stale absorbed record is retired, a record re-pointed at this shard by
+// the index survives, and a record under a different landmark is ignored.
+func TestReconcileMoved(t *testing.T) {
+	cfg := Config{Landmarks: []topology.NodeID{0, 100}, Replicas: 2}
+	g, err := newShardGroup(cfg.Landmarks, cfg.Replicas, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := newPeerIndex()
+	if _, err := g.join(1, synthPath(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.join(2, synthPath(100, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Peer 1: index says it lives on shard 3, not here (shard 0) — the
+	// absorbed record is stale and must be retired from every replica.
+	idx.swap(1, 3)
+	g.reconcileMoved(1, 0, idx, 0)
+	if g.primarySrv().NumPeers() != 1 {
+		t.Fatal("stale record not retired")
+	}
+	// Peer 2 under landmark 0? Registered under 100: ignored.
+	g.reconcileMoved(2, 0, idx, 0)
+	if g.primarySrv().NumPeers() != 1 {
+		t.Fatal("record under another landmark was retired")
+	}
+	// Peer 2 with the index pointing here: the live record wins.
+	idx.swap(2, 0)
+	g.reconcileMoved(2, 100, idx, 0)
+	if g.primarySrv().NumPeers() != 1 {
+		t.Fatal("live record was retired")
+	}
+}
+
+// TestSetSuperPeerPropagates flags a peer through the cluster API and
+// fails over: the promoted replica must still delegate to the super-peer.
+func TestSetSuperPeerPropagates(t *testing.T) {
+	c := newReplicatedCluster(t, 2, 2)
+	populate(t, c, 16)
+	if err := c.SetSuperPeer(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetSuperPeer(999, true); !errors.Is(err, server.ErrUnknownPeer) {
+		t.Fatalf("err=%v", err)
+	}
+	shard, _ := c.idx.get(1)
+	if err := c.FailShard(shard); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.PeerInfo(1)
+	if err != nil || !info.SuperPeer {
+		t.Fatalf("super-peer flag lost across failover: info=%+v err=%v", info, err)
+	}
+	if err := c.SetSuperPeer(1, false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package experiment
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/topology"
+)
+
+func replicatedWorldConfig(seed int64) WorldConfig {
+	return WorldConfig{
+		Topology: topology.Config{
+			Model:        topology.ModelBarabasiAlbert,
+			CoreRouters:  400,
+			LeafRouters:  400,
+			EdgesPerNode: 2,
+			Seed:         seed,
+		},
+		NumLandmarks: 8,
+		Shards:       4,
+		Replicas:     2,
+		Seed:         seed,
+	}
+}
+
+// TestScheduledFailoverMatchesFailureFreeRun drives the same arrival
+// sequence through two identical replicated worlds — one of which loses a
+// replica of every shard mid-run and rebuilds one — and requires the
+// outcome to be indistinguishable from the failure-free run: same peers,
+// same closest-peer answers.
+func TestScheduledFailoverMatchesFailureFreeRun(t *testing.T) {
+	const peers = 120
+	calm, err := BuildWorld(replicatedWorldConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := replicatedWorldConfig(42)
+	cfg.Failovers = []FailoverEvent{
+		{AfterJoins: 30, Shard: 0},
+		{AfterJoins: 45, Shard: 1},
+		{AfterJoins: 60, Shard: 0, Recover: true},
+		{AfterJoins: 80, Shard: 0}, // fail over onto the rebuilt replica
+	}
+	stormy, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(calm.LeafPool, stormy.LeafPool) {
+		t.Fatal("worlds diverged before any join")
+	}
+	for i := 0; i < peers; i++ {
+		p := pathtree.PeerID(i + 1)
+		att := calm.LeafPool[i]
+		a, err := calm.JoinPeer(p, att)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := stormy.JoinPeer(p, att)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("join %d answers differ:\ncalm   %+v\nstormy %+v", p, a, b)
+		}
+	}
+	h := stormy.Cluster().Health()
+	if h[0].Live != 1 || h[1].Live != 1 {
+		t.Fatalf("schedule did not run: health=%+v", h)
+	}
+	if calm.Server.NumPeers() != stormy.Server.NumPeers() {
+		t.Fatalf("peers: calm=%d stormy=%d (failover lost peers)",
+			calm.Server.NumPeers(), stormy.Server.NumPeers())
+	}
+	for _, p := range calm.Server.Peers() {
+		a, err := calm.Server.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := stormy.Server.Lookup(p)
+		if err != nil {
+			t.Fatalf("lookup %d on failed-over world: %v", p, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("lookup %d answers differ:\ncalm   %+v\nstormy %+v", p, a, b)
+		}
+	}
+}
+
+// TestFailoverScheduleNeedsReplicas pins the configuration error.
+func TestFailoverScheduleNeedsReplicas(t *testing.T) {
+	cfg := replicatedWorldConfig(1)
+	cfg.Shards = 0
+	cfg.Replicas = 0
+	cfg.Failovers = []FailoverEvent{{AfterJoins: 1, Shard: 0}}
+	if _, err := BuildWorld(cfg); err == nil {
+		t.Fatal("accepted a failover schedule on a single-server plane")
+	}
+}
+
+// TestFailoverUnderConcurrentChurn is the end-to-end churn harness: joins
+// and leaves flow through the full two-round protocol while query traffic
+// hammers the management plane from concurrent goroutines and a replica of
+// each shard is killed and rebuilt mid-run. Afterwards, zero acknowledged
+// peers may be lost and every closest-peer answer must match a
+// failure-free run over the identical world. Run with -race.
+func TestFailoverUnderConcurrentChurn(t *testing.T) {
+	const peers = 150
+	calm, err := BuildWorld(replicatedWorldConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stormy, err := BuildWorld(replicatedWorldConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		joined  atomic.Int64
+		stop    = make(chan struct{})
+		queryWG sync.WaitGroup
+	)
+	// Query goroutines: lookups and refreshes against peers known joined.
+	for w := 0; w < 3; w++ {
+		queryWG.Add(1)
+		go func(w int) {
+			defer queryWG.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := joined.Load()
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				p := pathtree.PeerID(1 + rng.Int63n(n))
+				if _, err := stormy.Server.Lookup(p); err != nil {
+					// A peer that left concurrently is the only legal miss;
+					// leaves happen below 1/3 of the time over even IDs.
+					if p%3 != 0 {
+						t.Errorf("lookup %d: %v", p, err)
+						return
+					}
+				}
+				_ = stormy.Server.Refresh(p)
+			}
+		}(w)
+	}
+	// Failover goroutine: kill a replica of each shard in turn as joins
+	// progress, rebuilding it before the next strike.
+	failWG := sync.WaitGroup{}
+	failWG.Add(1)
+	go func() {
+		defer failWG.Done()
+		clu := stormy.Cluster()
+		for round := 0; round < 8; round++ {
+			target := int64((round + 1) * peers / 10)
+			for joined.Load() < target {
+				select {
+				case <-stop:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+			shard := round % clu.NumShards()
+			if err := clu.FailShard(shard); err != nil {
+				t.Errorf("round %d fail: %v", round, err)
+				return
+			}
+			if _, err := clu.RecoverReplica(shard); err != nil {
+				t.Errorf("round %d recover: %v", round, err)
+				return
+			}
+		}
+	}()
+
+	// Main goroutine: the arrival sequence, identical in both worlds, with
+	// every third peer departing again (churn).
+	for i := 0; i < peers; i++ {
+		p := pathtree.PeerID(i + 1)
+		att := calm.LeafPool[i]
+		if _, err := calm.JoinPeer(p, att); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stormy.JoinPeer(p, att); err != nil {
+			t.Fatal(err)
+		}
+		joined.Store(int64(i + 1))
+		if p%3 == 0 {
+			calm.LeavePeer(p)
+			stormy.LeavePeer(p)
+		}
+	}
+	close(stop)
+	queryWG.Wait()
+	failWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Zero lost peers: the stormy world holds exactly the calm world's
+	// population, and every answer is identical.
+	calmPeers := calm.Server.Peers()
+	stormyPeers := stormy.Server.Peers()
+	if !reflect.DeepEqual(calmPeers, stormyPeers) {
+		t.Fatalf("populations diverged:\ncalm   %v\nstormy %v", calmPeers, stormyPeers)
+	}
+	for _, p := range calmPeers {
+		a, err := calm.Server.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := stormy.Server.Lookup(p)
+		if err != nil {
+			t.Fatalf("lookup %d after churn+failover: %v", p, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("lookup %d answers differ:\ncalm   %+v\nstormy %+v", p, a, b)
+		}
+	}
+}

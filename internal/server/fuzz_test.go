@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/topology"
+)
+
+// fuzzSeedSnapshot serializes a small populated server for the fuzz corpus.
+func fuzzSeedSnapshot(tb testing.TB) []byte {
+	tb.Helper()
+	s, err := New(Config{Landmarks: []topology.NodeID{0, 50}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := s.Join(1, []topology.NodeID{10, 11, 0}); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := s.Join(2, []topology.NodeID{12, 11, 0}); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := s.Join(3, []topology.NodeID{20, 50}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.SetSuperPeer(2, true); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzAbsorb feeds arbitrary bytes to the snapshot decoder behind Absorb —
+// the surface a replica rebuild and a shard handoff trust — and, whenever
+// the input decodes as a valid snapshot, checks the absorb/re-snapshot
+// round trip: absorbing the server's own snapshot into a fresh server must
+// reproduce the identical peer set, paths included, and absorbing it twice
+// must change nothing (idempotence under the live-record-wins rule).
+func FuzzAbsorb(f *testing.F) {
+	f.Add(fuzzSeedSnapshot(f))
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst, err := New(Config{Landmarks: []topology.NodeID{9999}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		absorbed, err := dst.Absorb(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: must only never panic or corrupt
+		}
+		if len(absorbed) > dst.NumPeers() {
+			t.Fatalf("absorbed %d peers but server holds %d", len(absorbed), dst.NumPeers())
+		}
+		// Round trip: a re-snapshot of the merged server must absorb into a
+		// fresh server and reproduce the same records.
+		var buf bytes.Buffer
+		if err := dst.Snapshot(&buf); err != nil {
+			t.Fatalf("re-snapshot of absorbed state: %v", err)
+		}
+		clone, err := New(Config{Landmarks: []topology.NodeID{9999}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clone.Absorb(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("round-trip absorb: %v", err)
+		}
+		if !reflect.DeepEqual(peersWithPaths(t, dst), peersWithPaths(t, clone)) {
+			t.Fatal("round-trip changed the peer records")
+		}
+		// Idempotence: absorbing the same snapshot again is a no-op.
+		again, err := dst.Absorb(bytes.NewReader(data))
+		if err == nil && len(again) != 0 {
+			t.Fatalf("re-absorb inserted %d duplicate peers", len(again))
+		}
+	})
+}
+
+// peersWithPaths keys every registered peer to its stored record shape.
+func peersWithPaths(t *testing.T, s *Server) map[pathtree.PeerID]PeerInfo {
+	t.Helper()
+	out := make(map[pathtree.PeerID]PeerInfo, s.NumPeers())
+	for _, p := range s.Peers() {
+		info, err := s.PeerInfo(p)
+		if err != nil {
+			t.Fatalf("peer %d vanished: %v", p, err)
+		}
+		out[p] = info
+	}
+	return out
+}

@@ -149,26 +149,31 @@ func (s *Server) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Can
 	return s.joinLocked(p, path)
 }
 
-// joinLocked is the Join body for callers already holding s.mu.
-func (s *Server) joinLocked(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
+// resolveJoinLocked validates a join's path, resolves its landmark tree,
+// and retires the peer's old record when it re-joins under a different
+// landmark. Shared by the answering and replica-apply registration paths
+// so their semantics can never drift apart.
+func (s *Server) resolveJoinLocked(p pathtree.PeerID, path []topology.NodeID) (*pathtree.Tree, topology.NodeID, error) {
 	if len(path) == 0 {
-		return nil, errors.New("server: empty path")
+		return nil, 0, errors.New("server: empty path")
 	}
 	lm := path[len(path)-1]
 	tree, ok := s.trees[lm]
 	if !ok {
-		return nil, fmt.Errorf("%w (router %d)", ErrUnknownLandmark, lm)
+		return nil, 0, fmt.Errorf("%w (router %d)", ErrUnknownLandmark, lm)
 	}
 	// If the peer re-joins under a different landmark, drop the old record.
 	if old, exists := s.peers[p]; exists && old.Landmark != lm {
 		s.trees[old.Landmark].Remove(p)
 	}
-	cands, err := tree.ClosestToPath(path, s.cfg.NeighborCount, map[pathtree.PeerID]bool{p: true})
-	if err != nil {
-		return nil, err
-	}
+	return tree, lm, nil
+}
+
+// insertJoinLocked performs the registration half of a join: the tree
+// insert and the peer record. Counterpart of resolveJoinLocked.
+func (s *Server) insertJoinLocked(tree *pathtree.Tree, lm topology.NodeID, p pathtree.PeerID, path []topology.NodeID) error {
 	if err := tree.Insert(p, path); err != nil {
-		return nil, err
+		return err
 	}
 	s.peers[p] = &PeerInfo{
 		ID:          p,
@@ -177,8 +182,39 @@ func (s *Server) joinLocked(p pathtree.PeerID, path []topology.NodeID) ([]pathtr
 		LastRefresh: s.cfg.Clock(),
 	}
 	s.joins++
+	return nil
+}
+
+// joinLocked is the Join body for callers already holding s.mu.
+func (s *Server) joinLocked(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
+	tree, lm, err := s.resolveJoinLocked(p, path)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := tree.ClosestToPath(path, s.cfg.NeighborCount, map[pathtree.PeerID]bool{p: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.insertJoinLocked(tree, lm, p, path); err != nil {
+		return nil, err
+	}
 	s.queries++
 	return cands, nil
+}
+
+// ApplyJoin registers peer p without computing a closest-peers answer. It
+// is the replica-apply path of a replicated cluster shard: the primary
+// already answered the join, and the replicas only need to reach the same
+// state, so the O(k·L) query walk is skipped. Exactly like Join, a re-join
+// under a different landmark replaces the old record.
+func (s *Server) ApplyJoin(p pathtree.PeerID, path []topology.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tree, lm, err := s.resolveJoinLocked(p, path)
+	if err != nil {
+		return err
+	}
+	return s.insertJoinLocked(tree, lm, p, path)
 }
 
 // BatchJoin is one entry of a batched join.
@@ -330,6 +366,15 @@ func (s *Server) Peers() []pathtree.PeerID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// QueryCounters reports the served-query and super-peer-delegation counts
+// without walking any tree — the cheap accessor replica-set aggregation
+// uses where full Stats would pay an O(nodes) traversal per landmark.
+func (s *Server) QueryCounters() (queries, delegations int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queries, s.delegations
 }
 
 // Stats snapshots server counters and tree shapes.

@@ -52,6 +52,37 @@
 // cmd/proxdisc-loadgen tool drives all four traffic shapes (lock-step or
 // pipelined, singular or batched) against a live server and reports
 // joins/sec with latency percentiles.
+//
+// # Replication and failover
+//
+// A sharded cluster can keep R copies of every shard's state
+// (ClusterConfig.Replicas; the default 1 is unreplicated). Writes — joins,
+// batch joins, leaves, refreshes, super-peer flags, TTL expiries — apply
+// to the shard's primary replica and propagate to the others through a
+// per-shard ordered apply log before the call returns, so every live
+// replica is an exact copy: reads may be served by any of them, and the
+// answers are identical. The consistency guarantee is therefore
+// read-your-writes with no replica lag; the price is one in-memory apply
+// per replica on the write path, not a network round trip, since replicas
+// share the process.
+//
+// A replica crash (simulated with Cluster.FailShard / FailReplica, or
+// driven by the ClusterConfig.HealthCheck hook via CheckHealth) tolerates
+// up to R−1 failures per shard with zero lost peers: a surviving replica
+// is promoted after replaying any unapplied log tail, and joins arriving
+// inside the promotion window buffer and replay against the new primary —
+// the same contract landmark handoffs give. Cluster.RecoverReplica
+// rebuilds a failed copy from a survivor's snapshot plus the writes logged
+// during the rebuild, restoring the replication factor without pausing
+// the write path.
+//
+// Across processes, a NetServer can front a replica in RoleReplica: it
+// serves reads from the local copy and answers writes with a redirect to
+// the primary (joins) or its address (everything else), which Client
+// follows; ClientConfig.FailoverRetries adds bounded-backoff redials after
+// node crashes. SimulationConfig.Replicas and .Failovers run whole
+// simulations over the replicated plane with scheduled crash/recover
+// events.
 package proxdisc
 
 import (
@@ -113,13 +144,23 @@ type ClusterConfig = cluster.Config
 // Cluster is a landmark-sharded management service: N server shards behind
 // a router that assigns each landmark to a shard, scatter-gathers
 // cross-landmark operations, and supports live landmark handoff between
-// shards (MoveLandmark). It exposes the same API as Server and returns
-// identical answers. Safe for concurrent use.
+// shards (MoveLandmark). With ClusterConfig.Replicas ≥ 2 each shard is a
+// replica set with automatic failover (FailShard, RecoverReplica,
+// CheckHealth). It exposes the same API as Server and returns identical
+// answers. Safe for concurrent use.
 type Cluster = cluster.Cluster
 
 // ClusterAssigner chooses the initial landmark→shard assignment of a
 // cluster; see cluster.RoundRobin and cluster.HashMod.
 type ClusterAssigner = cluster.Assigner
+
+// ShardHealth describes one cluster shard's replica set: its current
+// primary and how many of its configured replicas are live.
+type ShardHealth = cluster.ShardHealth
+
+// ClusterReplicaID names one replica of one cluster shard, as reported by
+// Cluster.CheckHealth.
+type ClusterReplicaID = cluster.ReplicaID
 
 // NewCluster builds a sharded management cluster for a set of landmark
 // routers.
@@ -149,8 +190,9 @@ func ListenLandmark(addr string) (*LandmarkResponder, error) {
 type Client = client.Client
 
 // ClientConfig tunes a management-server connection: request timeout,
-// the in-flight pipelining cap, and a switch to force the version-1
-// lock-step protocol.
+// the in-flight pipelining cap, a switch to force the version-1 lock-step
+// protocol, and the failover retry budget (FailoverRetries,
+// FailoverBackoff) for replicated deployments.
 type ClientConfig = client.Config
 
 // BatchJoinItem is one entry of a Client.JoinBatch call.
@@ -188,6 +230,10 @@ type WireCandidate = proto.Candidate
 // SimulationConfig configures a simulated deployment. See
 // experiment.WorldConfig for field documentation.
 type SimulationConfig = experiment.WorldConfig
+
+// SimFailoverEvent schedules a management-plane crash or recovery at a
+// point in a simulation's arrival sequence (SimulationConfig.Failovers).
+type SimFailoverEvent = experiment.FailoverEvent
 
 // Simulation is a complete in-process deployment over a generated
 // router-level topology: landmarks, tracer, and management server.

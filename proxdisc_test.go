@@ -199,3 +199,62 @@ func TestPublicShardedSimulation(t *testing.T) {
 		t.Fatalf("peers=%d", got)
 	}
 }
+
+// TestPublicReplicatedCluster drives the replication surface end to end:
+// replicated shards, a primary kill, a replica rebuild, and a scheduled
+// failover inside a simulation.
+func TestPublicReplicatedCluster(t *testing.T) {
+	landmarks := []RouterID{0, 100, 200, 300}
+	c, err := NewCluster(ClusterConfig{Landmarks: landmarks, Shards: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := [][]RouterID{
+		{10, 11, 0}, {12, 11, 0}, {20, 21, 100}, {22, 21, 100}, {30, 200}, {40, 300},
+	}
+	for i, path := range paths {
+		if _, err := c.Join(PeerID(i+1), path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range c.Health() {
+		if h.Live != 2 {
+			t.Fatalf("health=%+v", h)
+		}
+	}
+	if err := c.FailShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecoverReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NumPeers(); got != len(paths) {
+		t.Fatalf("peers=%d after failover+rebuild", got)
+	}
+	for i := range paths {
+		if _, err := c.Lookup(PeerID(i + 1)); err != nil {
+			t.Fatalf("lookup %d: %v", i+1, err)
+		}
+	}
+
+	sim, err := NewSimulation(SimulationConfig{
+		Topology:     TopologyConfig{CoreRouters: 200, LeafRouters: 200, EdgesPerNode: 2, Seed: 9},
+		NumLandmarks: 4,
+		Shards:       2,
+		Replicas:     2,
+		Failovers:    []SimFailoverEvent{{AfterJoins: 20, Shard: 0}},
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.JoinN(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Server.NumPeers(); got != 40 {
+		t.Fatalf("peers=%d", got)
+	}
+	if h := sim.Cluster().Health()[0]; h.Live != 1 {
+		t.Fatalf("scheduled failover did not run: %+v", h)
+	}
+}
