@@ -10,6 +10,8 @@ package proxdisc
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -18,11 +20,13 @@ import (
 	"proxdisc/internal/experiment"
 	"proxdisc/internal/loadgen"
 	"proxdisc/internal/netserver"
+	"proxdisc/internal/op"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/proto"
 	"proxdisc/internal/server"
 	"proxdisc/internal/topology"
 	"proxdisc/internal/traceroute"
+	"proxdisc/internal/wal"
 )
 
 // benchWorld is the standard world for experiment benches: the paper-scale
@@ -654,4 +658,141 @@ func BenchmarkServerJoinBatch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkWALAppend measures the durability tax of the write path: one
+// encoded join op appended to the write-ahead log per operation, with
+// group commit batching concurrent appenders into shared fsyncs. The
+// sync variants are the real durable cost; nosync isolates the framing
+// and buffering overhead from the disk.
+func BenchmarkWALAppend(b *testing.B) {
+	rec, err := op.Encode(op.Join(12345, buildClusterPath(benchClusterLandmarks[0], 777), "10.0.0.1:4100", 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name   string
+		nosync bool
+		par    bool
+	}{
+		{"sync", false, false},
+		{"sync-parallel", false, true},
+		{"nosync", true, false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			log, err := wal.Open(b.TempDir(), wal.Options{NoSync: bc.nosync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			b.SetBytes(int64(len(rec)))
+			b.ResetTimer()
+			if bc.par {
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, err := log.Append(rec); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				return
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := log.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures crash recovery: reopening a durable cluster
+// whose data directory holds an on-disk snapshot plus a WAL tail of
+// acknowledged joins, timing the snapshot restore and tail replay that
+// rebuild the shards exactly.
+func BenchmarkRecovery(b *testing.B) {
+	const (
+		snapshotPeers = 4000
+		tailJoins     = 1000
+	)
+	dir := b.TempDir()
+	cfg := cluster.Config{
+		Landmarks: benchClusterLandmarks,
+		Shards:    4,
+		DataDir:   dir,
+		NoSync:    true, // setup speed; recovery reads are sync-independent
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	join := func(id int64) {
+		lm := benchClusterLandmarks[rng.Intn(len(benchClusterLandmarks))]
+		if _, err := c.Join(pathtree.PeerID(id), buildClusterPath(lm, rng.Intn(200_000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	id := int64(1)
+	for i := 0; i < snapshotPeers; i++ {
+		join(id)
+		id++
+	}
+	if err := c.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < tailJoins; i++ {
+		join(id)
+		id++
+	}
+	// Crash: the setup cluster is abandoned un-Closed (a Close would
+	// checkpoint and truncate away the very tail this bench measures).
+	// Each iteration recovers from a throwaway copy of the directory, so
+	// the recovered cluster can be Closed — no fd/goroutine pile-up —
+	// without its shutdown checkpoint contaminating later iterations.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		iterCfg := cfg
+		iterCfg.DataDir = copyDataDir(b, dir)
+		b.StartTimer()
+		re, err := cluster.New(iterCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := re.NumPeers(); got != snapshotPeers+tailJoins {
+			b.Fatalf("recovered %d peers, want %d", got, snapshotPeers+tailJoins)
+		}
+		b.StopTimer()
+		if err := re.Close(); err != nil {
+			b.Fatal(err)
+		}
+		os.RemoveAll(iterCfg.DataDir)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(snapshotPeers+tailJoins), "peers/recovery")
+}
+
+// copyDataDir clones a durable data directory for one recovery iteration.
+func copyDataDir(b *testing.B, src string) string {
+	b.Helper()
+	dst := filepath.Join(b.TempDir(), "data")
+	if err := os.MkdirAll(dst, 0o777); err != nil {
+		b.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o666); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return dst
 }

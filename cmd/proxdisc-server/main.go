@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -56,6 +57,7 @@ func main() {
 		primAddr   = flag.String("primary-addr", "", "the primary node's TCP address (required with -role replica)")
 		workers    = flag.Int("workers", 0, "pipelined-request worker pool size (0 = 4×GOMAXPROCS)")
 		maxBatch   = flag.Int("max-batch", 0, "largest batch join accepted (0 = wire-format maximum)")
+		dataDir    = flag.String("data-dir", "", "directory for durable state (WAL + snapshots); restart recovers the acknowledged peer set")
 	)
 	flag.Parse()
 
@@ -81,14 +83,24 @@ func main() {
 		log.Fatalf("proxdisc-server: unknown -role %q", *role)
 	}
 	var logic management
-	if *shards > 1 || *replicas > 1 {
-		logic, err = cluster.New(cluster.Config{
+	var clu *cluster.Cluster
+	if *shards > 1 || *replicas > 1 || *dataDir != "" {
+		// A durable deployment always runs the cluster plane (a 1-shard,
+		// 1-replica cluster answers identically to a standalone server):
+		// the cluster owns the WAL and the snapshot cadence.
+		clusterDir := ""
+		if *dataDir != "" {
+			clusterDir = filepath.Join(*dataDir, "cluster")
+		}
+		clu, err = cluster.New(cluster.Config{
 			Landmarks:     lmIDs,
 			Shards:        *shards,
 			Replicas:      *replicas,
 			NeighborCount: *neighbors,
 			PeerTTL:       *ttl,
+			DataDir:       clusterDir,
 		})
+		logic = clu
 	} else {
 		logic, err = server.New(server.Config{
 			Landmarks:     lmIDs,
@@ -98,6 +110,9 @@ func main() {
 	}
 	if err != nil {
 		log.Fatalf("proxdisc-server: %v", err)
+	}
+	if clu != nil && clu.NumPeers() > 0 {
+		log.Printf("recovered %d peers from %s", clu.NumPeers(), *dataDir)
 	}
 
 	lmAddrs := make(map[topology.NodeID]string)
@@ -121,6 +136,10 @@ func main() {
 		}
 	}
 
+	frontDir := ""
+	if *dataDir != "" {
+		frontDir = filepath.Join(*dataDir, "front")
+	}
 	ns, err := netserver.Listen(netserver.Config{
 		Addr:          *addr,
 		Server:        logic,
@@ -129,6 +148,7 @@ func main() {
 		PrimaryAddr:   *primAddr,
 		Workers:       *workers,
 		MaxBatch:      *maxBatch,
+		DataDir:       frontDir,
 		Logf:          log.Printf,
 	})
 	if err != nil {
@@ -151,9 +171,18 @@ func main() {
 		}()
 	}
 	<-stop
-	log.Print("shutting down")
+	// Graceful shutdown: stop accepting and drain in-flight connections
+	// first, then flush a final snapshot and close the WAL cleanly, so the
+	// next start replays an empty log tail.
+	log.Print("shutting down: draining connections")
 	if err := ns.Close(); err != nil {
 		log.Printf("close: %v", err)
+	}
+	if clu != nil && clu.Durable() {
+		log.Print("flushing final snapshot and closing WAL")
+		if err := clu.Close(); err != nil {
+			log.Printf("durable close: %v", err)
+		}
 	}
 	st := logic.Stats()
 	fmt.Printf("final stats: peers=%d joins=%d leaves=%d expiries=%d queries=%d\n",

@@ -28,11 +28,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"proxdisc/internal/op"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/server"
 	"proxdisc/internal/topology"
+	"proxdisc/internal/wal"
 )
 
 // Config parameterizes a cluster.
@@ -58,6 +61,22 @@ type Config struct {
 	// replica; returning false marks the replica failed (promoting a
 	// survivor when it was the primary).
 	HealthCheck func(shard, replica int, s *server.Server) bool
+
+	// DataDir, when set, makes the node durable: every acknowledged write
+	// is appended as a typed op to a write-ahead log under the directory
+	// (group-commit fsync) before the call returns, and the cluster's
+	// state is periodically snapshotted there. New opens the directory
+	// first and rebuilds the shards from snapshot plus log tail, so a
+	// restarted node serves exactly the peer set it acknowledged.
+	DataDir string
+	// SnapshotEvery is the number of logged ops between automatic
+	// background snapshots (and the WAL truncation that follows them).
+	// Default 8192; ignored without DataDir.
+	SnapshotEvery int
+	// NoSync skips fsync on the write-ahead log. It trades machine-crash
+	// durability for speed (process crashes lose nothing); benchmarks and
+	// tests that model process kills use it.
+	NoSync bool
 
 	// NeighborCount, PeerTTL, Clock, and TreeOptions are passed through to
 	// every shard; see server.Config.
@@ -91,6 +110,38 @@ type Cluster struct {
 	hoMu sync.Mutex
 
 	idx *peerIndex
+
+	// log is the node's write-ahead log; nil when the cluster is not
+	// durable. See durable.go.
+	log          *wal.Log
+	opsSinceSnap atomic.Int64
+	snapMu       sync.Mutex // one checkpoint at a time
+	snapCh       chan struct{}
+	snapStop     chan struct{}
+	snapWG       sync.WaitGroup
+	snapErrMu    sync.Mutex
+	snapErr      error // last background checkpoint failure
+	closeOnce    sync.Once
+}
+
+// now reads the cluster clock.
+func (c *Cluster) now() time.Time {
+	if c.cfg.Clock != nil {
+		return c.cfg.Clock()
+	}
+	return time.Now()
+}
+
+// stamp fills a zero op timestamp from the cluster clock, so the primary,
+// every replica, and the write-ahead log all see the same instant.
+func (c *Cluster) stamp(o op.Op) op.Op {
+	if o.Time == 0 {
+		switch o.Kind {
+		case op.KindJoin, op.KindBatchJoin, op.KindRefresh:
+			o.Time = c.now().UnixNano()
+		}
+	}
+	return o
 }
 
 // New builds a cluster of cfg.Shards management-server shards.
@@ -150,6 +201,11 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.shards[i] = g
 	}
+	if cfg.DataDir != "" {
+		if err := c.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -188,10 +244,34 @@ func (c *Cluster) NeighborCount() int { return c.shards[0].primarySrv().Neighbor
 // that landmark is mid-handoff the join is buffered until the transfer
 // completes and then replayed against the new owner.
 func (c *Cluster) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
-	if len(path) == 0 {
+	return c.JoinOp(op.Join(p, path, "", 0))
+}
+
+// JoinOp answers and applies a KindJoin op: Join's op-native form, used by
+// front ends whose joins carry overlay addresses. The op is committed to
+// the write-ahead log (when the node is durable) before the answer is
+// returned, so an acknowledged join survives a crash.
+func (c *Cluster) JoinOp(o op.Op) ([]pathtree.Candidate, error) {
+	o = c.stamp(o)
+	cands, err := c.joinRoute(o, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.commit(o); err != nil {
+		return nil, err
+	}
+	return cands, nil
+}
+
+// joinRoute routes a join op to the shard owning its path's landmark,
+// waiting out handoffs and failovers, and maintains the peer index. It is
+// the shared road of answering joins (quiet=false) and silent replay
+// (quiet=true, the WAL recovery path).
+func (c *Cluster) joinRoute(o op.Op, quiet bool) ([]pathtree.Candidate, error) {
+	if len(o.Join.Path) == 0 {
 		return nil, errors.New("server: empty path")
 	}
-	lm := path[len(path)-1]
+	lm := o.Join.Path[len(o.Join.Path)-1]
 	for {
 		c.mu.RLock()
 		shard, ok := c.table[lm]
@@ -214,27 +294,39 @@ func (c *Cluster) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Ca
 		// lands, so the snapshot it takes will include us.
 		c.opMu.RLock()
 		c.mu.RUnlock()
-		cands, err := c.shards[shard].join(p, path)
+		res, err := c.shards[shard].applyOp(o, quiet)
 		if err == nil {
-			if old, had := c.idx.swap(p, shard); had && old != shard {
+			if old, had := c.idx.swap(o.Join.Peer, shard); had && old != shard {
 				// Re-join under a landmark owned by a different shard:
 				// retire the stale record, mirroring the single-server
 				// behaviour of replacing rather than duplicating.
-				c.shards[old].leave(p)
+				c.shards[old].leave(o.Join.Peer)
 			}
 		}
 		c.opMu.RUnlock()
-		return cands, err
+		return res.cands, err
 	}
 }
 
-// JoinBatch registers a batch of peers, grouping entries by the shard
+// JoinBatch registers a batch of peers; see JoinBatchOp.
+func (c *Cluster) JoinBatch(items []server.BatchJoin) []server.BatchResult {
+	entries := make([]op.JoinEntry, len(items))
+	for i, it := range items {
+		entries[i] = op.JoinEntry{Peer: it.Peer, Addr: it.Addr, Path: it.Path}
+	}
+	return c.JoinBatchOp(op.BatchJoin(entries, 0))
+}
+
+// JoinBatchOp registers a batch of peers, grouping entries by the shard
 // owning each path's landmark so every shard is hit with one
-// single-lock-acquisition server.JoinBatch call instead of per-join locking.
+// single-lock-acquisition batch apply instead of per-join locking.
 // Entries whose landmark is mid-handoff fall back to the waiting Join path
 // after the grouped entries complete. Results are positional: out[i]
-// answers items[i].
-func (c *Cluster) JoinBatch(items []server.BatchJoin) []server.BatchResult {
+// answers o.Batch[i]. On a durable node the accepted entries are
+// committed to the write-ahead log before the answers are returned.
+func (c *Cluster) JoinBatchOp(o op.Op) []server.BatchResult {
+	o = c.stamp(o)
+	items := o.Batch
 	out := make([]server.BatchResult, len(items))
 	if len(items) == 0 {
 		return out
@@ -273,23 +365,31 @@ func (c *Cluster) JoinBatch(items []server.BatchJoin) []server.BatchResult {
 			groups[shard] = g
 		}
 		g.idxs = append(g.idxs, i)
-		g.items = append(g.items, *it)
+		g.entries = append(g.entries, *it)
 	}
 	// Taking opMu before releasing mu pins the resolved shards, exactly as
 	// in Join: a handoff starting now drains behind this batch, so the
 	// snapshot it takes includes every entry applied here.
 	c.opMu.RLock()
 	c.mu.RUnlock()
+	var accepted []op.JoinEntry
 	for shard := 0; shard < len(c.shards); shard++ {
 		g := groups[shard]
 		if g == nil {
 			continue
 		}
-		res := c.shards[shard].joinBatch(g.items)
-		for k := range res {
+		res, err := c.shards[shard].applyOp(op.BatchJoin(g.entries, o.Time), false)
+		if err != nil {
+			for _, i := range g.idxs {
+				out[i].Err = err
+			}
+			continue
+		}
+		for k := range res.batch {
 			i := g.idxs[k]
-			out[i] = res[k]
-			if res[k].Err == nil {
+			out[i] = res.batch[k]
+			if res.batch[k].Err == nil {
+				accepted = append(accepted, items[i])
 				if old, had := c.idx.swap(items[i].Peer, shard); had && old != shard {
 					c.shards[old].leave(items[i].Peer)
 				}
@@ -297,12 +397,24 @@ func (c *Cluster) JoinBatch(items []server.BatchJoin) []server.BatchResult {
 		}
 	}
 	c.opMu.RUnlock()
+	if len(accepted) > 0 {
+		if err := c.commit(op.BatchJoin(accepted, o.Time)); err != nil {
+			// The entries applied but are not durable: withdraw the
+			// acknowledgement so no client treats them as committed.
+			for i := range out {
+				if out[i].Err == nil {
+					out[i] = server.BatchResult{Err: err}
+				}
+			}
+			return out
+		}
+	}
 	// Entries caught mid-handoff (which wait for the transfer) and
 	// duplicate-peer entries (which need batch order) take the singular
 	// path, in batch order; both are rare, so the flash-crowd case loses
 	// nothing.
 	for _, i := range deferred {
-		out[i].Neighbors, out[i].Err = c.Join(items[i].Peer, items[i].Path)
+		out[i].Neighbors, out[i].Err = c.JoinOp(op.Op{Kind: op.KindJoin, Time: o.Time, Join: items[i]})
 	}
 	return out
 }
@@ -310,8 +422,8 @@ func (c *Cluster) JoinBatch(items []server.BatchJoin) []server.BatchResult {
 // batchGroup collects the batch entries bound for one shard and their
 // positions in the caller's slice.
 type batchGroup struct {
-	idxs  []int
-	items []server.BatchJoin
+	idxs    []int
+	entries []op.JoinEntry
 }
 
 // Lookup re-answers the closest-peers query for a registered peer,
@@ -336,12 +448,61 @@ func (c *Cluster) Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error) {
 
 // Refresh updates a peer's liveness timestamp.
 func (c *Cluster) Refresh(p pathtree.PeerID) error {
-	return c.onPeerShard(p, func(g *shardGroup) error { return g.refresh(p) })
+	return c.Apply(op.Refresh(p, 0))
 }
 
 // SetSuperPeer marks or unmarks peer p as a super-peer.
 func (c *Cluster) SetSuperPeer(p pathtree.PeerID, super bool) error {
-	return c.onPeerShard(p, func(g *shardGroup) error { return g.setSuperPeer(p, super) })
+	return c.Apply(op.SetSuperPeer(p, super))
+}
+
+// Apply routes one answerless typed op — a leave, refresh, super-peer
+// flag, expiry sweep, or (on the recovery path) a silent join — through
+// the same shard machinery the answering entry points use, and commits it
+// to the write-ahead log on durable nodes. It is the Backend write
+// surface for front ends that have already decoded a wire request into an
+// op. Leave of an unknown peer returns server.ErrUnknownPeer.
+func (c *Cluster) Apply(o op.Op) error {
+	o = c.stamp(o)
+	if err := c.applyRouted(o, false); err != nil {
+		return err
+	}
+	return c.commit(o)
+}
+
+// applyRouted dispatches an op to the shard(s) it concerns without
+// logging it: the shared body of Apply and WAL replay.
+func (c *Cluster) applyRouted(o op.Op, quiet bool) error {
+	switch o.Kind {
+	case op.KindJoin:
+		_, err := c.joinRoute(o, quiet)
+		return err
+	case op.KindBatchJoin:
+		// Reaches here only on replay (the answering path is JoinBatchOp):
+		// recorded batches carry only accepted entries, so route each one
+		// silently through the singular path.
+		for i := range o.Batch {
+			if _, err := c.joinRoute(op.Op{Kind: op.KindJoin, Time: o.Time, Join: o.Batch[i]}, quiet); err != nil {
+				return err
+			}
+		}
+		return nil
+	case op.KindLeave:
+		if !c.leaveRouted(o.Peer) {
+			return fmt.Errorf("%w: %d", server.ErrUnknownPeer, o.Peer)
+		}
+		return nil
+	case op.KindRefresh, op.KindSetSuperPeer:
+		return c.onPeerShard(o.Peer, func(g *shardGroup) error {
+			_, err := g.applyOp(o, quiet)
+			return err
+		})
+	case op.KindExpire:
+		c.expireRouted(o)
+		return nil
+	default:
+		return fmt.Errorf("cluster: cannot apply op kind %d", o.Kind)
+	}
 }
 
 // onPeerShard runs fn against the shard group holding peer p, retrying once
@@ -380,8 +541,15 @@ func (c *Cluster) PeerInfo(p pathtree.PeerID) (server.PeerInfo, error) {
 	return info, err
 }
 
-// Leave removes peer p; it reports whether the peer was registered.
+// Leave removes peer p; it reports whether the peer was registered (and,
+// on a durable node, whether the removal was committed to the log).
 func (c *Cluster) Leave(p pathtree.PeerID) bool {
+	return c.Apply(op.Leave(p)) == nil
+}
+
+// leaveRouted removes peer p from the shard holding it, reporting whether
+// the peer was registered. Shared by Apply and WAL replay.
+func (c *Cluster) leaveRouted(p pathtree.PeerID) bool {
 	shard, ok := c.idx.get(p)
 	if !ok {
 		return false
@@ -433,18 +601,44 @@ func (c *Cluster) Peers() []pathtree.PeerID {
 }
 
 // Expire sweeps every shard for peers past their TTL, returning the merged
-// expired IDs in ascending order. It serializes with handoffs (hoMu) and
-// freezes membership for the duration of the sweep (opMu in write mode),
-// so an expired peer cannot re-join between the shard sweep and the index
-// cleanup and have its fresh index entry deleted.
+// expired IDs in ascending order. The sweep is replicated and logged as a
+// single ExpireOp carrying the deadline — not as per-peer leaves — so
+// replica logs and the WAL stay compact and byte-comparable, and every
+// copy (or a restarted node) re-derives the identical expiry set from the
+// deadline and the op-carried refresh timestamps. A zero PeerTTL disables
+// expiry.
 func (c *Cluster) Expire() []pathtree.PeerID {
+	if c.cfg.PeerTTL <= 0 {
+		return nil
+	}
+	o := op.Expire(c.now().Add(-c.cfg.PeerTTL).UnixNano())
+	out := c.expireRouted(o)
+	if len(out) > 0 {
+		if err := c.commit(o); err != nil {
+			// The sweep already applied but is not durable, and this
+			// signature cannot carry an error. Record it for Close (and
+			// note the WAL's failure is sticky: every later write will
+			// fail loudly, so the node cannot silently keep acking).
+			c.noteDurableErr(err)
+		}
+	}
+	return out
+}
+
+// expireRouted fans an ExpireOp out to every shard. It serializes with
+// handoffs (hoMu) and freezes membership for the duration of the sweep
+// (opMu in write mode), so an expired peer cannot re-join between the
+// shard sweep and the index cleanup and have its fresh index entry
+// deleted.
+func (c *Cluster) expireRouted(o op.Op) []pathtree.PeerID {
 	c.hoMu.Lock()
 	defer c.hoMu.Unlock()
 	c.opMu.Lock()
 	defer c.opMu.Unlock()
 	per := make([][]pathtree.PeerID, len(c.shards))
 	_ = c.forEachGroup(context.Background(), func(i int, g *shardGroup) error {
-		per[i] = g.expire()
+		res, _ := g.applyOp(o, false)
+		per[i] = res.expired
 		return nil
 	})
 	var out []pathtree.PeerID

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"proxdisc/internal/op"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+	"proxdisc/internal/wal"
+)
+
+// defaultSnapshotEvery is the op count between automatic checkpoints.
+const defaultSnapshotEvery = 8192
+
+// Durable reports whether the node persists its writes (Config.DataDir).
+func (c *Cluster) Durable() bool { return c.log != nil }
+
+// openDurable opens the data directory, rebuilds the shards from the
+// latest snapshot plus the write-ahead log tail, and arms the background
+// checkpointer. Called by New before the cluster is visible to anyone.
+func (c *Cluster) openDurable() error {
+	log, err := wal.Open(c.cfg.DataDir, wal.Options{NoSync: c.cfg.NoSync})
+	if err != nil {
+		return err
+	}
+	var snapSeq uint64
+	if r, seq, ok, err := wal.OpenLatestSnapshot(c.cfg.DataDir); err != nil {
+		log.Close()
+		return err
+	} else if ok {
+		err := c.restoreSnapshot(r)
+		r.Close()
+		if err != nil {
+			log.Close()
+			return err
+		}
+		snapSeq = seq
+		// The log can never fall behind its snapshot's sequence (possible
+		// only when segment files were removed out from under it).
+		log.EnsureSeq(snapSeq)
+	}
+	if err := log.Replay(snapSeq, func(seq uint64, rec []byte) error {
+		o, err := op.Decode(rec)
+		if err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		return c.applyRecovered(seq, o)
+	}); err != nil {
+		log.Close()
+		return err
+	}
+	c.log = log
+	if c.cfg.SnapshotEvery <= 0 {
+		c.cfg.SnapshotEvery = defaultSnapshotEvery
+	}
+	c.snapCh = make(chan struct{}, 1)
+	c.snapStop = make(chan struct{})
+	c.snapWG.Add(1)
+	go c.checkpointLoop()
+	return nil
+}
+
+// restoreSnapshot loads a whole-cluster snapshot (one merged server
+// snapshot, as Cluster.Snapshot writes) and deals its landmark trees out
+// to the owning shards through the same SnapshotLandmarks/Absorb
+// machinery landmark handoffs use, rebuilding the peer index as it goes.
+func (c *Cluster) restoreSnapshot(r io.Reader) error {
+	tmp, err := server.Restore(r, server.Config{
+		PeerTTL:     c.cfg.PeerTTL,
+		Clock:       c.cfg.Clock,
+		TreeOptions: c.cfg.TreeOptions,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot restore: %w", err)
+	}
+	perShard := make(map[int][]topology.NodeID)
+	for _, lm := range tmp.Landmarks() {
+		shard, ok := c.table[lm]
+		if !ok {
+			return fmt.Errorf("cluster: snapshot landmark %d is not in the configured landmark set", lm)
+		}
+		perShard[shard] = append(perShard[shard], lm)
+	}
+	for shard, lms := range perShard {
+		var buf bytes.Buffer
+		if err := tmp.SnapshotLandmarks(&buf, lms...); err != nil {
+			return fmt.Errorf("cluster: snapshot split: %w", err)
+		}
+		restored, err := c.shards[shard].absorb(buf.Bytes())
+		if err != nil {
+			return fmt.Errorf("cluster: snapshot absorb into shard %d: %w", shard, err)
+		}
+		for _, p := range restored {
+			c.idx.swap(p, shard)
+		}
+	}
+	return nil
+}
+
+// applyRecovered replays one logged op through the normal routing,
+// silently (no answers, no re-logging). A leave, refresh, or super-flag
+// whose peer is gone is tolerated: commit order can differ from apply
+// order for operations racing on the same peer, and either serialization
+// is a valid history.
+func (c *Cluster) applyRecovered(seq uint64, o op.Op) error {
+	err := c.applyRouted(o, true)
+	if err != nil && !errors.Is(err, server.ErrUnknownPeer) {
+		return fmt.Errorf("cluster: replay record %d: %w", seq, err)
+	}
+	return nil
+}
+
+// commit makes one applied op durable: it is encoded with the canonical
+// op codec and appended to the write-ahead log, returning once the record
+// is on disk (group commit batches concurrent writers into shared
+// fsyncs). Batches wider than the codec's cap are split. Non-durable
+// nodes commit for free.
+func (c *Cluster) commit(o op.Op) error {
+	if c.log == nil {
+		return nil
+	}
+	n := 1
+	if o.Kind == op.KindBatchJoin && len(o.Batch) > op.MaxBatch {
+		n = (len(o.Batch) + op.MaxBatch - 1) / op.MaxBatch
+	}
+	recs := make([][]byte, 0, n)
+	if n == 1 {
+		rec, err := op.Encode(o)
+		if err != nil {
+			return fmt.Errorf("cluster: encode op: %w", err)
+		}
+		recs = append(recs, rec)
+	} else {
+		for start := 0; start < len(o.Batch); start += op.MaxBatch {
+			end := start + op.MaxBatch
+			if end > len(o.Batch) {
+				end = len(o.Batch)
+			}
+			rec, err := op.Encode(op.BatchJoin(o.Batch[start:end], o.Time))
+			if err != nil {
+				return fmt.Errorf("cluster: encode op: %w", err)
+			}
+			recs = append(recs, rec)
+		}
+	}
+	if _, err := c.log.Append(recs...); err != nil {
+		return fmt.Errorf("cluster: wal append: %w", err)
+	}
+	if m := c.opsSinceSnap.Add(int64(len(recs))); m >= int64(c.cfg.SnapshotEvery) &&
+		c.opsSinceSnap.CompareAndSwap(m, 0) {
+		select {
+		case c.snapCh <- struct{}{}:
+		default: // a checkpoint is already pending
+		}
+	}
+	return nil
+}
+
+// noteDurableErr records a durability failure that could not be returned
+// to its caller (a background checkpoint, an Expire sweep's commit); Close
+// surfaces the last one.
+func (c *Cluster) noteDurableErr(err error) {
+	c.snapErrMu.Lock()
+	c.snapErr = err
+	c.snapErrMu.Unlock()
+}
+
+// checkpointLoop runs automatic checkpoints off the write path.
+func (c *Cluster) checkpointLoop() {
+	defer c.snapWG.Done()
+	for {
+		select {
+		case <-c.snapCh:
+			if err := c.Checkpoint(); err != nil {
+				c.noteDurableErr(err)
+			}
+		case <-c.snapStop:
+			return
+		}
+	}
+}
+
+// Checkpoint writes a point-in-time snapshot of the whole cluster to the
+// data directory, retires older snapshots, and truncates the write-ahead
+// log below the new snapshot's sequence. The sequence is captured before
+// the state is serialized, so the snapshot covers at least every logged
+// op up to it; writes that land during serialization may additionally be
+// included, and replaying the tail over them converges because every op
+// is a deterministic, timestamp-carrying overwrite.
+func (c *Cluster) Checkpoint() error {
+	if c.log == nil {
+		return errors.New("cluster: Checkpoint on a non-durable cluster (no DataDir)")
+	}
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	seq := c.log.LastSeq()
+	if err := wal.WriteSnapshot(c.cfg.DataDir, seq, c.Snapshot); err != nil {
+		return fmt.Errorf("cluster: checkpoint: %w", err)
+	}
+	if err := wal.RemoveSnapshotsBefore(c.cfg.DataDir, seq); err != nil {
+		return err
+	}
+	return c.log.TruncateBefore(seq + 1)
+}
+
+// Close makes the node's shutdown clean: it stops the background
+// checkpointer, flushes a final snapshot (so the next Open replays an
+// empty tail), and closes the write-ahead log. Writes after Close fail.
+// On a non-durable cluster Close is a no-op. It also surfaces the last
+// background checkpoint failure, if any.
+func (c *Cluster) Close() error {
+	if c.log == nil {
+		return nil
+	}
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.snapStop)
+		c.snapWG.Wait()
+		err = c.Checkpoint()
+		if cerr := c.log.Close(); err == nil {
+			err = cerr
+		}
+		c.snapErrMu.Lock()
+		if err == nil {
+			err = c.snapErr
+		}
+		c.snapErrMu.Unlock()
+	})
+	return err
+}

@@ -1,0 +1,638 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"errors"
+
+	"proxdisc/internal/op"
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/server"
+	"proxdisc/internal/topology"
+	"proxdisc/internal/wal"
+)
+
+// durableConfig builds a durable test config over the shared landmark set.
+func durableConfig(dir string, shards, replicas int) Config {
+	return Config{
+		Landmarks: testLandmarks,
+		Shards:    shards,
+		Replicas:  replicas,
+		DataDir:   dir,
+	}
+}
+
+// clusterAnswers captures everything a client could observe: the peer
+// set, each peer's record, and each peer's closest-peers answer.
+type clusterAnswers struct {
+	peers []pathtree.PeerID
+	infos map[pathtree.PeerID]server.PeerInfo
+	cands map[pathtree.PeerID][]pathtree.Candidate
+}
+
+func captureAnswers(t *testing.T, c *Cluster) clusterAnswers {
+	t.Helper()
+	a := clusterAnswers{
+		peers: c.Peers(),
+		infos: make(map[pathtree.PeerID]server.PeerInfo),
+		cands: make(map[pathtree.PeerID][]pathtree.Candidate),
+	}
+	for _, p := range a.peers {
+		info, err := c.PeerInfo(p)
+		if err != nil {
+			t.Fatalf("PeerInfo(%d): %v", p, err)
+		}
+		a.infos[p] = info
+		cands, err := c.Lookup(p)
+		if err != nil {
+			t.Fatalf("Lookup(%d): %v", p, err)
+		}
+		a.cands[p] = cands
+	}
+	return a
+}
+
+func assertSameAnswers(t *testing.T, want, got clusterAnswers, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.peers, got.peers) {
+		t.Fatalf("%s: peer sets differ:\n want %v\n got  %v", label, want.peers, got.peers)
+	}
+	for _, p := range want.peers {
+		if !reflect.DeepEqual(want.infos[p], got.infos[p]) {
+			t.Errorf("%s: PeerInfo(%d) differs:\n want %+v\n got  %+v", label, p, want.infos[p], got.infos[p])
+		}
+		if !reflect.DeepEqual(want.cands[p], got.cands[p]) {
+			t.Errorf("%s: Lookup(%d) differs:\n want %v\n got  %v", label, p, want.cands[p], got.cands[p])
+		}
+	}
+}
+
+// runWorkload drives every op kind through the cluster: singular and
+// batched joins (with overlay addresses), re-joins under new landmarks,
+// leaves, refreshes, and super-peer flags.
+func runWorkload(t *testing.T, c *Cluster) {
+	t.Helper()
+	for i := 0; i < 48; i++ {
+		p := pathtree.PeerID(i + 1)
+		lm := testLandmarks[i%len(testLandmarks)]
+		if i%3 == 0 {
+			if _, err := c.JoinOp(op.Join(p, synthPath(lm, i), fmt.Sprintf("10.0.0.%d:41", i), 0)); err != nil {
+				t.Fatalf("join %d: %v", p, err)
+			}
+			continue
+		}
+		if _, err := c.Join(p, synthPath(lm, i)); err != nil {
+			t.Fatalf("join %d: %v", p, err)
+		}
+	}
+	// A batch with addresses, including a re-join that moves peer 2 to a
+	// different landmark's shard.
+	var entries []op.JoinEntry
+	for i := 0; i < 8; i++ {
+		entries = append(entries, op.JoinEntry{
+			Peer: pathtree.PeerID(100 + i),
+			Addr: fmt.Sprintf("10.1.0.%d:41", i),
+			Path: synthPath(testLandmarks[(i+3)%len(testLandmarks)], 60+i),
+		})
+	}
+	entries = append(entries, op.JoinEntry{Peer: 2, Path: synthPath(testLandmarks[5], 70)})
+	for _, res := range c.JoinBatchOp(op.BatchJoin(entries, 0)) {
+		if res.Err != nil {
+			t.Fatalf("batch join: %v", res.Err)
+		}
+	}
+	for p := pathtree.PeerID(1); p <= 10; p++ {
+		if err := c.Refresh(p); err != nil {
+			t.Fatalf("refresh %d: %v", p, err)
+		}
+	}
+	if err := c.SetSuperPeer(7, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetSuperPeer(8, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetSuperPeer(8, false); err != nil {
+		t.Fatal(err)
+	}
+	for p := pathtree.PeerID(40); p <= 44; p++ {
+		if !c.Leave(p) {
+			t.Fatalf("leave %d failed", p)
+		}
+	}
+}
+
+// TestCrashRecoveryExactState is the headline durability contract: a node
+// that crashed without any shutdown flush (the WAL is simply abandoned
+// mid-workload, kill -9 style) reopens from its data directory and serves
+// the exact peer set and the exact answers it acknowledged — across
+// standalone, sharded, and replicated planes.
+func TestCrashRecoveryExactState(t *testing.T) {
+	for _, tc := range []struct{ shards, replicas int }{
+		{1, 1},
+		{4, 1},
+		{2, 2},
+	} {
+		t.Run(fmt.Sprintf("shards=%d,replicas=%d", tc.shards, tc.replicas), func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := New(durableConfig(dir, tc.shards, tc.replicas))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runWorkload(t, c)
+			want := captureAnswers(t, c)
+			// Crash: no Close, no final snapshot — the cluster object is
+			// abandoned with its WAL mid-life.
+			c = nil
+
+			re, err := New(durableConfig(dir, tc.shards, tc.replicas))
+			if err != nil {
+				t.Fatalf("reopen after crash: %v", err)
+			}
+			defer re.Close()
+			assertSameAnswers(t, want, captureAnswers(t, re), "after crash")
+			if got := re.NumPeers(); got != len(want.peers) {
+				t.Fatalf("peer index rebuilt with %d entries, want %d", got, len(want.peers))
+			}
+			// The recovered node keeps serving writes.
+			if _, err := re.Join(999, synthPath(testLandmarks[0], 99)); err != nil {
+				t.Fatalf("join after recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryMatchesUninterruptedRun feeds the identical workload
+// to a durable plane (which then crashes and recovers) and to a plain
+// in-memory control, under the same injected clock: the recovered node's
+// answers must be indistinguishable from the run that never crashed.
+func TestCrashRecoveryMatchesUninterruptedRun(t *testing.T) {
+	now := time.Unix(5000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(time.Millisecond)
+		return now
+	}
+	dir := t.TempDir()
+	cfgDurable := durableConfig(dir, 4, 1)
+	cfgDurable.Clock = clock
+
+	durable, err := New(cfgDurable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, durable)
+	durable = nil // crash
+
+	mu.Lock()
+	now = time.Unix(5000, 0) // rewind for the control run
+	mu.Unlock()
+	control, err := New(Config{Landmarks: testLandmarks, Shards: 4, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, control)
+
+	re, err := New(durableConfig(dir, 4, 1))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	assertSameAnswers(t, captureAnswers(t, control), captureAnswers(t, re), "crash+recover vs uninterrupted")
+}
+
+// TestCleanShutdownTruncatesLog verifies the graceful path: Close writes
+// a final snapshot and truncates the WAL, the reopened node replays an
+// empty tail, and the answers still match.
+func TestCleanShutdownTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(durableConfig(dir, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, c)
+	want := captureAnswers(t, c)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close is idempotent.
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// A snapshot exists and the log was truncated at it: replaying the
+	// tail after the snapshot sequence yields nothing.
+	snaps, err := wal.Snapshots(dir)
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshot after Close: %v err=%v", snaps, err)
+	}
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := 0
+	if err := log.Replay(snaps[len(snaps)-1], func(uint64, []byte) error { tail++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	if tail != 0 {
+		t.Fatalf("%d log records left after the final snapshot", tail)
+	}
+
+	re, err := New(durableConfig(dir, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertSameAnswers(t, want, captureAnswers(t, re), "after clean shutdown")
+}
+
+// TestCheckpointMidWorkloadThenCrash exercises snapshot+tail recovery:
+// a checkpoint lands mid-workload, more acknowledged writes follow, the
+// node crashes, and recovery must splice snapshot and log tail back into
+// the exact acknowledged state.
+func TestCheckpointMidWorkloadThenCrash(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(durableConfig(dir, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Join(pathtree.PeerID(i+1), synthPath(testLandmarks[i%8], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for i := 20; i < 40; i++ {
+		if _, err := c.Join(pathtree.PeerID(i+1), synthPath(testLandmarks[i%8], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Leave(5) {
+		t.Fatal("leave failed")
+	}
+	want := captureAnswers(t, c)
+	c = nil // crash
+
+	re, err := New(durableConfig(dir, 4, 1))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	assertSameAnswers(t, want, captureAnswers(t, re), "snapshot+tail")
+}
+
+// TestAutoSnapshotTriggers drives enough commits past SnapshotEvery that
+// the background checkpointer must fire, then crashes and recovers.
+func TestAutoSnapshotTriggers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, 2, 1)
+	cfg.SnapshotEvery = 16
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := c.Join(pathtree.PeerID(i+1), synthPath(testLandmarks[i%8], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snaps, err := wal.Snapshots(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no automatic snapshot after 200 commits with SnapshotEvery=16")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	want := captureAnswers(t, c)
+	c = nil // crash
+
+	re, err := New(durableConfig(dir, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertSameAnswers(t, want, captureAnswers(t, re), "after auto snapshot")
+}
+
+// TestTornWalTailIgnored simulates a crash mid-append: garbage shaped
+// like a half-written record lands at the end of the newest segment. The
+// torn bytes were never acknowledged, so recovery must serve everything
+// acknowledged and drop the tail without complaint.
+func TestTornWalTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(durableConfig(dir, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := c.Join(pathtree.PeerID(i+1), synthPath(testLandmarks[i%8], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := captureAnswers(t, c)
+	c = nil // crash
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v err=%v", segs, err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 42, 0, 0, 0, 0, 0, 0, 0, 13, 0xca, 0xfe, 0xba})
+	f.Close()
+
+	re, err := New(durableConfig(dir, 2, 1))
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer re.Close()
+	assertSameAnswers(t, want, captureAnswers(t, re), "after torn tail")
+}
+
+// TestExpireLoggedAsSingleOp is the compact-expiry contract: a TTL sweep
+// that removes N peers appends exactly one ExpireOp (carrying the
+// deadline) to the WAL — not N per-peer leaves — and a restarted node
+// re-derives the same expiry set from it.
+func TestExpireLoggedAsSingleOp(t *testing.T) {
+	now := time.Unix(9000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(d)
+	}
+	dir := t.TempDir()
+	cfg := durableConfig(dir, 2, 2)
+	cfg.PeerTTL = time.Minute
+	cfg.Clock = clock
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Join(pathtree.PeerID(i+1), synthPath(testLandmarks[i%8], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	advance(2 * time.Minute) // everyone goes stale
+	for p := pathtree.PeerID(1); p <= 4; p++ {
+		if err := c.Refresh(p); err != nil { // 1..4 stay fresh
+			t.Fatal(err)
+		}
+	}
+	expired := c.Expire()
+	if len(expired) != 6 {
+		t.Fatalf("expired %v, want 6 peers", expired)
+	}
+	want := captureAnswers(t, c)
+	c = nil // crash
+
+	// The WAL must carry exactly one KindExpire record and zero leaves.
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expires, leaves := 0, 0
+	if err := log.Replay(0, func(_ uint64, rec []byte) error {
+		o, err := op.Decode(rec)
+		if err != nil {
+			return err
+		}
+		switch o.Kind {
+		case op.KindExpire:
+			expires++
+		case op.KindLeave:
+			leaves++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	if expires != 1 || leaves != 0 {
+		t.Fatalf("WAL has %d expire and %d leave records; want exactly 1 expire, 0 leaves", expires, leaves)
+	}
+
+	re, err := New(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	assertSameAnswers(t, want, captureAnswers(t, re), "after expiry replay")
+	if got := re.NumPeers(); got != 4 {
+		t.Fatalf("recovered %d peers, want the 4 refreshed ones", got)
+	}
+}
+
+// TestExpireReplicatedAsOneOpAcrossFailover ties the compact expiry to
+// failover: after the sweep, a promoted replica — which received the one
+// ExpireOp, not explicit leaves — must agree exactly with the answers the
+// old primary gave.
+func TestExpireReplicatedAsOneOpAcrossFailover(t *testing.T) {
+	now := time.Unix(7000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	c, err := New(Config{
+		Landmarks: testLandmarks,
+		Shards:    2,
+		Replicas:  3,
+		PeerTTL:   time.Minute,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := c.Join(pathtree.PeerID(i+1), synthPath(testLandmarks[i%8], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	for p := pathtree.PeerID(1); p <= 3; p++ {
+		if err := c.Refresh(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if expired := c.Expire(); len(expired) != 9 {
+		t.Fatalf("expired %d peers, want 9", len(expired))
+	}
+	want := captureAnswers(t, c)
+	for shard := 0; shard < 2; shard++ {
+		if err := c.FailShard(shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameAnswers(t, want, captureAnswers(t, c), "promoted replicas after ExpireOp")
+}
+
+// TestDurableRejectsForeignSnapshot guards the config/state contract: a
+// data directory whose snapshot references landmarks outside the
+// configured set must fail loudly at open, not silently drop peers.
+func TestDurableRejectsForeignSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(durableConfig(dir, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join(1, synthPath(testLandmarks[3], 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{Landmarks: []topology.NodeID{testLandmarks[0]}, DataDir: dir})
+	if err == nil {
+		t.Fatal("open with a shrunken landmark set silently succeeded")
+	}
+}
+
+// TestDurableFlagAndWideBatchChunking covers the Durable accessor and the
+// commit-time chunking of batches wider than the op codec's cap: a
+// 300-entry batch (simulation-scale, beyond op.MaxBatch=256) must land in
+// the WAL as multiple records and recover completely.
+func TestDurableFlagAndWideBatchChunking(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(durableConfig(dir, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Durable() {
+		t.Fatal("Durable() = false with DataDir set")
+	}
+	plain, err := New(Config{Landmarks: testLandmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Durable() {
+		t.Fatal("Durable() = true without DataDir")
+	}
+	const wide = int(op.MaxBatch) + 44
+	items := make([]server.BatchJoin, wide)
+	for i := range items {
+		items[i] = server.BatchJoin{
+			Peer: pathtree.PeerID(i + 1),
+			Addr: fmt.Sprintf("10.9.0.%d:41", i%250),
+			Path: synthPath(testLandmarks[i%len(testLandmarks)], i),
+		}
+	}
+	for _, res := range c.JoinBatch(items) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	want := captureAnswers(t, c)
+	c = nil // crash
+
+	batchRecs := 0
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Replay(0, func(_ uint64, rec []byte) error {
+		o, err := op.Decode(rec)
+		if err != nil {
+			return err
+		}
+		if o.Kind == op.KindBatchJoin {
+			batchRecs++
+			if len(o.Batch) > op.MaxBatch {
+				t.Errorf("logged batch of %d entries exceeds codec cap", len(o.Batch))
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	if batchRecs < 2 {
+		t.Fatalf("wide batch committed as %d records, want it chunked", batchRecs)
+	}
+
+	re, err := New(durableConfig(dir, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.NumPeers(); got != wide {
+		t.Fatalf("recovered %d peers, want %d", got, wide)
+	}
+	assertSameAnswers(t, want, captureAnswers(t, re), "after wide-batch recovery")
+}
+
+// TestApplyOpDoor drives the cluster's op-native Apply surface directly —
+// the door the TCP front end uses — including an explicit-deadline expiry.
+func TestApplyOpDoor(t *testing.T) {
+	now := time.Unix(4000, 0)
+	dir := t.TempDir()
+	cfg := durableConfig(dir, 2, 1)
+	cfg.PeerTTL = time.Minute
+	cfg.Clock = func() time.Time { return now }
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := c.JoinOp(op.Join(pathtree.PeerID(i+1), synthPath(testLandmarks[i], i), "a:1", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Apply(op.Refresh(1, now.Add(time.Hour).UnixNano())); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Apply(op.SetSuperPeer(2, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Apply(op.Leave(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Apply(op.Leave(3)); !errors.Is(err, server.ErrUnknownPeer) {
+		t.Fatalf("double leave: %v, want ErrUnknownPeer", err)
+	}
+	// Everyone except the hour-ahead refresh of peer 1 is past this
+	// explicit deadline.
+	if err := c.Apply(op.Expire(now.Add(time.Second).UnixNano())); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Peers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("peers after explicit-deadline expiry: %v", got)
+	}
+	want := captureAnswers(t, c)
+	c = nil // crash
+
+	re, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertSameAnswers(t, want, captureAnswers(t, re), "op-door replay")
+}

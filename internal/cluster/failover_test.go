@@ -158,9 +158,10 @@ func TestRecoverReplicaCatchesUp(t *testing.T) {
 	}
 }
 
-// TestExpireReplicatesAsLeaves pins that TTL expiry on the primary cannot
-// be undone by a failover: the removals propagate to the replicas.
-func TestExpireReplicatesAsLeaves(t *testing.T) {
+// TestExpireSurvivesFailover pins that TTL expiry on the primary cannot
+// be undone by a failover: the sweep propagates to the replicas as one
+// deadline-carrying ExpireOp, and every copy derives the same removals.
+func TestExpireSurvivesFailover(t *testing.T) {
 	now := time.Unix(1000, 0)
 	var mu sync.Mutex
 	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }

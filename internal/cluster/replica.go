@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 
+	"proxdisc/internal/op"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/server"
 	"proxdisc/internal/topology"
@@ -18,26 +19,30 @@ import (
 // from ever materializing.
 var ErrShardDown = errors.New("cluster: shard would have no live replica")
 
-// opKind tags one entry of a shard's ordered apply log.
-type opKind uint8
+// logRec is one entry of a shard's ordered apply log: a typed operation
+// (see package op) stamped with its position in the shard's total order
+// (the order writes acquired the group lock). Any replica that has
+// applied a prefix of the log is a consistent — merely stale — copy of
+// the shard. The same op values flow to the write-ahead log, so the
+// replica stream and the durable stream can never disagree.
+type logRec struct {
+	seq uint64
+	op  op.Op
+}
 
-const (
-	opJoin opKind = iota + 1
-	opLeave
-	opRefresh
-	opSuper
-)
-
-// logOp is one replicated write. Every mutation of a shard's state flows
-// through the log in a single total order (the order writes acquired the
-// group lock), so any replica that has applied a prefix of the log is a
-// consistent — merely stale — copy of the shard.
-type logOp struct {
-	seq   uint64
-	kind  opKind
-	peer  pathtree.PeerID
-	path  []topology.NodeID // opJoin
-	super bool              // opSuper
+// opResult carries whatever answer an op produced on the primary.
+type opResult struct {
+	// cands answers a KindJoin.
+	cands []pathtree.Candidate
+	// batch answers a KindBatchJoin, positionally.
+	batch []server.BatchResult
+	// expired lists the peers a KindExpire removed.
+	expired []pathtree.PeerID
+	// applied is the op as recorded: for a batch, trimmed to the entries
+	// the primary accepted (so replicas and logs never see a rejected
+	// entry); identical to the input op otherwise. Zero-Kind when the op
+	// changed nothing and was not recorded.
+	applied op.Op
 }
 
 // replicaState is one copy of a shard's state.
@@ -53,11 +58,12 @@ type replicaState struct {
 }
 
 // shardGroup is one shard's replica set: cfg.Replicas copies of the same
-// server.Server kept in lock-step by the ordered apply log. Writes apply to
-// the primary first (producing the answer) and then to every live replica,
-// all under the group lock, so a promoted replica answers exactly as the
-// failed primary would have. Reads that carry no counters round-robin over
-// the live replicas.
+// server.Server kept in lock-step by the ordered apply log. Every write,
+// of every kind, takes the same road: answer on the primary, record the
+// op, propagate the op to every live replica via server.Apply — all under
+// the group lock, so a promoted replica answers exactly as the failed
+// primary would have. Reads that carry no counters round-robin over the
+// live replicas.
 type shardGroup struct {
 	mu      sync.Mutex
 	reps    []*replicaState
@@ -68,7 +74,7 @@ type shardGroup struct {
 	// RecoverReplica snapshots a survivor at sequence S outside the write
 	// path, then replays the (S, seq] tail under the lock — the same
 	// buffer-and-replay contract MoveLandmark gives in-flight joins.
-	tail       []logOp
+	tail       []logRec
 	recoveries int
 
 	// rr deals counter-free reads over the live replicas.
@@ -137,111 +143,90 @@ func (g *shardGroup) liveLocked() int {
 	return n
 }
 
+// applyOp is the one write path of a shard: it applies a typed op to the
+// replica group and returns its answer. The primary applies first — with
+// the answering entry point for its kind, or silently (server.Apply)
+// when quiet, the replay/recovery mode that skips answer computation —
+// then the op is recorded in the apply log and propagated to every live
+// replica via server.Apply, all under the group lock. An op the primary
+// rejects, or that changed nothing (an empty sweep, a fully rejected
+// batch), is not recorded and not propagated.
+func (g *shardGroup) applyOp(o op.Op, quiet bool) (opResult, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var res opResult
+	primary := g.reps[g.primary].srv
+	rec := o
+	if quiet {
+		if err := primary.Apply(o); err != nil {
+			return res, err
+		}
+	} else {
+		switch o.Kind {
+		case op.KindJoin:
+			cands, err := primary.JoinOp(o)
+			if err != nil {
+				return res, err
+			}
+			res.cands = cands
+		case op.KindBatchJoin:
+			res.batch = primary.JoinBatchOp(o)
+			rec = op.Op{Kind: op.KindBatchJoin, Time: o.Time}
+			for i := range res.batch {
+				if res.batch[i].Err == nil {
+					rec.Batch = append(rec.Batch, o.Batch[i])
+				}
+			}
+			if len(rec.Batch) == 0 {
+				return res, nil
+			}
+		case op.KindExpire:
+			res.expired = primary.ExpireOp(o)
+			if len(res.expired) == 0 {
+				return res, nil
+			}
+		default:
+			if err := primary.Apply(o); err != nil {
+				return res, err
+			}
+		}
+	}
+	g.record(rec)
+	g.propagateLocked(rec)
+	res.applied = rec
+	return res, nil
+}
+
+// leave removes a peer from every live replica, reporting whether it was
+// registered. It is the group's internal cleanup helper (stale-record
+// retirement after re-joins and handoffs) as well as the Leave body.
+func (g *shardGroup) leave(p pathtree.PeerID) bool {
+	_, err := g.applyOp(op.Leave(p), false)
+	return err == nil
+}
+
 // record appends a write to the apply log and stamps it with the next
 // sequence number. The entry is retained only while a rebuild needs it.
-func (g *shardGroup) record(op logOp) {
+func (g *shardGroup) record(o op.Op) {
 	g.seq++
 	if g.recoveries > 0 {
-		op.seq = g.seq
-		g.tail = append(g.tail, op)
+		g.tail = append(g.tail, logRec{seq: g.seq, op: o})
 	}
 }
 
-// propagate applies a just-recorded write to every live replica except the
-// primary (which already applied it), in log order, and advances every live
-// replica's applied mark.
-func (g *shardGroup) propagate(apply func(s *server.Server)) {
+// propagateLocked applies a just-recorded op to every live replica except
+// the primary (which already applied it), in log order, and advances
+// every live replica's applied mark. Callers hold g.mu.
+func (g *shardGroup) propagateLocked(o op.Op) {
 	for i, r := range g.reps {
 		if r.failed {
 			continue
 		}
 		if i != g.primary {
-			apply(r.srv)
+			_ = r.srv.Apply(o)
 		}
 		r.applied = g.seq
 	}
-}
-
-// join answers and registers one join on the primary and mirrors the
-// registration onto every live replica.
-func (g *shardGroup) join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	cands, err := g.reps[g.primary].srv.Join(p, path)
-	if err != nil {
-		return nil, err
-	}
-	g.record(logOp{kind: opJoin, peer: p, path: path})
-	g.propagate(func(s *server.Server) { _ = s.ApplyJoin(p, path) })
-	return cands, nil
-}
-
-// joinBatch is the single-lock-acquisition batch insert, mirrored onto the
-// replicas entry by entry in batch order.
-func (g *shardGroup) joinBatch(items []server.BatchJoin) []server.BatchResult {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := g.reps[g.primary].srv.JoinBatch(items)
-	for i := range items {
-		if out[i].Err != nil {
-			continue
-		}
-		g.record(logOp{kind: opJoin, peer: items[i].Peer, path: items[i].Path})
-		g.propagate(func(s *server.Server) { _ = s.ApplyJoin(items[i].Peer, items[i].Path) })
-	}
-	return out
-}
-
-// leave removes a peer from every live replica.
-func (g *shardGroup) leave(p pathtree.PeerID) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	removed := g.reps[g.primary].srv.Leave(p)
-	if !removed {
-		return false
-	}
-	g.record(logOp{kind: opLeave, peer: p})
-	g.propagate(func(s *server.Server) { s.Leave(p) })
-	return true
-}
-
-// refresh heartbeats a peer on every live replica, so a promoted replica
-// expires peers on the same schedule the primary would have.
-func (g *shardGroup) refresh(p pathtree.PeerID) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if err := g.reps[g.primary].srv.Refresh(p); err != nil {
-		return err
-	}
-	g.record(logOp{kind: opRefresh, peer: p})
-	g.propagate(func(s *server.Server) { _ = s.Refresh(p) })
-	return nil
-}
-
-// setSuperPeer flags a peer on every live replica.
-func (g *shardGroup) setSuperPeer(p pathtree.PeerID, super bool) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if err := g.reps[g.primary].srv.SetSuperPeer(p, super); err != nil {
-		return err
-	}
-	g.record(logOp{kind: opSuper, peer: p, super: super})
-	g.propagate(func(s *server.Server) { _ = s.SetSuperPeer(p, super) })
-	return nil
-}
-
-// expire sweeps the primary for peers past their TTL and replicates the
-// removals as explicit leaves, so a later failover cannot resurrect an
-// expired peer from a replica.
-func (g *shardGroup) expire() []pathtree.PeerID {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	expired := g.reps[g.primary].srv.Expire()
-	for _, p := range expired {
-		g.record(logOp{kind: opLeave, peer: p})
-		g.propagate(func(s *server.Server) { s.Leave(p) })
-	}
-	return expired
 }
 
 // stats reports the shard's counters: the primary's view, plus the query
@@ -282,8 +267,9 @@ func (g *shardGroup) snapshotLandmarks(w io.Writer, lms ...topology.NodeID) erro
 
 // absorb merges a snapshot into every live replica (each from its own copy
 // of the stream) and returns the peers the primary absorbed. It is the
-// destination side of a landmark handoff; the caller serializes with writes
-// (opMu) and rebuilds (hoMu), so all replicas absorb the same state.
+// destination side of a landmark handoff and the restore side of a disk
+// snapshot; the caller serializes with writes (opMu) and rebuilds (hoMu),
+// so all replicas absorb the same state.
 func (g *shardGroup) absorb(snapshot []byte) ([]pathtree.PeerID, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -372,23 +358,16 @@ func (g *shardGroup) promoteLocked() {
 	g.primary = best
 }
 
-// replayTailLocked applies retained log entries the replica has not seen.
+// replayTailLocked applies retained log ops the replica has not seen —
+// the same server.Apply road live propagation takes, so a replayed tail
+// and a synchronously applied one are indistinguishable.
 func (g *shardGroup) replayTailLocked(r *replicaState) {
-	for _, op := range g.tail {
-		if op.seq <= r.applied {
+	for _, rec := range g.tail {
+		if rec.seq <= r.applied {
 			continue
 		}
-		switch op.kind {
-		case opJoin:
-			_ = r.srv.ApplyJoin(op.peer, op.path)
-		case opLeave:
-			r.srv.Leave(op.peer)
-		case opRefresh:
-			_ = r.srv.Refresh(op.peer)
-		case opSuper:
-			_ = r.srv.SetSuperPeer(op.peer, op.super)
-		}
-		r.applied = op.seq
+		_ = r.srv.Apply(rec.op)
+		r.applied = rec.seq
 	}
 	r.applied = g.seq
 }

@@ -5,11 +5,30 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
+	"proxdisc/internal/op"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/server"
 	"proxdisc/internal/topology"
 )
+
+// Typed convenience wrappers over the group's single applyOp write path,
+// pre-stamped the way the cluster layer stamps live ops.
+func (g *shardGroup) join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
+	res, err := g.applyOp(op.Join(p, path, "", time.Now().UnixNano()), false)
+	return res.cands, err
+}
+
+func (g *shardGroup) refresh(p pathtree.PeerID) error {
+	_, err := g.applyOp(op.Refresh(p, time.Now().UnixNano()), false)
+	return err
+}
+
+func (g *shardGroup) setSuperPeer(p pathtree.PeerID, super bool) error {
+	_, err := g.applyOp(op.SetSuperPeer(p, super), false)
+	return err
+}
 
 // TestRebuildReplaysFullTail is the white-box contract of the per-shard
 // apply log: every op kind that lands between a rebuild's snapshot and its

@@ -77,6 +77,11 @@ type WorldConfig struct {
 	// of one join per call. Capped at proto.MaxBatch by the wire format;
 	// simulations accept any positive value.
 	BatchSize int
+	// DataDir, when set, runs the management plane durably (WAL plus
+	// on-disk snapshots, see cluster.Config.DataDir) and forces the
+	// cluster plane even when Shards and Replicas are unset, so
+	// simulations exercise the persistent write path end to end.
+	DataDir string
 	// Trace configures the peers' traceroute tool.
 	Trace traceroute.Config
 	// UseDelays, when true, assigns link delays and routes by latency;
@@ -167,12 +172,13 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		srv Directory
 		clu *cluster.Cluster
 	)
-	if cfg.Shards > 1 || cfg.Replicas > 1 {
+	if cfg.Shards > 1 || cfg.Replicas > 1 || cfg.DataDir != "" {
 		clu, err = cluster.New(cluster.Config{
 			Landmarks:     landmarks,
 			Shards:        cfg.Shards,
 			Replicas:      cfg.Replicas,
 			NeighborCount: cfg.NeighborCount,
+			DataDir:       cfg.DataDir,
 		})
 		srv = clu
 	} else {
@@ -223,6 +229,16 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 // Cluster returns the sharded management plane, or nil when the world runs
 // a single server.
 func (w *World) Cluster() *cluster.Cluster { return w.clu }
+
+// Close shuts the management plane down cleanly: on a durable plane
+// (WorldConfig.DataDir) it flushes a final snapshot and closes the WAL.
+// Worlds without a durable plane need no Close.
+func (w *World) Close() error {
+	if w.clu != nil {
+		return w.clu.Close()
+	}
+	return nil
+}
 
 // noteJoin advances the arrival count and fires any scheduled failover
 // events it crossed: kills promote a surviving replica (buffering in-flight

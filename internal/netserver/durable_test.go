@@ -1,0 +1,154 @@
+package netserver
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"proxdisc/internal/client"
+	"proxdisc/internal/cluster"
+	"proxdisc/internal/proto"
+	"proxdisc/internal/topology"
+)
+
+// TestRestartServesAcknowledgedStateOverTCP is the wire-level durability
+// contract: peers join (with overlay addresses) through a TCP front end
+// backed by a durable cluster, the whole node crashes (no flush, no final
+// snapshot), and a restarted node — fresh netserver, cluster reopened
+// from the data directory — answers lookups with the identical candidate
+// lists including the dialable addresses, which only survive because join
+// ops carry them into the WAL.
+func TestRestartServesAcknowledgedStateOverTCP(t *testing.T) {
+	dir := t.TempDir()
+	lms := []topology.NodeID{0, 100}
+	newLogic := func() *cluster.Cluster {
+		t.Helper()
+		logic, err := cluster.New(cluster.Config{Landmarks: lms, Shards: 2, DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return logic
+	}
+	logic := newLogic()
+	ns, err := Listen(Config{Addr: "127.0.0.1:0", Server: logic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(ns.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := []struct {
+		peer int64
+		addr string
+		path []int32
+	}{
+		{1, "10.0.0.1:41", []int32{10, 0}},
+		{2, "10.0.0.2:41", []int32{11, 10, 0}},
+		{3, "10.0.0.3:41", []int32{210, 100}},
+		{4, "10.0.0.4:41", []int32{211, 210, 100}},
+	}
+	for _, j := range joins {
+		if _, err := c.Join(j.peer, j.addr, j.path); err != nil {
+			t.Fatalf("join %d: %v", j.peer, err)
+		}
+	}
+	want := make(map[int64][]proto.Candidate)
+	for _, j := range joins {
+		cands, err := c.Lookup(j.peer)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", j.peer, err)
+		}
+		want[j.peer] = cands
+	}
+	c.Close()
+	ns.Close()
+	// Crash the backend: the cluster is abandoned without Close, so
+	// recovery runs purely from the WAL tail.
+	logic = nil
+
+	relogic := newLogic()
+	defer relogic.Close()
+	ns2, err := Listen(Config{Addr: "127.0.0.1:0", Server: relogic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns2.Close()
+	c2, err := client.Dial(ns2.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for _, j := range joins {
+		cands, err := c2.Lookup(j.peer)
+		if err != nil {
+			t.Fatalf("lookup %d after restart: %v", j.peer, err)
+		}
+		if !reflect.DeepEqual(cands, want[j.peer]) {
+			t.Errorf("lookup %d after restart:\n want %+v\n got  %+v", j.peer, want[j.peer], cands)
+		}
+		for _, cand := range cands {
+			if cand.Addr == "" {
+				t.Errorf("lookup %d: candidate %d lost its overlay address across the restart", j.peer, cand.Peer)
+			}
+		}
+	}
+}
+
+// TestFrontStateRecoversForwardedPeers covers the front end's own durable
+// state: node1 proxies a join to node2 (the landmark's owner) and records
+// the ownership in its front WAL; after node1 crashes and restarts with
+// the same front data directory, peer-keyed follow-ups still reach node2
+// instead of failing against node1's local backend.
+func TestFrontStateRecoversForwardedPeers(t *testing.T) {
+	frontDir := t.TempDir()
+	node2, logic2 := startNode(t, []topology.NodeID{100}, nil, false)
+	logic1, err := cluster.New(cluster.Config{Landmarks: []topology.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := map[topology.NodeID]string{100: node2.Addr()}
+	node1, err := Listen(Config{
+		Addr:            "127.0.0.1:0",
+		Server:          logic1,
+		RemoteLandmarks: remote,
+		ForwardJoins:    true,
+		DataDir:         frontDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, node1)
+	if _, err := c.Join(7, "127.0.0.1:9007", []int32{30, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if logic2.NumPeers() != 1 {
+		t.Fatalf("owner node peers=%d", logic2.NumPeers())
+	}
+	node1.Close() // also snapshots the forwarded map; the WAL covers a crash path too
+
+	node1b, err := Listen(Config{
+		Addr:            "127.0.0.1:0",
+		Server:          logic1,
+		RemoteLandmarks: remote,
+		ForwardJoins:    true,
+		DataDir:         frontDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node1b.Close()
+	if owner, ok := node1b.forwardedOwner(7); !ok || owner != node2.Addr() {
+		t.Fatalf("forwarded owner after restart: %q ok=%v, want %q", owner, ok, node2.Addr())
+	}
+	c2 := dial(t, node1b)
+	if err := c2.Refresh(7); err != nil {
+		t.Fatalf("refresh of forwarded peer after front restart: %v", err)
+	}
+	if err := c2.Leave(7); err != nil {
+		t.Fatalf("leave of forwarded peer after front restart: %v", err)
+	}
+	if logic2.NumPeers() != 0 {
+		t.Fatalf("owner still holds %d peers after forwarded leave", logic2.NumPeers())
+	}
+}

@@ -1,0 +1,196 @@
+package netserver
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/wal"
+)
+
+// frontState is the front end's own durable state: the forwarded-peer
+// ownership map (which cluster node holds each peer whose join this node
+// proxied). It rides the same WAL-plus-snapshot machinery the backend
+// uses — every set/delete is a CRC-framed log record, Close writes a
+// snapshot and truncates the log, and openFrontState recovers
+// snapshot-plus-tail — so a restarted node keeps proxying follow-ups
+// instead of answering "unknown peer" for every forwarded registration.
+//
+// A nil *frontState (no Config.DataDir) is valid and does nothing: the
+// map then lives only in memory, exactly the pre-durability behaviour.
+type frontState struct {
+	dir string
+	log *wal.Log
+
+	// appends counts logged mutations since open; every frontCompactEvery
+	// of them the map is checkpointed and the log truncated, bounding the
+	// state's disk footprint on long-running nodes that never Close
+	// cleanly (a crash-kill is exactly the lifecycle this state exists
+	// for).
+	appends   atomic.Int64
+	compactMu sync.Mutex // one compaction at a time
+}
+
+// Forwarded-map record kinds.
+const (
+	frontSet byte = 1
+	frontDel byte = 2
+)
+
+// frontCompactEvery is the logged-mutation count between automatic
+// front-state checkpoints.
+const frontCompactEvery = 1024
+
+// encodeFrontRec frames one forwarded-map mutation: kind(1) peer(8)
+// addrLen(2) addr.
+func encodeFrontRec(kind byte, p pathtree.PeerID, addr string) []byte {
+	b := make([]byte, 0, 11+len(addr))
+	b = append(b, kind)
+	b = binary.BigEndian.AppendUint64(b, uint64(p))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(addr)))
+	return append(b, addr...)
+}
+
+func decodeFrontRec(b []byte) (kind byte, p pathtree.PeerID, addr string, err error) {
+	if len(b) < 11 {
+		return 0, 0, "", fmt.Errorf("netserver: truncated front-state record (%d bytes)", len(b))
+	}
+	kind = b[0]
+	p = pathtree.PeerID(binary.BigEndian.Uint64(b[1:9]))
+	n := int(binary.BigEndian.Uint16(b[9:11]))
+	if len(b) != 11+n {
+		return 0, 0, "", fmt.Errorf("netserver: front-state record length %d != %d", len(b), 11+n)
+	}
+	return kind, p, string(b[11:]), nil
+}
+
+// openFrontState recovers the forwarded-peer map from dir ("" disables
+// persistence and returns a nil state with an empty map).
+func openFrontState(dir string) (*frontState, map[pathtree.PeerID]string, error) {
+	if dir == "" {
+		return nil, nil, nil
+	}
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("netserver: front state: %w", err)
+	}
+	m := make(map[pathtree.PeerID]string)
+	var snapSeq uint64
+	if r, seq, ok, err := wal.OpenLatestSnapshot(dir); err != nil {
+		log.Close()
+		return nil, nil, fmt.Errorf("netserver: front state: %w", err)
+	} else if ok {
+		err := gob.NewDecoder(r).Decode(&m)
+		r.Close()
+		if err != nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("netserver: front-state snapshot: %w", err)
+		}
+		snapSeq = seq
+		log.EnsureSeq(seq)
+	}
+	if err := log.Replay(snapSeq, func(seq uint64, rec []byte) error {
+		kind, p, addr, err := decodeFrontRec(rec)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case frontSet:
+			m[p] = addr
+		case frontDel:
+			delete(m, p)
+		default:
+			return fmt.Errorf("netserver: front-state record kind %d", kind)
+		}
+		return nil
+	}); err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	if len(m) == 0 {
+		m = nil // the lazy-allocation convention of NetServer.fwdPeers
+	}
+	return &frontState{dir: dir, log: log}, m, nil
+}
+
+// setForwarded logs a forwarded-peer ownership change. Best effort: a
+// failed append degrades this entry to in-memory-only (the pre-durability
+// behaviour) rather than failing the join that triggered it. snap
+// supplies a copy of the live map for the periodic compaction.
+func (f *frontState) setForwarded(p pathtree.PeerID, addr string, snap func() map[pathtree.PeerID]string) {
+	if f == nil {
+		return
+	}
+	_, _ = f.log.Append(encodeFrontRec(frontSet, p, addr))
+	f.maybeCompact(snap)
+}
+
+// delForwarded logs a forwarded-peer retirement.
+func (f *frontState) delForwarded(p pathtree.PeerID, snap func() map[pathtree.PeerID]string) {
+	if f == nil {
+		return
+	}
+	_, _ = f.log.Append(encodeFrontRec(frontDel, p, ""))
+	f.maybeCompact(snap)
+}
+
+// maybeCompact checkpoints the map and truncates the log every
+// frontCompactEvery logged mutations. The sequence is captured before the
+// map is copied, so the snapshot covers at least every record up to it;
+// mutations landing during the copy may additionally be included, and
+// replaying the tail over them converges because set/delete are
+// idempotent overwrites (the same argument the cluster checkpoint makes).
+func (f *frontState) maybeCompact(snap func() map[pathtree.PeerID]string) {
+	if f.appends.Add(1)%frontCompactEvery != 0 {
+		return
+	}
+	f.compactMu.Lock()
+	defer f.compactMu.Unlock()
+	seq := f.log.LastSeq()
+	m := snap()
+	if m == nil {
+		m = map[pathtree.PeerID]string{}
+	}
+	if err := wal.WriteSnapshot(f.dir, seq, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(m)
+	}); err != nil {
+		return // best effort: the log still holds everything
+	}
+	_ = wal.RemoveSnapshotsBefore(f.dir, seq)
+	_ = f.log.TruncateBefore(seq + 1)
+}
+
+// Close without a final snapshot (error paths).
+func (f *frontState) Close() error {
+	if f == nil {
+		return nil
+	}
+	return f.log.Close()
+}
+
+// CloseWith snapshots the final map, truncates the log beneath it, and
+// closes — so the next open replays an empty tail.
+func (f *frontState) CloseWith(final map[pathtree.PeerID]string) error {
+	if f == nil {
+		return nil
+	}
+	seq := f.log.LastSeq()
+	if final == nil {
+		final = map[pathtree.PeerID]string{}
+	}
+	err := wal.WriteSnapshot(f.dir, seq, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(final)
+	})
+	if err == nil {
+		_ = wal.RemoveSnapshotsBefore(f.dir, seq)
+		_ = f.log.TruncateBefore(seq + 1)
+	}
+	if cerr := f.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

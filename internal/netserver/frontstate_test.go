@@ -1,0 +1,168 @@
+package netserver
+
+import (
+	"os"
+	"testing"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/wal"
+)
+
+// TestFrontStateCrashReplay covers the log-replay half of the front
+// state: mutations logged but never snapshotted (the process died before
+// CloseWith) are rebuilt record by record.
+func TestFrontStateCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	f, m, err := openFrontState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatalf("fresh dir returned map %v", m)
+	}
+	f.setForwarded(1, "owner-a:1", func() map[pathtree.PeerID]string { return nil })
+	f.setForwarded(2, "owner-b:2", func() map[pathtree.PeerID]string { return nil })
+	f.setForwarded(1, "owner-c:3", func() map[pathtree.PeerID]string { return nil }) // overwrite wins
+	f.setForwarded(9, "owner-d:4", func() map[pathtree.PeerID]string { return nil })
+	f.delForwarded(9, func() map[pathtree.PeerID]string { return nil })
+	if err := f.Close(); err != nil { // crash path: no snapshot
+		t.Fatal(err)
+	}
+
+	_, m2, err := openFrontState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[pathtree.PeerID]string{1: "owner-c:3", 2: "owner-b:2"}
+	if len(m2) != len(want) || m2[1] != want[1] || m2[2] != want[2] {
+		t.Fatalf("replayed map %v, want %v", m2, want)
+	}
+}
+
+// TestFrontStateCloseWithSnapshotTruncates covers the graceful half: the
+// final snapshot supersedes the log and the next open replays nothing.
+func TestFrontStateCloseWithSnapshotTruncates(t *testing.T) {
+	dir := t.TempDir()
+	f, _, err := openFrontState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.setForwarded(5, "owner:5", func() map[pathtree.PeerID]string { return nil })
+	if err := f.CloseWith(map[pathtree.PeerID]string{5: "owner:5"}); err != nil {
+		t.Fatal(err)
+	}
+	f2, m, err := openFrontState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if len(m) != 1 || m[5] != "owner:5" {
+		t.Fatalf("map after CloseWith %v", m)
+	}
+}
+
+// TestFrontStateRejectsCorruptRecord pins the decoder's strictness: a
+// well-framed WAL record with a malformed front-state body fails the
+// open loudly instead of silently corrupting the ownership map.
+func TestFrontStateRejectsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append([]byte{99, 1, 2, 3, 4, 5, 6, 7, 8, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	if _, _, err := openFrontState(dir); err == nil {
+		t.Fatal("openFrontState accepted a corrupt record kind")
+	}
+	// A record too short to carry its header is equally fatal.
+	os.RemoveAll(dir)
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	log, err = wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append([]byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	if _, _, err := openFrontState(dir); err == nil {
+		t.Fatal("openFrontState accepted a truncated record")
+	}
+	// Nil state (no DataDir) is inert.
+	var nilState *frontState
+	nilState.setForwarded(1, "x", nil)
+	nilState.delForwarded(1, nil)
+	if err := nilState.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nilState.CloseWith(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontStateAutoCompaction drives enough logged mutations past the
+// compaction threshold that the front state must checkpoint and truncate
+// its own log at runtime — the lifecycle guard for nodes that only ever
+// die by crash and would otherwise grow the log without bound.
+func TestFrontStateAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	f, _, err := openFrontState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[pathtree.PeerID]string{}
+	snap := func() map[pathtree.PeerID]string {
+		m := make(map[pathtree.PeerID]string, len(live))
+		for p, a := range live {
+			m[p] = a
+		}
+		return m
+	}
+	const churn = frontCompactEvery + 200
+	for i := 0; i < churn; i++ {
+		p := pathtree.PeerID(i % 64)
+		if i%5 == 4 {
+			delete(live, p)
+			f.delForwarded(p, snap)
+			continue
+		}
+		live[p] = "owner:x"
+		f.setForwarded(p, "owner:x", snap)
+	}
+	snaps, err := wal.Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatalf("no automatic front-state snapshot after %d mutations", churn)
+	}
+	// Replay after the newest snapshot must be short (only post-compaction
+	// mutations), not the whole history.
+	tail := 0
+	if err := f.log.Replay(snaps[len(snaps)-1], func(uint64, []byte) error { tail++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if tail >= churn {
+		t.Fatalf("compaction truncated nothing: %d-record tail", tail)
+	}
+	if err := f.Close(); err != nil { // crash path: recovery = snapshot + tail
+		t.Fatal(err)
+	}
+	_, m, err := openFrontState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != len(live) {
+		t.Fatalf("recovered %d forwarded peers, want %d", len(m), len(live))
+	}
+	for p, a := range live {
+		if m[p] != a {
+			t.Fatalf("peer %d recovered as %q, want %q", p, m[p], a)
+		}
+	}
+}

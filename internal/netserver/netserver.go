@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"proxdisc/internal/client"
+	"proxdisc/internal/op"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/proto"
 	"proxdisc/internal/server"
@@ -40,15 +41,19 @@ import (
 )
 
 // Backend is the management logic a NetServer exposes: the in-process
-// server.Server, or a cluster.Cluster routing across shards.
+// server.Server, or a cluster.Cluster routing across shards. Writes reach
+// it as typed ops (package op) decoded straight from the wire: the
+// answering join entry points carry the overlay address inside the op, and
+// every answerless write goes through the one Apply door — the same door
+// replica propagation and WAL replay use.
 type Backend interface {
 	Landmarks() []topology.NodeID
 	NeighborCount() int
-	Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error)
-	JoinBatch(items []server.BatchJoin) []server.BatchResult
+	JoinOp(o op.Op) ([]pathtree.Candidate, error)
+	JoinBatchOp(o op.Op) []server.BatchResult
+	Apply(o op.Op) error
 	Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error)
-	Leave(p pathtree.PeerID) bool
-	Refresh(p pathtree.PeerID) error
+	PeerInfo(p pathtree.PeerID) (server.PeerInfo, error)
 }
 
 // ReplicaReporter is implemented by replicated backends (cluster.Cluster
@@ -116,6 +121,14 @@ type Config struct {
 	// MaxBatch caps the batch joins this server accepts and advertises in
 	// its hello ack (default proto.MaxBatch; it is also the hard ceiling).
 	MaxBatch int
+	// DataDir, when set, persists the front end's own durable state — the
+	// forwarded-peer ownership map — through the same WAL-plus-snapshot
+	// machinery the backend uses (package wal), so a restarted node keeps
+	// proxying follow-up requests for peers whose joins it forwarded to
+	// other cluster nodes. Point it at a subdirectory distinct from the
+	// backend's ClusterConfig.DataDir. Backend state itself (peers, paths,
+	// overlay addresses) is the backend's to persist.
+	DataDir string
 	// ReadTimeout bounds how long a connection may sit idle between
 	// requests (default 30s).
 	ReadTimeout time.Duration
@@ -136,6 +149,7 @@ type NetServer struct {
 	fwdMu    sync.Mutex
 	fwd      map[string]*client.Client  // node-to-node forwarding connections
 	fwdPeers map[pathtree.PeerID]string // peers whose joins this node proxied, by owner address
+	front    *frontState                // durable mirror of fwdPeers; no-op when Config.DataDir is empty
 
 	tasks chan task // pipelined requests awaiting a pool worker
 
@@ -233,18 +247,25 @@ func Listen(cfg Config) (*NetServer, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	front, fwdPeers, err := openFrontState(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		front.Close()
 		return nil, fmt.Errorf("netserver: listen: %w", err)
 	}
 	s := &NetServer{
-		cfg:    cfg,
-		ln:     ln,
-		local:  make(map[topology.NodeID]bool),
-		addrs:  make(map[pathtree.PeerID]string),
-		conns:  make(map[net.Conn]struct{}),
-		tasks:  make(chan task, cfg.Workers),
-		closed: make(chan struct{}),
+		cfg:      cfg,
+		ln:       ln,
+		local:    make(map[topology.NodeID]bool),
+		addrs:    make(map[pathtree.PeerID]string),
+		conns:    make(map[net.Conn]struct{}),
+		fwdPeers: fwdPeers,
+		front:    front,
+		tasks:    make(chan task, cfg.Workers),
+		closed:   make(chan struct{}),
 	}
 	for _, lm := range cfg.Server.Landmarks() {
 		s.local[lm] = true
@@ -340,6 +361,15 @@ func (s *NetServer) Close() error {
 		s.fwd = nil
 		s.fwdMu.Unlock()
 		s.wg.Wait()
+		s.fwdMu.Lock()
+		final := make(map[pathtree.PeerID]string, len(s.fwdPeers))
+		for p, a := range s.fwdPeers {
+			final[p] = a
+		}
+		s.fwdMu.Unlock()
+		if cerr := s.front.CloseWith(final); err == nil {
+			err = cerr
+		}
 	})
 	return err
 }
@@ -514,17 +544,17 @@ func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType,
 		return proto.MsgLandmarksResponse, b
 
 	case proto.MsgJoinRequest:
-		req, err := proto.DecodeJoinRequest(payload)
+		o, err := proto.DecodeJoinOp(payload)
 		if err != nil {
 			return errResp(proto.CodeBadRequest, err)
 		}
-		if len(req.Path) == 0 {
+		if len(o.Join.Path) == 0 {
 			return errResp(proto.CodeBadRequest, errors.New("netserver: empty path"))
 		}
-		if lm := topology.NodeID(req.Path[len(req.Path)-1]); !s.local[lm] {
+		if lm := o.Join.Path[len(o.Join.Path)-1]; !s.local[lm] {
 			if remote, ok := s.cfg.RemoteLandmarks[lm]; ok {
 				if s.cfg.ForwardJoins {
-					cands, err := s.forwardJoin(remote, req)
+					cands, err := s.forwardJoin(remote, o)
 					if err != nil {
 						return errResp(proto.CodeInternal, err)
 					}
@@ -542,36 +572,36 @@ func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType,
 			}
 			// Fall through: the backend reports the unknown landmark itself.
 		}
-		return s.serveJoin(req)
+		return s.serveJoin(o)
 
 	case proto.MsgForwardedJoinRequest:
-		req, err := proto.DecodeForwardedJoinRequest(payload)
+		o, err := proto.DecodeJoinOp(payload)
 		if err != nil {
 			return errResp(proto.CodeBadRequest, err)
 		}
-		if len(req.Path) == 0 {
+		if len(o.Join.Path) == 0 {
 			return errResp(proto.CodeBadRequest, errors.New("netserver: empty path"))
 		}
 		// Never relay a forwarded join again: a stale shard map elsewhere
 		// must surface as an error, not bounce between nodes.
-		if lm := topology.NodeID(req.Path[len(req.Path)-1]); !s.local[lm] {
+		if lm := o.Join.Path[len(o.Join.Path)-1]; !s.local[lm] {
 			if _, ok := s.cfg.RemoteLandmarks[lm]; ok {
 				return errResp(proto.CodeWrongShard,
 					fmt.Errorf("netserver: forwarded join for landmark %d not owned here", lm))
 			}
 		}
-		return s.serveJoin(req)
+		return s.serveJoin(o)
 
 	case proto.MsgBatchJoinRequest, proto.MsgForwardedBatchJoinRequest:
-		req, err := proto.DecodeBatchJoinRequest(payload)
+		o, err := proto.DecodeBatchJoinOp(payload)
 		if err != nil {
 			return errResp(proto.CodeBadRequest, err)
 		}
-		if len(req.Joins) > s.cfg.MaxBatch {
+		if len(o.Batch) > s.cfg.MaxBatch {
 			return errResp(proto.CodeBadRequest,
-				fmt.Errorf("netserver: batch of %d joins exceeds limit %d", len(req.Joins), s.cfg.MaxBatch))
+				fmt.Errorf("netserver: batch of %d joins exceeds limit %d", len(o.Batch), s.cfg.MaxBatch))
 		}
-		return s.serveBatchJoin(req, typ == proto.MsgForwardedBatchJoinRequest)
+		return s.serveBatchJoin(o, typ == proto.MsgForwardedBatchJoinRequest)
 
 	case proto.MsgLookupRequest:
 		req, err := proto.DecodeLookupRequest(payload)
@@ -607,46 +637,54 @@ func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType,
 		return proto.MsgLookupResponse, b
 
 	case proto.MsgLeaveRequest:
-		req, err := proto.DecodeLeaveRequest(payload)
+		o, err := proto.DecodeLeaveOp(payload)
 		if err != nil {
 			return errResp(proto.CodeBadRequest, err)
 		}
-		if owner, ok := s.forwardedOwner(pathtree.PeerID(req.Peer)); ok {
+		if owner, ok := s.forwardedOwner(o.Peer); ok {
 			_, err := s.proxyPeerOp(owner, func(fc *client.Client) ([]proto.Candidate, error) {
-				return nil, fc.Leave(req.Peer)
+				return nil, fc.Leave(int64(o.Peer))
 			})
 			if err != nil {
-				s.forgetForwarded(pathtree.PeerID(req.Peer), err)
+				s.forgetForwarded(o.Peer, err)
 				return errResp(errorCode(err), err)
 			}
-			s.fwdMu.Lock()
-			delete(s.fwdPeers, pathtree.PeerID(req.Peer))
-			s.fwdMu.Unlock()
+			s.dropForwarded(o.Peer)
 			return proto.MsgAck, nil
 		}
-		s.cfg.Server.Leave(pathtree.PeerID(req.Peer))
+		// A leave of an unknown peer stays an ack (idempotent departure),
+		// but any other failure — a durable backend whose WAL append
+		// failed, say — must surface: the client would otherwise treat an
+		// uncommitted removal as durable.
+		if err := s.cfg.Server.Apply(o); err != nil && !errors.Is(err, server.ErrUnknownPeer) {
+			return errResp(proto.CodeInternal, err)
+		}
 		s.mu.Lock()
-		delete(s.addrs, pathtree.PeerID(req.Peer))
+		delete(s.addrs, o.Peer)
 		s.mu.Unlock()
 		return proto.MsgAck, nil
 
 	case proto.MsgRefreshRequest:
-		req, err := proto.DecodeRefreshRequest(payload)
+		o, err := proto.DecodeRefreshOp(payload)
 		if err != nil {
 			return errResp(proto.CodeBadRequest, err)
 		}
-		if owner, ok := s.forwardedOwner(pathtree.PeerID(req.Peer)); ok {
+		if owner, ok := s.forwardedOwner(o.Peer); ok {
 			_, err := s.proxyPeerOp(owner, func(fc *client.Client) ([]proto.Candidate, error) {
-				return nil, fc.Refresh(req.Peer)
+				return nil, fc.Refresh(int64(o.Peer))
 			})
 			if err != nil {
-				s.forgetForwarded(pathtree.PeerID(req.Peer), err)
+				s.forgetForwarded(o.Peer, err)
 				return errResp(errorCode(err), err)
 			}
 			return proto.MsgAck, nil
 		}
-		if err := s.cfg.Server.Refresh(pathtree.PeerID(req.Peer)); err != nil {
-			return errResp(proto.CodeUnknownPeer, err)
+		if err := s.cfg.Server.Apply(o); err != nil {
+			code := proto.CodeInternal
+			if errors.Is(err, server.ErrUnknownPeer) {
+				code = proto.CodeUnknownPeer
+			}
+			return errResp(code, err)
 		}
 		return proto.MsgAck, nil
 
@@ -682,14 +720,12 @@ func (s *NetServer) rejectWriteOnReplica(typ proto.MsgType) (proto.MsgType, []by
 	return 0, nil, false
 }
 
-// serveJoin applies a (possibly forwarded) join against the local backend
-// and returns the response frame.
-func (s *NetServer) serveJoin(req *proto.JoinRequest) (proto.MsgType, []byte) {
-	path := make([]topology.NodeID, len(req.Path))
-	for i, r := range req.Path {
-		path[i] = topology.NodeID(r)
-	}
-	cands, err := s.cfg.Server.Join(pathtree.PeerID(req.Peer), path)
+// serveJoin applies a (possibly forwarded) join op against the local
+// backend and returns the response frame. The op carries the overlay
+// address, so the backend's durable record and the front end's address
+// cache are fed by one value.
+func (s *NetServer) serveJoin(o op.Op) (proto.MsgType, []byte) {
+	cands, err := s.cfg.Server.JoinOp(o)
 	if err != nil {
 		code := proto.CodeInternal
 		if errors.Is(err, server.ErrUnknownLandmark) {
@@ -697,7 +733,7 @@ func (s *NetServer) serveJoin(req *proto.JoinRequest) (proto.MsgType, []byte) {
 		}
 		return errResp(code, err)
 	}
-	s.registerLocalJoin(pathtree.PeerID(req.Peer), req.Addr)
+	s.registerLocalJoin(o.Join.Peer, o.Join.Addr)
 	b, err := proto.EncodeJoinResponse(&proto.JoinResponse{Neighbors: s.toWire(cands)})
 	if err != nil {
 		return errResp(proto.CodeInternal, err)
@@ -713,18 +749,18 @@ func (s *NetServer) serveJoin(req *proto.JoinRequest) (proto.MsgType, []byte) {
 // redirect-following path. A forwarded batch is never relayed again,
 // exactly like a forwarded singular join: entries for landmarks this
 // node does not own come back CodeWrongShard.
-func (s *NetServer) serveBatchJoin(req *proto.BatchJoinRequest, forwarded bool) (proto.MsgType, []byte) {
-	results := make([]proto.BatchJoinResult, len(req.Joins))
-	items := make([]server.BatchJoin, 0, len(req.Joins))
-	idxs := make([]int, 0, len(req.Joins))
+func (s *NetServer) serveBatchJoin(o op.Op, forwarded bool) (proto.MsgType, []byte) {
+	results := make([]proto.BatchJoinResult, len(o.Batch))
+	entries := make([]op.JoinEntry, 0, len(o.Batch))
+	idxs := make([]int, 0, len(o.Batch))
 	remote := make(map[string]*remoteBatch)
-	for i := range req.Joins {
-		j := &req.Joins[i]
-		if len(j.Path) == 0 {
+	for i := range o.Batch {
+		e := &o.Batch[i]
+		if len(e.Path) == 0 {
 			results[i] = proto.BatchJoinResult{Code: proto.CodeBadRequest, Message: "netserver: empty path"}
 			continue
 		}
-		if lm := topology.NodeID(j.Path[len(j.Path)-1]); !s.local[lm] {
+		if lm := e.Path[len(e.Path)-1]; !s.local[lm] {
 			if owner, ok := s.cfg.RemoteLandmarks[lm]; ok {
 				switch {
 				case forwarded:
@@ -741,7 +777,9 @@ func (s *NetServer) serveBatchJoin(req *proto.BatchJoinRequest, forwarded bool) 
 						remote[owner] = g
 					}
 					g.idxs = append(g.idxs, i)
-					g.items = append(g.items, client.BatchItem{Peer: j.Peer, Addr: j.Addr, Path: j.Path})
+					g.items = append(g.items, client.BatchItem{
+						Peer: int64(e.Peer), Addr: e.Addr, Path: proto.PathToWire(e.Path),
+					})
 				default:
 					results[i] = proto.BatchJoinResult{
 						Code:    proto.CodeWrongShard,
@@ -752,11 +790,7 @@ func (s *NetServer) serveBatchJoin(req *proto.BatchJoinRequest, forwarded bool) 
 			}
 			// Fall through: the backend reports the unknown landmark itself.
 		}
-		path := make([]topology.NodeID, len(j.Path))
-		for k, r := range j.Path {
-			path[k] = topology.NodeID(r)
-		}
-		items = append(items, server.BatchJoin{Peer: pathtree.PeerID(j.Peer), Path: path})
+		entries = append(entries, *e)
 		idxs = append(idxs, i)
 	}
 	// Per-owner forwards run concurrently (they fill disjoint results
@@ -773,8 +807,8 @@ func (s *NetServer) serveBatchJoin(req *proto.BatchJoinRequest, forwarded bool) 
 		}
 		fwg.Wait()
 	}
-	if len(items) > 0 {
-		res := s.cfg.Server.JoinBatch(items)
+	if len(entries) > 0 {
+		res := s.cfg.Server.JoinBatchOp(op.BatchJoin(entries, o.Time))
 		for k := range res {
 			i := idxs[k]
 			if err := res[k].Err; err != nil {
@@ -785,7 +819,7 @@ func (s *NetServer) serveBatchJoin(req *proto.BatchJoinRequest, forwarded bool) 
 				results[i] = proto.BatchJoinResult{Code: code, Message: err.Error()}
 				continue
 			}
-			s.registerLocalJoin(pathtree.PeerID(req.Joins[i].Peer), req.Joins[i].Addr)
+			s.registerLocalJoin(entries[k].Peer, entries[k].Addr)
 			results[i] = proto.BatchJoinResult{Neighbors: s.toWire(res[k].Neighbors)}
 		}
 	}
@@ -814,17 +848,18 @@ func (s *NetServer) registerLocalJoin(p pathtree.PeerID, overlayAddr string) {
 	}
 }
 
-// forwardJoin proxies a join to the cluster node owning its landmark over a
-// cached node-to-node connection, and remembers the owner so follow-up
-// peer-keyed requests (Lookup, Refresh, Leave) can be proxied there too.
-func (s *NetServer) forwardJoin(addr string, req *proto.JoinRequest) ([]proto.Candidate, error) {
+// forwardJoin proxies a join op to the cluster node owning its landmark
+// over a cached node-to-node connection, and remembers the owner so
+// follow-up peer-keyed requests (Lookup, Refresh, Leave) can be proxied
+// there too.
+func (s *NetServer) forwardJoin(addr string, o op.Op) ([]proto.Candidate, error) {
 	cands, err := s.proxyPeerOp(addr, func(fc *client.Client) ([]proto.Candidate, error) {
-		return fc.ForwardJoin(req.Peer, req.Addr, req.Path)
+		return fc.ForwardJoin(int64(o.Join.Peer), o.Join.Addr, proto.PathToWire(o.Join.Path))
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.recordForwarded(pathtree.PeerID(req.Peer), addr)
+	s.recordForwarded(o.Join.Peer, addr)
 	return cands, nil
 }
 
@@ -882,11 +917,33 @@ func (s *NetServer) recordForwarded(p pathtree.PeerID, addr string) {
 	}
 	s.fwdPeers[p] = addr
 	s.fwdMu.Unlock()
-	if s.cfg.Server.Leave(p) {
+	s.front.setForwarded(p, addr, s.copyFwdPeers)
+	if s.cfg.Server.Apply(op.Leave(p)) == nil {
 		s.mu.Lock()
 		delete(s.addrs, p)
 		s.mu.Unlock()
 	}
+}
+
+// dropForwarded forgets a proxied peer's ownership entry (and its durable
+// mirror) after the peer left through this node.
+func (s *NetServer) dropForwarded(p pathtree.PeerID) {
+	s.fwdMu.Lock()
+	delete(s.fwdPeers, p)
+	s.fwdMu.Unlock()
+	s.front.delForwarded(p, s.copyFwdPeers)
+}
+
+// copyFwdPeers snapshots the forwarded-peer map for front-state
+// compaction.
+func (s *NetServer) copyFwdPeers() map[pathtree.PeerID]string {
+	s.fwdMu.Lock()
+	defer s.fwdMu.Unlock()
+	m := make(map[pathtree.PeerID]string, len(s.fwdPeers))
+	for p, a := range s.fwdPeers {
+		m[p] = a
+	}
+	return m
 }
 
 // forwardedOwner reports the node address a peer's join was proxied to, if
@@ -909,6 +966,7 @@ func (s *NetServer) forgetForwarded(p pathtree.PeerID, err error) {
 	s.fwdMu.Lock()
 	delete(s.fwdPeers, p)
 	s.fwdMu.Unlock()
+	s.front.delForwarded(p, s.copyFwdPeers)
 }
 
 // proxyPeerOp runs one request against the named node over a cached
@@ -991,16 +1049,37 @@ func (s *NetServer) dropForwardClient(addr string, fc *client.Client) {
 }
 
 // toWire converts pathtree candidates to wire candidates with addresses.
+// The address cache is write-through over the backend's durable peer
+// records: a miss (a peer restored from disk before it re-contacted this
+// front end, or one registered through a sibling front end of the same
+// replicated backend) falls back to the backend's PeerInfo and refills
+// the cache.
 func (s *NetServer) toWire(cands []pathtree.Candidate) []proto.Candidate {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]proto.Candidate, len(cands))
+	var misses []int
+	s.mu.Lock()
 	for i, c := range cands {
+		addr, ok := s.addrs[c.Peer]
+		if !ok {
+			misses = append(misses, i)
+		}
 		out[i] = proto.Candidate{
 			Peer:  int64(c.Peer),
 			DTree: int32(c.DTree),
-			Addr:  s.addrs[c.Peer],
+			Addr:  addr,
 		}
+	}
+	s.mu.Unlock()
+	for _, i := range misses {
+		p := cands[i].Peer
+		info, err := s.cfg.Server.PeerInfo(p)
+		if err != nil || info.Addr == "" {
+			continue
+		}
+		out[i].Addr = info.Addr
+		s.mu.Lock()
+		s.addrs[p] = info.Addr
+		s.mu.Unlock()
 	}
 	return out
 }

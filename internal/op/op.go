@@ -1,0 +1,352 @@
+// Package op defines the canonical typed mutation command of the proxdisc
+// management plane. Every write — a peer joining, a flash-crowd batch of
+// joins, a departure, a liveness refresh, a super-peer flag, a TTL expiry
+// sweep — is one Op, and every layer that moves writes around speaks Op:
+// the server applies them, the cluster's replica apply log and rebuild
+// tails carry them, the write-ahead log persists them, and the TCP front
+// end decodes wire requests into them before dispatch. One type, one
+// binary codec, one replay semantics, so the propagate/record/recover
+// paths can never drift apart.
+//
+// Ops are deterministic: a Join or Refresh carries the apply-time
+// timestamp and an Expire carries its cutoff deadline, so replaying the
+// same op sequence on any copy — a synchronous replica, a rebuilt one, or
+// a process restarted from the WAL — reproduces byte-identical state,
+// including TTL bookkeeping.
+//
+// The binary codec is big-endian with 16-bit counts and hard field caps,
+// mirroring the wire protocol's bounded-decoder discipline: a corrupt or
+// adversarial log record fails to decode instead of causing unbounded
+// allocation.
+package op
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/topology"
+)
+
+// Kind discriminates the mutation an Op carries.
+type Kind uint8
+
+// Op kinds. The values are part of the durable log format; never renumber.
+const (
+	// KindJoin registers one peer with its reported router path.
+	KindJoin Kind = iota + 1
+	// KindBatchJoin registers up to MaxBatch peers in one command.
+	KindBatchJoin
+	// KindLeave deregisters a peer.
+	KindLeave
+	// KindRefresh updates a peer's liveness timestamp.
+	KindRefresh
+	// KindSetSuperPeer flags or unflags a peer as a super-peer.
+	KindSetSuperPeer
+	// KindExpire sweeps out every peer whose last refresh predates the
+	// op's Time (the deadline). Replicated and logged as the one sweep
+	// command rather than as per-peer leaves, so logs stay compact and
+	// byte-comparable across copies.
+	KindExpire
+)
+
+// Codec limits. They deliberately match the wire protocol's caps (see
+// package proto): an op that fits the wire fits the log and vice versa.
+const (
+	// MaxPathLen bounds a reported router path.
+	MaxPathLen = 256
+	// MaxAddrLen bounds an overlay address string.
+	MaxAddrLen = 256
+	// MaxBatch bounds the entries of a KindBatchJoin op.
+	MaxBatch = 256
+	// MaxEncodedSize bounds any encoded op (a full batch of maximum-length
+	// joins), sized from the per-field caps above.
+	MaxEncodedSize = 16 + MaxBatch*(8+2+MaxAddrLen+2+4*MaxPathLen)
+)
+
+// Codec errors.
+var (
+	// ErrTruncated reports a record shorter than its declared fields.
+	ErrTruncated = errors.New("op: truncated record")
+	// ErrLimit reports a field exceeding its codec cap.
+	ErrLimit = errors.New("op: field exceeds limit")
+)
+
+// JoinEntry is one peer registration inside a Join or BatchJoin op.
+type JoinEntry struct {
+	// Peer is the joining peer.
+	Peer pathtree.PeerID
+	// Addr is the peer's advertised overlay address ("" when the join came
+	// from an in-process caller rather than the wire).
+	Addr string
+	// Path is the reported router path, peer-side first, ending at a
+	// landmark.
+	Path []topology.NodeID
+}
+
+// Op is one typed mutation of management-plane state.
+type Op struct {
+	// Kind selects the mutation.
+	Kind Kind
+	// Time is the op's timestamp in Unix nanoseconds: the apply time of a
+	// Join/BatchJoin/Refresh (it becomes the peer's LastRefresh) and the
+	// expiry deadline of an Expire. Zero means "not yet stamped"; the
+	// applying layer stamps it from its clock before recording, so every
+	// copy replays the same instant.
+	Time int64
+	// Peer is the subject of Leave, Refresh, and SetSuperPeer.
+	Peer pathtree.PeerID
+	// Join is the registration of a KindJoin op.
+	Join JoinEntry
+	// Batch lists the registrations of a KindBatchJoin op.
+	Batch []JoinEntry
+	// Super is the flag of a KindSetSuperPeer op.
+	Super bool
+}
+
+// Join builds a single-peer registration op. A zero time means "stamp me
+// at apply".
+func Join(p pathtree.PeerID, path []topology.NodeID, addr string, timeNanos int64) Op {
+	return Op{Kind: KindJoin, Time: timeNanos, Join: JoinEntry{Peer: p, Addr: addr, Path: path}}
+}
+
+// BatchJoin builds a batched registration op.
+func BatchJoin(entries []JoinEntry, timeNanos int64) Op {
+	return Op{Kind: KindBatchJoin, Time: timeNanos, Batch: entries}
+}
+
+// Leave builds a departure op.
+func Leave(p pathtree.PeerID) Op { return Op{Kind: KindLeave, Peer: p} }
+
+// Refresh builds a liveness-heartbeat op.
+func Refresh(p pathtree.PeerID, timeNanos int64) Op {
+	return Op{Kind: KindRefresh, Time: timeNanos, Peer: p}
+}
+
+// SetSuperPeer builds a super-peer flag op.
+func SetSuperPeer(p pathtree.PeerID, super bool) Op {
+	return Op{Kind: KindSetSuperPeer, Peer: p, Super: super}
+}
+
+// Expire builds a TTL sweep op removing every peer whose last refresh is
+// strictly before deadlineNanos.
+func Expire(deadlineNanos int64) Op { return Op{Kind: KindExpire, Time: deadlineNanos} }
+
+// Append encodes o onto dst and returns the extended slice. The layout is
+//
+//	kind(1) time(8) body
+//
+// with a kind-specific body:
+//
+//	Join:         entry
+//	BatchJoin:    count(2) entry...
+//	Leave:        peer(8)
+//	Refresh:      peer(8)
+//	SetSuperPeer: peer(8) super(1)
+//	Expire:       —
+//
+// where entry = peer(8) addrLen(2) addr pathLen(2) router(4)... . All
+// integers are big-endian.
+func Append(dst []byte, o Op) ([]byte, error) {
+	dst = append(dst, byte(o.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(o.Time))
+	switch o.Kind {
+	case KindJoin:
+		return appendEntry(dst, &o.Join)
+	case KindBatchJoin:
+		if len(o.Batch) == 0 || len(o.Batch) > MaxBatch {
+			return nil, fmt.Errorf("%w: batch of %d joins", ErrLimit, len(o.Batch))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(o.Batch)))
+		var err error
+		for i := range o.Batch {
+			if dst, err = appendEntry(dst, &o.Batch[i]); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case KindLeave, KindRefresh:
+		return binary.BigEndian.AppendUint64(dst, uint64(o.Peer)), nil
+	case KindSetSuperPeer:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(o.Peer))
+		if o.Super {
+			return append(dst, 1), nil
+		}
+		return append(dst, 0), nil
+	case KindExpire:
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("op: cannot encode unknown kind %d", o.Kind)
+	}
+}
+
+// Encode encodes o into a fresh buffer.
+func Encode(o Op) ([]byte, error) { return Append(nil, o) }
+
+func appendEntry(dst []byte, e *JoinEntry) ([]byte, error) {
+	if len(e.Addr) > MaxAddrLen {
+		return nil, fmt.Errorf("%w: address length %d", ErrLimit, len(e.Addr))
+	}
+	if len(e.Path) > MaxPathLen {
+		return nil, fmt.Errorf("%w: path length %d", ErrLimit, len(e.Path))
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.Peer))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(e.Addr)))
+	dst = append(dst, e.Addr...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(e.Path)))
+	for _, r := range e.Path {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(r))
+	}
+	return dst, nil
+}
+
+// Decode decodes one op from b, which must contain exactly one encoded op
+// (trailing bytes are an error — log records and wire payloads are framed
+// by their carriers).
+func Decode(b []byte) (Op, error) {
+	d := opDecoder{buf: b}
+	o, err := d.op()
+	if err != nil {
+		return Op{}, err
+	}
+	if d.off != len(d.buf) {
+		return Op{}, fmt.Errorf("op: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return o, nil
+}
+
+type opDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *opDecoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *opDecoder) u8() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *opDecoder) u16() (uint16, error) {
+	if d.remaining() < 2 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *opDecoder) u32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *opDecoder) u64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *opDecoder) entry(e *JoinEntry) error {
+	peer, err := d.u64()
+	if err != nil {
+		return err
+	}
+	e.Peer = pathtree.PeerID(peer)
+	alen, err := d.u16()
+	if err != nil {
+		return err
+	}
+	if int(alen) > MaxAddrLen {
+		return fmt.Errorf("%w: address length %d", ErrLimit, alen)
+	}
+	if d.remaining() < int(alen) {
+		return ErrTruncated
+	}
+	e.Addr = string(d.buf[d.off : d.off+int(alen)])
+	d.off += int(alen)
+	plen, err := d.u16()
+	if err != nil {
+		return err
+	}
+	if int(plen) > MaxPathLen {
+		return fmt.Errorf("%w: path length %d", ErrLimit, plen)
+	}
+	e.Path = make([]topology.NodeID, plen)
+	for i := range e.Path {
+		r, err := d.u32()
+		if err != nil {
+			return err
+		}
+		e.Path[i] = topology.NodeID(r)
+	}
+	return nil
+}
+
+func (d *opDecoder) op() (Op, error) {
+	var o Op
+	kind, err := d.u8()
+	if err != nil {
+		return o, err
+	}
+	o.Kind = Kind(kind)
+	t, err := d.u64()
+	if err != nil {
+		return o, err
+	}
+	o.Time = int64(t)
+	switch o.Kind {
+	case KindJoin:
+		return o, d.entry(&o.Join)
+	case KindBatchJoin:
+		n, err := d.u16()
+		if err != nil {
+			return o, err
+		}
+		if n == 0 || int(n) > MaxBatch {
+			return o, fmt.Errorf("%w: batch of %d joins", ErrLimit, n)
+		}
+		o.Batch = make([]JoinEntry, n)
+		for i := range o.Batch {
+			if err := d.entry(&o.Batch[i]); err != nil {
+				return o, err
+			}
+		}
+		return o, nil
+	case KindLeave, KindRefresh:
+		p, err := d.u64()
+		o.Peer = pathtree.PeerID(p)
+		return o, err
+	case KindSetSuperPeer:
+		p, err := d.u64()
+		if err != nil {
+			return o, err
+		}
+		o.Peer = pathtree.PeerID(p)
+		super, err := d.u8()
+		if err != nil {
+			return o, err
+		}
+		if super > 1 {
+			return o, fmt.Errorf("op: bad super flag %d", super)
+		}
+		o.Super = super == 1
+		return o, nil
+	case KindExpire:
+		return o, nil
+	default:
+		return o, fmt.Errorf("op: unknown kind %d", kind)
+	}
+}

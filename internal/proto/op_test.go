@@ -1,0 +1,84 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+
+	"proxdisc/internal/op"
+	"proxdisc/internal/topology"
+)
+
+// TestJoinOpBridge pins the wire↔op bridge: a join payload decodes into
+// the same op that EncodeJoinOp re-encodes, and the struct decoder agrees
+// with the op decoder field by field.
+func TestJoinOpBridge(t *testing.T) {
+	payload, err := EncodeJoinRequest(&JoinRequest{Peer: 42, Addr: "10.0.0.9:41", Path: []int32{7, 3, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := DecodeJoinOp(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != op.KindJoin || o.Time != 0 {
+		t.Fatalf("decoded op %+v: want unstamped KindJoin", o)
+	}
+	want := op.JoinEntry{Peer: 42, Addr: "10.0.0.9:41", Path: []topology.NodeID{7, 3, 100}}
+	if !reflect.DeepEqual(o.Join, want) {
+		t.Fatalf("entry %+v, want %+v", o.Join, want)
+	}
+	re, err := EncodeJoinOp(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(re, payload) {
+		t.Fatalf("EncodeJoinOp is not the inverse of DecodeJoinOp:\n %x\n %x", re, payload)
+	}
+	if _, err := EncodeJoinOp(op.Leave(1)); err == nil {
+		t.Fatal("EncodeJoinOp accepted a non-join op")
+	}
+	if _, err := DecodeJoinOp([]byte{1, 2}); err == nil {
+		t.Fatal("DecodeJoinOp accepted garbage")
+	}
+}
+
+func TestBatchJoinOpBridge(t *testing.T) {
+	payload, err := EncodeBatchJoinRequest(&BatchJoinRequest{Joins: []JoinRequest{
+		{Peer: 1, Addr: "a:1", Path: []int32{5, 0}},
+		{Peer: 2, Addr: "a:2", Path: []int32{6, 5, 0}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := DecodeBatchJoinOp(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != op.KindBatchJoin || len(o.Batch) != 2 {
+		t.Fatalf("decoded %+v", o)
+	}
+	if o.Batch[1].Peer != 2 || o.Batch[1].Addr != "a:2" ||
+		!reflect.DeepEqual(o.Batch[1].Path, []topology.NodeID{6, 5, 0}) {
+		t.Fatalf("entry %+v", o.Batch[1])
+	}
+	if _, err := DecodeBatchJoinOp([]byte{0xff}); err == nil {
+		t.Fatal("DecodeBatchJoinOp accepted garbage")
+	}
+}
+
+func TestPeerOpBridges(t *testing.T) {
+	lo, err := DecodeLeaveOp(EncodeLeaveRequest(&LeaveRequest{Peer: 77}))
+	if err != nil || lo.Kind != op.KindLeave || lo.Peer != 77 {
+		t.Fatalf("leave op %+v err=%v", lo, err)
+	}
+	ro, err := DecodeRefreshOp(EncodeRefreshRequest(&RefreshRequest{Peer: 78}))
+	if err != nil || ro.Kind != op.KindRefresh || ro.Peer != 78 || ro.Time != 0 {
+		t.Fatalf("refresh op %+v err=%v", ro, err)
+	}
+	if _, err := DecodeLeaveOp(nil); err == nil {
+		t.Fatal("DecodeLeaveOp accepted an empty payload")
+	}
+	if _, err := DecodeRefreshOp([]byte{1}); err == nil {
+		t.Fatal("DecodeRefreshOp accepted a truncated payload")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"proxdisc/internal/op"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/topology"
 )
@@ -59,6 +60,11 @@ type PeerInfo struct {
 	Landmark topology.NodeID
 	// Path is the reported router path, peer-side first.
 	Path []topology.NodeID
+	// Addr is the peer's advertised overlay address, when the join came in
+	// over the wire ("" for in-process joins). It is durable state: it
+	// rides in join ops, snapshots, and the WAL, so a restarted node's
+	// answers carry dialable endpoints.
+	Addr string
 	// SuperPeer marks peers that volunteered to answer locality queries
 	// for their vicinity.
 	SuperPeer bool
@@ -140,13 +146,92 @@ func (s *Server) landmarksLocked() []topology.NodeID {
 // NeighborCount reports the configured answer size.
 func (s *Server) NeighborCount() int { return s.cfg.NeighborCount }
 
+// stamp fills a zero op timestamp from the server clock, so every copy
+// that later applies or replays the op sees the same instant.
+func (s *Server) stamp(o op.Op) op.Op {
+	if o.Time == 0 {
+		o.Time = s.cfg.Clock().UnixNano()
+	}
+	return o
+}
+
+// Apply is the server's single mutation entry point: it applies one typed
+// operation without computing any answer. Every path that moves writes
+// around — replica propagation, promotion tail-replay, rebuild catch-up,
+// WAL recovery — calls Apply, so a replayed stream reaches exactly the
+// state the original stream built. The answering front doors (Join,
+// JoinOp, JoinBatch, Lookup-free writes) are thin wrappers over the same
+// locked core. A zero o.Time is stamped from the server clock; stamped
+// ops apply at their recorded instant regardless of the local clock.
+func (s *Server) Apply(o op.Op) error {
+	o = s.stamp(o)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked(o)
+}
+
+// applyLocked dispatches one op against the state. Callers hold s.mu.
+func (s *Server) applyLocked(o op.Op) error {
+	switch o.Kind {
+	case op.KindJoin:
+		tree, lm, err := s.resolveJoinLocked(o.Join.Peer, o.Join.Path)
+		if err != nil {
+			return err
+		}
+		return s.insertJoinLocked(tree, lm, &o.Join, o.Time)
+	case op.KindBatchJoin:
+		// Batch entries that fail individually are skipped, matching the
+		// answering path's per-entry isolation: recorded batch ops carry
+		// only entries the primary accepted, so on replay none should
+		// fail — but a tolerant replay never aborts a whole batch.
+		for i := range o.Batch {
+			e := &o.Batch[i]
+			tree, lm, err := s.resolveJoinLocked(e.Peer, e.Path)
+			if err != nil {
+				continue
+			}
+			_ = s.insertJoinLocked(tree, lm, e, o.Time)
+		}
+		return nil
+	case op.KindLeave:
+		return s.leaveLocked(o.Peer)
+	case op.KindRefresh:
+		info, ok := s.peers[o.Peer]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownPeer, o.Peer)
+		}
+		info.LastRefresh = time.Unix(0, o.Time)
+		return nil
+	case op.KindSetSuperPeer:
+		info, ok := s.peers[o.Peer]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownPeer, o.Peer)
+		}
+		info.SuperPeer = o.Super
+		return nil
+	case op.KindExpire:
+		s.expireBeforeLocked(time.Unix(0, o.Time))
+		return nil
+	default:
+		return fmt.Errorf("server: cannot apply op kind %d", o.Kind)
+	}
+}
+
 // Join registers peer p with its reported path and returns its closest
 // peers. The answer is computed before insertion, so a peer never appears in
 // its own neighbour list. The path must terminate at a registered landmark.
 func (s *Server) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
+	return s.JoinOp(op.Join(p, path, "", 0))
+}
+
+// JoinOp answers and applies a KindJoin op: the op-native form of Join,
+// used by front ends that carry overlay addresses and by the cluster's
+// primary apply path.
+func (s *Server) JoinOp(o op.Op) ([]pathtree.Candidate, error) {
+	o = s.stamp(o)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.joinLocked(p, path)
+	return s.joinOpLocked(o)
 }
 
 // resolveJoinLocked validates a join's path, resolves its landmark tree,
@@ -170,57 +255,49 @@ func (s *Server) resolveJoinLocked(p pathtree.PeerID, path []topology.NodeID) (*
 }
 
 // insertJoinLocked performs the registration half of a join: the tree
-// insert and the peer record. Counterpart of resolveJoinLocked.
-func (s *Server) insertJoinLocked(tree *pathtree.Tree, lm topology.NodeID, p pathtree.PeerID, path []topology.NodeID) error {
-	if err := tree.Insert(p, path); err != nil {
+// insert and the peer record, stamped at the op's time. Counterpart of
+// resolveJoinLocked.
+func (s *Server) insertJoinLocked(tree *pathtree.Tree, lm topology.NodeID, e *op.JoinEntry, timeNanos int64) error {
+	if err := tree.Insert(e.Peer, e.Path); err != nil {
 		return err
 	}
-	s.peers[p] = &PeerInfo{
-		ID:          p,
+	s.peers[e.Peer] = &PeerInfo{
+		ID:          e.Peer,
 		Landmark:    lm,
-		Path:        append([]topology.NodeID(nil), path...),
-		LastRefresh: s.cfg.Clock(),
+		Path:        append([]topology.NodeID(nil), e.Path...),
+		Addr:        e.Addr,
+		LastRefresh: time.Unix(0, timeNanos),
 	}
 	s.joins++
 	return nil
 }
 
-// joinLocked is the Join body for callers already holding s.mu.
-func (s *Server) joinLocked(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Candidate, error) {
-	tree, lm, err := s.resolveJoinLocked(p, path)
+// joinOpLocked is the answering join body: the closest-peers query
+// followed by the same registration Apply performs. Callers hold s.mu and
+// have stamped the op.
+func (s *Server) joinOpLocked(o op.Op) ([]pathtree.Candidate, error) {
+	tree, lm, err := s.resolveJoinLocked(o.Join.Peer, o.Join.Path)
 	if err != nil {
 		return nil, err
 	}
-	cands, err := tree.ClosestToPath(path, s.cfg.NeighborCount, map[pathtree.PeerID]bool{p: true})
+	cands, err := tree.ClosestToPath(o.Join.Path, s.cfg.NeighborCount, map[pathtree.PeerID]bool{o.Join.Peer: true})
 	if err != nil {
 		return nil, err
 	}
-	if err := s.insertJoinLocked(tree, lm, p, path); err != nil {
+	if err := s.insertJoinLocked(tree, lm, &o.Join, o.Time); err != nil {
 		return nil, err
 	}
 	s.queries++
 	return cands, nil
 }
 
-// ApplyJoin registers peer p without computing a closest-peers answer. It
-// is the replica-apply path of a replicated cluster shard: the primary
-// already answered the join, and the replicas only need to reach the same
-// state, so the O(k·L) query walk is skipped. Exactly like Join, a re-join
-// under a different landmark replaces the old record.
-func (s *Server) ApplyJoin(p pathtree.PeerID, path []topology.NodeID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tree, lm, err := s.resolveJoinLocked(p, path)
-	if err != nil {
-		return err
-	}
-	return s.insertJoinLocked(tree, lm, p, path)
-}
-
 // BatchJoin is one entry of a batched join.
 type BatchJoin struct {
 	// Peer is the joining peer.
 	Peer pathtree.PeerID
+	// Addr is the peer's advertised overlay address ("" for in-process
+	// callers).
+	Addr string
 	// Path is its reported router path, peer-side first.
 	Path []topology.NodeID
 }
@@ -238,14 +315,27 @@ type BatchResult struct {
 // (so a duplicate peer within the batch behaves exactly like sequential
 // joins), and one entry's failure does not affect the others.
 func (s *Server) JoinBatch(items []BatchJoin) []BatchResult {
-	out := make([]BatchResult, len(items))
-	if len(items) == 0 {
+	entries := make([]op.JoinEntry, len(items))
+	for i, it := range items {
+		entries[i] = op.JoinEntry{Peer: it.Peer, Addr: it.Addr, Path: it.Path}
+	}
+	return s.JoinBatchOp(op.BatchJoin(entries, 0))
+}
+
+// JoinBatchOp answers and applies a KindBatchJoin op, entry by entry in
+// order under one lock acquisition. Callers that record or propagate the
+// op must first trim it to the entries that succeeded, so replicas and
+// logs never see a rejected entry.
+func (s *Server) JoinBatchOp(o op.Op) []BatchResult {
+	o = s.stamp(o)
+	out := make([]BatchResult, len(o.Batch))
+	if len(o.Batch) == 0 {
 		return out
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i, it := range items {
-		out[i].Neighbors, out[i].Err = s.joinLocked(it.Peer, it.Path)
+	for i := range o.Batch {
+		out[i].Neighbors, out[i].Err = s.joinOpLocked(op.Op{Kind: op.KindJoin, Time: o.Time, Join: o.Batch[i]})
 	}
 	return out
 }
@@ -278,39 +368,30 @@ func (s *Server) Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error) {
 
 // Refresh updates a peer's liveness timestamp (heartbeat).
 func (s *Server) Refresh(p pathtree.PeerID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.Apply(op.Refresh(p, 0))
+}
+
+// leaveLocked removes a registered peer. Callers hold s.mu.
+func (s *Server) leaveLocked(p pathtree.PeerID) error {
 	info, ok := s.peers[p]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, p)
 	}
-	info.LastRefresh = s.cfg.Clock()
+	s.trees[info.Landmark].Remove(p)
+	delete(s.peers, p)
+	s.leaves++
 	return nil
 }
 
 // Leave removes peer p; it reports whether the peer was registered.
 func (s *Server) Leave(p pathtree.PeerID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	info, ok := s.peers[p]
-	if !ok {
-		return false
-	}
-	s.trees[info.Landmark].Remove(p)
-	delete(s.peers, p)
-	s.leaves++
-	return true
+	return s.Apply(op.Leave(p)) == nil
 }
 
-// Expire sweeps out peers whose last refresh is older than the configured
-// PeerTTL, returning the expired IDs. A zero PeerTTL disables expiry.
-func (s *Server) Expire() []pathtree.PeerID {
-	if s.cfg.PeerTTL <= 0 {
-		return nil
-	}
-	cutoff := s.cfg.Clock().Add(-s.cfg.PeerTTL)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// expireBeforeLocked sweeps out peers whose last refresh is strictly
+// before the cutoff, returning the expired IDs in ascending order.
+// Callers hold s.mu.
+func (s *Server) expireBeforeLocked(cutoff time.Time) []pathtree.PeerID {
 	var out []pathtree.PeerID
 	for p, info := range s.peers {
 		if info.LastRefresh.Before(cutoff) {
@@ -324,16 +405,29 @@ func (s *Server) Expire() []pathtree.PeerID {
 	return out
 }
 
-// SetSuperPeer marks or unmarks peer p as a super-peer.
-func (s *Server) SetSuperPeer(p pathtree.PeerID, super bool) error {
+// Expire sweeps out peers whose last refresh is older than the configured
+// PeerTTL, returning the expired IDs. A zero PeerTTL disables expiry.
+func (s *Server) Expire() []pathtree.PeerID {
+	if s.cfg.PeerTTL <= 0 {
+		return nil
+	}
+	return s.ExpireOp(op.Expire(s.cfg.Clock().Add(-s.cfg.PeerTTL).UnixNano()))
+}
+
+// ExpireOp applies a KindExpire op and returns the expired IDs — the
+// answering form of the sweep; Apply runs the identical sweep silently.
+// Because the op carries its deadline and every peer's LastRefresh comes
+// from op timestamps, every copy that applies the same ExpireOp expires
+// exactly the same peers.
+func (s *Server) ExpireOp(o op.Op) []pathtree.PeerID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	info, ok := s.peers[p]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownPeer, p)
-	}
-	info.SuperPeer = super
-	return nil
+	return s.expireBeforeLocked(time.Unix(0, o.Time))
+}
+
+// SetSuperPeer marks or unmarks peer p as a super-peer.
+func (s *Server) SetSuperPeer(p pathtree.PeerID, super bool) error {
+	return s.Apply(op.SetSuperPeer(p, super))
 }
 
 // PeerInfo returns a copy of the record for peer p.

@@ -25,11 +25,23 @@ type snapshotPeer struct {
 	ID          pathtree.PeerID
 	Landmark    topology.NodeID
 	Path        []topology.NodeID
+	Addr        string
 	SuperPeer   bool
 	LastRefresh time.Time
 }
 
-const snapshotVersion = 1
+// snapshotVersion is the current format: version 2 added the peer overlay
+// address. Version-1 snapshots decode fine (gob leaves the absent Addr
+// empty), so decoders accept both.
+const snapshotVersion = 2
+
+// checkSnapshotVersion rejects snapshots from the future.
+func checkSnapshotVersion(v int) error {
+	if v < 1 || v > snapshotVersion {
+		return fmt.Errorf("server: unsupported snapshot version %d", v)
+	}
+	return nil
+}
 
 // Snapshot serializes the server's durable state (landmarks, configuration,
 // and every peer's path) so a restarted management server can resume
@@ -49,6 +61,7 @@ func (s *Server) Snapshot(w io.Writer) error {
 			ID:          info.ID,
 			Landmark:    info.Landmark,
 			Path:        append([]topology.NodeID(nil), info.Path...),
+			Addr:        info.Addr,
 			SuperPeer:   info.SuperPeer,
 			LastRefresh: info.LastRefresh,
 		})
@@ -88,6 +101,7 @@ func (s *Server) SnapshotLandmarks(w io.Writer, lms ...topology.NodeID) error {
 			ID:          info.ID,
 			Landmark:    info.Landmark,
 			Path:        append([]topology.NodeID(nil), info.Path...),
+			Addr:        info.Addr,
 			SuperPeer:   info.SuperPeer,
 			LastRefresh: info.LastRefresh,
 		})
@@ -110,8 +124,8 @@ func (s *Server) Absorb(r io.Reader) ([]pathtree.PeerID, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("server: snapshot decode: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("server: unsupported snapshot version %d", snap.Version)
+	if err := checkSnapshotVersion(snap.Version); err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -136,6 +150,7 @@ func (s *Server) Absorb(r io.Reader) ([]pathtree.PeerID, error) {
 			ID:          p.ID,
 			Landmark:    p.Landmark,
 			Path:        append([]topology.NodeID(nil), p.Path...),
+			Addr:        p.Addr,
 			SuperPeer:   p.SuperPeer,
 			LastRefresh: p.LastRefresh,
 		}
@@ -181,8 +196,8 @@ func MergeSnapshots(w io.Writer, parts ...io.Reader) error {
 		if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 			return fmt.Errorf("server: merge part %d decode: %w", i, err)
 		}
-		if snap.Version != snapshotVersion {
-			return fmt.Errorf("server: merge part %d: unsupported snapshot version %d", i, snap.Version)
+		if err := checkSnapshotVersion(snap.Version); err != nil {
+			return fmt.Errorf("server: merge part %d: %w", i, err)
 		}
 		if i == 0 {
 			out.NeighborCount = snap.NeighborCount
@@ -215,8 +230,8 @@ func Restore(r io.Reader, cfg Config) (*Server, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("server: snapshot decode: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("server: unsupported snapshot version %d", snap.Version)
+	if err := checkSnapshotVersion(snap.Version); err != nil {
+		return nil, err
 	}
 	cfg.Landmarks = snap.Landmarks
 	cfg.NeighborCount = snap.NeighborCount
@@ -238,6 +253,7 @@ func Restore(r io.Reader, cfg Config) (*Server, error) {
 			ID:          p.ID,
 			Landmark:    p.Landmark,
 			Path:        append([]topology.NodeID(nil), p.Path...),
+			Addr:        p.Addr,
 			SuperPeer:   p.SuperPeer,
 			LastRefresh: p.LastRefresh,
 		}

@@ -1,0 +1,507 @@
+// Package wal implements the durability layer of a proxdisc management
+// node: a segmented, CRC-framed write-ahead log of encoded operations
+// (package op) plus atomically written on-disk snapshots.
+//
+// The log is the node's commit record. A write is acknowledged only after
+// its record is on stable storage; concurrent appenders share fsyncs
+// through group commit (the first caller to reach the disk syncs
+// everything flushed so far, and everyone behind it observes the advanced
+// sync mark and returns without touching the disk), so the per-write cost
+// of durability amortizes under load instead of serializing behind one
+// fsync per operation.
+//
+// Records are framed as
+//
+//	length(4) sequence(8) crc32c(4) payload
+//
+// with the CRC (Castagnoli) covering sequence and payload. The log is
+// split into segment files named by the sequence of their first record;
+// snapshots make whole segments obsolete and TruncateBefore deletes them,
+// so the log's disk footprint is bounded by the snapshot cadence. A crash
+// can tear the final record; Open detects the torn tail by CRC and
+// truncates it — a torn record was never acknowledged, so dropping it
+// loses nothing the caller promised.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+	// frameHeader is length(4) + sequence(8) + crc(4).
+	frameHeader = 16
+	// MaxRecordSize bounds one record's payload, protecting Replay from a
+	// corrupt length field. It comfortably exceeds the largest encodable
+	// op.
+	MaxRecordSize = 1 << 20
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes is the size at which the active segment is rotated
+	// (default 8 MiB).
+	SegmentBytes int64
+	// NoSync skips fsync on append (records are still flushed to the OS).
+	// It trades crash durability for speed; tests and benchmarks that
+	// model process crashes — not machine crashes — use it.
+	NoSync bool
+}
+
+// Log is an append-only record log. Append is safe for concurrent use;
+// Replay must complete before the first Append.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex // guards everything below, and frame writes
+	seg      *os.File   // active segment
+	prevSeg  *os.File   // most recently rotated-out segment; see rotate
+	bw       *fileWriter
+	segStart uint64 // sequence of the active segment's first record
+	segSize  int64
+	seq      uint64 // last assigned sequence
+	failed   error  // sticky I/O failure: the log refuses further appends
+	closed   bool
+
+	syncMu sync.Mutex    // serializes flush+fsync cycles (group commit)
+	synced atomic.Uint64 // last sequence known durable
+}
+
+// fileWriter is a small buffered writer that tracks its unflushed byte
+// count, so rotation decisions see the true segment size.
+type fileWriter struct {
+	f   *os.File
+	buf []byte
+}
+
+func (w *fileWriter) Write(p []byte) {
+	w.buf = append(w.buf, p...)
+}
+
+func (w *fileWriter) Flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Open opens (or creates) the log in dir. An existing log is scanned from
+// its final segment: a torn or corrupt tail record is truncated away and
+// appending resumes after the last intact record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 8 << 20
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.openSegment(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	// Scan the final segment to find the end of the intact log and drop
+	// any torn tail. Earlier segments are validated by Replay, their only
+	// reader.
+	last := segs[len(segs)-1]
+	end, lastSeq, err := scanSegment(filepath.Join(dir, segName(last)), last, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if lastSeq == 0 {
+		lastSeq = last - 1 // empty final segment: named for its next record
+	}
+	l.seg = f
+	l.bw = &fileWriter{f: f}
+	l.segStart = last
+	l.segSize = end
+	l.seq = lastSeq
+	l.synced.Store(lastSeq)
+	return l, nil
+}
+
+// segName formats a segment file name from its first sequence.
+func segName(start uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, start, segSuffix)
+}
+
+// segments lists existing segment start sequences in ascending order.
+func (l *Log) segments() ([]uint64, error) {
+	return listSeqFiles(l.dir, segPrefix, segSuffix)
+}
+
+// listSeqFiles lists, ascending, the sequence numbers encoded in dir's
+// file names carrying the given prefix and suffix — the shared naming
+// scheme of log segments and snapshot files. A missing directory is an
+// empty listing.
+func listSeqFiles(dir, prefix, suffix string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// scanSegment reads one segment's records. With tolerateTail, a torn or
+// corrupt record ends the scan cleanly (returning the offset where the
+// intact prefix ends); otherwise it is an error. fn, when non-nil, is
+// called for every intact record.
+func scanSegment(path string, start uint64, tolerateTail bool, fn func(seq uint64, rec []byte) error) (validEnd int64, lastSeq uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var (
+		hdr  [frameHeader]byte
+		off  int64
+		want = start
+	)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return off, want - 1, nil
+			}
+			if tolerateTail && errors.Is(err, io.ErrUnexpectedEOF) {
+				return off, want - 1, nil
+			}
+			return 0, 0, fmt.Errorf("wal: segment %s offset %d: %w", filepath.Base(path), off, err)
+		}
+		size := binary.BigEndian.Uint32(hdr[:4])
+		seq := binary.BigEndian.Uint64(hdr[4:12])
+		crc := binary.BigEndian.Uint32(hdr[12:16])
+		bad := size > MaxRecordSize || seq < want
+		var rec []byte
+		if !bad {
+			rec = make([]byte, size)
+			if _, err := io.ReadFull(f, rec); err != nil {
+				if tolerateTail && (err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF)) {
+					return off, want - 1, nil
+				}
+				return 0, 0, fmt.Errorf("wal: segment %s offset %d: %w", filepath.Base(path), off, err)
+			}
+			bad = crc32.Update(crc32.Checksum(hdr[4:12], crcTable), crcTable, rec) != crc
+		}
+		if bad {
+			if tolerateTail {
+				return off, want - 1, nil
+			}
+			return 0, 0, fmt.Errorf("wal: segment %s offset %d: corrupt record", filepath.Base(path), off)
+		}
+		if fn != nil {
+			if err := fn(seq, rec); err != nil {
+				return 0, 0, err
+			}
+		}
+		off += frameHeader + int64(size)
+		want = seq + 1
+	}
+}
+
+func (l *Log) openSegment(start uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(start)), os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o666)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	if l.prevSeg != nil {
+		l.prevSeg.Close()
+	}
+	l.prevSeg = l.seg // kept open: a concurrent group commit may still fsync it
+	l.seg = f
+	l.bw = &fileWriter{f: f}
+	l.segStart = start
+	l.segSize = 0
+	return nil
+}
+
+// LastSeq reports the last assigned sequence number.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// EnsureSeq advances the log's sequence counter to at least seq, so
+// records appended after a snapshot restore can never reuse a sequence
+// the snapshot already covers (possible only when the log files were
+// removed out from under their snapshot).
+func (l *Log) EnsureSeq(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seq < seq {
+		l.seq = seq
+		l.synced.Store(seq)
+	}
+}
+
+// Append writes the records to the log and returns the sequence of the
+// last one, once every record is durable (group commit: concurrent
+// appenders share fsyncs). With Options.NoSync it returns after the
+// records reach the OS.
+func (l *Log) Append(recs ...[]byte) (uint64, error) {
+	if len(recs) == 0 {
+		return l.LastSeq(), nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return 0, err
+	}
+	var hdr [frameHeader]byte
+	for _, rec := range recs {
+		if len(rec) > MaxRecordSize {
+			l.mu.Unlock()
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordSize", len(rec))
+		}
+		l.seq++
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(rec)))
+		binary.BigEndian.PutUint64(hdr[4:12], l.seq)
+		crc := crc32.Update(crc32.Checksum(hdr[4:12], crcTable), crcTable, rec)
+		binary.BigEndian.PutUint32(hdr[12:16], crc)
+		l.bw.Write(hdr[:])
+		l.bw.Write(rec)
+		l.segSize += frameHeader + int64(len(rec))
+	}
+	end := l.seq
+	if l.segSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.failed = err
+			l.mu.Unlock()
+			return 0, err
+		}
+	}
+	l.mu.Unlock()
+	if err := l.syncTo(end); err != nil {
+		return 0, err
+	}
+	return end, nil
+}
+
+// rotateLocked flushes and fsyncs the active segment, then starts a new
+// one named for the next record. Called with l.mu held.
+func (l *Log) rotateLocked() error {
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := l.seg.Sync(); err != nil {
+			return err
+		}
+	}
+	// Everything assigned so far lives in the just-synced segment.
+	for {
+		cur := l.synced.Load()
+		if cur >= l.seq || l.synced.CompareAndSwap(cur, l.seq) {
+			break
+		}
+	}
+	return l.openSegment(l.seq + 1)
+}
+
+// syncTo blocks until every record up to target is durable. The syncMu
+// critical section is the group-commit batch: the first appender in
+// flushes and fsyncs everything buffered so far; appenders queued behind
+// it usually find their records already covered and return immediately.
+func (l *Log) syncTo(target uint64) error {
+	if l.synced.Load() >= target {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced.Load() >= target {
+		return nil
+	}
+	l.mu.Lock()
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.failed = err
+		l.mu.Unlock()
+		return err
+	}
+	flushed := l.seq
+	f := l.seg
+	l.mu.Unlock()
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			// A rotation may have retired f between the capture above and
+			// this Sync (it fsyncs the old segment before closing it, and
+			// advances the sync mark); if the mark already covers the
+			// records we flushed, they are durable and the error is moot.
+			if l.synced.Load() >= flushed {
+				return nil
+			}
+			l.mu.Lock()
+			l.failed = err
+			l.mu.Unlock()
+			return err
+		}
+	}
+	for {
+		cur := l.synced.Load()
+		if cur >= flushed || l.synced.CompareAndSwap(cur, flushed) {
+			return nil
+		}
+	}
+}
+
+// Sync forces everything appended so far to stable storage.
+func (l *Log) Sync() error { return l.syncTo(l.LastSeq()) }
+
+// Replay calls fn for every intact record with sequence strictly greater
+// than after, in order. It must complete before the first Append. A torn
+// tail in the final segment ends the replay cleanly; corruption anywhere
+// else is an error.
+func (l *Log) Replay(after uint64, fn func(seq uint64, rec []byte) error) error {
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for i, start := range segs {
+		if i+1 < len(segs) && segs[i+1] <= after+1 {
+			continue // every record here is <= after
+		}
+		last := i == len(segs)-1
+		_, _, err := scanSegment(filepath.Join(l.dir, segName(start)), start, last, func(seq uint64, rec []byte) error {
+			if seq <= after {
+				return nil
+			}
+			return fn(seq, rec)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateBefore deletes segments every record of which has sequence
+// strictly below seq — the log-compaction step after a snapshot covering
+// seq-1 has landed. The active segment is never deleted.
+func (l *Log) TruncateBefore(seq uint64) error {
+	l.mu.Lock()
+	active := l.segStart
+	l.mu.Unlock()
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i, start := range segs {
+		if start == active || i+1 >= len(segs) {
+			break
+		}
+		if segs[i+1] > seq {
+			break // this segment still holds records >= seq
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(start))); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		removed = true
+	}
+	if removed {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the log.
+func (l *Log) Close() error {
+	err := l.Sync()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.prevSeg != nil {
+		l.prevSeg.Close()
+		l.prevSeg = nil
+	}
+	if cerr := l.seg.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so file creations, renames, and deletions in
+// it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -83,6 +83,43 @@
 // node crashes. SimulationConfig.Replicas and .Failovers run whole
 // simulations over the replicated plane with scheduled crash/recover
 // events.
+//
+// # Durability and recovery
+//
+// Every mutation of the management plane — a join, a batched join, a
+// leave, a refresh, a super-peer flag, a TTL expiry sweep — is one typed
+// operation with one canonical binary encoding. The same op value is
+// applied to the primary, propagated to replicas, and (on durable nodes)
+// persisted, so the replica stream and the on-disk stream can never
+// disagree. Ops are deterministic: joins and refreshes carry their apply
+// timestamp and an expiry sweep carries its deadline, which is why a
+// replayed stream reproduces the original state exactly, TTL bookkeeping
+// included.
+//
+// Setting ClusterConfig.DataDir makes a node durable. Acknowledged writes
+// are appended to a segmented, CRC-framed write-ahead log before the call
+// returns; concurrent writers share fsyncs through group commit, so the
+// durability cost amortizes under load. The cluster's state is
+// periodically snapshotted to the same directory (every
+// ClusterConfig.SnapshotEvery ops, in the background, and again on
+// Cluster.Close), after which the log is truncated at the snapshot
+// boundary — the disk footprint is bounded by the snapshot cadence.
+// NewCluster on a populated directory recovers before returning: it
+// restores the latest snapshot into the shards and replays the log tail
+// through the normal apply path, so a restarted node serves the exact
+// peer set (and, for joins that arrived over the wire, the exact overlay
+// addresses) it acknowledged before the crash. A record torn by the crash
+// itself was never acknowledged and is dropped by CRC. Expiry sweeps are
+// logged as a single deadline-carrying op, not as per-peer leaves, so
+// logs stay compact and every copy re-derives the identical expiry set.
+//
+// The TCP front end participates too: NetServerConfig.DataDir persists
+// the forwarded-peer ownership map through the same machinery, so a
+// restarted node keeps proxying follow-up requests for peers whose joins
+// it forwarded to other cluster nodes. cmd/proxdisc-server wires both
+// with -data-dir and shuts down cleanly on SIGINT/SIGTERM: connections
+// drain, a final snapshot lands, and the WAL closes, leaving an empty
+// tail for the next start.
 package proxdisc
 
 import (
@@ -146,8 +183,11 @@ type ClusterConfig = cluster.Config
 // cross-landmark operations, and supports live landmark handoff between
 // shards (MoveLandmark). With ClusterConfig.Replicas ≥ 2 each shard is a
 // replica set with automatic failover (FailShard, RecoverReplica,
-// CheckHealth). It exposes the same API as Server and returns identical
-// answers. Safe for concurrent use.
+// CheckHealth). With ClusterConfig.DataDir it is durable: writes commit
+// to a write-ahead log, snapshots land on disk (Checkpoint), restarts
+// recover exactly (see "Durability and recovery" above), and Close shuts
+// it down cleanly. It exposes the same API as Server and returns
+// identical answers. Safe for concurrent use.
 type Cluster = cluster.Cluster
 
 // ClusterAssigner chooses the initial landmark→shard assignment of a
