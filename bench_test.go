@@ -796,3 +796,149 @@ func copyDataDir(b *testing.B, src string) string {
 	}
 	return dst
 }
+
+// BenchmarkOpStreamShip measures cross-process replication throughput:
+// joins committed on a durable primary, shipped over the MsgOpStream
+// protocol to a TCP follower behind a loopback latency proxy adding 1ms
+// of RTT (the close-by-datacenter follower), and applied to the
+// follower's copy. The timer covers commit + ship + apply up to
+// convergence; the windowed stream keeps many records in flight, so the
+// per-op cost should be far below one RTT.
+func BenchmarkOpStreamShip(b *testing.B) {
+	clu, err := cluster.New(cluster.Config{
+		Landmarks: benchClusterLandmarks,
+		Shards:    4,
+		DataDir:   b.TempDir(),
+		NoSync:    true, // isolate shipping from the disk-sync cost BenchmarkWALAppend measures
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { clu.Close() })
+	ns, err := netserver.Listen(netserver.Config{Addr: "127.0.0.1:0", Server: clu})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ns.Close() })
+	proxy, err := loadgen.NewLatencyProxy(ns.Addr(), 500*time.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { proxy.Close() })
+	backend, err := server.New(server.Config{Landmarks: benchClusterLandmarks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := netserver.StartFollower(netserver.FollowerConfig{
+		PrimaryAddr: proxy.Addr(),
+		Backend:     backend,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+
+	rng := rand.New(rand.NewSource(11))
+	join := func(id int64) {
+		lm := benchClusterLandmarks[rng.Intn(len(benchClusterLandmarks))]
+		if _, err := clu.Join(pathtree.PeerID(id), buildClusterPath(lm, rng.Intn(200_000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm the stream (subscription, first head exchange) outside the timer.
+	join(1)
+	waitFollower(b, f, clu)
+	b.ResetTimer()
+	id := int64(2)
+	for i := 0; i < b.N; i++ {
+		join(id)
+		id++
+	}
+	waitFollower(b, f, clu)
+	b.StopTimer()
+	if got := backend.NumPeers(); got != clu.NumPeers() {
+		b.Fatalf("follower holds %d peers, primary %d", got, clu.NumPeers())
+	}
+}
+
+// BenchmarkFollowerCatchup measures a follower (re)connecting far behind
+// the primary: the data directory holds a 4000-peer snapshot plus a
+// 1000-op WAL tail, and each iteration brings a fresh follower from
+// nothing to converged — snapshot shipping, tail replay, and the local
+// rebuild, end to end over TCP.
+func BenchmarkFollowerCatchup(b *testing.B) {
+	const (
+		snapshotPeers = 4000
+		tailJoins     = 1000
+	)
+	clu, err := cluster.New(cluster.Config{
+		Landmarks: benchClusterLandmarks,
+		Shards:    4,
+		DataDir:   b.TempDir(),
+		NoSync:    true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { clu.Close() })
+	rng := rand.New(rand.NewSource(13))
+	id := int64(1)
+	join := func() {
+		lm := benchClusterLandmarks[rng.Intn(len(benchClusterLandmarks))]
+		if _, err := clu.Join(pathtree.PeerID(id), buildClusterPath(lm, rng.Intn(200_000))); err != nil {
+			b.Fatal(err)
+		}
+		id++
+	}
+	for i := 0; i < snapshotPeers; i++ {
+		join()
+	}
+	if err := clu.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < tailJoins; i++ {
+		join()
+	}
+	ns, err := netserver.Listen(netserver.Config{Addr: "127.0.0.1:0", Server: clu})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ns.Close() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		backend, err := server.New(server.Config{Landmarks: benchClusterLandmarks})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		f, err := netserver.StartFollower(netserver.FollowerConfig{
+			PrimaryAddr: ns.Addr(),
+			Backend:     backend,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitFollower(b, f, clu)
+		b.StopTimer()
+		if got := backend.NumPeers(); got != snapshotPeers+tailJoins {
+			b.Fatalf("follower holds %d peers, want %d", got, snapshotPeers+tailJoins)
+		}
+		f.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(snapshotPeers+tailJoins), "peers/catchup")
+}
+
+// waitFollower spins until the follower has applied the cluster's head.
+func waitFollower(b *testing.B, f *netserver.Follower, clu *cluster.Cluster) {
+	b.Helper()
+	head := clu.CommittedHead()
+	deadline := time.Now().Add(30 * time.Second)
+	for f.Applied() < head {
+		if time.Now().After(deadline) {
+			b.Fatalf("follower stuck at seq %d of %d (last err %v)", f.Applied(), head, f.Err())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

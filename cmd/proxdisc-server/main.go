@@ -6,12 +6,18 @@
 //
 //	proxdisc-server -addr 127.0.0.1:7470 -landmarks 10,20,30 -host-landmarks
 //	proxdisc-server -landmarks 10,20,30,40 -shards 4
+//	proxdisc-server -landmarks 10,20 -data-dir /var/lib/proxdisc            # durable primary
+//	proxdisc-server -landmarks 10,20 -follow primary-host:7470              # follower
 //
 // Each landmark is a router identifier; peers report traceroute paths that
 // terminate at one of them. With -host-landmarks the process also answers
 // UDP probes for each landmark and advertises those addresses to clients.
 // With -shards N the management plane runs as a landmark-sharded cluster of
-// N shards behind one TCP front end.
+// N shards behind one TCP front end. With -follow ADDR the process is a
+// follower: it streams the durable primary's committed op log over TCP,
+// applies it to a local copy (catching up from a shipped snapshot when it
+// is behind the log's retention), serves reads from that copy, redirects
+// writes to the primary, and logs its replication lag.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/server"
 	"proxdisc/internal/topology"
+	"proxdisc/internal/wal"
 )
 
 // management is what main drives beyond the wire interface: expiry sweeps
@@ -58,6 +65,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "pipelined-request worker pool size (0 = 4×GOMAXPROCS)")
 		maxBatch   = flag.Int("max-batch", 0, "largest batch join accepted (0 = wire-format maximum)")
 		dataDir    = flag.String("data-dir", "", "directory for durable state (WAL + snapshots); restart recovers the acknowledged peer set")
+		follow     = flag.String("follow", "", "run as a follower of the durable primary at this TCP address: stream its op log, apply it to a local copy, serve reads (implies -role replica)")
+		syncDelay  = flag.Duration("max-sync-delay", 0, "hold each WAL group-commit fsync open this long so light load batches syncs (e.g. 500us; 0 = sync immediately)")
+		snapBytes  = flag.Int64("snapshot-bytes", 0, "checkpoint after this many WAL bytes accumulate (0 = 4 MiB default, negative = op-count trigger only)")
 	)
 	flag.Parse()
 
@@ -71,6 +81,18 @@ func main() {
 	if *replicas < 1 {
 		log.Fatalf("proxdisc-server: -replicas must be at least 1, got %d", *replicas)
 	}
+	// Follower mode: a wire role of replica whose copy is fed by the
+	// primary's op stream instead of out-of-band snapshot shipping. It
+	// supplies the primary address, so it must resolve before the role
+	// validation below.
+	if *follow != "" {
+		if *primAddr == "" {
+			*primAddr = *follow
+		}
+		if *shards > 1 || *replicas > 1 {
+			log.Fatal("proxdisc-server: -follow runs a single local copy; drop -shards/-replicas")
+		}
+	}
 	nodeRole := netserver.RolePrimary
 	switch *role {
 	case "primary":
@@ -82,9 +104,12 @@ func main() {
 	default:
 		log.Fatalf("proxdisc-server: unknown -role %q", *role)
 	}
+	if *follow != "" {
+		nodeRole = netserver.RoleReplica
+	}
 	var logic management
 	var clu *cluster.Cluster
-	if *shards > 1 || *replicas > 1 || *dataDir != "" {
+	if *follow == "" && (*shards > 1 || *replicas > 1 || *dataDir != "") {
 		// A durable deployment always runs the cluster plane (a 1-shard,
 		// 1-replica cluster answers identically to a standalone server):
 		// the cluster owns the WAL and the snapshot cadence.
@@ -99,20 +124,62 @@ func main() {
 			NeighborCount: *neighbors,
 			PeerTTL:       *ttl,
 			DataDir:       clusterDir,
+			MaxSyncDelay:  *syncDelay,
+			SnapshotBytes: *snapBytes,
 		})
 		logic = clu
 	} else {
-		logic, err = server.New(server.Config{
+		// A follower's copy must expire peers only through the primary's
+		// replicated ExpireOps — a locally clocked TTL sweep would race
+		// in-flight refreshes and permanently diverge the copy (the leave
+		// is local, the refresh arrives for a peer already gone).
+		localTTL := *ttl
+		if *follow != "" {
+			localTTL = 0
+		}
+		var srvLogic *server.Server
+		srvLogic, err = server.New(server.Config{
 			Landmarks:     lmIDs,
 			NeighborCount: *neighbors,
-			PeerTTL:       *ttl,
+			PeerTTL:       localTTL,
 		})
+		logic = srvLogic
 	}
 	if err != nil {
 		log.Fatalf("proxdisc-server: %v", err)
 	}
 	if clu != nil && clu.NumPeers() > 0 {
 		log.Printf("recovered %d peers from %s", clu.NumPeers(), *dataDir)
+		ds := clu.DurabilityStats()
+		log.Printf("durable state: snapshot seq %d, wal tail %d records, replay %v",
+			ds.SnapshotSeq, ds.TailRecords, ds.ReplayTime)
+	}
+
+	// Follower mode: feed the local copy from the primary's op stream and
+	// log the replication position periodically.
+	var follower *netserver.Follower
+	if *follow != "" {
+		fb, ok := logic.(netserver.FollowerBackend)
+		if !ok {
+			log.Fatal("proxdisc-server: follower backend cannot restore snapshots")
+		}
+		follower, err = netserver.StartFollower(netserver.FollowerConfig{
+			PrimaryAddr: *follow,
+			Backend:     fb,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("proxdisc-server: follow %s: %v", *follow, err)
+		}
+		defer follower.Close()
+		go func() {
+			t := time.NewTicker(10 * time.Second)
+			defer t.Stop()
+			for range t.C {
+				log.Printf("replication: applied seq %d, primary head %d, lag %d ops",
+					follower.Applied(), follower.Head(), follower.Lag())
+			}
+		}()
 	}
 
 	lmAddrs := make(map[topology.NodeID]string)
@@ -140,6 +207,10 @@ func main() {
 	if *dataDir != "" {
 		frontDir = filepath.Join(*dataDir, "front")
 	}
+	var repl netserver.ReplicationStatus
+	if follower != nil {
+		repl = follower
+	}
 	ns, err := netserver.Listen(netserver.Config{
 		Addr:          *addr,
 		Server:        logic,
@@ -149,17 +220,22 @@ func main() {
 		Workers:       *workers,
 		MaxBatch:      *maxBatch,
 		DataDir:       frontDir,
+		Replication:   repl,
 		Logf:          log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("proxdisc-server: %v", err)
 	}
+	roleName := *role
+	if *follow != "" {
+		roleName = fmt.Sprintf("follower of %s", *follow)
+	}
 	log.Printf("management server listening on %s (landmarks %v, k=%d, shards=%d, replicas=%d, role=%s)",
-		ns.Addr(), lmIDs, *neighbors, *shards, *replicas, *role)
+		ns.Addr(), lmIDs, *neighbors, *shards, *replicas, roleName)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if *ttl > 0 {
+	if *ttl > 0 && *follow == "" {
 		ticker := time.NewTicker(*sweep)
 		defer ticker.Stop()
 		go func() {
@@ -178,7 +254,15 @@ func main() {
 	if err := ns.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}
+	if follower != nil {
+		log.Printf("replication at shutdown: applied seq %d, primary head %d, lag %d ops",
+			follower.Applied(), follower.Head(), follower.Lag())
+		follower.Close()
+	}
 	if clu != nil && clu.Durable() {
+		ds := clu.DurabilityStats()
+		log.Printf("durable state: snapshot seq %d, wal tail %d records, fsyncs %d (%.1f records/sync)",
+			ds.SnapshotSeq, ds.TailRecords, ds.Log.Fsyncs, avgBatch(ds.Log))
 		log.Print("flushing final snapshot and closing WAL")
 		if err := clu.Close(); err != nil {
 			log.Printf("durable close: %v", err)
@@ -187,6 +271,14 @@ func main() {
 	st := logic.Stats()
 	fmt.Printf("final stats: peers=%d joins=%d leaves=%d expiries=%d queries=%d\n",
 		st.Peers, st.Joins, st.Leaves, st.Expiries, st.Queries)
+}
+
+// avgBatch is the average group-commit batch: records per fsync.
+func avgBatch(m wal.Metrics) float64 {
+	if m.Fsyncs == 0 {
+		return 0
+	}
+	return float64(m.SyncedRecords) / float64(m.Fsyncs)
 }
 
 func parseLandmarks(s string) ([]topology.NodeID, error) {

@@ -71,8 +71,24 @@ type Config struct {
 	DataDir string
 	// SnapshotEvery is the number of logged ops between automatic
 	// background snapshots (and the WAL truncation that follows them).
-	// Default 8192; ignored without DataDir.
+	// Default 8192; ignored without DataDir. It is the op-count fallback
+	// of the adaptive byte trigger below: whichever fires first wins.
 	SnapshotEvery int
+	// SnapshotBytes triggers a background snapshot once that many bytes
+	// of op records have accumulated in the write-ahead log since the
+	// last checkpoint — the adaptive compaction trigger, which tracks the
+	// actual recovery-replay cost (bytes to re-read) instead of an op
+	// count blind to op size. Default 4 MiB; negative disables the byte
+	// trigger, leaving SnapshotEvery alone in charge.
+	SnapshotBytes int64
+	// MaxSyncDelay holds each WAL group-commit fsync open for up to this
+	// long so concurrent writers share the sync (see
+	// wal.Options.MaxSyncDelay). Zero fsyncs immediately.
+	MaxSyncDelay time.Duration
+	// SegmentBytes is the WAL segment rotation size (see
+	// wal.Options.SegmentBytes; default 8 MiB). Compaction retires whole
+	// segments, so smaller segments mean a tighter retention floor.
+	SegmentBytes int64
 	// NoSync skips fsync on the write-ahead log. It trades machine-crash
 	// durability for speed (process crashes lose nothing); benchmarks and
 	// tests that model process kills use it.
@@ -113,15 +129,18 @@ type Cluster struct {
 
 	// log is the node's write-ahead log; nil when the cluster is not
 	// durable. See durable.go.
-	log          *wal.Log
-	opsSinceSnap atomic.Int64
-	snapMu       sync.Mutex // one checkpoint at a time
-	snapCh       chan struct{}
-	snapStop     chan struct{}
-	snapWG       sync.WaitGroup
-	snapErrMu    sync.Mutex
-	snapErr      error // last background checkpoint failure
-	closeOnce    sync.Once
+	log            *wal.Log
+	opsSinceSnap   atomic.Int64
+	bytesSinceSnap atomic.Int64
+	lastSnapSeq    atomic.Uint64 // covering seq of the latest on-disk snapshot
+	replayTime     time.Duration // tail replay time of the last open
+	snapMu         sync.Mutex    // one checkpoint at a time
+	snapCh         chan struct{}
+	snapStop       chan struct{}
+	snapWG         sync.WaitGroup
+	snapErrMu      sync.Mutex
+	snapErr        error // last background checkpoint failure
+	closeOnce      sync.Once
 }
 
 // now reads the cluster clock.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"proxdisc/internal/op"
 	"proxdisc/internal/server"
@@ -12,8 +13,13 @@ import (
 	"proxdisc/internal/wal"
 )
 
-// defaultSnapshotEvery is the op count between automatic checkpoints.
-const defaultSnapshotEvery = 8192
+// defaultSnapshotEvery is the op-count fallback between automatic
+// checkpoints; defaultSnapshotBytes is the adaptive byte trigger
+// (accumulated WAL record bytes since the last checkpoint).
+const (
+	defaultSnapshotEvery = 8192
+	defaultSnapshotBytes = 4 << 20
+)
 
 // Durable reports whether the node persists its writes (Config.DataDir).
 func (c *Cluster) Durable() bool { return c.log != nil }
@@ -22,7 +28,11 @@ func (c *Cluster) Durable() bool { return c.log != nil }
 // latest snapshot plus the write-ahead log tail, and arms the background
 // checkpointer. Called by New before the cluster is visible to anyone.
 func (c *Cluster) openDurable() error {
-	log, err := wal.Open(c.cfg.DataDir, wal.Options{NoSync: c.cfg.NoSync})
+	log, err := wal.Open(c.cfg.DataDir, wal.Options{
+		NoSync:       c.cfg.NoSync,
+		MaxSyncDelay: c.cfg.MaxSyncDelay,
+		SegmentBytes: c.cfg.SegmentBytes,
+	})
 	if err != nil {
 		return err
 	}
@@ -38,10 +48,12 @@ func (c *Cluster) openDurable() error {
 			return err
 		}
 		snapSeq = seq
+		c.lastSnapSeq.Store(snapSeq)
 		// The log can never fall behind its snapshot's sequence (possible
 		// only when segment files were removed out from under it).
 		log.EnsureSeq(snapSeq)
 	}
+	replayStart := time.Now()
 	if err := log.Replay(snapSeq, func(seq uint64, rec []byte) error {
 		o, err := op.Decode(rec)
 		if err != nil {
@@ -52,9 +64,13 @@ func (c *Cluster) openDurable() error {
 		log.Close()
 		return err
 	}
+	c.replayTime = time.Since(replayStart)
 	c.log = log
 	if c.cfg.SnapshotEvery <= 0 {
 		c.cfg.SnapshotEvery = defaultSnapshotEvery
+	}
+	if c.cfg.SnapshotBytes == 0 {
+		c.cfg.SnapshotBytes = defaultSnapshotBytes
 	}
 	c.snapCh = make(chan struct{}, 1)
 	c.snapStop = make(chan struct{})
@@ -146,11 +162,27 @@ func (c *Cluster) commit(o op.Op) error {
 			recs = append(recs, rec)
 		}
 	}
+	var nbytes int64
+	for _, rec := range recs {
+		nbytes += int64(len(rec))
+	}
 	if _, err := c.log.Append(recs...); err != nil {
 		return fmt.Errorf("cluster: wal append: %w", err)
 	}
+	// Two checkpoint triggers, byte-based first (it tracks the actual
+	// recovery-replay cost) with the op count as the fallback for
+	// workloads of tiny records; whichever fires resets its own counter
+	// and nudges the checkpointer.
+	trigger := false
+	if b := c.bytesSinceSnap.Add(nbytes); c.cfg.SnapshotBytes > 0 && b >= c.cfg.SnapshotBytes &&
+		c.bytesSinceSnap.CompareAndSwap(b, 0) {
+		trigger = true
+	}
 	if m := c.opsSinceSnap.Add(int64(len(recs))); m >= int64(c.cfg.SnapshotEvery) &&
 		c.opsSinceSnap.CompareAndSwap(m, 0) {
+		trigger = true
+	}
+	if trigger {
 		select {
 		case c.snapCh <- struct{}{}:
 		default: // a checkpoint is already pending
@@ -200,10 +232,102 @@ func (c *Cluster) Checkpoint() error {
 	if err := wal.WriteSnapshot(c.cfg.DataDir, seq, c.Snapshot); err != nil {
 		return fmt.Errorf("cluster: checkpoint: %w", err)
 	}
+	c.lastSnapSeq.Store(seq)
+	c.opsSinceSnap.Store(0)
+	c.bytesSinceSnap.Store(0)
 	if err := wal.RemoveSnapshotsBefore(c.cfg.DataDir, seq); err != nil {
 		return err
 	}
 	return c.log.TruncateBefore(seq + 1)
+}
+
+// errNotDurable rejects replication-stream operations on a cluster with
+// no write-ahead log to serve them from.
+var errNotDurable = errors.New("cluster: not durable (no DataDir): no op log to serve followers from")
+
+// SetCommitTap installs tap as the observer of the committed op stream:
+// it is called for every WAL record under the append lock, in sequence
+// order, with the record's canonical op encoding (which the tap must not
+// retain). The returned head is the last sequence committed before the
+// tap became live — records at or below it are the tap's blind spot and
+// are served by ReadCommitted instead. ok is false on a non-durable
+// cluster, which has no committed stream. A nil tap uninstalls.
+func (c *Cluster) SetCommitTap(tap func(seq uint64, rec []byte)) (head uint64, ok bool) {
+	if c.log == nil {
+		return 0, false
+	}
+	c.log.SetOnAppend(tap)
+	return c.log.LastSeq(), true
+}
+
+// ReadCommitted streams committed records with sequence strictly greater
+// than after out of the write-ahead log — the follower catch-up read. It
+// is safe concurrently with writes; a concurrent checkpoint's truncation
+// surfaces as an error, and the caller restarts from CatchupSnapshot.
+func (c *Cluster) ReadCommitted(after uint64, fn func(seq uint64, rec []byte) error) error {
+	if c.log == nil {
+		return errNotDurable
+	}
+	return c.log.ReadAfter(after, fn)
+}
+
+// CommittedFloor reports the earliest sequence ReadCommitted can still
+// serve; a follower whose ack is below it must catch up from a snapshot.
+func (c *Cluster) CommittedFloor() (uint64, error) {
+	if c.log == nil {
+		return 0, errNotDurable
+	}
+	return c.log.FirstSeq()
+}
+
+// CommittedHead reports the last committed sequence.
+func (c *Cluster) CommittedHead() uint64 {
+	if c.log == nil {
+		return 0
+	}
+	return c.log.LastSeq()
+}
+
+// CatchupSnapshot opens the latest on-disk snapshot and the sequence it
+// covers, writing a fresh one first if none exists yet — the bulk half of
+// follower catch-up when the WAL no longer retains the follower's tail.
+func (c *Cluster) CatchupSnapshot() (io.ReadCloser, uint64, error) {
+	if c.log == nil {
+		return nil, 0, errNotDurable
+	}
+	r, seq, ok, err := wal.OpenLatestSnapshot(c.cfg.DataDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		if err := c.Checkpoint(); err != nil {
+			return nil, 0, err
+		}
+		if r, seq, ok, err = wal.OpenLatestSnapshot(c.cfg.DataDir); err != nil {
+			return nil, 0, err
+		} else if !ok {
+			return nil, 0, errors.New("cluster: checkpoint left no snapshot on disk")
+		}
+	}
+	return r, seq, nil
+}
+
+// DurabilityStats reports the durable node's operational surface: last
+// snapshot sequence, WAL tail length, recovery replay time, and the
+// group-commit counters. Zero on a non-durable cluster.
+func (c *Cluster) DurabilityStats() wal.DurabilityStats {
+	if c.log == nil {
+		return wal.DurabilityStats{}
+	}
+	head := c.log.LastSeq()
+	snap := c.lastSnapSeq.Load()
+	return wal.DurabilityStats{
+		SnapshotSeq: snap,
+		TailRecords: head - snap,
+		Head:        head,
+		ReplayTime:  c.replayTime,
+		Log:         c.log.Metrics(),
+	}
 }
 
 // Close makes the node's shutdown clean: it stops the background

@@ -45,7 +45,11 @@ type opResult struct {
 	applied op.Op
 }
 
-// replicaState is one copy of a shard's state.
+// replicaState is one copy of a shard's state. It implements
+// op.Replicator — the same interface a network follower session
+// implements — so in-process propagation and cross-process log shipping
+// are two consumers of one committed op stream, differing only in where
+// the stream's bytes travel.
 type replicaState struct {
 	srv *server.Server
 	// failed marks a crashed replica. Its srv pointer is dropped so any
@@ -55,6 +59,18 @@ type replicaState struct {
 	// Live replicas are kept at the head synchronously; the field matters
 	// for replicas being rebuilt, whose tail is replayed at attach time.
 	applied uint64
+}
+
+// ReplicateOp implements op.Replicator: apply the committed op through
+// the server's single mutation door and advance the applied mark. Callers
+// hold the shard group's lock, which is what makes the in-process
+// consumer synchronous.
+func (r *replicaState) ReplicateOp(seq uint64, o op.Op) error {
+	if err := r.srv.Apply(o); err != nil {
+		return err
+	}
+	r.applied = seq
+	return nil
 }
 
 // shardGroup is one shard's replica set: cfg.Replicas copies of the same
@@ -214,16 +230,16 @@ func (g *shardGroup) record(o op.Op) {
 	}
 }
 
-// propagateLocked applies a just-recorded op to every live replica except
-// the primary (which already applied it), in log order, and advances
-// every live replica's applied mark. Callers hold g.mu.
+// propagateLocked hands a just-recorded op to every live replica except
+// the primary (which already applied it) through the op.Replicator
+// interface, in log order. Callers hold g.mu.
 func (g *shardGroup) propagateLocked(o op.Op) {
 	for i, r := range g.reps {
 		if r.failed {
 			continue
 		}
 		if i != g.primary {
-			_ = r.srv.Apply(o)
+			_ = r.ReplicateOp(g.seq, o)
 		}
 		r.applied = g.seq
 	}
@@ -359,15 +375,14 @@ func (g *shardGroup) promoteLocked() {
 }
 
 // replayTailLocked applies retained log ops the replica has not seen —
-// the same server.Apply road live propagation takes, so a replayed tail
+// the same ReplicateOp road live propagation takes, so a replayed tail
 // and a synchronously applied one are indistinguishable.
 func (g *shardGroup) replayTailLocked(r *replicaState) {
 	for _, rec := range g.tail {
 		if rec.seq <= r.applied {
 			continue
 		}
-		_ = r.srv.Apply(rec.op)
-		r.applied = rec.seq
+		_ = r.ReplicateOp(rec.seq, rec.op)
 	}
 	r.applied = g.seq
 }

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"proxdisc/internal/topology"
+)
+
+// TestWorldFollowerTopology runs a simulation over a durable cluster
+// plane with two wire-level follower nodes attached: after the workload
+// (joins and a churn of leaves), every follower's local copy must be
+// byte-identical to the cluster's state — the multi-process replication
+// story exercised from the experiment harness.
+func TestWorldFollowerTopology(t *testing.T) {
+	w, err := BuildWorld(WorldConfig{
+		Topology: topology.Config{
+			Model:        topology.ModelBarabasiAlbert,
+			CoreRouters:  200,
+			LeafRouters:  200,
+			EdgesPerNode: 2,
+			Seed:         7,
+		},
+		NumLandmarks: 4,
+		Shards:       2,
+		DataDir:      t.TempDir(),
+		Followers:    2,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	if err := w.JoinN(60); err != nil {
+		t.Fatal(err)
+	}
+	// Churn: some peers leave, so followers must track removals too.
+	peers := w.Server.Peers()
+	for i, p := range peers {
+		if i%5 == 0 {
+			w.LeavePeer(p)
+		}
+	}
+	if err := w.WaitFollowers(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Lag is observable per follower and zero once converged.
+	for i, f := range w.Followers() {
+		if f.Lag() != 0 {
+			t.Fatalf("converged follower %d reports lag %d", i, f.Lag())
+		}
+	}
+
+	var want bytes.Buffer
+	if err := w.Cluster().Snapshot(&want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Followers() {
+		var got bytes.Buffer
+		if err := w.FollowerServer(i).Snapshot(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("follower %d diverged: cluster %d peers, follower %d peers",
+				i, w.Server.NumPeers(), w.FollowerServer(i).NumPeers())
+		}
+	}
+}
+
+// TestWorldFollowersNeedDurablePlane: the misconfiguration fails at build
+// time, not as a silent never-replicating topology.
+func TestWorldFollowersNeedDurablePlane(t *testing.T) {
+	_, err := BuildWorld(WorldConfig{
+		Topology: topology.Config{
+			Model:        topology.ModelBarabasiAlbert,
+			CoreRouters:  100,
+			LeafRouters:  100,
+			EdgesPerNode: 2,
+			Seed:         3,
+		},
+		NumLandmarks: 2,
+		Followers:    1,
+		Seed:         3,
+	})
+	if err == nil {
+		t.Fatal("follower topology without DataDir accepted")
+	}
+}
+
+// TestWaitFollowersWithoutFollowers is a no-op on follower-less worlds.
+func TestWaitFollowersWithoutFollowers(t *testing.T) {
+	w, err := BuildWorld(WorldConfig{
+		Topology: topology.Config{
+			Model:        topology.ModelBarabasiAlbert,
+			CoreRouters:  100,
+			LeafRouters:  100,
+			EdgesPerNode: 2,
+			Seed:         5,
+		},
+		NumLandmarks: 2,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.WaitFollowers(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Followers()) != 0 {
+		t.Fatalf("plain world has %d followers", len(w.Followers()))
+	}
+}

@@ -11,10 +11,12 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"time"
 
 	"proxdisc/internal/cluster"
 	"proxdisc/internal/latency"
 	"proxdisc/internal/metrics"
+	"proxdisc/internal/netserver"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/routing"
 	"proxdisc/internal/server"
@@ -82,6 +84,13 @@ type WorldConfig struct {
 	// cluster plane even when Shards and Replicas are unset, so
 	// simulations exercise the persistent write path end to end.
 	DataDir string
+	// Followers, when at least 1, attaches that many multi-process-style
+	// follower nodes: the durable cluster plane is fronted by a real TCP
+	// NetServer and each follower dials it over loopback, consumes the
+	// committed op stream, and maintains its own server copy — the
+	// cross-process replication path, end to end, inside one simulation.
+	// Requires DataDir (the op log is the stream's retention buffer).
+	Followers int
 	// Trace configures the peers' traceroute tool.
 	Trace traceroute.Config
 	// UseDelays, when true, assigns link delays and routes by latency;
@@ -144,6 +153,13 @@ type World struct {
 	joins     int
 	nextEvent int
 	failovers []FailoverEvent
+
+	// front and followers are the multi-process-style replication
+	// topology (WorldConfig.Followers): a TCP front end over the cluster
+	// plane and the follower nodes streaming its op log.
+	front        *netserver.NetServer
+	followers    []*netserver.Follower
+	followerSrvs []*server.Server
 }
 
 // BuildWorld generates the topology, places landmarks, and starts a
@@ -196,6 +212,45 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		// (and a recovery would find nothing to rebuild).
 		return nil, errors.New("experiment: failover schedule needs a replicated cluster plane (Replicas >= 2)")
 	}
+	var (
+		front        *netserver.NetServer
+		followers    []*netserver.Follower
+		followerSrvs []*server.Server
+	)
+	if cfg.Followers > 0 {
+		if clu == nil || cfg.DataDir == "" {
+			return nil, errors.New("experiment: follower topologies need a durable cluster plane (DataDir)")
+		}
+		front, err = netserver.Listen(netserver.Config{Addr: "127.0.0.1:0", Server: clu})
+		if err != nil {
+			clu.Close()
+			return nil, fmt.Errorf("experiment: follower front end: %w", err)
+		}
+		for i := 0; i < cfg.Followers; i++ {
+			fsrv, err := server.New(server.Config{
+				Landmarks:     landmarks,
+				NeighborCount: cfg.NeighborCount,
+			})
+			if err == nil {
+				var f *netserver.Follower
+				f, err = netserver.StartFollower(netserver.FollowerConfig{
+					PrimaryAddr: front.Addr(),
+					Backend:     fsrv,
+				})
+				if err == nil {
+					followers = append(followers, f)
+					followerSrvs = append(followerSrvs, fsrv)
+					continue
+				}
+			}
+			for _, f := range followers {
+				f.Close()
+			}
+			front.Close()
+			clu.Close()
+			return nil, fmt.Errorf("experiment: follower %d: %w", i, err)
+		}
+	}
 	failovers := append([]FailoverEvent(nil), cfg.Failovers...)
 	sort.SliceStable(failovers, func(i, j int) bool { return failovers[i].AfterJoins < failovers[j].AfterJoins })
 	leaves := topology.LeafRouters(g)
@@ -212,17 +267,20 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		}
 	}
 	return &World{
-		Cfg:         cfg,
-		Graph:       g,
-		Tracer:      traceroute.New(g, delays),
-		Landmarks:   landmarks,
-		Server:      srv,
-		Attachments: make(metrics.Attachments),
-		LeafPool:    pool,
-		rng:         rng,
-		traceRNG:    rand.New(rand.NewSource(cfg.Seed + 3)),
-		clu:         clu,
-		failovers:   failovers,
+		Cfg:          cfg,
+		Graph:        g,
+		Tracer:       traceroute.New(g, delays),
+		Landmarks:    landmarks,
+		Server:       srv,
+		Attachments:  make(metrics.Attachments),
+		LeafPool:     pool,
+		rng:          rng,
+		traceRNG:     rand.New(rand.NewSource(cfg.Seed + 3)),
+		clu:          clu,
+		failovers:    failovers,
+		front:        front,
+		followers:    followers,
+		followerSrvs: followerSrvs,
 	}, nil
 }
 
@@ -230,10 +288,45 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 // a single server.
 func (w *World) Cluster() *cluster.Cluster { return w.clu }
 
-// Close shuts the management plane down cleanly: on a durable plane
-// (WorldConfig.DataDir) it flushes a final snapshot and closes the WAL.
-// Worlds without a durable plane need no Close.
+// Followers returns the wire-level follower nodes of the world's
+// replication topology (empty without WorldConfig.Followers).
+func (w *World) Followers() []*netserver.Follower { return w.followers }
+
+// FollowerServer returns follower i's local state copy, for convergence
+// checks.
+func (w *World) FollowerServer(i int) *server.Server { return w.followerSrvs[i] }
+
+// WaitFollowers blocks until every follower has applied everything the
+// cluster has committed, or the timeout elapses.
+func (w *World) WaitFollowers(timeout time.Duration) error {
+	if len(w.followers) == 0 {
+		return nil
+	}
+	head := w.clu.CommittedHead()
+	deadline := time.Now().Add(timeout)
+	for _, f := range w.followers {
+		for f.Applied() < head {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("experiment: follower stuck at seq %d of %d (last err %v)",
+					f.Applied(), head, f.Err())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// Close shuts the management plane down cleanly: follower nodes and the
+// TCP front end first, then — on a durable plane (WorldConfig.DataDir) —
+// a final snapshot flush and a clean WAL close. Worlds without a durable
+// plane need no Close.
 func (w *World) Close() error {
+	for _, f := range w.followers {
+		f.Close()
+	}
+	if w.front != nil {
+		w.front.Close()
+	}
 	if w.clu != nil {
 		return w.clu.Close()
 	}

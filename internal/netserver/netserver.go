@@ -63,6 +63,15 @@ type ReplicaReporter interface {
 	ReplicaSummary() (shards, replicas, live int)
 }
 
+// ReplicationStatus is the position a follower node reports in its status
+// responses; *Follower implements it.
+type ReplicationStatus interface {
+	// Applied is the last op sequence applied to the local copy.
+	Applied() uint64
+	// Head is the primary's last announced committed head.
+	Head() uint64
+}
+
 // Role selects how a NetServer answers writes.
 type Role int
 
@@ -113,6 +122,11 @@ type Config struct {
 	// that acks hellos but keeps every connection on the lock-step
 	// protocol — the interop-testing stand-in for an old deployment.
 	MaxProtoVersion uint16
+	// Replication, when this front end runs on a follower node, is the
+	// Follower feeding the backend; status responses then carry its
+	// applied/head position so the node's replication lag is observable
+	// over the wire.
+	Replication ReplicationStatus
 	// Workers bounds how many version-2 (pipelined) requests are served
 	// concurrently across all connections. When the pool is saturated,
 	// connection readers block — natural backpressure instead of unbounded
@@ -150,6 +164,10 @@ type NetServer struct {
 	fwd      map[string]*client.Client  // node-to-node forwarding connections
 	fwdPeers map[pathtree.PeerID]string // peers whose joins this node proxied, by owner address
 	front    *frontState                // durable mirror of fwdPeers; no-op when Config.DataDir is empty
+
+	// hub serves the committed op stream to follower processes; nil when
+	// the backend has no durable log to ship. See follow.go.
+	hub *followHub
 
 	tasks chan task // pipelined requests awaiting a pool worker
 
@@ -270,6 +288,12 @@ func Listen(cfg Config) (*NetServer, error) {
 	for _, lm := range cfg.Server.Landmarks() {
 		s.local[lm] = true
 	}
+	// A durable backend's committed op stream is served to follower
+	// processes; replica-role nodes never serve follows (a follower of a
+	// follower would replicate a copy, not the source of truth).
+	if src, ok := cfg.Server.(FollowSource); ok && cfg.Role == RolePrimary {
+		s.hub = newFollowHub(s, src)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -348,6 +372,9 @@ func (s *NetServer) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		if s.hub != nil {
+			s.hub.shutdown() // detach the commit tap before the backend outlives us
+		}
 		err = s.ln.Close()
 		s.mu.Lock()
 		for c := range s.conns {
@@ -399,6 +426,9 @@ func (s *NetServer) handle(nc net.Conn) {
 	defer s.wg.Done()
 	wc := &wireConn{Conn: nc, version: proto.Version1, bw: bufio.NewWriterSize(nc, 16<<10)}
 	defer func() {
+		if s.hub != nil {
+			s.hub.drop(wc)
+		}
 		if wc.out != nil {
 			close(wc.stop) // retire the writer goroutine
 		}
@@ -422,6 +452,21 @@ func (s *NetServer) handle(nc net.Conn) {
 					s.cfg.Logf("netserver: read: %v", err)
 				}
 				return
+			}
+			// Stream control frames bypass the worker pool: an ack is a
+			// cheap counter update, and a follow subscription hands the
+			// connection to a dedicated sender goroutine.
+			switch typ {
+			case proto.MsgOpAck:
+				if m, derr := proto.DecodeOpAck(payload); derr == nil && s.hub != nil {
+					s.hub.ack(wc, m.Seq)
+				}
+				proto.PutBuf(payload)
+				continue
+			case proto.MsgFollowRequest:
+				s.serveFollow(wc, id, payload)
+				proto.PutBuf(payload)
+				continue
 			}
 			// Hand the request to the pool; block when it is saturated so
 			// a flooding client feels backpressure instead of growing an
@@ -458,6 +503,34 @@ func (s *NetServer) handle(nc net.Conn) {
 			s.cfg.Logf("netserver: write: %v", err)
 			return
 		}
+	}
+}
+
+// serveFollow answers a MsgFollowRequest: reject it when this node has no
+// op stream to serve (non-durable, or a replica whose copy is not the
+// source of truth), otherwise register the connection with the hub, whose
+// dedicated sender takes over the stream.
+func (s *NetServer) serveFollow(wc *wireConn, id uint64, payload []byte) {
+	req, err := proto.DecodeFollowRequest(payload)
+	if err != nil {
+		t, resp := errResp(proto.CodeBadRequest, err)
+		s.respond(wc, outFrame{typ: t, id: id, payload: resp})
+		return
+	}
+	if s.cfg.Role == RoleReplica {
+		t, resp := errResp(proto.CodeNotPrimary, errors.New(s.cfg.PrimaryAddr))
+		s.respond(wc, outFrame{typ: t, id: id, payload: resp})
+		return
+	}
+	if s.hub == nil {
+		t, resp := errResp(proto.CodeBadRequest,
+			errors.New("netserver: this node has no durable op log to follow (no DataDir)"))
+		s.respond(wc, outFrame{typ: t, id: id, payload: resp})
+		return
+	}
+	if err := s.hub.add(wc, id, req.After); err != nil {
+		t, resp := errResp(proto.CodeBadRequest, err)
+		s.respond(wc, outFrame{typ: t, id: id, payload: resp})
 	}
 }
 
@@ -524,6 +597,17 @@ func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType,
 		if rr, ok := s.cfg.Server.(ReplicaReporter); ok {
 			shards, replicas, live := rr.ReplicaSummary()
 			st.Shards, st.Replicas, st.Live = uint16(shards), uint16(replicas), uint16(live)
+		}
+		if dr, ok := s.cfg.Server.(DurabilityReporter); ok {
+			ds := dr.DurabilityStats()
+			st.SnapshotSeq = ds.SnapshotSeq
+			st.WalTail = ds.TailRecords
+			st.ReplayMillis = uint32(ds.ReplayTime.Milliseconds())
+			st.Applied, st.Head = ds.Head, ds.Head
+		}
+		if s.cfg.Replication != nil {
+			st.Applied = s.cfg.Replication.Applied()
+			st.Head = s.cfg.Replication.Head()
 		}
 		b, err := proto.EncodeStatus(st)
 		if err != nil {

@@ -133,6 +133,19 @@ func SetSuperPeer(p pathtree.PeerID, super bool) Op {
 // strictly before deadlineNanos.
 func Expire(deadlineNanos int64) Op { return Op{Kind: KindExpire, Time: deadlineNanos} }
 
+// Replicator is one consumer of a committed op stream: an in-process
+// replica applying ops synchronously under its shard's group lock, or a
+// network follower applying ops streamed to it from another process.
+// Implementations receive every op exactly once per stream position, in
+// ascending sequence order; because ops are deterministic overwrites, a
+// consumer that deduplicates by sequence may safely be handed overlapping
+// ranges (a reconnecting follower re-reads the tail it already applied).
+type Replicator interface {
+	// ReplicateOp applies one committed op stamped with its position in
+	// the stream's total order.
+	ReplicateOp(seq uint64, o Op) error
+}
+
 // Append encodes o onto dst and returns the extended slice. The layout is
 //
 //	kind(1) time(8) body

@@ -102,3 +102,42 @@ func FuzzDecodeBatchJoinRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzOpStream throws raw bytes at the replication-stream decoders — the
+// frames a follower accepts from whatever answers the primary's address.
+// Accepted op-record batches must re-encode byte-identically (the stream
+// rides the canonical op codec), and accepted chunks must round-trip.
+func FuzzOpStream(f *testing.F) {
+	f.Add(EncodeFollowRequest(&FollowRequest{After: 7}))
+	f.Add(EncodeFollowHead(&FollowHead{Head: 9}))
+	f.Add(EncodeOpAck(&OpAck{Seq: 3}))
+	if rec, err := EncodeOpRecords(&OpRecords{Records: []OpRecord{{Seq: 1, Data: []byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}}}}); err == nil {
+		f.Add(rec)
+	}
+	if ch, err := EncodeStreamChunk(&StreamChunk{Seq: 5, Final: true, Data: []byte("snap")}); err == nil {
+		f.Add(ch)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeFollowRequest(data)
+		_, _ = DecodeFollowHead(data)
+		_, _ = DecodeOpAck(data)
+		if m, err := DecodeOpRecords(data); err == nil {
+			re, err := EncodeOpRecords(m)
+			if err != nil {
+				t.Fatalf("re-encode of accepted op records failed: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("op records round trip diverged")
+			}
+		}
+		if m, err := DecodeStreamChunk(data); err == nil {
+			re, err := EncodeStreamChunk(m)
+			if err != nil {
+				t.Fatalf("re-encode of accepted chunk failed: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("stream chunk round trip diverged")
+			}
+		}
+	})
+}

@@ -100,6 +100,31 @@ const (
 	MsgStatusRequest
 	// MsgStatusResponse answers a status request.
 	MsgStatusResponse
+	// MsgFollowRequest subscribes the connection to the node's committed
+	// op stream after a given sequence — the opening frame of a follower
+	// process. Version-2 framing only; every stream frame that follows
+	// carries this request's ID.
+	MsgFollowRequest
+	// MsgFollowHead announces the primary's committed head sequence: the
+	// first answer to a follow request, and the idle stream's periodic
+	// heartbeat (it keeps both sides' read deadlines fed and gives the
+	// follower its lag denominator).
+	MsgFollowHead
+	// MsgOpRecords carries a batch of committed {sequence, op} records,
+	// primary → follower.
+	MsgOpRecords
+	// MsgOpChunk carries one fragment of a committed op too large for a
+	// single frame (a maximal batch join); the follower reassembles the
+	// fragments by sequence before decoding.
+	MsgOpChunk
+	// MsgSnapshotChunk carries one fragment of a state snapshot, shipped
+	// when a follower is behind the log's retention floor; the final
+	// fragment names the sequence the snapshot covers.
+	MsgSnapshotChunk
+	// MsgOpAck reports the follower's applied offset back to the primary:
+	// acknowledged-offset tracking for the bounded send window, and the
+	// follower's share of the idle heartbeat.
+	MsgOpAck
 )
 
 // Limits protect the decoder. They are generous relative to real usage
@@ -358,6 +383,15 @@ type decoder struct {
 }
 
 func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) u8() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
 
 func (d *decoder) u16() (uint16, error) {
 	if d.remaining() < 2 {
@@ -965,11 +999,30 @@ type Status struct {
 	Live uint16
 	// PrimaryAddr is the TCP address of the primary node, set on replicas.
 	PrimaryAddr string
+
+	// Durability and replication telemetry, appended by this build's
+	// servers and zero when talking to an older node (the decoder
+	// tolerates their absence).
+
+	// SnapshotSeq is the covering op sequence of the node's last on-disk
+	// snapshot; WalTail is the number of log records beyond it (the tail
+	// a restart replays, and the followers' catch-up buffer).
+	SnapshotSeq uint64
+	WalTail     uint64
+	// ReplayMillis is how long the node's last restart spent replaying
+	// that tail.
+	ReplayMillis uint32
+	// Applied and Head describe the node's position on the replication
+	// stream: on a follower, the last op sequence applied locally and the
+	// last head announced by its primary (lag = Head − Applied); on a
+	// durable primary, both equal the committed head.
+	Applied uint64
+	Head    uint64
 }
 
 // EncodeStatus encodes a Status payload.
 func EncodeStatus(m *Status) ([]byte, error) {
-	enc := encoder{buf: make([]byte, 0, 9+len(m.PrimaryAddr))}
+	enc := encoder{buf: make([]byte, 0, 45+len(m.PrimaryAddr))}
 	enc.buf = append(enc.buf, m.Role)
 	enc.u16(m.Shards)
 	enc.u16(m.Replicas)
@@ -977,6 +1030,11 @@ func EncodeStatus(m *Status) ([]byte, error) {
 	if err := enc.str(m.PrimaryAddr); err != nil {
 		return nil, err
 	}
+	enc.u64(m.SnapshotSeq)
+	enc.u64(m.WalTail)
+	enc.u32(m.ReplayMillis)
+	enc.u64(m.Applied)
+	enc.u64(m.Head)
 	return enc.buf, nil
 }
 
@@ -1000,6 +1058,24 @@ func DecodeStatus(b []byte) (*Status, error) {
 		return nil, err
 	}
 	if m.PrimaryAddr, err = d.str(); err != nil {
+		return nil, err
+	}
+	if d.remaining() == 0 {
+		return m, nil // a pre-telemetry node: the new fields stay zero
+	}
+	if m.SnapshotSeq, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if m.WalTail, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if m.ReplayMillis, err = d.u32(); err != nil {
+		return nil, err
+	}
+	if m.Applied, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if m.Head, err = d.u64(); err != nil {
 		return nil, err
 	}
 	return m, nil

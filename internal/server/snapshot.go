@@ -160,6 +160,54 @@ func (s *Server) Absorb(r io.Reader) ([]pathtree.PeerID, error) {
 	return absorbed, nil
 }
 
+// ResetFromSnapshot replaces the server's entire peer state with the
+// snapshot's: every tree is rebuilt from scratch and every pre-existing
+// peer record dropped, keeping only the configured landmark set (union
+// the snapshot's). It is the follower's catch-up restore — a follower far
+// behind its primary receives a whole-state snapshot, and merging it in
+// (Absorb) would resurrect peers the primary has since removed.
+func (s *Server) ResetFromSnapshot(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("server: snapshot decode: %w", err)
+	}
+	if err := checkSnapshotVersion(snap.Version); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	trees := make(map[topology.NodeID]*pathtree.Tree, len(s.trees))
+	for _, lm := range s.cfg.Landmarks {
+		trees[lm] = pathtree.New(lm, s.cfg.TreeOptions)
+	}
+	for _, lm := range snap.Landmarks {
+		if _, ok := trees[lm]; !ok {
+			trees[lm] = pathtree.New(lm, s.cfg.TreeOptions)
+		}
+	}
+	peers := make(map[pathtree.PeerID]*PeerInfo, len(snap.Peers))
+	for _, p := range snap.Peers {
+		tree, ok := trees[p.Landmark]
+		if !ok {
+			return fmt.Errorf("server: snapshot peer %d references unknown landmark %d", p.ID, p.Landmark)
+		}
+		if err := tree.Insert(p.ID, p.Path); err != nil {
+			return fmt.Errorf("server: snapshot peer %d: %w", p.ID, err)
+		}
+		peers[p.ID] = &PeerInfo{
+			ID:          p.ID,
+			Landmark:    p.Landmark,
+			Path:        append([]topology.NodeID(nil), p.Path...),
+			Addr:        p.Addr,
+			SuperPeer:   p.SuperPeer,
+			LastRefresh: p.LastRefresh,
+		}
+	}
+	s.trees = trees
+	s.peers = peers
+	return nil
+}
+
 // DropLandmark removes a landmark's tree and deregisters every peer under
 // it, returning the removed peer IDs in ascending order. It is the source
 // side of a shard handoff; unlike Leave it does not count departures.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/gob"
 	"strings"
 	"testing"
 	"time"
@@ -114,5 +115,70 @@ func TestSnapshotEmptyServer(t *testing.T) {
 	}
 	if restored.NumPeers() != 0 {
 		t.Fatalf("peers=%d", restored.NumPeers())
+	}
+}
+
+// TestResetFromSnapshot: the follower restore must REPLACE state (peers
+// absent from the snapshot disappear), keep the configured landmarks, and
+// reject garbage and future versions without touching existing state.
+func TestResetFromSnapshot(t *testing.T) {
+	src, err := New(Config{Landmarks: []topology.NodeID{0, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Join(1, []topology.NodeID{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Join(2, []topology.NodeID{60, 50}); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := src.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := New(Config{Landmarks: []topology.NodeID{0, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-existing state that the snapshot does NOT contain: it must be gone
+	// after the reset (replace semantics, not Absorb's merge).
+	if _, err := dst.Join(99, []topology.NodeID{11, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ResetFromSnapshot(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumPeers() != 2 {
+		t.Fatalf("reset left %d peers, want 2", dst.NumPeers())
+	}
+	if _, err := dst.Lookup(99); err == nil {
+		t.Fatal("stale peer survived the reset")
+	}
+	var a, b bytes.Buffer
+	if err := src.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("reset copy is not byte-identical to the source")
+	}
+
+	// Garbage and future-version snapshots are rejected; the loaded state
+	// survives untouched.
+	if err := dst.ResetFromSnapshot(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	var future bytes.Buffer
+	if err := gob.NewEncoder(&future).Encode(&snapshot{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ResetFromSnapshot(bytes.NewReader(future.Bytes())); err == nil {
+		t.Fatal("future snapshot version accepted")
+	}
+	if dst.NumPeers() != 2 {
+		t.Fatalf("failed resets corrupted state: %d peers", dst.NumPeers())
 	}
 }

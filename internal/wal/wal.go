@@ -36,6 +36,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -63,6 +64,22 @@ type Options struct {
 	// It trades crash durability for speed; tests and benchmarks that
 	// model process crashes — not machine crashes — use it.
 	NoSync bool
+	// MaxSyncDelay, when positive, holds each group-commit fsync open for
+	// up to this long (a sub-millisecond timer is the intended range) so
+	// that appenders arriving during the window share the sync. Under
+	// light load this trades a bounded latency bump per write for far
+	// fewer fsyncs; under heavy load the window simply widens the batch.
+	// Zero preserves the fsync-immediately behaviour. Ignored with NoSync.
+	MaxSyncDelay time.Duration
+	// OnAppend, when set, observes every appended record — called under
+	// the append lock, in sequence order, before the record is durable
+	// (the record matches the primary's in-memory state, which also
+	// mutates before the commit lands). It must not block and must not
+	// retain rec, which is owned by the caller. It is the feed of the
+	// replication stream: network followers subscribe here and fall back
+	// to reading the log's files when they lag. Use SetOnAppend to
+	// install it after Open.
+	OnAppend func(seq uint64, rec []byte)
 }
 
 // Log is an append-only record log. Append is safe for concurrent use;
@@ -83,6 +100,61 @@ type Log struct {
 
 	syncMu sync.Mutex    // serializes flush+fsync cycles (group commit)
 	synced atomic.Uint64 // last sequence known durable
+
+	// Group-commit telemetry (see Metrics).
+	appends       atomic.Uint64 // records appended
+	fsyncs        atomic.Uint64 // fsync syscalls issued
+	syncedRecords atomic.Uint64 // records those fsyncs made durable
+}
+
+// Metrics reports a log's group-commit counters. SyncedRecords/Fsyncs is
+// the average commit batch: how many records each disk sync covered.
+type Metrics struct {
+	// Appends is the number of records appended.
+	Appends uint64
+	// Fsyncs is the number of fsync syscalls issued (0 with NoSync).
+	Fsyncs uint64
+	// SyncedRecords is the number of records made durable by those
+	// fsyncs.
+	SyncedRecords uint64
+}
+
+// DurabilityStats is the operational surface of a durable node: where its
+// checkpoints stand, how much log a restart would replay, and how the
+// group commit is batching. Producers (the cluster) fill it; front ends
+// carry it into status responses and logs.
+type DurabilityStats struct {
+	// SnapshotSeq is the covering sequence of the latest on-disk snapshot
+	// (0 before the first checkpoint).
+	SnapshotSeq uint64
+	// TailRecords is the number of log records beyond that snapshot — the
+	// tail a restart replays and the retention buffer followers catch up
+	// from.
+	TailRecords uint64
+	// Head is the last committed sequence.
+	Head uint64
+	// ReplayTime is how long the last open spent replaying the tail.
+	ReplayTime time.Duration
+	// Log carries the group-commit counters.
+	Log Metrics
+}
+
+// Metrics returns the log's group-commit counters.
+func (l *Log) Metrics() Metrics {
+	return Metrics{
+		Appends:       l.appends.Load(),
+		Fsyncs:        l.fsyncs.Load(),
+		SyncedRecords: l.syncedRecords.Load(),
+	}
+}
+
+// SetOnAppend installs (or, with nil, removes) the append observer after
+// Open; see Options.OnAppend. It serializes with appends, so the observer
+// sees every record from the moment the call returns, and none before.
+func (l *Log) SetOnAppend(fn func(seq uint64, rec []byte)) {
+	l.mu.Lock()
+	l.opts.OnAppend = fn
+	l.mu.Unlock()
 }
 
 // fileWriter is a small buffered writer that tracks its unflushed byte
@@ -326,6 +398,10 @@ func (l *Log) Append(recs ...[]byte) (uint64, error) {
 		l.bw.Write(hdr[:])
 		l.bw.Write(rec)
 		l.segSize += frameHeader + int64(len(rec))
+		l.appends.Add(1)
+		if l.opts.OnAppend != nil {
+			l.opts.OnAppend(l.seq, rec)
+		}
 	}
 	end := l.seq
 	if l.segSize >= l.opts.SegmentBytes {
@@ -352,15 +428,26 @@ func (l *Log) rotateLocked() error {
 		if err := l.seg.Sync(); err != nil {
 			return err
 		}
+		l.fsyncs.Add(1)
 	}
 	// Everything assigned so far lives in the just-synced segment.
+	l.advanceSynced(l.seq)
+	return l.openSegment(l.seq + 1)
+}
+
+// advanceSynced raises the durable mark to `to` and accounts the records
+// the advance newly covers.
+func (l *Log) advanceSynced(to uint64) {
 	for {
 		cur := l.synced.Load()
-		if cur >= l.seq || l.synced.CompareAndSwap(cur, l.seq) {
-			break
+		if cur >= to {
+			return
+		}
+		if l.synced.CompareAndSwap(cur, to) {
+			l.syncedRecords.Add(to - cur)
+			return
 		}
 	}
-	return l.openSegment(l.seq + 1)
 }
 
 // syncTo blocks until every record up to target is durable. The syncMu
@@ -375,6 +462,12 @@ func (l *Log) syncTo(target uint64) error {
 	defer l.syncMu.Unlock()
 	if l.synced.Load() >= target {
 		return nil
+	}
+	// Group-commit window: the first appender through holds the sync open
+	// for MaxSyncDelay so appenders arriving behind it land in the same
+	// batch — they queue on syncMu and find their records covered.
+	if d := l.opts.MaxSyncDelay; d > 0 && !l.opts.NoSync {
+		time.Sleep(d)
 	}
 	l.mu.Lock()
 	if l.failed != nil {
@@ -404,13 +497,10 @@ func (l *Log) syncTo(target uint64) error {
 			l.mu.Unlock()
 			return err
 		}
+		l.fsyncs.Add(1)
 	}
-	for {
-		cur := l.synced.Load()
-		if cur >= flushed || l.synced.CompareAndSwap(cur, flushed) {
-			return nil
-		}
-	}
+	l.advanceSynced(flushed)
+	return nil
 }
 
 // Sync forces everything appended so far to stable storage.
@@ -421,6 +511,41 @@ func (l *Log) Sync() error { return l.syncTo(l.LastSeq()) }
 // tail in the final segment ends the replay cleanly; corruption anywhere
 // else is an error.
 func (l *Log) Replay(after uint64, fn func(seq uint64, rec []byte) error) error {
+	return l.scanFrom(after, false, fn)
+}
+
+// FirstSeq reports the sequence of the earliest record the log's files
+// can still serve — the floor of ReadAfter. Records below it have been
+// truncated away behind a snapshot. On an empty log it is one past the
+// last assigned sequence (nothing is readable, nothing is missing).
+func (l *Log) FirstSeq() (uint64, error) {
+	segs, err := l.segments()
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return l.LastSeq() + 1, nil
+	}
+	return segs[0], nil
+}
+
+// ReadAfter streams every intact on-disk record with sequence strictly
+// greater than after, in order — the catch-up read of the replication
+// stream. Unlike Replay it is safe to call while the log is being
+// appended to: the scan of the active segment stops cleanly at the
+// flushed frontier (records observed by Options.OnAppend may trail the
+// file by one unflushed batch), and a segment deleted underneath the scan
+// by a concurrent TruncateBefore surfaces as an error — the caller
+// restarts from the newer snapshot that justified the truncation.
+func (l *Log) ReadAfter(after uint64, fn func(seq uint64, rec []byte) error) error {
+	return l.scanFrom(after, true, fn)
+}
+
+// scanFrom is the shared body of Replay and ReadAfter; tolerant scans
+// treat an incomplete record in ANY segment as the end of that segment's
+// readable prefix (a concurrent appender's unflushed tail), while strict
+// scans accept one only in the final segment (the torn tail of a crash).
+func (l *Log) scanFrom(after uint64, tolerateAll bool, fn func(seq uint64, rec []byte) error) error {
 	segs, err := l.segments()
 	if err != nil {
 		return err
@@ -429,8 +554,8 @@ func (l *Log) Replay(after uint64, fn func(seq uint64, rec []byte) error) error 
 		if i+1 < len(segs) && segs[i+1] <= after+1 {
 			continue // every record here is <= after
 		}
-		last := i == len(segs)-1
-		_, _, err := scanSegment(filepath.Join(l.dir, segName(start)), start, last, func(seq uint64, rec []byte) error {
+		tolerate := tolerateAll || i == len(segs)-1
+		_, _, err := scanSegment(filepath.Join(l.dir, segName(start)), start, tolerate, func(seq uint64, rec []byte) error {
 			if seq <= after {
 				return nil
 			}

@@ -120,6 +120,57 @@
 // with -data-dir and shuts down cleanly on SIGINT/SIGTERM: connections
 // drain, a final snapshot lands, and the WAL closes, leaving an empty
 // tail for the next start.
+//
+// Group commit can additionally be latency-shaped: ClusterConfig.
+// MaxSyncDelay holds each fsync open for a sub-millisecond window so that
+// writers arriving during it share the sync — under light load this
+// trades a bounded latency bump for far fewer fsyncs (the counters are in
+// the cluster's DurabilityStats). Checkpoint cadence is adaptive:
+// ClusterConfig.SnapshotBytes triggers a snapshot once that many log
+// bytes accumulate — tracking the actual recovery-replay cost — with
+// SnapshotEvery as the op-count fallback.
+//
+// # Cross-process replication
+//
+// A durable node's write-ahead log doubles as a replication stream:
+// because every mutation is one canonically encoded op with one sequence
+// number, shipping the log IS shipping the state. A follower process
+// (StartFollower, or proxdisc-server -follow ADDR) subscribes to a
+// primary's committed op stream over the v2 wire framing and applies
+// every record to a local copy through the same single Apply door the
+// in-process replicas and crash recovery use — one op.Replicator
+// interface, three consumers, zero drift.
+//
+// Roles. The primary serves the stream from its WAL: live records flow
+// from a commit tap into each follower's bounded buffer, a follower that
+// lags is fed by reading the log's files (the WAL is the retention
+// buffer — a slow follower costs a file read, not memory), and a follower
+// behind the log's retention floor — it reconnected after the primary
+// compacted — receives the latest on-disk snapshot plus the tail after
+// it. The follower node fronts its copy with a replica-role NetServer:
+// reads are served locally, writes redirect to the primary.
+//
+// Acknowledged offsets and flow control. Followers acknowledge their
+// applied sequence; the primary sends at most a bounded window beyond the
+// last ack, so a stalled follower exerts backpressure on its own stream
+// instead of ballooning the primary. Acks double as the idle stream's
+// heartbeat (the primary answers with head announcements), which is also
+// how a follower knows its lag.
+//
+// Catch-up. A follower that disconnects — crash, partition, restart —
+// redials with its applied sequence and resumes exactly there: from the
+// WAL tail when the primary still retains it, from snapshot + tail when
+// it does not. Snapshot restore replaces the local copy rather than
+// merging, so peers that departed during the outage disappear from the
+// follower too. Convergence is exact: a follower that has applied the
+// primary's head serializes to a byte-identical snapshot.
+//
+// Monitoring. Status responses (Client.Status) carry the durable
+// telemetry: last snapshot sequence, WAL tail length, recovery replay
+// time, and — on follower nodes — the applied/head pair whose difference
+// is the replication lag. SimulationConfig.Followers attaches wire-level
+// followers to a simulated deployment, and proxdisc-server logs lag and
+// group-commit batching on a live node.
 package proxdisc
 
 import (
@@ -215,6 +266,25 @@ type NetServer = netserver.NetServer
 // ListenAndServe exposes a management server over TCP. Close the returned
 // NetServer to stop.
 func ListenAndServe(cfg NetServerConfig) (*NetServer, error) { return netserver.Listen(cfg) }
+
+// Follower maintains a local copy of a durable primary's state by
+// streaming its committed op log over TCP, reconnecting and catching up
+// (WAL tail, or snapshot + tail) across failures. See "Cross-process
+// replication" above.
+type Follower = netserver.Follower
+
+// FollowerConfig configures a Follower: the primary's address, the local
+// backend receiving the stream, and the resume point.
+type FollowerConfig = netserver.FollowerConfig
+
+// StartFollower dials a durable primary and starts replicating its op
+// stream into the configured local backend.
+func StartFollower(cfg FollowerConfig) (*Follower, error) { return netserver.StartFollower(cfg) }
+
+// NodeStatus is a node's wire-reported status: replication role, shard
+// and replica layout, durability telemetry (snapshot seq, WAL tail,
+// replay time), and the applied/head replication position.
+type NodeStatus = proto.Status
 
 // LandmarkResponder answers UDP RTT probes for one landmark.
 type LandmarkResponder = netserver.LandmarkResponder
