@@ -24,6 +24,7 @@ import (
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/proto"
 	"proxdisc/internal/server"
+	"proxdisc/internal/telemetry"
 	"proxdisc/internal/topology"
 	"proxdisc/internal/traceroute"
 	"proxdisc/internal/wal"
@@ -526,14 +527,16 @@ func BenchmarkServerJoin(b *testing.B) {
 
 // benchNetCluster starts a 4-shard cluster behind a TCP front end, so the
 // wire protocol — not the management logic — is the measured bottleneck.
-func benchNetCluster(b *testing.B) *netserver.NetServer {
+// A non-nil registry threads telemetry through both layers, for measuring
+// what the instrumentation itself costs.
+func benchNetCluster(b *testing.B, reg *telemetry.Registry) *netserver.NetServer {
 	b.Helper()
 	lms := benchClusterLandmarks[:4]
-	logic, err := cluster.New(cluster.Config{Landmarks: lms, Shards: 4})
+	logic, err := cluster.New(cluster.Config{Landmarks: lms, Shards: 4, Telemetry: reg})
 	if err != nil {
 		b.Fatal(err)
 	}
-	ns, err := netserver.Listen(netserver.Config{Addr: "127.0.0.1:0", Server: logic})
+	ns, err := netserver.Listen(netserver.Config{Addr: "127.0.0.1:0", Server: logic, Telemetry: reg})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -600,7 +603,7 @@ func BenchmarkPipelinedJoin(b *testing.B) {
 	}
 	for _, m := range modes {
 		b.Run(m.name, func(b *testing.B) {
-			ns := benchNetCluster(b)
+			ns := benchNetCluster(b, nil)
 			proxy, err := loadgen.NewLatencyProxy(ns.Addr(), 500*time.Microsecond)
 			if err != nil {
 				b.Fatal(err)
@@ -616,13 +619,49 @@ func BenchmarkPipelinedJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkInstrumentedJoin is BenchmarkPipelinedJoin/inflight=64 with the
+// full telemetry plane enabled — per-request counters and latency
+// histograms in the front end, per-shard apply counters in the cluster —
+// so CI can gate the instrumentation's overhead as a within-run ratio
+// against the uninstrumented twin (see the bench job's -ratio flag).
+func BenchmarkInstrumentedJoin(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	ns := benchNetCluster(b, reg)
+	proxy, err := loadgen.NewLatencyProxy(ns.Addr(), 500*time.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { proxy.Close() })
+	b.ResetTimer()
+	runLoadAddr(b, proxy.Addr(), loadgen.Config{
+		Clients:  4,
+		InFlight: 64,
+	})
+}
+
+// BenchmarkTelemetryHotPath measures exactly what one served request adds:
+// a counter increment plus a latency observation on pre-resolved handles.
+// ReportAllocs backs the zero-allocation contract — benchcmp fails the run
+// if allocs/op ever leaves 0.
+func BenchmarkTelemetryHotPath(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	reqs := reg.Counter(`proxdisc_requests_total{type="join_request"}`)
+	lat := reg.Histogram(`proxdisc_request_duration_seconds{type="join_request"}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs.Inc()
+		lat.Observe(time.Duration(i) * time.Nanosecond)
+	}
+}
+
 // BenchmarkBatchJoin measures the flash-crowd path: joins grouped into
 // MsgBatchJoinRequest frames, which amortize framing, syscalls, and the
 // per-shard lock acquisition.
 func BenchmarkBatchJoin(b *testing.B) {
 	for _, batch := range []int{1, 8, 32} {
 		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
-			ns := benchNetCluster(b)
+			ns := benchNetCluster(b, nil)
 			b.ResetTimer()
 			runLoad(b, ns, loadgen.Config{
 				Clients:  1,

@@ -11,8 +11,17 @@
 // Repeated runs of the same benchmark (from -count N) collapse to their
 // median, in the spirit of benchstat. A benchmark whose median ns/op
 // exceeds the baseline's by more than the threshold percentage fails the
-// run; new and vanished benchmarks are reported but never fail. To adopt
-// a new baseline, copy the emitted file over BENCH_baseline.json.
+// run, as does one whose allocs/op grows by more than -alloc-threshold
+// (any allocation on a zero-alloc baseline fails outright); new and
+// vanished benchmarks are reported but never fail. To adopt a new
+// baseline, copy the emitted file over BENCH_baseline.json.
+//
+// -ratio A:B:pct gates two benchmarks of the SAME run against each other:
+// it fails when A's median ns/op exceeds B's by more than pct percent.
+// Because both sides ran on the same machine moments apart, the gate
+// holds even where absolute thresholds are noise (so it is enforced even
+// under -soft) — the tool behind "instrumentation must cost under 5%"
+// style CI checks. Several specs may be given, comma-separated.
 package main
 
 import (
@@ -55,8 +64,10 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline JSON to compare against (skipped when absent or empty)")
 		out       = flag.String("out", "", "path to write the current summary JSON")
 		threshold = flag.Float64("threshold", 20, "ns/op regression percentage that fails the run")
-		soft      = flag.Bool("soft", false, "report regressions but always exit 0 — for cross-machine comparisons where absolute ns/op thresholds are unreliable")
+		soft      = flag.Bool("soft", false, "report ns/op regressions but do not fail on them — for cross-machine comparisons where absolute timings are unreliable (-ratio and allocs/op gates still fail)")
 		minNs     = flag.Float64("min-ns", 0, "only gate benchmarks whose baseline median ns/op is at least this (timings below it are single-iteration noise at -benchtime 1x; they are still reported)")
+		allocPct  = flag.Float64("alloc-threshold", 20, "allocs/op regression percentage that fails the run (a zero-alloc baseline fails on ANY allocation)")
+		ratios    = flag.String("ratio", "", "comma-separated A:B:pct specs gating benchmark A's ns/op within pct percent of B's, both from the current run")
 	)
 	flag.Parse()
 	if *current == "" {
@@ -78,6 +89,22 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	ratioFailures := 0
+	if *ratios != "" {
+		specs, err := parseRatios(*ratios)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %v\n", err)
+			os.Exit(2)
+		}
+		ratioFailures = checkRatios(os.Stdout, cur, specs)
+	}
+	defer func() {
+		// Within-run ratios are machine-independent: they fail even -soft runs.
+		if ratioFailures > 0 {
+			fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %d ratio gate(s) failed\n", ratioFailures)
+			os.Exit(1)
+		}
+	}()
 	if *baseline == "" {
 		fmt.Printf("summarized %d benchmarks (no baseline comparison)\n", len(cur.Benchmarks))
 		return
@@ -97,14 +124,74 @@ func main() {
 		return
 	}
 	regressions := compare(os.Stdout, base, cur, *threshold, *minNs)
+	// Allocation counts are deterministic across machines, so their
+	// regressions fail even -soft runs (like -ratio gates, unlike ns/op).
+	allocRegressions := compareAllocs(os.Stdout, base, cur, *allocPct)
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %d benchmark(s) regressed more than %.0f%%\n",
+		fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %d benchmark(s) regressed more than %.0f%% ns/op\n",
 			regressions, *threshold)
 		if !*soft {
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "proxdisc-benchcmp: -soft set; not failing")
+		fmt.Fprintln(os.Stderr, "proxdisc-benchcmp: -soft set; not failing on ns/op")
 	}
+	if allocRegressions > 0 {
+		fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %d benchmark(s) regressed allocs/op\n", allocRegressions)
+		os.Exit(1)
+	}
+}
+
+// ratioSpec gates benchmark A within pct percent of benchmark B, both from
+// the current run.
+type ratioSpec struct {
+	a, b string
+	pct  float64
+}
+
+// parseRatios reads comma-separated "A:B:pct" specs (benchmark names
+// without the "Benchmark" prefix; sub-benchmark slashes are fine).
+func parseRatios(s string) ([]ratioSpec, error) {
+	var out []ratioSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad -ratio spec %q (want A:B:pct)", part)
+		}
+		pct, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -ratio percentage in %q: %w", part, err)
+		}
+		out = append(out, ratioSpec{a: fields[0], b: fields[1], pct: pct})
+	}
+	return out, nil
+}
+
+// checkRatios evaluates within-run ratio gates against the current summary
+// and returns how many failed. A spec naming an absent benchmark fails —
+// a vanished benchmark must not silently pass its gate.
+func checkRatios(w *os.File, cur *Summary, specs []ratioSpec) int {
+	failures := 0
+	for _, spec := range specs {
+		a, okA := cur.Benchmarks[spec.a]
+		b, okB := cur.Benchmarks[spec.b]
+		if !okA || !okB {
+			fmt.Fprintf(w, "ratio %s vs %s: benchmark missing from current run\n", spec.a, spec.b)
+			failures++
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (a.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		verdict := "ok"
+		if delta > spec.pct {
+			verdict = "RATIO EXCEEDED"
+			failures++
+		}
+		fmt.Fprintf(w, "ratio %s (%.0f ns/op) vs %s (%.0f ns/op): %+.1f%% (limit +%.1f%%)  %s\n",
+			spec.a, a.NsPerOp, spec.b, b.NsPerOp, delta, spec.pct, verdict)
+	}
+	return failures
 }
 
 // parseBenchOutput reads raw benchmark text and aggregates repeated runs
@@ -243,6 +330,43 @@ func compare(w *os.File, base, cur *Summary, threshold, minNs float64) int {
 		if _, ok := cur.Benchmarks[name]; !ok {
 			fmt.Fprintf(w, "%-60s (vanished from current run)\n", name)
 		}
+	}
+	return regressions
+}
+
+// compareAllocs gates allocs/op for every benchmark both sides report it
+// for, and returns the number of regressions. Allocation counts are
+// deterministic where ns/op is noisy, so a zero-alloc baseline admits NO
+// current allocations at all; a non-zero baseline tolerates growth up to
+// the threshold percentage.
+func compareAllocs(w *os.File, base, cur *Summary, threshold float64) int {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		c := cur.Benchmarks[name]
+		b := base.Benchmarks[name]
+		if b == nil {
+			continue
+		}
+		ca, okC := c.Metrics["allocs/op"]
+		ba, okB := b.Metrics["allocs/op"]
+		if !okC || !okB {
+			continue
+		}
+		verdict := "ok"
+		switch {
+		case ba == 0 && ca > 0:
+			verdict = "ALLOC REGRESSION (was zero-alloc)"
+			regressions++
+		case ba > 0 && (ca-ba)/ba*100 > threshold:
+			verdict = "ALLOC REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-60s %12.1f allocs/op  base %12.1f  %s\n", name, ca, ba, verdict)
 	}
 	return regressions
 }

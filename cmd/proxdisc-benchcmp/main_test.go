@@ -81,6 +81,62 @@ func TestCompareThreshold(t *testing.T) {
 	}
 }
 
+func TestCompareAllocs(t *testing.T) {
+	base := &Summary{Benchmarks: map[string]*Bench{
+		"Zero":  {NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 0}},
+		"Grow":  {NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 10}},
+		"Hold":  {NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 10}},
+		"NoCur": {NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 5}},
+	}}
+	cur := &Summary{Benchmarks: map[string]*Bench{
+		"Zero":  {NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 1}},  // any alloc on a zero base fails
+		"Grow":  {NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 13}}, // +30% — beyond 20%
+		"Hold":  {NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 11}}, // +10% — fine
+		"NoCur": {NsPerOp: 100},                                               // no allocs reported — ungated
+	}}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if got := compareAllocs(devnull, base, cur, 20); got != 2 {
+		t.Fatalf("alloc regressions=%d want 2", got)
+	}
+}
+
+func TestRatioGate(t *testing.T) {
+	specs, err := parseRatios("InstrumentedJoin/x:PipelinedJoin/x:5, A:B:50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].a != "InstrumentedJoin/x" || specs[0].pct != 5 {
+		t.Fatalf("specs=%+v", specs)
+	}
+	if _, err := parseRatios("only-two:fields"); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	cur := &Summary{Benchmarks: map[string]*Bench{
+		"InstrumentedJoin/x": {NsPerOp: 104},
+		"PipelinedJoin/x":    {NsPerOp: 100},
+		"A":                  {NsPerOp: 200},
+		"B":                  {NsPerOp: 100},
+	}}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	// +4% within 5 passes; +100% beyond 50 fails.
+	if got := checkRatios(devnull, cur, specs); got != 1 {
+		t.Fatalf("ratio failures=%d want 1", got)
+	}
+	// A spec naming a missing benchmark must fail, not silently pass.
+	missing := []ratioSpec{{a: "Gone", b: "B", pct: 5}}
+	if got := checkRatios(devnull, cur, missing); got != 1 {
+		t.Fatalf("missing-benchmark failures=%d want 1", got)
+	}
+}
+
 func TestSummaryRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "s.json")

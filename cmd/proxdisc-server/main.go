@@ -8,6 +8,7 @@
 //	proxdisc-server -landmarks 10,20,30,40 -shards 4
 //	proxdisc-server -landmarks 10,20 -data-dir /var/lib/proxdisc            # durable primary
 //	proxdisc-server -landmarks 10,20 -follow primary-host:7470              # follower
+//	proxdisc-server -landmarks 10 -metrics-addr 127.0.0.1:7471             # + ops endpoint
 //
 // Each landmark is a router identifier; peers report traceroute paths that
 // terminate at one of them. With -host-landmarks the process also answers
@@ -18,12 +19,21 @@
 // applies it to a local copy (catching up from a shipped snapshot when it
 // is behind the log's retention), serves reads from that copy, redirects
 // writes to the primary, and logs its replication lag.
+//
+// With -metrics-addr the process serves its operational surface over HTTP:
+// Prometheus metrics at /metrics, expvar at /debug/vars, and the pprof
+// profiling handlers under /debug/pprof/. Logging is structured (log/slog,
+// text to stderr); -log-level picks the floor and -slow-op reports every
+// request served slower than the given threshold at warning level with its
+// request ID and message type.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -35,7 +45,9 @@ import (
 	"proxdisc/internal/cluster"
 	"proxdisc/internal/netserver"
 	"proxdisc/internal/pathtree"
+	"proxdisc/internal/proto"
 	"proxdisc/internal/server"
+	"proxdisc/internal/telemetry"
 	"proxdisc/internal/topology"
 	"proxdisc/internal/wal"
 )
@@ -49,37 +61,72 @@ type management interface {
 	Stats() server.Stats
 }
 
+// die logs at error level and exits; the fatal path of a slog binary.
+func die(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7470", "TCP listen address")
-		landmarks  = flag.String("landmarks", "0", "comma-separated landmark router IDs")
-		lmAddrsCSV = flag.String("landmark-addrs", "", "comma-separated UDP probe addresses, one per landmark (advertised to clients)")
-		hostLMs    = flag.Bool("host-landmarks", false, "run UDP probe responders for all landmarks in this process")
-		neighbors  = flag.Int("neighbors", server.DefaultNeighborCount, "closest peers returned per query")
-		ttl        = flag.Duration("peer-ttl", 0, "expire peers silent for this long (0 = never)")
-		sweep      = flag.Duration("sweep-interval", 30*time.Second, "expiry sweep period when -peer-ttl is set")
-		shards     = flag.Int("shards", 1, "run a landmark-sharded cluster of this many shards")
-		replicas   = flag.Int("replicas", 1, "copies of each shard's state (replica sets with automatic failover)")
-		role       = flag.String("role", "primary", "this node's replication role: primary or replica (replica governs wire behaviour; its state must be fed out of band, e.g. snapshot shipping)")
-		primAddr   = flag.String("primary-addr", "", "the primary node's TCP address (required with -role replica)")
-		workers    = flag.Int("workers", 0, "pipelined-request worker pool size (0 = 4×GOMAXPROCS)")
-		maxBatch   = flag.Int("max-batch", 0, "largest batch join accepted (0 = wire-format maximum)")
-		dataDir    = flag.String("data-dir", "", "directory for durable state (WAL + snapshots); restart recovers the acknowledged peer set")
-		follow     = flag.String("follow", "", "run as a follower of the durable primary at this TCP address: stream its op log, apply it to a local copy, serve reads (implies -role replica)")
-		syncDelay  = flag.Duration("max-sync-delay", 0, "hold each WAL group-commit fsync open this long so light load batches syncs (e.g. 500us; 0 = sync immediately)")
-		snapBytes  = flag.Int64("snapshot-bytes", 0, "checkpoint after this many WAL bytes accumulate (0 = 4 MiB default, negative = op-count trigger only)")
+		addr        = flag.String("addr", "127.0.0.1:7470", "TCP listen address")
+		landmarks   = flag.String("landmarks", "0", "comma-separated landmark router IDs")
+		lmAddrsCSV  = flag.String("landmark-addrs", "", "comma-separated UDP probe addresses, one per landmark (advertised to clients)")
+		hostLMs     = flag.Bool("host-landmarks", false, "run UDP probe responders for all landmarks in this process")
+		neighbors   = flag.Int("neighbors", server.DefaultNeighborCount, "closest peers returned per query")
+		ttl         = flag.Duration("peer-ttl", 0, "expire peers silent for this long (0 = never)")
+		sweep       = flag.Duration("sweep-interval", 30*time.Second, "expiry sweep period when -peer-ttl is set")
+		shards      = flag.Int("shards", 1, "run a landmark-sharded cluster of this many shards")
+		replicas    = flag.Int("replicas", 1, "copies of each shard's state (replica sets with automatic failover)")
+		role        = flag.String("role", "primary", "this node's replication role: primary or replica (replica governs wire behaviour; its state must be fed out of band, e.g. snapshot shipping)")
+		primAddr    = flag.String("primary-addr", "", "the primary node's TCP address (required with -role replica)")
+		workers     = flag.Int("workers", 0, "pipelined-request worker pool size (0 = 4×GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 0, "largest batch join accepted (0 = wire-format maximum)")
+		dataDir     = flag.String("data-dir", "", "directory for durable state (WAL + snapshots); restart recovers the acknowledged peer set")
+		follow      = flag.String("follow", "", "run as a follower of the durable primary at this TCP address: stream its op log, apply it to a local copy, serve reads (implies -role replica)")
+		syncDelay   = flag.Duration("max-sync-delay", 0, "hold each WAL group-commit fsync open this long so light load batches syncs (e.g. 500us; 0 = sync immediately)")
+		snapBytes   = flag.Int64("snapshot-bytes", 0, "checkpoint after this many WAL bytes accumulate (0 = 4 MiB default, negative = op-count trigger only)")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for the ops endpoint (/metrics, /debug/vars, /debug/pprof/); empty = disabled")
+		logLevel    = flag.String("log-level", "info", "log floor: debug, info, warn, or error")
+		slowOp      = flag.Duration("slow-op", 0, "warn about any request served slower than this (0 = disabled)")
 	)
 	flag.Parse()
 
+	lvl := new(slog.LevelVar)
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "proxdisc-server: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	// Printf-style diagnostics from the libraries flow into slog at info.
+	logf := func(format string, args ...any) { slog.Info(fmt.Sprintf(format, args...)) }
+
+	reg := telemetry.Default()
+	telemetry.RegisterGoMetrics(reg)
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			die("metrics listener failed", "addr", *metricsAddr, "err", err)
+		}
+		srv := &http.Server{Handler: telemetry.NewOpsMux(reg)}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				slog.Error("metrics endpoint failed", "err", err)
+			}
+		}()
+		defer srv.Close()
+		slog.Info("ops endpoint listening", "addr", ln.Addr().String())
+	}
+
 	lmIDs, err := parseLandmarks(*landmarks)
 	if err != nil {
-		log.Fatalf("proxdisc-server: %v", err)
+		die("bad -landmarks", "err", err)
 	}
 	if *shards < 1 {
-		log.Fatalf("proxdisc-server: -shards must be at least 1, got %d", *shards)
+		die("-shards must be at least 1", "shards", *shards)
 	}
 	if *replicas < 1 {
-		log.Fatalf("proxdisc-server: -replicas must be at least 1, got %d", *replicas)
+		die("-replicas must be at least 1", "replicas", *replicas)
 	}
 	// Follower mode: a wire role of replica whose copy is fed by the
 	// primary's op stream instead of out-of-band snapshot shipping. It
@@ -90,7 +137,7 @@ func main() {
 			*primAddr = *follow
 		}
 		if *shards > 1 || *replicas > 1 {
-			log.Fatal("proxdisc-server: -follow runs a single local copy; drop -shards/-replicas")
+			die("-follow runs a single local copy; drop -shards/-replicas")
 		}
 	}
 	nodeRole := netserver.RolePrimary
@@ -99,10 +146,10 @@ func main() {
 	case "replica":
 		nodeRole = netserver.RoleReplica
 		if *primAddr == "" {
-			log.Fatal("proxdisc-server: -role replica requires -primary-addr")
+			die("-role replica requires -primary-addr")
 		}
 	default:
-		log.Fatalf("proxdisc-server: unknown -role %q", *role)
+		die("unknown -role", "role", *role)
 	}
 	if *follow != "" {
 		nodeRole = netserver.RoleReplica
@@ -126,6 +173,7 @@ func main() {
 			DataDir:       clusterDir,
 			MaxSyncDelay:  *syncDelay,
 			SnapshotBytes: *snapBytes,
+			Telemetry:     reg,
 		})
 		logic = clu
 	} else {
@@ -146,13 +194,13 @@ func main() {
 		logic = srvLogic
 	}
 	if err != nil {
-		log.Fatalf("proxdisc-server: %v", err)
+		die("backend start failed", "err", err)
 	}
 	if clu != nil && clu.NumPeers() > 0 {
-		log.Printf("recovered %d peers from %s", clu.NumPeers(), *dataDir)
+		slog.Info("recovered durable state", "peers", clu.NumPeers(), "dir", *dataDir)
 		ds := clu.DurabilityStats()
-		log.Printf("durable state: snapshot seq %d, wal tail %d records, replay %v",
-			ds.SnapshotSeq, ds.TailRecords, ds.ReplayTime)
+		slog.Info("durable state",
+			"snapshot_seq", ds.SnapshotSeq, "wal_tail", ds.TailRecords, "replay", ds.ReplayTime)
 	}
 
 	// Follower mode: feed the local copy from the primary's op stream and
@@ -161,23 +209,24 @@ func main() {
 	if *follow != "" {
 		fb, ok := logic.(netserver.FollowerBackend)
 		if !ok {
-			log.Fatal("proxdisc-server: follower backend cannot restore snapshots")
+			die("follower backend cannot restore snapshots")
 		}
 		follower, err = netserver.StartFollower(netserver.FollowerConfig{
 			PrimaryAddr: *follow,
 			Backend:     fb,
-			Logf:        log.Printf,
+			Logf:        logf,
+			Telemetry:   reg,
 		})
 		if err != nil {
-			log.Fatalf("proxdisc-server: follow %s: %v", *follow, err)
+			die("follow failed", "primary", *follow, "err", err)
 		}
 		defer follower.Close()
 		go func() {
 			t := time.NewTicker(10 * time.Second)
 			defer t.Stop()
 			for range t.C {
-				log.Printf("replication: applied seq %d, primary head %d, lag %d ops",
-					follower.Applied(), follower.Head(), follower.Lag())
+				slog.Info("replication",
+					"applied", follower.Applied(), "head", follower.Head(), "lag", follower.Lag())
 			}
 		}()
 	}
@@ -187,16 +236,16 @@ func main() {
 		for _, lm := range lmIDs {
 			resp, err := netserver.ListenLandmark("127.0.0.1:0")
 			if err != nil {
-				log.Fatalf("proxdisc-server: landmark responder: %v", err)
+				die("landmark responder failed", "landmark", lm, "err", err)
 			}
 			defer resp.Close()
 			lmAddrs[lm] = resp.Addr()
-			log.Printf("landmark %d probe responder on %s", lm, resp.Addr())
+			slog.Info("landmark probe responder", "landmark", lm, "addr", resp.Addr())
 		}
 	} else if *lmAddrsCSV != "" {
 		parts := strings.Split(*lmAddrsCSV, ",")
 		if len(parts) != len(lmIDs) {
-			log.Fatalf("proxdisc-server: %d landmark addresses for %d landmarks", len(parts), len(lmIDs))
+			die("landmark address count mismatch", "addrs", len(parts), "landmarks", len(lmIDs))
 		}
 		for i, lm := range lmIDs {
 			lmAddrs[lm] = strings.TrimSpace(parts[i])
@@ -212,26 +261,32 @@ func main() {
 		repl = follower
 	}
 	ns, err := netserver.Listen(netserver.Config{
-		Addr:          *addr,
-		Server:        logic,
-		LandmarkAddrs: lmAddrs,
-		Role:          nodeRole,
-		PrimaryAddr:   *primAddr,
-		Workers:       *workers,
-		MaxBatch:      *maxBatch,
-		DataDir:       frontDir,
-		Replication:   repl,
-		Logf:          log.Printf,
+		Addr:            *addr,
+		Server:          logic,
+		LandmarkAddrs:   lmAddrs,
+		Role:            nodeRole,
+		PrimaryAddr:     *primAddr,
+		Workers:         *workers,
+		MaxBatch:        *maxBatch,
+		DataDir:         frontDir,
+		Replication:     repl,
+		Logf:            logf,
+		Telemetry:       reg,
+		SlowOpThreshold: *slowOp,
+		SlowOp: func(id uint64, typ proto.MsgType, d time.Duration) {
+			slog.Warn("slow request", "id", id, "type", typ.String(), "took", d)
+		},
 	})
 	if err != nil {
-		log.Fatalf("proxdisc-server: %v", err)
+		die("listen failed", "addr", *addr, "err", err)
 	}
 	roleName := *role
 	if *follow != "" {
 		roleName = fmt.Sprintf("follower of %s", *follow)
 	}
-	log.Printf("management server listening on %s (landmarks %v, k=%d, shards=%d, replicas=%d, role=%s)",
-		ns.Addr(), lmIDs, *neighbors, *shards, *replicas, roleName)
+	slog.Info("management server listening",
+		"addr", ns.Addr(), "landmarks", fmt.Sprint(lmIDs), "k", *neighbors,
+		"shards", *shards, "replicas", *replicas, "role", roleName)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -241,7 +296,7 @@ func main() {
 		go func() {
 			for range ticker.C {
 				if expired := logic.Expire(); len(expired) > 0 {
-					log.Printf("expired %d silent peers", len(expired))
+					slog.Info("expired silent peers", "count", len(expired))
 				}
 			}
 		}()
@@ -250,22 +305,23 @@ func main() {
 	// Graceful shutdown: stop accepting and drain in-flight connections
 	// first, then flush a final snapshot and close the WAL cleanly, so the
 	// next start replays an empty log tail.
-	log.Print("shutting down: draining connections")
+	slog.Info("shutting down: draining connections")
 	if err := ns.Close(); err != nil {
-		log.Printf("close: %v", err)
+		slog.Warn("close", "err", err)
 	}
 	if follower != nil {
-		log.Printf("replication at shutdown: applied seq %d, primary head %d, lag %d ops",
-			follower.Applied(), follower.Head(), follower.Lag())
+		slog.Info("replication at shutdown",
+			"applied", follower.Applied(), "head", follower.Head(), "lag", follower.Lag())
 		follower.Close()
 	}
 	if clu != nil && clu.Durable() {
 		ds := clu.DurabilityStats()
-		log.Printf("durable state: snapshot seq %d, wal tail %d records, fsyncs %d (%.1f records/sync)",
-			ds.SnapshotSeq, ds.TailRecords, ds.Log.Fsyncs, avgBatch(ds.Log))
-		log.Print("flushing final snapshot and closing WAL")
+		slog.Info("durable state",
+			"snapshot_seq", ds.SnapshotSeq, "wal_tail", ds.TailRecords,
+			"fsyncs", ds.Log.Fsyncs, "records_per_sync", fmt.Sprintf("%.1f", avgBatch(ds.Log)))
+		slog.Info("flushing final snapshot and closing WAL")
 		if err := clu.Close(); err != nil {
-			log.Printf("durable close: %v", err)
+			slog.Warn("durable close", "err", err)
 		}
 	}
 	st := logic.Stats()

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"proxdisc/internal/proto"
+	"proxdisc/internal/telemetry"
 )
 
 // PathProvider supplies the router path from this host to a landmark router
@@ -87,6 +88,12 @@ type Config struct {
 	// transport retries (default 50ms). Not-primary redirects retry
 	// immediately.
 	FailoverBackoff time.Duration
+	// Telemetry, when set, receives the client's operational metrics:
+	// proxdisc_client_inflight (pipelined requests currently outstanding),
+	// proxdisc_client_retries_total, proxdisc_client_redirects_total, and
+	// proxdisc_client_failovers_total. Aux connections (redirect targets,
+	// failover redials) report into the same series.
+	Telemetry *telemetry.Registry
 }
 
 // Client is a connection to the management server. It is safe for
@@ -146,6 +153,18 @@ type Client struct {
 	home    map[int64]string   // address of the node that served each peer's join
 	primary string             // primary address learned from CodeNotPrimary ("" = the dialled one)
 	closed  bool               // guards against dialling new aux connections after Close
+
+	met clientMetrics
+}
+
+// clientMetrics holds the client's pre-resolved metric handles. With no
+// Config.Telemetry every field stays nil and the nil-safe metric methods
+// make each update a no-op.
+type clientMetrics struct {
+	inflight  *telemetry.Gauge   // pipelined requests currently outstanding
+	retries   *telemetry.Counter // transport-level retry attempts
+	redirects *telemetry.Counter // not-primary / MsgRedirect hops followed
+	failovers *telemetry.Counter // paths written off after a transport failure
 }
 
 // frameResp is one demultiplexed response frame.
@@ -199,6 +218,16 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 		br:      bufio.NewReaderSize(conn, 16<<10),
 		timeout: cfg.Timeout,
 		version: proto.Version1,
+	}
+	if r := cfg.Telemetry; r != nil {
+		// Aux clients copy cfg, so they resolve the same registered series
+		// and all connections of one logical client share these handles.
+		c.met = clientMetrics{
+			inflight:  r.Gauge("proxdisc_client_inflight"),
+			retries:   r.Counter("proxdisc_client_retries_total"),
+			redirects: r.Counter("proxdisc_client_redirects_total"),
+			failovers: r.Counter("proxdisc_client_failovers_total"),
+		}
 	}
 	if !cfg.DisablePipelining {
 		if err := c.negotiate(); err != nil {
@@ -476,6 +505,7 @@ func (c *Client) noteFailoverFailure(target *Client) {
 	if target == c && c.cfg.FailoverRetries == 0 {
 		return
 	}
+	c.met.failovers.Inc()
 	if target != c {
 		c.auxMu.Lock()
 		if c.primary != "" && target.addr == c.primary {
@@ -495,6 +525,9 @@ func (c *Client) noteFailoverFailure(target *Client) {
 // policies live in the callers and never consume transport attempts.
 func (c *Client) transportRetry(maxAttempts int, resolve func() (*Client, error), op func(target *Client) error) error {
 	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			c.met.retries.Inc()
+		}
 		target, err := resolve()
 		if err == nil {
 			if err = op(target); err == nil {
@@ -567,6 +600,7 @@ func (c *Client) peerRoundTrip(peer int64, reqType proto.MsgType, payload []byte
 				c.setHome(peer, "")
 			case werr.Code == proto.CodeNotPrimary && werr.Message != "" && redirects < MaxRedirects:
 				redirects++
+				c.met.redirects.Inc()
 				c.setHome(peer, werr.Message)
 				continue
 			}
@@ -627,7 +661,11 @@ func (c *Client) exchangePipelined(reqType proto.MsgType, payload []byte) (proto
 	case <-c.readDone:
 		return 0, nil, c.readError()
 	}
-	defer func() { <-c.slots }()
+	c.met.inflight.Inc()
+	defer func() {
+		c.met.inflight.Dec()
+		<-c.slots
+	}()
 
 	id := c.nextID.Add(1)
 	ch := make(chan frameResp, 1)
@@ -739,6 +777,7 @@ func (c *Client) roundTrip(reqType proto.MsgType, payload []byte, wantType proto
 		if errors.As(err, &werr) && werr.Code == proto.CodeNotPrimary && werr.Message != "" &&
 			!c.isAux && redirects < MaxRedirects {
 			redirects++
+			c.met.redirects.Inc()
 			c.setPrimary(werr.Message)
 			continue // retry immediately at the advertised primary
 		}
@@ -819,6 +858,7 @@ func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Can
 				return nil, fmt.Errorf("client: join gave up after %d redirects (last to %s)", hops, rd.Addr)
 			}
 			hops++
+			c.met.redirects.Inc()
 			targetAddr = rd.Addr
 		default:
 			return nil, fmt.Errorf("client: unexpected response type %d (want %d)", typ, proto.MsgJoinResponse)

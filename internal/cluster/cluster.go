@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"proxdisc/internal/op"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/server"
+	"proxdisc/internal/telemetry"
 	"proxdisc/internal/topology"
 	"proxdisc/internal/wal"
 )
@@ -94,6 +96,13 @@ type Config struct {
 	// tests that model process kills use it.
 	NoSync bool
 
+	// Telemetry, when set, registers the cluster's metrics (per-shard
+	// apply counters and peer gauges, scatter fan-out, handoffs,
+	// checkpoint durations, and the write-ahead log's proxdisc_wal_*
+	// series) with the registry. The instrumentation runs either way; the
+	// registry only decides whether anyone can read it.
+	Telemetry *telemetry.Registry
+
 	// NeighborCount, PeerTTL, Clock, and TreeOptions are passed through to
 	// every shard; see server.Config.
 	NeighborCount int
@@ -141,6 +150,35 @@ type Cluster struct {
 	snapErrMu      sync.Mutex
 	snapErr        error // last background checkpoint failure
 	closeOnce      sync.Once
+
+	met clusterMetrics
+}
+
+// clusterMetrics holds the cluster's pre-resolved metric handles; see
+// initMetrics.
+type clusterMetrics struct {
+	scatter     *telemetry.Counter   // scatter-gather shard calls launched
+	handoffs    *telemetry.Counter   // completed landmark handoffs
+	checkpoints *telemetry.Histogram // checkpoint (snapshot+truncate) duration
+}
+
+// initMetrics resolves the cluster's metric handles, registering them
+// when Config.Telemetry is set. Called by New before the cluster is
+// visible, so the per-shard hot-path counters are plain pointer loads
+// afterwards.
+func (c *Cluster) initMetrics() {
+	r := c.cfg.Telemetry
+	c.met.scatter = r.Counter("proxdisc_scatter_fanout_total")
+	c.met.handoffs = r.Counter("proxdisc_handoffs_total")
+	c.met.checkpoints = r.Histogram("proxdisc_checkpoint_duration_seconds")
+	r.GaugeFunc("proxdisc_peers", func() float64 { return float64(c.NumPeers()) })
+	for i, g := range c.shards {
+		shard := strconv.Itoa(i)
+		g.applies = r.Counter(`proxdisc_shard_apply_total{shard="` + shard + `"}`)
+		r.GaugeFunc(`proxdisc_shard_peers{shard="`+shard+`"}`, func() float64 {
+			return float64(g.primarySrv().NumPeers())
+		})
+	}
 }
 
 // now reads the cluster clock.
@@ -220,6 +258,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.shards[i] = g
 	}
+	c.initMetrics()
 	if cfg.DataDir != "" {
 		if err := c.openDurable(); err != nil {
 			return nil, err

@@ -32,6 +32,7 @@ func (c *Cluster) openDurable() error {
 		NoSync:       c.cfg.NoSync,
 		MaxSyncDelay: c.cfg.MaxSyncDelay,
 		SegmentBytes: c.cfg.SegmentBytes,
+		Telemetry:    c.cfg.Telemetry,
 	})
 	if err != nil {
 		return err
@@ -228,6 +229,8 @@ func (c *Cluster) Checkpoint() error {
 	}
 	c.snapMu.Lock()
 	defer c.snapMu.Unlock()
+	start := time.Now()
+	defer func() { c.met.checkpoints.Observe(time.Since(start)) }()
 	seq := c.log.LastSeq()
 	if err := wal.WriteSnapshot(c.cfg.DataDir, seq, c.Snapshot); err != nil {
 		return fmt.Errorf("cluster: checkpoint: %w", err)

@@ -96,6 +96,7 @@ func (c *Cluster) MoveLandmark(lm topology.NodeID, dst int) error {
 	c.table[lm] = dst
 	c.mu.Unlock()
 
+	c.met.handoffs.Inc()
 	for _, p := range moved {
 		if c.idx.compareAndSwap(p, src, dst) {
 			continue

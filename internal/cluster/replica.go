@@ -10,6 +10,7 @@ import (
 	"proxdisc/internal/op"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/server"
+	"proxdisc/internal/telemetry"
 	"proxdisc/internal/topology"
 )
 
@@ -102,11 +103,19 @@ type shardGroup struct {
 	// still happened).
 	retiredQueries     int
 	retiredDelegations int
+
+	// applies counts ops through applyOp, the shard's one write door.
+	// newShardGroup seeds a private counter; Cluster.initMetrics swaps in
+	// the registered per-shard series before the group takes traffic.
+	applies *telemetry.Counter
 }
 
 // newShardGroup builds a group of replicas copies over the given landmarks.
 func newShardGroup(lms []topology.NodeID, replicas int, cfg Config) (*shardGroup, error) {
-	g := &shardGroup{reps: make([]*replicaState, replicas)}
+	g := &shardGroup{
+		reps:    make([]*replicaState, replicas),
+		applies: telemetry.NewCounter("proxdisc_shard_apply_total"),
+	}
 	for i := range g.reps {
 		s, err := server.New(server.Config{
 			Landmarks:     lms,
@@ -168,6 +177,7 @@ func (g *shardGroup) liveLocked() int {
 // rejects, or that changed nothing (an empty sweep, a fully rejected
 // batch), is not recorded and not propagated.
 func (g *shardGroup) applyOp(o op.Op, quiet bool) (opResult, error) {
+	g.applies.Inc()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var res opResult

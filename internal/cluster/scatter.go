@@ -49,6 +49,7 @@ launch:
 			break launch
 		case sem <- struct{}{}:
 		}
+		c.met.scatter.Inc()
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()

@@ -13,12 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"proxdisc/internal/client"
+	"proxdisc/internal/telemetry"
 )
 
 // Config parameterizes one load run.
@@ -62,17 +62,23 @@ type Result struct {
 	Elapsed time.Duration
 	// JoinsPerSec is Joins divided by Elapsed.
 	JoinsPerSec float64
-	// P50, P95, and P99 are per-request latency percentiles.
-	P50, P95, P99 time.Duration
+	// P50, P90, P95, and P99 are per-request latency percentiles, read
+	// from Latency — bucketed estimates, not exact order statistics.
+	P50, P90, P95, P99 time.Duration
+	// Latency is the full request-latency histogram every worker observed
+	// into during the run, for callers that want quantiles or bucket
+	// counts beyond the convenience percentiles above. (Excluded from
+	// JSON: its state is atomic counters, not marshalable fields.)
+	Latency *telemetry.Histogram `json:"-"`
 	// Protocol is the negotiated wire version of the first connection.
 	Protocol uint16
 }
 
 // String formats the result for human consumption.
 func (r *Result) String() string {
-	return fmt.Sprintf("joins=%d errors=%d requests=%d elapsed=%v throughput=%.0f joins/s p50=%v p95=%v p99=%v proto=v%d",
+	return fmt.Sprintf("joins=%d errors=%d requests=%d elapsed=%v throughput=%.0f joins/s p50=%v p90=%v p99=%v proto=v%d",
 		r.Joins, r.Errors, r.Requests, r.Elapsed.Round(time.Millisecond), r.JoinsPerSec,
-		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Protocol)
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Protocol)
 }
 
 // Run executes one load run and blocks until every join has been issued.
@@ -127,7 +133,11 @@ func Run(cfg Config) (*Result, error) {
 	next.Store(cfg.PeerBase)
 	last := cfg.PeerBase + int64(cfg.Joins) // exclusive
 	workers := cfg.Clients * cfg.InFlight
-	lats := make([][]time.Duration, workers)
+	// One lock-free histogram shared by every worker replaces the old
+	// per-worker latency slices: constant memory however long the run, no
+	// post-run sort, and the same quantile machinery the servers export.
+	lat := telemetry.NewHistogram("loadgen_request_duration_seconds")
+	var requests atomic.Int64
 	joins := make([]int, workers)
 	errCounts := make([]int, workers)
 
@@ -150,7 +160,8 @@ func Run(cfg Config) (*Result, error) {
 				if cfg.Batch == 1 {
 					t0 := time.Now()
 					_, err := c.Join(lo, cfg.AddrFor(lo), cfg.PathFor(lo))
-					lats[w] = append(lats[w], time.Since(t0))
+					lat.Observe(time.Since(t0))
+					requests.Add(1)
 					if err != nil {
 						errCounts[w]++
 					} else {
@@ -164,7 +175,8 @@ func Run(cfg Config) (*Result, error) {
 				}
 				t0 := time.Now()
 				res, err := c.JoinBatch(items)
-				lats[w] = append(lats[w], time.Since(t0))
+				lat.Observe(time.Since(t0))
+				requests.Add(1)
 				if err != nil {
 					errCounts[w] += len(items)
 					continue
@@ -182,31 +194,20 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
-	out := &Result{Elapsed: elapsed, Protocol: conns[0].Version()}
+	out := &Result{Elapsed: elapsed, Protocol: conns[0].Version(), Latency: lat}
 	for w := 0; w < workers; w++ {
 		out.Joins += joins[w]
 		out.Errors += errCounts[w]
-		out.Requests += len(lats[w])
-		all = append(all, lats[w]...)
 	}
+	out.Requests = int(requests.Load())
 	if elapsed > 0 {
 		out.JoinsPerSec = float64(out.Joins) / elapsed.Seconds()
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	out.P50 = percentile(all, 0.50)
-	out.P95 = percentile(all, 0.95)
-	out.P99 = percentile(all, 0.99)
+	out.P50 = lat.Quantile(0.50)
+	out.P90 = lat.Quantile(0.90)
+	out.P95 = lat.Quantile(0.95)
+	out.P99 = lat.Quantile(0.99)
 	return out, nil
-}
-
-// percentile reads quantile q from an ascending-sorted latency slice.
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
 }
 
 // LatencyProxy is a loopback TCP forwarder that delays every byte by a

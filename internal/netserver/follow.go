@@ -134,6 +134,7 @@ func (h *followHub) add(wc *wireConn, id, after uint64) error {
 	}
 	h.followers[wc] = f
 	h.mu.Unlock()
+	f.registerMetrics()
 	h.s.wg.Add(1)
 	go f.run(after)
 	return nil
@@ -146,14 +147,27 @@ func (h *followHub) remove(f *followConn) {
 		delete(h.followers, f.wc)
 	}
 	h.mu.Unlock()
+	f.unregisterMetrics()
 }
 
 // drop deregisters whatever follower rides the connection (connection
 // teardown path).
 func (h *followHub) drop(wc *wireConn) {
 	h.mu.Lock()
+	f := h.followers[wc]
 	delete(h.followers, wc)
 	h.mu.Unlock()
+	if f != nil {
+		f.unregisterMetrics()
+	}
+}
+
+// numFollowers reports the connected follower count (for the
+// proxdisc_followers_connected gauge).
+func (h *followHub) numFollowers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.followers)
 }
 
 // followConn is one follower's send state.
@@ -176,6 +190,41 @@ type followConn struct {
 	acked    uint64
 
 	notify chan struct{} // nudged on new records and acks
+
+	// metricNames are the per-follower series registered for this
+	// connection (keyed by its remote address); unregistered when the
+	// follower goes away so the registry does not accrete dead series.
+	metricNames []string
+}
+
+// registerMetrics publishes the follower's acked-sequence and lag gauges
+// under its remote address.
+func (f *followConn) registerMetrics() {
+	r := f.hub.s.cfg.Telemetry
+	if r == nil {
+		return
+	}
+	label := `{follower="` + f.wc.RemoteAddr().String() + `"}`
+	acked := "proxdisc_follower_acked_seq" + label
+	lag := "proxdisc_follower_lag" + label
+	f.metricNames = []string{acked, lag}
+	r.GaugeFunc(acked, func() float64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return float64(f.acked)
+	})
+	r.GaugeFunc(lag, func() float64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.head <= f.acked {
+			return 0
+		}
+		return float64(f.head - f.acked)
+	})
+}
+
+func (f *followConn) unregisterMetrics() {
+	f.hub.s.cfg.Telemetry.Unregister(f.metricNames...)
 }
 
 // nudge wakes the sender without blocking.
@@ -258,14 +307,21 @@ func (f *followConn) take(cursor uint64) ([]proto.OpRecord, takeState) {
 }
 
 // waitWindow blocks until the unacknowledged window has room (or the
-// connection/server dies). Acks and fresh commits both nudge it.
+// connection/server dies). Acks and fresh commits both nudge it. Each
+// stall episode — not each wakeup — counts once toward the send-window
+// stall counter.
 func (f *followConn) waitWindow() bool {
+	stalled := false
 	for {
 		f.mu.Lock()
 		ok := f.lastSent-f.acked < followWindow
 		f.mu.Unlock()
 		if ok {
 			return true
+		}
+		if !stalled {
+			stalled = true
+			f.hub.s.met.followStalls.Inc()
 		}
 		select {
 		case <-f.notify:
@@ -494,6 +550,7 @@ func (f *followConn) catchup(cursor uint64) (uint64, bool) {
 		// failed transiently. Let run() pause and retry.
 		return cursor, true
 	}
+	f.hub.s.met.followCatchups.Inc()
 	if !f.shipSnapshot(rc, snapSeq) {
 		return 0, false
 	}

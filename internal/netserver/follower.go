@@ -11,6 +11,7 @@ import (
 	"proxdisc/internal/client"
 	"proxdisc/internal/op"
 	"proxdisc/internal/server"
+	"proxdisc/internal/telemetry"
 )
 
 // This file is the follower role: a process that keeps a local copy of a
@@ -53,6 +54,11 @@ type FollowerConfig struct {
 	ReconnectBackoff time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+	// Telemetry, when set, receives the follower's applied/head/lag
+	// gauges (proxdisc_follow_applied_seq, proxdisc_follow_head_seq,
+	// proxdisc_follow_lag) and a reconnect counter
+	// (proxdisc_follow_reconnects_total).
+	Telemetry *telemetry.Registry
 }
 
 // Follower maintains a local copy of a primary's state from its op
@@ -71,6 +77,8 @@ type Follower struct {
 
 	sessMu sync.Mutex
 	sess   *client.FollowSession
+
+	reconnects *telemetry.Counter
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -98,6 +106,10 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 	}
 	f := &Follower{cfg: cfg, closed: make(chan struct{})}
 	f.applied.Store(cfg.After)
+	f.reconnects = cfg.Telemetry.Counter("proxdisc_follow_reconnects_total")
+	cfg.Telemetry.GaugeFunc("proxdisc_follow_applied_seq", func() float64 { return float64(f.Applied()) })
+	cfg.Telemetry.GaugeFunc("proxdisc_follow_head_seq", func() float64 { return float64(f.Head()) })
+	cfg.Telemetry.GaugeFunc("proxdisc_follow_lag", func() float64 { return float64(f.Lag()) })
 	sess, err := client.Follow(cfg.PrimaryAddr, f.sessionConfig())
 	if err != nil {
 		return nil, err
@@ -144,6 +156,7 @@ func (f *Follower) run(sess *client.FollowSession) {
 		case <-time.After(backoff):
 		}
 		var err error
+		f.reconnects.Inc()
 		sess, err = client.Follow(f.cfg.PrimaryAddr, f.sessionConfig())
 		if err != nil {
 			f.noteErr(err)

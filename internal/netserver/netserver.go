@@ -37,6 +37,7 @@ import (
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/proto"
 	"proxdisc/internal/server"
+	"proxdisc/internal/telemetry"
 	"proxdisc/internal/topology"
 )
 
@@ -148,6 +149,17 @@ type Config struct {
 	ReadTimeout time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+	// Telemetry, when set, registers the front end's metrics — per-type
+	// request counters and latency histograms, worker queue depth and
+	// saturation, and the replication-stream series — with the registry.
+	Telemetry *telemetry.Registry
+	// SlowOpThreshold, when positive, reports every request whose service
+	// time exceeds it through SlowOp (or, when SlowOp is nil, Logf). The
+	// check is two loads and a compare on the hot path.
+	SlowOpThreshold time.Duration
+	// SlowOp receives slow-request reports: the request's pipeline ID
+	// (0 on lock-step connections), message type, and service time.
+	SlowOp func(id uint64, typ proto.MsgType, d time.Duration)
 }
 
 // NetServer is a running TCP front end. Close it to release the listener.
@@ -171,9 +183,80 @@ type NetServer struct {
 
 	tasks chan task // pipelined requests awaiting a pool worker
 
+	met srvMetrics
+
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
+}
+
+// srvMetrics holds the front end's pre-resolved metric handles, indexed
+// by message type so the per-request path is two atomic ops on array
+// slots — no lookups, no allocation.
+type srvMetrics struct {
+	reqs     [proto.NumMsgTypes]*telemetry.Counter
+	lat      [proto.NumMsgTypes]*telemetry.Histogram
+	queueSat *telemetry.Counter // enqueues that found the worker pool full
+
+	followStalls   *telemetry.Counter // sender stalls on a full follower send window
+	followCatchups *telemetry.Counter // followers re-seeded via snapshot instead of the WAL
+}
+
+// initMetrics resolves the request metrics (registering them when
+// Config.Telemetry is set) and the queue-depth gauge. Every type slot is
+// filled, so observeReq never branches on nil.
+func (s *NetServer) initMetrics() {
+	r := s.cfg.Telemetry
+	for t := 1; t < proto.NumMsgTypes; t++ {
+		label := `{type="` + proto.MsgType(t).String() + `"}`
+		s.met.reqs[t] = r.Counter("proxdisc_requests_total" + label)
+		s.met.lat[t] = r.Histogram("proxdisc_request_duration_seconds" + label)
+	}
+	// Slot 0 catches out-of-range wire types.
+	s.met.reqs[0] = r.Counter(`proxdisc_requests_total{type="unknown"}`)
+	s.met.lat[0] = r.Histogram(`proxdisc_request_duration_seconds{type="unknown"}`)
+	s.met.queueSat = r.Counter("proxdisc_worker_queue_saturation_total")
+	s.met.followStalls = r.Counter("proxdisc_follower_send_window_stalls_total")
+	s.met.followCatchups = r.Counter("proxdisc_follower_snapshot_catchups_total")
+	r.GaugeFunc("proxdisc_worker_queue_depth", func() float64 { return float64(len(s.tasks)) })
+	r.GaugeFunc("proxdisc_worker_pool_size", func() float64 { return float64(s.cfg.Workers) })
+	// The hub is built after initMetrics; the closure reads it at scrape
+	// time, when Listen has long returned.
+	r.GaugeFunc("proxdisc_followers_connected", func() float64 {
+		if s.hub == nil {
+			return 0
+		}
+		return float64(s.hub.numFollowers())
+	})
+}
+
+// observeReq records one served request: its per-type counter and
+// latency histogram, plus the slow-op report when the service time
+// crosses the configured threshold.
+func (s *NetServer) observeReq(typ proto.MsgType, id uint64, d time.Duration) {
+	i := int(typ)
+	if i >= proto.NumMsgTypes {
+		i = 0
+	}
+	s.met.reqs[i].Inc()
+	s.met.lat[i].Observe(d)
+	if th := s.cfg.SlowOpThreshold; th > 0 && d >= th {
+		if s.cfg.SlowOp != nil {
+			s.cfg.SlowOp(id, typ, d)
+		} else {
+			s.cfg.Logf("netserver: slow request: id=%d type=%s took %v", id, typ, d)
+		}
+	}
+}
+
+// requestsServed sums the per-type counters — the RequestsTotal gauge of
+// the status response.
+func (s *NetServer) requestsServed() uint64 {
+	var n uint64
+	for i := range s.met.reqs {
+		n += s.met.reqs[i].Value()
+	}
+	return n
 }
 
 // task is one decoded version-2 request queued for the worker pool.
@@ -288,6 +371,7 @@ func Listen(cfg Config) (*NetServer, error) {
 	for _, lm := range cfg.Server.Landmarks() {
 		s.local[lm] = true
 	}
+	s.initMetrics()
 	// A durable backend's committed op stream is served to follower
 	// processes; replica-role nodes never serve follows (a follower of a
 	// follower would replicate a copy, not the source of truth).
@@ -309,7 +393,9 @@ func (s *NetServer) worker() {
 	for {
 		select {
 		case t := <-s.tasks:
+			start := time.Now()
 			typ, resp := s.handleReq(t.typ, t.payload)
+			s.observeReq(t.typ, t.id, time.Since(start))
 			proto.PutBuf(t.payload)
 			s.respond(t.wc, outFrame{typ: typ, id: t.id, payload: resp})
 		case <-s.closed:
@@ -470,12 +556,18 @@ func (s *NetServer) handle(nc net.Conn) {
 			}
 			// Hand the request to the pool; block when it is saturated so
 			// a flooding client feels backpressure instead of growing an
-			// unbounded queue.
+			// unbounded queue. The non-blocking first try costs nothing
+			// when the pool keeps up and counts every time it does not.
 			select {
 			case s.tasks <- task{wc: wc, typ: typ, id: id, payload: payload}:
-			case <-s.closed:
-				proto.PutBuf(payload)
-				return
+			default:
+				s.met.queueSat.Inc()
+				select {
+				case s.tasks <- task{wc: wc, typ: typ, id: id, payload: payload}:
+				case <-s.closed:
+					proto.PutBuf(payload)
+					return
+				}
 			}
 			continue
 		}
@@ -497,7 +589,9 @@ func (s *NetServer) handle(nc net.Conn) {
 		}
 		// Version 1 stays strictly serial and in order: old clients send
 		// one request at a time and rely on lock-step responses.
+		start := time.Now()
 		respType, resp := s.handleReq(typ, payload)
+		s.observeReq(typ, 0, time.Since(start))
 		proto.PutBuf(payload)
 		if err := wc.writeV1(respType, resp); err != nil {
 			s.cfg.Logf("netserver: write: %v", err)
@@ -604,11 +698,17 @@ func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType,
 			st.WalTail = ds.TailRecords
 			st.ReplayMillis = uint32(ds.ReplayTime.Milliseconds())
 			st.Applied, st.Head = ds.Head, ds.Head
+			st.WalFsyncs = ds.Log.Fsyncs
 		}
 		if s.cfg.Replication != nil {
 			st.Applied = s.cfg.Replication.Applied()
 			st.Head = s.cfg.Replication.Head()
 		}
+		if np, ok := s.cfg.Server.(interface{ NumPeers() int }); ok {
+			st.Peers = uint64(np.NumPeers())
+		}
+		st.QueueDepth = uint32(len(s.tasks))
+		st.RequestsTotal = s.requestsServed()
 		b, err := proto.EncodeStatus(st)
 		if err != nil {
 			return errResp(proto.CodeInternal, err)

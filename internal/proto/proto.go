@@ -127,6 +127,49 @@ const (
 	MsgOpAck
 )
 
+// msgTypeNames names every message type, indexed by its wire value. The
+// strings double as the stable "type" label of the per-message-type
+// telemetry series, so they are lower_snake and never renamed.
+var msgTypeNames = [...]string{
+	MsgError:                     "error",
+	MsgAck:                       "ack",
+	MsgLandmarksRequest:          "landmarks_request",
+	MsgLandmarksResponse:         "landmarks_response",
+	MsgJoinRequest:               "join_request",
+	MsgJoinResponse:              "join_response",
+	MsgLookupRequest:             "lookup_request",
+	MsgLookupResponse:            "lookup_response",
+	MsgLeaveRequest:              "leave_request",
+	MsgRefreshRequest:            "refresh_request",
+	MsgRedirect:                  "redirect",
+	MsgForwardedJoinRequest:      "forwarded_join_request",
+	MsgHello:                     "hello",
+	MsgHelloAck:                  "hello_ack",
+	MsgBatchJoinRequest:          "batch_join_request",
+	MsgBatchJoinResponse:         "batch_join_response",
+	MsgForwardedBatchJoinRequest: "forwarded_batch_join_request",
+	MsgStatusRequest:             "status_request",
+	MsgStatusResponse:            "status_response",
+	MsgFollowRequest:             "follow_request",
+	MsgFollowHead:                "follow_head",
+	MsgOpRecords:                 "op_records",
+	MsgOpChunk:                   "op_chunk",
+	MsgSnapshotChunk:             "snapshot_chunk",
+	MsgOpAck:                     "op_ack",
+}
+
+// NumMsgTypes is one past the highest defined message type — the size of
+// a per-type lookup table.
+const NumMsgTypes = int(MsgOpAck) + 1
+
+// String names the message type for logs and metric labels.
+func (t MsgType) String() string {
+	if int(t) < len(msgTypeNames) && msgTypeNames[t] != "" {
+		return msgTypeNames[t]
+	}
+	return "unknown"
+}
+
 // Limits protect the decoder. They are generous relative to real usage
 // (Internet paths are < 64 hops; answers are a handful of peers).
 const (
@@ -1018,6 +1061,22 @@ type Status struct {
 	// durable primary, both equal the committed head.
 	Applied uint64
 	Head    uint64
+
+	// Operational gauges appended by telemetry-aware builds, zero when
+	// talking to an older node (the decoder tolerates their absence
+	// exactly as it tolerates the durability block's).
+
+	// Peers is the number of peers registered with the node's backend.
+	Peers uint64
+	// QueueDepth is the worker pool's queued pipelined requests at the
+	// moment the status was served.
+	QueueDepth uint32
+	// RequestsTotal is the number of requests the front end has served
+	// across all message types.
+	RequestsTotal uint64
+	// WalFsyncs is the write-ahead log's fsync count (0 on non-durable
+	// nodes).
+	WalFsyncs uint64
 }
 
 // EncodeStatus encodes a Status payload.
@@ -1035,6 +1094,10 @@ func EncodeStatus(m *Status) ([]byte, error) {
 	enc.u32(m.ReplayMillis)
 	enc.u64(m.Applied)
 	enc.u64(m.Head)
+	enc.u64(m.Peers)
+	enc.u32(m.QueueDepth)
+	enc.u64(m.RequestsTotal)
+	enc.u64(m.WalFsyncs)
 	return enc.buf, nil
 }
 
@@ -1076,6 +1139,21 @@ func DecodeStatus(b []byte) (*Status, error) {
 		return nil, err
 	}
 	if m.Head, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if d.remaining() == 0 {
+		return m, nil // a pre-gauge node: the operational gauges stay zero
+	}
+	if m.Peers, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if m.QueueDepth, err = d.u32(); err != nil {
+		return nil, err
+	}
+	if m.RequestsTotal, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if m.WalFsyncs, err = d.u64(); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -645,3 +645,97 @@ func TestBatchJoinResponseTruncated(t *testing.T) {
 		}
 	}
 }
+
+// --- status ---
+
+func statusFixture() *Status {
+	return &Status{
+		Role: RoleReplica, Shards: 4, Replicas: 3, Live: 11,
+		PrimaryAddr: "10.0.0.1:4100",
+		SnapshotSeq: 9000, WalTail: 250, ReplayMillis: 42,
+		Applied: 9240, Head: 9250,
+		Peers: 77, QueueDepth: 5, RequestsTotal: 123456, WalFsyncs: 890,
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	m := statusFixture()
+	b, err := EncodeStatus(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeStatus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Fatalf("got=%+v want=%+v", got, m)
+	}
+}
+
+// TestStatusDecodeOldPayloads: the status report has grown twice (the
+// durability block, then the operational gauges); today's decoder must
+// accept both older generations' payloads with the newer fields zero —
+// that is the wire-compat contract that lets mixed-version deployments
+// scrape each other.
+func TestStatusDecodeOldPayloads(t *testing.T) {
+	m := statusFixture()
+	b, err := EncodeStatus(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const gaugeBytes = 8 + 4 + 8 + 8  // Peers, QueueDepth, RequestsTotal, WalFsyncs
+	const duraBytes = 8 + 8 + 4 + 8 + 8 // SnapshotSeq..Head
+
+	// A pre-gauge node: payload stops after Head.
+	got, err := DecodeStatus(b[:len(b)-gaugeBytes])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := *m
+	want.Peers, want.QueueDepth, want.RequestsTotal, want.WalFsyncs = 0, 0, 0, 0
+	if *got != want {
+		t.Fatalf("pre-gauge decode got=%+v want=%+v", got, want)
+	}
+
+	// A pre-durability node: payload stops after PrimaryAddr.
+	got, err = DecodeStatus(b[:len(b)-gaugeBytes-duraBytes])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = Status{Role: m.Role, Shards: m.Shards, Replicas: m.Replicas,
+		Live: m.Live, PrimaryAddr: m.PrimaryAddr}
+	if *got != want {
+		t.Fatalf("pre-durability decode got=%+v want=%+v", got, want)
+	}
+
+	// Truncation INSIDE either appended block is corruption, not an old
+	// node, and must be rejected.
+	for _, cut := range []int{1, gaugeBytes - 1, gaugeBytes + 1, gaugeBytes + duraBytes - 1} {
+		if _, err := DecodeStatus(b[:len(b)-cut]); err == nil {
+			t.Fatalf("mid-field truncation (−%d bytes) accepted", cut)
+		}
+	}
+
+	// Trailing bytes are a FUTURE extension and must be tolerated, so the
+	// next block added to the report does not break this build's clients.
+	got, err = DecodeStatus(append(append([]byte(nil), b...), 0xde, 0xad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Fatalf("extended decode got=%+v want=%+v", got, m)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for typ := 1; typ < NumMsgTypes; typ++ {
+		s := MsgType(typ).String()
+		if s == "" || s == "unknown" {
+			t.Fatalf("message type %d has no name", typ)
+		}
+	}
+	if s := MsgType(250).String(); s != "unknown" {
+		t.Fatalf("out-of-range type named %q", s)
+	}
+}

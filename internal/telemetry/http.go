@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Handler serves the registry as Prometheus text exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewOpsMux builds the operational endpoint proxdisc-server mounts on
+// -metrics-addr: /metrics (Prometheus exposition of r), /debug/pprof/*
+// (the standard Go profiler), and /debug/vars (expvar, which carries
+// cmdline and memstats).
+func NewOpsMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// goStats exposes the Go runtime's vitals as one collector: goroutine
+// count plus the memstats series every Go dashboard expects. MemStats is
+// read once per scrape, not once per series.
+type goStats struct{}
+
+// Name implements Metric. The name sorts the collector among the go_*
+// series it emits.
+func (goStats) Name() string { return "go_goroutines" }
+
+func (goStats) writeProm(w *promWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge := func(name string, v float64) {
+		w.typeLine(name, "gauge")
+		w.series(name, "", "")
+		w.float(v)
+	}
+	counter := func(name string, v uint64) {
+		w.typeLine(name, "counter")
+		w.series(name, "", "")
+		w.uint(v)
+	}
+	gauge("go_goroutines", float64(runtime.NumGoroutine()))
+	gauge("go_memstats_heap_alloc_bytes", float64(ms.HeapAlloc))
+	gauge("go_memstats_heap_sys_bytes", float64(ms.HeapSys))
+	gauge("go_memstats_heap_objects", float64(ms.HeapObjects))
+	gauge("go_memstats_stack_inuse_bytes", float64(ms.StackInuse))
+	gauge("go_memstats_next_gc_bytes", float64(ms.NextGC))
+	counter("go_memstats_alloc_bytes_total", ms.TotalAlloc)
+	counter("go_memstats_mallocs_total", ms.Mallocs)
+	counter("go_gc_cycles_total", uint64(ms.NumGC))
+	gauge("go_gc_pause_total_seconds", float64(ms.PauseTotalNs)/1e9)
+}
+
+// RegisterGoMetrics adds the Go runtime collector (goroutines, heap,
+// GC) to the registry.
+func RegisterGoMetrics(r *Registry) {
+	r.Register(goStats{})
+}

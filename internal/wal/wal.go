@@ -37,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"proxdisc/internal/telemetry"
 )
 
 const (
@@ -80,6 +82,11 @@ type Options struct {
 	// to reading the log's files when they lag. Use SetOnAppend to
 	// install it after Open.
 	OnAppend func(seq uint64, rec []byte)
+	// Telemetry, when set, exposes the log's counters and append-latency
+	// histogram (the proxdisc_wal_* series) through the registry. Without
+	// it the metrics are still collected — Metrics() reads them — just not
+	// exported.
+	Telemetry *telemetry.Registry
 }
 
 // Log is an append-only record log. Append is safe for concurrent use;
@@ -101,10 +108,13 @@ type Log struct {
 	syncMu sync.Mutex    // serializes flush+fsync cycles (group commit)
 	synced atomic.Uint64 // last sequence known durable
 
-	// Group-commit telemetry (see Metrics).
-	appends       atomic.Uint64 // records appended
-	fsyncs        atomic.Uint64 // fsync syscalls issued
-	syncedRecords atomic.Uint64 // records those fsyncs made durable
+	// Group-commit telemetry. The telemetry types are the source of truth
+	// (registered under the proxdisc_wal_* names when Options.Telemetry is
+	// set); Metrics() is a compatibility view over them.
+	appends       *telemetry.Counter   // records appended
+	fsyncs        *telemetry.Counter   // fsync syscalls issued
+	syncedRecords *telemetry.Counter   // records those fsyncs made durable
+	appendLatency *telemetry.Histogram // Append call latency, fsync wait included
 }
 
 // Metrics reports a log's group-commit counters. SyncedRecords/Fsyncs is
@@ -139,13 +149,28 @@ type DurabilityStats struct {
 	Log Metrics
 }
 
-// Metrics returns the log's group-commit counters.
+// Metrics returns the log's group-commit counters: a compatibility view
+// over the telemetry registry's proxdisc_wal_* series, which are the
+// counters' home.
 func (l *Log) Metrics() Metrics {
 	return Metrics{
-		Appends:       l.appends.Load(),
-		Fsyncs:        l.fsyncs.Load(),
-		SyncedRecords: l.syncedRecords.Load(),
+		Appends:       l.appends.Value(),
+		Fsyncs:        l.fsyncs.Value(),
+		SyncedRecords: l.syncedRecords.Value(),
 	}
+}
+
+// initMetrics resolves the log's metric handles. With a registry the
+// series are registered for export (get-or-create, so a reopened log in
+// the same process keeps counting the same series); without one they are
+// private to this Log, which is what per-instance tests of exact counts
+// rely on.
+func (l *Log) initMetrics() {
+	r := l.opts.Telemetry
+	l.appends = r.Counter("proxdisc_wal_appends_total")
+	l.fsyncs = r.Counter("proxdisc_wal_fsyncs_total")
+	l.syncedRecords = r.Counter("proxdisc_wal_synced_records_total")
+	l.appendLatency = r.Histogram("proxdisc_wal_append_duration_seconds")
 }
 
 // SetOnAppend installs (or, with nil, removes) the append observer after
@@ -190,6 +215,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts}
+	l.initMetrics()
 	segs, err := l.segments()
 	if err != nil {
 		return nil, err
@@ -374,6 +400,7 @@ func (l *Log) Append(recs ...[]byte) (uint64, error) {
 	if len(recs) == 0 {
 		return l.LastSeq(), nil
 	}
+	start := time.Now()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -398,7 +425,7 @@ func (l *Log) Append(recs ...[]byte) (uint64, error) {
 		l.bw.Write(hdr[:])
 		l.bw.Write(rec)
 		l.segSize += frameHeader + int64(len(rec))
-		l.appends.Add(1)
+		l.appends.Inc()
 		if l.opts.OnAppend != nil {
 			l.opts.OnAppend(l.seq, rec)
 		}
@@ -415,6 +442,7 @@ func (l *Log) Append(recs ...[]byte) (uint64, error) {
 	if err := l.syncTo(end); err != nil {
 		return 0, err
 	}
+	l.appendLatency.Observe(time.Since(start))
 	return end, nil
 }
 
@@ -428,7 +456,7 @@ func (l *Log) rotateLocked() error {
 		if err := l.seg.Sync(); err != nil {
 			return err
 		}
-		l.fsyncs.Add(1)
+		l.fsyncs.Inc()
 	}
 	// Everything assigned so far lives in the just-synced segment.
 	l.advanceSynced(l.seq)
@@ -497,7 +525,7 @@ func (l *Log) syncTo(target uint64) error {
 			l.mu.Unlock()
 			return err
 		}
-		l.fsyncs.Add(1)
+		l.fsyncs.Inc()
 	}
 	l.advanceSynced(flushed)
 	return nil

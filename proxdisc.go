@@ -168,12 +168,74 @@
 // Monitoring. Status responses (Client.Status) carry the durable
 // telemetry: last snapshot sequence, WAL tail length, recovery replay
 // time, and — on follower nodes — the applied/head pair whose difference
-// is the replication lag. SimulationConfig.Followers attaches wire-level
-// followers to a simulated deployment, and proxdisc-server logs lag and
-// group-commit batching on a live node.
+// is the replication lag. Telemetry-aware nodes additionally report their
+// peer count, worker-queue depth, served-request total, and WAL fsync
+// count in the same response; the decoder tolerates older nodes that omit
+// them. SimulationConfig.Followers attaches wire-level followers to a
+// simulated deployment, and proxdisc-server logs lag and group-commit
+// batching on a live node.
+//
+// # Observability
+//
+// Every layer instruments itself into a telemetry registry — a
+// dependency-free metric store whose hot path is a couple of atomic
+// operations on pre-resolved handles (zero allocations, no locks, no
+// lookups per request). Components accept a *TelemetryRegistry in their
+// configs (ClusterConfig.Telemetry, NetServerConfig.Telemetry,
+// FollowerConfig.Telemetry, ClientConfig.Telemetry); pass the process
+// default from Telemetry() to aggregate one process's layers into one
+// scrape, or a fresh registry to keep planes separate. A nil registry
+// costs nothing and records nothing.
+//
+// The registry serves the Prometheus text exposition. MetricsHandler
+// wraps a registry for embedding into any HTTP mux;
+// cmd/proxdisc-server -metrics-addr ADDR serves a full operational
+// endpoint — /metrics, expvar at /debug/vars, and net/http/pprof under
+// /debug/pprof/ — next to the node. The server binary also logs
+// structured records via log/slog (-log-level picks the floor) and, with
+// -slow-op DURATION, warns about every request served slower than the
+// threshold, tagged with its request ID and message type
+// (NetServerConfig.SlowOpThreshold and .SlowOp are the library-level
+// hooks).
+//
+// The exported series, by layer:
+//
+//   - Front end: proxdisc_requests_total{type=...} and
+//     proxdisc_request_duration_seconds{type=...} per message type;
+//     proxdisc_worker_queue_depth, proxdisc_worker_pool_size, and
+//     proxdisc_worker_queue_saturation_total for the pipelined worker
+//     pool.
+//   - Replication, primary side: proxdisc_followers_connected;
+//     proxdisc_follower_acked_seq{follower=ADDR} and
+//     proxdisc_follower_lag{follower=ADDR} per connected follower
+//     (unregistered when it departs);
+//     proxdisc_follower_send_window_stalls_total and
+//     proxdisc_follower_snapshot_catchups_total.
+//   - Replication, follower side: proxdisc_follow_applied_seq,
+//     proxdisc_follow_head_seq, proxdisc_follow_lag, and
+//     proxdisc_follow_reconnects_total.
+//   - Cluster: proxdisc_peers; proxdisc_shard_peers{shard=N} and
+//     proxdisc_shard_apply_total{shard=N} per shard;
+//     proxdisc_scatter_fanout_total, proxdisc_handoffs_total, and
+//     proxdisc_checkpoint_duration_seconds.
+//   - Write-ahead log: proxdisc_wal_appends_total,
+//     proxdisc_wal_fsyncs_total, proxdisc_wal_synced_records_total, and
+//     proxdisc_wal_append_duration_seconds.
+//   - Client: proxdisc_client_inflight, proxdisc_client_retries_total,
+//     proxdisc_client_redirects_total, and
+//     proxdisc_client_failovers_total.
+//   - Go runtime (via telemetry.RegisterGoMetrics, on by default in
+//     proxdisc-server): go_goroutines, go_memstats_* heap and GC gauges,
+//     and go_gc_* cycle and pause counters.
+//
+// Histograms use power-of-two latency buckets from 1µs to ~69s and export
+// cumulative _bucket/_sum/_count series; quantiles (Histogram.Quantile)
+// interpolate within the covering bucket, accurate to within a factor of
+// two anywhere in the range.
 package proxdisc
 
 import (
+	"net/http"
 	"time"
 
 	"proxdisc/internal/client"
@@ -186,6 +248,7 @@ import (
 	"proxdisc/internal/routing"
 	"proxdisc/internal/server"
 	"proxdisc/internal/streaming"
+	"proxdisc/internal/telemetry"
 	"proxdisc/internal/topology"
 	"proxdisc/internal/traceroute"
 )
@@ -285,6 +348,24 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) { return netserver.Sta
 // and replica layout, durability telemetry (snapshot seq, WAL tail,
 // replay time), and the applied/head replication position.
 type NodeStatus = proto.Status
+
+// TelemetryRegistry is a metric registry: counters, gauges, and latency
+// histograms with an allocation-free update path, serialized on demand as
+// the Prometheus text exposition. See "Observability" above for the
+// series the built-in components export.
+type TelemetryRegistry = telemetry.Registry
+
+// Telemetry returns the process-default metric registry — the one
+// cmd/proxdisc-server exports and the natural choice for
+// ClusterConfig.Telemetry, NetServerConfig.Telemetry,
+// FollowerConfig.Telemetry, and ClientConfig.Telemetry when one process
+// hosts one node.
+func Telemetry() *TelemetryRegistry { return telemetry.Default() }
+
+// MetricsHandler serves a registry's metrics in the Prometheus text
+// exposition, for embedding in an existing HTTP mux. (proxdisc-server's
+// -metrics-addr serves this plus expvar and pprof.)
+func MetricsHandler(r *TelemetryRegistry) http.Handler { return telemetry.Handler(r) }
 
 // LandmarkResponder answers UDP RTT probes for one landmark.
 type LandmarkResponder = netserver.LandmarkResponder
