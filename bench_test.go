@@ -8,14 +8,18 @@
 package proxdisc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"proxdisc/internal/client"
 	"proxdisc/internal/cluster"
 	"proxdisc/internal/experiment"
 	"proxdisc/internal/loadgen"
@@ -24,6 +28,7 @@ import (
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/proto"
 	"proxdisc/internal/server"
+	"proxdisc/internal/sub"
 	"proxdisc/internal/telemetry"
 	"proxdisc/internal/topology"
 	"proxdisc/internal/traceroute"
@@ -979,5 +984,284 @@ func waitFollower(b *testing.B, f *netserver.Follower, clu *cluster.Cluster) {
 			b.Fatalf("follower stuck at seq %d of %d (last err %v)", f.Applied(), head, f.Err())
 		}
 		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// BenchmarkSubscribeFanout measures the subscription plane's dispatch hot
+// path: one committed op evaluated against N registered filters and the
+// resulting event pushed into each subscriber's fixed ring, with a
+// consumer draining every ring concurrently. One op is one iteration, so
+// ns/op is the full fan-out latency and events/s the aggregate delivery
+// rate. ReportAllocs backs the zero-allocation contract of the
+// steady-state event path (the ring is fixed, the filter state is
+// pre-built) — benchcmp fails the run if allocs/op ever leaves 0.
+func BenchmarkSubscribeFanout(b *testing.B) {
+	for _, nsubs := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("subs=%d", nsubs), func(b *testing.B) {
+			srv, err := server.New(server.Config{Landmarks: []topology.NodeID{0}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const subject = pathtree.PeerID(1)
+			if _, err := srv.Join(subject, []topology.NodeID{5, 3, 0}); err != nil {
+				b.Fatal(err)
+			}
+			plane := sub.New(srv, nil)
+			defer plane.Close()
+			var delivered atomic.Uint64
+			for i := 0; i < nsubs; i++ {
+				sb, _, _, err := plane.Add(sub.Query{Kind: proto.QueryPeer, Peer: subject})
+				if err != nil {
+					b.Fatal(err)
+				}
+				go func() {
+					for {
+						select {
+						case <-sb.Ready():
+							for {
+								if _, ok := sb.Take(); !ok {
+									break
+								}
+								delivered.Add(1)
+							}
+						case <-sb.Done():
+							return
+						}
+					}
+				}()
+			}
+			// A refresh of a watched peer is the leanest delta: no backend
+			// lookup, one update event per subscriber.
+			refresh := op.Refresh(subject, 1)
+			// Warm up off the clock: the first dispatches grow goroutine
+			// stacks and channel buffers; the steady state allocates
+			// nothing, and that is what the zero-alloc gate measures.
+			const warmup = 64
+			for i := 0; i < warmup; i++ {
+				plane.FeedOp(uint64(i+1), refresh)
+			}
+			for delivered.Load() < uint64(warmup*nsubs) {
+				runtime.Gosched()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			want := delivered.Load()
+			for i := 0; i < b.N; i++ {
+				plane.FeedOp(uint64(warmup+i+1), refresh)
+				want += uint64(nsubs)
+				for delivered.Load() < want {
+					runtime.Gosched()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(nsubs*b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// newCountingProxy forwards a fresh listener to backend, counting every
+// byte relayed in either direction — the wire cost the primary pays for
+// whatever read plane runs through it.
+func newCountingProxy(b *testing.B, backend string) (addr string, total *atomic.Uint64) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	var bytes atomic.Uint64
+	relay := func(dst, src net.Conn) {
+		defer dst.Close()
+		defer src.Close()
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := src.Read(buf)
+			bytes.Add(uint64(n))
+			if n > 0 {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s, err := net.Dial("tcp", backend)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			go relay(s, c)
+			go relay(c, s)
+		}
+	}()
+	return ln.Addr().String(), &bytes
+}
+
+// servedOps sums everything the primary did for its clients: request
+// frames handled by the front end plus subscription events pushed.
+func servedOps(reg *telemetry.Registry) uint64 {
+	total := reg.Counter(`proxdisc_requests_total{type="unknown"}`).Value()
+	for t := 1; t < proto.NumMsgTypes; t++ {
+		total += reg.Counter(`proxdisc_requests_total{type="` + proto.MsgType(t).String() + `"}`).Value()
+	}
+	return total + reg.Counter("proxdisc_sub_events_total").Value()
+}
+
+// benchReadPlane runs the read-plane comparison scenario once: 100
+// clients each track one subject's k-closest set through 60 churn ticks,
+// either by polling once per tick (the pre-subscription pattern) or by
+// holding one live subscription. It returns the primary-side wire bytes
+// and served ops the tracking cost — the shared churn writes (issued on a
+// direct, uncounted connection) are subtracted from the op count.
+func benchReadPlane(b *testing.B, subscribe bool) (wireBytes, ops uint64) {
+	b.Helper()
+	const (
+		clients = 100
+		ticks   = 60
+	)
+	clu, err := cluster.New(cluster.Config{
+		Landmarks: []topology.NodeID{0},
+		DataDir:   b.TempDir(),
+		NoSync:    true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer clu.Close()
+	reg := telemetry.NewRegistry()
+	ns, err := netserver.Listen(netserver.Config{Addr: "127.0.0.1:0", Server: clu, Telemetry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ns.Close()
+
+	direct, err := client.Dial(ns.Addr(), 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer direct.Close()
+	leaf := func(i int) []int32 { return []int32{int32(2000 + i), int32(10 + i%10), 0} }
+	for i := 1; i <= clients; i++ {
+		if _, err := direct.Join(int64(i), fmt.Sprintf("peer-%d:7000", i), leaf(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	proxyAddr, proxied := newCountingProxy(b, ns.Addr())
+	cs := make([]*client.Client, clients)
+	for i := range cs {
+		if cs[i], err = client.Dial(proxyAddr, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		defer cs[i].Close()
+	}
+
+	// Everything from here on is the tracking cost under measurement.
+	baseBytes, baseOps := proxied.Load(), servedOps(reg)
+	var directOps uint64 // issued outside the proxy; subtracted below
+
+	var subs []*client.Subscription
+	if subscribe {
+		for i, c := range cs {
+			s, err := c.Subscribe(context.Background(), client.KClosest(int64(i+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			subs = append(subs, s)
+		}
+	}
+
+	for t := 0; t < ticks; t++ {
+		// One committed change per simulated second: a transient peer
+		// lands on some subject's own leaf router (always entering that
+		// subject's answer), and the previous one departs.
+		if t > 0 {
+			if err := direct.Leave(int64(5000 + t - 1)); err != nil {
+				b.Fatal(err)
+			}
+			directOps++
+		}
+		target := (t*7)%clients + 1
+		if _, err := direct.Join(int64(5000+t), fmt.Sprintf("churn-%d:7000", t), leaf(target)); err != nil {
+			b.Fatal(err)
+		}
+		directOps++
+		if !subscribe {
+			for i, c := range cs {
+				if _, err := c.Lookup(int64(i + 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	if subscribe {
+		// Quiesce: every cache must match a fresh (uncounted) lookup.
+		deadline := time.Now().Add(10 * time.Second)
+		for i, s := range subs {
+			for {
+				fresh, err := direct.Lookup(int64(i + 1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				directOps++
+				cache, ok := s.Cache()
+				if ok && benchCandsEqual(cache, fresh) {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatalf("subscription %d never converged (coherent=%v)", i+1, ok)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+	return proxied.Load() - baseBytes, servedOps(reg) - baseOps - directOps
+}
+
+func benchCandsEqual(a, b []proto.Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchmarkPollVsSubscribe is the read plane's headline comparison: 100
+// clients tracking their k-closest sets through 60 churn ticks, once via
+// the pre-subscription pattern (one Lookup per client per tick) and once
+// via live subscriptions. It reports the primary-side wire bytes and
+// served ops of each mode and their ratios, and fails outright if
+// subscriptions stop being at least 5x cheaper on either axis.
+func BenchmarkPollVsSubscribe(b *testing.B) {
+	var pollBytes, pollOps, subBytes, subOps uint64
+	for i := 0; i < b.N; i++ {
+		pollBytes, pollOps = benchReadPlane(b, false)
+		subBytes, subOps = benchReadPlane(b, true)
+	}
+	byteRatio := float64(pollBytes) / float64(subBytes)
+	opRatio := float64(pollOps) / float64(subOps)
+	b.ReportMetric(float64(pollBytes), "poll-bytes")
+	b.ReportMetric(float64(subBytes), "sub-bytes")
+	b.ReportMetric(byteRatio, "bytes-ratio")
+	b.ReportMetric(float64(pollOps), "poll-ops")
+	b.ReportMetric(float64(subOps), "sub-ops")
+	b.ReportMetric(opRatio, "ops-ratio")
+	if byteRatio < 5 || opRatio < 5 {
+		b.Fatalf("subscriptions must be >=5x cheaper: bytes %d vs %d (%.1fx), ops %d vs %d (%.1fx)",
+			pollBytes, subBytes, byteRatio, pollOps, subOps, opRatio)
 	}
 }

@@ -18,6 +18,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -29,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"proxdisc/internal/conf"
 	"proxdisc/internal/proto"
 	"proxdisc/internal/telemetry"
 )
@@ -56,7 +58,14 @@ const DefaultMaxInFlight = 64
 
 // Config tunes a Client connection.
 type Config struct {
-	// Timeout bounds each request/response exchange (default 10s).
+	// Common holds the knobs shared with the other networked components
+	// (conf.Common). Common.Telemetry and Common.Backoff are used when the
+	// deprecated flat fields below are unset; the client logs nothing, so
+	// Common.Logger is accepted and ignored.
+	conf.Common
+	// Timeout bounds each request/response exchange (default 10s). The
+	// context-first methods bound each call by min(Timeout, the context's
+	// deadline).
 	Timeout time.Duration
 	// MaxInFlight caps how many requests may be outstanding on the
 	// connection at once when pipelining is negotiated (default
@@ -87,12 +96,18 @@ type Config struct {
 	// FailoverBackoff is the initial pause before the second and later
 	// transport retries (default 50ms). Not-primary redirects retry
 	// immediately.
+	//
+	// Deprecated: set Common.Backoff instead. When both are set, this
+	// field wins.
 	FailoverBackoff time.Duration
 	// Telemetry, when set, receives the client's operational metrics:
 	// proxdisc_client_inflight (pipelined requests currently outstanding),
 	// proxdisc_client_retries_total, proxdisc_client_redirects_total, and
 	// proxdisc_client_failovers_total. Aux connections (redirect targets,
 	// failover redials) report into the same series.
+	//
+	// Deprecated: set Common.Telemetry instead. When both are set, this
+	// field wins.
 	Telemetry *telemetry.Registry
 }
 
@@ -149,10 +164,11 @@ type Client struct {
 	readDone chan struct{} // closed when readLoop exits
 
 	auxMu   sync.Mutex
-	aux     map[string]*Client // cluster nodes discovered through redirects
-	home    map[int64]string   // address of the node that served each peer's join
-	primary string             // primary address learned from CodeNotPrimary ("" = the dialled one)
-	closed  bool               // guards against dialling new aux connections after Close
+	aux     map[string]*Client         // cluster nodes discovered through redirects
+	home    map[int64]string           // address of the node that served each peer's join
+	primary string                     // primary address learned from CodeNotPrimary ("" = the dialled one)
+	subs    map[*Subscription]struct{} // live subscriptions feeding CachedLookup
+	closed  bool                       // guards against dialling new aux connections after Close
 
 	met clientMetrics
 }
@@ -198,6 +214,8 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 
 // DialConfig connects to the management server.
 func DialConfig(addr string, cfg Config) (*Client, error) {
+	cfg.Telemetry = cfg.Common.ResolveTelemetry(cfg.Telemetry)
+	cfg.FailoverBackoff = cfg.Common.ResolveBackoff(cfg.FailoverBackoff, 0)
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 10 * time.Second
 	}
@@ -317,17 +335,24 @@ func (c *Client) readLoop() {
 	}
 }
 
-// Close releases the connection and any connections opened while following
-// redirects.
+// Close releases the connection, any connections opened while following
+// redirects, and any live subscriptions.
 func (c *Client) Close() error {
 	c.auxMu.Lock()
 	c.closed = true
 	for _, a := range c.aux {
 		a.Close()
 	}
+	subs := make([]*Subscription, 0, len(c.subs))
+	for s := range c.subs {
+		subs = append(subs, s)
+	}
 	c.aux = nil
 	c.home = nil
 	c.auxMu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.conn.Close()
@@ -437,6 +462,18 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 	return d
 }
 
+// callTimeout bounds one exchange: Config.Timeout, tightened by the
+// context's deadline when that is sooner.
+func (c *Client) callTimeout(ctx context.Context) time.Duration {
+	d := c.timeout
+	if dl, ok := ctx.Deadline(); ok {
+		if until := time.Until(dl); until < d {
+			d = until
+		}
+	}
+	return d
+}
+
 // isClosed reports whether Close has been called on this client.
 func (c *Client) isClosed() bool {
 	c.auxMu.Lock()
@@ -523,7 +560,7 @@ func (c *Client) noteFailoverFailure(target *Client) {
 // historic dead-connection redial) and bounded exponential backoff before
 // the later ones. Wire errors (*proto.Error) return immediately: redirect
 // policies live in the callers and never consume transport attempts.
-func (c *Client) transportRetry(maxAttempts int, resolve func() (*Client, error), op func(target *Client) error) error {
+func (c *Client) transportRetry(ctx context.Context, maxAttempts int, resolve func() (*Client, error), op func(target *Client) error) error {
 	for attempt := 1; ; attempt++ {
 		if attempt > 1 {
 			c.met.retries.Inc()
@@ -535,6 +572,11 @@ func (c *Client) transportRetry(maxAttempts int, resolve func() (*Client, error)
 			}
 			var werr *proto.Error
 			if errors.As(err, &werr) {
+				return err
+			}
+			if ctx.Err() != nil {
+				// The caller's context ended; the path is not at fault, so
+				// neither write it off nor burn retries against it.
 				return err
 			}
 			if isTimeout(err) {
@@ -565,7 +607,13 @@ func (c *Client) transportRetry(maxAttempts int, resolve func() (*Client, error)
 			return err
 		}
 		if attempt > 1 {
-			time.Sleep(c.backoffDelay(attempt - 1))
+			t := time.NewTimer(c.backoffDelay(attempt - 1))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
 		}
 	}
 }
@@ -577,16 +625,16 @@ func (c *Client) transportRetry(maxAttempts int, resolve func() (*Client, error)
 // owner; other protocol-level errors are returned as-is. Transport-level
 // failures follow the retry policy of the underlying path (see roundTrip
 // and peerRoundTripAt).
-func (c *Client) peerRoundTrip(peer int64, reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
+func (c *Client) peerRoundTrip(ctx context.Context, peer int64, reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
 	for redirects := 0; ; {
 		var (
 			resp []byte
 			err  error
 		)
 		if addr := c.homeAddr(peer); addr == "" {
-			resp, err = c.roundTrip(reqType, payload, wantType)
+			resp, err = c.roundTrip(ctx, reqType, payload, wantType)
 		} else {
-			resp, err = c.peerRoundTripAt(addr, reqType, payload, wantType)
+			resp, err = c.peerRoundTripAt(ctx, addr, reqType, payload, wantType)
 		}
 		if err == nil {
 			return resp, nil
@@ -612,13 +660,13 @@ func (c *Client) peerRoundTrip(peer int64, reqType proto.MsgType, payload []byte
 // peerRoundTripAt runs one peer-keyed request against the node at addr. A
 // dead cached connection is dropped and redialed — once, as always, or up
 // to Config.FailoverRetries times with bounded backoff.
-func (c *Client) peerRoundTripAt(addr string, reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
+func (c *Client) peerRoundTripAt(ctx context.Context, addr string, reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
 	var resp []byte
-	err := c.transportRetry(c.transportAttempts(),
+	err := c.transportRetry(ctx, c.transportAttempts(),
 		func() (*Client, error) { return c.auxClient(addr) },
 		func(target *Client) error {
 			var err error
-			resp, err = target.roundTrip(reqType, payload, wantType)
+			resp, err = target.roundTrip(ctx, reqType, payload, wantType)
 			return err
 		})
 	if err != nil {
@@ -631,13 +679,18 @@ func (c *Client) peerRoundTripAt(addr string, reqType proto.MsgType, payload []b
 // wire errors into *proto.Error values and returning the response type.
 // On a pipelined connection any number of exchanges proceed concurrently;
 // on version 1 they serialize on the connection lock.
-func (c *Client) exchange(reqType proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
-	if c.version >= proto.Version2 {
-		return c.exchangePipelined(reqType, payload)
+func (c *Client) exchange(ctx context.Context, reqType proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
 	}
+	if c.version >= proto.Version2 {
+		return c.exchangePipelined(ctx, reqType, payload)
+	}
+	// The lock-step path maps the context's deadline onto the connection
+	// deadline; a mid-wait cancellation surfaces when that deadline fires.
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	deadline := time.Now().Add(c.timeout)
+	deadline := time.Now().Add(c.callTimeout(ctx))
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		return 0, nil, fmt.Errorf("client: set deadline: %w", err)
 	}
@@ -655,11 +708,13 @@ func (c *Client) exchange(reqType proto.MsgType, payload []byte) (proto.MsgType,
 // take an in-flight slot, register a completion channel under a fresh
 // request ID, write the frame, and wait for the demux goroutine (or a
 // timeout, or connection death).
-func (c *Client) exchangePipelined(reqType proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
+func (c *Client) exchangePipelined(ctx context.Context, reqType proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
 	select {
 	case c.slots <- struct{}{}:
 	case <-c.readDone:
 		return 0, nil, c.readError()
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
 	}
 	c.met.inflight.Inc()
 	defer func() {
@@ -677,10 +732,11 @@ func (c *Client) exchangePipelined(reqType proto.MsgType, payload []byte) (proto
 	c.pending[id] = ch
 	c.pmu.Unlock()
 
+	timeout := c.callTimeout(ctx)
 	c.waiters.Add(1)
 	c.wmu.Lock()
 	c.waiters.Add(-1)
-	err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	err := c.conn.SetWriteDeadline(time.Now().Add(timeout))
 	if err == nil {
 		err = proto.WriteFrameID(c.bw, reqType, id, payload)
 	}
@@ -695,7 +751,7 @@ func (c *Client) exchangePipelined(reqType proto.MsgType, payload []byte) (proto
 		return 0, nil, fmt.Errorf("client: send: %w", err)
 	}
 
-	timer := time.NewTimer(c.timeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
@@ -708,7 +764,15 @@ func (c *Client) exchangePipelined(reqType proto.MsgType, payload []byte) (proto
 			return decodeResp(r.typ, r.payload)
 		default:
 		}
-		return 0, nil, fmt.Errorf("%w after %v", errRequestTimeout, c.timeout)
+		return 0, nil, fmt.Errorf("%w after %v", errRequestTimeout, timeout)
+	case <-ctx.Done():
+		c.forget(id)
+		select {
+		case r := <-ch:
+			return decodeResp(r.typ, r.payload)
+		default:
+		}
+		return 0, nil, ctx.Err()
 	case <-c.readDone:
 		c.forget(id)
 		select {
@@ -755,16 +819,16 @@ func decodeResp(typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error
 // MaxRedirects, without spending transport attempts), and with
 // Config.FailoverRetries set, transport failures redial the path with
 // bounded backoff before giving up.
-func (c *Client) roundTrip(reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
+func (c *Client) roundTrip(ctx context.Context, reqType proto.MsgType, payload []byte, wantType proto.MsgType) ([]byte, error) {
 	for redirects := 0; ; {
 		var (
 			typ  proto.MsgType
 			resp []byte
 		)
-		err := c.transportRetry(1+c.cfg.FailoverRetries, c.primaryTarget,
+		err := c.transportRetry(ctx, 1+c.cfg.FailoverRetries, c.primaryTarget,
 			func(target *Client) error {
 				var err error
-				typ, resp, err = target.exchange(reqType, payload)
+				typ, resp, err = target.exchange(ctx, reqType, payload)
 				return err
 			})
 		if err == nil {
@@ -787,30 +851,43 @@ func (c *Client) roundTrip(reqType proto.MsgType, payload []byte, wantType proto
 	}
 }
 
-// Status reports the server node's replication role and shard layout. A
-// pre-status server answers with an unknown-message error.
-func (c *Client) Status() (*proto.Status, error) {
-	resp, err := c.roundTrip(proto.MsgStatusRequest, nil, proto.MsgStatusResponse)
+// StatusContext reports the server node's replication role and shard
+// layout. A pre-status server answers with an unknown-message error.
+func (c *Client) StatusContext(ctx context.Context) (*proto.Status, error) {
+	resp, err := c.roundTrip(ctx, proto.MsgStatusRequest, nil, proto.MsgStatusResponse)
 	if err != nil {
 		return nil, err
 	}
 	return proto.DecodeStatus(resp)
 }
 
-// Landmarks fetches the landmark router IDs and probe addresses.
-func (c *Client) Landmarks() (*proto.LandmarksResponse, error) {
-	resp, err := c.roundTrip(proto.MsgLandmarksRequest, nil, proto.MsgLandmarksResponse)
+// Status is StatusContext without cancellation, bounded by Config.Timeout
+// alone. Compatibility wrapper; new code should pass a context.
+func (c *Client) Status() (*proto.Status, error) {
+	return c.StatusContext(context.Background())
+}
+
+// LandmarksContext fetches the landmark router IDs and probe addresses.
+func (c *Client) LandmarksContext(ctx context.Context) (*proto.LandmarksResponse, error) {
+	resp, err := c.roundTrip(ctx, proto.MsgLandmarksRequest, nil, proto.MsgLandmarksResponse)
 	if err != nil {
 		return nil, err
 	}
 	return proto.DecodeLandmarksResponse(resp)
 }
 
-// Join registers this peer with its path and overlay address, returning the
-// closest-peer list. If the server answers with a redirect to the cluster
-// node owning the path's landmark, the client follows it (up to
+// Landmarks is LandmarksContext without cancellation, bounded by
+// Config.Timeout alone. Compatibility wrapper; new code should pass a
+// context.
+func (c *Client) Landmarks() (*proto.LandmarksResponse, error) {
+	return c.LandmarksContext(context.Background())
+}
+
+// JoinContext registers this peer with its path and overlay address,
+// returning the closest-peer list. If the server answers with a redirect to
+// the cluster node owning the path's landmark, the client follows it (up to
 // MaxRedirects hops).
-func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Candidate, error) {
+func (c *Client) JoinContext(ctx context.Context, peer int64, overlayAddr string, path []int32) ([]proto.Candidate, error) {
 	payload, err := proto.EncodeJoinRequest(&proto.JoinRequest{Peer: peer, Addr: overlayAddr, Path: path})
 	if err != nil {
 		return nil, err
@@ -833,9 +910,9 @@ func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Can
 			typ  proto.MsgType
 			resp []byte
 		)
-		err := c.transportRetry(maxAttempts, resolve, func(target *Client) error {
+		err := c.transportRetry(ctx, maxAttempts, resolve, func(target *Client) error {
 			var err error
-			typ, resp, err = target.exchange(proto.MsgJoinRequest, payload)
+			typ, resp, err = target.exchange(ctx, proto.MsgJoinRequest, payload)
 			return err
 		})
 		if err != nil {
@@ -866,15 +943,21 @@ func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Can
 	}
 }
 
-// ForwardJoin relays a join to the cluster node that owns its landmark, on
-// behalf of another node. The callee answers locally and never relays
-// further.
-func (c *Client) ForwardJoin(peer int64, overlayAddr string, path []int32) ([]proto.Candidate, error) {
+// Join is JoinContext without cancellation, bounded by Config.Timeout per
+// exchange. Compatibility wrapper; new code should pass a context.
+func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Candidate, error) {
+	return c.JoinContext(context.Background(), peer, overlayAddr, path)
+}
+
+// ForwardJoinContext relays a join to the cluster node that owns its
+// landmark, on behalf of another node. The callee answers locally and never
+// relays further.
+func (c *Client) ForwardJoinContext(ctx context.Context, peer int64, overlayAddr string, path []int32) ([]proto.Candidate, error) {
 	payload, err := proto.EncodeForwardedJoinRequest(&proto.JoinRequest{Peer: peer, Addr: overlayAddr, Path: path})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(proto.MsgForwardedJoinRequest, payload, proto.MsgJoinResponse)
+	resp, err := c.roundTrip(ctx, proto.MsgForwardedJoinRequest, payload, proto.MsgJoinResponse)
 	if err != nil {
 		return nil, err
 	}
@@ -885,23 +968,29 @@ func (c *Client) ForwardJoin(peer int64, overlayAddr string, path []int32) ([]pr
 	return jr.Neighbors, nil
 }
 
-// ForwardJoinBatch relays a batch of joins to the cluster node that owns
-// their landmarks, on behalf of another node. The callee answers locally
-// and never relays further (each entry's landmark must be local there, or
-// it comes back CodeWrongShard). Against a version-1 node the batch
-// degrades to sequential singular forwards with the same semantics.
-func (c *Client) ForwardJoinBatch(items []BatchItem) ([]BatchResult, error) {
+// ForwardJoin is ForwardJoinContext without cancellation. Compatibility
+// wrapper; new code should pass a context.
+func (c *Client) ForwardJoin(peer int64, overlayAddr string, path []int32) ([]proto.Candidate, error) {
+	return c.ForwardJoinContext(context.Background(), peer, overlayAddr, path)
+}
+
+// ForwardJoinBatchContext relays a batch of joins to the cluster node that
+// owns their landmarks, on behalf of another node. The callee answers
+// locally and never relays further (each entry's landmark must be local
+// there, or it comes back CodeWrongShard). Against a version-1 node the
+// batch degrades to sequential singular forwards with the same semantics.
+func (c *Client) ForwardJoinBatchContext(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
 	out := make([]BatchResult, len(items))
 	if len(items) == 0 {
 		return out, nil
 	}
 	if c.version < proto.Version2 || c.maxBatch < 1 {
 		for i := range items {
-			out[i].Neighbors, out[i].Err = c.ForwardJoin(items[i].Peer, items[i].Addr, items[i].Path)
+			out[i].Neighbors, out[i].Err = c.ForwardJoinContext(ctx, items[i].Peer, items[i].Addr, items[i].Path)
 		}
 		return out, nil
 	}
-	err := c.batchRoundTrips(items, proto.MsgForwardedBatchJoinRequest, func(i int, r *proto.BatchJoinResult) {
+	err := c.batchRoundTrips(ctx, items, proto.MsgForwardedBatchJoinRequest, func(i int, r *proto.BatchJoinResult) {
 		if r.Code != 0 {
 			out[i].Err = &proto.Error{Code: r.Code, Message: r.Message}
 			return
@@ -914,11 +1003,17 @@ func (c *Client) ForwardJoinBatch(items []BatchItem) ([]BatchResult, error) {
 	return out, nil
 }
 
+// ForwardJoinBatch is ForwardJoinBatchContext without cancellation.
+// Compatibility wrapper; new code should pass a context.
+func (c *Client) ForwardJoinBatch(items []BatchItem) ([]BatchResult, error) {
+	return c.ForwardJoinBatchContext(context.Background(), items)
+}
+
 // batchRoundTrips chunks items into wire batches of the server's
 // advertised size, performs one reqType round trip per chunk, and hands
 // each result to apply with its position in items. Shared by JoinBatch
 // and ForwardJoinBatch, whose payloads are identical.
-func (c *Client) batchRoundTrips(items []BatchItem, reqType proto.MsgType, apply func(i int, r *proto.BatchJoinResult)) error {
+func (c *Client) batchRoundTrips(ctx context.Context, items []BatchItem, reqType proto.MsgType, apply func(i int, r *proto.BatchJoinResult)) error {
 	chunk := c.maxBatch
 	if chunk > proto.MaxBatch {
 		chunk = proto.MaxBatch
@@ -936,7 +1031,7 @@ func (c *Client) batchRoundTrips(items []BatchItem, reqType proto.MsgType, apply
 		if err != nil {
 			return err
 		}
-		resp, err := c.roundTrip(reqType, payload, proto.MsgBatchJoinResponse)
+		resp, err := c.roundTrip(ctx, reqType, payload, proto.MsgBatchJoinResponse)
 		if err != nil {
 			return err
 		}
@@ -970,8 +1065,8 @@ type BatchResult struct {
 	Err       error
 }
 
-// JoinBatch registers many peers in as few round trips as possible — the
-// flash-crowd path for agents fronting several newcomers. Against a
+// JoinBatchContext registers many peers in as few round trips as possible —
+// the flash-crowd path for agents fronting several newcomers. Against a
 // version-2 server the items travel in MsgBatchJoinRequest frames of up
 // to the server's advertised batch size; entries the server answers with
 // CodeWrongShard (their landmark lives on another cluster node) are
@@ -981,18 +1076,18 @@ type BatchResult struct {
 // The returned slice is positional: result i answers items[i]. The error
 // return is reserved for transport-level failures that void the whole
 // call; per-entry failures live in the results.
-func (c *Client) JoinBatch(items []BatchItem) ([]BatchResult, error) {
+func (c *Client) JoinBatchContext(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
 	out := make([]BatchResult, len(items))
 	if len(items) == 0 {
 		return out, nil
 	}
 	if c.version < proto.Version2 || c.maxBatch < 1 {
 		for i := range items {
-			out[i].Neighbors, out[i].Err = c.Join(items[i].Peer, items[i].Addr, items[i].Path)
+			out[i].Neighbors, out[i].Err = c.JoinContext(ctx, items[i].Peer, items[i].Addr, items[i].Path)
 		}
 		return out, nil
 	}
-	err := c.batchRoundTrips(items, proto.MsgBatchJoinRequest, func(i int, r *proto.BatchJoinResult) {
+	err := c.batchRoundTrips(ctx, items, proto.MsgBatchJoinRequest, func(i int, r *proto.BatchJoinResult) {
 		switch r.Code {
 		case 0:
 			out[i].Neighbors = r.Neighbors
@@ -1000,7 +1095,7 @@ func (c *Client) JoinBatch(items []BatchItem) ([]BatchResult, error) {
 		case proto.CodeWrongShard:
 			// The entry's landmark lives on another cluster node; the
 			// singular path follows the redirect there.
-			out[i].Neighbors, out[i].Err = c.Join(items[i].Peer, items[i].Addr, items[i].Path)
+			out[i].Neighbors, out[i].Err = c.JoinContext(ctx, items[i].Peer, items[i].Addr, items[i].Path)
 		default:
 			out[i].Err = &proto.Error{Code: r.Code, Message: r.Message}
 		}
@@ -1011,11 +1106,23 @@ func (c *Client) JoinBatch(items []BatchItem) ([]BatchResult, error) {
 	return out, nil
 }
 
-// Lookup re-queries the closest peers of a registered peer, at the node
-// holding its registration.
-func (c *Client) Lookup(peer int64) ([]proto.Candidate, error) {
-	resp, err := c.peerRoundTrip(peer, proto.MsgLookupRequest,
-		proto.EncodeLookupRequest(&proto.LookupRequest{Peer: peer}), proto.MsgLookupResponse)
+// JoinBatch is JoinBatchContext without cancellation. Compatibility
+// wrapper; new code should pass a context.
+func (c *Client) JoinBatch(items []BatchItem) ([]BatchResult, error) {
+	return c.JoinBatchContext(context.Background(), items)
+}
+
+// LookupContext answers a read query with one round trip to the node
+// holding the subject peer's registration. Only k-closest queries have a
+// pull form — LandmarkQuery and PeerQuery filters exist for Subscribe.
+// When the query caps K below the server's neighbor count the answer is
+// trimmed client-side, so pull and push report identical sets.
+func (c *Client) LookupContext(ctx context.Context, q Query) ([]proto.Candidate, error) {
+	if q.Kind != QueryKClosest {
+		return nil, fmt.Errorf("client: lookup supports only k-closest queries (kind %d)", q.Kind)
+	}
+	resp, err := c.peerRoundTrip(ctx, q.Peer, proto.MsgLookupRequest,
+		proto.EncodeLookupRequest(&proto.LookupRequest{Peer: q.Peer}), proto.MsgLookupResponse)
 	if err != nil {
 		return nil, err
 	}
@@ -1023,12 +1130,22 @@ func (c *Client) Lookup(peer int64) ([]proto.Candidate, error) {
 	if err != nil {
 		return nil, err
 	}
+	if q.K > 0 && len(lr.Neighbors) > q.K {
+		lr.Neighbors = lr.Neighbors[:q.K]
+	}
 	return lr.Neighbors, nil
 }
 
-// Leave deregisters a peer at the node holding its registration.
-func (c *Client) Leave(peer int64) error {
-	_, err := c.peerRoundTrip(peer, proto.MsgLeaveRequest,
+// Lookup re-queries the closest peers of a registered peer, at the node
+// holding its registration. Compatibility wrapper for
+// LookupContext(ctx, KClosest(peer)); new code should pass a context.
+func (c *Client) Lookup(peer int64) ([]proto.Candidate, error) {
+	return c.LookupContext(context.Background(), KClosest(peer))
+}
+
+// LeaveContext deregisters a peer at the node holding its registration.
+func (c *Client) LeaveContext(ctx context.Context, peer int64) error {
+	_, err := c.peerRoundTrip(ctx, peer, proto.MsgLeaveRequest,
 		proto.EncodeLeaveRequest(&proto.LeaveRequest{Peer: peer}), proto.MsgAck)
 	if err == nil {
 		c.setHome(peer, "")
@@ -1036,11 +1153,23 @@ func (c *Client) Leave(peer int64) error {
 	return err
 }
 
-// Refresh heartbeats a peer at the node holding its registration.
-func (c *Client) Refresh(peer int64) error {
-	_, err := c.peerRoundTrip(peer, proto.MsgRefreshRequest,
+// Leave is LeaveContext without cancellation. Compatibility wrapper; new
+// code should pass a context.
+func (c *Client) Leave(peer int64) error {
+	return c.LeaveContext(context.Background(), peer)
+}
+
+// RefreshContext heartbeats a peer at the node holding its registration.
+func (c *Client) RefreshContext(ctx context.Context, peer int64) error {
+	_, err := c.peerRoundTrip(ctx, peer, proto.MsgRefreshRequest,
 		proto.EncodeRefreshRequest(&proto.RefreshRequest{Peer: peer}), proto.MsgAck)
 	return err
+}
+
+// Refresh is RefreshContext without cancellation. Compatibility wrapper;
+// new code should pass a context.
+func (c *Client) Refresh(peer int64) error {
+	return c.RefreshContext(context.Background(), peer)
 }
 
 // ProbeRTT measures the round-trip time to a landmark probe responder with
@@ -1137,11 +1266,11 @@ type Agent struct {
 // ErrNoLandmark is returned when no landmark answered probes.
 var ErrNoLandmark = errors.New("client: no landmark reachable")
 
-// Join runs the two-round protocol for the given peer ID and returns the
-// closest-peer answer. The landmark fallback order is by measured RTT: if
-// the closest landmark cannot be traced, the next one is tried.
-func (a *Agent) Join(peer int64) ([]proto.Candidate, error) {
-	lms, err := a.Client.Landmarks()
+// JoinContext runs the two-round protocol for the given peer ID and returns
+// the closest-peer answer. The landmark fallback order is by measured RTT:
+// if the closest landmark cannot be traced, the next one is tried.
+func (a *Agent) JoinContext(ctx context.Context, peer int64) ([]proto.Candidate, error) {
+	lms, err := a.Client.LandmarksContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -1151,12 +1280,15 @@ func (a *Agent) Join(peer int64) ([]proto.Candidate, error) {
 	}
 	var lastErr error
 	for _, lm := range measured {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		path, err := a.Provider.PathTo(lm.Router)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		cands, err := a.Client.Join(peer, a.OverlayAddr, path)
+		cands, err := a.Client.JoinContext(ctx, peer, a.OverlayAddr, path)
 		if err != nil {
 			lastErr = err
 			continue
@@ -1164,4 +1296,10 @@ func (a *Agent) Join(peer int64) ([]proto.Candidate, error) {
 		return cands, nil
 	}
 	return nil, fmt.Errorf("client: join failed against every landmark: %w", lastErr)
+}
+
+// Join is JoinContext without cancellation. Compatibility wrapper; new
+// code should pass a context.
+func (a *Agent) Join(peer int64) ([]proto.Candidate, error) {
+	return a.JoinContext(context.Background(), peer)
 }

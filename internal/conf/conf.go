@@ -1,0 +1,58 @@
+// Package conf holds the configuration knobs every networked component of
+// proxdisc grew independently — telemetry sink, diagnostic logger, retry
+// backoff — as one embeddable struct. netserver.Config, FollowerConfig and
+// client.Config embed Common; their pre-existing flat fields remain as
+// deprecated aliases that win when set, so no caller breaks.
+package conf
+
+import (
+	"time"
+
+	"proxdisc/internal/telemetry"
+)
+
+// Common is the shared slice of component configuration.
+type Common struct {
+	// Telemetry, when set, receives the component's operational metrics.
+	// All components tolerate nil (metrics become no-ops).
+	Telemetry *telemetry.Registry
+	// Logger receives diagnostics; nil silences them.
+	Logger func(format string, args ...any)
+	// Backoff is the initial pause before a retry (reconnect, failover
+	// redial), doubling per attempt up to each component's cap. Zero means
+	// the component default.
+	Backoff time.Duration
+}
+
+// ResolveTelemetry returns the legacy field when set, else the embedded
+// one — the precedence every config applies at its entry point.
+func (c Common) ResolveTelemetry(legacy *telemetry.Registry) *telemetry.Registry {
+	if legacy != nil {
+		return legacy
+	}
+	return c.Telemetry
+}
+
+// ResolveLogger returns the legacy logger when set, else the embedded one,
+// else a silent logger — never nil.
+func (c Common) ResolveLogger(legacy func(format string, args ...any)) func(format string, args ...any) {
+	if legacy != nil {
+		return legacy
+	}
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return func(string, ...any) {}
+}
+
+// ResolveBackoff returns the legacy duration when set, else the embedded
+// one, else def.
+func (c Common) ResolveBackoff(legacy, def time.Duration) time.Duration {
+	if legacy > 0 {
+		return legacy
+	}
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return def
+}

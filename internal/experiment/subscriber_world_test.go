@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"proxdisc/internal/pathtree"
+	"proxdisc/internal/topology"
+)
+
+// TestWorldSubscriberTopology runs a simulation over a durable cluster
+// plane with live wire-level subscriptions attached to the earliest
+// arrivals: after the workload (joins and a churn of leaves), every
+// subscription's push-fed cache must match a fresh lookup of its subject
+// — the push read plane exercised from the experiment harness.
+func TestWorldSubscriberTopology(t *testing.T) {
+	w, err := BuildWorld(WorldConfig{
+		Topology: topology.Config{
+			Model:        topology.ModelBarabasiAlbert,
+			CoreRouters:  200,
+			LeafRouters:  200,
+			EdgesPerNode: 2,
+			Seed:         9,
+		},
+		NumLandmarks: 4,
+		DataDir:      t.TempDir(),
+		Subscribers:  3,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	if err := w.JoinN(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Subscriptions()); got != 3 {
+		t.Fatalf("want 3 live subscriptions, got %d", got)
+	}
+	if err := w.WaitSubscriptions(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn: non-subject peers leave, new ones arrive; the caches must
+	// track both directions of the answer set.
+	for p := pathtree.PeerID(10); p <= 25; p++ {
+		w.LeavePeer(p)
+	}
+	if err := w.JoinN(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitSubscriptions(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// A subject leaving orphans its cache: WaitSubscriptions skips it, the
+	// other subscriptions stay coherent.
+	w.LeavePeer(1)
+	if err := w.WaitSubscriptions(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -13,11 +14,13 @@ import (
 	"sort"
 	"time"
 
+	"proxdisc/internal/client"
 	"proxdisc/internal/cluster"
 	"proxdisc/internal/latency"
 	"proxdisc/internal/metrics"
 	"proxdisc/internal/netserver"
 	"proxdisc/internal/pathtree"
+	"proxdisc/internal/proto"
 	"proxdisc/internal/routing"
 	"proxdisc/internal/server"
 	"proxdisc/internal/topology"
@@ -91,6 +94,13 @@ type WorldConfig struct {
 	// cross-process replication path, end to end, inside one simulation.
 	// Requires DataDir (the op log is the stream's retention buffer).
 	Followers int
+	// Subscribers, when at least 1, gives that many of the earliest
+	// arrivals a live k-closest subscription over the TCP front end: each
+	// holds a push-fed cache of its neighbourhood for the rest of the run,
+	// so simulations exercise the push read plane under the same workload
+	// that drives the pull plane. Requires DataDir (subscriptions are fed
+	// from the committed op stream).
+	Subscribers int
 	// Trace configures the peers' traceroute tool.
 	Trace traceroute.Config
 	// UseDelays, when true, assigns link delays and routes by latency;
@@ -160,6 +170,12 @@ type World struct {
 	front        *netserver.NetServer
 	followers    []*netserver.Follower
 	followerSrvs []*server.Server
+
+	// subClient and subs are the push read plane under simulation
+	// (WorldConfig.Subscribers): one wire client holding a live k-closest
+	// subscription per subscribed arrival.
+	subClient *client.Client
+	subs      []*client.Subscription
 }
 
 // BuildWorld generates the topology, places landmarks, and starts a
@@ -217,15 +233,17 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		followers    []*netserver.Follower
 		followerSrvs []*server.Server
 	)
-	if cfg.Followers > 0 {
+	if cfg.Followers > 0 || cfg.Subscribers > 0 {
 		if clu == nil || cfg.DataDir == "" {
-			return nil, errors.New("experiment: follower topologies need a durable cluster plane (DataDir)")
+			return nil, errors.New("experiment: follower and subscriber topologies need a durable cluster plane (DataDir)")
 		}
 		front, err = netserver.Listen(netserver.Config{Addr: "127.0.0.1:0", Server: clu})
 		if err != nil {
 			clu.Close()
-			return nil, fmt.Errorf("experiment: follower front end: %w", err)
+			return nil, fmt.Errorf("experiment: wire front end: %w", err)
 		}
+	}
+	if cfg.Followers > 0 {
 		for i := 0; i < cfg.Followers; i++ {
 			fsrv, err := server.New(server.Config{
 				Landmarks:     landmarks,
@@ -249,6 +267,18 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			front.Close()
 			clu.Close()
 			return nil, fmt.Errorf("experiment: follower %d: %w", i, err)
+		}
+	}
+	var subClient *client.Client
+	if cfg.Subscribers > 0 {
+		subClient, err = client.Dial(front.Addr(), 5*time.Second)
+		if err != nil {
+			for _, f := range followers {
+				f.Close()
+			}
+			front.Close()
+			clu.Close()
+			return nil, fmt.Errorf("experiment: subscriber client: %w", err)
 		}
 	}
 	failovers := append([]FailoverEvent(nil), cfg.Failovers...)
@@ -281,6 +311,7 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		front:        front,
 		followers:    followers,
 		followerSrvs: followerSrvs,
+		subClient:    subClient,
 	}, nil
 }
 
@@ -316,11 +347,63 @@ func (w *World) WaitFollowers(timeout time.Duration) error {
 	return nil
 }
 
-// Close shuts the management plane down cleanly: follower nodes and the
-// TCP front end first, then — on a durable plane (WorldConfig.DataDir) —
-// a final snapshot flush and a clean WAL close. Worlds without a durable
-// plane need no Close.
+// Subscriptions returns the live subscriptions held by the earliest
+// arrivals (empty without WorldConfig.Subscribers).
+func (w *World) Subscriptions() []*client.Subscription { return w.subs }
+
+// WaitSubscriptions blocks until every live subscription's cache is
+// coherent and matches a fresh lookup of its subject — peer for peer,
+// distance for distance — or the timeout elapses. Subjects that have left
+// the system are skipped (their caches are deliberately orphaned).
+func (w *World) WaitSubscriptions(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, sub := range w.subs {
+		subject := pathtree.PeerID(sub.Query().Peer)
+		if _, ok := w.Attachments[subject]; !ok {
+			continue
+		}
+		for {
+			cache, ok := sub.Cache()
+			fresh, err := w.Server.Lookup(subject)
+			if ok && err == nil && subCacheMatches(cache, fresh) {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("experiment: subscription for peer %d stuck (coherent=%v, cache %d vs lookup %d, err %v)",
+					subject, ok, len(cache), len(fresh), err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// subCacheMatches compares a subscription's wire-level cache against a
+// management-plane answer. Addresses are not compared: simulation joins
+// register no overlay address, so both sides carry the empty string.
+func subCacheMatches(cache []proto.Candidate, fresh []pathtree.Candidate) bool {
+	if len(cache) != len(fresh) {
+		return false
+	}
+	for i := range cache {
+		if cache[i].Peer != int64(fresh[i].Peer) || cache[i].DTree != int32(fresh[i].DTree) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close shuts the management plane down cleanly: subscriptions, follower
+// nodes and the TCP front end first, then — on a durable plane
+// (WorldConfig.DataDir) — a final snapshot flush and a clean WAL close.
+// Worlds without a durable plane need no Close.
 func (w *World) Close() error {
+	for _, sub := range w.subs {
+		sub.Close()
+	}
+	if w.subClient != nil {
+		w.subClient.Close()
+	}
 	for _, f := range w.followers {
 		f.Close()
 	}
@@ -333,12 +416,24 @@ func (w *World) Close() error {
 	return nil
 }
 
-// noteJoin advances the arrival count and fires any scheduled failover
-// events it crossed: kills promote a surviving replica (buffering in-flight
-// joins exactly as a landmark handoff would), recoveries rebuild a failed
-// replica from a survivor's snapshot plus the logged tail.
-func (w *World) noteJoin() error {
+// noteJoin advances the arrival count, gives the earliest arrivals their
+// live subscriptions (WorldConfig.Subscribers), and fires any scheduled
+// failover events it crossed: kills promote a surviving replica (buffering
+// in-flight joins exactly as a landmark handoff would), recoveries rebuild
+// a failed replica from a survivor's snapshot plus the logged tail.
+func (w *World) noteJoin(p pathtree.PeerID) error {
 	w.joins++
+	if w.subClient != nil && len(w.subs) < w.Cfg.Subscribers {
+		sub, err := w.subClient.Subscribe(context.Background(), client.KClosest(int64(p)))
+		if err != nil {
+			return fmt.Errorf("experiment: subscribe to peer %d: %w", p, err)
+		}
+		w.subs = append(w.subs, sub)
+		go func() { // the cache is the surface; drain the event feed
+			for range sub.Events() {
+			}
+		}()
+	}
 	for w.nextEvent < len(w.failovers) && w.failovers[w.nextEvent].AfterJoins <= w.joins {
 		ev := w.failovers[w.nextEvent]
 		w.nextEvent++
@@ -407,7 +502,7 @@ func (w *World) JoinPeer(p pathtree.PeerID, att topology.NodeID) ([]pathtree.Can
 		return nil, err
 	}
 	w.Attachments[p] = att
-	if err := w.noteJoin(); err != nil {
+	if err := w.noteJoin(p); err != nil {
 		return nil, err
 	}
 	return cands, nil
@@ -477,7 +572,7 @@ func (w *World) joinBatched(n, base int) error {
 				return fmt.Errorf("experiment: batched join of peer %d: %w", items[k].Peer, r.Err)
 			}
 			w.Attachments[items[k].Peer] = atts[k]
-			if err := w.noteJoin(); err != nil {
+			if err := w.noteJoin(items[k].Peer); err != nil {
 				return err
 			}
 		}

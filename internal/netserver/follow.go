@@ -69,32 +69,18 @@ type followHub struct {
 	followers map[*wireConn]*followConn
 }
 
-// newFollowHub taps the source's commit stream. It returns nil when the
-// backend has no durable log (nothing to follow).
+// newFollowHub builds the follower registry. The commit tap itself
+// belongs to the NetServer (commitTap in subserver.go), which fans each
+// record out to this hub and the subscription plane; the caller installs
+// it and only builds a hub when the backend accepted it.
 func newFollowHub(s *NetServer, src FollowSource) *followHub {
-	h := &followHub{s: s, src: src, followers: make(map[*wireConn]*followConn)}
-	if _, ok := src.SetCommitTap(h.tap); !ok {
-		return nil
-	}
-	return h
+	return &followHub{s: s, src: src, followers: make(map[*wireConn]*followConn)}
 }
 
-// shutdown detaches the hub from the commit stream. Follower senders wind
-// down through the server's closed channel and dying connections.
-func (h *followHub) shutdown() {
-	h.src.SetCommitTap(nil)
-}
-
-// tap observes one committed record (called under the WAL's append lock,
-// in sequence order) and offers it to every follower's live buffer. The
-// record bytes are copied once and shared read-only across followers.
-func (h *followHub) tap(seq uint64, rec []byte) {
+// offerAll hands one committed record (already copied by the tap owner,
+// shared read-only) to every follower's live buffer, in sequence order.
+func (h *followHub) offerAll(seq uint64, data []byte) {
 	h.mu.Lock()
-	if len(h.followers) == 0 {
-		h.mu.Unlock()
-		return
-	}
-	data := append([]byte(nil), rec...)
 	for _, f := range h.followers {
 		f.offer(seq, data)
 	}

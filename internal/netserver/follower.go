@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"proxdisc/internal/client"
+	"proxdisc/internal/conf"
 	"proxdisc/internal/op"
 	"proxdisc/internal/server"
 	"proxdisc/internal/telemetry"
@@ -37,6 +38,11 @@ type FollowerBackend interface {
 
 // FollowerConfig configures a Follower.
 type FollowerConfig struct {
+	// Common holds the knobs shared with the other networked components
+	// (conf.Common): Common.Telemetry, Common.Logger and Common.Backoff
+	// are used when the deprecated flat Telemetry/Logf/ReconnectBackoff
+	// fields below are unset.
+	conf.Common
 	// PrimaryAddr is the primary node's TCP address.
 	PrimaryAddr string
 	// Backend is the local copy the stream is applied to.
@@ -51,13 +57,22 @@ type FollowerConfig struct {
 	// session picks up exactly where the last one stopped: catch-up runs
 	// from the acknowledged offset, via the primary's WAL tail — or its
 	// latest snapshot when the tail has been compacted away.
+	//
+	// Deprecated: set Common.Backoff instead. When both are set, this
+	// field wins.
 	ReconnectBackoff time.Duration
 	// Logf receives diagnostics; nil silences them.
+	//
+	// Deprecated: set Common.Logger instead. When both are set, this field
+	// wins.
 	Logf func(format string, args ...any)
 	// Telemetry, when set, receives the follower's applied/head/lag
 	// gauges (proxdisc_follow_applied_seq, proxdisc_follow_head_seq,
 	// proxdisc_follow_lag) and a reconnect counter
 	// (proxdisc_follow_reconnects_total).
+	//
+	// Deprecated: set Common.Telemetry instead. When both are set, this
+	// field wins.
 	Telemetry *telemetry.Registry
 }
 
@@ -77,6 +92,12 @@ type Follower struct {
 
 	sessMu sync.Mutex
 	sess   *client.FollowSession
+
+	// tapMu guards the optional observation hooks (ApplySource): a replica
+	// node's subscription plane feeds from them.
+	tapMu      sync.Mutex
+	applyTap   func(seq uint64, o op.Op)
+	restoreTap func()
 
 	reconnects *telemetry.Counter
 
@@ -98,12 +119,9 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 15 * time.Second
 	}
-	if cfg.ReconnectBackoff == 0 {
-		cfg.ReconnectBackoff = 50 * time.Millisecond
-	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
-	}
+	cfg.Telemetry = cfg.Common.ResolveTelemetry(cfg.Telemetry)
+	cfg.Logf = cfg.Common.ResolveLogger(cfg.Logf)
+	cfg.ReconnectBackoff = cfg.Common.ResolveBackoff(cfg.ReconnectBackoff, 50*time.Millisecond)
 	f := &Follower{cfg: cfg, closed: make(chan struct{})}
 	f.applied.Store(cfg.After)
 	f.reconnects = cfg.Telemetry.Counter("proxdisc_follow_reconnects_total")
@@ -202,6 +220,12 @@ func (f *Follower) ReplicateOp(seq uint64, o op.Op) error {
 	}
 	f.applied.Store(seq)
 	f.noteHead(seq)
+	f.tapMu.Lock()
+	tap := f.applyTap
+	f.tapMu.Unlock()
+	if tap != nil {
+		tap(seq, o)
+	}
 	return nil
 }
 
@@ -213,7 +237,29 @@ func (f *Follower) RestoreSnapshot(seq uint64, r io.Reader) error {
 	}
 	f.applied.Store(seq)
 	f.noteHead(seq)
+	f.tapMu.Lock()
+	tap := f.restoreTap
+	f.tapMu.Unlock()
+	if tap != nil {
+		tap()
+	}
 	return nil
+}
+
+// SetApplyTap installs a callback observing each applied op in sequence
+// order (ApplySource). Nil detaches.
+func (f *Follower) SetApplyTap(tap func(seq uint64, o op.Op)) {
+	f.tapMu.Lock()
+	f.applyTap = tap
+	f.tapMu.Unlock()
+}
+
+// SetRestoreTap installs a callback observing full snapshot restores
+// (ApplySource). Nil detaches.
+func (f *Follower) SetRestoreTap(fn func()) {
+	f.tapMu.Lock()
+	f.restoreTap = fn
+	f.tapMu.Unlock()
 }
 
 // Applied reports the last op sequence applied to the local copy.

@@ -33,10 +33,12 @@ import (
 	"time"
 
 	"proxdisc/internal/client"
+	"proxdisc/internal/conf"
 	"proxdisc/internal/op"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/proto"
 	"proxdisc/internal/server"
+	"proxdisc/internal/sub"
 	"proxdisc/internal/telemetry"
 	"proxdisc/internal/topology"
 )
@@ -95,6 +97,11 @@ const (
 
 // Config configures a NetServer.
 type Config struct {
+	// Common holds the knobs shared with the other networked components
+	// (conf.Common): Common.Telemetry and Common.Logger are used when the
+	// deprecated flat Telemetry/Logf fields below are unset. The front end
+	// has no backoff of its own, so Common.Backoff is accepted and ignored.
+	conf.Common
 	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
 	Addr string
 	// Server is the management logic to expose: a *server.Server or a
@@ -148,10 +155,16 @@ type Config struct {
 	// requests (default 30s).
 	ReadTimeout time.Duration
 	// Logf receives diagnostics; nil silences them.
+	//
+	// Deprecated: set Common.Logger instead. When both are set, this field
+	// wins.
 	Logf func(format string, args ...any)
 	// Telemetry, when set, registers the front end's metrics — per-type
 	// request counters and latency histograms, worker queue depth and
 	// saturation, and the replication-stream series — with the registry.
+	//
+	// Deprecated: set Common.Telemetry instead. When both are set, this
+	// field wins.
 	Telemetry *telemetry.Registry
 	// SlowOpThreshold, when positive, reports every request whose service
 	// time exceeds it through SlowOp (or, when SlowOp is nil, Logf). The
@@ -180,6 +193,16 @@ type NetServer struct {
 	// hub serves the committed op stream to follower processes; nil when
 	// the backend has no durable log to ship. See follow.go.
 	hub *followHub
+	// src is the durable backend whose commit tap this server owns (it
+	// fans out to hub and plane — see commitTap); nil when non-durable.
+	src FollowSource
+	// plane evaluates live query subscriptions; nil when this node has no
+	// op stream to feed it (non-durable primary, or replica without an
+	// ApplySource). See subserver.go.
+	plane *sub.Plane
+
+	subMu      sync.Mutex
+	subsByConn map[*wireConn]map[uint64]*sub.Subscriber
 
 	tasks chan task // pipelined requests awaiting a pool worker
 
@@ -312,6 +335,8 @@ func Listen(cfg Config) (*NetServer, error) {
 	if cfg.Server == nil {
 		return nil, errors.New("netserver: nil management server")
 	}
+	cfg.Telemetry = cfg.Common.ResolveTelemetry(cfg.Telemetry)
+	cfg.Logf = cfg.Common.ResolveLogger(cfg.Logf)
 	if cfg.ReadTimeout == 0 {
 		cfg.ReadTimeout = 30 * time.Second
 	}
@@ -345,9 +370,6 @@ func Listen(cfg Config) (*NetServer, error) {
 	if cfg.MaxBatch < 1 {
 		cfg.MaxBatch = 1
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
-	}
 	front, fwdPeers, err := openFrontState(cfg.DataDir)
 	if err != nil {
 		return nil, err
@@ -373,10 +395,24 @@ func Listen(cfg Config) (*NetServer, error) {
 	}
 	s.initMetrics()
 	// A durable backend's committed op stream is served to follower
-	// processes; replica-role nodes never serve follows (a follower of a
-	// follower would replicate a copy, not the source of truth).
+	// processes and to live query subscriptions; replica-role nodes never
+	// serve follows (a follower of a follower would replicate a copy, not
+	// the source of truth). The server owns the single commit tap and fans
+	// it out to both consumers.
 	if src, ok := cfg.Server.(FollowSource); ok && cfg.Role == RolePrimary {
-		s.hub = newFollowHub(s, src)
+		if _, ok := src.SetCommitTap(s.commitTap); ok {
+			s.src = src
+			s.hub = newFollowHub(s, src)
+			s.plane = sub.New(cfg.Server, cfg.Telemetry)
+		}
+	}
+	// A follower node serves subscriptions from its applied stream: the
+	// same filters, evaluated against the local copy, scaling the push
+	// read plane out with the replication tree.
+	if as, ok := cfg.Replication.(ApplySource); ok && cfg.Role == RoleReplica {
+		s.plane = sub.New(cfg.Server, cfg.Telemetry)
+		as.SetApplyTap(func(seq uint64, o op.Op) { s.plane.FeedOp(seq, o) })
+		as.SetRestoreTap(s.plane.ResyncAll)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -458,8 +494,15 @@ func (s *NetServer) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
-		if s.hub != nil {
-			s.hub.shutdown() // detach the commit tap before the backend outlives us
+		if s.src != nil {
+			s.src.SetCommitTap(nil) // detach the commit tap before the backend outlives us
+		}
+		if as, ok := s.cfg.Replication.(ApplySource); ok && s.cfg.Role == RoleReplica {
+			as.SetApplyTap(nil)
+			as.SetRestoreTap(nil)
+		}
+		if s.plane != nil {
+			s.plane.Close() // terminates subscribers, so their senders wind down
 		}
 		err = s.ln.Close()
 		s.mu.Lock()
@@ -515,6 +558,9 @@ func (s *NetServer) handle(nc net.Conn) {
 		if s.hub != nil {
 			s.hub.drop(wc)
 		}
+		if s.plane != nil {
+			s.dropSubs(wc)
+		}
 		if wc.out != nil {
 			close(wc.stop) // retire the writer goroutine
 		}
@@ -551,6 +597,14 @@ func (s *NetServer) handle(nc net.Conn) {
 				continue
 			case proto.MsgFollowRequest:
 				s.serveFollow(wc, id, payload)
+				proto.PutBuf(payload)
+				continue
+			case proto.MsgSubscribeRequest:
+				s.serveSubscribe(wc, id, payload)
+				proto.PutBuf(payload)
+				continue
+			case proto.MsgUnsubscribe:
+				s.serveUnsubscribe(wc, id, payload)
 				proto.PutBuf(payload)
 				continue
 			}

@@ -107,6 +107,63 @@ func FuzzDecodeBatchJoinRequest(f *testing.F) {
 // frames a follower accepts from whatever answers the primary's address.
 // Accepted op-record batches must re-encode byte-identically (the stream
 // rides the canonical op codec), and accepted chunks must round-trip.
+// FuzzSubscribe throws raw bytes at the subscription decoders, matching
+// FuzzOpStream: no panics, and — for the strict event decoder — canonical
+// re-encoding of anything accepted. SubscribeRequest/SubscribeAck/
+// Unsubscribe tolerate trailing bytes by design (forward compatibility),
+// so for those the round-trip check compares re-encodings instead of raw
+// input.
+func FuzzSubscribe(f *testing.F) {
+	if b, err := EncodeSubscribeRequest(&SubscribeRequest{Kind: QueryKClosest, Peer: 42, K: 8}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeSubscribeAck(&SubscribeAck{Seq: 7, Neighbors: []Candidate{{Peer: 3, DTree: 1, Addr: "x:1"}}}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeSubEvent(&SubEvent{Seq: 4, Kind: EventEnter, Cand: Candidate{Peer: 9, DTree: 3, Addr: "a:1"}}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeSubEvent(&SubEvent{Seq: 9, Kind: EventResync, Neighbors: []Candidate{{Peer: 1, DTree: 1, Addr: "b"}}}); err == nil {
+		f.Add(b)
+	}
+	f.Add(EncodeUnsubscribe(&Unsubscribe{SubID: 5}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeSubscribeRequest(data); err == nil {
+			re, err := EncodeSubscribeRequest(m)
+			if err != nil {
+				t.Fatalf("re-encode of accepted subscribe request failed: %v", err)
+			}
+			if m2, err := DecodeSubscribeRequest(re); err != nil || *m2 != *m {
+				t.Fatalf("subscribe request round trip diverged: %v", err)
+			}
+		}
+		if m, err := DecodeSubscribeAck(data); err == nil {
+			if len(m.Neighbors) > MaxNeighbors {
+				t.Fatalf("ack accepted %d neighbours", len(m.Neighbors))
+			}
+			if _, err := EncodeSubscribeAck(m); err != nil {
+				t.Fatalf("re-encode of accepted ack failed: %v", err)
+			}
+		}
+		if m, err := DecodeSubEvent(data); err == nil {
+			re, err := EncodeSubEvent(m)
+			if err != nil {
+				t.Fatalf("re-encode of accepted event failed: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("sub event encoding not canonical")
+			}
+		}
+		if m, err := DecodeUnsubscribe(data); err == nil {
+			re := EncodeUnsubscribe(m)
+			if m2, err := DecodeUnsubscribe(re); err != nil || m2.SubID != m.SubID {
+				t.Fatalf("unsubscribe round trip diverged: %v", err)
+			}
+		}
+	})
+}
+
 func FuzzOpStream(f *testing.F) {
 	f.Add(EncodeFollowRequest(&FollowRequest{After: 7}))
 	f.Add(EncodeFollowHead(&FollowHead{Head: 9}))

@@ -125,6 +125,22 @@ const (
 	// acknowledged-offset tracking for the bounded send window, and the
 	// follower's share of the idle heartbeat.
 	MsgOpAck
+	// MsgSubscribeRequest registers a live query subscription — a landmark,
+	// a peer, or a k-closest neighborhood — on the connection. Version-2
+	// framing only; every event frame that follows carries this request's
+	// ID.
+	MsgSubscribeRequest
+	// MsgSubscribeAck accepts a subscription, carrying the covering
+	// committed sequence and (for k-closest queries) the initial answer
+	// snapshot the pushed deltas apply to.
+	MsgSubscribeAck
+	// MsgSubEvent pushes one subscription delta: a peer entering, leaving,
+	// or updating within the subscribed set, or a resync snapshot after the
+	// subscriber fell behind the event stream.
+	MsgSubEvent
+	// MsgUnsubscribe cancels a subscription by its request ID; the server
+	// answers MsgAck and stops pushing events.
+	MsgUnsubscribe
 )
 
 // msgTypeNames names every message type, indexed by its wire value. The
@@ -156,11 +172,15 @@ var msgTypeNames = [...]string{
 	MsgOpChunk:                   "op_chunk",
 	MsgSnapshotChunk:             "snapshot_chunk",
 	MsgOpAck:                     "op_ack",
+	MsgSubscribeRequest:          "subscribe_request",
+	MsgSubscribeAck:              "subscribe_ack",
+	MsgSubEvent:                  "sub_event",
+	MsgUnsubscribe:               "unsubscribe",
 }
 
 // NumMsgTypes is one past the highest defined message type — the size of
 // a per-type lookup table.
-const NumMsgTypes = int(MsgOpAck) + 1
+const NumMsgTypes = int(MsgUnsubscribe) + 1
 
 // String names the message type for logs and metric labels.
 func (t MsgType) String() string {

@@ -175,6 +175,57 @@
 // simulated deployment, and proxdisc-server logs lag and group-commit
 // batching on a live node.
 //
+// # Live subscriptions
+//
+// The op stream also drives a push-based read plane. Instead of polling
+// Client.Lookup, a peer registers a live Query with Client.Subscribe: the
+// server evaluates every committed op against the subscription's filter
+// and pushes only the deltas — a peer entering the answer set
+// (EventEnter), leaving it (EventLeave), or changing inside it
+// (EventUpdate). Three filters exist, built with KClosestQuery, PeerQuery,
+// and LandmarkQuery: a registered peer's k-closest answer set (the push
+// form of Lookup, re-evaluated incrementally through the same path trees),
+// one peer's registration, and a whole landmark tree's membership.
+//
+// The subscription maintains a coherent local cache of the current answer.
+// Client.CachedLookup answers a k-closest query from that cache when a
+// covering subscription is live — zero round trips, zero server work — and
+// falls back to the wire transparently when none is. Pushed candidates
+// travel through the same address-resolution path as pull answers, so at
+// any quiescent point the cache is byte-identical to what a fresh Lookup
+// would return.
+//
+// Delivery is bounded end to end: each subscription has a fixed server-
+// side queue; a consumer that falls behind first has same-peer events
+// coalesced, then has its backlog dropped and replaced by one EventResync
+// carrying the full refreshed answer — the commit path never blocks on a
+// slow subscriber. A resync is also how a freshly reconnected subscription
+// rebuilds: after a connection death or a primary failover the client re-
+// subscribes (following CodeNotPrimary with bounded backoff, sharing the
+// learned primary with the owning client's request routing) and installs
+// the new snapshot. Consumers therefore handle exactly one degraded mode:
+// replace state on resync, apply deltas otherwise. Follower nodes serve
+// subscriptions from their applied stream, scaling the push read plane out
+// with the replication tree. The plane's series are proxdisc_sub_active,
+// proxdisc_sub_events_total, proxdisc_sub_coalesced_total,
+// proxdisc_sub_dropped_total, and proxdisc_sub_resyncs_total.
+//
+// # Context-first API
+//
+// Every Client request method has a context-first form — JoinContext,
+// LookupContext, StatusContext, LandmarksContext, LeaveContext,
+// RefreshContext, JoinBatchContext, ForwardJoinContext,
+// ForwardJoinBatchContext, Subscribe — that accepts a context.Context as
+// the cancellation and deadline primitive: the effective bound of each
+// exchange is the tighter of ClientConfig.Timeout and the context's
+// deadline, retry backoffs abort when the context ends, and a
+// subscription's context scopes its whole lifetime. The original methods
+// (Join, Lookup, Status, ...) remain as thin compatibility wrappers over
+// context.Background(). Shared configuration knobs (telemetry registry,
+// logger, reconnect backoff) are collapsing into an embedded CommonConfig
+// on ClientConfig, NetServerConfig, and FollowerConfig; the old flat
+// fields keep working but are deprecated.
+//
 // # Observability
 //
 // Every layer instruments itself into a telemetry registry — a
@@ -235,11 +286,13 @@
 package proxdisc
 
 import (
+	"context"
 	"net/http"
 	"time"
 
 	"proxdisc/internal/client"
 	"proxdisc/internal/cluster"
+	"proxdisc/internal/conf"
 	"proxdisc/internal/experiment"
 	"proxdisc/internal/netserver"
 	"proxdisc/internal/overlay"
@@ -386,11 +439,77 @@ type Client = client.Client
 // FailoverBackoff) for replicated deployments.
 type ClientConfig = client.Config
 
+// CommonConfig holds the configuration knobs shared by the networked
+// components — a telemetry registry, a diagnostic logger, a reconnect/
+// retry backoff. It is embedded in ClientConfig, NetServerConfig, and
+// FollowerConfig, replacing their individually duplicated fields (which
+// remain as deprecated aliases).
+type CommonConfig = conf.Common
+
 // BatchJoinItem is one entry of a Client.JoinBatch call.
 type BatchJoinItem = client.BatchItem
 
 // BatchJoinResult is the per-entry outcome of a Client.JoinBatch call.
 type BatchJoinResult = client.BatchResult
+
+// Query describes a read — which peers the caller cares about. One Query
+// value drives both the pull path (Client.LookupContext) and the push
+// path (Client.Subscribe). Build one with KClosestQuery, PeerQuery, or
+// LandmarkQuery.
+type Query = client.Query
+
+// QueryKind selects what a Query watches.
+type QueryKind = client.QueryKind
+
+// Query kinds.
+const (
+	// QueryKClosest watches a registered peer's k-closest answer set.
+	QueryKClosest = client.QueryKClosest
+	// QueryPeer watches one peer's registration.
+	QueryPeer = client.QueryPeer
+	// QueryLandmark watches every peer under one landmark tree.
+	QueryLandmark = client.QueryLandmark
+)
+
+// KClosestQuery is the query Lookup and Subscribe share: the k-closest
+// answer set of a registered peer, at the server's configured size.
+func KClosestQuery(peer PeerID) Query { return client.KClosest(int64(peer)) }
+
+// PeerQuery watches one peer's registration (Subscribe only).
+func PeerQuery(peer PeerID) Query { return client.PeerQuery(int64(peer)) }
+
+// LandmarkQuery watches every peer under one landmark tree (Subscribe
+// only).
+func LandmarkQuery(landmark RouterID) Query { return client.LandmarkQuery(int32(landmark)) }
+
+// Subscription is one live query against a management server, holding a
+// coherent local cache of the query's current answer. See "Live
+// subscriptions" above.
+type Subscription = client.Subscription
+
+// SubscriptionEvent is one pushed subscription delta.
+type SubscriptionEvent = client.Event
+
+// Subscription event kinds.
+const (
+	// EventEnter reports a peer entering the subscribed set.
+	EventEnter = client.EventEnter
+	// EventLeave reports a peer leaving the subscribed set; a k-closest
+	// subscription whose subject itself deregistered reports the subject.
+	EventLeave = client.EventLeave
+	// EventUpdate reports a peer already in the set whose record changed.
+	EventUpdate = client.EventUpdate
+	// EventResync replaces the subscriber's whole cached set.
+	EventResync = client.EventResync
+)
+
+// Subscribe registers a live query over c and returns once the server
+// accepted it, with the initial answer already cached. Shorthand for
+// c.Subscribe (see Client.Subscribe); the subscription runs until ctx
+// ends or Close is called.
+func Subscribe(ctx context.Context, c *Client, q Query) (*Subscription, error) {
+	return c.Subscribe(ctx, q)
+}
 
 // Dial connects to a management server with default configuration,
 // negotiating the pipelined wire protocol when the server supports it.
