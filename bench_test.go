@@ -454,6 +454,68 @@ func BenchmarkClusterQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkHandoff measures one fenced landmark handoff of a 10k-peer tree
+// while concurrent writers keep joining peers under the other landmarks.
+// The freeze is scoped to the source/destination shard pair, so the
+// bystander writers should stay mostly unimpeded; ns/op is the wall-clock
+// cost of snapshotting, absorbing, and committing the move.
+func BenchmarkHandoff(b *testing.B) {
+	const treePeers = 10_000
+	c, err := cluster.New(cluster.Config{Landmarks: benchClusterLandmarks, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lm := benchClusterLandmarks[0]
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < treePeers; i++ {
+		if _, err := c.Join(pathtree.PeerID(i+1), buildClusterPath(lm, rng.Intn(200_000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Background writers on the other landmarks: the handoff freeze covers
+	// only the src/dst shard pair, so these mostly route to live shards.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var next atomic.Int64
+	next.Store(1_000_000)
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			wrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				other := benchClusterLandmarks[1+wrng.Intn(len(benchClusterLandmarks)-1)]
+				id := pathtree.PeerID(next.Add(1))
+				if _, err := c.Join(id, buildClusterPath(other, wrng.Intn(200_000))); err != nil {
+					return
+				}
+			}
+		}(int64(w))
+	}
+	srcShard, ok := c.ShardFor(lm)
+	if !ok {
+		b.Fatalf("landmark %d has no shard", lm)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := (srcShard + 1) % 4
+		if err := c.MoveLandmark(lm, dst); err != nil {
+			b.Fatal(err)
+		}
+		srcShard = dst
+	}
+	b.StopTimer()
+	close(stop)
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	b.ReportMetric(treePeers, "peers/handoff")
+}
+
 // --- supporting micro-benchmarks ---
 
 // BenchmarkTopologyGenerate measures paper-scale map generation.

@@ -953,7 +953,17 @@ func (c *Client) Join(peer int64, overlayAddr string, path []int32) ([]proto.Can
 // landmark, on behalf of another node. The callee answers locally and never
 // relays further.
 func (c *Client) ForwardJoinContext(ctx context.Context, peer int64, overlayAddr string, path []int32) ([]proto.Candidate, error) {
-	payload, err := proto.EncodeForwardedJoinRequest(&proto.JoinRequest{Peer: peer, Addr: overlayAddr, Path: path})
+	return c.ForwardJoinFencedContext(ctx, peer, overlayAddr, path, 0)
+}
+
+// ForwardJoinFencedContext is ForwardJoinContext with a landmark fencing
+// epoch (typically copied from the Redirect that named the callee). A
+// non-zero epoch makes the write conditional: the callee rejects it with
+// CodeStaleEpoch if the landmark has been handed to another shard since,
+// instead of silently applying it on a deposed owner. Zero sends the
+// classic unfenced forward, byte-identical to pre-epoch versions.
+func (c *Client) ForwardJoinFencedContext(ctx context.Context, peer int64, overlayAddr string, path []int32, epoch uint64) ([]proto.Candidate, error) {
+	payload, err := proto.EncodeForwardedJoinRequestFenced(&proto.JoinRequest{Peer: peer, Addr: overlayAddr, Path: path}, epoch)
 	if err != nil {
 		return nil, err
 	}

@@ -255,24 +255,44 @@ func TestFollowSessionUnexpectedFrame(t *testing.T) {
 }
 
 func TestFollowSessionClose(t *testing.T) {
-	ready := make(chan struct{})
+	record := encodeOp(t, op.Leave(9))
 	p := startFakePrimary(t, func(p *fakePrimary, conn net.Conn) {
 		p.sendID(conn, proto.MsgFollowHead, proto.EncodeFollowHead(&proto.FollowHead{Head: 1}))
-		close(ready)
+		recs, err := proto.EncodeOpRecords(&proto.OpRecords{Records: []proto.OpRecord{{Seq: 1, Data: record}}})
+		if err != nil {
+			p.t.Errorf("encode records: %v", err)
+			return
+		}
+		p.sendID(conn, proto.MsgOpRecords, recs)
 	})
 	s, err := Follow(p.ln.Addr().String(), FollowConfig{Timeout: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
-	<-ready
-	go func() {
-		time.Sleep(10 * time.Millisecond)
-		s.Close()
-	}()
-	var col collector
-	if err := s.Run(&col); !errors.Is(err, net.ErrClosed) {
+	// Close from inside the apply callback: Run is then provably mid-loop
+	// when the session dies, with no timing sleep needed, and its next
+	// read must surface net.ErrClosed.
+	col := &closingHandler{s: s}
+	if err := s.Run(col); !errors.Is(err, net.ErrClosed) {
 		t.Fatalf("run after Close returned %v, want net.ErrClosed", err)
 	}
+	if !col.applied {
+		t.Fatal("handler never saw the record that triggered the close")
+	}
+}
+
+// closingHandler closes its session upon the first applied record — a
+// deterministic way to exercise Close racing a blocked Run.
+type closingHandler struct {
+	collector
+	s       *FollowSession
+	applied bool
+}
+
+func (h *closingHandler) ReplicateOp(seq uint64, o op.Op) error {
+	h.applied = true
+	h.s.Close()
+	return h.collector.ReplicateOp(seq, o)
 }
 
 // TestFollowRejectsVersion1Ack: a server that acks the hello but pins the

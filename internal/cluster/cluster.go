@@ -44,8 +44,11 @@ import (
 type Config struct {
 	// Landmarks lists every landmark router served by the cluster.
 	Landmarks []topology.NodeID
-	// Shards is the number of management-server shards (default 1). It must
-	// not exceed len(Landmarks): the landmark is the unit of sharding.
+	// Shards is the number of management-server shards (default 1). The
+	// landmark is the unit of sharding, so at most len(Landmarks) shards
+	// can hold state at once; extra shards are elastic capacity — they
+	// start empty and fill when the rebalancer (or MoveLandmark) hands
+	// landmarks onto them.
 	Shards int
 	// Assign chooses the initial landmark→shard assignment (default
 	// RoundRobin()).
@@ -63,6 +66,17 @@ type Config struct {
 	// replica; returning false marks the replica failed (promoting a
 	// survivor when it was the primary).
 	HealthCheck func(shard, replica int, s *server.Server) bool
+
+	// RebalanceInterval, when positive, runs the load-driven rebalancer in
+	// the background: every interval the planner compares per-shard peer
+	// counts and issues fenced MoveLandmark handoffs until no single move
+	// can narrow the spread further (see Rebalance). Zero disables the
+	// loop; Rebalance can still be called directly.
+	RebalanceInterval time.Duration
+	// RebalanceMinGap is the peer-count spread between the fullest and
+	// emptiest shard below which the rebalancer leaves the table alone,
+	// damping move churn around an already-even split. Default 2.
+	RebalanceMinGap int
 
 	// DataDir, when set, makes the node durable: every acknowledged write
 	// is appended as a typed op to a write-ahead log under the directory
@@ -117,22 +131,34 @@ type Cluster struct {
 	cfg    Config
 	shards []*shardGroup
 
-	// mu guards the assignment table, the in-progress handoff set, and the
-	// in-progress failover set.
-	mu     sync.RWMutex
-	table  map[topology.NodeID]int
+	// mu guards the assignment table, the landmark epochs, the in-progress
+	// handoff set, and the in-progress failover set.
+	mu    sync.RWMutex
+	table map[topology.NodeID]int
+	// epochs is the authoritative copy of each landmark's fencing epoch
+	// (zero, and absent, for a landmark that never moved). Every completed
+	// MoveLandmark increments the moved landmark's epoch; a shard-routed
+	// write carrying a non-zero op.Epoch is rejected with
+	// server.ErrStaleEpoch unless it matches — the fence that silences a
+	// deposed owner.
+	epochs map[topology.NodeID]uint64
 	moving map[topology.NodeID]*handoff
 	// failing flags shards whose primary is mid-promotion; joins resolving
 	// to them buffer and replay exactly like joins for a moving landmark.
 	failing map[int]*handoff
 
-	// opMu is held in read mode across every table-routed shard mutation;
-	// MoveLandmark briefly takes it in write mode to drain mutations that
-	// resolved their shard before the handoff flag became visible.
-	opMu sync.RWMutex
-
 	// hoMu serializes handoffs and cluster-wide snapshots.
 	hoMu sync.Mutex
+
+	// moveHook, when set (tests only), observes each stage of a landmark
+	// handoff from inside MoveLandmark — the instrument for crash-point
+	// injection. See moveStage.
+	moveHook func(stage moveStage)
+
+	// rebalance loop plumbing; armed by New when RebalanceInterval > 0.
+	rebStop chan struct{}
+	rebWG   sync.WaitGroup
+	rebOnce sync.Once
 
 	idx *peerIndex
 
@@ -212,10 +238,6 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("cluster: negative shard count %d", cfg.Shards)
 	}
-	if cfg.Shards > len(cfg.Landmarks) {
-		return nil, fmt.Errorf("cluster: %d shards for %d landmarks; the landmark is the unit of sharding",
-			cfg.Shards, len(cfg.Landmarks))
-	}
 	if cfg.Assign == nil {
 		cfg.Assign = RoundRobin()
 	}
@@ -241,6 +263,7 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:     cfg,
 		shards:  make([]*shardGroup, cfg.Shards),
 		table:   make(map[topology.NodeID]int, len(table)),
+		epochs:  make(map[topology.NodeID]uint64),
 		moving:  make(map[topology.NodeID]*handoff),
 		failing: make(map[int]*handoff),
 		idx:     newPeerIndex(),
@@ -249,9 +272,8 @@ func New(cfg Config) (*Cluster, error) {
 		c.table[lm] = shard
 	}
 	for i, lms := range perShard {
-		if len(lms) == 0 {
-			return nil, fmt.Errorf("cluster: shard %d owns no landmarks", i)
-		}
+		// A shard assigned no landmarks is an elastic shard: it starts
+		// empty and fills through rebalancing handoffs.
 		g, err := newShardGroup(lms, cfg.Replicas, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
@@ -263,6 +285,11 @@ func New(cfg Config) (*Cluster, error) {
 		if err := c.openDurable(); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.RebalanceInterval > 0 {
+		c.rebStop = make(chan struct{})
+		c.rebWG.Add(1)
+		go c.rebalanceLoop()
 	}
 	return c, nil
 }
@@ -279,6 +306,16 @@ func (c *Cluster) ShardFor(lm topology.NodeID) (int, bool) {
 	defer c.mu.RUnlock()
 	shard, ok := c.table[lm]
 	return shard, ok
+}
+
+// Epoch reports landmark lm's current fencing epoch: zero until the
+// landmark first moves between shards, incremented by every completed
+// MoveLandmark. A write stamped with a non-zero epoch (op.Op.Epoch) is
+// rejected with server.ErrStaleEpoch unless it matches.
+func (c *Cluster) Epoch(lm topology.NodeID) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epochs[lm]
 }
 
 // Landmarks returns every landmark served by the cluster in ascending
@@ -347,23 +384,54 @@ func (c *Cluster) joinRoute(o op.Op, quiet bool) ([]pathtree.Candidate, error) {
 			<-ho.done // buffered during the failover; replay against the new primary
 			continue
 		}
-		// Taking opMu before releasing mu pins the resolved shard: a
-		// handoff of lm starting now blocks in its drain until this join
-		// lands, so the snapshot it takes will include us.
-		c.opMu.RLock()
+		if o.Epoch != 0 && o.Epoch != c.epochs[lm] {
+			cur := c.epochs[lm]
+			c.mu.RUnlock()
+			return nil, fmt.Errorf("%w: landmark %d is at epoch %d, write fenced at %d",
+				server.ErrStaleEpoch, lm, cur, o.Epoch)
+		}
+		// Taking the shard's operation gate before releasing mu pins the
+		// resolved shard: a handoff of lm starting now blocks in its drain
+		// until this join lands, so the snapshot it takes will include us.
+		g := c.shards[shard]
+		g.opMu.RLock()
 		c.mu.RUnlock()
-		res, err := c.shards[shard].applyOp(o, quiet)
+		res, err := g.applyOp(o, quiet)
+		var stale int
+		retire := false
 		if err == nil {
 			if old, had := c.idx.swap(o.Join.Peer, shard); had && old != shard {
 				// Re-join under a landmark owned by a different shard:
 				// retire the stale record, mirroring the single-server
-				// behaviour of replacing rather than duplicating.
-				c.shards[old].leave(o.Join.Peer)
+				// behaviour of replacing rather than duplicating. The
+				// retirement happens after this shard's gate is released —
+				// taking a second shard's gate while holding one would
+				// deadlock against a handoff freezing that same pair.
+				stale, retire = old, true
 			}
 		}
-		c.opMu.RUnlock()
+		g.opMu.RUnlock()
+		if retire {
+			c.retireStale(o.Join.Peer, stale)
+		}
 		return res.cands, err
 	}
+}
+
+// retireStale removes the record a re-joining peer left behind on its
+// former shard. The peer index is re-checked under the old shard's gate: a
+// concurrent join may have re-registered the peer back there, in which
+// case the record is live and must stay. Any race with a handoff moving
+// the stale record converges through the handoff's own reconcile pass
+// (reconcileMoved) and Absorb's skip-if-registered rule.
+func (c *Cluster) retireStale(p pathtree.PeerID, old int) {
+	g := c.shards[old]
+	g.opMu.RLock()
+	defer g.opMu.RUnlock()
+	if cur, ok := c.idx.get(p); ok && cur == old {
+		return // re-registered back on the old shard; that record is live
+	}
+	g.leave(p)
 }
 
 // JoinBatch registers a batch of peers; see JoinBatchOp.
@@ -425,17 +493,28 @@ func (c *Cluster) JoinBatchOp(o op.Op) []server.BatchResult {
 		g.idxs = append(g.idxs, i)
 		g.entries = append(g.entries, *it)
 	}
-	// Taking opMu before releasing mu pins the resolved shards, exactly as
-	// in Join: a handoff starting now drains behind this batch, so the
-	// snapshot it takes includes every entry applied here.
-	c.opMu.RLock()
+	// Taking every involved shard's operation gate (in ascending shard
+	// order, the cluster-wide multi-lock order) before releasing mu pins
+	// the resolved shards, exactly as in Join: a handoff starting now
+	// drains behind this batch, so the snapshot it takes includes every
+	// entry applied here.
+	involved := make([]int, 0, len(groups))
+	for shard := range groups {
+		involved = append(involved, shard)
+	}
+	sort.Ints(involved)
+	for _, shard := range involved {
+		c.shards[shard].opMu.RLock()
+	}
 	c.mu.RUnlock()
 	var accepted []op.JoinEntry
-	for shard := 0; shard < len(c.shards); shard++ {
+	type retirement struct {
+		peer pathtree.PeerID
+		old  int
+	}
+	var retirements []retirement
+	for _, shard := range involved {
 		g := groups[shard]
-		if g == nil {
-			continue
-		}
 		res, err := c.shards[shard].applyOp(op.BatchJoin(g.entries, o.Time), false)
 		if err != nil {
 			for _, i := range g.idxs {
@@ -449,12 +528,19 @@ func (c *Cluster) JoinBatchOp(o op.Op) []server.BatchResult {
 			if res.batch[k].Err == nil {
 				accepted = append(accepted, items[i])
 				if old, had := c.idx.swap(items[i].Peer, shard); had && old != shard {
-					c.shards[old].leave(items[i].Peer)
+					// Stale record on another shard; retired after the
+					// gates are released (see joinRoute).
+					retirements = append(retirements, retirement{items[i].Peer, old})
 				}
 			}
 		}
 	}
-	c.opMu.RUnlock()
+	for i := len(involved) - 1; i >= 0; i-- {
+		c.shards[involved[i]].opMu.RUnlock()
+	}
+	for _, r := range retirements {
+		c.retireStale(r.peer, r.old)
+	}
 	if len(accepted) > 0 {
 		if err := c.commit(op.BatchJoin(accepted, o.Time)); err != nil {
 			// The entries applied but are not durable: withdraw the
@@ -558,6 +644,13 @@ func (c *Cluster) applyRouted(o op.Op, quiet bool) error {
 	case op.KindExpire:
 		c.expireRouted(o)
 		return nil
+	case op.KindMoveLandmark:
+		// Reaches here only on recovery replay: live handoffs go through
+		// MoveLandmark, which logs the op itself after the transfer.
+		if !quiet {
+			return errors.New("cluster: KindMoveLandmark must go through MoveLandmark")
+		}
+		return c.replayMove(o)
 	default:
 		return fmt.Errorf("cluster: cannot apply op kind %d", o.Kind)
 	}
@@ -565,14 +658,15 @@ func (c *Cluster) applyRouted(o op.Op, quiet bool) error {
 
 // onPeerShard runs fn against the shard group holding peer p, retrying once
 // via a scatter search when the index entry turns out stale (possible while
-// the peer's landmark is mid-handoff). Holding opMu excludes the call from a
-// handoff's copy phase, so the update cannot land on a tree that has
-// already been serialized for transfer and be lost.
+// the peer's landmark is mid-handoff). Holding the shard's operation gate
+// excludes the call from a handoff's copy phase, so the update cannot land
+// on a tree that has already been serialized for transfer and be lost.
 func (c *Cluster) onPeerShard(p pathtree.PeerID, fn func(g *shardGroup) error) error {
 	if shard, ok := c.idx.get(p); ok {
-		c.opMu.RLock()
-		err := fn(c.shards[shard])
-		c.opMu.RUnlock()
+		g := c.shards[shard]
+		g.opMu.RLock()
+		err := fn(g)
+		g.opMu.RUnlock()
 		if err == nil || !errors.Is(err, server.ErrUnknownPeer) {
 			return err
 		}
@@ -581,9 +675,10 @@ func (c *Cluster) onPeerShard(p pathtree.PeerID, fn func(g *shardGroup) error) e
 	if err != nil {
 		return err
 	}
-	c.opMu.RLock()
-	defer c.opMu.RUnlock()
-	return fn(c.shards[shard])
+	g := c.shards[shard]
+	g.opMu.RLock()
+	defer g.opMu.RUnlock()
+	return fn(g)
 }
 
 // PeerInfo returns a copy of the record for peer p, read from any live
@@ -612,12 +707,13 @@ func (c *Cluster) leaveRouted(p pathtree.PeerID) bool {
 	if !ok {
 		return false
 	}
-	c.opMu.RLock()
-	removed := c.shards[shard].leave(p)
+	g := c.shards[shard]
+	g.opMu.RLock()
+	removed := g.leave(p)
 	if removed {
 		c.idx.compareAndDelete(p, shard)
 	}
-	c.opMu.RUnlock()
+	g.opMu.RUnlock()
 	if removed {
 		return true
 	}
@@ -629,11 +725,12 @@ func (c *Cluster) leaveRouted(p pathtree.PeerID) bool {
 	if err != nil {
 		return false
 	}
-	c.opMu.RLock()
-	defer c.opMu.RUnlock()
+	cg := c.shards[cur]
+	cg.opMu.RLock()
+	defer cg.opMu.RUnlock()
 	c.idx.compareAndDelete(p, shard)
 	c.idx.compareAndDelete(p, cur)
-	return c.shards[cur].leave(p)
+	return cg.leave(p)
 }
 
 // NumPeers reports the number of registered peers across all shards.
@@ -685,14 +782,20 @@ func (c *Cluster) Expire() []pathtree.PeerID {
 
 // expireRouted fans an ExpireOp out to every shard. It serializes with
 // handoffs (hoMu) and freezes membership for the duration of the sweep
-// (opMu in write mode), so an expired peer cannot re-join between the
-// shard sweep and the index cleanup and have its fresh index entry
-// deleted.
+// (every shard's operation gate in write mode, taken in ascending shard
+// order), so an expired peer cannot re-join between the shard sweep and
+// the index cleanup and have its fresh index entry deleted.
 func (c *Cluster) expireRouted(o op.Op) []pathtree.PeerID {
 	c.hoMu.Lock()
 	defer c.hoMu.Unlock()
-	c.opMu.Lock()
-	defer c.opMu.Unlock()
+	for _, g := range c.shards {
+		g.opMu.Lock()
+	}
+	defer func() {
+		for i := len(c.shards) - 1; i >= 0; i-- {
+			c.shards[i].opMu.Unlock()
+		}
+	}()
 	per := make([][]pathtree.PeerID, len(c.shards))
 	_ = c.forEachGroup(context.Background(), func(i int, g *shardGroup) error {
 		res, _ := g.applyOp(o, false)

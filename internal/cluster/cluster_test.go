@@ -67,8 +67,12 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Landmarks: testLandmarks, Shards: -1}); err == nil {
 		t.Fatal("accepted negative shard count")
 	}
-	if _, err := New(Config{Landmarks: []topology.NodeID{1, 2}, Shards: 3}); err == nil {
-		t.Fatal("accepted more shards than landmarks")
+	// More shards than landmarks is legal: the extras are elastic
+	// capacity, empty until a handoff or the rebalancer fills them.
+	if c, err := New(Config{Landmarks: []topology.NodeID{1, 2}, Shards: 3}); err != nil {
+		t.Fatalf("rejected elastic shards: %v", err)
+	} else if got := c.NumShards(); got != 3 {
+		t.Fatalf("elastic cluster has %d shards, want 3", got)
 	}
 	// An assigner that leaves a landmark out must be rejected.
 	bad := AssignerFunc(func(lms []topology.NodeID, shards int) map[topology.NodeID]int {
@@ -77,7 +81,8 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Landmarks: testLandmarks, Shards: 2, Assign: bad}); err == nil {
 		t.Fatal("accepted partial assignment")
 	}
-	// An assigner that starves a shard must be rejected.
+	// An assigner that starves a shard is legal too — the starved shard
+	// is simply elastic from the start.
 	starve := AssignerFunc(func(lms []topology.NodeID, shards int) map[topology.NodeID]int {
 		out := make(map[topology.NodeID]int, len(lms))
 		for _, lm := range lms {
@@ -85,8 +90,8 @@ func TestNewValidation(t *testing.T) {
 		}
 		return out
 	})
-	if _, err := New(Config{Landmarks: testLandmarks, Shards: 2, Assign: starve}); err == nil {
-		t.Fatal("accepted empty shard")
+	if _, err := New(Config{Landmarks: testLandmarks, Shards: 2, Assign: starve}); err != nil {
+		t.Fatalf("rejected starved (elastic) shard: %v", err)
 	}
 }
 

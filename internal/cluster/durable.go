@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"proxdisc/internal/op"
@@ -12,6 +15,95 @@ import (
 	"proxdisc/internal/topology"
 	"proxdisc/internal/wal"
 )
+
+// checkpointMagic opens a checkpoint file that carries a cluster header
+// (the landmark→shard table as of the checkpoint) ahead of the merged
+// server snapshot. A gob stream can never begin with a zero byte, so the
+// leading 0x00 makes the header unambiguous against bare snapshots
+// written by older versions or by Cluster.Snapshot directly — both of
+// which restoreSnapshot still accepts, falling back to the configured
+// assignment table.
+var checkpointMagic = [8]byte{0x00, 'p', 'x', 'd', 'c', 't', 'b', '1'}
+
+// checkpointMeta is the cluster-level header of a checkpoint file: the
+// state that lives above the shards and would otherwise be silently reset
+// to its configured value on restart. The landmark epochs need no entry
+// here — they ride inside the server snapshot itself (v3).
+type checkpointMeta struct {
+	Table []tableEntry
+}
+
+// tableEntry is one landmark→shard assignment, sorted by landmark so the
+// header bytes are deterministic.
+type tableEntry struct {
+	Landmark topology.NodeID
+	Shard    int
+}
+
+// writeCheckpoint writes the full checkpoint file: magic, a
+// length-prefixed gob header (length-prefixed because gob decoders read
+// ahead, so the snapshot decoder must get its own cleanly-bounded
+// stream), then the merged snapshot — all under one hoMu hold, so the
+// table in the header and the trees in the snapshot describe the same
+// instant even against concurrent handoffs.
+func (c *Cluster) writeCheckpoint(w io.Writer) error {
+	c.hoMu.Lock()
+	defer c.hoMu.Unlock()
+	c.mu.RLock()
+	meta := checkpointMeta{Table: make([]tableEntry, 0, len(c.table))}
+	for lm, shard := range c.table {
+		meta.Table = append(meta.Table, tableEntry{lm, shard})
+	}
+	c.mu.RUnlock()
+	sort.Slice(meta.Table, func(i, j int) bool { return meta.Table[i].Landmark < meta.Table[j].Landmark })
+	var hdr bytes.Buffer
+	if err := gob.NewEncoder(&hdr).Encode(meta); err != nil {
+		return fmt.Errorf("cluster: checkpoint header: %w", err)
+	}
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(hdr.Len()))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	return c.snapshotLocked(w)
+}
+
+// readCheckpointHeader splits a checkpoint stream into its cluster header
+// (nil for a bare snapshot) and the snapshot body.
+func readCheckpointHeader(r io.Reader) (*checkpointMeta, io.Reader, error) {
+	prefix := make([]byte, len(checkpointMagic))
+	n, err := io.ReadFull(r, prefix)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		// Shorter than a magic: can only be a bare (possibly truncated)
+		// snapshot; let the snapshot decoder produce the real error.
+		return nil, bytes.NewReader(prefix[:n]), nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if !bytes.Equal(prefix, checkpointMagic[:]) {
+		return nil, io.MultiReader(bytes.NewReader(prefix), r), nil
+	}
+	var nbuf [4]byte
+	if _, err := io.ReadFull(r, nbuf[:]); err != nil {
+		return nil, nil, fmt.Errorf("cluster: checkpoint header length: %w", err)
+	}
+	hdr := make([]byte, binary.BigEndian.Uint32(nbuf[:]))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, nil, fmt.Errorf("cluster: checkpoint header body: %w", err)
+	}
+	var meta checkpointMeta
+	if err := gob.NewDecoder(bytes.NewReader(hdr)).Decode(&meta); err != nil {
+		return nil, nil, fmt.Errorf("cluster: checkpoint header decode: %w", err)
+	}
+	return &meta, r, nil
+}
 
 // defaultSnapshotEvery is the op-count fallback between automatic
 // checkpoints; defaultSnapshotBytes is the adaptive byte trigger
@@ -80,18 +172,46 @@ func (c *Cluster) openDurable() error {
 	return nil
 }
 
-// restoreSnapshot loads a whole-cluster snapshot (one merged server
-// snapshot, as Cluster.Snapshot writes) and deals its landmark trees out
-// to the owning shards through the same SnapshotLandmarks/Absorb
-// machinery landmark handoffs use, rebuilding the peer index as it goes.
+// restoreSnapshot loads a checkpoint (a cluster header plus one merged
+// server snapshot; a bare snapshot from an older version restores too)
+// and deals its landmark trees out to the owning shards through the same
+// SnapshotLandmarks/Absorb machinery landmark handoffs use, rebuilding
+// the peer index and the landmark epochs as it goes.
+//
+// Ownership comes from the checkpoint's own table, NOT the configured
+// assignment: a restart must recover the exact post-handoff placement, or
+// the WAL tail would replay against the wrong owner and completed moves
+// would silently revert. Only a headerless (pre-header) checkpoint falls
+// back to the configured table — such a file can only predate MoveLandmark
+// being logged at all.
 func (c *Cluster) restoreSnapshot(r io.Reader) error {
-	tmp, err := server.Restore(r, server.Config{
+	meta, body, err := readCheckpointHeader(r)
+	if err != nil {
+		return err
+	}
+	if meta != nil {
+		for _, e := range meta.Table {
+			if e.Shard < 0 || e.Shard >= len(c.shards) {
+				return fmt.Errorf("cluster: checkpoint places landmark %d on shard %d, but only %d shards are configured",
+					e.Landmark, e.Shard, len(c.shards))
+			}
+		}
+		for _, e := range meta.Table {
+			c.table[e.Landmark] = e.Shard
+		}
+	}
+	tmp, err := server.Restore(body, server.Config{
 		PeerTTL:     c.cfg.PeerTTL,
 		Clock:       c.cfg.Clock,
 		TreeOptions: c.cfg.TreeOptions,
 	})
 	if err != nil {
 		return fmt.Errorf("cluster: snapshot restore: %w", err)
+	}
+	for lm, e := range tmp.Epochs() {
+		if e > c.epochs[lm] {
+			c.epochs[lm] = e
+		}
 	}
 	perShard := make(map[int][]topology.NodeID)
 	for _, lm := range tmp.Landmarks() {
@@ -232,7 +352,7 @@ func (c *Cluster) Checkpoint() error {
 	start := time.Now()
 	defer func() { c.met.checkpoints.Observe(time.Since(start)) }()
 	seq := c.log.LastSeq()
-	if err := wal.WriteSnapshot(c.cfg.DataDir, seq, c.Snapshot); err != nil {
+	if err := wal.WriteSnapshot(c.cfg.DataDir, seq, c.writeCheckpoint); err != nil {
 		return fmt.Errorf("cluster: checkpoint: %w", err)
 	}
 	c.lastSnapSeq.Store(seq)
@@ -312,7 +432,17 @@ func (c *Cluster) CatchupSnapshot() (io.ReadCloser, uint64, error) {
 			return nil, 0, errors.New("cluster: checkpoint left no snapshot on disk")
 		}
 	}
-	return r, seq, nil
+	// Followers restore a bare server snapshot; strip the cluster header
+	// (ownership is the leader's concern — the follower holds a flat copy).
+	_, body, err := readCheckpointHeader(r)
+	if err != nil {
+		r.Close()
+		return nil, 0, err
+	}
+	return struct {
+		io.Reader
+		io.Closer
+	}{body, r}, seq, nil
 }
 
 // DurabilityStats reports the durable node's operational surface: last
@@ -334,11 +464,12 @@ func (c *Cluster) DurabilityStats() wal.DurabilityStats {
 }
 
 // Close makes the node's shutdown clean: it stops the background
-// checkpointer, flushes a final snapshot (so the next Open replays an
-// empty tail), and closes the write-ahead log. Writes after Close fail.
-// On a non-durable cluster Close is a no-op. It also surfaces the last
-// background checkpoint failure, if any.
+// rebalancer and checkpointer, flushes a final snapshot (so the next Open
+// replays an empty tail), and closes the write-ahead log. Writes after
+// Close fail. On a non-durable cluster only the rebalancer stop applies.
+// It also surfaces the last background checkpoint failure, if any.
 func (c *Cluster) Close() error {
+	c.stopRebalancer()
 	if c.log == nil {
 		return nil
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"proxdisc/internal/op"
 	"proxdisc/internal/server"
 	"proxdisc/internal/topology"
 )
@@ -15,24 +16,63 @@ type handoff struct {
 	done chan struct{}
 }
 
+// moveStage names the observable points of a landmark handoff, in order.
+// Tests install Cluster.moveHook to inject crashes (copy the data
+// directory, open a second cluster from the copy) at each stage and assert
+// that recovery lands on exactly one owner with zero lost peers.
+type moveStage int
+
+const (
+	// moveStageSnapshot: the landmark's tree has been serialized from the
+	// source; nothing has changed yet.
+	moveStageSnapshot moveStage = iota
+	// moveStageAbsorb: the destination has absorbed the tree — both shards
+	// briefly hold it, with the source still the table owner.
+	moveStageAbsorb
+	// moveStageDrop: the source has dropped the tree; the table still
+	// points at the source.
+	moveStageDrop
+	// moveStageFlip: the in-memory table and epoch have flipped to the
+	// destination; the move op is not yet in the write-ahead log.
+	moveStageFlip
+	// moveStageCommit: the move op is durably logged; the handoff is
+	// complete from recovery's point of view.
+	moveStageCommit
+)
+
+// hook invokes the test-only move observer, if installed.
+func (c *Cluster) hook(s moveStage) {
+	if c.moveHook != nil {
+		c.moveHook(s)
+	}
+}
+
 // MoveLandmark transfers ownership of landmark lm (and every peer
 // registered under it) to shard dst without dropping joins:
 //
 //  1. the landmark is flagged as moving, so new joins for it buffer;
-//  2. the cluster-wide operation lock is taken in write mode, draining
-//     in-flight mutations and excluding membership changes for the
-//     duration of the copy (in-memory, so milliseconds even for large
-//     trees — other landmarks' joins stall briefly rather than fail);
+//  2. the source and destination shards' operation gates are taken in
+//     write mode (ascending shard order), draining in-flight mutations on
+//     those two shards and excluding membership changes for the duration
+//     of the copy — every OTHER shard keeps serving writes throughout;
 //  3. the landmark's tree is serialized with the server snapshot machinery,
 //     absorbed by the destination shard, and dropped from the source;
-//  4. the assignment table flips, the buffered joins replay against the new
-//     owner, and the peer index follows the moved records.
+//  4. the assignment table flips, the landmark's fencing epoch increments,
+//     and a KindMoveLandmark op is committed to the write-ahead log (and
+//     the replication/op stream), so a restarted node re-derives the new
+//     ownership instead of silently reverting to the configured table;
+//  5. the buffered joins replay against the new owner and the peer index
+//     follows the moved records.
 //
 // Because the copy excludes membership changes, no registered peer is lost
 // and no Leave, Refresh, or SetSuperPeer update can fall between the
 // snapshot and the drop. The narrow window between the copy and the index
 // update is reconciled: a record the destination absorbed is retired if
 // the peer meanwhile left or re-registered elsewhere.
+//
+// The epoch increment fences the deposed owner: a shard-routed write
+// carrying the pre-move epoch is rejected with server.ErrStaleEpoch
+// instead of silently landing on a tree that no longer answers queries.
 //
 // Handoffs are serialized; moving a landmark to its current owner is a
 // no-op.
@@ -53,6 +93,7 @@ func (c *Cluster) MoveLandmark(lm topology.NodeID, dst int) error {
 		c.mu.Unlock()
 		return nil
 	}
+	newEpoch := c.epochs[lm] + 1
 	ho := &handoff{done: make(chan struct{})}
 	c.moving[lm] = ho
 	c.mu.Unlock()
@@ -66,35 +107,71 @@ func (c *Cluster) MoveLandmark(lm topology.NodeID, dst int) error {
 		close(ho.done)
 	}
 
-	// Drain and freeze: in-flight mutations hold opMu in read mode, so the
-	// write lock both waits them out and keeps new membership changes away
-	// from the source and destination while the tree is in flight. The
-	// lock is released before touching c.mu (the table) — Join acquires
-	// mu then opMu, so holding opMu across a mu acquisition would invert
-	// that order. With replicated shards the tree moves between whole
-	// replica groups: the snapshot is taken from the source primary and
-	// absorbed by every live destination replica, and the source side drops
-	// the landmark from every live replica, so the groups stay in lock-step
+	// Drain and freeze the two shards the move touches: in-flight
+	// mutations hold the shard's gate in read mode, so the write locks
+	// both wait them out and keep new membership changes away from the
+	// source and destination while the tree is in flight. Gates are taken
+	// in ascending shard order (the cluster-wide multi-lock order) and
+	// released before touching c.mu (the table) — Join acquires mu then a
+	// gate, so holding a gate across a mu acquisition would invert that
+	// order. With replicated shards the tree moves between whole replica
+	// groups: the snapshot is taken from the source primary and absorbed
+	// by every live destination replica, and the source side drops the
+	// landmark from every live replica, so the groups stay in lock-step
 	// across the handoff.
-	c.opMu.Lock()
+	lo, hi := src, dst
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	c.shards[lo].opMu.Lock()
+	c.shards[hi].opMu.Lock()
+	unlock := func() {
+		c.shards[hi].opMu.Unlock()
+		c.shards[lo].opMu.Unlock()
+	}
 	var buf bytes.Buffer
 	if err := c.shards[src].snapshotLandmarks(&buf, lm); err != nil {
-		c.opMu.Unlock()
+		unlock()
 		finish()
 		return fmt.Errorf("cluster: handoff snapshot: %w", err)
 	}
+	c.hook(moveStageSnapshot)
 	moved, err := c.shards[dst].absorb(buf.Bytes())
 	if err != nil {
-		c.opMu.Unlock()
+		unlock()
 		finish()
 		return fmt.Errorf("cluster: handoff absorb: %w", err)
 	}
+	c.hook(moveStageAbsorb)
+	// Apply the move op to the destination group: it raises the
+	// destination's landmark epoch and rides the per-shard replica log
+	// (and the follower op stream), so every copy of the new owner fences
+	// at the post-move epoch.
+	mv := op.MoveLandmark(lm, src, dst, newEpoch)
+	if _, err := c.shards[dst].applyOp(mv, true); err != nil {
+		unlock()
+		finish()
+		return fmt.Errorf("cluster: handoff epoch apply: %w", err)
+	}
 	c.shards[src].dropLandmark(lm)
-	c.opMu.Unlock()
+	c.hook(moveStageDrop)
+	unlock()
 
 	c.mu.Lock()
 	c.table[lm] = dst
+	c.epochs[lm] = newEpoch
 	c.mu.Unlock()
+	c.hook(moveStageFlip)
+
+	// Durably log the completed move. Everything before this line is
+	// in-memory only, so a crash anywhere earlier recovers the pre-move
+	// ownership from the last checkpoint plus WAL; a crash after it
+	// recovers the post-move ownership by replaying this op.
+	if err := c.commit(mv); err != nil {
+		finish()
+		return fmt.Errorf("cluster: handoff commit: %w", err)
+	}
+	c.hook(moveStageCommit)
 
 	c.met.handoffs.Inc()
 	for _, p := range moved {
@@ -118,11 +195,18 @@ func (c *Cluster) MoveLandmark(lm topology.NodeID, dst int) error {
 func (c *Cluster) Snapshot(w io.Writer) error {
 	c.hoMu.Lock()
 	defer c.hoMu.Unlock()
+	return c.snapshotLocked(w)
+}
+
+// snapshotLocked is Snapshot's body; the caller holds hoMu. Split out so
+// writeCheckpoint can prefix the merged snapshot with the checkpoint
+// header under a single hoMu hold.
+func (c *Cluster) snapshotLocked(w io.Writer) error {
 	var parts []io.Reader
 	for i, g := range c.shards {
 		lms := g.primarySrv().Landmarks()
 		if len(lms) == 0 {
-			continue // drained by handoffs
+			continue // elastic shard, or drained by handoffs
 		}
 		var buf bytes.Buffer
 		if err := g.snapshotLandmarks(&buf, lms...); err != nil {
@@ -131,4 +215,50 @@ func (c *Cluster) Snapshot(w io.Writer) error {
 		parts = append(parts, &buf)
 	}
 	return server.MergeSnapshots(w, parts...)
+}
+
+// replayMove re-applies a recovered KindMoveLandmark op: the recovery-path
+// twin of MoveLandmark. Replay is single-threaded (the cluster is not yet
+// serving), so no gates or buffering are needed — the tree copy, table
+// flip, epoch raise, and index repoint happen back to back.
+func (c *Cluster) replayMove(o op.Op) error {
+	lm, dst := o.Move.Landmark, o.Move.Dst
+	if dst < 0 || dst >= len(c.shards) {
+		return fmt.Errorf("cluster: recovered move of landmark %d to shard %d of %d", lm, dst, len(c.shards))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	src, ok := c.table[lm]
+	if !ok {
+		return fmt.Errorf("cluster: recovered move of unknown landmark %d", lm)
+	}
+	mv := op.MoveLandmark(lm, src, dst, o.Move.Epoch)
+	if src == dst {
+		// The snapshot this replay follows already included the move's
+		// effects (checkpoint after the flip); only the epoch may lag.
+		if _, err := c.shards[dst].applyOp(mv, true); err != nil {
+			return fmt.Errorf("cluster: recovered move epoch apply: %w", err)
+		}
+	} else {
+		var buf bytes.Buffer
+		if err := c.shards[src].snapshotLandmarks(&buf, lm); err != nil {
+			return fmt.Errorf("cluster: recovered move snapshot: %w", err)
+		}
+		moved, err := c.shards[dst].absorb(buf.Bytes())
+		if err != nil {
+			return fmt.Errorf("cluster: recovered move absorb: %w", err)
+		}
+		if _, err := c.shards[dst].applyOp(mv, true); err != nil {
+			return fmt.Errorf("cluster: recovered move epoch apply: %w", err)
+		}
+		c.shards[src].dropLandmark(lm)
+		c.table[lm] = dst
+		for _, p := range moved {
+			c.idx.swap(p, dst)
+		}
+	}
+	if o.Move.Epoch > c.epochs[lm] {
+		c.epochs[lm] = o.Move.Epoch
+	}
+	return nil
 }

@@ -82,6 +82,17 @@ func (r *replicaState) ReplicateOp(seq uint64, o op.Op) error {
 // primary would have. Reads that carry no counters round-robin over the
 // live replicas.
 type shardGroup struct {
+	// opMu is the shard's operation gate: held in read mode across every
+	// table-routed mutation of this shard, and in write mode by the
+	// operations that must observe (and freeze) a quiescent shard — the
+	// copy phase of a landmark handoff touching this shard, and a
+	// cluster-wide expiry sweep. Scoping the gate to the shard keeps a
+	// handoff's freeze away from every uninvolved shard's write path; any
+	// code path that takes several shards' gates at once acquires them in
+	// ascending shard order, which is what makes the pairwise and
+	// cluster-wide freezes deadlock-free against each other.
+	opMu sync.RWMutex
+
 	mu      sync.Mutex
 	reps    []*replicaState
 	primary int // index into reps
@@ -111,19 +122,28 @@ type shardGroup struct {
 }
 
 // newShardGroup builds a group of replicas copies over the given landmarks.
+// A group over zero landmarks is legal: it is an elastic shard, which
+// acquires landmarks through rebalancing handoffs rather than assignment.
 func newShardGroup(lms []topology.NodeID, replicas int, cfg Config) (*shardGroup, error) {
 	g := &shardGroup{
 		reps:    make([]*replicaState, replicas),
 		applies: telemetry.NewCounter("proxdisc_shard_apply_total"),
 	}
+	scfg := server.Config{
+		Landmarks:     lms,
+		NeighborCount: cfg.NeighborCount,
+		PeerTTL:       cfg.PeerTTL,
+		Clock:         cfg.Clock,
+		TreeOptions:   cfg.TreeOptions,
+	}
 	for i := range g.reps {
-		s, err := server.New(server.Config{
-			Landmarks:     lms,
-			NeighborCount: cfg.NeighborCount,
-			PeerTTL:       cfg.PeerTTL,
-			Clock:         cfg.Clock,
-			TreeOptions:   cfg.TreeOptions,
-		})
+		var s *server.Server
+		var err error
+		if len(lms) == 0 {
+			s, err = server.NewEmpty(scfg)
+		} else {
+			s, err = server.New(scfg)
+		}
 		if err != nil {
 			return nil, err
 		}

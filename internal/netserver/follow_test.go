@@ -19,6 +19,16 @@ import (
 	"proxdisc/internal/topology"
 )
 
+// discardFollowHandler drains a follow stream without applying it — for
+// sessions opened purely to observe the primary's head heartbeats.
+type discardFollowHandler struct{}
+
+func (discardFollowHandler) ReplicateOp(seq uint64, o op.Op) error { return nil }
+func (discardFollowHandler) RestoreSnapshot(seq uint64, r io.Reader) error {
+	_, err := io.Copy(io.Discard, r)
+	return err
+}
+
 // joinOp builds a wire-style join op for direct backend application.
 func joinOp(peer int64, addr string, path []int32) op.Op {
 	p := make([]topology.NodeID, len(path))
@@ -178,6 +188,67 @@ func TestFollowerConvergesUnderConcurrentWrites(t *testing.T) {
 	assertSameState(t, clu, fsrv)
 	if f.Lag() != 0 {
 		t.Fatalf("converged follower reports lag %d", f.Lag())
+	}
+}
+
+// TestFollowerByteIdenticalAcrossMidStreamMove commits a fenced landmark
+// handoff (MoveLandmark) on the primary while concurrent writers are
+// still streaming joins, and asserts the follower converges to a
+// byte-identical copy. The move op rides the committed op stream like any
+// other record; on the follower's flat copy it lands as the landmark's
+// epoch bump, so the canonical snapshots — epochs included — must match
+// exactly.
+func TestFollowerByteIdenticalAcrossMidStreamMove(t *testing.T) {
+	clu, ns := newFollowedPlane(t, t.TempDir())
+	defer clu.Close()
+	defer ns.Close()
+
+	fsrv, err := server.New(server.Config{Landmarks: []topology.NodeID{0, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFollowerNode(t, ns.Addr(), 0, fsrv)
+	defer f.Close()
+
+	const writers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			lm := int32(0)
+			if w%2 == 1 {
+				lm = 100
+			}
+			for i := 0; i < 30; i++ {
+				peer := int64(w*1000 + i + 1)
+				o := joinOp(peer, fmt.Sprintf("10.2.%d.%d:7000", w, i), []int32{int32(w*100 + i + 3000), lm})
+				if _, err := clu.JoinOp(o); err != nil {
+					errs <- fmt.Errorf("join %d: %w", peer, err)
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	// The handoff lands mid-stream, racing the writers above.
+	src, _ := clu.ShardFor(0)
+	if err := clu.MoveLandmark(0, 1-src); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	waitApplied(t, f, clu)
+	assertSameState(t, clu, fsrv)
+	if got := fsrv.Epoch(0); got != 1 {
+		t.Fatalf("follower epoch for moved landmark = %d, want 1", got)
 	}
 }
 
@@ -932,7 +1003,34 @@ func TestIdleStreamHeartbeats(t *testing.T) {
 	}
 	waitApplied(t, f, clu)
 
-	time.Sleep(1200 * time.Millisecond) // several primary heartbeat rounds
+	// Idle across several primary heartbeat rounds, condition-waited, not
+	// slept: a second raw follow session on the same primary counts head
+	// announcements — one per heartbeat interval while the stream idles —
+	// so the test proceeds the moment enough rounds have demonstrably
+	// fired instead of trusting a wall-clock estimate.
+	heads := make(chan struct{}, 16)
+	obs, err := client.Follow(ns.Addr(), client.FollowConfig{
+		After:   clu.CommittedHead(),
+		Timeout: 5 * time.Second,
+		OnHead: func(uint64) {
+			select {
+			case heads <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	go obs.Run(discardFollowHandler{})
+	for round := 0; round < 4; round++ {
+		select {
+		case <-heads:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("saw only %d heartbeat rounds", round)
+		}
+	}
 
 	// The stream must still be live: a fresh write arrives promptly, with
 	// no reconnect having been needed.

@@ -23,6 +23,7 @@ package netserver
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -57,6 +58,25 @@ type Backend interface {
 	Apply(o op.Op) error
 	Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error)
 	PeerInfo(p pathtree.PeerID) (server.PeerInfo, error)
+}
+
+// EpochReporter is implemented by backends that fence landmark ownership
+// (server.Server and cluster.Cluster): Epoch reports a landmark's current
+// fencing epoch, zero for a landmark that never moved. A NetServer
+// fronting one stamps the epoch into the redirects it emits, so the
+// redirected writer can carry it and get a loud CodeStaleEpoch — instead
+// of a silently mis-placed write — if the landmark moves again meanwhile.
+type EpochReporter interface {
+	Epoch(lm topology.NodeID) uint64
+}
+
+// backendEpoch reads the backend's fencing epoch for lm, zero when the
+// backend predates epochs.
+func (s *NetServer) backendEpoch(lm topology.NodeID) uint64 {
+	if er, ok := s.cfg.Server.(EpochReporter); ok {
+		return er.Epoch(lm)
+	}
+	return 0
 }
 
 // ReplicaReporter is implemented by replicated backends (cluster.Cluster
@@ -731,7 +751,7 @@ func errResp(code uint16, err error) (proto.MsgType, []byte) {
 // workers for pipelined connections.
 func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType, []byte) {
 	if s.cfg.Role == RoleReplica {
-		if t, resp, handled := s.rejectWriteOnReplica(typ); handled {
+		if t, resp, handled := s.rejectWriteOnReplica(typ, payload); handled {
 			return t, resp
 		}
 	}
@@ -813,7 +833,11 @@ func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType,
 		return s.serveJoin(o)
 
 	case proto.MsgForwardedJoinRequest:
-		o, err := proto.DecodeJoinOp(payload)
+		// Forwarded joins may carry a fencing epoch (stamped by the
+		// forwarding node from the redirect that named us); the backend
+		// rejects it with a stale-epoch error if the landmark has since
+		// moved on.
+		o, err := proto.DecodeForwardedJoinOp(payload)
 		if err != nil {
 			return errResp(proto.CodeBadRequest, err)
 		}
@@ -940,10 +964,17 @@ func (s *NetServer) handleReq(typ proto.MsgType, payload []byte) (proto.MsgType,
 // CodeNotPrimary error whose message carries the primary's address. Reads
 // (lookup, landmarks, status) fall through and are served from the local
 // copy.
-func (s *NetServer) rejectWriteOnReplica(typ proto.MsgType) (proto.MsgType, []byte, bool) {
+func (s *NetServer) rejectWriteOnReplica(typ proto.MsgType, payload []byte) (proto.MsgType, []byte, bool) {
 	switch typ {
 	case proto.MsgJoinRequest:
-		b, err := proto.EncodeRedirect(&proto.Redirect{Addr: s.cfg.PrimaryAddr})
+		// Stamp the landmark's fencing epoch (the replica's copy tracks
+		// it: move ops ride the replication stream) into the redirect, so
+		// the client can forward a fenced write to the primary.
+		var epoch uint64
+		if o, err := proto.DecodeJoinOp(payload); err == nil && len(o.Join.Path) > 0 {
+			epoch = s.backendEpoch(o.Join.Path[len(o.Join.Path)-1])
+		}
+		b, err := proto.EncodeRedirect(&proto.Redirect{Addr: s.cfg.PrimaryAddr, Epoch: epoch})
 		if err != nil {
 			t, resp := errResp(proto.CodeInternal, err)
 			return t, resp, true
@@ -966,8 +997,11 @@ func (s *NetServer) serveJoin(o op.Op) (proto.MsgType, []byte) {
 	cands, err := s.cfg.Server.JoinOp(o)
 	if err != nil {
 		code := proto.CodeInternal
-		if errors.Is(err, server.ErrUnknownLandmark) {
+		switch {
+		case errors.Is(err, server.ErrUnknownLandmark):
 			code = proto.CodeUnknownLandmark
+		case errors.Is(err, server.ErrStaleEpoch):
+			code = proto.CodeStaleEpoch
 		}
 		return errResp(code, err)
 	}
@@ -1092,7 +1126,8 @@ func (s *NetServer) registerLocalJoin(p pathtree.PeerID, overlayAddr string) {
 // there too.
 func (s *NetServer) forwardJoin(addr string, o op.Op) ([]proto.Candidate, error) {
 	cands, err := s.proxyPeerOp(addr, func(fc *client.Client) ([]proto.Candidate, error) {
-		return fc.ForwardJoin(int64(o.Join.Peer), o.Join.Addr, proto.PathToWire(o.Join.Path))
+		return fc.ForwardJoinFencedContext(context.Background(),
+			int64(o.Join.Peer), o.Join.Addr, proto.PathToWire(o.Join.Path), o.Epoch)
 	})
 	if err != nil {
 		return nil, err

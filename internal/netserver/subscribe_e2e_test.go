@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +21,20 @@ import (
 // exactly what a fresh wire lookup answers — through arbitrary concurrent
 // churn, through TTL expiry, and across a primary crash/restart that
 // forces the subscription down its resubscribe-and-resync road.
+
+// stepClock is a race-safe, manually advanced clock for TTL tests: time
+// stands still until the test advances it, so staleness is a deterministic
+// step instead of a real-clock sleep.
+type stepClock struct{ ns atomic.Int64 }
+
+func newStepClock() *stepClock {
+	c := &stepClock{}
+	c.ns.Store(time.Now().UnixNano())
+	return c
+}
+
+func (c *stepClock) Now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *stepClock) Advance(d time.Duration) { c.ns.Add(int64(d)) }
 
 // churnPath builds a router path for peer i inside the landmark-0 tree:
 // a leaf router, one of a handful of shared aggregation routers, then the
@@ -86,12 +101,16 @@ func waitCacheCoherent(t *testing.T, sub *client.Subscription, c *client.Client,
 // checks the resubscribed cache converges again.
 func TestSubscribeChurnCoherence(t *testing.T) {
 	dir := t.TempDir()
+	// TTL expiry runs on an injected clock, so the staleness step below is
+	// a deterministic clock advance instead of a real 350ms sleep.
+	clk := newStepClock()
 	clu, err := cluster.New(cluster.Config{
 		Landmarks: []topology.NodeID{0, 100},
 		Shards:    1,
 		DataDir:   dir,
 		NoSync:    true,
 		PeerTTL:   300 * time.Millisecond,
+		Clock:     clk.Now,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -168,10 +187,11 @@ func TestSubscribeChurnCoherence(t *testing.T) {
 	wg.Wait()
 	waitCacheCoherent(t, sub, c, subject)
 
-	// TTL expiry: let the churned peers go stale, keep the subject alive,
-	// and sweep. The expire op reaches the plane as a single deadline op
-	// that must re-derive the same survivor set the server keeps.
-	time.Sleep(350 * time.Millisecond)
+	// TTL expiry: age the churned peers past the TTL on the injected
+	// clock, keep the subject alive, and sweep. The expire op reaches the
+	// plane as a single deadline op that must re-derive the same survivor
+	// set the server keeps.
+	clk.Advance(350 * time.Millisecond)
 	if err := c.Refresh(subject); err != nil {
 		t.Fatal(err)
 	}

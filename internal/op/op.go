@@ -49,6 +49,14 @@ const (
 	// command rather than as per-peer leaves, so logs stay compact and
 	// byte-comparable across copies.
 	KindExpire
+	// KindMoveLandmark reassigns one landmark tree from a source shard to
+	// a destination shard and bumps the landmark's fencing epoch. Logged
+	// and streamed like every other mutation, it is what makes a handoff
+	// survive a crash: recovery replays the move, so the assignment table
+	// and the per-shard trees come back owned by exactly the shard that
+	// acknowledged the transfer, and any write still fenced to the old
+	// epoch is rejected instead of double-applied.
+	KindMoveLandmark
 )
 
 // Codec limits. They deliberately match the wire protocol's caps (see
@@ -60,6 +68,9 @@ const (
 	MaxAddrLen = 256
 	// MaxBatch bounds the entries of a KindBatchJoin op.
 	MaxBatch = 256
+	// MaxShard bounds the shard indices a KindMoveLandmark op may carry;
+	// they are encoded as 16-bit values.
+	MaxShard = 1<<16 - 1
 	// MaxEncodedSize bounds any encoded op (a full batch of maximum-length
 	// joins), sized from the per-field caps above.
 	MaxEncodedSize = 16 + MaxBatch*(8+2+MaxAddrLen+2+4*MaxPathLen)
@@ -85,6 +96,21 @@ type JoinEntry struct {
 	Path []topology.NodeID
 }
 
+// MoveEntry is the payload of a KindMoveLandmark op: which landmark
+// moves, between which shards, and the fencing epoch the move installs.
+type MoveEntry struct {
+	// Landmark is the landmark whose tree moves.
+	Landmark topology.NodeID
+	// Src is the shard index giving the landmark up.
+	Src int
+	// Dst is the shard index taking ownership.
+	Dst int
+	// Epoch is the landmark's new monotonic fencing epoch. Every completed
+	// move increments it; a write routed under an older epoch is a message
+	// from a deposed owner and is rejected.
+	Epoch uint64
+}
+
 // Op is one typed mutation of management-plane state.
 type Op struct {
 	// Kind selects the mutation.
@@ -103,6 +129,15 @@ type Op struct {
 	Batch []JoinEntry
 	// Super is the flag of a KindSetSuperPeer op.
 	Super bool
+	// Move is the payload of a KindMoveLandmark op.
+	Move MoveEntry
+	// Epoch is an in-memory routing fence on shard-routed writes: when
+	// non-zero, the cluster rejects the op unless it matches the subject
+	// landmark's current epoch. It is NOT part of the codec for any kind
+	// but KindMoveLandmark (whose epoch lives in Move.Epoch): the fence
+	// guards the routing decision at apply time, and a replayed or
+	// replicated op has already been routed.
+	Epoch uint64
 }
 
 // Join builds a single-peer registration op. A zero time means "stamp me
@@ -133,6 +168,12 @@ func SetSuperPeer(p pathtree.PeerID, super bool) Op {
 // strictly before deadlineNanos.
 func Expire(deadlineNanos int64) Op { return Op{Kind: KindExpire, Time: deadlineNanos} }
 
+// MoveLandmark builds a landmark-handoff op installing epoch as the
+// landmark's new fence.
+func MoveLandmark(lm topology.NodeID, src, dst int, epoch uint64) Op {
+	return Op{Kind: KindMoveLandmark, Move: MoveEntry{Landmark: lm, Src: src, Dst: dst, Epoch: epoch}}
+}
+
 // Replicator is one consumer of a committed op stream: an in-process
 // replica applying ops synchronously under its shard's group lock, or a
 // network follower applying ops streamed to it from another process.
@@ -158,6 +199,7 @@ type Replicator interface {
 //	Refresh:      peer(8)
 //	SetSuperPeer: peer(8) super(1)
 //	Expire:       —
+//	MoveLandmark: landmark(4) src(2) dst(2) epoch(8)
 //
 // where entry = peer(8) addrLen(2) addr pathLen(2) router(4)... . All
 // integers are big-endian.
@@ -189,6 +231,14 @@ func Append(dst []byte, o Op) ([]byte, error) {
 		return append(dst, 0), nil
 	case KindExpire:
 		return dst, nil
+	case KindMoveLandmark:
+		if o.Move.Src < 0 || o.Move.Src > MaxShard || o.Move.Dst < 0 || o.Move.Dst > MaxShard {
+			return nil, fmt.Errorf("%w: shard move %d -> %d", ErrLimit, o.Move.Src, o.Move.Dst)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(o.Move.Landmark))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(o.Move.Src))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(o.Move.Dst))
+		return binary.BigEndian.AppendUint64(dst, o.Move.Epoch), nil
 	default:
 		return nil, fmt.Errorf("op: cannot encode unknown kind %d", o.Kind)
 	}
@@ -359,6 +409,24 @@ func (d *opDecoder) op() (Op, error) {
 		return o, nil
 	case KindExpire:
 		return o, nil
+	case KindMoveLandmark:
+		lm, err := d.u32()
+		if err != nil {
+			return o, err
+		}
+		o.Move.Landmark = topology.NodeID(lm)
+		src, err := d.u16()
+		if err != nil {
+			return o, err
+		}
+		o.Move.Src = int(src)
+		dst, err := d.u16()
+		if err != nil {
+			return o, err
+		}
+		o.Move.Dst = int(dst)
+		o.Move.Epoch, err = d.u64()
+		return o, err
 	default:
 		return o, fmt.Errorf("op: unknown kind %d", kind)
 	}

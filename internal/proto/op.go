@@ -40,6 +40,48 @@ func EncodeJoinOp(o op.Op) ([]byte, error) {
 	})
 }
 
+// EncodeForwardedJoinOp encodes a KindJoin op as a MsgForwardedJoinRequest
+// payload: a JoinRequest plus the op's fencing epoch as an optional
+// trailing u64 (omitted when zero, so the bytes a pre-epoch node sees are
+// exactly a JoinRequest). The forwarding node stamps the epoch from the
+// Redirect (or its own table) that told it where to send the join; the
+// owner rejects with CodeStaleEpoch if the landmark has moved since.
+func EncodeForwardedJoinOp(o op.Op) ([]byte, error) {
+	b, err := EncodeJoinOp(o)
+	if err != nil {
+		return nil, err
+	}
+	if o.Epoch != 0 {
+		enc := encoder{buf: b}
+		enc.u64(o.Epoch)
+		b = enc.buf
+	}
+	return b, nil
+}
+
+// DecodeForwardedJoinOp decodes a MsgForwardedJoinRequest payload into a
+// KindJoin op, picking up the optional trailing fencing epoch (absent
+// means zero: unfenced, the pre-epoch wire form).
+func DecodeForwardedJoinOp(b []byte) (op.Op, error) {
+	d := decoder{buf: b}
+	m, err := decodeJoinRequestPrefix(&d)
+	if err != nil {
+		return op.Op{}, err
+	}
+	var epoch uint64
+	if d.remaining() >= 8 {
+		if epoch, err = d.u64(); err != nil {
+			return op.Op{}, err
+		}
+	}
+	if err := d.finish(); err != nil {
+		return op.Op{}, err
+	}
+	o := op.Join(pathtree.PeerID(m.Peer), wireToPath(m.Path), m.Addr, 0)
+	o.Epoch = epoch
+	return o, nil
+}
+
 // DecodeBatchJoinOp decodes a MsgBatchJoinRequest (or its forwarded
 // variant) payload into a KindBatchJoin op.
 func DecodeBatchJoinOp(b []byte) (op.Op, error) {

@@ -244,6 +244,11 @@ const (
 	// message carries the primary's TCP address when the replica knows it,
 	// so the client can retry there (replica-aware failover).
 	CodeNotPrimary uint16 = 6
+	// CodeStaleEpoch rejects a write fenced at an out-of-date landmark
+	// epoch: the landmark was handed between shards after the sender
+	// resolved its owner. The sender recovers by re-resolving the owner
+	// (its redirect cache is stale) and retrying at the current epoch.
+	CodeStaleEpoch uint16 = 7
 )
 
 // Error implements the error interface so wire errors can be returned
@@ -560,6 +565,21 @@ func EncodeJoinRequest(m *JoinRequest) ([]byte, error) {
 // DecodeJoinRequest decodes a JoinRequest payload.
 func DecodeJoinRequest(b []byte) (*JoinRequest, error) {
 	d := decoder{buf: b}
+	m, err := decodeJoinRequestPrefix(&d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// decodeJoinRequestPrefix reads the JoinRequest fields, leaving the
+// decoder positioned after them — shared by DecodeJoinRequest (which then
+// requires the payload be exhausted) and the forwarded-join decoder
+// (which reads the optional trailing fencing epoch first).
+func decodeJoinRequestPrefix(d *decoder) (*JoinRequest, error) {
 	m := &JoinRequest{}
 	var err error
 	if m.Peer, err = d.i64(); err != nil {
@@ -580,9 +600,6 @@ func DecodeJoinRequest(b []byte) (*JoinRequest, error) {
 		if m.Path[i], err = d.i32(); err != nil {
 			return nil, err
 		}
-	}
-	if err := d.finish(); err != nil {
-		return nil, err
 	}
 	return m, nil
 }
@@ -762,13 +779,23 @@ func DecodeLandmarksResponse(b []byte) (*LandmarksResponse, error) {
 type Redirect struct {
 	// Addr is the TCP address of the owning cluster node.
 	Addr string
+	// Epoch is the redirecting node's view of the landmark's fencing
+	// epoch; zero when the node does not track epochs. A client that
+	// forwards it with the retried write gets a loud CodeStaleEpoch
+	// (instead of a silent mis-placed write) if the landmark moves again
+	// in between. Encoded as an optional trailing field: absent on the
+	// wire means zero, so pre-epoch peers interoperate unchanged.
+	Epoch uint64
 }
 
 // EncodeRedirect encodes a Redirect payload.
 func EncodeRedirect(m *Redirect) ([]byte, error) {
-	enc := encoder{buf: make([]byte, 0, 2+len(m.Addr))}
+	enc := encoder{buf: make([]byte, 0, 10+len(m.Addr))}
 	if err := enc.str(m.Addr); err != nil {
 		return nil, err
+	}
+	if m.Epoch != 0 {
+		enc.u64(m.Epoch)
 	}
 	return enc.buf, nil
 }
@@ -781,6 +808,11 @@ func DecodeRedirect(b []byte) (*Redirect, error) {
 	if m.Addr, err = d.str(); err != nil {
 		return nil, err
 	}
+	if d.remaining() >= 8 {
+		if m.Epoch, err = d.u64(); err != nil {
+			return nil, err
+		}
+	}
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -788,8 +820,25 @@ func DecodeRedirect(b []byte) (*Redirect, error) {
 }
 
 // EncodeForwardedJoinRequest encodes a node-to-node forwarded join. The
-// payload is identical to a JoinRequest; only the frame type differs.
+// payload is a JoinRequest plus an optional trailing fencing epoch (zero
+// is omitted, so the bytes sent by and to pre-epoch nodes are unchanged);
+// only the frame type differs from a client join.
 func EncodeForwardedJoinRequest(m *JoinRequest) ([]byte, error) { return EncodeJoinRequest(m) }
+
+// EncodeForwardedJoinRequestFenced encodes a forwarded join stamped with
+// a landmark fencing epoch; zero degrades to the unfenced classic form.
+func EncodeForwardedJoinRequestFenced(m *JoinRequest, epoch uint64) ([]byte, error) {
+	b, err := EncodeJoinRequest(m)
+	if err != nil {
+		return nil, err
+	}
+	if epoch != 0 {
+		enc := encoder{buf: b}
+		enc.u64(epoch)
+		b = enc.buf
+	}
+	return b, nil
+}
 
 // DecodeForwardedJoinRequest decodes a forwarded join.
 func DecodeForwardedJoinRequest(b []byte) (*JoinRequest, error) { return DecodeJoinRequest(b) }

@@ -347,6 +347,82 @@ func TestForwardedJoinRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRedirectEpochRoundTrip covers the optional fencing epoch: a zero
+// epoch encodes to the classic addr-only payload (pre-epoch peers see
+// unchanged bytes), a non-zero epoch rides as the trailing u64, and a
+// classic payload decodes to epoch zero.
+func TestRedirectEpochRoundTrip(t *testing.T) {
+	fenced := &Redirect{Addr: "10.0.0.7:7470", Epoch: 42}
+	b, err := EncodeRedirect(fenced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRedirect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != fenced.Addr || got.Epoch != 42 {
+		t.Fatalf("got=%+v", got)
+	}
+	plain, err := EncodeRedirect(&Redirect{Addr: fenced.Addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(b)-8 {
+		t.Fatalf("zero epoch not omitted: %d vs %d bytes", len(plain), len(b))
+	}
+	got, err = DecodeRedirect(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 0 {
+		t.Fatalf("classic payload decoded epoch %d", got.Epoch)
+	}
+}
+
+// TestForwardedJoinFencedRoundTrip covers the fenced forwarded join: the
+// epoch rides as an optional trailing u64 picked up by
+// DecodeForwardedJoinOp, zero degrades to the classic byte-identical
+// payload, and a classic payload decodes unfenced.
+func TestForwardedJoinFencedRoundTrip(t *testing.T) {
+	m := &JoinRequest{Peer: 9, Addr: "203.0.113.5:7000", Path: []int32{4, 2, 100}}
+	b, err := EncodeForwardedJoinRequestFenced(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := DecodeForwardedJoinOp(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(o.Join.Peer) != m.Peer || o.Join.Addr != m.Addr || o.Epoch != 7 {
+		t.Fatalf("got op %+v epoch %d", o.Join, o.Epoch)
+	}
+	plain, err := EncodeForwardedJoinRequestFenced(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := EncodeForwardedJoinRequest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, classic) {
+		t.Fatal("zero-epoch fenced payload diverged from the classic form")
+	}
+	o, err = DecodeForwardedJoinOp(classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Epoch != 0 {
+		t.Fatalf("classic payload decoded epoch %d", o.Epoch)
+	}
+	// Truncations must error, never panic or mis-frame.
+	for n := 0; n < len(b); n++ {
+		if _, err := DecodeForwardedJoinOp(b[:n]); err == nil && n != len(classic) {
+			t.Fatalf("accepted truncation to %d bytes", n)
+		}
+	}
+}
+
 // --- framing edge cases ---
 
 func TestReadFrameTruncatedHeader(t *testing.T) {
@@ -684,7 +760,7 @@ func TestStatusDecodeOldPayloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const gaugeBytes = 8 + 4 + 8 + 8  // Peers, QueueDepth, RequestsTotal, WalFsyncs
+	const gaugeBytes = 8 + 4 + 8 + 8    // Peers, QueueDepth, RequestsTotal, WalFsyncs
 	const duraBytes = 8 + 8 + 4 + 8 + 8 // SnapshotSeq..Head
 
 	// A pre-gauge node: payload stops after Head.

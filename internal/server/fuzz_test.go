@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"proxdisc/internal/op"
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/topology"
 )
@@ -26,6 +27,11 @@ func fuzzSeedSnapshot(tb testing.TB) []byte {
 		tb.Fatal(err)
 	}
 	if err := s.SetSuperPeer(2, true); err != nil {
+		tb.Fatal(err)
+	}
+	// A moved landmark gives the seed a non-zero fencing epoch, so the
+	// corpus exercises the v3 snapshot layout.
+	if err := s.Apply(op.MoveLandmark(0, 0, 1, 3)); err != nil {
 		tb.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -72,6 +78,9 @@ func FuzzAbsorb(f *testing.F) {
 		}
 		if !reflect.DeepEqual(peersWithPaths(t, dst), peersWithPaths(t, clone)) {
 			t.Fatal("round-trip changed the peer records")
+		}
+		if !reflect.DeepEqual(dst.Epochs(), clone.Epochs()) {
+			t.Fatalf("round-trip changed the landmark epochs: %v vs %v", dst.Epochs(), clone.Epochs())
 		}
 		// Idempotence: absorbing the same snapshot again is a no-op.
 		again, err := dst.Absorb(bytes.NewReader(data))

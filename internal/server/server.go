@@ -35,6 +35,13 @@ var ErrUnknownLandmark = errors.New("server: path does not end at a registered l
 // ErrUnknownPeer is returned by lookups for absent peers.
 var ErrUnknownPeer = errors.New("server: unknown peer")
 
+// ErrStaleEpoch rejects a write fenced at an out-of-date landmark epoch:
+// the landmark moved between shards after the writer resolved its owner,
+// and the deposed owner must not silently accept mutations for a tree it
+// no longer serves. Writers recover by re-resolving the owner and
+// retrying at the current epoch.
+var ErrStaleEpoch = errors.New("server: stale landmark epoch")
+
 // Config parameterizes the management server.
 type Config struct {
 	// Landmarks lists the landmark routers. At least one is required.
@@ -92,6 +99,11 @@ type Server struct {
 	mu    sync.RWMutex
 	trees map[topology.NodeID]*pathtree.Tree
 	peers map[pathtree.PeerID]*PeerInfo
+	// epochs holds each landmark's fencing epoch. Only landmarks that have
+	// moved at least once have an entry; absence means epoch zero. The
+	// epoch is durable state: it rides in snapshots (version 3) and in
+	// KindMoveLandmark ops, so every copy agrees on who owns a landmark.
+	epochs map[topology.NodeID]uint64
 
 	joins, leaves, expiries, queries, delegations int
 }
@@ -101,6 +113,18 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Landmarks) == 0 {
 		return nil, errors.New("server: at least one landmark required")
 	}
+	return newServer(cfg)
+}
+
+// NewEmpty builds a server with no landmark trees: the seed state of a
+// freshly added cluster shard, which acquires landmarks through handoff
+// (Absorb + KindMoveLandmark) rather than configuration.
+func NewEmpty(cfg Config) (*Server, error) {
+	cfg.Landmarks = nil
+	return newServer(cfg)
+}
+
+func newServer(cfg Config) (*Server, error) {
 	if cfg.NeighborCount == 0 {
 		cfg.NeighborCount = DefaultNeighborCount
 	}
@@ -111,9 +135,10 @@ func New(cfg Config) (*Server, error) {
 		cfg.Clock = time.Now
 	}
 	s := &Server{
-		cfg:   cfg,
-		trees: make(map[topology.NodeID]*pathtree.Tree, len(cfg.Landmarks)),
-		peers: make(map[pathtree.PeerID]*PeerInfo),
+		cfg:    cfg,
+		trees:  make(map[topology.NodeID]*pathtree.Tree, len(cfg.Landmarks)),
+		peers:  make(map[pathtree.PeerID]*PeerInfo),
+		epochs: make(map[topology.NodeID]uint64),
 	}
 	for _, lm := range cfg.Landmarks {
 		if _, dup := s.trees[lm]; dup {
@@ -211,6 +236,22 @@ func (s *Server) applyLocked(o op.Op) error {
 		return nil
 	case op.KindExpire:
 		s.expireBeforeLocked(time.Unix(0, o.Time))
+		return nil
+	case op.KindMoveLandmark:
+		// A server applies the epoch half of a handoff: the peer transfer
+		// itself travels as a snapshot (Absorb on the destination,
+		// DropLandmark on the source). A follower's flat copy holds every
+		// landmark, so for it the move IS just the epoch bump; a shard
+		// replica sees the op after absorbing the tree. The tree is created
+		// if absent so a replica that never held the landmark still records
+		// its fence.
+		lm := o.Move.Landmark
+		if _, ok := s.trees[lm]; !ok {
+			s.trees[lm] = pathtree.New(lm, s.cfg.TreeOptions)
+		}
+		if o.Move.Epoch > s.epochs[lm] {
+			s.epochs[lm] = o.Move.Epoch
+		}
 		return nil
 	default:
 		return fmt.Errorf("server: cannot apply op kind %d", o.Kind)
@@ -459,6 +500,25 @@ func (s *Server) Peers() []pathtree.PeerID {
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Epoch reports a landmark's current fencing epoch (zero for a landmark
+// that never moved or is not held here).
+func (s *Server) Epoch(lm topology.NodeID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epochs[lm]
+}
+
+// Epochs returns a copy of every non-zero landmark fencing epoch.
+func (s *Server) Epochs() map[topology.NodeID]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[topology.NodeID]uint64, len(s.epochs))
+	for lm, e := range s.epochs {
+		out[lm] = e
+	}
 	return out
 }
 

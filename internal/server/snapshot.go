@@ -19,6 +19,16 @@ type snapshot struct {
 	Landmarks     []topology.NodeID
 	NeighborCount int
 	Peers         []snapshotPeer
+	// Epochs lists the non-zero landmark fencing epochs, ascending by
+	// landmark (version 3). A sorted slice rather than a map: gob map
+	// iteration order would break the byte-identity contract between a
+	// primary's snapshot and a converged follower's.
+	Epochs []snapshotEpoch
+}
+
+type snapshotEpoch struct {
+	Landmark topology.NodeID
+	Epoch    uint64
 }
 
 type snapshotPeer struct {
@@ -31,9 +41,10 @@ type snapshotPeer struct {
 }
 
 // snapshotVersion is the current format: version 2 added the peer overlay
-// address. Version-1 snapshots decode fine (gob leaves the absent Addr
-// empty), so decoders accept both.
-const snapshotVersion = 2
+// address, version 3 the landmark fencing epochs. Older snapshots decode
+// fine (gob leaves absent fields zero — an address-less peer, an
+// all-epoch-zero landmark set), so decoders accept all three.
+const snapshotVersion = 3
 
 // checkSnapshotVersion rejects snapshots from the future.
 func checkSnapshotVersion(v int) error {
@@ -41,6 +52,35 @@ func checkSnapshotVersion(v int) error {
 		return fmt.Errorf("server: unsupported snapshot version %d", v)
 	}
 	return nil
+}
+
+// epochsLocked collects the non-zero fencing epochs of the landmarks in
+// want (every held landmark when want is nil), sorted ascending. Callers
+// hold s.mu.
+func (s *Server) epochsLocked(want map[topology.NodeID]bool) []snapshotEpoch {
+	var out []snapshotEpoch
+	for lm, e := range s.epochs {
+		if e == 0 || (want != nil && !want[lm]) {
+			continue
+		}
+		if _, held := s.trees[lm]; !held {
+			continue
+		}
+		out = append(out, snapshotEpoch{Landmark: lm, Epoch: e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Landmark < out[j].Landmark })
+	return out
+}
+
+// adoptEpochsLocked raises the local fencing epochs to a snapshot's (an
+// epoch never goes backwards, whatever order snapshot parts arrive in).
+// Callers hold s.mu.
+func (s *Server) adoptEpochsLocked(es []snapshotEpoch) {
+	for _, e := range es {
+		if e.Epoch > s.epochs[e.Landmark] {
+			s.epochs[e.Landmark] = e.Epoch
+		}
+	}
 }
 
 // Snapshot serializes the server's durable state (landmarks, configuration,
@@ -66,6 +106,7 @@ func (s *Server) Snapshot(w io.Writer) error {
 			LastRefresh: info.LastRefresh,
 		})
 	}
+	snap.Epochs = s.epochsLocked(nil)
 	s.mu.RUnlock()
 	sort.Slice(snap.Peers, func(i, j int) bool { return snap.Peers[i].ID < snap.Peers[j].ID })
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
@@ -106,6 +147,7 @@ func (s *Server) SnapshotLandmarks(w io.Writer, lms ...topology.NodeID) error {
 			LastRefresh: info.LastRefresh,
 		})
 	}
+	snap.Epochs = s.epochsLocked(want)
 	s.mu.RUnlock()
 	sort.Slice(snap.Landmarks, func(i, j int) bool { return snap.Landmarks[i] < snap.Landmarks[j] })
 	sort.Slice(snap.Peers, func(i, j int) bool { return snap.Peers[i].ID < snap.Peers[j].ID })
@@ -134,6 +176,7 @@ func (s *Server) Absorb(r io.Reader) ([]pathtree.PeerID, error) {
 			s.trees[lm] = pathtree.New(lm, s.cfg.TreeOptions)
 		}
 	}
+	s.adoptEpochsLocked(snap.Epochs)
 	var absorbed []pathtree.PeerID
 	for _, p := range snap.Peers {
 		if _, exists := s.peers[p.ID]; exists {
@@ -205,6 +248,8 @@ func (s *Server) ResetFromSnapshot(r io.Reader) error {
 	}
 	s.trees = trees
 	s.peers = peers
+	s.epochs = make(map[topology.NodeID]uint64, len(snap.Epochs))
+	s.adoptEpochsLocked(snap.Epochs)
 	return nil
 }
 
@@ -225,6 +270,7 @@ func (s *Server) DropLandmark(lm topology.NodeID) []pathtree.PeerID {
 		}
 	}
 	delete(s.trees, lm)
+	delete(s.epochs, lm)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -261,9 +307,11 @@ func MergeSnapshots(w io.Writer, parts ...io.Reader) error {
 			out.Landmarks = append(out.Landmarks, lm)
 		}
 		out.Peers = append(out.Peers, snap.Peers...)
+		out.Epochs = append(out.Epochs, snap.Epochs...)
 	}
 	sort.Slice(out.Landmarks, func(i, j int) bool { return out.Landmarks[i] < out.Landmarks[j] })
 	sort.Slice(out.Peers, func(i, j int) bool { return out.Peers[i].ID < out.Peers[j].ID })
+	sort.Slice(out.Epochs, func(i, j int) bool { return out.Epochs[i].Landmark < out.Epochs[j].Landmark })
 	if err := gob.NewEncoder(w).Encode(&out); err != nil {
 		return fmt.Errorf("server: merge encode: %w", err)
 	}
@@ -283,7 +331,9 @@ func Restore(r io.Reader, cfg Config) (*Server, error) {
 	}
 	cfg.Landmarks = snap.Landmarks
 	cfg.NeighborCount = snap.NeighborCount
-	s, err := New(cfg)
+	// newServer rather than New: a freshly added elastic shard legitimately
+	// snapshots (and so restores) with zero landmarks.
+	s, err := newServer(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -306,5 +356,6 @@ func Restore(r io.Reader, cfg Config) (*Server, error) {
 			LastRefresh: p.LastRefresh,
 		}
 	}
+	s.adoptEpochsLocked(snap.Epochs)
 	return s, nil
 }

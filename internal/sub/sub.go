@@ -484,9 +484,12 @@ func (p *Plane) evalKClosest(s *Subscriber, seq uint64, o *op.Op) {
 		if s.subjPath != nil {
 			p.revalKClosest(s, seq, 0, false)
 		}
-	case op.KindRefresh, op.KindSetSuperPeer:
-		// Neither changes a k-closest answer: refresh only bumps liveness,
-		// and super-peer delegation never alters the candidate set.
+	case op.KindRefresh, op.KindSetSuperPeer, op.KindMoveLandmark:
+		// None of these changes a k-closest answer: refresh only bumps
+		// liveness, super-peer delegation never alters the candidate set,
+		// and a landmark handoff moves a whole tree between shards without
+		// touching any peer's registration (the same holds in evalPeer and
+		// evalLandmark, where moves fall through their switches).
 	}
 }
 

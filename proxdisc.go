@@ -175,6 +175,41 @@
 // simulated deployment, and proxdisc-server logs lag and group-commit
 // batching on a live node.
 //
+// # Elastic resharding
+//
+// Landmark ownership is not fixed at construction. Cluster.MoveLandmark
+// transfers one landmark's path tree between shards while the cluster
+// keeps serving: only the source/destination shard pair freezes for the
+// copy — every other shard accepts writes throughout — and reads are
+// answered the whole time. A move is a first-class logged operation in
+// the same canonical op stream as joins and leaves: it is committed to
+// the write-ahead log, shipped to followers, and replayed by crash
+// recovery, so a restarted node reconstructs the exact post-move
+// ownership no matter where a crash landed — mid-copy, between the copy
+// and the table flip, or between the flip and the commit — with exactly
+// one shard owning the landmark and zero peers lost.
+//
+// Each move increments the landmark's fencing epoch, a monotonic counter
+// persisted in snapshots and carried by the move op. Writers that route
+// by a cached ownership table can stamp their ops with the epoch they
+// observed (redirects carry the current epoch for this purpose); a
+// mutation carrying a stale epoch is rejected loudly with a
+// stale-epoch error instead of being applied to the wrong shard — the
+// classic lost-update window between "looked up the owner" and "applied
+// the write" closes. Unstamped ops remain valid: fencing is opt-in per
+// write, not a wire break.
+//
+// ClusterConfig.Shards may exceed the landmark count: surplus shards
+// start empty and become useful the moment a landmark moves onto them.
+// Setting ClusterConfig.RebalanceInterval starts a load-driven
+// rebalancer that periodically compares per-shard peer populations and
+// issues fenced moves — largest movable landmark first, fullest shard to
+// emptiest — until shard loads are within RebalanceMinGap of each other;
+// Cluster.Rebalance runs one such pass on demand. Scaling out is
+// therefore: restart (or build) the cluster with more shards and let the
+// rebalancer fill them, or aim MoveLandmark by hand. The handoff counter
+// is proxdisc_handoffs_total.
+//
 // # Live subscriptions
 //
 // The op stream also drives a push-based read plane. Instead of polling
