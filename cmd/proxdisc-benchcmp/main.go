@@ -22,6 +22,13 @@
 // holds even where absolute thresholds are noise (so it is enforced even
 // under -soft) — the tool behind "instrumentation must cost under 5%"
 // style CI checks. Several specs may be given, comma-separated.
+//
+// -metric NAME:unit:pct gates a higher-is-better custom metric (joins/s,
+// and friends) against the baseline: the run fails when the current
+// median falls more than pct percent below the baseline's, so a
+// throughput collapse fails CI even when ns/op — which measures the whole
+// iteration, fills and all — stays flat. Throughput is as
+// machine-dependent as ns/op, so the floor honors -soft.
 package main
 
 import (
@@ -68,6 +75,7 @@ func main() {
 		minNs     = flag.Float64("min-ns", 0, "only gate benchmarks whose baseline median ns/op is at least this (timings below it are single-iteration noise at -benchtime 1x; they are still reported)")
 		allocPct  = flag.Float64("alloc-threshold", 20, "allocs/op regression percentage that fails the run (a zero-alloc baseline fails on ANY allocation)")
 		ratios    = flag.String("ratio", "", "comma-separated A:B:pct specs gating benchmark A's ns/op within pct percent of B's, both from the current run")
+		metrics   = flag.String("metric", "", "comma-separated NAME:unit:pct floor specs gating a higher-is-better custom metric against the baseline (e.g. 'BatchJoin/batch=32:joins/s:25'): fails when the current median falls more than pct percent below the baseline's (honors -soft, like ns/op)")
 	)
 	flag.Parse()
 	if *current == "" {
@@ -127,6 +135,15 @@ func main() {
 	// Allocation counts are deterministic across machines, so their
 	// regressions fail even -soft runs (like -ratio gates, unlike ns/op).
 	allocRegressions := compareAllocs(os.Stdout, base, cur, *allocPct)
+	metricRegressions := 0
+	if *metrics != "" {
+		specs, err := parseMetricSpecs(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %v\n", err)
+			os.Exit(2)
+		}
+		metricRegressions = checkMetricFloors(os.Stdout, base, cur, specs)
+	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %d benchmark(s) regressed more than %.0f%% ns/op\n",
 			regressions, *threshold)
@@ -134,6 +151,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "proxdisc-benchcmp: -soft set; not failing on ns/op")
+	}
+	if metricRegressions > 0 {
+		// Throughput metrics are as machine-dependent as ns/op, so the
+		// floor gate honors -soft the same way.
+		fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %d metric floor gate(s) failed\n", metricRegressions)
+		if !*soft {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "proxdisc-benchcmp: -soft set; not failing on metric floors")
 	}
 	if allocRegressions > 0 {
 		fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %d benchmark(s) regressed allocs/op\n", allocRegressions)
@@ -190,6 +216,71 @@ func checkRatios(w *os.File, cur *Summary, specs []ratioSpec) int {
 		}
 		fmt.Fprintf(w, "ratio %s (%.0f ns/op) vs %s (%.0f ns/op): %+.1f%% (limit +%.1f%%)  %s\n",
 			spec.a, a.NsPerOp, spec.b, b.NsPerOp, delta, spec.pct, verdict)
+	}
+	return failures
+}
+
+// metricSpec gates a higher-is-better custom metric of one benchmark: the
+// current median must not fall more than pct percent below the baseline's.
+type metricSpec struct {
+	name, unit string
+	pct        float64
+}
+
+// parseMetricSpecs reads comma-separated "NAME:unit:pct" specs (benchmark
+// names without the "Benchmark" prefix; slashes in names and units are
+// fine — neither may contain a colon).
+func parseMetricSpecs(s string) ([]metricSpec, error) {
+	var out []metricSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad -metric spec %q (want NAME:unit:pct)", part)
+		}
+		pct, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -metric percentage in %q: %w", part, err)
+		}
+		out = append(out, metricSpec{name: fields[0], unit: fields[1], pct: pct})
+	}
+	return out, nil
+}
+
+// checkMetricFloors gates custom metrics against the baseline and returns
+// how many floors were broken. A spec whose benchmark or metric vanished
+// from the current run fails (it must not silently pass its gate); a
+// metric the baseline has never recorded is reported and skipped, so a
+// newly added benchmark does not fail until a baseline adopts it.
+func checkMetricFloors(w *os.File, base, cur *Summary, specs []metricSpec) int {
+	failures := 0
+	for _, spec := range specs {
+		c, okC := cur.Benchmarks[spec.name]
+		var cv float64
+		if okC {
+			cv, okC = c.Metrics[spec.unit]
+		}
+		if !okC {
+			fmt.Fprintf(w, "metric %s %s: missing from current run\n", spec.name, spec.unit)
+			failures++
+			continue
+		}
+		b, okB := base.Benchmarks[spec.name]
+		var bv float64
+		if okB {
+			bv, okB = b.Metrics[spec.unit]
+		}
+		if !okB || bv <= 0 {
+			fmt.Fprintf(w, "metric %s %s: %.1f (no baseline — not gated)\n", spec.name, spec.unit, cv)
+			continue
+		}
+		drop := (bv - cv) / bv * 100
+		verdict := "ok"
+		if drop > spec.pct {
+			verdict = "FLOOR BROKEN"
+			failures++
+		}
+		fmt.Fprintf(w, "metric %s %s: %.1f  base %.1f  %+.1f%% (floor -%.1f%%)  %s\n",
+			spec.name, spec.unit, cv, bv, -drop, spec.pct, verdict)
 	}
 	return failures
 }

@@ -109,6 +109,13 @@ type Config struct {
 	// durability for speed (process crashes lose nothing); benchmarks and
 	// tests that model process kills use it.
 	NoSync bool
+	// CheckpointBytesPerSec rate-limits the disk-write phase of background
+	// checkpoints so a large snapshot does not saturate the device the
+	// write-ahead log shares and stall foreground commits. The state is
+	// serialized to memory first — the serialization locks are held only
+	// for that fast phase — and the paced copy happens with no cluster
+	// lock held. Zero writes at full speed.
+	CheckpointBytesPerSec int64
 
 	// Telemetry, when set, registers the cluster's metrics (per-shard
 	// apply counters and peer gauges, scatter fan-out, handoffs,
@@ -461,12 +468,20 @@ func (c *Cluster) JoinBatchOp(o op.Op) []server.BatchResult {
 	// by its LAST entry, exactly as sequential joins would leave it; the
 	// per-shard groups below run in shard order, not batch order, so
 	// duplicate-peer entries go through the in-order singular path.
-	seen := make(map[pathtree.PeerID]int, len(items))
-	for i := range items {
-		seen[items[i].Peer]++
+	// Wire batches are short, so a quadratic scan beats building a count
+	// map — it allocates nothing on the hot path.
+	dup := func(p pathtree.PeerID, self int) bool {
+		for i := range items {
+			if i != self && items[i].Peer == p {
+				return true
+			}
+		}
+		return false
 	}
-	// Resolve every entry's shard under one table read-lock.
-	groups := make(map[int]*batchGroup)
+	// Resolve every entry's shard under one table read-lock. Groups are a
+	// slice indexed by shard: the shard count is small and fixed, and
+	// indexing keeps the resolve loop free of map operations.
+	groups := make([]batchGroup, len(c.shards))
 	var deferred []int
 	c.mu.RLock()
 	for i := range items {
@@ -481,15 +496,11 @@ func (c *Cluster) JoinBatchOp(o op.Op) []server.BatchResult {
 			out[i].Err = fmt.Errorf("%w (router %d)", server.ErrUnknownLandmark, lm)
 			continue
 		}
-		if c.moving[lm] != nil || c.failing[shard] != nil || seen[it.Peer] > 1 {
+		if c.moving[lm] != nil || c.failing[shard] != nil || dup(it.Peer, i) {
 			deferred = append(deferred, i)
 			continue
 		}
-		g := groups[shard]
-		if g == nil {
-			g = &batchGroup{}
-			groups[shard] = g
-		}
+		g := &groups[shard]
 		g.idxs = append(g.idxs, i)
 		g.entries = append(g.entries, *it)
 	}
@@ -500,9 +511,10 @@ func (c *Cluster) JoinBatchOp(o op.Op) []server.BatchResult {
 	// entry applied here.
 	involved := make([]int, 0, len(groups))
 	for shard := range groups {
-		involved = append(involved, shard)
+		if len(groups[shard].idxs) > 0 {
+			involved = append(involved, shard)
+		}
 	}
-	sort.Ints(involved)
 	for _, shard := range involved {
 		c.shards[shard].opMu.RLock()
 	}
@@ -514,7 +526,7 @@ func (c *Cluster) JoinBatchOp(o op.Op) []server.BatchResult {
 	}
 	var retirements []retirement
 	for _, shard := range involved {
-		g := groups[shard]
+		g := &groups[shard]
 		res, err := c.shards[shard].applyOp(op.BatchJoin(g.entries, o.Time), false)
 		if err != nil {
 			for _, i := range g.idxs {

@@ -40,13 +40,27 @@ type tableEntry struct {
 	Shard    int
 }
 
-// writeCheckpoint writes the full checkpoint file: magic, a
+// writeCheckpoint writes the full checkpoint file in two phases. The
+// serialization phase builds the whole checkpoint in memory under one
+// hoMu hold, so the table in the header and the trees in the snapshot
+// describe the same instant even against concurrent handoffs — and the
+// lock is released the moment the bytes exist. The write phase then
+// copies them to disk with no cluster lock held, paced to
+// Config.CheckpointBytesPerSec so a large snapshot cannot monopolize the
+// device under the write-ahead log and stall foreground commits.
+func (c *Cluster) writeCheckpoint(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := c.serializeCheckpoint(&buf); err != nil {
+		return err
+	}
+	return pacedCopy(w, buf.Bytes(), c.cfg.CheckpointBytesPerSec)
+}
+
+// serializeCheckpoint builds the checkpoint bytes: magic, a
 // length-prefixed gob header (length-prefixed because gob decoders read
 // ahead, so the snapshot decoder must get its own cleanly-bounded
-// stream), then the merged snapshot — all under one hoMu hold, so the
-// table in the header and the trees in the snapshot describe the same
-// instant even against concurrent handoffs.
-func (c *Cluster) writeCheckpoint(w io.Writer) error {
+// stream), then the merged snapshot — all under one hoMu hold.
+func (c *Cluster) serializeCheckpoint(w io.Writer) error {
 	c.hoMu.Lock()
 	defer c.hoMu.Unlock()
 	c.mu.RLock()
@@ -72,6 +86,29 @@ func (c *Cluster) writeCheckpoint(w io.Writer) error {
 		return err
 	}
 	return c.snapshotLocked(w)
+}
+
+// pacedCopy writes b to w in chunks, sleeping between chunks to hold the
+// average rate at bytesPerSec (≤ 0 writes at full speed). The chunk size
+// balances pacing granularity against syscall count; the sleep follows
+// each chunk, so a checkpoint smaller than one chunk is never delayed.
+func pacedCopy(w io.Writer, b []byte, bytesPerSec int64) error {
+	if bytesPerSec <= 0 {
+		_, err := w.Write(b)
+		return err
+	}
+	const chunk = 256 << 10
+	for len(b) > 0 {
+		n := min(len(b), chunk)
+		if _, err := w.Write(b[:n]); err != nil {
+			return err
+		}
+		b = b[n:]
+		if len(b) > 0 {
+			time.Sleep(time.Duration(int64(n) * int64(time.Second) / bytesPerSec))
+		}
+	}
+	return nil
 }
 
 // readCheckpointHeader splits a checkpoint stream into its cluster header
@@ -259,35 +296,42 @@ func (c *Cluster) commit(o op.Op) error {
 	if c.log == nil {
 		return nil
 	}
-	n := 1
+	// Encode into pooled buffers: the WAL copies each record into its own
+	// write buffer before Append returns and commit taps must not retain
+	// records, so every buffer recycles as soon as Append comes back — the
+	// encode side of a committed op is allocation-free in steady state.
+	// The one-record common case keeps the record slice itself on the
+	// stack too.
+	var recsArr [1][]byte
+	recs := recsArr[:0]
 	if o.Kind == op.KindBatchJoin && len(o.Batch) > op.MaxBatch {
-		n = (len(o.Batch) + op.MaxBatch - 1) / op.MaxBatch
-	}
-	recs := make([][]byte, 0, n)
-	if n == 1 {
-		rec, err := op.Encode(o)
-		if err != nil {
-			return fmt.Errorf("cluster: encode op: %w", err)
-		}
-		recs = append(recs, rec)
-	} else {
 		for start := 0; start < len(o.Batch); start += op.MaxBatch {
-			end := start + op.MaxBatch
-			if end > len(o.Batch) {
-				end = len(o.Batch)
-			}
-			rec, err := op.Encode(op.BatchJoin(o.Batch[start:end], o.Time))
+			end := min(start+op.MaxBatch, len(o.Batch))
+			rec, err := op.Append(op.GetBuf(), op.BatchJoin(o.Batch[start:end], o.Time))
 			if err != nil {
+				for _, r := range recs {
+					op.PutBuf(r)
+				}
 				return fmt.Errorf("cluster: encode op: %w", err)
 			}
 			recs = append(recs, rec)
 		}
+	} else {
+		rec, err := op.Append(op.GetBuf(), o)
+		if err != nil {
+			return fmt.Errorf("cluster: encode op: %w", err)
+		}
+		recs = append(recs, rec)
 	}
 	var nbytes int64
 	for _, rec := range recs {
 		nbytes += int64(len(rec))
 	}
-	if _, err := c.log.Append(recs...); err != nil {
+	_, err := c.log.Append(recs...)
+	for _, rec := range recs {
+		op.PutBuf(rec)
+	}
+	if err != nil {
 		return fmt.Errorf("cluster: wal append: %w", err)
 	}
 	// Two checkpoint triggers, byte-based first (it tracks the actual

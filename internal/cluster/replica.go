@@ -217,14 +217,26 @@ func (g *shardGroup) applyOp(o op.Op, quiet bool) (opResult, error) {
 			res.cands = cands
 		case op.KindBatchJoin:
 			res.batch = primary.JoinBatchOp(o)
-			rec = op.Op{Kind: op.KindBatchJoin, Time: o.Time}
+			accepted := 0
 			for i := range res.batch {
 				if res.batch[i].Err == nil {
-					rec.Batch = append(rec.Batch, o.Batch[i])
+					accepted++
 				}
 			}
-			if len(rec.Batch) == 0 {
+			if accepted == 0 {
 				return res, nil
+			}
+			if accepted < len(o.Batch) {
+				// Replicas and the apply log must never see a rejected
+				// entry: trim the op to the accepted ones. The common case
+				// — every entry accepted — reuses the op as-is.
+				rec = op.Op{Kind: op.KindBatchJoin, Time: o.Time,
+					Batch: make([]op.JoinEntry, 0, accepted)}
+				for i := range res.batch {
+					if res.batch[i].Err == nil {
+						rec.Batch = append(rec.Batch, o.Batch[i])
+					}
+				}
 			}
 		case op.KindExpire:
 			res.expired = primary.ExpireOp(o)

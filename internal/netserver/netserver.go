@@ -330,6 +330,12 @@ type wireConn struct {
 }
 
 // outFrame is one queued version-2 response.
+// outFrame is one queued response. Enqueuing transfers ownership of
+// payload to the connection's writer, which recycles it into the proto
+// buffer pool after the frame is written — producers must not retain or
+// share the slice (every producer encodes a fresh or pooled buffer per
+// frame; shared bytes like op-stream record data are always copied into
+// the frame payload, never aliased by it).
 type outFrame struct {
 	typ     proto.MsgType
 	id      uint64
@@ -489,6 +495,10 @@ func (s *NetServer) writeLoop(wc *wireConn) {
 			if err == nil {
 				err = proto.WriteFrameID(wc.bw, f.typ, f.id, f.payload)
 			}
+			// The frame bytes were copied into the write buffer (or the
+			// connection is dying); the payload is ours to recycle — see
+			// the outFrame ownership contract.
+			proto.PutBuf(f.payload)
 			if err == nil && len(wc.out) == 0 {
 				err = wc.bw.Flush()
 			}
@@ -1025,7 +1035,7 @@ func (s *NetServer) serveBatchJoin(o op.Op, forwarded bool) (proto.MsgType, []by
 	results := make([]proto.BatchJoinResult, len(o.Batch))
 	entries := make([]op.JoinEntry, 0, len(o.Batch))
 	idxs := make([]int, 0, len(o.Batch))
-	remote := make(map[string]*remoteBatch)
+	var remote map[string]*remoteBatch // lazily built: all-local batches never need it
 	for i := range o.Batch {
 		e := &o.Batch[i]
 		if len(e.Path) == 0 {
@@ -1046,6 +1056,9 @@ func (s *NetServer) serveBatchJoin(o op.Op, forwarded bool) (proto.MsgType, []by
 					g := remote[owner]
 					if g == nil {
 						g = &remoteBatch{}
+						if remote == nil {
+							remote = make(map[string]*remoteBatch)
+						}
 						remote[owner] = g
 					}
 					g.idxs = append(g.idxs, i)

@@ -247,6 +247,42 @@ func Append(dst []byte, o Op) ([]byte, error) {
 // Encode encodes o into a fresh buffer.
 func Encode(o Op) ([]byte, error) { return Append(nil, o) }
 
+// bufFree recycles encode buffers across the commit and replication hot
+// paths — the op-codec side of the proto.GetBuf/PutBuf discipline. A
+// caller takes a zero-length buffer, Appends an op into it, hands the
+// bytes to a consumer that copies them (the WAL's write buffer, a commit
+// tap), and puts the buffer back, so encoding a committed op allocates
+// nothing in steady state. A bounded channel freelist rather than a
+// sync.Pool: nonblocking channel transfer of a slice header allocates
+// nothing, whereas sync.Pool.Put must box the header (&b escapes).
+var bufFree = make(chan []byte, 64)
+
+// GetBuf returns a zero-length buffer from the codec pool, intended as the
+// dst of Append. Return it with PutBuf once its bytes have been consumed.
+func GetBuf() []byte {
+	select {
+	case b := <-bufFree:
+		return b
+	default:
+		return make([]byte, 0, 512)
+	}
+}
+
+// PutBuf returns a buffer obtained from GetBuf (or grown from one by
+// Append) to the codec pool. Callers must not retain any reference into it
+// afterwards. Buffers beyond the largest encodable op are dropped so the
+// pool cannot pin pathological allocations; when the freelist is full the
+// buffer falls to the GC.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > MaxEncodedSize {
+		return
+	}
+	select {
+	case bufFree <- b[:0]:
+	default:
+	}
+}
+
 func appendEntry(dst []byte, e *JoinEntry) ([]byte, error) {
 	if len(e.Addr) > MaxAddrLen {
 		return nil, fmt.Errorf("%w: address length %d", ErrLimit, len(e.Addr))
@@ -268,15 +304,29 @@ func appendEntry(dst []byte, e *JoinEntry) ([]byte, error) {
 // (trailing bytes are an error — log records and wire payloads are framed
 // by their carriers).
 func Decode(b []byte) (Op, error) {
-	d := opDecoder{buf: b}
-	o, err := d.op()
-	if err != nil {
+	var o Op
+	if err := DecodeInto(&o, b); err != nil {
 		return Op{}, err
 	}
-	if d.off != len(d.buf) {
-		return Op{}, fmt.Errorf("op: %d trailing bytes", len(d.buf)-d.off)
-	}
 	return o, nil
+}
+
+// DecodeInto decodes one op from b into o, reusing o's Batch and Path
+// capacity — and Addr strings when the bytes are unchanged — so a
+// steady-state decode loop over a record stream allocates nothing.
+// Scalar fields are reset; slice/entry fields of kinds other than the
+// decoded one keep stale contents, which is safe because every consumer
+// switches on Kind and reads only that kind's fields. On error o's
+// contents are unspecified.
+func DecodeInto(o *Op, b []byte) error {
+	d := opDecoder{buf: b}
+	if err := d.opInto(o); err != nil {
+		return err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("op: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return nil
 }
 
 type opDecoder struct {
@@ -338,7 +388,13 @@ func (d *opDecoder) entry(e *JoinEntry) error {
 	if d.remaining() < int(alen) {
 		return ErrTruncated
 	}
-	e.Addr = string(d.buf[d.off : d.off+int(alen)])
+	// Reuse the string when the bytes match what e already holds: a
+	// re-decoded entry (replay, refresh of the same peer into the same
+	// target struct) costs no allocation, and the == comparison against a
+	// converted byte slice does not allocate.
+	if addr := d.buf[d.off : d.off+int(alen)]; string(addr) != e.Addr {
+		e.Addr = string(addr)
+	}
 	d.off += int(alen)
 	plen, err := d.u16()
 	if err != nil {
@@ -347,7 +403,11 @@ func (d *opDecoder) entry(e *JoinEntry) error {
 	if int(plen) > MaxPathLen {
 		return fmt.Errorf("%w: path length %d", ErrLimit, plen)
 	}
-	e.Path = make([]topology.NodeID, plen)
+	if e.Path == nil || cap(e.Path) < int(plen) {
+		e.Path = make([]topology.NodeID, plen)
+	} else {
+		e.Path = e.Path[:plen]
+	}
 	for i := range e.Path {
 		r, err := d.u32()
 		if err != nil {
@@ -358,76 +418,85 @@ func (d *opDecoder) entry(e *JoinEntry) error {
 	return nil
 }
 
-func (d *opDecoder) op() (Op, error) {
-	var o Op
+func (d *opDecoder) opInto(o *Op) error {
+	// Reset the scalars a stale target could leak between kinds; Join,
+	// Batch, and Move are overwritten (or ignored) per the Kind contract
+	// documented on DecodeInto, and keeping their capacity is the point.
+	o.Peer = 0
+	o.Super = false
+	o.Epoch = 0
 	kind, err := d.u8()
 	if err != nil {
-		return o, err
+		return err
 	}
 	o.Kind = Kind(kind)
 	t, err := d.u64()
 	if err != nil {
-		return o, err
+		return err
 	}
 	o.Time = int64(t)
 	switch o.Kind {
 	case KindJoin:
-		return o, d.entry(&o.Join)
+		return d.entry(&o.Join)
 	case KindBatchJoin:
 		n, err := d.u16()
 		if err != nil {
-			return o, err
+			return err
 		}
 		if n == 0 || int(n) > MaxBatch {
-			return o, fmt.Errorf("%w: batch of %d joins", ErrLimit, n)
+			return fmt.Errorf("%w: batch of %d joins", ErrLimit, n)
 		}
-		o.Batch = make([]JoinEntry, n)
+		if o.Batch == nil || cap(o.Batch) < int(n) {
+			o.Batch = make([]JoinEntry, n)
+		} else {
+			o.Batch = o.Batch[:n]
+		}
 		for i := range o.Batch {
 			if err := d.entry(&o.Batch[i]); err != nil {
-				return o, err
+				return err
 			}
 		}
-		return o, nil
+		return nil
 	case KindLeave, KindRefresh:
 		p, err := d.u64()
 		o.Peer = pathtree.PeerID(p)
-		return o, err
+		return err
 	case KindSetSuperPeer:
 		p, err := d.u64()
 		if err != nil {
-			return o, err
+			return err
 		}
 		o.Peer = pathtree.PeerID(p)
 		super, err := d.u8()
 		if err != nil {
-			return o, err
+			return err
 		}
 		if super > 1 {
-			return o, fmt.Errorf("op: bad super flag %d", super)
+			return fmt.Errorf("op: bad super flag %d", super)
 		}
 		o.Super = super == 1
-		return o, nil
+		return nil
 	case KindExpire:
-		return o, nil
+		return nil
 	case KindMoveLandmark:
 		lm, err := d.u32()
 		if err != nil {
-			return o, err
+			return err
 		}
 		o.Move.Landmark = topology.NodeID(lm)
 		src, err := d.u16()
 		if err != nil {
-			return o, err
+			return err
 		}
 		o.Move.Src = int(src)
 		dst, err := d.u16()
 		if err != nil {
-			return o, err
+			return err
 		}
 		o.Move.Dst = int(dst)
 		o.Move.Epoch, err = d.u64()
-		return o, err
+		return err
 	default:
-		return o, fmt.Errorf("op: unknown kind %d", kind)
+		return fmt.Errorf("op: unknown kind %d", kind)
 	}
 }

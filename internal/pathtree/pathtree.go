@@ -26,6 +26,7 @@ package pathtree
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -74,11 +75,12 @@ type node struct {
 	parent   *node
 	depth    int32
 	children map[topology.NodeID]*node
-	// childOrder keeps the children's router IDs sorted ascending, so
-	// queries can walk children deterministically without re-sorting.
-	// Maintained at insert/prune time (a binary-search insertion), which
-	// keeps harvest free of per-visit sorting.
-	childOrder []topology.NodeID
+	// childOrder keeps the child nodes sorted ascending by router ID, so
+	// queries can walk children deterministically without re-sorting and
+	// without a map lookup per visit. Maintained at insert/prune time (a
+	// binary-search insertion), which keeps harvest free of per-visit
+	// sorting.
+	childOrder []*node
 	// peers attached exactly at this router (their path ends here), in
 	// insertion order.
 	peers []PeerID
@@ -88,18 +90,19 @@ type node struct {
 	subtreeCount int
 }
 
-// addChildOrdered inserts r into the sorted childOrder slice.
-func (n *node) addChildOrdered(r topology.NodeID) {
-	i := sort.Search(len(n.childOrder), func(i int) bool { return n.childOrder[i] >= r })
-	n.childOrder = append(n.childOrder, 0)
+// addChildOrdered inserts c into the sorted childOrder slice.
+func (n *node) addChildOrdered(c *node) {
+	i := sort.Search(len(n.childOrder), func(i int) bool { return n.childOrder[i].router >= c.router })
+	n.childOrder = append(n.childOrder, nil)
 	copy(n.childOrder[i+1:], n.childOrder[i:])
-	n.childOrder[i] = r
+	n.childOrder[i] = c
 }
 
-// removeChildOrdered deletes r from the sorted childOrder slice.
+// removeChildOrdered deletes the child with router r from the sorted
+// childOrder slice.
 func (n *node) removeChildOrdered(r topology.NodeID) {
-	i := sort.Search(len(n.childOrder), func(i int) bool { return n.childOrder[i] >= r })
-	if i < len(n.childOrder) && n.childOrder[i] == r {
+	i := sort.Search(len(n.childOrder), func(i int) bool { return n.childOrder[i].router >= r })
+	if i < len(n.childOrder) && n.childOrder[i].router == r {
 		n.childOrder = append(n.childOrder[:i], n.childOrder[i+1:]...)
 	}
 }
@@ -154,15 +157,17 @@ func (t *Tree) validatePath(path []topology.NodeID) error {
 		return fmt.Errorf("pathtree: path ends at router %d, not landmark %d",
 			path[len(path)-1], t.landmark)
 	}
-	seen := make(map[topology.NodeID]bool, len(path))
-	for _, r := range path {
+	// Paths are short (bounded by the wire limit), so a quadratic scan for
+	// repeats beats building a set: it allocates nothing on the hot path.
+	for i, r := range path {
 		if r == topology.InvalidNode {
 			return errors.New("pathtree: path contains anonymous router; strip before insert")
 		}
-		if seen[r] {
-			return fmt.Errorf("pathtree: router %d repeats in path", r)
+		for _, q := range path[:i] {
+			if q == r {
+				return fmt.Errorf("pathtree: router %d repeats in path", r)
+			}
 		}
-		seen[r] = true
 	}
 	return nil
 }
@@ -190,7 +195,7 @@ func (t *Tree) Insert(p PeerID, path []topology.NodeID) error {
 				cur.children = make(map[topology.NodeID]*node)
 			}
 			cur.children[r] = child
-			cur.addChildOrdered(r)
+			cur.addChildOrdered(child)
 			if prev, exists := t.byRouter[r]; exists {
 				if prev != child {
 					t.routerConflicts++
@@ -275,6 +280,28 @@ func deepestCommonAncestor(a, b *node) *node {
 	return a
 }
 
+// excludeSet is the query-side exclusion filter. The overwhelmingly common
+// case — excluding only the querying peer itself — is a single comparison,
+// so queries never allocate a set; a caller-supplied map rides along for
+// the general case.
+type excludeSet struct {
+	self    PeerID
+	hasSelf bool
+	m       map[PeerID]bool
+}
+
+func (e *excludeSet) contains(p PeerID) bool {
+	return (e.hasSelf && p == e.self) || e.m[p]
+}
+
+func (e *excludeSet) size() int {
+	n := len(e.m)
+	if e.hasSelf {
+		n++
+	}
+	return n
+}
+
 // Closest returns the k peers with the smallest dtree distance to inserted
 // peer p, excluding p itself. Results are sorted by (DTree, PeerID).
 func (t *Tree) Closest(p PeerID, k int) ([]Candidate, error) {
@@ -284,7 +311,7 @@ func (t *Tree) Closest(p PeerID, k int) ([]Candidate, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, p)
 	}
-	return t.closestFrom(n, int(n.depth), k, map[PeerID]bool{p: true}), nil
+	return t.closestFrom(n, int(n.depth), k, excludeSet{self: p, hasSelf: true}), nil
 }
 
 // ClosestToPath answers a closest-peers query for a (possibly not yet
@@ -292,6 +319,17 @@ func (t *Tree) Closest(p PeerID, k int) ([]Candidate, error) {
 // exclude. This is the server's "second round": the newcomer's candidate
 // list is computed before or without inserting it.
 func (t *Tree) ClosestToPath(path []topology.NodeID, k int, exclude map[PeerID]bool) ([]Candidate, error) {
+	return t.closestToPath(path, k, excludeSet{m: exclude})
+}
+
+// ClosestToPathExcluding is ClosestToPath with a single excluded peer
+// (almost always the joiner itself). It exists so the join hot path never
+// materializes an exclusion map.
+func (t *Tree) ClosestToPathExcluding(path []topology.NodeID, k int, self PeerID) ([]Candidate, error) {
+	return t.closestToPath(path, k, excludeSet{self: self, hasSelf: true})
+}
+
+func (t *Tree) closestToPath(path []topology.NodeID, k int, exclude excludeSet) ([]Candidate, error) {
 	if err := t.validatePath(path); err != nil {
 		return nil, err
 	}
@@ -299,21 +337,15 @@ func (t *Tree) ClosestToPath(path []topology.NodeID, k int, exclude map[PeerID]b
 	defer t.mu.RUnlock()
 	// Walk down as far as the trie matches the reported path.
 	cur := t.root
-	matched := 0 // routers matched beyond the root
 	for i := len(path) - 2; i >= 0; i-- {
 		child, ok := cur.children[path[i]]
 		if !ok {
 			break
 		}
 		cur = child
-		matched++
 	}
 	virtualDepth := len(path) - 1 // the newcomer's would-be depth
-	ex := exclude
-	if ex == nil {
-		ex = map[PeerID]bool{}
-	}
-	return t.closestFrom(cur, virtualDepth, k, ex), nil
+	return t.closestFrom(cur, virtualDepth, k, exclude), nil
 }
 
 // closestFrom computes the exact k-nearest peers by dtree for a query point
@@ -327,15 +359,17 @@ func (t *Tree) ClosestToPath(path []topology.NodeID, k int, exclude map[PeerID]b
 // has dca depth exactly da, hence dtree = (qd − da) + (dq − da). The search
 // stops when the next level's best possible dtree cannot beat the current
 // kth best — making the answer exact, not approximate.
-func (t *Tree) closestFrom(start *node, queryDepth, k int, exclude map[PeerID]bool) []Candidate {
+func (t *Tree) closestFrom(start *node, queryDepth, k int, exclude excludeSet) []Candidate {
 	if k <= 0 {
 		return nil
 	}
 	perLevel := t.opts.MaxCandidatesPerLevel
 	if perLevel < k {
-		perLevel = k + len(exclude)
+		perLevel = k + exclude.size()
 	}
-	var out []Candidate
+	sc := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(sc)
+	out := make([]Candidate, 0, k+1)
 	worst := func() int {
 		if len(out) < k {
 			return int(^uint(0) >> 1) // max int
@@ -351,17 +385,20 @@ func (t *Tree) closestFrom(start *node, queryDepth, k int, exclude map[PeerID]bo
 		if len(out) >= k && queryDepth-da > worst() {
 			break
 		}
-		harvested := harvest(a, skip, perLevel, exclude)
+		harvested := harvest(a, skip, perLevel, exclude, sc)
 		for _, h := range harvested {
 			d := (queryDepth - da) + (int(h.node.depth) - da)
 			out = append(out, Candidate{Peer: h.peer, DTree: d})
 		}
 		if len(harvested) > 0 {
-			sort.Slice(out, func(i, j int) bool {
-				if out[i].DTree != out[j].DTree {
-					return out[i].DTree < out[j].DTree
+			slices.SortFunc(out, func(x, y Candidate) int {
+				if x.DTree != y.DTree {
+					return x.DTree - y.DTree
 				}
-				return out[i].Peer < out[j].Peer
+				if x.Peer < y.Peer {
+					return -1
+				}
+				return 1
 			})
 			if len(out) > k {
 				out = out[:k]
@@ -377,26 +414,38 @@ type harvested struct {
 	node *node
 }
 
+// queryScratch carries a query's reusable working memory: the BFS queue
+// and the per-level harvest buffer. Queries run under the tree's read
+// lock, so many can be in flight at once — the scratch is pooled rather
+// than hung off the Tree.
+type queryScratch struct {
+	queue []*node
+	harv  []harvested
+}
+
+var scratchPool = sync.Pool{New: func() any { return &queryScratch{} }}
+
 // harvest returns at least limit peers (when available) from root's subtree,
 // excluding the skip child subtree and excluded peers, in increasing-depth
 // (BFS) order. Once the limit is reached the current depth level is still
 // drained completely, so that callers tie-breaking equal-depth candidates by
-// peer ID see every candidate of the boundary depth.
-func harvest(root *node, skip *node, limit int, exclude map[PeerID]bool) []harvested {
+// peer ID see every candidate of the boundary depth. The returned slice
+// aliases sc.harv and is valid only until the next harvest with the same
+// scratch.
+func harvest(root *node, skip *node, limit int, exclude excludeSet, sc *queryScratch) []harvested {
 	if root.subtreeCount == 0 {
 		return nil
 	}
-	var out []harvested
-	queue := []*node{root}
+	out := sc.harv[:0]
+	queue := append(sc.queue[:0], root)
 	cut := int32(-1)
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
+	for i := 0; i < len(queue); i++ {
+		n := queue[i]
 		if cut >= 0 && n.depth > cut {
 			break
 		}
 		for _, p := range n.peers {
-			if exclude[p] {
+			if exclude.contains(p) {
 				continue
 			}
 			out = append(out, harvested{peer: p, node: n})
@@ -404,17 +453,18 @@ func harvest(root *node, skip *node, limit int, exclude map[PeerID]bool) []harve
 		if cut < 0 && len(out) >= limit {
 			cut = n.depth
 		}
-		if cut >= 0 || len(n.children) == 0 {
+		if cut >= 0 {
 			continue
 		}
-		for _, r := range n.childOrder {
-			c := n.children[r]
+		for _, c := range n.childOrder {
 			if c == skip || c.subtreeCount == 0 {
 				continue
 			}
 			queue = append(queue, c)
 		}
 	}
+	sc.harv = out
+	sc.queue = queue
 	return out
 }
 
@@ -471,13 +521,13 @@ func (t *Tree) CheckInvariants() error {
 			return 0, fmt.Errorf("pathtree: node %d childOrder size %d != children %d",
 				n.router, len(n.childOrder), len(n.children))
 		}
-		for i, r := range n.childOrder {
-			if i > 0 && n.childOrder[i-1] >= r {
+		for i, c := range n.childOrder {
+			r := c.router
+			if i > 0 && n.childOrder[i-1].router >= r {
 				return 0, fmt.Errorf("pathtree: node %d childOrder not strictly ascending", n.router)
 			}
-			c, ok := n.children[r]
-			if !ok {
-				return 0, fmt.Errorf("pathtree: node %d orders missing child %d", n.router, r)
+			if n.children[r] != c {
+				return 0, fmt.Errorf("pathtree: node %d orders unindexed child %d", n.router, r)
 			}
 			if c.parent != n {
 				return 0, fmt.Errorf("pathtree: child %d of %d has wrong parent", r, n.router)

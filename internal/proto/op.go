@@ -64,12 +64,13 @@ func EncodeForwardedJoinOp(o op.Op) ([]byte, error) {
 // means zero: unfenced, the pre-epoch wire form).
 func DecodeForwardedJoinOp(b []byte) (op.Op, error) {
 	d := decoder{buf: b}
-	m, err := decodeJoinRequestPrefix(&d)
-	if err != nil {
+	m := &JoinRequest{}
+	if err := decodeJoinRequestPrefix(&d, m); err != nil {
 		return op.Op{}, err
 	}
 	var epoch uint64
 	if d.remaining() >= 8 {
+		var err error
 		if epoch, err = d.u64(); err != nil {
 			return op.Op{}, err
 		}

@@ -128,11 +128,16 @@ func EncodeOpRecords(m *OpRecords) ([]byte, error) {
 	if size+9 > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	enc := encoder{buf: make([]byte, 0, size)}
+	// The payload comes from the frame pool: the op-stream sender hands it
+	// to the connection writer, which recycles it after the frame is
+	// copied out — assembling a MsgOpRecords frame allocates nothing in
+	// steady state.
+	enc := encoder{buf: GetBuf(size)[:0]}
 	enc.u16(uint16(len(m.Records)))
 	for i := range m.Records {
 		r := &m.Records[i]
 		if len(r.Data) > op.MaxEncodedSize {
+			PutBuf(enc.buf)
 			return nil, fmt.Errorf("%w: stream record of %d bytes", ErrLimit, len(r.Data))
 		}
 		enc.u64(r.Seq)

@@ -30,7 +30,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 )
 
 // Protocol versions negotiated via MsgHello.
@@ -305,37 +304,48 @@ type LandmarksResponse struct {
 	Addrs   []string
 }
 
-// bufPool recycles frame-assembly and payload buffers across the encode
-// and read hot paths. Buffers are bounded by MaxFrameSize plus the largest
-// header, so the pool cannot retain pathological allocations.
-var bufPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, 512)
-		return &b
-	},
-}
+// bufFree recycles frame-assembly and payload buffers across the encode
+// and read hot paths. It is a bounded channel freelist rather than a
+// sync.Pool: a nonblocking send/receive of a slice header allocates
+// nothing, whereas sync.Pool.Put must box the header (&b escapes), which
+// would put one 24-byte allocation back on every recycled frame. Buffers
+// are bounded by MaxFrameSize plus the largest header, so the freelist
+// retains at most ~16 MiB in the worst case and typically far less.
+var bufFree = make(chan []byte, 256)
 
 // GetBuf returns a buffer of length n from the frame buffer pool.
 func GetBuf(n int) []byte {
-	p := bufPool.Get().(*[]byte)
-	b := *p
-	if cap(b) < n {
-		bufPool.Put(p)
+	select {
+	case b := <-bufFree:
+		if cap(b) < n {
+			// Too small for this frame; leave it for a smaller caller.
+			select {
+			case bufFree <- b:
+			default:
+			}
+			return make([]byte, n)
+		}
+		return b[:n]
+	default:
+		if n < 512 {
+			return make([]byte, n, 512)
+		}
 		return make([]byte, n)
 	}
-	return b[:n]
 }
 
 // PutBuf returns a buffer obtained from GetBuf, ReadFrame, or ReadFrameID
 // to the pool. Callers must not retain any reference into it afterwards;
 // the decoded messages never alias their payload, so recycling after
-// decode is safe.
+// decode is safe. When the freelist is full the buffer falls to the GC.
 func PutBuf(b []byte) {
 	if cap(b) == 0 || cap(b) > MaxFrameSize+frameIDHeaderSize {
 		return
 	}
-	b = b[:0]
-	bufPool.Put(&b)
+	select {
+	case bufFree <- b[:0]:
+	default:
+	}
 }
 
 const (
@@ -507,6 +517,27 @@ func (d *decoder) str() (string, error) {
 	return s, nil
 }
 
+// strInto reads a string into *s, keeping the existing value when the
+// wire bytes are unchanged so a reused decode target allocates nothing in
+// steady state (the string(b) != *s comparison does not allocate).
+func (d *decoder) strInto(s *string) error {
+	n, err := d.u16()
+	if err != nil {
+		return err
+	}
+	if int(n) > MaxAddrLen {
+		return fmt.Errorf("%w: string length %d", ErrLimit, n)
+	}
+	if d.remaining() < int(n) {
+		return ErrTruncated
+	}
+	if b := d.buf[d.off : d.off+int(n)]; string(b) != *s {
+		*s = string(b)
+	}
+	d.off += int(n)
+	return nil
+}
+
 func (d *decoder) finish() error {
 	if d.remaining() != 0 {
 		return fmt.Errorf("proto: %d trailing bytes", d.remaining())
@@ -547,10 +578,17 @@ func DecodeError(b []byte) (*Error, error) {
 
 // EncodeJoinRequest encodes a JoinRequest payload.
 func EncodeJoinRequest(m *JoinRequest) ([]byte, error) {
+	return AppendJoinRequest(make([]byte, 0, 16+len(m.Addr)+4*len(m.Path)), m)
+}
+
+// AppendJoinRequest encodes m onto dst and returns the extended slice —
+// the allocation-free form of EncodeJoinRequest for callers holding a
+// pooled buffer (GetBuf/PutBuf).
+func AppendJoinRequest(dst []byte, m *JoinRequest) ([]byte, error) {
 	if len(m.Path) > MaxPathLen {
 		return nil, fmt.Errorf("%w: path length %d", ErrLimit, len(m.Path))
 	}
-	enc := encoder{buf: make([]byte, 0, 16+len(m.Addr)+4*len(m.Path))}
+	enc := encoder{buf: dst}
 	enc.i64(m.Peer)
 	if err := enc.str(m.Addr); err != nil {
 		return nil, err
@@ -564,44 +602,55 @@ func EncodeJoinRequest(m *JoinRequest) ([]byte, error) {
 
 // DecodeJoinRequest decodes a JoinRequest payload.
 func DecodeJoinRequest(b []byte) (*JoinRequest, error) {
-	d := decoder{buf: b}
-	m, err := decodeJoinRequestPrefix(&d)
-	if err != nil {
-		return nil, err
-	}
-	if err := d.finish(); err != nil {
+	m := &JoinRequest{}
+	if err := DecodeJoinRequestInto(m, b); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
 
-// decodeJoinRequestPrefix reads the JoinRequest fields, leaving the
-// decoder positioned after them — shared by DecodeJoinRequest (which then
-// requires the payload be exhausted) and the forwarded-join decoder
-// (which reads the optional trailing fencing epoch first).
-func decodeJoinRequestPrefix(d *decoder) (*JoinRequest, error) {
-	m := &JoinRequest{}
+// DecodeJoinRequestInto decodes a JoinRequest payload into m, reusing
+// m.Path's capacity and keeping m.Addr when its bytes are unchanged — the
+// allocation-free decode for callers reusing a request struct across a
+// stream of joins.
+func DecodeJoinRequestInto(m *JoinRequest, b []byte) error {
+	d := decoder{buf: b}
+	if err := decodeJoinRequestPrefix(&d, m); err != nil {
+		return err
+	}
+	return d.finish()
+}
+
+// decodeJoinRequestPrefix reads the JoinRequest fields into m, leaving
+// the decoder positioned after them — shared by DecodeJoinRequestInto
+// (which then requires the payload be exhausted) and the forwarded-join
+// decoder (which reads the optional trailing fencing epoch first).
+func decodeJoinRequestPrefix(d *decoder, m *JoinRequest) error {
 	var err error
 	if m.Peer, err = d.i64(); err != nil {
-		return nil, err
+		return err
 	}
-	if m.Addr, err = d.str(); err != nil {
-		return nil, err
+	if err = d.strInto(&m.Addr); err != nil {
+		return err
 	}
 	n, err := d.u16()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if int(n) > MaxPathLen {
-		return nil, fmt.Errorf("%w: path length %d", ErrLimit, n)
+		return fmt.Errorf("%w: path length %d", ErrLimit, n)
 	}
-	m.Path = make([]int32, n)
+	if m.Path == nil || cap(m.Path) < int(n) {
+		m.Path = make([]int32, n)
+	} else {
+		m.Path = m.Path[:n]
+	}
 	for i := range m.Path {
 		if m.Path[i], err = d.i32(); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // encodeCandidates is shared by join and lookup responses.
@@ -609,12 +658,16 @@ func encodeCandidates(cands []Candidate) ([]byte, error) {
 	if len(cands) > MaxNeighbors {
 		return nil, fmt.Errorf("%w: %d neighbours", ErrLimit, len(cands))
 	}
-	enc := encoder{}
+	// Candidate answers are server hot-path payloads: they go to the
+	// connection writer, which recycles them after the frame is copied out
+	// (callers outside that path simply let the buffer go to the GC).
+	enc := encoder{buf: GetBuf(0)[:0]}
 	enc.u16(uint16(len(cands)))
 	for _, c := range cands {
 		enc.i64(c.Peer)
 		enc.i32(c.DTree)
 		if err := enc.str(c.Addr); err != nil {
+			PutBuf(enc.buf)
 			return nil, err
 		}
 	}
@@ -1011,7 +1064,9 @@ func EncodeBatchJoinResponse(m *BatchJoinResponse) ([]byte, error) {
 	if len(m.Results) == 0 || len(m.Results) > MaxBatch {
 		return nil, fmt.Errorf("%w: batch of %d results", ErrLimit, len(m.Results))
 	}
-	enc := encoder{buf: make([]byte, 0, 64*len(m.Results))}
+	// Like encodeCandidates, batch answers are pooled: the connection
+	// writer recycles the payload once the frame is copied out.
+	enc := encoder{buf: GetBuf(0)[:0]}
 	enc.u16(uint16(len(m.Results)))
 	for i := range m.Results {
 		r := &m.Results[i]
@@ -1021,9 +1076,11 @@ func EncodeBatchJoinResponse(m *BatchJoinResponse) ([]byte, error) {
 			msg = msg[:MaxAddrLen]
 		}
 		if err := enc.str(msg); err != nil {
+			PutBuf(enc.buf)
 			return nil, err
 		}
 		if len(r.Neighbors) > MaxNeighbors {
+			PutBuf(enc.buf)
 			return nil, fmt.Errorf("%w: %d neighbours", ErrLimit, len(r.Neighbors))
 		}
 		enc.u16(uint16(len(r.Neighbors)))
@@ -1031,11 +1088,13 @@ func EncodeBatchJoinResponse(m *BatchJoinResponse) ([]byte, error) {
 			enc.i64(c.Peer)
 			enc.i32(c.DTree)
 			if err := enc.str(c.Addr); err != nil {
+				PutBuf(enc.buf)
 				return nil, err
 			}
 		}
 	}
 	if len(enc.buf)+9 > MaxFrameSize {
+		PutBuf(enc.buf)
 		return nil, ErrFrameTooLarge
 	}
 	return enc.buf, nil

@@ -10,6 +10,18 @@
 //
 // The server also implements the paper's future-work items: peer departure
 // and expiry (faulty peers / handover), and super-peer delegation.
+//
+// # Concurrency: left-right read views
+//
+// The server keeps two complete copies of its state (trees, peer records,
+// epochs). Readers load the currently published copy through an atomic
+// pointer and read it under that copy's RLock; writers serialize on a
+// writer mutex, mutate the unpublished copy, atomically publish it, and
+// then replay the same mutation on the retired copy. The per-copy RWMutex
+// is a grace-period fence, not a contention point: a writer's Lock only
+// waits for stale readers that loaded the copy before it was retired —
+// steady-state readers always hold the published copy and never wait on a
+// writer, and a whole Apply batch costs readers at most one pointer load.
 package server
 
 import (
@@ -17,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"proxdisc/internal/op"
@@ -92,11 +105,12 @@ type Stats struct {
 	TreeStats map[topology.NodeID]pathtree.Stats
 }
 
-// Server is the management server. It is safe for concurrent use.
-type Server struct {
-	cfg Config
-
-	mu    sync.RWMutex
+// state is one complete copy of the server's mutable state. The server
+// keeps two (left-right): the published copy serves readers, the other
+// absorbs writes, and they trade places on every write batch. Path slices
+// inside PeerInfo are never shared between copies' records being mutated —
+// each copy owns its PeerInfo structs outright.
+type state struct {
 	trees map[topology.NodeID]*pathtree.Tree
 	peers map[pathtree.PeerID]*PeerInfo
 	// epochs holds each landmark's fencing epoch. Only landmarks that have
@@ -104,8 +118,32 @@ type Server struct {
 	// epoch is durable state: it rides in snapshots (version 3) and in
 	// KindMoveLandmark ops, so every copy agrees on who owns a landmark.
 	epochs map[topology.NodeID]uint64
+}
 
-	joins, leaves, expiries, queries, delegations int
+// side pairs one state copy with its grace-period fence.
+type side struct {
+	mu sync.RWMutex
+	st state
+}
+
+// counters is the activity attributable to one applied op; the Server
+// folds it into its atomic totals exactly once per op (on the first of
+// the two state applications).
+type counters struct {
+	joins, leaves, expiries int
+}
+
+// Server is the management server. It is safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	// wmu serializes writers and guards write; read always points at the
+	// published side. See the package comment for the left-right protocol.
+	wmu   sync.Mutex
+	write *side
+	read  atomic.Pointer[side]
+
+	joins, leaves, expiries, queries, delegations atomic.Int64
 }
 
 // New builds a server for the given landmark set.
@@ -124,6 +162,21 @@ func NewEmpty(cfg Config) (*Server, error) {
 	return newServer(cfg)
 }
 
+func newState(cfg *Config) (state, error) {
+	st := state{
+		trees:  make(map[topology.NodeID]*pathtree.Tree, len(cfg.Landmarks)),
+		peers:  make(map[pathtree.PeerID]*PeerInfo),
+		epochs: make(map[topology.NodeID]uint64),
+	}
+	for _, lm := range cfg.Landmarks {
+		if _, dup := st.trees[lm]; dup {
+			return state{}, fmt.Errorf("server: duplicate landmark %d", lm)
+		}
+		st.trees[lm] = pathtree.New(lm, cfg.TreeOptions)
+	}
+	return st, nil
+}
+
 func newServer(cfg Config) (*Server, error) {
 	if cfg.NeighborCount == 0 {
 		cfg.NeighborCount = DefaultNeighborCount
@@ -134,34 +187,75 @@ func newServer(cfg Config) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	s := &Server{
-		cfg:    cfg,
-		trees:  make(map[topology.NodeID]*pathtree.Tree, len(cfg.Landmarks)),
-		peers:  make(map[pathtree.PeerID]*PeerInfo),
-		epochs: make(map[topology.NodeID]uint64),
+	s := &Server{cfg: cfg}
+	a, err := newState(&s.cfg)
+	if err != nil {
+		return nil, err
 	}
-	for _, lm := range cfg.Landmarks {
-		if _, dup := s.trees[lm]; dup {
-			return nil, fmt.Errorf("server: duplicate landmark %d", lm)
-		}
-		s.trees[lm] = pathtree.New(lm, cfg.TreeOptions)
-	}
+	b, _ := newState(&s.cfg)
+	s.write = &side{st: a}
+	s.read.Store(&side{st: b})
 	return s, nil
+}
+
+// mutate runs apply against both state copies under the left-right
+// protocol. apply is invoked exactly twice: first on the unpublished
+// write copy with first=true (answers are computed there), then — after
+// that copy has been atomically published to readers — on the retired
+// copy with first=false to bring it up to date. apply must effect the
+// identical state change on both copies; outside mutate the two copies
+// are always equal.
+func (s *Server) mutate(apply func(st *state, first bool)) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	w := s.write
+	// The fence: stale readers that loaded this copy before it was
+	// retired (at least one whole batch ago) may still hold RLocks; wait
+	// them out and hold the write lock across the mutation so late
+	// stragglers block rather than observe a half-applied batch.
+	w.mu.Lock()
+	apply(&w.st, true)
+	w.mu.Unlock()
+	old := s.read.Swap(w)
+	s.write = old
+	old.mu.Lock()
+	apply(&old.st, false)
+	old.mu.Unlock()
+}
+
+// acquireRead returns the published side with its fence read-held.
+// Callers must rs.mu.RUnlock() when done with rs.st.
+func (s *Server) acquireRead() *side {
+	rs := s.read.Load()
+	rs.mu.RLock()
+	return rs
+}
+
+// addCounters folds one op's activity into the atomic totals.
+func (s *Server) addCounters(c counters) {
+	if c.joins != 0 {
+		s.joins.Add(int64(c.joins))
+	}
+	if c.leaves != 0 {
+		s.leaves.Add(int64(c.leaves))
+	}
+	if c.expiries != 0 {
+		s.expiries.Add(int64(c.expiries))
+	}
 }
 
 // Landmarks returns the registered landmark routers in ascending order.
 func (s *Server) Landmarks() []topology.NodeID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.landmarksLocked()
+	rs := s.acquireRead()
+	defer rs.mu.RUnlock()
+	return rs.st.landmarks()
 }
 
-// landmarksLocked is Landmarks for callers already holding s.mu: the tree
-// set is mutable at runtime (Absorb, DropLandmark), so every read needs the
-// lock.
-func (s *Server) landmarksLocked() []topology.NodeID {
-	out := make([]topology.NodeID, 0, len(s.trees))
-	for lm := range s.trees {
+// landmarks lists the tree set in ascending order; it is mutable at
+// runtime (Absorb, DropLandmark), so every read needs the side held.
+func (st *state) landmarks() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(st.trees))
+	for lm := range st.trees {
 		out = append(out, lm)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -186,24 +280,37 @@ func (s *Server) stamp(o op.Op) op.Op {
 // WAL recovery — calls Apply, so a replayed stream reaches exactly the
 // state the original stream built. The answering front doors (Join,
 // JoinOp, JoinBatch, Lookup-free writes) are thin wrappers over the same
-// locked core. A zero o.Time is stamped from the server clock; stamped
-// ops apply at their recorded instant regardless of the local clock.
+// core. A zero o.Time is stamped from the server clock; stamped ops apply
+// at their recorded instant regardless of the local clock.
 func (s *Server) Apply(o op.Op) error {
 	o = s.stamp(o)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.applyLocked(o)
+	var err error
+	s.mutate(func(st *state, first bool) {
+		c, e := st.apply(o, &s.cfg)
+		if first {
+			err = e
+			s.addCounters(c)
+		}
+	})
+	return err
 }
 
-// applyLocked dispatches one op against the state. Callers hold s.mu.
-func (s *Server) applyLocked(o op.Op) error {
+// apply dispatches one op against a state copy. It must be deterministic:
+// the same op against equal copies effects the equal change (mutate runs
+// it on both).
+func (st *state) apply(o op.Op, cfg *Config) (counters, error) {
+	var c counters
 	switch o.Kind {
 	case op.KindJoin:
-		tree, lm, err := s.resolveJoinLocked(o.Join.Peer, o.Join.Path)
+		tree, lm, err := st.resolveJoin(o.Join.Peer, o.Join.Path)
 		if err != nil {
-			return err
+			return c, err
 		}
-		return s.insertJoinLocked(tree, lm, &o.Join, o.Time)
+		if err := st.insertJoin(tree, lm, &o.Join, o.Time); err != nil {
+			return c, err
+		}
+		c.joins++
+		return c, nil
 	case op.KindBatchJoin:
 		// Batch entries that fail individually are skipped, matching the
 		// answering path's per-entry isolation: recorded batch ops carry
@@ -211,32 +318,38 @@ func (s *Server) applyLocked(o op.Op) error {
 		// fail — but a tolerant replay never aborts a whole batch.
 		for i := range o.Batch {
 			e := &o.Batch[i]
-			tree, lm, err := s.resolveJoinLocked(e.Peer, e.Path)
+			tree, lm, err := st.resolveJoin(e.Peer, e.Path)
 			if err != nil {
 				continue
 			}
-			_ = s.insertJoinLocked(tree, lm, e, o.Time)
+			if st.insertJoin(tree, lm, e, o.Time) == nil {
+				c.joins++
+			}
 		}
-		return nil
+		return c, nil
 	case op.KindLeave:
-		return s.leaveLocked(o.Peer)
+		if err := st.leave(o.Peer); err != nil {
+			return c, err
+		}
+		c.leaves++
+		return c, nil
 	case op.KindRefresh:
-		info, ok := s.peers[o.Peer]
+		info, ok := st.peers[o.Peer]
 		if !ok {
-			return fmt.Errorf("%w: %d", ErrUnknownPeer, o.Peer)
+			return c, fmt.Errorf("%w: %d", ErrUnknownPeer, o.Peer)
 		}
 		info.LastRefresh = time.Unix(0, o.Time)
-		return nil
+		return c, nil
 	case op.KindSetSuperPeer:
-		info, ok := s.peers[o.Peer]
+		info, ok := st.peers[o.Peer]
 		if !ok {
-			return fmt.Errorf("%w: %d", ErrUnknownPeer, o.Peer)
+			return c, fmt.Errorf("%w: %d", ErrUnknownPeer, o.Peer)
 		}
 		info.SuperPeer = o.Super
-		return nil
+		return c, nil
 	case op.KindExpire:
-		s.expireBeforeLocked(time.Unix(0, o.Time))
-		return nil
+		c.expiries = len(st.expireBefore(time.Unix(0, o.Time)))
+		return c, nil
 	case op.KindMoveLandmark:
 		// A server applies the epoch half of a handoff: the peer transfer
 		// itself travels as a snapshot (Absorb on the destination,
@@ -246,15 +359,15 @@ func (s *Server) applyLocked(o op.Op) error {
 		// if absent so a replica that never held the landmark still records
 		// its fence.
 		lm := o.Move.Landmark
-		if _, ok := s.trees[lm]; !ok {
-			s.trees[lm] = pathtree.New(lm, s.cfg.TreeOptions)
+		if _, ok := st.trees[lm]; !ok {
+			st.trees[lm] = pathtree.New(lm, cfg.TreeOptions)
 		}
-		if o.Move.Epoch > s.epochs[lm] {
-			s.epochs[lm] = o.Move.Epoch
+		if o.Move.Epoch > st.epochs[lm] {
+			st.epochs[lm] = o.Move.Epoch
 		}
-		return nil
+		return c, nil
 	default:
-		return fmt.Errorf("server: cannot apply op kind %d", o.Kind)
+		return c, fmt.Errorf("server: cannot apply op kind %d", o.Kind)
 	}
 }
 
@@ -270,65 +383,77 @@ func (s *Server) Join(p pathtree.PeerID, path []topology.NodeID) ([]pathtree.Can
 // primary apply path.
 func (s *Server) JoinOp(o op.Op) ([]pathtree.Candidate, error) {
 	o = s.stamp(o)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.joinOpLocked(o)
+	var cands []pathtree.Candidate
+	var err error
+	s.mutate(func(st *state, first bool) {
+		if first {
+			cands, err = st.joinOp(o, s.cfg.NeighborCount)
+			if err == nil {
+				s.joins.Add(1)
+				s.queries.Add(1)
+			}
+			return
+		}
+		if err == nil {
+			// Replay the registration silently on the retired copy; the
+			// answer was already computed on the published one.
+			_, _ = st.apply(o, &s.cfg)
+		}
+	})
+	return cands, err
 }
 
-// resolveJoinLocked validates a join's path, resolves its landmark tree,
-// and retires the peer's old record when it re-joins under a different
+// resolveJoin validates a join's path, resolves its landmark tree, and
+// retires the peer's old record when it re-joins under a different
 // landmark. Shared by the answering and replica-apply registration paths
 // so their semantics can never drift apart.
-func (s *Server) resolveJoinLocked(p pathtree.PeerID, path []topology.NodeID) (*pathtree.Tree, topology.NodeID, error) {
+func (st *state) resolveJoin(p pathtree.PeerID, path []topology.NodeID) (*pathtree.Tree, topology.NodeID, error) {
 	if len(path) == 0 {
 		return nil, 0, errors.New("server: empty path")
 	}
 	lm := path[len(path)-1]
-	tree, ok := s.trees[lm]
+	tree, ok := st.trees[lm]
 	if !ok {
 		return nil, 0, fmt.Errorf("%w (router %d)", ErrUnknownLandmark, lm)
 	}
 	// If the peer re-joins under a different landmark, drop the old record.
-	if old, exists := s.peers[p]; exists && old.Landmark != lm {
-		s.trees[old.Landmark].Remove(p)
+	if old, exists := st.peers[p]; exists && old.Landmark != lm {
+		st.trees[old.Landmark].Remove(p)
 	}
 	return tree, lm, nil
 }
 
-// insertJoinLocked performs the registration half of a join: the tree
-// insert and the peer record, stamped at the op's time. Counterpart of
-// resolveJoinLocked.
-func (s *Server) insertJoinLocked(tree *pathtree.Tree, lm topology.NodeID, e *op.JoinEntry, timeNanos int64) error {
+// insertJoin performs the registration half of a join: the tree insert
+// and the peer record, stamped at the op's time. Counterpart of
+// resolveJoin.
+func (st *state) insertJoin(tree *pathtree.Tree, lm topology.NodeID, e *op.JoinEntry, timeNanos int64) error {
 	if err := tree.Insert(e.Peer, e.Path); err != nil {
 		return err
 	}
-	s.peers[e.Peer] = &PeerInfo{
+	st.peers[e.Peer] = &PeerInfo{
 		ID:          e.Peer,
 		Landmark:    lm,
 		Path:        append([]topology.NodeID(nil), e.Path...),
 		Addr:        e.Addr,
 		LastRefresh: time.Unix(0, timeNanos),
 	}
-	s.joins++
 	return nil
 }
 
-// joinOpLocked is the answering join body: the closest-peers query
-// followed by the same registration Apply performs. Callers hold s.mu and
-// have stamped the op.
-func (s *Server) joinOpLocked(o op.Op) ([]pathtree.Candidate, error) {
-	tree, lm, err := s.resolveJoinLocked(o.Join.Peer, o.Join.Path)
+// joinOp is the answering join body: the closest-peers query followed by
+// the same registration apply performs. It runs on the write copy only.
+func (st *state) joinOp(o op.Op, neighborCount int) ([]pathtree.Candidate, error) {
+	tree, lm, err := st.resolveJoin(o.Join.Peer, o.Join.Path)
 	if err != nil {
 		return nil, err
 	}
-	cands, err := tree.ClosestToPath(o.Join.Path, s.cfg.NeighborCount, map[pathtree.PeerID]bool{o.Join.Peer: true})
+	cands, err := tree.ClosestToPathExcluding(o.Join.Path, neighborCount, o.Join.Peer)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.insertJoinLocked(tree, lm, &o.Join, o.Time); err != nil {
+	if err := st.insertJoin(tree, lm, &o.Join, o.Time); err != nil {
 		return nil, err
 	}
-	s.queries++
 	return cands, nil
 }
 
@@ -350,9 +475,9 @@ type BatchResult struct {
 	Err       error
 }
 
-// JoinBatch registers a batch of peers under a single lock acquisition —
-// the flash-crowd fast path: one mutex round amortized over the whole
-// batch instead of per join. Entries are applied in order
+// JoinBatch registers a batch of peers under a single writer round —
+// the flash-crowd fast path: one left-right publication amortized over
+// the whole batch instead of per join. Entries are applied in order
 // (so a duplicate peer within the batch behaves exactly like sequential
 // joins), and one entry's failure does not affect the others.
 func (s *Server) JoinBatch(items []BatchJoin) []BatchResult {
@@ -364,43 +489,63 @@ func (s *Server) JoinBatch(items []BatchJoin) []BatchResult {
 }
 
 // JoinBatchOp answers and applies a KindBatchJoin op, entry by entry in
-// order under one lock acquisition. Callers that record or propagate the
-// op must first trim it to the entries that succeeded, so replicas and
-// logs never see a rejected entry.
+// order under one writer round. Callers that record or propagate the op
+// must first trim it to the entries that succeeded, so replicas and logs
+// never see a rejected entry.
 func (s *Server) JoinBatchOp(o op.Op) []BatchResult {
 	o = s.stamp(o)
 	out := make([]BatchResult, len(o.Batch))
 	if len(o.Batch) == 0 {
 		return out
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := range o.Batch {
-		out[i].Neighbors, out[i].Err = s.joinOpLocked(op.Op{Kind: op.KindJoin, Time: o.Time, Join: o.Batch[i]})
-	}
+	s.mutate(func(st *state, first bool) {
+		single := op.Op{Kind: op.KindJoin, Time: o.Time}
+		if first {
+			n := 0
+			for i := range o.Batch {
+				single.Join = o.Batch[i]
+				out[i].Neighbors, out[i].Err = st.joinOp(single, s.cfg.NeighborCount)
+				if out[i].Err == nil {
+					n++
+				}
+			}
+			s.joins.Add(int64(n))
+			s.queries.Add(int64(n))
+			return
+		}
+		for i := range o.Batch {
+			if out[i].Err != nil {
+				continue
+			}
+			single.Join = o.Batch[i]
+			_, _ = st.apply(single, &s.cfg)
+		}
+	})
 	return out
 }
 
 // Lookup re-answers the closest-peers query for an already registered peer.
 // When a super-peer exists at dtree 0..2 from the peer, the server delegates
 // (counts the delegation and still returns the list, modelling the
-// super-peer answering from its local cache).
+// super-peer answering from its local cache). Lookup runs entirely on the
+// published read copy: it never waits on writers.
 func (s *Server) Lookup(p pathtree.PeerID) ([]pathtree.Candidate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	info, ok := s.peers[p]
+	rs := s.acquireRead()
+	defer rs.mu.RUnlock()
+	st := &rs.st
+	info, ok := st.peers[p]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, p)
 	}
-	tree := s.trees[info.Landmark]
+	tree := st.trees[info.Landmark]
 	cands, err := tree.Closest(p, s.cfg.NeighborCount)
 	if err != nil {
 		return nil, err
 	}
-	s.queries++
+	s.queries.Add(1)
 	for _, c := range cands {
-		if q := s.peers[c.Peer]; q != nil && q.SuperPeer && c.DTree <= 2 {
-			s.delegations++
+		if q := st.peers[c.Peer]; q != nil && q.SuperPeer && c.DTree <= 2 {
+			s.delegations.Add(1)
 			break
 		}
 	}
@@ -412,15 +557,14 @@ func (s *Server) Refresh(p pathtree.PeerID) error {
 	return s.Apply(op.Refresh(p, 0))
 }
 
-// leaveLocked removes a registered peer. Callers hold s.mu.
-func (s *Server) leaveLocked(p pathtree.PeerID) error {
-	info, ok := s.peers[p]
+// leave removes a registered peer from one state copy.
+func (st *state) leave(p pathtree.PeerID) error {
+	info, ok := st.peers[p]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, p)
 	}
-	s.trees[info.Landmark].Remove(p)
-	delete(s.peers, p)
-	s.leaves++
+	st.trees[info.Landmark].Remove(p)
+	delete(st.peers, p)
 	return nil
 }
 
@@ -429,19 +573,17 @@ func (s *Server) Leave(p pathtree.PeerID) bool {
 	return s.Apply(op.Leave(p)) == nil
 }
 
-// expireBeforeLocked sweeps out peers whose last refresh is strictly
-// before the cutoff, returning the expired IDs in ascending order.
-// Callers hold s.mu.
-func (s *Server) expireBeforeLocked(cutoff time.Time) []pathtree.PeerID {
+// expireBefore sweeps out peers whose last refresh is strictly before the
+// cutoff, returning the expired IDs in ascending order.
+func (st *state) expireBefore(cutoff time.Time) []pathtree.PeerID {
 	var out []pathtree.PeerID
-	for p, info := range s.peers {
+	for p, info := range st.peers {
 		if info.LastRefresh.Before(cutoff) {
-			s.trees[info.Landmark].Remove(p)
-			delete(s.peers, p)
+			st.trees[info.Landmark].Remove(p)
+			delete(st.peers, p)
 			out = append(out, p)
 		}
 	}
-	s.expiries += len(out)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -461,9 +603,15 @@ func (s *Server) Expire() []pathtree.PeerID {
 // from op timestamps, every copy that applies the same ExpireOp expires
 // exactly the same peers.
 func (s *Server) ExpireOp(o op.Op) []pathtree.PeerID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.expireBeforeLocked(time.Unix(0, o.Time))
+	var out []pathtree.PeerID
+	s.mutate(func(st *state, first bool) {
+		expired := st.expireBefore(time.Unix(0, o.Time))
+		if first {
+			out = expired
+			s.expiries.Add(int64(len(expired)))
+		}
+	})
+	return out
 }
 
 // SetSuperPeer marks or unmarks peer p as a super-peer.
@@ -473,9 +621,9 @@ func (s *Server) SetSuperPeer(p pathtree.PeerID, super bool) error {
 
 // PeerInfo returns a copy of the record for peer p.
 func (s *Server) PeerInfo(p pathtree.PeerID) (PeerInfo, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	info, ok := s.peers[p]
+	rs := s.acquireRead()
+	defer rs.mu.RUnlock()
+	info, ok := rs.st.peers[p]
 	if !ok {
 		return PeerInfo{}, fmt.Errorf("%w: %d", ErrUnknownPeer, p)
 	}
@@ -486,17 +634,17 @@ func (s *Server) PeerInfo(p pathtree.PeerID) (PeerInfo, error) {
 
 // NumPeers reports the number of registered peers.
 func (s *Server) NumPeers() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.peers)
+	rs := s.acquireRead()
+	defer rs.mu.RUnlock()
+	return len(rs.st.peers)
 }
 
 // Peers returns all registered peer IDs in ascending order.
 func (s *Server) Peers() []pathtree.PeerID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]pathtree.PeerID, 0, len(s.peers))
-	for p := range s.peers {
+	rs := s.acquireRead()
+	defer rs.mu.RUnlock()
+	out := make([]pathtree.PeerID, 0, len(rs.st.peers))
+	for p := range rs.st.peers {
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -506,17 +654,17 @@ func (s *Server) Peers() []pathtree.PeerID {
 // Epoch reports a landmark's current fencing epoch (zero for a landmark
 // that never moved or is not held here).
 func (s *Server) Epoch(lm topology.NodeID) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.epochs[lm]
+	rs := s.acquireRead()
+	defer rs.mu.RUnlock()
+	return rs.st.epochs[lm]
 }
 
 // Epochs returns a copy of every non-zero landmark fencing epoch.
 func (s *Server) Epochs() map[topology.NodeID]uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[topology.NodeID]uint64, len(s.epochs))
-	for lm, e := range s.epochs {
+	rs := s.acquireRead()
+	defer rs.mu.RUnlock()
+	out := make(map[topology.NodeID]uint64, len(rs.st.epochs))
+	for lm, e := range rs.st.epochs {
 		out[lm] = e
 	}
 	return out
@@ -526,25 +674,23 @@ func (s *Server) Epochs() map[topology.NodeID]uint64 {
 // without walking any tree — the cheap accessor replica-set aggregation
 // uses where full Stats would pay an O(nodes) traversal per landmark.
 func (s *Server) QueryCounters() (queries, delegations int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.queries, s.delegations
+	return int(s.queries.Load()), int(s.delegations.Load())
 }
 
 // Stats snapshots server counters and tree shapes.
 func (s *Server) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	rs := s.acquireRead()
+	defer rs.mu.RUnlock()
 	st := Stats{
-		Peers:                len(s.peers),
-		Joins:                s.joins,
-		Leaves:               s.leaves,
-		Expiries:             s.expiries,
-		Queries:              s.queries,
-		SuperPeerDelegations: s.delegations,
-		TreeStats:            make(map[topology.NodeID]pathtree.Stats, len(s.trees)),
+		Peers:                len(rs.st.peers),
+		Joins:                int(s.joins.Load()),
+		Leaves:               int(s.leaves.Load()),
+		Expiries:             int(s.expiries.Load()),
+		Queries:              int(s.queries.Load()),
+		SuperPeerDelegations: int(s.delegations.Load()),
+		TreeStats:            make(map[topology.NodeID]pathtree.Stats, len(rs.st.trees)),
 	}
-	for lm, tree := range s.trees {
+	for lm, tree := range rs.st.trees {
 		st.TreeStats[lm] = tree.Stats()
 	}
 	return st

@@ -54,16 +54,15 @@ func checkSnapshotVersion(v int) error {
 	return nil
 }
 
-// epochsLocked collects the non-zero fencing epochs of the landmarks in
-// want (every held landmark when want is nil), sorted ascending. Callers
-// hold s.mu.
-func (s *Server) epochsLocked(want map[topology.NodeID]bool) []snapshotEpoch {
+// epochsSnap collects the non-zero fencing epochs of the landmarks in
+// want (every held landmark when want is nil), sorted ascending.
+func (st *state) epochsSnap(want map[topology.NodeID]bool) []snapshotEpoch {
 	var out []snapshotEpoch
-	for lm, e := range s.epochs {
+	for lm, e := range st.epochs {
 		if e == 0 || (want != nil && !want[lm]) {
 			continue
 		}
-		if _, held := s.trees[lm]; !held {
+		if _, held := st.trees[lm]; !held {
 			continue
 		}
 		out = append(out, snapshotEpoch{Landmark: lm, Epoch: e})
@@ -72,13 +71,12 @@ func (s *Server) epochsLocked(want map[topology.NodeID]bool) []snapshotEpoch {
 	return out
 }
 
-// adoptEpochsLocked raises the local fencing epochs to a snapshot's (an
-// epoch never goes backwards, whatever order snapshot parts arrive in).
-// Callers hold s.mu.
-func (s *Server) adoptEpochsLocked(es []snapshotEpoch) {
+// adoptEpochs raises the local fencing epochs to a snapshot's (an epoch
+// never goes backwards, whatever order snapshot parts arrive in).
+func (st *state) adoptEpochs(es []snapshotEpoch) {
 	for _, e := range es {
-		if e.Epoch > s.epochs[e.Landmark] {
-			s.epochs[e.Landmark] = e.Epoch
+		if e.Epoch > st.epochs[e.Landmark] {
+			st.epochs[e.Landmark] = e.Epoch
 		}
 	}
 }
@@ -87,16 +85,19 @@ func (s *Server) adoptEpochsLocked(es []snapshotEpoch) {
 // and every peer's path) so a restarted management server can resume
 // serving without waiting for the whole population to rejoin — the
 // management server is a single point of failure in the paper's
-// architecture, and this is the standard mitigation.
+// architecture, and this is the standard mitigation. It reads the
+// published copy, so a snapshot never blocks writers longer than one
+// left-right fence.
 func (s *Server) Snapshot(w io.Writer) error {
-	s.mu.RLock()
+	rs := s.acquireRead()
+	st := &rs.st
 	snap := snapshot{
 		Version:       snapshotVersion,
-		Landmarks:     s.landmarksLocked(),
+		Landmarks:     st.landmarks(),
 		NeighborCount: s.cfg.NeighborCount,
-		Peers:         make([]snapshotPeer, 0, len(s.peers)),
+		Peers:         make([]snapshotPeer, 0, len(st.peers)),
 	}
-	for _, info := range s.peers {
+	for _, info := range st.peers {
 		snap.Peers = append(snap.Peers, snapshotPeer{
 			ID:          info.ID,
 			Landmark:    info.Landmark,
@@ -106,8 +107,8 @@ func (s *Server) Snapshot(w io.Writer) error {
 			LastRefresh: info.LastRefresh,
 		})
 	}
-	snap.Epochs = s.epochsLocked(nil)
-	s.mu.RUnlock()
+	snap.Epochs = st.epochsSnap(nil)
+	rs.mu.RUnlock()
 	sort.Slice(snap.Peers, func(i, j int) bool { return snap.Peers[i].ID < snap.Peers[j].ID })
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("server: snapshot encode: %w", err)
@@ -121,10 +122,11 @@ func (s *Server) Snapshot(w io.Writer) error {
 // landmark's tree from one shard to another.
 func (s *Server) SnapshotLandmarks(w io.Writer, lms ...topology.NodeID) error {
 	want := make(map[topology.NodeID]bool, len(lms))
-	s.mu.RLock()
+	rs := s.acquireRead()
+	st := &rs.st
 	for _, lm := range lms {
-		if _, ok := s.trees[lm]; !ok {
-			s.mu.RUnlock()
+		if _, ok := st.trees[lm]; !ok {
+			rs.mu.RUnlock()
 			return fmt.Errorf("server: snapshot of unknown landmark %d", lm)
 		}
 		want[lm] = true
@@ -134,7 +136,7 @@ func (s *Server) SnapshotLandmarks(w io.Writer, lms ...topology.NodeID) error {
 		Landmarks:     append([]topology.NodeID(nil), lms...),
 		NeighborCount: s.cfg.NeighborCount,
 	}
-	for _, info := range s.peers {
+	for _, info := range st.peers {
 		if !want[info.Landmark] {
 			continue
 		}
@@ -147,14 +149,49 @@ func (s *Server) SnapshotLandmarks(w io.Writer, lms ...topology.NodeID) error {
 			LastRefresh: info.LastRefresh,
 		})
 	}
-	snap.Epochs = s.epochsLocked(want)
-	s.mu.RUnlock()
+	snap.Epochs = st.epochsSnap(want)
+	rs.mu.RUnlock()
 	sort.Slice(snap.Landmarks, func(i, j int) bool { return snap.Landmarks[i] < snap.Landmarks[j] })
 	sort.Slice(snap.Peers, func(i, j int) bool { return snap.Peers[i].ID < snap.Peers[j].ID })
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("server: snapshot encode: %w", err)
 	}
 	return nil
+}
+
+// absorb merges a decoded snapshot into one state copy; it must be
+// deterministic across copies (it iterates the snapshot's slices, never a
+// map). Returns the IDs of the peers actually inserted, unsorted.
+func (st *state) absorb(snap *snapshot, cfg *Config) ([]pathtree.PeerID, error) {
+	for _, lm := range snap.Landmarks {
+		if _, ok := st.trees[lm]; !ok {
+			st.trees[lm] = pathtree.New(lm, cfg.TreeOptions)
+		}
+	}
+	st.adoptEpochs(snap.Epochs)
+	var absorbed []pathtree.PeerID
+	for _, p := range snap.Peers {
+		if _, exists := st.peers[p.ID]; exists {
+			continue
+		}
+		tree, ok := st.trees[p.Landmark]
+		if !ok {
+			return absorbed, fmt.Errorf("server: snapshot peer %d references unknown landmark %d", p.ID, p.Landmark)
+		}
+		if err := tree.Insert(p.ID, p.Path); err != nil {
+			return absorbed, fmt.Errorf("server: snapshot peer %d: %w", p.ID, err)
+		}
+		st.peers[p.ID] = &PeerInfo{
+			ID:          p.ID,
+			Landmark:    p.Landmark,
+			Path:        append([]topology.NodeID(nil), p.Path...),
+			Addr:        p.Addr,
+			SuperPeer:   p.SuperPeer,
+			LastRefresh: p.LastRefresh,
+		}
+		absorbed = append(absorbed, p.ID)
+	}
+	return absorbed, nil
 }
 
 // Absorb merges a snapshot into a live server: the snapshot's landmark
@@ -169,27 +206,44 @@ func (s *Server) Absorb(r io.Reader) ([]pathtree.PeerID, error) {
 	if err := checkSnapshotVersion(snap.Version); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	var absorbed []pathtree.PeerID
+	var err error
+	s.mutate(func(st *state, first bool) {
+		a, e := st.absorb(&snap, &s.cfg)
+		if first {
+			absorbed, err = a, e
+		}
+	})
+	sort.Slice(absorbed, func(i, j int) bool { return absorbed[i] < absorbed[j] })
+	return absorbed, err
+}
+
+// rebuild constructs a fresh state from a snapshot (the follower's
+// catch-up restore form): configured landmarks union the snapshot's,
+// every peer from the snapshot alone.
+func rebuild(snap *snapshot, cfg *Config) (state, error) {
+	st := state{
+		trees:  make(map[topology.NodeID]*pathtree.Tree, len(cfg.Landmarks)),
+		peers:  make(map[pathtree.PeerID]*PeerInfo, len(snap.Peers)),
+		epochs: make(map[topology.NodeID]uint64, len(snap.Epochs)),
+	}
+	for _, lm := range cfg.Landmarks {
+		st.trees[lm] = pathtree.New(lm, cfg.TreeOptions)
+	}
 	for _, lm := range snap.Landmarks {
-		if _, ok := s.trees[lm]; !ok {
-			s.trees[lm] = pathtree.New(lm, s.cfg.TreeOptions)
+		if _, ok := st.trees[lm]; !ok {
+			st.trees[lm] = pathtree.New(lm, cfg.TreeOptions)
 		}
 	}
-	s.adoptEpochsLocked(snap.Epochs)
-	var absorbed []pathtree.PeerID
 	for _, p := range snap.Peers {
-		if _, exists := s.peers[p.ID]; exists {
-			continue
-		}
-		tree, ok := s.trees[p.Landmark]
+		tree, ok := st.trees[p.Landmark]
 		if !ok {
-			return absorbed, fmt.Errorf("server: snapshot peer %d references unknown landmark %d", p.ID, p.Landmark)
+			return state{}, fmt.Errorf("server: snapshot peer %d references unknown landmark %d", p.ID, p.Landmark)
 		}
 		if err := tree.Insert(p.ID, p.Path); err != nil {
-			return absorbed, fmt.Errorf("server: snapshot peer %d: %w", p.ID, err)
+			return state{}, fmt.Errorf("server: snapshot peer %d: %w", p.ID, err)
 		}
-		s.peers[p.ID] = &PeerInfo{
+		st.peers[p.ID] = &PeerInfo{
 			ID:          p.ID,
 			Landmark:    p.Landmark,
 			Path:        append([]topology.NodeID(nil), p.Path...),
@@ -197,10 +251,9 @@ func (s *Server) Absorb(r io.Reader) ([]pathtree.PeerID, error) {
 			SuperPeer:   p.SuperPeer,
 			LastRefresh: p.LastRefresh,
 		}
-		absorbed = append(absorbed, p.ID)
 	}
-	sort.Slice(absorbed, func(i, j int) bool { return absorbed[i] < absorbed[j] })
-	return absorbed, nil
+	st.adoptEpochs(snap.Epochs)
+	return st, nil
 }
 
 // ResetFromSnapshot replaces the server's entire peer state with the
@@ -217,60 +270,41 @@ func (s *Server) ResetFromSnapshot(r io.Reader) error {
 	if err := checkSnapshotVersion(snap.Version); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	trees := make(map[topology.NodeID]*pathtree.Tree, len(s.trees))
-	for _, lm := range s.cfg.Landmarks {
-		trees[lm] = pathtree.New(lm, s.cfg.TreeOptions)
-	}
-	for _, lm := range snap.Landmarks {
-		if _, ok := trees[lm]; !ok {
-			trees[lm] = pathtree.New(lm, s.cfg.TreeOptions)
+	var err error
+	s.mutate(func(st *state, first bool) {
+		fresh, e := rebuild(&snap, &s.cfg)
+		if first {
+			err = e
 		}
-	}
-	peers := make(map[pathtree.PeerID]*PeerInfo, len(snap.Peers))
-	for _, p := range snap.Peers {
-		tree, ok := trees[p.Landmark]
-		if !ok {
-			return fmt.Errorf("server: snapshot peer %d references unknown landmark %d", p.ID, p.Landmark)
+		if e == nil {
+			*st = fresh
 		}
-		if err := tree.Insert(p.ID, p.Path); err != nil {
-			return fmt.Errorf("server: snapshot peer %d: %w", p.ID, err)
-		}
-		peers[p.ID] = &PeerInfo{
-			ID:          p.ID,
-			Landmark:    p.Landmark,
-			Path:        append([]topology.NodeID(nil), p.Path...),
-			Addr:        p.Addr,
-			SuperPeer:   p.SuperPeer,
-			LastRefresh: p.LastRefresh,
-		}
-	}
-	s.trees = trees
-	s.peers = peers
-	s.epochs = make(map[topology.NodeID]uint64, len(snap.Epochs))
-	s.adoptEpochsLocked(snap.Epochs)
-	return nil
+	})
+	return err
 }
 
 // DropLandmark removes a landmark's tree and deregisters every peer under
 // it, returning the removed peer IDs in ascending order. It is the source
 // side of a shard handoff; unlike Leave it does not count departures.
 func (s *Server) DropLandmark(lm topology.NodeID) []pathtree.PeerID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.trees[lm]; !ok {
-		return nil
-	}
 	var out []pathtree.PeerID
-	for p, info := range s.peers {
-		if info.Landmark == lm {
-			delete(s.peers, p)
-			out = append(out, p)
+	s.mutate(func(st *state, first bool) {
+		if _, ok := st.trees[lm]; !ok {
+			return
 		}
-	}
-	delete(s.trees, lm)
-	delete(s.epochs, lm)
+		var removed []pathtree.PeerID
+		for p, info := range st.peers {
+			if info.Landmark == lm {
+				delete(st.peers, p)
+				removed = append(removed, p)
+			}
+		}
+		delete(st.trees, lm)
+		delete(st.epochs, lm)
+		if first {
+			out = removed
+		}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -337,25 +371,18 @@ func Restore(r io.Reader, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, p := range snap.Peers {
-		tree, ok := s.trees[p.Landmark]
-		if !ok {
-			return nil, fmt.Errorf("server: snapshot peer %d references unknown landmark %d", p.ID, p.Landmark)
+	var rerr error
+	s.mutate(func(st *state, first bool) {
+		fresh, e := rebuild(&snap, &s.cfg)
+		if first {
+			rerr = e
 		}
-		if err := tree.Insert(p.ID, p.Path); err != nil {
-			return nil, fmt.Errorf("server: snapshot peer %d: %w", p.ID, err)
+		if e == nil {
+			*st = fresh
 		}
-		s.peers[p.ID] = &PeerInfo{
-			ID:          p.ID,
-			Landmark:    p.Landmark,
-			Path:        append([]topology.NodeID(nil), p.Path...),
-			Addr:        p.Addr,
-			SuperPeer:   p.SuperPeer,
-			LastRefresh: p.LastRefresh,
-		}
+	})
+	if rerr != nil {
+		return nil, rerr
 	}
-	s.adoptEpochsLocked(snap.Epochs)
 	return s, nil
 }

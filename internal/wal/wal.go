@@ -105,8 +105,9 @@ type Log struct {
 	failed   error  // sticky I/O failure: the log refuses further appends
 	closed   bool
 
-	syncMu sync.Mutex    // serializes flush+fsync cycles (group commit)
-	synced atomic.Uint64 // last sequence known durable
+	syncMu      sync.Mutex    // serializes flush+fsync cycles (group commit)
+	synced      atomic.Uint64 // last sequence known durable
+	syncWaiters atomic.Int32  // appenders queued on syncMu, gating the commit window
 
 	// Group-commit telemetry. The telemetry types are the source of truth
 	// (registered under the proxdisc_wal_* names when Options.Telemetry is
@@ -486,15 +487,21 @@ func (l *Log) syncTo(target uint64) error {
 	if l.synced.Load() >= target {
 		return nil
 	}
+	l.syncWaiters.Add(1)
 	l.syncMu.Lock()
+	l.syncWaiters.Add(-1)
 	defer l.syncMu.Unlock()
 	if l.synced.Load() >= target {
 		return nil
 	}
-	// Group-commit window: the first appender through holds the sync open
-	// for MaxSyncDelay so appenders arriving behind it land in the same
-	// batch — they queue on syncMu and find their records covered.
-	if d := l.opts.MaxSyncDelay; d > 0 && !l.opts.NoSync {
+	// Group-commit window: the leader holds the sync open for MaxSyncDelay
+	// only while other appenders are actually in flight, so their records —
+	// and any arriving during the window — land in this flush and they
+	// return without touching the disk. A lone appender skips the window:
+	// sleeping with nobody queued would add MaxSyncDelay to every write
+	// while holding syncMu, which is exactly the serial-beats-parallel
+	// inversion the unconditional wait used to cause.
+	if d := l.opts.MaxSyncDelay; d > 0 && !l.opts.NoSync && l.syncWaiters.Load() > 0 {
 		time.Sleep(d)
 	}
 	l.mu.Lock()

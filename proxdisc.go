@@ -318,6 +318,49 @@
 // cumulative _bucket/_sum/_count series; quantiles (Histogram.Quantile)
 // interpolate within the covering bucket, accurate to within a factor of
 // two anywhere in the range.
+//
+// # Performance
+//
+// The serving hot path is engineered around three properties, each pinned
+// by a benchmark gate in CI.
+//
+// Zero-allocation codecs. Encoding an op for the WAL or the replication
+// stream, framing op records for followers, and the full client-side join
+// request/response round trip (AppendJoinRequest/DecodeJoinRequestInto
+// and friends in the wire layer) run at 0 allocs/op: buffers come from
+// internal freelists and return to them when the connection writer is
+// done, so a node at steady state produces no codec garbage for the GC to
+// chase. The allocs/op gate in CI fails if any of these paths ever
+// allocates again.
+//
+// Reads never wait on writers. Each server shard keeps two copies of its
+// state in a left-right arrangement: writers mutate the off-line copy,
+// publish it with one atomic pointer swap, then replay the mutation on
+// the retired copy. Lookups acquire the live copy with an atomic load —
+// no read lock on the query path — so a burst of joins cannot add
+// latency to concurrent lookups, and a long lookup cannot stall the write
+// plane. The cost is that every write applies twice; the write path is
+// batch-amortized to pay it back.
+//
+// Writes are batch-amortized end to end. A batched join travels as one
+// wire frame, applies under one lock acquisition per touched shard,
+// commits as exactly ONE write-ahead-log record, and shares its fsync
+// with concurrent batches through the group-commit window — so the
+// per-join cost of durability shrinks with load instead of growing.
+// Checkpoints are shaped the same way: a snapshot serializes to memory
+// under the cluster's locks (fast), then streams to disk lock-free;
+// ClusterConfig.CheckpointBytesPerSec caps that background write rate so
+// a multi-gigabyte snapshot cannot monopolize the disk the WAL's fsyncs
+// are latency-bound on.
+//
+// BenchmarkMillionPeerNode is the macro proof: one durable node filled to
+// a million resident peers over TCP, then measured in steady state. On
+// the single-vCPU 2.1 GHz reference box the committed baseline records
+// ~52k joins/s at batch=32 (wire to fsync) with lookup p99 under 100µs
+// against the million-peer tree. CI reruns it with CPU and allocation
+// profiling and uploads the pprof artifacts, and a joins/s floor gate
+// (cmd/proxdisc-benchcmp -metric) fails any PR that walks the throughput
+// back, even where raw ns/op is too noisy to see it.
 package proxdisc
 
 import (
