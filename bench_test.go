@@ -367,6 +367,46 @@ func BenchmarkPathTreeDTree(b *testing.B) {
 	}
 }
 
+// BenchmarkPathTreeChurn measures the steady-state insert/remove cycle on
+// a prefilled tree — the shape a long-lived landmark tree sees once its
+// population stabilizes. The warmup pass before the timer sets the arena
+// high-water mark and grows every map and slice to capacity, so the
+// measured loop runs entirely on recycled nodes: the committed baseline
+// pins it at 0 allocs/op, which is the gate on the slab allocator (a
+// regression to per-insert heap nodes fails CI deterministically).
+func BenchmarkPathTreeChurn(b *testing.B) {
+	const resident = 10_000
+	pre := buildTreePaths(resident, 1)
+	tree := pathtree.New(0, pathtree.Options{})
+	for i, p := range pre {
+		if err := tree.Insert(pathtree.PeerID(i+1), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	churn := buildTreePaths(256, 2)
+	const churnID = pathtree.PeerID(resident + 1)
+	// Warmup: one full cycle over every churn path recycles each path's
+	// nodes through the arena once, so the measured loop re-carves nothing.
+	for _, p := range churn {
+		if err := tree.Insert(churnID, p); err != nil {
+			b.Fatal(err)
+		}
+		tree.Remove(churnID)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := churn[i%len(churn)]
+		if err := tree.Insert(churnID, p); err != nil {
+			b.Fatal(err)
+		}
+		tree.Remove(churnID)
+	}
+	b.StopTimer()
+	st := tree.ArenaStats()
+	b.ReportMetric(float64(st.Allocated), "arena-nodes")
+}
+
 // --- cluster benchmarks: the sharding speedup trajectory ---
 
 // benchClusterLandmarks is a 16-landmark set so the same workload runs at
@@ -770,6 +810,41 @@ func BenchmarkTelemetryHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryHotPathParallel is the false-sharing probe for the
+// padded Counter/Gauge cells: goroutines hammer DISTINCT metrics that
+// were allocated back to back, the layout every component's metric set
+// has in practice. Without the cache-line padding the adjacent atomic
+// words share lines and a -cpu 4 run collapses to coherence traffic; with
+// it, per-cell updates scale. Compare against the single-metric
+// BenchmarkTelemetryHotPath at the same -cpu.
+func BenchmarkTelemetryHotPathParallel(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	const cells = 16
+	counters := make([]*telemetry.Counter, cells)
+	gauges := make([]*telemetry.Gauge, cells)
+	for i := range counters {
+		counters[i] = reg.Counter(fmt.Sprintf(`proxdisc_bench_cell_total{cell="%d"}`, i))
+		gauges[i] = reg.Gauge(fmt.Sprintf(`proxdisc_bench_cell{cell="%d"}`, i))
+	}
+	// No ReportAllocs here: at -benchtime 1x the RunParallel goroutine
+	// setup amortizes over a single op and reads as phantom allocs/op,
+	// which would arm the machine-independent alloc gate on harness
+	// noise. The zero-allocation contract is pinned by the serial
+	// TelemetryHotPath; this variant exists for the false-sharing story.
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)-1) % cells
+		ctr, g := counters[i], gauges[i]
+		var v int64
+		for pb.Next() {
+			ctr.Inc()
+			v++
+			g.Set(v)
+		}
+	})
+}
+
 // BenchmarkBatchJoin measures the flash-crowd path: joins grouped into
 // MsgBatchJoinRequest frames, which amortize framing, syscalls, and the
 // per-shard lock acquisition.
@@ -880,10 +955,19 @@ func BenchmarkMillionPeerNode(b *testing.B) {
 		n = 2000 // runLoadAddr floors the run length identically
 	}
 	base := millionNode.next.Add(n) - n
+	// Offered load scales with the core count: one pipelined connection per
+	// processor, so the -cpu 4 variant measures what the extra cores buy
+	// (the sharded WAL and per-shard apply path) rather than how fast one
+	// connection can feed a many-core server. At GOMAXPROCS=1 this is the
+	// historical single-client configuration.
+	clients := runtime.GOMAXPROCS(0)
+	if clients > 8 {
+		clients = 8
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	runLoadAddr(b, addr, loadgen.Config{
-		Clients:  1,
+		Clients:  clients,
 		InFlight: 16,
 		Batch:    32,
 		PeerBase: base,
@@ -908,6 +992,138 @@ func BenchmarkMillionPeerNode(b *testing.B) {
 	}
 	slices.Sort(lat)
 	b.ReportMetric(float64(lat[lookups*99/100].Nanoseconds()), "lookup-p99-ns")
+}
+
+// BenchmarkMillionPeerNodeParallel is the many-core stress shape of the
+// macro benchmark: RunParallel writer goroutines — each owning a
+// connection issuing 32-join batches — against background readers running
+// lookups of resident peers for the whole measured window. Run with
+// -cpu 1,4 to see the write plane scale; the contention profile of this
+// benchmark (-mutexprofile/-blockprofile) is what drove the sharded WAL
+// and the left-right write coalescer.
+func BenchmarkMillionPeerNodeParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("the million-peer fill takes on the order of a minute")
+	}
+	addr := millionPeerAddr(b)
+	const batch = 32
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	var lookFail atomic.Value
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			c, err := client.Dial(addr, 5*time.Second)
+			if err != nil {
+				lookFail.Store(err.Error())
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Lookup(rng.Int63n(millionPeers) + 1); err != nil {
+					lookFail.Store(err.Error())
+					return
+				}
+			}
+		}(g)
+	}
+	var joins atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := client.Dial(addr, 5*time.Second)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		items := make([]client.BatchItem, batch)
+		for pb.Next() {
+			lo := millionNode.next.Add(batch) - batch
+			for k := range items {
+				p := lo + int64(k)
+				items[k] = client.BatchItem{Peer: p, Path: benchPathFor(p)}
+			}
+			res, err := c.JoinBatch(items)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for _, r := range res {
+				if r.Err != nil {
+					b.Error(r.Err)
+					return
+				}
+			}
+			joins.Add(batch)
+		}
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+	close(stop)
+	readers.Wait()
+	if msg, ok := lookFail.Load().(string); ok && msg != "" {
+		b.Fatalf("concurrent lookup failed: %s", msg)
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		b.ReportMetric(float64(joins.Load())/s, "joins/s")
+	}
+}
+
+// BenchmarkBatchJoinParallel is the multi-writer shape of the flash-crowd
+// path: RunParallel goroutines each drive their own connection of 32-join
+// batches at a fresh 4-shard node. Joins from different goroutines land on
+// different shards, so with -cpu 4 this exercises the sharded WAL's
+// cross-stream group commit rather than queueing every batch on one
+// append lock.
+func BenchmarkBatchJoinParallel(b *testing.B) {
+	const batch = 32
+	ns := benchNetCluster(b, nil)
+	var next atomic.Int64
+	next.Store(1)
+	var joins atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := client.Dial(ns.Addr(), 5*time.Second)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		items := make([]client.BatchItem, batch)
+		for pb.Next() {
+			lo := next.Add(batch) - batch
+			for k := range items {
+				p := lo + int64(k)
+				items[k] = client.BatchItem{Peer: p, Path: benchPathFor(p)}
+			}
+			res, err := c.JoinBatch(items)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for _, r := range res {
+				if r.Err != nil {
+					b.Error(r.Err)
+					return
+				}
+			}
+			joins.Add(batch)
+		}
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if s := elapsed.Seconds(); s > 0 {
+		b.ReportMetric(float64(joins.Load())/s, "joins/s")
+	}
 }
 
 // BenchmarkServerJoinBatch measures the in-process single-lock batch
@@ -990,6 +1206,30 @@ func BenchmarkWALAppend(b *testing.B) {
 			}
 		})
 	}
+	// The sharded log under the same parallel-committer load: appenders
+	// spread over four per-shard streams, so they contend only on the
+	// global sequence counter and share fsyncs through the cross-stream
+	// group-commit coordinator instead of queueing on one append mutex.
+	b.Run("sharded-parallel", func(b *testing.B) {
+		log, err := wal.OpenSharded(b.TempDir(), 4, wal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer log.Close()
+		var worker atomic.Int64
+		b.SetBytes(int64(len(rec)))
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			stream := int(worker.Add(1)-1) % log.Streams()
+			for pb.Next() {
+				if _, err := log.Append(stream, rec); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkRecovery measures crash recovery: reopening a durable cluster

@@ -29,6 +29,21 @@
 // throughput collapse fails CI even when ns/op — which measures the whole
 // iteration, fills and all — stays flat. Throughput is as
 // machine-dependent as ns/op, so the floor honors -soft.
+//
+// -metric-ratio A:B:unit:min gates a custom metric of two benchmarks of
+// the SAME run against each other: it fails when A's median value is less
+// than min times B's. Like -ratio, both sides ran on the same machine
+// moments apart, so the gate is enforced even under -soft — the tool
+// behind "the 4-CPU variant must sustain ≥1.5× the 1-CPU joins/s" style
+// scaling checks.
+//
+// GOMAXPROCS handling: `go test` suffixes benchmark names with the
+// GOMAXPROCS used when it is not 1 ("BenchmarkFoo-8"). Multi-core
+// variants are kept as distinct series under their suffixed name
+// ("Foo-8"), each recording its gomaxprocs in the summary, so -cpu 1,4
+// runs gate the 4-CPU numbers independently instead of comparing them
+// against 1-CPU baselines. Unsuffixed names always mean GOMAXPROCS=1;
+// pin baseline-producing runs with -cpu 1 to keep those keys stable.
 package main
 
 import (
@@ -45,8 +60,10 @@ import (
 
 // Summary is the JSON document read from the baseline and written to -out.
 type Summary struct {
-	// Benchmarks maps benchmark name (without the "Benchmark" prefix and
-	// the -GOMAXPROCS suffix) to its aggregated result.
+	// Benchmarks maps benchmark name (without the "Benchmark" prefix;
+	// multi-core variants keep their -GOMAXPROCS suffix as part of the
+	// name, so "Foo" and "Foo-4" are independent series) to its
+	// aggregated result.
 	Benchmarks map[string]*Bench `json:"benchmarks"`
 }
 
@@ -56,6 +73,10 @@ type Bench struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Samples is the number of runs aggregated.
 	Samples int `json:"samples"`
+	// GOMAXPROCS is the processor count the series ran at (1 when the
+	// benchmark name carried no suffix; omitted in JSON for legacy
+	// summaries).
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 	// Metrics holds the medians of custom metrics (joins/s, D/Dclosest, …).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -76,6 +97,7 @@ func main() {
 		allocPct  = flag.Float64("alloc-threshold", 20, "allocs/op regression percentage that fails the run (a zero-alloc baseline fails on ANY allocation)")
 		ratios    = flag.String("ratio", "", "comma-separated A:B:pct specs gating benchmark A's ns/op within pct percent of B's, both from the current run")
 		metrics   = flag.String("metric", "", "comma-separated NAME:unit:pct floor specs gating a higher-is-better custom metric against the baseline (e.g. 'BatchJoin/batch=32:joins/s:25'): fails when the current median falls more than pct percent below the baseline's (honors -soft, like ns/op)")
+		metRatios = flag.String("metric-ratio", "", "comma-separated A:B:unit:min specs gating a custom metric of two benchmarks within the current run (e.g. 'MillionPeerNode-4:MillionPeerNode:joins/s:1.5'): fails when A's median is below min times B's (within-run, so enforced even under -soft)")
 	)
 	flag.Parse()
 	if *current == "" {
@@ -105,6 +127,14 @@ func main() {
 			os.Exit(2)
 		}
 		ratioFailures = checkRatios(os.Stdout, cur, specs)
+	}
+	if *metRatios != "" {
+		specs, err := parseMetricRatios(*metRatios)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxdisc-benchcmp: %v\n", err)
+			os.Exit(2)
+		}
+		ratioFailures += checkMetricRatios(os.Stdout, cur, specs)
 	}
 	defer func() {
 		// Within-run ratios are machine-independent: they fail even -soft runs.
@@ -220,6 +250,65 @@ func checkRatios(w *os.File, cur *Summary, specs []ratioSpec) int {
 	return failures
 }
 
+// metricRatioSpec gates a custom metric of benchmark A against min times
+// benchmark B's, both from the current run — the scaling gate ("the 4-CPU
+// variant must sustain ≥1.5× the 1-CPU throughput").
+type metricRatioSpec struct {
+	a, b, unit string
+	min        float64
+}
+
+// parseMetricRatios reads comma-separated "A:B:unit:min" specs (benchmark
+// names without the "Benchmark" prefix; none of the fields may contain a
+// colon).
+func parseMetricRatios(s string) ([]metricRatioSpec, error) {
+	var out []metricRatioSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("bad -metric-ratio spec %q (want A:B:unit:min)", part)
+		}
+		min, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -metric-ratio minimum in %q: %w", part, err)
+		}
+		out = append(out, metricRatioSpec{a: fields[0], b: fields[1], unit: fields[2], min: min})
+	}
+	return out, nil
+}
+
+// checkMetricRatios evaluates within-run metric ratio gates and returns
+// how many failed. A spec naming an absent benchmark or metric fails — a
+// vanished series must not silently pass its scaling gate.
+func checkMetricRatios(w *os.File, cur *Summary, specs []metricRatioSpec) int {
+	failures := 0
+	for _, spec := range specs {
+		var av, bv float64
+		okA, okB := false, false
+		if b, ok := cur.Benchmarks[spec.a]; ok {
+			av, okA = b.Metrics[spec.unit]
+		}
+		if b, ok := cur.Benchmarks[spec.b]; ok {
+			bv, okB = b.Metrics[spec.unit]
+		}
+		if !okA || !okB || bv <= 0 {
+			fmt.Fprintf(w, "metric-ratio %s vs %s (%s): benchmark or metric missing from current run\n",
+				spec.a, spec.b, spec.unit)
+			failures++
+			continue
+		}
+		ratio := av / bv
+		verdict := "ok"
+		if ratio < spec.min {
+			verdict = "RATIO FLOOR BROKEN"
+			failures++
+		}
+		fmt.Fprintf(w, "metric-ratio %s (%.1f %s) vs %s (%.1f %s): %.2fx (floor %.2fx)  %s\n",
+			spec.a, av, spec.unit, spec.b, bv, spec.unit, ratio, spec.min, verdict)
+	}
+	return failures
+}
+
 // metricSpec gates a higher-is-better custom metric of one benchmark: the
 // current median must not fall more than pct percent below the baseline's.
 type metricSpec struct {
@@ -295,6 +384,7 @@ func parseBenchOutput(path string) (*Summary, error) {
 	defer f.Close()
 	nsRuns := make(map[string][]float64)
 	metricRuns := make(map[string]map[string][]float64)
+	procsOf := make(map[string]int)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -303,6 +393,17 @@ func parseBenchOutput(path string) (*Summary, error) {
 			continue
 		}
 		name := strings.TrimPrefix(m[1], "Benchmark")
+		procs := 1
+		if m[2] != "" {
+			if n, err := strconv.Atoi(m[2][1:]); err == nil && n > 1 {
+				// Multi-core variants are their own series: keep the
+				// -GOMAXPROCS suffix in the key so "Foo-4" never gates
+				// against a 1-CPU "Foo" baseline.
+				procs = n
+				name += m[2]
+			}
+		}
+		procsOf[name] = procs
 		ns, err := strconv.ParseFloat(m[4], 64)
 		if err != nil {
 			continue
@@ -320,7 +421,7 @@ func parseBenchOutput(path string) (*Summary, error) {
 	}
 	out := &Summary{Benchmarks: make(map[string]*Bench, len(nsRuns))}
 	for name, runs := range nsRuns {
-		b := &Bench{NsPerOp: median(runs), Samples: len(runs)}
+		b := &Bench{NsPerOp: median(runs), Samples: len(runs), GOMAXPROCS: procsOf[name]}
 		for unit, vals := range metricRuns[name] {
 			if b.Metrics == nil {
 				b.Metrics = make(map[string]float64)

@@ -37,9 +37,13 @@ func TestParseBenchOutput(t *testing.T) {
 	if len(sum.Benchmarks) != 3 {
 		t.Fatalf("benchmarks=%d: %+v", len(sum.Benchmarks), sum.Benchmarks)
 	}
-	lock := sum.Benchmarks["PipelinedJoin/lockstep"]
+	// GOMAXPROCS>1 runs keep the suffix: they are their own series.
+	lock := sum.Benchmarks["PipelinedJoin/lockstep-8"]
 	if lock == nil || lock.Samples != 3 {
 		t.Fatalf("lockstep=%+v", lock)
+	}
+	if lock.GOMAXPROCS != 8 {
+		t.Fatalf("gomaxprocs=%d want 8", lock.GOMAXPROCS)
 	}
 	if lock.NsPerOp != 584371 {
 		t.Fatalf("median ns/op=%v want 584371", lock.NsPerOp)
@@ -47,9 +51,71 @@ func TestParseBenchOutput(t *testing.T) {
 	if lock.Metrics["joins/s"] != 1712 {
 		t.Fatalf("median joins/s=%v", lock.Metrics["joins/s"])
 	}
-	rt := sum.Benchmarks["ProtoJoinRoundTrip"]
+	rt := sum.Benchmarks["ProtoJoinRoundTrip-8"]
 	if rt == nil || rt.NsPerOp != 260.3 || rt.Metrics["allocs/op"] != 4 {
 		t.Fatalf("round trip=%+v", rt)
+	}
+}
+
+func TestParseBenchOutputCPUVariantsAreDistinct(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	raw := `goos: linux
+BenchmarkMillionPeerNode     	      10	  38698303 ns/op	     52389 joins/s
+BenchmarkMillionPeerNode-4   	      10	  15000000 ns/op	    120000 joins/s
+PASS
+`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := parseBenchOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := sum.Benchmarks["MillionPeerNode"]
+	four := sum.Benchmarks["MillionPeerNode-4"]
+	if one == nil || four == nil {
+		t.Fatalf("variants not kept distinct: %+v", sum.Benchmarks)
+	}
+	if one.GOMAXPROCS != 1 || four.GOMAXPROCS != 4 {
+		t.Fatalf("gomaxprocs: 1-cpu=%d 4-cpu=%d", one.GOMAXPROCS, four.GOMAXPROCS)
+	}
+	if one.Metrics["joins/s"] != 52389 || four.Metrics["joins/s"] != 120000 {
+		t.Fatalf("metrics crossed series: %+v / %+v", one.Metrics, four.Metrics)
+	}
+}
+
+func TestMetricRatioGate(t *testing.T) {
+	specs, err := parseMetricRatios("MillionPeerNode-4:MillionPeerNode:joins/s:1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].a != "MillionPeerNode-4" || specs[0].unit != "joins/s" || specs[0].min != 1.5 {
+		t.Fatalf("specs=%+v", specs)
+	}
+	if _, err := parseMetricRatios("A:B:unit"); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	cur := &Summary{Benchmarks: map[string]*Bench{
+		"MillionPeerNode":   {NsPerOp: 100, GOMAXPROCS: 1, Metrics: map[string]float64{"joins/s": 100}},
+		"MillionPeerNode-4": {NsPerOp: 60, GOMAXPROCS: 4, Metrics: map[string]float64{"joins/s": 170}},
+	}}
+	if got := checkMetricRatios(devnull, cur, specs); got != 0 {
+		t.Fatalf("1.7x vs 1.5x floor: failures=%d want 0", got)
+	}
+	cur.Benchmarks["MillionPeerNode-4"].Metrics["joins/s"] = 120
+	if got := checkMetricRatios(devnull, cur, specs); got != 1 {
+		t.Fatalf("1.2x vs 1.5x floor: failures=%d want 1", got)
+	}
+	// A vanished series must fail its gate, not silently pass.
+	delete(cur.Benchmarks, "MillionPeerNode-4")
+	if got := checkMetricRatios(devnull, cur, specs); got != 1 {
+		t.Fatalf("missing-series failures=%d want 1", got)
 	}
 }
 

@@ -169,9 +169,10 @@ type Cluster struct {
 
 	idx *peerIndex
 
-	// log is the node's write-ahead log; nil when the cluster is not
-	// durable. See durable.go.
-	log            *wal.Log
+	// log is the node's write-ahead log, sharded one stream per shard so
+	// commits to different shards never queue on one append lock; nil when
+	// the cluster is not durable. See durable.go.
+	log            *wal.Sharded
 	opsSinceSnap   atomic.Int64
 	bytesSinceSnap atomic.Int64
 	lastSnapSeq    atomic.Uint64 // covering seq of the latest on-disk snapshot

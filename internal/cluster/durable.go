@@ -157,7 +157,11 @@ func (c *Cluster) Durable() bool { return c.log != nil }
 // latest snapshot plus the write-ahead log tail, and arms the background
 // checkpointer. Called by New before the cluster is visible to anyone.
 func (c *Cluster) openDurable() error {
-	log, err := wal.Open(c.cfg.DataDir, wal.Options{
+	// One WAL stream per shard: commits to different shards append under
+	// different stream locks and share fsyncs through the cross-stream
+	// group commit. A data directory written by the old single-stream log
+	// is adopted transparently (its segments replay as one extra stream).
+	log, err := wal.OpenSharded(c.cfg.DataDir, len(c.shards), wal.Options{
 		NoSync:       c.cfg.NoSync,
 		MaxSyncDelay: c.cfg.MaxSyncDelay,
 		SegmentBytes: c.cfg.SegmentBytes,
@@ -327,7 +331,7 @@ func (c *Cluster) commit(o op.Op) error {
 	for _, rec := range recs {
 		nbytes += int64(len(rec))
 	}
-	_, err := c.log.Append(recs...)
+	_, err := c.log.Append(c.streamFor(o), recs...)
 	for _, rec := range recs {
 		op.PutBuf(rec)
 	}
@@ -354,6 +358,37 @@ func (c *Cluster) commit(o op.Op) error {
 		}
 	}
 	return nil
+}
+
+// streamFor picks the WAL stream an op's record lands in: the shard that
+// owns the op, so commits against different shards append under different
+// stream locks. The choice is pure write affinity — global sequence
+// order, replay, and the op stream are stream-agnostic — so a stale
+// answer (a landmark handed off between apply and commit, a batch
+// spanning shards) is harmless, and cluster-wide ops (expire, landmark
+// moves) just ride stream 0.
+func (c *Cluster) streamFor(o op.Op) int {
+	switch o.Kind {
+	case op.KindJoin:
+		if n := len(o.Join.Path); n > 0 {
+			if shard, ok := c.ShardFor(o.Join.Path[n-1]); ok {
+				return shard
+			}
+		}
+	case op.KindBatchJoin:
+		if len(o.Batch) > 0 {
+			if n := len(o.Batch[0].Path); n > 0 {
+				if shard, ok := c.ShardFor(o.Batch[0].Path[n-1]); ok {
+					return shard
+				}
+			}
+		}
+	case op.KindLeave, op.KindRefresh, op.KindSetSuperPeer:
+		if shard, ok := c.idx.get(o.Peer); ok {
+			return shard
+		}
+	}
+	return 0
 }
 
 // noteDurableErr records a durability failure that could not be returned

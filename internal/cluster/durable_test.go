@@ -233,7 +233,7 @@ func TestCleanShutdownTruncatesLog(t *testing.T) {
 	if err != nil || len(snaps) == 0 {
 		t.Fatalf("no snapshot after Close: %v err=%v", snaps, err)
 	}
-	log, err := wal.Open(dir, wal.Options{})
+	log, err := wal.OpenSharded(dir, 1, wal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +412,7 @@ func TestExpireLoggedAsSingleOp(t *testing.T) {
 	c = nil // crash
 
 	// The WAL must carry exactly one KindExpire record and zero leaves.
-	log, err := wal.Open(dir, wal.Options{})
+	log, err := wal.OpenSharded(dir, 1, wal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -554,7 +554,7 @@ func TestDurableFlagAndWideBatchChunking(t *testing.T) {
 	c = nil // crash
 
 	batchRecs := 0
-	log, err := wal.Open(dir, wal.Options{})
+	log, err := wal.OpenSharded(dir, 1, wal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -635,4 +635,102 @@ func TestApplyOpDoor(t *testing.T) {
 	}
 	defer re.Close()
 	assertSameAnswers(t, want, captureAnswers(t, re), "op-door replay")
+}
+
+// TestShardedWALKillDashNineRecovery is the sharded-WAL acceptance
+// contract: a node killed mid-flight (no Close, no final flush) must
+// recover from its per-shard segment streams into answers identical to a
+// node that ran the same workload uninterrupted. Writers hit all shards
+// concurrently, so the streams genuinely interleave and recovery must
+// merge-replay them by global sequence to reconstruct the state.
+func TestShardedWALKillDashNineRecovery(t *testing.T) {
+	now := time.Unix(9000, 0)
+	run := func(dir string) *Cluster {
+		cfg := durableConfig(dir, 4, 1)
+		cfg.Clock = func() time.Time { return now } // identical stamps across runs
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Disjoint peers and landmarks per writer: the final state is
+				// independent of cross-goroutine interleaving, so the clean
+				// and killed runs are comparable answer-for-answer.
+				lm := testLandmarks[w]
+				for i := 0; i < 30; i++ {
+					p := pathtree.PeerID(1000*w + i + 1)
+					if _, err := c.JoinOp(op.Join(p, synthPath(lm, 8*i+w), fmt.Sprintf("10.7.%d.%d:41", w, i), 0)); err != nil {
+						t.Errorf("join %d: %v", p, err)
+						return
+					}
+				}
+				var entries []op.JoinEntry
+				for i := 0; i < 8; i++ {
+					entries = append(entries, op.JoinEntry{
+						Peer: pathtree.PeerID(1000*w + 500 + i),
+						Addr: fmt.Sprintf("10.8.%d.%d:41", w, i),
+						Path: synthPath(lm, 8*i+w+240),
+					})
+				}
+				for _, res := range c.JoinBatchOp(op.BatchJoin(entries, 0)) {
+					if res.Err != nil {
+						t.Errorf("batch join: %v", res.Err)
+						return
+					}
+				}
+				if err := c.SetSuperPeer(pathtree.PeerID(1000*w+1), true); err != nil {
+					t.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return c
+	}
+
+	cleanDir, killDir := t.TempDir(), t.TempDir()
+	clean := run(cleanDir)
+	if err := clean.Close(); err != nil {
+		t.Fatal(err)
+	}
+	killed := run(killDir)
+	killed.stopRebalancer() // kill -9: the WAL files stay exactly as appends left them
+	_ = killed
+
+	// The killed directory really holds a sharded log: multiple streams
+	// own segments.
+	ents, err := os.ReadDir(killDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := map[byte]bool{}
+	for _, e := range ents {
+		var id int
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d-%d.seg", &id, &seq); err == nil {
+			streams[byte(id)] = true
+		}
+	}
+	if len(streams) < 4 {
+		t.Fatalf("killed dir has segments for %d streams, want 4", len(streams))
+	}
+
+	cfg := durableConfig(cleanDir, 4, 1)
+	cfg.Clock = func() time.Time { return now }
+	cleanRe, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanRe.Close()
+	cfg.DataDir = killDir
+	killedRe, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer killedRe.Close()
+
+	assertSameAnswers(t, captureAnswers(t, cleanRe), captureAnswers(t, killedRe), "kill-9 vs uninterrupted")
 }

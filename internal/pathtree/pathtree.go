@@ -68,7 +68,24 @@ type Tree struct {
 	// remains correct; the counter surfaces measurement-quality problems.
 	routerConflicts int
 	opts            Options
+
+	// Node arena. All non-root nodes are carved from fixed-size slabs and
+	// recycled through a free list when pruned, so steady-state insert/remove
+	// churn retires no node memory to the garbage collector. Slabs are never
+	// appended to in place (a fresh slab replaces an exhausted one), so node
+	// pointers stay stable for the tree's lifetime. Only mutators touch these
+	// fields, under t.mu's write lock.
+	slab      []node
+	slabUsed  int
+	free      *node // free list, linked through node.parent
+	allocated int   // nodes ever carved from slabs (arena high-water mark)
+	freeLen   int   // nodes currently on the free list
 }
+
+// slabNodes is how many nodes each arena slab holds. Large enough to
+// amortize slab allocation across many inserts, small enough that a
+// near-empty tree doesn't pin much memory.
+const slabNodes = 256
 
 type node struct {
 	router   topology.NodeID
@@ -96,6 +113,45 @@ func (n *node) addChildOrdered(c *node) {
 	n.childOrder = append(n.childOrder, nil)
 	copy(n.childOrder[i+1:], n.childOrder[i:])
 	n.childOrder[i] = c
+}
+
+// allocNode returns a node for router r, preferring the free list (the
+// recycled node keeps its children map and the capacity of its childOrder
+// and peers slices) and otherwise carving from the current slab. Callers
+// hold t.mu.
+func (t *Tree) allocNode(r topology.NodeID, parent *node, depth int32) *node {
+	if n := t.free; n != nil {
+		t.free = n.parent
+		t.freeLen--
+		n.router = r
+		n.parent = parent
+		n.depth = depth
+		return n
+	}
+	if t.slabUsed == len(t.slab) {
+		t.slab = make([]node, slabNodes)
+		t.slabUsed = 0
+	}
+	n := &t.slab[t.slabUsed]
+	t.slabUsed++
+	t.allocated++
+	n.router = r
+	n.parent = parent
+	n.depth = depth
+	return n
+}
+
+// freeNode pushes a pruned node onto the free list. The caller guarantees n
+// is unlinked from the trie and empty (no peers, no children) — pruning
+// only fires on such nodes. The parent pointer doubles as the free-list
+// link; maps and slices keep their storage for reuse. Callers hold t.mu.
+func (t *Tree) freeNode(n *node) {
+	n.childOrder = n.childOrder[:0]
+	n.peers = n.peers[:0]
+	n.subtreeCount = 0
+	n.parent = t.free
+	t.free = n
+	t.freeLen++
 }
 
 // removeChildOrdered deletes the child with router r from the sorted
@@ -190,7 +246,7 @@ func (t *Tree) Insert(p PeerID, path []topology.NodeID) error {
 		r := path[i]
 		child, ok := cur.children[r]
 		if !ok {
-			child = &node{router: r, parent: cur, depth: cur.depth + 1}
+			child = t.allocNode(r, cur, cur.depth+1)
 			if cur.children == nil {
 				cur.children = make(map[topology.NodeID]*node)
 			}
@@ -237,7 +293,9 @@ func (t *Tree) removeLocked(p PeerID) bool {
 	for m := n; m != nil; m = m.parent {
 		m.subtreeCount--
 	}
-	// Prune empty leaves upward.
+	// Prune empty leaves upward, recycling each into the arena free list.
+	// Mutations hold the write lock, so no in-flight query can still hold a
+	// reference to a recycled node.
 	for m := n; m != t.root && m.subtreeCount == 0 && len(m.children) == 0; {
 		parent := m.parent
 		delete(parent.children, m.router)
@@ -245,6 +303,7 @@ func (t *Tree) removeLocked(p PeerID) bool {
 		if t.byRouter[m.router] == m {
 			delete(t.byRouter, m.router)
 		}
+		t.freeNode(m)
 		m = parent
 	}
 	return true
@@ -507,16 +566,40 @@ type Stats struct {
 	RouterConflicts int
 }
 
+// ArenaStats reports the tree's node-arena occupancy.
+type ArenaStats struct {
+	// Allocated is the number of nodes ever carved from the slab arena — its
+	// high-water mark. The root node lives outside the arena and is not
+	// counted.
+	Allocated int
+	// Free is the number of recycled nodes currently on the free list,
+	// awaiting reuse by a future Insert.
+	Free int
+	// Live is Allocated − Free: the non-root nodes currently in the trie.
+	Live int
+}
+
+// ArenaStats returns current node-arena occupancy. Under steady-state churn
+// (inserts balanced by removes) Allocated stays bounded: pruned nodes are
+// recycled rather than retired to the garbage collector.
+func (t *Tree) ArenaStats() ArenaStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return ArenaStats{Allocated: t.allocated, Free: t.freeLen, Live: t.allocated - t.freeLen}
+}
+
 // CheckInvariants deeply validates the tree's internal consistency:
 // subtree counters, depth bookkeeping, parent/child symmetry, sorted child
-// order, and index maps. It is O(nodes) and intended for tests and
-// debugging; it returns the first violation found.
+// order, index maps, and arena accounting. It is O(nodes) and intended for
+// tests and debugging; it returns the first violation found.
 func (t *Tree) CheckInvariants() error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	seenPeers := 0
+	seenNodes := 0
 	var walk func(n *node) (int, error)
 	walk = func(n *node) (int, error) {
+		seenNodes++
 		if len(n.childOrder) != len(n.children) {
 			return 0, fmt.Errorf("pathtree: node %d childOrder size %d != children %d",
 				n.router, len(n.childOrder), len(n.children))
@@ -562,6 +645,22 @@ func (t *Tree) CheckInvariants() error {
 	}
 	if seenPeers != len(t.byPeer) {
 		return fmt.Errorf("pathtree: %d peers attached but %d indexed", seenPeers, len(t.byPeer))
+	}
+	// Arena accounting: every carved node is either reachable in the trie
+	// (the root is not arena-backed) or parked on the free list.
+	if live := seenNodes - 1; live+t.freeLen != t.allocated {
+		return fmt.Errorf("pathtree: arena accounting: %d live + %d free != %d allocated",
+			live, t.freeLen, t.allocated)
+	}
+	freeWalked := 0
+	for f := t.free; f != nil; f = f.parent {
+		freeWalked++
+		if freeWalked > t.allocated {
+			return errors.New("pathtree: arena free list is cyclic")
+		}
+	}
+	if freeWalked != t.freeLen {
+		return fmt.Errorf("pathtree: free list holds %d nodes, accounting says %d", freeWalked, t.freeLen)
 	}
 	return nil
 }

@@ -442,7 +442,38 @@ func TestInsertRemoveChurn(t *testing.T) {
 				}
 			}
 		}
-		return true
+		// Node reuse under churn: drain and refill the same population
+		// repeatedly. After the first fill the arena's high-water mark must
+		// not move — every pruned node comes back from the free list instead
+		// of being carved fresh.
+		paths := map[PeerID][]topology.NodeID{}
+		for _, p := range tr.Peers() {
+			path, err := tr.PathOf(p)
+			if err != nil {
+				return false
+			}
+			paths[p] = path
+		}
+		hw := tr.ArenaStats().Allocated
+		for cycle := 0; cycle < 4; cycle++ {
+			for p := range paths {
+				tr.Remove(p)
+			}
+			if st := tr.ArenaStats(); st.Live != 0 || st.Free != st.Allocated {
+				t.Logf("drained tree leaked arena nodes: %+v", st)
+				return false
+			}
+			for p, path := range paths {
+				if err := tr.Insert(p, path); err != nil {
+					return false
+				}
+			}
+			if st := tr.ArenaStats(); st.Allocated != hw {
+				t.Logf("slab high-water grew under churn: %+v, want allocated %d", st, hw)
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -578,6 +609,83 @@ func TestConcurrentInsertQuery(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// TestConcurrentChurnQueryNeverSeesRecycled runs queries against a stable
+// peer population while churners constantly insert and remove peers on
+// disjoint branches, recycling trie nodes through the arena the whole time.
+// Every answer must be well-formed — distinct candidates, sorted, distances
+// within the depth bound — which fails if a query ever walks a node that was
+// recycled out from under it. Run with -race for the full guarantee.
+func TestConcurrentChurnQueryNeverSeesRecycled(t *testing.T) {
+	tr := New(0, Options{})
+	// Stable peers at depth 2 under their own router block.
+	const stable = 50
+	for i := 0; i < stable; i++ {
+		mustInsert(t, tr, PeerID(i+1), P(topology.NodeID(200+i), topology.NodeID(100+i%10), 0))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := PeerID(10_000 + w*1000 + i%500)
+				r := topology.NodeID(1000 + w*100 + rng.Intn(90))
+				if err := tr.Insert(p, P(r, topology.NodeID(500+w), 0)); err != nil {
+					t.Error(err)
+					return
+				}
+				tr.Remove(p) // prunes the branch, recycling both nodes
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < 2000; i++ {
+				p := PeerID(1 + rng.Intn(stable))
+				got, err := tr.Closest(p, 8)
+				if err != nil {
+					t.Errorf("closest(%d): %v", p, err)
+					return
+				}
+				seen := map[PeerID]bool{}
+				for j, c := range got {
+					if c.Peer == p || seen[c.Peer] {
+						t.Errorf("closest(%d) returned duplicate or self: %+v", p, got)
+						return
+					}
+					seen[c.Peer] = true
+					// All peers sit at depth ≤ 2, so dtree ∈ [0, 4].
+					if c.DTree < 0 || c.DTree > 4 {
+						t.Errorf("closest(%d) candidate out of depth bound: %+v", p, c)
+						return
+					}
+					if j > 0 && got[j-1].DTree > c.DTree {
+						t.Errorf("closest(%d) unsorted: %+v", p, got)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func mustInsert(t *testing.T, tr *Tree, p PeerID, path []topology.NodeID) {

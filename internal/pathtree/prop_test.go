@@ -152,6 +152,48 @@ func TestQuickClosestIsExact(t *testing.T) {
 	}
 }
 
+// TestQuickArenaRecycling drains and refills random populations and
+// requires exact node reuse: a fully drained tree parks every carved node
+// on the free list, and refilling the same paths re-carves nothing — the
+// arena high-water mark is set by the first fill and never moves.
+func TestQuickArenaRecycling(t *testing.T) {
+	f := func(ps pathSet) bool {
+		tree := ps.build(t)
+		hw := tree.ArenaStats().Allocated
+		if hw == 0 {
+			t.Log("population built no arena nodes")
+			return false
+		}
+		for cycle := 0; cycle < 3; cycle++ {
+			for p := range ps.paths {
+				tree.Remove(p)
+			}
+			if st := tree.ArenaStats(); st.Live != 0 || st.Free != hw || st.Allocated != hw {
+				t.Logf("drained: %+v, want all %d nodes free", st, hw)
+				return false
+			}
+			for p, path := range ps.paths {
+				if err := tree.Insert(p, path); err != nil {
+					t.Logf("refill %d: %v", p, err)
+					return false
+				}
+			}
+			if st := tree.ArenaStats(); st.Allocated != hw {
+				t.Logf("refill carved fresh nodes: %+v, want allocated %d", st, hw)
+				return false
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Logf("cycle %d: %v", cycle, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickInsertRemoveInvariants churns a random population through
 // inserts, path-replacing re-inserts, and removals, and requires the deep
 // structural invariants (subtree counters, child ordering, index maps) to

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,6 +11,97 @@ import (
 	"proxdisc/internal/pathtree"
 	"proxdisc/internal/topology"
 )
+
+// TestMutateCoalescesPendingWriters pins the flat-combining contract
+// deterministically: writers queued while a combiner holds the writer
+// mutex are all run by the next combiner in ONE batch — every first-apply
+// before any second-apply, one publication for the lot — and each
+// mutation applies exactly once per state copy.
+func TestMutateCoalescesPendingWriters(t *testing.T) {
+	const writers = 10
+	s, err := New(Config{Landmarks: []topology.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Occupies wmu: its first apply parks until the test releases it.
+		s.mutate(func(st *state, first bool) {
+			if first {
+				close(entered)
+				<-release
+			}
+		})
+	}()
+	<-entered
+
+	// The blocker holds wmu, so these writers can only enqueue and wait.
+	type event struct {
+		writer int
+		first  bool
+	}
+	var evMu sync.Mutex
+	var events []event
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.mutate(func(st *state, first bool) {
+				evMu.Lock()
+				events = append(events, event{writer: i, first: first})
+				evMu.Unlock()
+			})
+		}(i)
+	}
+	// Wait until every writer is in the combining queue, then let go.
+	for {
+		s.pendMu.Lock()
+		n := len(s.pending)
+		s.pendMu.Unlock()
+		if n == writers {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if len(events) != 2*writers {
+		t.Fatalf("recorded %d applies, want %d (each writer exactly once per copy)", len(events), 2*writers)
+	}
+	// One batch: all first-applies precede all second-applies, and the
+	// second pass replays the identical writer order.
+	var firsts, seconds []int
+	for i, e := range events {
+		if e.first {
+			if len(seconds) > 0 {
+				t.Fatalf("first-apply after a second-apply at event %d: writers were not combined into one batch: %v", i, events)
+			}
+			firsts = append(firsts, e.writer)
+		} else {
+			seconds = append(seconds, e.writer)
+		}
+	}
+	if len(firsts) != writers || len(seconds) != writers {
+		t.Fatalf("got %d first-applies and %d second-applies, want %d each", len(firsts), len(seconds), writers)
+	}
+	for i := range firsts {
+		if firsts[i] != seconds[i] {
+			t.Fatalf("second pass order %v != first pass order %v", seconds, firsts)
+		}
+	}
+	seen := map[int]bool{}
+	for _, w := range firsts {
+		if seen[w] {
+			t.Fatalf("writer %d applied twice on the same copy: %v", w, firsts)
+		}
+		seen[w] = true
+	}
+}
 
 // churnPath builds a deterministic synthetic path for peer i ending at the
 // landmark: a small fanout tree of routers so nearby IDs share prefixes.

@@ -22,6 +22,9 @@
 // waits for stale readers that loaded the copy before it was retired —
 // steady-state readers always hold the published copy and never wait on a
 // writer, and a whole Apply batch costs readers at most one pointer load.
+// Contending writers flat-combine: mutations queue, and the writer that
+// wins the mutex runs the whole queue under a single publication, so k
+// concurrent writers pay one grace-period wait instead of k (see mutate).
 package server
 
 import (
@@ -133,6 +136,18 @@ type counters struct {
 	joins, leaves, expiries int
 }
 
+// writeReq is one queued mutation awaiting a combiner. done is buffered:
+// a token arriving means a combiner holding wmu already ran (and
+// published) this request on the caller's behalf.
+type writeReq struct {
+	apply func(st *state, first bool)
+	done  chan struct{}
+}
+
+var writeReqPool = sync.Pool{
+	New: func() any { return &writeReq{done: make(chan struct{}, 1)} },
+}
+
 // Server is the management server. It is safe for concurrent use.
 type Server struct {
 	cfg Config
@@ -142,6 +157,15 @@ type Server struct {
 	wmu   sync.Mutex
 	write *side
 	read  atomic.Pointer[side]
+
+	// pendMu guards the flat-combining queue: mutators enqueue here, and
+	// whichever of them wins wmu drains the queue and runs the whole batch
+	// under a single publication. pendSpare is the drained slice, recycled
+	// by the combiner (which owns it, under wmu) to keep enqueueing
+	// allocation-free.
+	pendMu    sync.Mutex
+	pending   []*writeReq
+	pendSpare []*writeReq
 
 	joins, leaves, expiries, queries, delegations atomic.Int64
 }
@@ -205,22 +229,71 @@ func newServer(cfg Config) (*Server, error) {
 // copy with first=false to bring it up to date. apply must effect the
 // identical state change on both copies; outside mutate the two copies
 // are always equal.
+//
+// Writers flat-combine: each mutation enqueues, and whichever writer wins
+// wmu drains the queue and runs every queued mutation — in enqueue order —
+// under ONE publication and ONE pair of grace-period fences. Under
+// multi-core contention this turns k writers queued on the old per-write
+// protocol (k publications, each waiting out a reader grace period) into
+// one combined batch, while an uncontended write costs only an extra
+// queue push. Mutations still execute strictly serialized, so apply
+// closures need no locking of their own.
 func (s *Server) mutate(apply func(st *state, first bool)) {
+	req := writeReqPool.Get().(*writeReq)
+	req.apply = apply
+	s.pendMu.Lock()
+	s.pending = append(s.pending, req)
+	s.pendMu.Unlock()
+
 	s.wmu.Lock()
-	defer s.wmu.Unlock()
+	select {
+	case <-req.done:
+		// A combiner that held wmu before us already ran and published
+		// this request; the token receive orders its writes (including
+		// our answer closure's results) before our return.
+		s.wmu.Unlock()
+		req.apply = nil
+		writeReqPool.Put(req)
+		return
+	default:
+	}
+	// We are the combiner. Drain the queue — it contains our own request
+	// and any others that enqueued before we won wmu.
+	s.pendMu.Lock()
+	batch := s.pending
+	s.pending = s.pendSpare[:0]
+	s.pendMu.Unlock()
+
 	w := s.write
 	// The fence: stale readers that loaded this copy before it was
 	// retired (at least one whole batch ago) may still hold RLocks; wait
 	// them out and hold the write lock across the mutation so late
 	// stragglers block rather than observe a half-applied batch.
 	w.mu.Lock()
-	apply(&w.st, true)
+	for _, r := range batch {
+		r.apply(&w.st, true)
+	}
 	w.mu.Unlock()
 	old := s.read.Swap(w)
 	s.write = old
 	old.mu.Lock()
-	apply(&old.st, false)
+	for _, r := range batch {
+		r.apply(&old.st, false)
+	}
 	old.mu.Unlock()
+	// Hand tokens to the coalesced waiters BEFORE releasing wmu: the next
+	// wmu holder must observe its token, or it would combine a batch its
+	// own request is no longer part of and return with apply never run.
+	for i, r := range batch {
+		if r != req {
+			r.done <- struct{}{}
+		}
+		batch[i] = nil
+	}
+	s.pendSpare = batch[:0]
+	s.wmu.Unlock()
+	req.apply = nil
+	writeReqPool.Put(req)
 }
 
 // acquireRead returns the published side with its fence read-held.

@@ -11,7 +11,7 @@ import (
 // well below the append count (appenders landed in shared batches), and
 // the batch-size counters must account for every record.
 func TestMaxSyncDelayBatchesFsyncs(t *testing.T) {
-	log, err := Open(t.TempDir(), Options{MaxSyncDelay: 500 * time.Microsecond})
+	log, err := Open(t.TempDir(), Options{MaxSyncDelay: 2 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,12 +20,14 @@ func TestMaxSyncDelayBatchesFsyncs(t *testing.T) {
 		writers = 8
 		each    = 25
 	)
+	start := make(chan struct{})
 	var wg sync.WaitGroup
 	rec := []byte("group-commit-record")
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			<-start
 			for i := 0; i < each; i++ {
 				if _, err := log.Append(rec); err != nil {
 					t.Error(err)
@@ -34,6 +36,19 @@ func TestMaxSyncDelayBatchesFsyncs(t *testing.T) {
 			}
 		}()
 	}
+	// Guarantee the overlap the assertion is about: hold the commit lock
+	// until every writer has buffered its first record and queued behind
+	// it. On a loaded single-core runner the writers otherwise serialize
+	// perfectly — each append is a lone leader that (correctly) skips the
+	// window — and fsyncs == appends without any bug being present. With
+	// all eight queued, the first leader's cycle must cover at least the
+	// eight buffered records with one fsync.
+	log.syncMu.Lock()
+	close(start)
+	for log.syncWaiters.Load() < writers {
+		time.Sleep(100 * time.Microsecond)
+	}
+	log.syncMu.Unlock()
 	wg.Wait()
 	m := log.Metrics()
 	if m.Appends != writers*each {

@@ -1,0 +1,536 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// replayAllSharded collects every (seq, record) pair after the given
+// sequence from a sharded log's merge replay, verifying global order.
+func replayAllSharded(t *testing.T, s *Sharded, after uint64) map[uint64][]byte {
+	t.Helper()
+	out := make(map[uint64][]byte)
+	prev := after
+	if err := s.Replay(after, func(seq uint64, rec []byte) error {
+		if seq <= prev {
+			t.Fatalf("replay out of order: %d after %d", seq, prev)
+		}
+		prev = seq
+		out[seq] = append([]byte(nil), rec...)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestShardedAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		seq, err := s.Append(i%4, record(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d", i, seq)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSharded(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.LastSeq(); got != n {
+		t.Fatalf("LastSeq after reopen: %d, want %d", got, n)
+	}
+	recs := replayAllSharded(t, s2, 0)
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(recs[uint64(i+1)], record(i)) {
+			t.Fatalf("record %d corrupted: %q", i, recs[uint64(i+1)])
+		}
+	}
+	// Appends resume after the replayed tail, on any stream.
+	seq, err := s2.Append(3, []byte("after-reopen"))
+	if err != nil || seq != n+1 {
+		t.Fatalf("append after reopen: seq %d err %v", seq, err)
+	}
+}
+
+// TestShardedKillRecoveryMatchesCleanRun is the kill-9 contract: reopening
+// a sharded log that was never closed (the files exactly as a killed
+// process left them) must replay the same records, in the same order, as
+// a cleanly closed log given the same appends.
+func TestShardedKillRecoveryMatchesCleanRun(t *testing.T) {
+	appendAll := func(s *Sharded) {
+		t.Helper()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if _, err := s.Append(w, []byte(fmt.Sprintf("s%d-%03d", w, i))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	cleanDir, killDir := t.TempDir(), t.TempDir()
+	clean, err := OpenSharded(cleanDir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(clean)
+	if err := clean.Close(); err != nil {
+		t.Fatal(err)
+	}
+	killed, err := OpenSharded(killDir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(killed)
+	// kill -9: no Close, no flush beyond what acknowledged appends did.
+
+	cleanRe, err := OpenSharded(cleanDir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanRe.Close()
+	killedRe, err := OpenSharded(killDir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer killedRe.Close()
+
+	cleanRecs := replayAllSharded(t, cleanRe, 0)
+	killedRecs := replayAllSharded(t, killedRe, 0)
+	if len(cleanRecs) != 200 || len(killedRecs) != 200 {
+		t.Fatalf("replayed %d clean / %d killed records, want 200 each", len(cleanRecs), len(killedRecs))
+	}
+	// Sequences differ between the runs (interleaving is timing-dependent)
+	// but the multiset of payloads must be identical; per-stream payload
+	// order is asserted by the per-run order check in replayAllSharded.
+	count := map[string]int{}
+	for _, rec := range cleanRecs {
+		count[string(rec)]++
+	}
+	for _, rec := range killedRecs {
+		count[string(rec)]--
+	}
+	for payload, n := range count {
+		if n != 0 {
+			t.Fatalf("payload %q count differs by %d between clean and killed replay", payload, n)
+		}
+	}
+}
+
+func TestShardedTornTailPerStreamTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Append(i%2, record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail of stream 1's only segment: chop 5 bytes.
+	segs, err := listSeqFiles(dir, shardSegPrefix(1), segSuffix)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("stream 1 segments: %v %v", segs, err)
+	}
+	path := filepath.Join(dir, shardSegName(1, segs[len(segs)-1]))
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSharded(dir, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs := replayAllSharded(t, s2, 0)
+	// One record of stream 1 (its last, seq 20) was torn away; stream 0 is
+	// intact. Replay tolerates the per-stream gap.
+	if len(recs) != 19 {
+		t.Fatalf("replayed %d records after torn tail, want 19", len(recs))
+	}
+	// The recovered sequence is the maximum surviving one across streams.
+	if got := s2.LastSeq(); got != 19 {
+		t.Fatalf("LastSeq after torn-tail recovery: %d, want 19", got)
+	}
+}
+
+func TestShardedReadAfterBoundedAndOrdered(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 4, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Append(w, record(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent bounded reads: each must see a gap-free ascending prefix
+	// with nothing beyond the bound captured at call time.
+	for round := 0; round < 20; round++ {
+		var prev uint64
+		before := s.LastSeq()
+		if err := s.ReadAfter(0, func(seq uint64, rec []byte) error {
+			if seq <= prev {
+				t.Errorf("ReadAfter out of order: %d after %d", seq, prev)
+			}
+			prev = seq
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if prev < before {
+			t.Fatalf("ReadAfter stopped at %d, had acknowledged %d before the call", prev, before)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestShardedCommitTapContiguous(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 4, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var last atomic.Uint64
+	s.SetOnAppend(func(seq uint64, rec []byte) {
+		if prev := last.Swap(seq); seq != prev+1 {
+			t.Errorf("tap saw seq %d after %d: not contiguous", seq, prev)
+		}
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := s.Append(w%4, record(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := last.Load(); got != 1600 {
+		t.Fatalf("tap saw %d records, want 1600", got)
+	}
+}
+
+func TestShardedRotateTruncateFirstSeq(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation on nearly every append.
+	s, err := OpenSharded(dir, 2, Options{SegmentBytes: 64, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(i%2, record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := s.FirstSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("FirstSeq before truncation: %d, want 1", first)
+	}
+	// Truncate behind a mid-log snapshot; everything after must survive.
+	const cover = 30
+	if err := s.TruncateBefore(cover + 1); err != nil {
+		t.Fatal(err)
+	}
+	first, err = s.FirstSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == 1 {
+		t.Fatal("FirstSeq did not advance after truncation")
+	}
+	recs := replayAllSharded(t, s, cover)
+	for i := cover + 1; i <= n; i++ {
+		if _, ok := recs[uint64(i)]; !ok {
+			t.Fatalf("record %d missing after truncation behind %d", i, cover)
+		}
+	}
+	// ReadAfter from the floor-1 serves everything the floor promises.
+	var got int
+	if err := s.ReadAfter(first-1, func(seq uint64, rec []byte) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != n-int(first)+1 {
+		t.Fatalf("ReadAfter(floor-1) yielded %d records, want %d", got, n-int(first)+1)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedAdoptsLegacyLog: a directory written by the single-stream
+// Log opens as a Sharded log with full history, continues the sequence,
+// and truncation eventually retires the legacy files.
+func TestShardedAdoptsLegacyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const old = 40
+	for i := 0; i < old; i++ {
+		if _, err := l.Append(record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenSharded(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LastSeq(); got != old {
+		t.Fatalf("LastSeq after adoption: %d, want %d", got, old)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Append(i%4, record(old+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := replayAllSharded(t, s, 0)
+	if len(recs) != old+20 {
+		t.Fatalf("replayed %d records, want %d", len(recs), old+20)
+	}
+	for i := 0; i < old+20; i++ {
+		if !bytes.Equal(recs[uint64(i+1)], record(i)) {
+			t.Fatalf("record %d corrupted after adoption: %q", i, recs[uint64(i+1)])
+		}
+	}
+	// A truncation past the legacy tail deletes the adopted files.
+	if err := s.TruncateBefore(old + 21); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := listSeqFiles(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != 0 {
+		t.Fatalf("legacy segments survive truncation past their end: %v", legacy)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedConcurrentAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 4, Options{MaxSyncDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		each    = 25
+	)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < each; i++ {
+				if _, err := s.Append(w%4, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Guarantee the overlap the assertion is about: hold the commit lock
+	// until every writer has buffered its first record (across all four
+	// streams) and queued behind it. On a loaded single-core runner the
+	// writers otherwise serialize perfectly — each append is a lone
+	// leader that (correctly) skips the window — and fsyncs == appends
+	// without any bug being present. With all eight queued, the first
+	// leader's cycle must flush all four dirty streams for one shared
+	// commit, covering at least those eight records.
+	s.syncMu.Lock()
+	close(start)
+	for s.syncWaiters.Load() < writers {
+		time.Sleep(100 * time.Microsecond)
+	}
+	s.syncMu.Unlock()
+	wg.Wait()
+	m := s.Metrics()
+	if m.Appends != writers*each {
+		t.Fatalf("appends %d, want %d", m.Appends, writers*each)
+	}
+	if m.SyncedRecords != writers*each {
+		t.Fatalf("synced records %d, want %d", m.SyncedRecords, writers*each)
+	}
+	// Group commit across streams: strictly fewer fsyncs than one per
+	// record is the whole point. (Equality would mean zero sharing.)
+	if m.Fsyncs >= m.Appends {
+		t.Fatalf("fsyncs %d >= appends %d: no cross-stream commit sharing", m.Fsyncs, m.Appends)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedIdleStreamsSkipFsync: a workload confined to one stream must
+// not pay an fsync per sync cycle for each of the other (clean) streams.
+func TestShardedIdleStreamsSkipFsync(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(0, record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	// Serial appends: at most one fsync per append (exactly one cycle
+	// each), never one per stream per cycle.
+	if m.Fsyncs > n {
+		t.Fatalf("fsyncs %d > %d appends: clean streams are being synced", m.Fsyncs, n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedEnsureSeqAndEmptyStreams(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnsureSeq(500)
+	if got := s.LastSeq(); got != 500 {
+		t.Fatalf("LastSeq after EnsureSeq: %d", got)
+	}
+	if seq, err := s.Append(2, []byte("x")); err != nil || seq != 501 {
+		t.Fatalf("append after EnsureSeq: seq %d err %v", seq, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: only stream 2 has records; streams 0/1 have empty segments.
+	s2, err := OpenSharded(dir, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.LastSeq(); got != 501 {
+		t.Fatalf("LastSeq after reopen: %d, want 501", got)
+	}
+	recs := replayAllSharded(t, s2, 0)
+	if len(recs) != 1 || !bytes.Equal(recs[501], []byte("x")) {
+		t.Fatalf("replay after EnsureSeq reopen: %v", recs)
+	}
+}
+
+// TestShardedRandomizedCrashReplay hammers interleaved appends with tiny
+// segments across reopen cycles (never closing), checking that every
+// acknowledged record survives with its exact payload.
+func TestShardedRandomizedCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(42))
+	want := map[uint64][]byte{}
+	var next int
+	for cycle := 0; cycle < 5; cycle++ {
+		s, err := OpenSharded(dir, 3, Options{SegmentBytes: 96, NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			rec := record(next)
+			next++
+			seq, err := s.Append(rng.Intn(3), rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[seq] = rec
+		}
+		// No Close: the next cycle recovers from the files as-is.
+	}
+	s, err := OpenSharded(dir, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := replayAllSharded(t, s, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for seq, rec := range want {
+		if !bytes.Equal(got[seq], rec) {
+			t.Fatalf("seq %d: got %q want %q", seq, got[seq], rec)
+		}
+	}
+}
